@@ -1,0 +1,88 @@
+//! The paper's central overhead claim: the Litmus test reuses work the
+//! startup performs anyway, so the *online* pricing path is only the
+//! arithmetic benchmarked here — reading derivation, model estimation
+//! and the final price. Everything lands in nanoseconds, i.e. free next
+//! to a multi-millisecond function invocation (contrast with POPPA,
+//! which stalls all co-runners for entire sampling windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use litmus_core::{
+    CommercialPricing, DiscountModel, IdealPricing, LitmusPricing, LitmusReading,
+    StartupBaseline, TableBuilder,
+};
+use litmus_sim::{MachineSpec, PmuCounters, StartupReport};
+use litmus_workloads::Language;
+
+fn setup() -> (LitmusPricing, StartupBaseline, StartupReport, PmuCounters) {
+    let spec = MachineSpec::cascade_lake();
+    let tables = TableBuilder::new(spec.clone())
+        .levels([6, 14, 24])
+        .languages([Language::Python])
+        .reference_scale(0.03)
+        .build()
+        .expect("tables");
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).expect("model"));
+    let baseline = *tables.baseline(Language::Python).expect("baseline");
+    let startup = StartupReport {
+        counters: PmuCounters {
+            cycles: 6.0e7,
+            instructions: 4.5e7,
+            stall_l2_cycles: 2.5e7,
+            l2_misses: 5.0e5,
+            l3_misses: 2.0e5,
+            context_switches: 0.0,
+        },
+        wall_ms: 21.0,
+        machine_l3_miss_rate: 80_000.0,
+    };
+    let counters = PmuCounters {
+        cycles: 9.0e8,
+        instructions: 7.5e8,
+        stall_l2_cycles: 1.2e8,
+        l2_misses: 6.0e5,
+        l3_misses: 2.4e5,
+        context_switches: 3.0,
+    };
+    (pricing, baseline, startup, counters)
+}
+
+fn bench_online_path(c: &mut Criterion) {
+    let (pricing, baseline, startup, counters) = setup();
+    let reading = LitmusReading::from_startup(&baseline, &startup).unwrap();
+
+    c.bench_function("litmus_reading_from_startup", |b| {
+        b.iter(|| {
+            LitmusReading::from_startup(black_box(&baseline), black_box(&startup))
+                .unwrap()
+        })
+    });
+    c.bench_function("discount_estimate", |b| {
+        b.iter(|| pricing.estimate(black_box(&reading)).unwrap())
+    });
+    c.bench_function("litmus_price_invocation", |b| {
+        b.iter(|| {
+            pricing
+                .price(black_box(&reading), black_box(&counters))
+                .unwrap()
+        })
+    });
+    c.bench_function("commercial_price_invocation", |b| {
+        let scheme = CommercialPricing::new();
+        b.iter(|| scheme.price(black_box(&counters)))
+    });
+    c.bench_function("ideal_price_invocation", |b| {
+        let scheme = IdealPricing::new();
+        let solo = PmuCounters {
+            cycles: 8.0e8,
+            instructions: 7.5e8,
+            stall_l2_cycles: 6.0e7,
+            ..Default::default()
+        };
+        b.iter(|| scheme.price(black_box(&counters), black_box(&solo)))
+    });
+}
+
+criterion_group!(benches, bench_online_path);
+criterion_main!(benches);

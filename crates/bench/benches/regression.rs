@@ -1,0 +1,54 @@
+//! Statistics-substrate micro-benchmarks: the regression and
+//! interpolation primitives on the input sizes the pricing pipeline
+//! uses (a handful of table rows per fit, one blend per invocation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use litmus_stats::{log_blend, ExpFit, LevelTable, LinearFit};
+
+fn bench_fits(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=8).map(|i| 1.0 + 0.2 * i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.4 + 0.9 * x).collect();
+    let expo: Vec<f64> = xs.iter().map(|x| (6.0 + 2.0 * x).exp()).collect();
+
+    c.bench_function("linear_fit_8pts", |b| {
+        b.iter(|| LinearFit::fit(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    c.bench_function("exp_fit_8pts", |b| {
+        b.iter(|| ExpFit::fit(black_box(&xs), black_box(&expo)).unwrap())
+    });
+
+    let lin = LinearFit::fit(&xs, &ys).unwrap();
+    c.bench_function("linear_predict", |b| {
+        b.iter(|| lin.predict(black_box(1.7)))
+    });
+
+    c.bench_function("log_blend", |b| {
+        b.iter(|| {
+            log_blend(
+                black_box(100.0),
+                black_box(10.0),
+                black_box(1000.0),
+                black_box(0.01),
+                black_box(0.06),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_level_table(c: &mut Criterion) {
+    let rows: Vec<(f64, f64)> =
+        (1..=16).map(|i| (i as f64, 1.0 + 0.05 * i as f64)).collect();
+    let table = LevelTable::new(rows).unwrap();
+    c.bench_function("level_table_lookup", |b| {
+        b.iter(|| table.value_at(black_box(7.3)).unwrap())
+    });
+    c.bench_function("level_table_inverse", |b| {
+        b.iter(|| table.level_for(black_box(1.31)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fits, bench_level_table);
+criterion_main!(benches);

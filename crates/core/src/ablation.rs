@@ -1,0 +1,190 @@
+use litmus_sim::PmuCounters;
+use litmus_workloads::TrafficGenerator;
+
+use crate::model::DiscountModel;
+use crate::pricing::Price;
+use crate::probe::LitmusReading;
+use crate::Result;
+
+/// Design-choice ablations of Litmus pricing (not in the paper's
+/// evaluation, but direct tests of its two key mechanisms).
+///
+/// * [`AblationScheme::NoSplit`] removes Eq. 1's private/shared
+///   decomposition: one rate, derived from the total-time regression,
+///   applied to the whole execution. Functions with unusual
+///   compositions (a `float-py` that barely touches shared resources, a
+///   `pager-py` that lives there) get priced as if they were average.
+/// * [`AblationScheme::SingleGenerator`] removes the Fig. 10 L3-miss
+///   interpolation: the machine state is always assumed to look like
+///   one chosen generator, so mixed congestion states are mis-read.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{AblationPricing, AblationScheme, DiscountModel, TableBuilder};
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let tables = TableBuilder::new(MachineSpec::cascade_lake()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// let no_split = AblationPricing::new(model, AblationScheme::NoSplit);
+/// # let _ = no_split;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AblationScheme {
+    /// Single charging rate on total occupied time (no Eq. 1 split).
+    NoSplit,
+    /// Fixed generator model instead of L3-miss interpolation.
+    SingleGenerator(TrafficGenerator),
+}
+
+/// A pricing engine with one Litmus mechanism removed — see
+/// [`AblationScheme`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPricing {
+    model: DiscountModel,
+    scheme: AblationScheme,
+}
+
+impl AblationPricing {
+    /// Creates the ablated engine.
+    pub fn new(model: DiscountModel, scheme: AblationScheme) -> Self {
+        AblationPricing { model, scheme }
+    }
+
+    /// The ablation applied.
+    pub fn scheme(&self) -> AblationScheme {
+        self.scheme
+    }
+
+    /// Prices an execution under the ablated scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiscountModel::estimate_weighted`] failures.
+    pub fn price(
+        &self,
+        reading: &LitmusReading,
+        counters: &PmuCounters,
+    ) -> Result<Price> {
+        match self.scheme {
+            AblationScheme::NoSplit => {
+                let estimate = self.model.estimate(reading)?;
+                let rate = estimate.r_total();
+                Ok(Price {
+                    private: rate * counters.t_private_cycles(),
+                    shared: rate * counters.t_shared_cycles(),
+                })
+            }
+            AblationScheme::SingleGenerator(generator) => {
+                let weight = match generator {
+                    TrafficGenerator::CtGen => 0.0,
+                    TrafficGenerator::MbGen => 1.0,
+                };
+                let estimate =
+                    self.model.estimate_weighted(reading, Some(weight))?;
+                Ok(Price {
+                    private: estimate.r_private() * counters.t_private_cycles(),
+                    shared: estimate.r_shared() * counters.t_shared_cycles(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::LitmusPricing;
+    use crate::tables::TableBuilder;
+    use litmus_sim::MachineSpec;
+    use litmus_workloads::Language;
+
+    fn model() -> DiscountModel {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap();
+        DiscountModel::fit(&tables).unwrap()
+    }
+
+    fn reading() -> LitmusReading {
+        LitmusReading {
+            language: Language::Python,
+            private_slowdown: 1.02,
+            shared_slowdown: 1.7,
+            total_slowdown: 1.45,
+            l3_miss_rate: 70_000.0,
+        }
+    }
+
+    fn counters() -> PmuCounters {
+        PmuCounters {
+            cycles: 1_000_000.0,
+            instructions: 900_000.0,
+            stall_l2_cycles: 150_000.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_split_uses_one_rate() {
+        let p = AblationPricing::new(model(), AblationScheme::NoSplit)
+            .price(&reading(), &counters())
+            .unwrap();
+        let c = counters();
+        let rate_priv = p.private / c.t_private_cycles();
+        let rate_shared = p.shared / c.t_shared_cycles();
+        assert!((rate_priv - rate_shared).abs() < 1e-12, "one rate");
+        assert!(rate_priv < 1.0, "still a discount");
+    }
+
+    #[test]
+    fn litmus_splits_rates_but_no_split_does_not() {
+        let m = model();
+        let litmus = LitmusPricing::new(m.clone())
+            .price(&reading(), &counters())
+            .unwrap();
+        let c = counters();
+        let rate_priv = litmus.private / c.t_private_cycles();
+        let rate_shared = litmus.shared / c.t_shared_cycles();
+        // Litmus proper discounts the shared component much harder.
+        assert!(rate_shared < rate_priv - 0.05);
+    }
+
+    #[test]
+    fn single_generator_brackets_the_interpolated_price() {
+        let m = model();
+        let full = LitmusPricing::new(m.clone())
+            .price(&reading(), &counters())
+            .unwrap();
+        let ct = AblationPricing::new(
+            m.clone(),
+            AblationScheme::SingleGenerator(TrafficGenerator::CtGen),
+        )
+        .price(&reading(), &counters())
+        .unwrap();
+        let mb = AblationPricing::new(
+            m,
+            AblationScheme::SingleGenerator(TrafficGenerator::MbGen),
+        )
+        .price(&reading(), &counters())
+        .unwrap();
+        let lo = ct.total().min(mb.total());
+        let hi = ct.total().max(mb.total());
+        assert!(
+            full.total() >= lo - 1e-9 && full.total() <= hi + 1e-9,
+            "interpolated price {} outside generator bracket [{lo}, {hi}]",
+            full.total()
+        );
+    }
+
+    #[test]
+    fn scheme_accessor() {
+        let a = AblationPricing::new(model(), AblationScheme::NoSplit);
+        assert_eq!(a.scheme(), AblationScheme::NoSplit);
+    }
+}

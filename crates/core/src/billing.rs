@@ -1,0 +1,281 @@
+use std::fmt;
+
+use litmus_sim::PmuCounters;
+
+use crate::pricing::Price;
+
+/// A fully-priced invocation record: the three prices the evaluation
+/// compares (commercial, Litmus, ideal) plus the error decomposition of
+/// paper Fig. 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invoice {
+    /// Function name.
+    pub function: String,
+    /// PMU counters of the billed (congested) execution.
+    pub counters: PmuCounters,
+    /// Commercial price (no discount).
+    pub commercial: Price,
+    /// Litmus price.
+    pub litmus: Price,
+    /// Ideal (oracle) price.
+    pub ideal: Price,
+}
+
+impl Invoice {
+    /// Litmus price normalised to commercial (the y-axis of Figs. 11,
+    /// 15–21).
+    pub fn litmus_normalized(&self) -> f64 {
+        self.litmus.normalized_to(&self.commercial)
+    }
+
+    /// Ideal price normalised to commercial.
+    pub fn ideal_normalized(&self) -> f64 {
+        self.ideal.normalized_to(&self.commercial)
+    }
+
+    /// Litmus discount (1 − normalised price).
+    pub fn litmus_discount(&self) -> f64 {
+        1.0 - self.litmus_normalized()
+    }
+
+    /// Ideal discount.
+    pub fn ideal_discount(&self) -> f64 {
+        1.0 - self.ideal_normalized()
+    }
+
+    /// Signed weighted error of the private component (Fig. 12): the
+    /// relative price error, weighted by the component's share of
+    /// execution time. Positive = Litmus under-compensated.
+    pub fn private_error(&self) -> f64 {
+        let weight = self.counters.t_private_cycles() / self.counters.cycles.max(1.0);
+        if self.ideal.private <= 0.0 {
+            return 0.0;
+        }
+        (self.litmus.private - self.ideal.private) / self.ideal.private * weight
+    }
+
+    /// Signed weighted error of the shared component (Fig. 12).
+    pub fn shared_error(&self) -> f64 {
+        let weight = self.counters.t_shared_cycles() / self.counters.cycles.max(1.0);
+        if self.ideal.shared <= 0.0 {
+            return 0.0;
+        }
+        (self.litmus.shared - self.ideal.shared) / self.ideal.shared * weight
+    }
+
+    /// Signed total price error relative to ideal (Fig. 12's last bar).
+    pub fn total_error(&self) -> f64 {
+        if self.ideal.total() <= 0.0 {
+            return 0.0;
+        }
+        (self.litmus.total() - self.ideal.total()) / self.ideal.total()
+    }
+}
+
+impl fmt::Display for Invoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: litmus {:.4} (ideal {:.4}, error {:+.4})",
+            self.function,
+            self.litmus_normalized(),
+            self.ideal_normalized(),
+            self.total_error()
+        )
+    }
+}
+
+/// Aggregated billing over many invocations — what a provider's
+/// metering pipeline accumulates per accounting period.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_core::BillingLedger;
+///
+/// let ledger = BillingLedger::new();
+/// assert_eq!(ledger.len(), 0);
+/// assert!(ledger.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BillingLedger {
+    invoices: Vec<Invoice>,
+}
+
+impl BillingLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        BillingLedger::default()
+    }
+
+    /// Records one invoice.
+    pub fn record(&mut self, invoice: Invoice) {
+        self.invoices.push(invoice);
+    }
+
+    /// All recorded invoices, in arrival order.
+    pub fn invoices(&self) -> &[Invoice] {
+        &self.invoices
+    }
+
+    /// Number of recorded invoices.
+    pub fn len(&self) -> usize {
+        self.invoices.len()
+    }
+
+    /// Whether no invoices have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.invoices.is_empty()
+    }
+
+    /// Total revenue billed under Litmus pricing (charged cycles).
+    pub fn litmus_revenue(&self) -> f64 {
+        self.invoices.iter().map(|i| i.litmus.total()).sum()
+    }
+
+    /// Total revenue commercial pricing would have billed.
+    pub fn commercial_revenue(&self) -> f64 {
+        self.invoices.iter().map(|i| i.commercial.total()).sum()
+    }
+
+    /// Total compensation handed back to tenants
+    /// (commercial − litmus revenue).
+    pub fn total_compensation(&self) -> f64 {
+        self.commercial_revenue() - self.litmus_revenue()
+    }
+
+    /// Revenue-weighted average discount across the period.
+    pub fn average_discount(&self) -> f64 {
+        let commercial = self.commercial_revenue();
+        if commercial <= 0.0 {
+            return 0.0;
+        }
+        self.total_compensation() / commercial
+    }
+
+    /// Invoices for one function name.
+    pub fn for_function<'a>(
+        &'a self,
+        function: &'a str,
+    ) -> impl Iterator<Item = &'a Invoice> + 'a {
+        self.invoices.iter().filter(move |i| i.function == function)
+    }
+}
+
+impl Extend<Invoice> for BillingLedger {
+    fn extend<T: IntoIterator<Item = Invoice>>(&mut self, iter: T) {
+        self.invoices.extend(iter);
+    }
+}
+
+impl FromIterator<Invoice> for BillingLedger {
+    fn from_iter<T: IntoIterator<Item = Invoice>>(iter: T) -> Self {
+        BillingLedger {
+            invoices: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invoice() -> Invoice {
+        Invoice {
+            function: "pager-py".into(),
+            counters: PmuCounters {
+                cycles: 1000.0,
+                instructions: 900.0,
+                stall_l2_cycles: 200.0,
+                ..Default::default()
+            },
+            commercial: Price {
+                private: 800.0,
+                shared: 200.0,
+            },
+            litmus: Price {
+                private: 760.0,
+                shared: 150.0,
+            },
+            ideal: Price {
+                private: 770.0,
+                shared: 140.0,
+            },
+        }
+    }
+
+    #[test]
+    fn normalisations() {
+        let inv = invoice();
+        assert!((inv.litmus_normalized() - 0.91).abs() < 1e-12);
+        assert!((inv.ideal_normalized() - 0.91).abs() < 1e-12);
+        assert!((inv.litmus_discount() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_errors_follow_fig12_definition() {
+        let inv = invoice();
+        // Private: (760-770)/770 weighted by 0.8.
+        let expected_priv = (760.0 - 770.0) / 770.0 * 0.8;
+        assert!((inv.private_error() - expected_priv).abs() < 1e-12);
+        // Shared: (150-140)/140 weighted by 0.2.
+        let expected_shared = (150.0 - 140.0) / 140.0 * 0.2;
+        assert!((inv.shared_error() - expected_shared).abs() < 1e-12);
+        // Total: (910-910)/910 = 0.
+        assert!(inv.total_error().abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_error_means_under_compensation() {
+        let mut inv = invoice();
+        inv.litmus.shared = 200.0; // charged more than ideal
+        assert!(inv.shared_error() > 0.0);
+    }
+
+    #[test]
+    fn zero_ideal_components_do_not_divide_by_zero() {
+        let mut inv = invoice();
+        inv.ideal = Price::default();
+        assert_eq!(inv.private_error(), 0.0);
+        assert_eq!(inv.shared_error(), 0.0);
+        assert_eq!(inv.total_error(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = invoice().to_string();
+        assert!(s.contains("pager-py"));
+        assert!(s.contains("0.91"));
+    }
+
+    #[test]
+    fn ledger_accumulates_revenue_and_compensation() {
+        let mut ledger = BillingLedger::new();
+        ledger.record(invoice());
+        ledger.record(invoice());
+        assert_eq!(ledger.len(), 2);
+        assert!(!ledger.is_empty());
+        assert_eq!(ledger.commercial_revenue(), 2000.0);
+        assert_eq!(ledger.litmus_revenue(), 1820.0);
+        assert_eq!(ledger.total_compensation(), 180.0);
+        assert!((ledger.average_discount() - 0.09).abs() < 1e-12);
+        assert_eq!(ledger.for_function("pager-py").count(), 2);
+        assert_eq!(ledger.for_function("nope").count(), 0);
+    }
+
+    #[test]
+    fn ledger_collects_from_iterators() {
+        let ledger: BillingLedger = vec![invoice(), invoice(), invoice()]
+            .into_iter()
+            .collect();
+        assert_eq!(ledger.len(), 3);
+        let mut extended = ledger.clone();
+        extended.extend(vec![invoice()]);
+        assert_eq!(extended.len(), 4);
+    }
+
+    #[test]
+    fn empty_ledger_has_zero_discount() {
+        assert_eq!(BillingLedger::new().average_discount(), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use litmus_sim::SimError;
+use litmus_stats::StatsError;
+use litmus_workloads::Language;
+
+/// Errors produced by the Litmus pricing core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A statistics operation failed (regression, interpolation, …).
+    Stats(StatsError),
+    /// A simulation run failed (invalid placement, horizon, …).
+    Sim(SimError),
+    /// The tables do not contain data for the requested language.
+    MissingLanguage(Language),
+    /// Table construction was configured with no stress levels.
+    NoLevels,
+    /// A stress level exceeded what the machine can host (needs at least
+    /// one core left for the measured function).
+    LevelTooHigh {
+        /// Requested generator thread count.
+        level: usize,
+        /// Cores on the machine.
+        cores: usize,
+    },
+    /// A probe reading or measurement was degenerate (zero instructions,
+    /// zero baseline, …).
+    DegenerateMeasurement(&'static str),
+    /// The workload's profile has no startup prefix, so no Litmus test
+    /// can be performed on it.
+    NoStartup,
+    /// A persisted table file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line (0 for
+        /// whole-file problems).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::MissingLanguage(lang) => {
+                write!(f, "tables contain no data for language {lang}")
+            }
+            CoreError::NoLevels => write!(f, "table builder has no stress levels"),
+            CoreError::LevelTooHigh { level, cores } => write!(
+                f,
+                "stress level {level} leaves no room on a {cores}-core machine"
+            ),
+            CoreError::DegenerateMeasurement(what) => {
+                write!(f, "degenerate measurement: {what}")
+            }
+            CoreError::NoStartup => {
+                write!(f, "workload profile has no startup prefix to probe")
+            }
+            CoreError::Parse { line, message } => {
+                write!(f, "table file parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: CoreError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+        let e: CoreError = SimError::EmptyProfile.into();
+        assert!(e.to_string().contains("simulation"));
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CoreError::LevelTooHigh {
+            level: 32,
+            cores: 32,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(CoreError::NoStartup.to_string().contains("startup"));
+    }
+}

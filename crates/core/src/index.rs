@@ -1,0 +1,203 @@
+use std::collections::BTreeMap;
+
+use litmus_stats::{lerp, LevelTable};
+use litmus_workloads::{Language, TrafficGenerator};
+
+use crate::error::CoreError;
+use crate::model::DiscountEstimate;
+use crate::probe::LitmusReading;
+use crate::tables::PricingTables;
+use crate::Result;
+
+/// Inverse congestion-table lookup: converts a Litmus reading into the
+/// abstract **congestion level** of paper Figs. 5/7 — "which generator
+/// stress level would slow this startup the same amount?".
+///
+/// The paper uses the level both as the index between congestion and
+/// performance tables (§6 step 3) and as the scheduling signal sketched
+/// in Fig. 7. [`crate::DiscountModel`] regresses the mapping directly;
+/// this type exposes the level itself, for monitoring and admission
+/// control.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{CongestionIndex, TableBuilder};
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let tables = TableBuilder::new(MachineSpec::cascade_lake()).build()?;
+/// let index = CongestionIndex::from_tables(&tables)?;
+/// # let _ = index;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionIndex {
+    levels: BTreeMap<(Language, TrafficGenerator), LevelTable>,
+}
+
+impl CongestionIndex {
+    /// Builds the index from calibration tables: one inverse-lookup
+    /// table per (language, generator), keyed by the startup
+    /// `T_shared` slowdown (the probe's most sensitive signal).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Stats`] if a table's slowdowns are not strictly
+    ///   monotone in the level (a degenerate calibration).
+    pub fn from_tables(tables: &PricingTables) -> Result<Self> {
+        let mut levels = BTreeMap::new();
+        for baseline in tables.baselines() {
+            let language = baseline.language;
+            for generator in TrafficGenerator::ALL {
+                let rows = tables.congestion(language, generator)?;
+                let pairs: Vec<(f64, f64)> = rows
+                    .iter()
+                    .map(|r| (r.level as f64, r.shared_slowdown))
+                    .collect();
+                levels.insert((language, generator), LevelTable::new(pairs)?);
+            }
+        }
+        if levels.is_empty() {
+            return Err(CoreError::NoLevels);
+        }
+        Ok(CongestionIndex { levels })
+    }
+
+    /// Languages the index covers.
+    pub fn languages(&self) -> impl Iterator<Item = Language> + '_ {
+        let mut seen = Vec::new();
+        self.levels.keys().filter_map(move |&(lang, _)| {
+            if seen.contains(&lang) {
+                None
+            } else {
+                seen.push(lang);
+                Some(lang)
+            }
+        })
+    }
+
+    /// The congestion level a reading corresponds to under one
+    /// generator's scenario (clamped to the calibrated level range).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::MissingLanguage`] for uncalibrated languages.
+    /// * [`CoreError::Stats`] on degenerate table lookups.
+    pub fn generator_level(
+        &self,
+        reading: &LitmusReading,
+        generator: TrafficGenerator,
+    ) -> Result<f64> {
+        let table = self
+            .levels
+            .get(&(reading.language, generator))
+            .ok_or(CoreError::MissingLanguage(reading.language))?;
+        Ok(table.level_for(reading.shared_slowdown)?)
+    }
+
+    /// The blended congestion level, using a CT↔MB weight (typically
+    /// [`DiscountEstimate::weight`] from the discount model).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CongestionIndex::generator_level`].
+    pub fn level(&self, reading: &LitmusReading, weight: f64) -> Result<f64> {
+        let ct = self.generator_level(reading, TrafficGenerator::CtGen)?;
+        let mb = self.generator_level(reading, TrafficGenerator::MbGen)?;
+        Ok(lerp(ct, mb, weight.clamp(0.0, 1.0)))
+    }
+
+    /// Convenience: the blended level using a full discount estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CongestionIndex::level`].
+    pub fn level_for(
+        &self,
+        reading: &LitmusReading,
+        estimate: &DiscountEstimate,
+    ) -> Result<f64> {
+        self.level(reading, estimate.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::TableBuilder;
+    use litmus_sim::MachineSpec;
+
+    fn index() -> CongestionIndex {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap();
+        CongestionIndex::from_tables(&tables).unwrap()
+    }
+
+    fn reading(shared: f64) -> LitmusReading {
+        LitmusReading {
+            language: Language::Python,
+            private_slowdown: 1.01,
+            shared_slowdown: shared,
+            total_slowdown: 1.0 + (shared - 1.0) * 0.6,
+            l3_miss_rate: 40_000.0,
+        }
+    }
+
+    #[test]
+    fn heavier_readings_index_to_higher_levels() {
+        let idx = index();
+        let low = idx.level(&reading(1.2), 0.5).unwrap();
+        let high = idx.level(&reading(1.9), 0.5).unwrap();
+        assert!(high > low, "{high} vs {low}");
+    }
+
+    #[test]
+    fn level_is_clamped_to_calibrated_range() {
+        let idx = index();
+        let below = idx.level(&reading(0.5), 0.5).unwrap();
+        let above = idx.level(&reading(50.0), 0.5).unwrap();
+        assert!(below >= 6.0 - 1e-9);
+        assert!(above <= 24.0 + 1e-9);
+    }
+
+    #[test]
+    fn generators_disagree_on_levels() {
+        // The same startup slowdown requires far fewer MB-Gen threads
+        // than CT-Gen threads, so the MB level estimate is lower.
+        let idx = index();
+        let ct = idx
+            .generator_level(&reading(1.6), TrafficGenerator::CtGen)
+            .unwrap();
+        let mb = idx
+            .generator_level(&reading(1.6), TrafficGenerator::MbGen)
+            .unwrap();
+        assert!(mb < ct, "MB {mb} vs CT {ct}");
+    }
+
+    #[test]
+    fn weight_blends_between_generator_levels() {
+        let idx = index();
+        let r = reading(1.6);
+        let ct = idx.generator_level(&r, TrafficGenerator::CtGen).unwrap();
+        let mb = idx.generator_level(&r, TrafficGenerator::MbGen).unwrap();
+        let mid = idx.level(&r, 0.5).unwrap();
+        assert!((mid - (ct + mb) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_language_is_reported() {
+        let idx = index();
+        let mut r = reading(1.3);
+        r.language = Language::Go;
+        assert!(matches!(
+            idx.level(&r, 0.5),
+            Err(CoreError::MissingLanguage(Language::Go))
+        ));
+        assert_eq!(idx.languages().count(), 1);
+    }
+}

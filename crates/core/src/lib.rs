@@ -1,0 +1,82 @@
+//! Litmus pricing — the primary contribution of *Litmus: Fair Pricing
+//! for Serverless Computing* (Pei, Wang, Shin — ASPLOS '24).
+//!
+//! Commercial serverless platforms charge `execution time × memory`,
+//! which silently bills tenants *more* when the provider over-packs a
+//! machine and their functions slow down. Litmus pricing compensates:
+//! it probes the machine's congestion during every function's
+//! language-runtime startup (a **Litmus test**) and discounts the bill
+//! proportionally to the congestion-induced slowdown it presumes.
+//!
+//! The pipeline, mirroring paper §5–§6:
+//!
+//! 1. **Offline** ([`TableBuilder`]): the provider stresses the machine
+//!    with the two traffic generators (CT-Gen, MB-Gen) at a ladder of
+//!    levels, recording how each language's startup slows down
+//!    (**congestion table**, [`PricingTables::congestion`]) and how a set
+//!    of reference functions slows down (**performance table**,
+//!    [`PricingTables::performance`]).
+//! 2. **Model fitting** ([`DiscountModel`]): per generator, linear
+//!    regressions map startup slowdown → reference slowdown (Fig. 9)
+//!    and an exponential fit maps startup slowdown → machine L3 miss
+//!    rate (Fig. 10(a)).
+//! 3. **Online** ([`LitmusPricing`]): each invocation's startup yields a
+//!    [`LitmusReading`] (its own `T_private`/`T_shared` slowdown plus
+//!    the machine L3 miss rate). The L3 reading places the machine
+//!    between the CT-Gen and MB-Gen extremes by logarithmic
+//!    interpolation (Fig. 10); the blended regressions predict the
+//!    slowdown a typical function suffers; charging rates
+//!    `R = T_solo/T_congested` discount the two pricing components
+//!    (Eq. 2–3).
+//!
+//! Baselines for evaluation: [`CommercialPricing`] (no discount),
+//! [`IdealPricing`] (oracle: the function's true solo time) and
+//! [`PoppaSampler`] (POPPA-style sampling with explicit overhead
+//! accounting).
+//!
+//! # Examples
+//!
+//! Building tables and pricing one invocation end to end (small level
+//! ladder for speed — production setups use more levels):
+//!
+//! ```
+//! use litmus_core::{DiscountModel, LitmusPricing, TableBuilder};
+//! use litmus_sim::MachineSpec;
+//!
+//! # fn main() -> Result<(), litmus_core::CoreError> {
+//! let tables = TableBuilder::new(MachineSpec::cascade_lake())
+//!     .levels([6, 14, 22])
+//!     .reference_scale(0.05)
+//!     .build()?;
+//! let model = DiscountModel::fit(&tables)?;
+//! let pricing = LitmusPricing::new(model);
+//! # let _ = pricing;
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablation;
+mod billing;
+mod error;
+mod index;
+mod model;
+pub mod persist;
+mod poppa;
+mod pricing;
+mod probe;
+mod tables;
+
+pub use ablation::{AblationPricing, AblationScheme};
+pub use billing::{BillingLedger, Invoice};
+pub use error::CoreError;
+pub use index::CongestionIndex;
+pub use model::{DiscountEstimate, DiscountModel, GeneratorModel};
+pub use poppa::PoppaSampler;
+pub use pricing::{CommercialPricing, IdealPricing, LitmusPricing, Method, Price};
+pub use probe::{LitmusReading, StartupBaseline};
+pub use tables::{CalibrationEnv, PricingTables, TableBuilder, TableRow};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,383 @@
+use litmus_stats::{lerp, log_weight, ExpFit, LinearFit};
+use litmus_workloads::{Language, TrafficGenerator};
+
+use crate::error::CoreError;
+use crate::probe::LitmusReading;
+use crate::tables::PricingTables;
+use crate::Result;
+
+/// The fitted regression bundle for one (language, generator) pair —
+/// paper Fig. 9's regression lines plus the Fig. 10(a) L3-miss curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorModel {
+    generator: TrafficGenerator,
+    /// Startup `T_private` slowdown → reference `T_private` slowdown.
+    private_fit: LinearFit,
+    /// Startup `T_shared` slowdown → reference `T_shared` slowdown.
+    shared_fit: LinearFit,
+    /// Startup total slowdown → reference total slowdown (Fig. 9(c);
+    /// used by the no-split ablation).
+    total_fit: LinearFit,
+    /// Startup `T_shared` slowdown → machine L3 miss rate (log-linear).
+    l3_fit: ExpFit,
+}
+
+impl GeneratorModel {
+    /// The generator this model captures.
+    pub fn generator(&self) -> TrafficGenerator {
+        self.generator
+    }
+
+    /// The Fig. 9(a) regression (private component).
+    pub fn private_fit(&self) -> &LinearFit {
+        &self.private_fit
+    }
+
+    /// The Fig. 9(b) regression (shared component).
+    pub fn shared_fit(&self) -> &LinearFit {
+        &self.shared_fit
+    }
+
+    /// The Fig. 9(c) regression (total time).
+    pub fn total_fit(&self) -> &LinearFit {
+        &self.total_fit
+    }
+
+    /// The Fig. 10(a) L3-miss curve.
+    pub fn l3_fit(&self) -> &ExpFit {
+        &self.l3_fit
+    }
+}
+
+/// Per-language pair of generator models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LanguageModel {
+    language: Language,
+    ct: GeneratorModel,
+    mb: GeneratorModel,
+}
+
+/// The slowdown estimate a Litmus test produces once mapped through the
+/// discount model: the presumed reference-function slowdown per pricing
+/// component, and the CT↔MB interpolation weight that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscountEstimate {
+    /// Presumed `T_private` slowdown of a typical function (≥ 1).
+    pub private_slowdown: f64,
+    /// Presumed `T_shared` slowdown of a typical function (≥ 1).
+    pub shared_slowdown: f64,
+    /// Presumed total slowdown of a typical function (≥ 1) — only used
+    /// by the no-split ablation; Litmus proper prices the two
+    /// components separately.
+    pub total_slowdown: f64,
+    /// Position between the CT-Gen (0) and MB-Gen (1) extremes from the
+    /// L3-miss logarithmic interpolation (paper Fig. 10 step ③).
+    pub weight: f64,
+}
+
+impl DiscountEstimate {
+    /// Charging rate for the private component:
+    /// `R = R_base·T_solo/T_congestion = 1/slowdown` (paper Eq. 3 with
+    /// `R_base = 1`).
+    pub fn r_private(&self) -> f64 {
+        1.0 / self.private_slowdown
+    }
+
+    /// Charging rate for the shared component.
+    pub fn r_shared(&self) -> f64 {
+        1.0 / self.shared_slowdown
+    }
+
+    /// Single charging rate on total time (no-split ablation).
+    pub fn r_total(&self) -> f64 {
+        1.0 / self.total_slowdown
+    }
+}
+
+/// Upper bound on presumed slowdowns: protects the pricing pipeline
+/// from extrapolating a pathological discount off the end of the
+/// regression lines.
+const MAX_PRESUMED_SLOWDOWN: f64 = 20.0;
+
+/// The complete Litmus discount model: per-language, per-generator
+/// regressions fitted from [`PricingTables`] (paper §6 step 3).
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{DiscountModel, TableBuilder};
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let tables = TableBuilder::new(MachineSpec::cascade_lake()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// # let _ = model;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscountModel {
+    languages: Vec<LanguageModel>,
+}
+
+impl DiscountModel {
+    /// Fits the model from calibration tables.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::MissingLanguage`] if a calibrated language lacks a
+    ///   generator table.
+    /// * [`CoreError::Stats`] if a regression is degenerate (e.g. a
+    ///   single-level ladder).
+    pub fn fit(tables: &PricingTables) -> Result<Self> {
+        let mut languages = Vec::new();
+        for baseline in tables.baselines() {
+            let language = baseline.language;
+            let ct = Self::fit_generator(tables, language, TrafficGenerator::CtGen)?;
+            let mb = Self::fit_generator(tables, language, TrafficGenerator::MbGen)?;
+            languages.push(LanguageModel { language, ct, mb });
+        }
+        if languages.is_empty() {
+            return Err(CoreError::NoLevels);
+        }
+        Ok(DiscountModel { languages })
+    }
+
+    fn fit_generator(
+        tables: &PricingTables,
+        language: Language,
+        generator: TrafficGenerator,
+    ) -> Result<GeneratorModel> {
+        let congestion = tables.congestion(language, generator)?;
+        let performance = tables.performance(generator)?;
+        // 1-to-1 level mapping between the two tables (paper Fig. 5).
+        let startup_priv: Vec<f64> =
+            congestion.iter().map(|r| r.private_slowdown).collect();
+        let startup_shared: Vec<f64> =
+            congestion.iter().map(|r| r.shared_slowdown).collect();
+        let startup_total: Vec<f64> =
+            congestion.iter().map(|r| r.total_slowdown).collect();
+        let ref_priv: Vec<f64> =
+            performance.iter().map(|r| r.private_slowdown).collect();
+        let ref_shared: Vec<f64> =
+            performance.iter().map(|r| r.shared_slowdown).collect();
+        let ref_total: Vec<f64> =
+            performance.iter().map(|r| r.total_slowdown).collect();
+        let l3: Vec<f64> = congestion.iter().map(|r| r.l3_miss_rate).collect();
+
+        Ok(GeneratorModel {
+            generator,
+            private_fit: LinearFit::fit(&startup_priv, &ref_priv)?,
+            shared_fit: LinearFit::fit(&startup_shared, &ref_shared)?,
+            total_fit: LinearFit::fit(&startup_total, &ref_total)?,
+            l3_fit: ExpFit::fit(&startup_shared, &l3)?,
+        })
+    }
+
+    /// Languages this model covers.
+    pub fn languages(&self) -> impl Iterator<Item = Language> + '_ {
+        self.languages.iter().map(|m| m.language)
+    }
+
+    /// The fitted per-generator models for `language`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingLanguage`] for uncalibrated languages.
+    pub fn generator_models(
+        &self,
+        language: Language,
+    ) -> Result<(&GeneratorModel, &GeneratorModel)> {
+        let m = self
+            .languages
+            .iter()
+            .find(|m| m.language == language)
+            .ok_or(CoreError::MissingLanguage(language))?;
+        Ok((&m.ct, &m.mb))
+    }
+
+    /// Maps a Litmus reading to a slowdown estimate (paper Fig. 10):
+    ///
+    /// 1. evaluate both generators' L3-miss curves at the observed
+    ///    startup slowdown to get the CT/MB bracket;
+    /// 2. place the observed machine L3 rate between them in log space;
+    /// 3. blend the two generators' regression predictions with that
+    ///    weight, per pricing component.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::MissingLanguage`] for uncalibrated languages.
+    /// * [`CoreError::Stats`] if the interpolation bracket is degenerate.
+    pub fn estimate(&self, reading: &LitmusReading) -> Result<DiscountEstimate> {
+        self.estimate_weighted(reading, None)
+    }
+
+    /// [`DiscountModel::estimate`] with an optional weight override —
+    /// the single-generator ablation pins the weight to 0 (CT) or 1
+    /// (MB) instead of interpolating on L3 misses.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DiscountModel::estimate`].
+    pub fn estimate_weighted(
+        &self,
+        reading: &LitmusReading,
+        weight_override: Option<f64>,
+    ) -> Result<DiscountEstimate> {
+        let (ct, mb) = self.generator_models(reading.language)?;
+
+        let weight = match weight_override {
+            Some(w) => w.clamp(0.0, 1.0),
+            None => {
+                let l3_ct = ct.l3_fit.predict(reading.shared_slowdown);
+                let l3_mb = mb.l3_fit.predict(reading.shared_slowdown);
+                // Pathological probes (absurd slowdowns) can push the
+                // exponential curves to overflow, underflow or collide.
+                // The online billing path must never fail on a weird
+                // reading, so fall back to the midpoint there.
+                let degenerate = !l3_ct.is_finite()
+                    || !l3_mb.is_finite()
+                    || l3_ct <= 0.0
+                    || l3_mb <= 0.0
+                    || !reading.l3_miss_rate.is_finite()
+                    || reading.l3_miss_rate <= 0.0
+                    || (l3_ct / l3_mb - 1.0).abs() < 1e-9;
+                if degenerate {
+                    0.5
+                } else if l3_ct <= l3_mb {
+                    log_weight(reading.l3_miss_rate, l3_ct, l3_mb)?
+                } else {
+                    1.0 - log_weight(reading.l3_miss_rate, l3_mb, l3_ct)?
+                }
+            }
+        };
+
+        let private = lerp(
+            ct.private_fit.predict(reading.private_slowdown),
+            mb.private_fit.predict(reading.private_slowdown),
+            weight,
+        );
+        let shared = lerp(
+            ct.shared_fit.predict(reading.shared_slowdown),
+            mb.shared_fit.predict(reading.shared_slowdown),
+            weight,
+        );
+        // The probe's own total slowdown indexes the total-time fits.
+        let probe_total = reading.total_slowdown();
+        let total = lerp(
+            ct.total_fit.predict(probe_total),
+            mb.total_fit.predict(probe_total),
+            weight,
+        );
+
+        Ok(DiscountEstimate {
+            private_slowdown: private.clamp(1.0, MAX_PRESUMED_SLOWDOWN),
+            shared_slowdown: shared.clamp(1.0, MAX_PRESUMED_SLOWDOWN),
+            total_slowdown: total.clamp(1.0, MAX_PRESUMED_SLOWDOWN),
+            weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::TableBuilder;
+    use litmus_sim::MachineSpec;
+
+    fn model() -> DiscountModel {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap();
+        DiscountModel::fit(&tables).unwrap()
+    }
+
+    fn reading(private: f64, shared: f64, l3: f64) -> LitmusReading {
+        LitmusReading {
+            language: Language::Python,
+            private_slowdown: private,
+            shared_slowdown: shared,
+            // Startup probes are memory-leaning, so the total tracks the
+            // shared component more than the private one.
+            total_slowdown: 0.4 * private + 0.6 * shared,
+            l3_miss_rate: l3,
+        }
+    }
+
+    #[test]
+    fn fig9_regressions_have_high_r_squared() {
+        let m = model();
+        let (ct, mb) = m.generator_models(Language::Python).unwrap();
+        for gm in [ct, mb] {
+            assert!(
+                gm.shared_fit().r_squared() > 0.8,
+                "{:?} shared R² = {}",
+                gm.generator(),
+                gm.shared_fit().r_squared()
+            );
+            assert!(
+                gm.l3_fit().r_squared() > 0.7,
+                "{:?} l3 R² = {}",
+                gm.generator(),
+                gm.l3_fit().r_squared()
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_reading_gets_almost_no_discount() {
+        let m = model();
+        // A reading of ~1.0 slowdown with tiny L3 traffic.
+        let est = m.estimate(&reading(1.0, 1.0, 100.0)).unwrap();
+        assert!(est.private_slowdown < 1.05, "{est:?}");
+        assert!(est.r_private() > 0.95);
+    }
+
+    #[test]
+    fn heavier_readings_get_bigger_discounts() {
+        let m = model();
+        let light = m.estimate(&reading(1.005, 1.2, 5_000.0)).unwrap();
+        let heavy = m.estimate(&reading(1.03, 1.9, 150_000.0)).unwrap();
+        assert!(heavy.shared_slowdown > light.shared_slowdown);
+        assert!(heavy.r_shared() < light.r_shared());
+    }
+
+    #[test]
+    fn l3_misses_steer_the_ct_mb_weight() {
+        let m = model();
+        let ct_like = m.estimate(&reading(1.02, 1.5, 9_000.0)).unwrap();
+        let mb_like = m.estimate(&reading(1.02, 1.5, 160_000.0)).unwrap();
+        assert!(ct_like.weight < mb_like.weight);
+        assert!((0.0..=1.0).contains(&ct_like.weight));
+        assert!((0.0..=1.0).contains(&mb_like.weight));
+    }
+
+    #[test]
+    fn estimates_are_clamped_to_sane_slowdowns() {
+        let m = model();
+        let est = m.estimate(&reading(50.0, 80.0, 1.0e9)).unwrap();
+        assert!(est.private_slowdown <= MAX_PRESUMED_SLOWDOWN);
+        assert!(est.shared_slowdown <= MAX_PRESUMED_SLOWDOWN);
+        let est = m.estimate(&reading(0.1, 0.1, 1.0)).unwrap();
+        assert!(est.private_slowdown >= 1.0);
+        assert!(est.shared_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn unknown_language_is_rejected() {
+        let m = model();
+        let r = LitmusReading {
+            language: Language::Go,
+            private_slowdown: 1.0,
+            shared_slowdown: 1.0,
+            total_slowdown: 1.0,
+            l3_miss_rate: 100.0,
+        };
+        assert!(matches!(
+            m.estimate(&r),
+            Err(CoreError::MissingLanguage(Language::Go))
+        ));
+    }
+}

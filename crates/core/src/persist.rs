@@ -1,0 +1,313 @@
+//! Plain-text persistence for calibration tables.
+//!
+//! Table construction takes real machine time (it stresses the platform
+//! at a ladder of levels), so providers build tables once per machine
+//! configuration and reuse them across restarts. The format is a simple
+//! line-oriented text encoding — deliberately not a serialization
+//! framework, so the files remain human-auditable (a provider's billing
+//! inputs should be reviewable).
+
+use std::fmt::Write as _;
+
+use litmus_workloads::{Language, TrafficGenerator};
+
+use crate::error::CoreError;
+use crate::probe::StartupBaseline;
+use crate::tables::{CalibrationEnv, PricingTables, TableRow};
+use crate::Result;
+
+const MAGIC: &str = "litmus-tables v1";
+
+/// Encodes tables to the v1 text format.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{persist, TableBuilder};
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let spec = MachineSpec::cascade_lake();
+/// let tables = TableBuilder::new(spec.clone()).build()?;
+/// let text = persist::encode(&tables);
+/// let restored = persist::decode(spec, &text)?;
+/// assert_eq!(tables, restored);
+/// # Ok(()) }
+/// ```
+pub fn encode(tables: &PricingTables) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "spec {}", tables.spec().name);
+    match tables.env() {
+        CalibrationEnv::Dedicated => {
+            let _ = writeln!(out, "env dedicated");
+        }
+        CalibrationEnv::Shared { fillers, cores } => {
+            let _ = writeln!(out, "env shared {fillers} {cores}");
+        }
+    }
+    for b in tables.baselines() {
+        let _ = writeln!(
+            out,
+            "baseline {} {} {} {} {}",
+            b.language.abbr(),
+            b.t_private_pi,
+            b.t_shared_pi,
+            b.l3_miss_rate,
+            b.wall_ms
+        );
+    }
+    for b in tables.baselines() {
+        for gen in TrafficGenerator::ALL {
+            if let Ok(rows) = tables.congestion(b.language, gen) {
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "congestion {} {} {}",
+                        b.language.abbr(),
+                        gen_tag(gen),
+                        row_fields(r)
+                    );
+                }
+            }
+        }
+    }
+    for gen in TrafficGenerator::ALL {
+        if let Ok(rows) = tables.performance(gen) {
+            for r in rows {
+                let _ = writeln!(out, "performance {} {}", gen_tag(gen), row_fields(r));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes the v1 text format, re-attaching the machine `spec` the
+/// tables were built on.
+///
+/// # Errors
+///
+/// * [`CoreError::Parse`] on malformed input or when the recorded spec
+///   name does not match `spec.name` (tables are machine-specific —
+///   pricing with another machine's tables is a provider bug).
+pub fn decode(
+    spec: litmus_sim::MachineSpec,
+    text: &str,
+) -> Result<PricingTables> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| parse_err(0, "empty input"))?;
+    if first.trim() != MAGIC {
+        return Err(parse_err(1, "missing litmus-tables v1 header"));
+    }
+
+    let mut env = CalibrationEnv::Dedicated;
+    let mut baselines: Vec<StartupBaseline> = Vec::new();
+    let mut congestion: Vec<(Language, TrafficGenerator, TableRow)> = Vec::new();
+    let mut performance: Vec<(TrafficGenerator, TableRow)> = Vec::new();
+    let mut spec_name: Option<String> = None;
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = parts.collect();
+        match tag {
+            "spec" => {
+                spec_name = Some(rest.join(" "));
+            }
+            "env" => match rest.first() {
+                Some(&"dedicated") => env = CalibrationEnv::Dedicated,
+                Some(&"shared") if rest.len() == 3 => {
+                    env = CalibrationEnv::Shared {
+                        fillers: parse_num(line_no, rest[1])? as usize,
+                        cores: parse_num(line_no, rest[2])? as usize,
+                    };
+                }
+                _ => return Err(parse_err(line_no, "bad env line")),
+            },
+            "baseline" => {
+                if rest.len() != 5 {
+                    return Err(parse_err(line_no, "baseline needs 5 fields"));
+                }
+                baselines.push(StartupBaseline {
+                    language: parse_language(line_no, rest[0])?,
+                    t_private_pi: parse_num(line_no, rest[1])?,
+                    t_shared_pi: parse_num(line_no, rest[2])?,
+                    l3_miss_rate: parse_num(line_no, rest[3])?,
+                    wall_ms: parse_num(line_no, rest[4])?,
+                });
+            }
+            "congestion" => {
+                if rest.len() != 7 {
+                    return Err(parse_err(line_no, "congestion needs 7 fields"));
+                }
+                congestion.push((
+                    parse_language(line_no, rest[0])?,
+                    parse_generator(line_no, rest[1])?,
+                    parse_row(line_no, &rest[2..])?,
+                ));
+            }
+            "performance" => {
+                if rest.len() != 6 {
+                    return Err(parse_err(line_no, "performance needs 6 fields"));
+                }
+                performance.push((
+                    parse_generator(line_no, rest[0])?,
+                    parse_row(line_no, &rest[1..])?,
+                ));
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown tag {other:?}")));
+            }
+        }
+    }
+
+    match spec_name {
+        Some(name) if name == spec.name => {}
+        Some(name) => {
+            return Err(CoreError::Parse {
+                line: 2,
+                message: format!(
+                    "tables were built on {name:?}, not {:?}",
+                    spec.name
+                ),
+            });
+        }
+        None => return Err(parse_err(2, "missing spec line")),
+    }
+    if baselines.is_empty() {
+        return Err(parse_err(0, "no baselines in input"));
+    }
+
+    PricingTables::from_parts(spec, env, baselines, congestion, performance)
+}
+
+fn gen_tag(gen: TrafficGenerator) -> &'static str {
+    match gen {
+        TrafficGenerator::CtGen => "ct",
+        TrafficGenerator::MbGen => "mb",
+    }
+}
+
+fn row_fields(r: &TableRow) -> String {
+    format!(
+        "{} {} {} {} {}",
+        r.level, r.private_slowdown, r.shared_slowdown, r.total_slowdown, r.l3_miss_rate
+    )
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> CoreError {
+    CoreError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num(line: usize, token: &str) -> Result<f64> {
+    token
+        .parse::<f64>()
+        .map_err(|_| parse_err(line, format!("bad number {token:?}")))
+}
+
+fn parse_language(line: usize, token: &str) -> Result<Language> {
+    Language::ALL
+        .into_iter()
+        .find(|l| l.abbr() == token)
+        .ok_or_else(|| parse_err(line, format!("unknown language {token:?}")))
+}
+
+fn parse_generator(line: usize, token: &str) -> Result<TrafficGenerator> {
+    match token {
+        "ct" => Ok(TrafficGenerator::CtGen),
+        "mb" => Ok(TrafficGenerator::MbGen),
+        other => Err(parse_err(line, format!("unknown generator {other:?}"))),
+    }
+}
+
+fn parse_row(line: usize, fields: &[&str]) -> Result<TableRow> {
+    Ok(TableRow {
+        level: parse_num(line, fields[0])? as usize,
+        private_slowdown: parse_num(line, fields[1])?,
+        shared_slowdown: parse_num(line, fields[2])?,
+        total_slowdown: parse_num(line, fields[3])?,
+        l3_miss_rate: parse_num(line, fields[4])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::TableBuilder;
+    use litmus_sim::MachineSpec;
+
+    fn tables() -> PricingTables {
+        TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14])
+            .languages([Language::Python, Language::Go])
+            .reference_scale(0.03)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_tables() {
+        let original = tables();
+        let text = encode(&original);
+        let restored = decode(MachineSpec::cascade_lake(), &text).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert!(matches!(
+            decode(MachineSpec::cascade_lake(), "not a table file"),
+            Err(CoreError::Parse { .. })
+        ));
+        assert!(decode(MachineSpec::cascade_lake(), "").is_err());
+    }
+
+    #[test]
+    fn wrong_machine_is_rejected() {
+        let text = encode(&tables());
+        let err = decode(MachineSpec::ice_lake(), &text).unwrap_err();
+        match err {
+            CoreError::Parse { message, .. } => {
+                assert!(message.contains("ice-lake"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_rows_are_reported_with_line_numbers() {
+        let mut text = encode(&tables());
+        text.push_str("congestion py ct 6 bogus 1.5 1.4 100\n");
+        let err = decode(MachineSpec::cascade_lake(), &text).unwrap_err();
+        assert!(matches!(err, CoreError::Parse { .. }));
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut text = String::from("litmus-tables v1\n# a comment\n\n");
+        text.push_str(
+            &encode(&tables())
+                .lines()
+                .skip(1)
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+        assert!(decode(MachineSpec::cascade_lake(), &text).is_ok());
+    }
+
+    #[test]
+    fn decoded_tables_still_fit_a_model() {
+        let text = encode(&tables());
+        let restored = decode(MachineSpec::cascade_lake(), &text).unwrap();
+        assert!(crate::model::DiscountModel::fit(&restored).is_ok());
+    }
+}

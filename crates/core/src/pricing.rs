@@ -1,0 +1,312 @@
+use litmus_sim::PmuCounters;
+
+use crate::model::{DiscountEstimate, DiscountModel};
+use crate::probe::LitmusReading;
+use crate::Result;
+
+/// A price split into the paper's two components (Eq. 1):
+/// `P = P_private + P_shared`, in units of charged cycles (the
+/// memory-capacity factor of commercial pricing is a constant multiplier
+/// and cancels in every normalised comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Price {
+    /// Charge for private-resource occupancy.
+    pub private: f64,
+    /// Charge for shared-resource occupancy.
+    pub shared: f64,
+}
+
+impl Price {
+    /// Total charge.
+    pub fn total(&self) -> f64 {
+        self.private + self.shared
+    }
+
+    /// This price as a fraction of `baseline` (used to normalise against
+    /// commercial pricing in every evaluation figure).
+    pub fn normalized_to(&self, baseline: &Price) -> f64 {
+        self.total() / baseline.total()
+    }
+
+    /// The discount this price represents relative to `baseline`
+    /// (0.10 = 10% cheaper).
+    pub fn discount_vs(&self, baseline: &Price) -> f64 {
+        1.0 - self.normalized_to(baseline)
+    }
+}
+
+/// Commercial pay-as-you-go pricing: charge the full occupied time, no
+/// discount — what AWS Lambda/Azure Functions/Google Cloud Functions do
+/// today (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommercialPricing;
+
+impl CommercialPricing {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        CommercialPricing
+    }
+
+    /// Prices an execution: both components at the base rate.
+    pub fn price(&self, counters: &PmuCounters) -> Price {
+        Price {
+            private: counters.t_private_cycles(),
+            shared: counters.t_shared_cycles(),
+        }
+    }
+}
+
+/// Oracle pricing: charge exactly what the execution would have cost on
+/// an idle machine — the "ideal price that discounts tenants
+/// proportional to slowdowns" every evaluation figure compares against.
+///
+/// Requires the solo per-instruction profile of the same function,
+/// which only an oracle (or an offline profiling pass) can know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdealPricing;
+
+impl IdealPricing {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        IdealPricing
+    }
+
+    /// Prices an execution given the function's solo counters: the work
+    /// actually done (instructions) charged at solo per-instruction
+    /// rates.
+    pub fn price(&self, congested: &PmuCounters, solo: &PmuCounters) -> Price {
+        let instr = congested.instructions;
+        Price {
+            private: instr * solo.t_private_per_instruction(),
+            shared: instr * solo.t_shared_per_instruction(),
+        }
+    }
+}
+
+/// How Litmus pricing handles temporal CPU sharing (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Method {
+    /// §7.1 / §7.2 "Method 2": use the tables as-is. Correct when the
+    /// tables were built in an environment matching production (shared
+    /// calibration for shared production).
+    #[default]
+    TableDriven,
+    /// §7.2 "Method 1": tables were built in a dedicated environment, so
+    /// divide the measured `T_private` by the known switching-overhead
+    /// factor (Fig. 14; ≈1.025 at 10 functions/core) before estimating.
+    CalibratedSharing {
+        /// The Fig. 14 overhead factor to divide `T_private` by.
+        factor: f64,
+    },
+}
+
+/// The Litmus pricing engine (paper Eq. 2):
+/// `P = R_private·T_private + R_shared·T_shared`, with the rates coming
+/// from a [`DiscountModel`] estimate of the current congestion.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{DiscountModel, LitmusPricing, Method, TableBuilder};
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let spec = MachineSpec::cascade_lake();
+/// let tables = TableBuilder::new(spec.clone()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// // Method 1 for a 10-functions-per-core production machine:
+/// let pricing = LitmusPricing::new(model)
+///     .with_method(Method::CalibratedSharing { factor: spec.switch_factor(10.0) });
+/// # let _ = pricing;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LitmusPricing {
+    model: DiscountModel,
+    method: Method,
+}
+
+impl LitmusPricing {
+    /// Creates the engine with [`Method::TableDriven`].
+    pub fn new(model: DiscountModel) -> Self {
+        LitmusPricing {
+            model,
+            method: Method::TableDriven,
+        }
+    }
+
+    /// Selects the temporal-sharing method.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The underlying discount model.
+    pub fn model(&self) -> &DiscountModel {
+        &self.model
+    }
+
+    /// The active method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Estimates the congestion-induced slowdown from a Litmus reading,
+    /// applying the Method 1 calibration when configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiscountModel::estimate`] failures.
+    pub fn estimate(&self, reading: &LitmusReading) -> Result<DiscountEstimate> {
+        let calibrated = match self.method {
+            Method::TableDriven => *reading,
+            Method::CalibratedSharing { factor } => LitmusReading {
+                private_slowdown: reading.private_slowdown / factor,
+                ..*reading
+            },
+        };
+        self.model.estimate(&calibrated)
+    }
+
+    /// Prices an execution from its Litmus reading and PMU counters
+    /// (paper Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiscountModel::estimate`] failures.
+    pub fn price(
+        &self,
+        reading: &LitmusReading,
+        counters: &PmuCounters,
+    ) -> Result<Price> {
+        let estimate = self.estimate(reading)?;
+        let t_private = match self.method {
+            Method::TableDriven => counters.t_private_cycles(),
+            // Method 1 also removes the sharing overhead from the billed
+            // private time — the provider chose to oversubscribe, so the
+            // refill cost is on them.
+            Method::CalibratedSharing { factor } => {
+                counters.t_private_cycles() / factor
+            }
+        };
+        Ok(Price {
+            private: estimate.r_private() * t_private,
+            shared: estimate.r_shared() * counters.t_shared_cycles(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::TableBuilder;
+    use litmus_sim::MachineSpec;
+    use litmus_workloads::Language;
+
+    fn counters(t_private: f64, t_shared: f64) -> PmuCounters {
+        PmuCounters {
+            cycles: t_private + t_shared,
+            instructions: 1_000_000.0,
+            stall_l2_cycles: t_shared,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn price_components_sum() {
+        let p = Price {
+            private: 3.0,
+            shared: 1.0,
+        };
+        assert_eq!(p.total(), 4.0);
+        let base = Price {
+            private: 4.0,
+            shared: 4.0,
+        };
+        assert_eq!(p.normalized_to(&base), 0.5);
+        assert_eq!(p.discount_vs(&base), 0.5);
+    }
+
+    #[test]
+    fn commercial_charges_everything() {
+        let c = counters(700.0, 300.0);
+        let p = CommercialPricing::new().price(&c);
+        assert_eq!(p.total(), 1000.0);
+        assert_eq!(p.private, 700.0);
+        assert_eq!(p.shared, 300.0);
+    }
+
+    #[test]
+    fn ideal_charges_solo_equivalent() {
+        let solo = counters(650.0, 150.0);
+        let congested = counters(700.0, 300.0);
+        let p = IdealPricing::new().price(&congested, &solo);
+        // Identical instruction counts, so the ideal price equals the
+        // solo cost exactly.
+        assert!((p.total() - solo.cycles).abs() < 1e-6);
+        assert!(p.private < 700.0);
+        assert!(p.shared < 300.0);
+    }
+
+    #[test]
+    fn litmus_discounts_between_zero_and_commercial() {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap();
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let reading = LitmusReading {
+            language: Language::Python,
+            private_slowdown: 1.02,
+            shared_slowdown: 1.6,
+            total_slowdown: 1.4,
+            l3_miss_rate: 60_000.0,
+        };
+        let c = counters(800_000.0, 200_000.0);
+        let litmus = pricing.price(&reading, &c).unwrap();
+        let commercial = CommercialPricing::new().price(&c);
+        let norm = litmus.normalized_to(&commercial);
+        assert!(norm < 1.0, "congested reading must yield a discount");
+        assert!(norm > 0.5, "discount must stay plausible, got {norm}");
+    }
+
+    #[test]
+    fn method1_divides_private_time() {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap();
+        let model = DiscountModel::fit(&tables).unwrap();
+        let reading = LitmusReading {
+            language: Language::Python,
+            private_slowdown: 1.03,
+            shared_slowdown: 1.4,
+            total_slowdown: 1.25,
+            l3_miss_rate: 30_000.0,
+        };
+        let c = counters(1_000_000.0, 100_000.0);
+        let plain = LitmusPricing::new(model.clone());
+        let method1 = LitmusPricing::new(model)
+            .with_method(Method::CalibratedSharing { factor: 1.025 });
+        // Method 1 removes the sharing overhead from the probe reading,
+        // so the presumed private slowdown cannot exceed the raw one…
+        let est_plain = plain.estimate(&reading).unwrap();
+        let est_m1 = method1.estimate(&reading).unwrap();
+        assert!(est_m1.private_slowdown <= est_plain.private_slowdown + 1e-12);
+        // …and the billed private base is the calibrated (smaller) one.
+        let p_plain = plain.price(&reading, &c).unwrap();
+        let p_m1 = method1.price(&reading, &c).unwrap();
+        let base_plain = p_plain.private / est_plain.r_private();
+        let base_m1 = p_m1.private / est_m1.r_private();
+        assert!(base_m1 < base_plain);
+    }
+
+    #[test]
+    fn default_method_is_table_driven() {
+        assert_eq!(Method::default(), Method::TableDriven);
+    }
+}

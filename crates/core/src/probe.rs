@@ -1,0 +1,199 @@
+use litmus_sim::{
+    ExecutionProfile, MachineSpec, Placement, Simulator, StartupReport,
+};
+use litmus_workloads::Language;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Solo (uncontended) performance of one language's startup routine —
+/// the yardstick every Litmus test compares against.
+///
+/// The provider measures this once per language on an idle machine; the
+/// values are per-instruction so they are robust to partial windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StartupBaseline {
+    /// The probed language.
+    pub language: Language,
+    /// Solo `T_private` cycles per instruction of the startup.
+    pub t_private_pi: f64,
+    /// Solo `T_shared` cycles per instruction of the startup.
+    pub t_shared_pi: f64,
+    /// Solo machine L3 misses per ms while the startup runs alone.
+    pub l3_miss_rate: f64,
+    /// Solo wall-clock duration of the startup in ms.
+    pub wall_ms: f64,
+}
+
+impl StartupBaseline {
+    /// Measures the baseline by running the startup alone on an
+    /// otherwise idle machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Sim`] if the run fails and
+    /// [`CoreError::DegenerateMeasurement`] if the startup retired no
+    /// instructions.
+    pub fn measure(spec: &MachineSpec, language: Language) -> Result<Self> {
+        let mut builder =
+            ExecutionProfile::builder(format!("{}-startup-probe", language.abbr()));
+        for phase in language.startup_phases() {
+            builder = builder.startup_phase(phase);
+        }
+        let profile = builder.build()?;
+        let mut sim = Simulator::new(spec.clone());
+        let id = sim.launch(profile, Placement::pinned(0))?;
+        let report = sim.run_to_completion(id)?;
+        let counters = report.counters;
+        if counters.instructions <= 0.0 {
+            return Err(CoreError::DegenerateMeasurement(
+                "startup retired no instructions",
+            ));
+        }
+        let startup = report
+            .startup
+            .as_ref()
+            .ok_or(CoreError::NoStartup)?;
+        Ok(StartupBaseline {
+            language,
+            t_private_pi: counters.t_private_per_instruction(),
+            t_shared_pi: counters.t_shared_per_instruction(),
+            l3_miss_rate: startup.machine_l3_miss_rate,
+            wall_ms: report.wall_ms(),
+        })
+    }
+
+    /// Measures baselines for all three languages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing [`StartupBaseline::measure`].
+    pub fn measure_all(spec: &MachineSpec) -> Result<Vec<StartupBaseline>> {
+        Language::ALL
+            .iter()
+            .map(|&lang| StartupBaseline::measure(spec, lang))
+            .collect()
+    }
+}
+
+/// The outcome of one Litmus test: how much slower the startup ran than
+/// its solo baseline, split by resource type, plus the machine's L3 miss
+/// traffic during the window (paper Fig. 10's supplementary metric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LitmusReading {
+    /// Language whose startup served as the probe.
+    pub language: Language,
+    /// `T_private`-per-instruction slowdown vs the solo baseline (≥ 0;
+    /// ≈1 on a quiet machine).
+    pub private_slowdown: f64,
+    /// `T_shared`-per-instruction slowdown vs the solo baseline.
+    pub shared_slowdown: f64,
+    /// Total cycles-per-instruction slowdown vs the solo baseline.
+    pub total_slowdown: f64,
+    /// Machine-wide L3 misses per ms observed during the probe window.
+    pub l3_miss_rate: f64,
+}
+
+impl LitmusReading {
+    /// Derives a reading from a function's startup-window report.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::DegenerateMeasurement`] if the baseline or window
+    ///   is empty.
+    pub fn from_startup(
+        baseline: &StartupBaseline,
+        startup: &StartupReport,
+    ) -> Result<Self> {
+        let counters = &startup.counters;
+        if counters.instructions <= 0.0 {
+            return Err(CoreError::DegenerateMeasurement(
+                "probe window retired no instructions",
+            ));
+        }
+        if baseline.t_private_pi <= 0.0 || baseline.t_shared_pi <= 0.0 {
+            return Err(CoreError::DegenerateMeasurement(
+                "startup baseline has empty time components",
+            ));
+        }
+        Ok(LitmusReading {
+            language: baseline.language,
+            private_slowdown: counters.t_private_per_instruction()
+                / baseline.t_private_pi,
+            shared_slowdown: counters.t_shared_per_instruction()
+                / baseline.t_shared_pi,
+            total_slowdown: (counters.cycles / counters.instructions)
+                / (baseline.t_private_pi + baseline.t_shared_pi),
+            l3_miss_rate: startup.machine_l3_miss_rate.max(1.0),
+        })
+    }
+
+    /// Total cycles-per-instruction slowdown of the probe window.
+    pub fn total_slowdown(&self) -> f64 {
+        self.total_slowdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus_sim::PmuCounters;
+
+    fn baseline() -> StartupBaseline {
+        StartupBaseline::measure(&MachineSpec::cascade_lake(), Language::Python)
+            .unwrap()
+    }
+
+    #[test]
+    fn python_baseline_matches_fig6_scale() {
+        let b = baseline();
+        assert!(
+            (15.0..30.0).contains(&b.wall_ms),
+            "python startup ≈19 ms solo, got {}",
+            b.wall_ms
+        );
+        assert!(b.t_private_pi > 0.0);
+        assert!(b.t_shared_pi > 0.0);
+    }
+
+    #[test]
+    fn all_languages_have_baselines() {
+        let all = StartupBaseline::measure_all(&MachineSpec::cascade_lake()).unwrap();
+        assert_eq!(all.len(), 3);
+        // Node.js startup is the longest, Go the shortest (Fig. 6).
+        let by_lang = |l: Language| all.iter().find(|b| b.language == l).unwrap();
+        assert!(by_lang(Language::NodeJs).wall_ms > by_lang(Language::Python).wall_ms);
+        assert!(by_lang(Language::Python).wall_ms > by_lang(Language::Go).wall_ms);
+    }
+
+    #[test]
+    fn quiet_machine_reads_near_unity() {
+        let b = baseline();
+        // Re-run the startup alone: reading must be ≈1 on both axes.
+        let mut sim = Simulator::new(MachineSpec::cascade_lake());
+        let profile = litmus_workloads::suite::by_name("fib-py")
+            .unwrap()
+            .profile();
+        let id = sim.launch(profile, Placement::pinned(0)).unwrap();
+        let report = sim.run_to_completion(id).unwrap();
+        let reading =
+            LitmusReading::from_startup(&b, report.startup.as_ref().unwrap())
+                .unwrap();
+        assert!((reading.private_slowdown - 1.0).abs() < 0.02);
+        assert!((reading.shared_slowdown - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_windows_are_rejected() {
+        let b = baseline();
+        let startup = StartupReport {
+            counters: PmuCounters::default(),
+            wall_ms: 0.0,
+            machine_l3_miss_rate: 0.0,
+        };
+        assert!(matches!(
+            LitmusReading::from_startup(&b, &startup),
+            Err(CoreError::DegenerateMeasurement(_))
+        ));
+    }
+}

@@ -1,0 +1,560 @@
+use std::collections::BTreeMap;
+
+use litmus_sim::{ExecutionReport, MachineSpec, Placement, Simulator};
+use litmus_stats::geometric_mean;
+use litmus_workloads::{suite, BackfillPool, Benchmark, Language, TrafficGenerator};
+
+use crate::error::CoreError;
+use crate::probe::StartupBaseline;
+use crate::Result;
+
+/// One row of a congestion or performance table (paper Fig. 5): the
+/// slowdowns observed at a given generator stress level, plus the
+/// machine L3 miss rate that accompanied them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableRow {
+    /// Generator stress level (number of generator threads).
+    pub level: usize,
+    /// `T_private`-per-instruction slowdown vs solo.
+    pub private_slowdown: f64,
+    /// `T_shared`-per-instruction slowdown vs solo.
+    pub shared_slowdown: f64,
+    /// Total cycles-per-instruction slowdown vs solo (the Fig. 9(c)
+    /// series; also feeds the no-split ablation).
+    pub total_slowdown: f64,
+    /// Machine L3 misses per ms during the measurement.
+    pub l3_miss_rate: f64,
+}
+
+/// Execution environment used while building tables.
+///
+/// * [`CalibrationEnv::Dedicated`] — §7.1 protocol: the measured
+///   function owns a core exclusively.
+/// * [`CalibrationEnv::Shared`] — §7.2 "Method 2" protocol: the measured
+///   function joins a pool of cores time-shared with filler functions
+///   (the paper runs 50 functions across 5 dedicated cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationEnv {
+    /// Measured function pinned alone to core 0.
+    Dedicated,
+    /// Measured function runs in a pool of `cores` cores shared with
+    /// `fillers` backfilled random functions.
+    Shared {
+        /// Number of filler functions kept alive in the pool.
+        fillers: usize,
+        /// Number of cores in the shared pool.
+        cores: usize,
+    },
+}
+
+/// The provider's offline tables: startup-probe slowdowns
+/// (**congestion**, per language) and reference-function slowdowns
+/// (**performance**), each measured under both traffic generators at a
+/// ladder of stress levels — the data structure sketched in paper
+/// Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingTables {
+    spec: MachineSpec,
+    env: CalibrationEnv,
+    baselines: Vec<StartupBaseline>,
+    congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>>,
+    performance: BTreeMap<TrafficGenerator, Vec<TableRow>>,
+}
+
+impl PricingTables {
+    /// Reassembles tables from their parts (the [`crate::persist`]
+    /// decoder; also useful for hand-built tables in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLevels`] if no congestion rows were given.
+    pub fn from_parts(
+        spec: MachineSpec,
+        env: CalibrationEnv,
+        baselines: Vec<StartupBaseline>,
+        congestion_rows: Vec<(Language, TrafficGenerator, TableRow)>,
+        performance_rows: Vec<(TrafficGenerator, TableRow)>,
+    ) -> Result<Self> {
+        if congestion_rows.is_empty() || performance_rows.is_empty() {
+            return Err(CoreError::NoLevels);
+        }
+        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> =
+            BTreeMap::new();
+        for (lang, gen, row) in congestion_rows {
+            congestion.entry((lang, gen)).or_default().push(row);
+        }
+        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> =
+            BTreeMap::new();
+        for (gen, row) in performance_rows {
+            performance.entry(gen).or_default().push(row);
+        }
+        Ok(PricingTables {
+            spec,
+            env,
+            baselines,
+            congestion,
+            performance,
+        })
+    }
+
+    /// The machine the tables were built on.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The calibration environment the tables were built under.
+    pub fn env(&self) -> CalibrationEnv {
+        self.env
+    }
+
+    /// Solo startup baselines per language.
+    pub fn baselines(&self) -> &[StartupBaseline] {
+        &self.baselines
+    }
+
+    /// The solo startup baseline for `language`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingLanguage`] when the language was not
+    /// calibrated.
+    pub fn baseline(&self, language: Language) -> Result<&StartupBaseline> {
+        self.baselines
+            .iter()
+            .find(|b| b.language == language)
+            .ok_or(CoreError::MissingLanguage(language))
+    }
+
+    /// Congestion-table rows for a language/generator pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingLanguage`] when the pair was not
+    /// calibrated.
+    pub fn congestion(
+        &self,
+        language: Language,
+        generator: TrafficGenerator,
+    ) -> Result<&[TableRow]> {
+        self.congestion
+            .get(&(language, generator))
+            .map(Vec::as_slice)
+            .ok_or(CoreError::MissingLanguage(language))
+    }
+
+    /// Performance-table rows (reference-function gmean slowdowns) for a
+    /// generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoLevels`] when the generator has no rows
+    /// (cannot happen for tables produced by [`TableBuilder::build`]).
+    pub fn performance(&self, generator: TrafficGenerator) -> Result<&[TableRow]> {
+        self.performance
+            .get(&generator)
+            .map(Vec::as_slice)
+            .ok_or(CoreError::NoLevels)
+    }
+}
+
+/// Builds [`PricingTables`] by running the paper's offline calibration
+/// protocol on the simulator (§6 steps 1–2).
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::TableBuilder;
+/// use litmus_sim::MachineSpec;
+///
+/// # fn main() -> Result<(), litmus_core::CoreError> {
+/// let tables = TableBuilder::new(MachineSpec::cascade_lake())
+///     .levels([4, 8, 14, 22, 30])
+///     .build()?;
+/// # let _ = tables;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    spec: MachineSpec,
+    levels: Vec<usize>,
+    env: CalibrationEnv,
+    references: Vec<Benchmark>,
+    languages: Vec<Language>,
+    reference_scale: f64,
+    seed: u64,
+}
+
+impl TableBuilder {
+    /// Starts a builder on the given machine with the paper's defaults:
+    /// dedicated-core calibration, the 13 Table-1 reference functions,
+    /// all three languages, and a five-point level ladder.
+    pub fn new(spec: MachineSpec) -> Self {
+        TableBuilder {
+            spec,
+            levels: vec![4, 8, 14, 22, 30],
+            env: CalibrationEnv::Dedicated,
+            references: suite::reference_benchmarks(),
+            languages: Language::ALL.to_vec(),
+            reference_scale: 0.25,
+            seed: 0x11735,
+        }
+    }
+
+    /// Sets the generator stress levels to calibrate at.
+    pub fn levels(mut self, levels: impl IntoIterator<Item = usize>) -> Self {
+        self.levels = levels.into_iter().collect();
+        self
+    }
+
+    /// Sets the calibration environment (Method 2 passes
+    /// [`CalibrationEnv::Shared`]).
+    pub fn env(mut self, env: CalibrationEnv) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Restricts probed languages (the defaults probe all three).
+    pub fn languages(mut self, languages: impl IntoIterator<Item = Language>) -> Self {
+        self.languages = languages.into_iter().collect();
+        self
+    }
+
+    /// Overrides the reference-function set.
+    pub fn references(mut self, references: Vec<Benchmark>) -> Self {
+        self.references = references;
+        self
+    }
+
+    /// Scales reference bodies to shorten calibration runs. Slowdowns
+    /// are per-instruction steady-state ratios, so a scaled body
+    /// measures the same quantity faster; 0.25 is accurate to well
+    /// under a percent, tests use smaller values.
+    pub fn reference_scale(mut self, scale: f64) -> Self {
+        self.reference_scale = scale;
+        self
+    }
+
+    /// Seed for the filler mix in shared calibration environments.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the calibration protocol and assembles the tables.
+    ///
+    /// For every generator and level: spin up `level` generator threads
+    /// on the top cores, then measure (a) each language's startup-probe
+    /// slowdown → congestion rows, and (b) each reference function's
+    /// slowdown → the gmean performance row.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoLevels`] if the level ladder is empty.
+    /// * [`CoreError::LevelTooHigh`] if a level leaves no measurement
+    ///   cores.
+    /// * [`CoreError::Sim`] / [`CoreError::Stats`] on failed runs.
+    pub fn build(&self) -> Result<PricingTables> {
+        if self.levels.is_empty() {
+            return Err(CoreError::NoLevels);
+        }
+        let measurement_cores = match self.env {
+            CalibrationEnv::Dedicated => 1,
+            CalibrationEnv::Shared { cores, .. } => cores,
+        };
+        for &level in &self.levels {
+            if level + measurement_cores > self.spec.cores {
+                return Err(CoreError::LevelTooHigh {
+                    level,
+                    cores: self.spec.cores,
+                });
+            }
+        }
+
+        let baselines: Vec<StartupBaseline> = self
+            .languages
+            .iter()
+            .map(|&lang| StartupBaseline::measure(&self.spec, lang))
+            .collect::<Result<_>>()?;
+
+        // Solo reference baselines (per-instruction components).
+        let mut ref_solo = Vec::new();
+        for bench in &self.references {
+            let profile = bench.profile().scaled(self.reference_scale)?;
+            let mut sim = Simulator::new(self.spec.clone());
+            let id = sim.launch(profile, Placement::pinned(0))?;
+            let report = sim.run_to_completion(id)?;
+            ref_solo.push(report.counters);
+        }
+
+        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> =
+            BTreeMap::new();
+        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> =
+            BTreeMap::new();
+
+        for generator in TrafficGenerator::ALL {
+            for &level in &self.levels {
+                let session =
+                    CalibrationSession::new(self, generator, level, measurement_cores);
+
+                // Congestion rows: one probe per language.
+                for (baseline, &language) in
+                    baselines.iter().zip(self.languages.iter())
+                {
+                    let mut session = session.start(self.seed)?;
+                    let mut builder = litmus_sim::ExecutionProfile::builder(
+                        format!("{}-probe", language.abbr()),
+                    );
+                    for phase in language.startup_phases() {
+                        builder = builder.startup_phase(phase);
+                    }
+                    let report = session.measure(builder.build()?)?;
+                    let counters = report.counters;
+                    let startup =
+                        report.startup.as_ref().ok_or(CoreError::NoStartup)?;
+                    let baseline_total = baseline.t_private_pi + baseline.t_shared_pi;
+                    congestion
+                        .entry((language, generator))
+                        .or_default()
+                        .push(TableRow {
+                            level,
+                            private_slowdown: counters.t_private_per_instruction()
+                                / baseline.t_private_pi,
+                            shared_slowdown: counters.t_shared_per_instruction()
+                                / baseline.t_shared_pi,
+                            total_slowdown: (counters.cycles
+                                / counters.instructions)
+                                / baseline_total,
+                            l3_miss_rate: startup.machine_l3_miss_rate.max(1.0),
+                        });
+                }
+
+                // Performance row: gmean of reference slowdowns.
+                let mut priv_slow = Vec::new();
+                let mut shared_slow = Vec::new();
+                let mut total_slow = Vec::new();
+                let mut l3_rates = Vec::new();
+                for (bench, solo) in self.references.iter().zip(&ref_solo) {
+                    let mut session = session.start(self.seed ^ 0x5eed)?;
+                    let profile = bench.profile().scaled(self.reference_scale)?;
+                    let report = session.measure(profile)?;
+                    let c = report.counters;
+                    priv_slow.push(
+                        c.t_private_per_instruction()
+                            / solo.t_private_per_instruction(),
+                    );
+                    shared_slow.push(
+                        c.t_shared_per_instruction()
+                            / solo.t_shared_per_instruction(),
+                    );
+                    total_slow.push(
+                        (c.cycles / c.instructions)
+                            / (solo.cycles / solo.instructions),
+                    );
+                    if let Some(startup) = report.startup.as_ref() {
+                        l3_rates.push(startup.machine_l3_miss_rate.max(1.0));
+                    }
+                }
+                performance.entry(generator).or_default().push(TableRow {
+                    level,
+                    private_slowdown: geometric_mean(&priv_slow)?,
+                    shared_slowdown: geometric_mean(&shared_slow)?,
+                    total_slowdown: geometric_mean(&total_slow)?,
+                    l3_miss_rate: geometric_mean(&l3_rates)?,
+                });
+            }
+        }
+
+        Ok(PricingTables {
+            spec: self.spec.clone(),
+            env: self.env,
+            baselines,
+            congestion,
+            performance,
+        })
+    }
+}
+
+/// One calibration measurement setup: generators on the top cores, an
+/// optional filler pool, and a measured workload.
+struct CalibrationSession<'a> {
+    builder: &'a TableBuilder,
+    generator: TrafficGenerator,
+    level: usize,
+    measurement_cores: usize,
+}
+
+/// A running calibration session ready to measure one workload.
+struct RunningSession {
+    sim: Simulator,
+    pool: Option<BackfillPool>,
+    placement: Placement,
+}
+
+impl<'a> CalibrationSession<'a> {
+    fn new(
+        builder: &'a TableBuilder,
+        generator: TrafficGenerator,
+        level: usize,
+        measurement_cores: usize,
+    ) -> Self {
+        CalibrationSession {
+            builder,
+            generator,
+            level,
+            measurement_cores,
+        }
+    }
+
+    /// Boots the simulator: generators spinning, fillers warmed up.
+    fn start(&self, seed: u64) -> Result<RunningSession> {
+        let spec = &self.builder.spec;
+        let mut sim = Simulator::new(spec.clone());
+        // Generators occupy the highest cores, far from the pool.
+        for i in 0..self.level {
+            let core = spec.cores - 1 - i;
+            sim.launch(
+                self.generator.thread_profile(1.0e7),
+                Placement::pinned(core),
+            )?;
+        }
+        let (pool, placement) = match self.builder.env {
+            CalibrationEnv::Dedicated => (None, Placement::pinned(0)),
+            CalibrationEnv::Shared { fillers, cores } => {
+                let placement = Placement::pool_range(0, cores);
+                let mut pool =
+                    BackfillPool::new(suite::benchmarks(), seed, placement.clone())
+                        .ok_or(CoreError::DegenerateMeasurement(
+                            "empty filler pool",
+                        ))?;
+                pool.fill(&mut sim, fillers)?;
+                // Warm up so fillers reach steady state.
+                pool.run(&mut sim, 300)?;
+                (Some(pool), placement)
+            }
+        };
+        Ok(RunningSession {
+            sim,
+            pool,
+            placement,
+        })
+    }
+
+    #[allow(dead_code)]
+    fn generator(&self) -> TrafficGenerator {
+        self.generator
+    }
+
+    #[allow(dead_code)]
+    fn level(&self) -> usize {
+        self.level
+    }
+
+    #[allow(dead_code)]
+    fn measurement_cores(&self) -> usize {
+        self.measurement_cores
+    }
+}
+
+impl RunningSession {
+    /// Launches `profile` in the measurement slot and runs it to
+    /// completion, keeping fillers backfilled.
+    fn measure(
+        &mut self,
+        profile: litmus_sim::ExecutionProfile,
+    ) -> Result<ExecutionReport> {
+        let id = self.sim.launch(profile, self.placement.clone())?;
+        match &mut self.pool {
+            None => Ok(self.sim.run_to_completion(id)?),
+            Some(pool) => Ok(pool.run_until(&mut self.sim, id)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tables() -> PricingTables {
+        TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.04)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_levels() {
+        let err = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels(Vec::<usize>::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CoreError::NoLevels);
+    }
+
+    #[test]
+    fn builder_rejects_oversized_levels() {
+        let err = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([32])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::LevelTooHigh { level: 32, .. }));
+    }
+
+    #[test]
+    fn congestion_slowdowns_grow_with_level() {
+        let tables = small_tables();
+        for gen in TrafficGenerator::ALL {
+            let rows = tables.congestion(Language::Python, gen).unwrap();
+            assert_eq!(rows.len(), 3);
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[1].shared_slowdown > pair[0].shared_slowdown,
+                    "{gen:?}: shared slowdown must grow with level"
+                );
+            }
+            // All slowdowns are genuine slowdowns.
+            for row in rows {
+                assert!(row.shared_slowdown > 1.0);
+                assert!(row.private_slowdown > 0.98);
+            }
+        }
+    }
+
+    #[test]
+    fn mb_gen_produces_more_l3_misses_than_ct_gen() {
+        let tables = small_tables();
+        let ct = tables.congestion(Language::Python, TrafficGenerator::CtGen).unwrap();
+        let mb = tables.congestion(Language::Python, TrafficGenerator::MbGen).unwrap();
+        for (c, m) in ct.iter().zip(mb) {
+            assert!(
+                m.l3_miss_rate > c.l3_miss_rate * 3.0,
+                "MB must dwarf CT L3 misses at level {}",
+                c.level
+            );
+        }
+    }
+
+    #[test]
+    fn performance_rows_track_congestion_rows() {
+        let tables = small_tables();
+        for gen in TrafficGenerator::ALL {
+            let perf = tables.performance(gen).unwrap();
+            assert_eq!(perf.len(), 3);
+            for pair in perf.windows(2) {
+                assert!(pair[1].shared_slowdown >= pair[0].shared_slowdown * 0.98);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_language_is_reported() {
+        let tables = small_tables();
+        assert!(matches!(
+            tables.congestion(Language::Go, TrafficGenerator::CtGen),
+            Err(CoreError::MissingLanguage(Language::Go))
+        ));
+        assert!(tables.baseline(Language::Python).is_ok());
+        assert!(tables.baseline(Language::NodeJs).is_err());
+    }
+}

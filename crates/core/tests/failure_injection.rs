@@ -1,0 +1,190 @@
+//! Failure injection: degenerate calibrations, hostile readings and
+//! mid-transition probes must degrade gracefully, never panic, and
+//! never produce a price outside the [0, commercial] envelope.
+
+use litmus_core::{
+    CalibrationEnv, CommercialPricing, CoreError, DiscountModel, LitmusPricing,
+    LitmusReading, PricingTables, StartupBaseline, TableBuilder, TableRow,
+};
+use litmus_sim::{MachineSpec, Placement, PmuCounters, Simulator};
+use litmus_workloads::{suite, Language, TrafficGenerator};
+
+fn counters() -> PmuCounters {
+    PmuCounters {
+        cycles: 1.0e8,
+        instructions: 8.0e7,
+        stall_l2_cycles: 2.5e7,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn single_level_ladder_cannot_fit_a_model() {
+    // One table row → regression needs ≥ 2 points → a clean error, not
+    // a bogus model.
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([14])
+        .languages([Language::Python])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        DiscountModel::fit(&tables),
+        Err(CoreError::Stats(_))
+    ));
+}
+
+#[test]
+fn empty_parts_are_rejected() {
+    let baseline = StartupBaseline {
+        language: Language::Python,
+        t_private_pi: 0.8,
+        t_shared_pi: 0.4,
+        l3_miss_rate: 100.0,
+        wall_ms: 19.0,
+    };
+    assert!(matches!(
+        PricingTables::from_parts(
+            MachineSpec::cascade_lake(),
+            CalibrationEnv::Dedicated,
+            vec![baseline],
+            Vec::new(),
+            Vec::new(),
+        ),
+        Err(CoreError::NoLevels)
+    ));
+}
+
+#[test]
+fn constant_tables_fail_fitting_not_pricing() {
+    // A broken calibration that measured the same slowdown at every
+    // level: the x-axis is constant, the regression must refuse.
+    let baseline = StartupBaseline {
+        language: Language::Python,
+        t_private_pi: 0.8,
+        t_shared_pi: 0.4,
+        l3_miss_rate: 100.0,
+        wall_ms: 19.0,
+    };
+    let row = |level| TableRow {
+        level,
+        private_slowdown: 1.02,
+        shared_slowdown: 1.40,
+        total_slowdown: 1.20,
+        l3_miss_rate: 5000.0,
+    };
+    let mut congestion = Vec::new();
+    let mut performance = Vec::new();
+    for level in [4usize, 12, 20] {
+        for gen in TrafficGenerator::ALL {
+            congestion.push((Language::Python, gen, row(level)));
+            performance.push((gen, row(level)));
+        }
+    }
+    let tables = PricingTables::from_parts(
+        MachineSpec::cascade_lake(),
+        CalibrationEnv::Dedicated,
+        vec![baseline],
+        congestion,
+        performance,
+    )
+    .unwrap();
+    assert!(matches!(
+        DiscountModel::fit(&tables),
+        Err(CoreError::Stats(_))
+    ));
+}
+
+#[test]
+fn hostile_readings_stay_inside_the_price_envelope() {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .languages([Language::Python])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+    let commercial = CommercialPricing::new().price(&counters());
+
+    for (private, shared, l3) in [
+        (1.0e-6, 1.0e-6, 1.0),     // absurdly fast probe
+        (1.0e6, 1.0e6, 1.0e15),    // absurdly slow probe
+        (1.0, 1.0, 1.0),           // quiet machine, tiny L3 traffic
+        (0.5, 8.0, 1.0e3),         // inconsistent components
+    ] {
+        let reading = LitmusReading {
+            language: Language::Python,
+            private_slowdown: private,
+            shared_slowdown: shared,
+            total_slowdown: 0.5 * (private + shared),
+            l3_miss_rate: l3,
+        };
+        let price = pricing
+            .price(&reading, &counters())
+            .expect("hostile readings must not error");
+        assert!(price.total() > 0.0, "({private},{shared},{l3})");
+        assert!(
+            price.total() <= commercial.total() * (1.0 + 1e-9),
+            "({private},{shared},{l3}): {} vs {}",
+            price.total(),
+            commercial.total()
+        );
+    }
+}
+
+#[test]
+fn probe_during_congestion_transition_is_bounded() {
+    // A function launches exactly as a heavy generator burst starts and
+    // ends mid-startup: the probe sees a half-congested machine. The
+    // resulting price must still land between ideal-quiet and
+    // commercial.
+    let spec = MachineSpec::cascade_lake();
+    let tables = TableBuilder::new(spec.clone())
+        .levels([6, 14, 24])
+        .languages([Language::Python])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+    let baseline = *tables.baseline(Language::Python).unwrap();
+
+    let mut sim = Simulator::new(spec);
+    // A burst that dies ~10 ms into the probe's ~19 ms startup.
+    for core in 8..24 {
+        sim.launch(
+            TrafficGenerator::MbGen.thread_profile(10.0),
+            Placement::pinned(core),
+        )
+        .unwrap();
+    }
+    let profile = suite::by_name("aes-py").unwrap().profile().scaled(0.05).unwrap();
+    let id = sim.launch(profile, Placement::pinned(0)).unwrap();
+    let report = sim.run_to_completion(id).unwrap();
+    let reading = LitmusReading::from_startup(
+        &baseline,
+        report.startup.as_ref().unwrap(),
+    )
+    .unwrap();
+    // The reading reflects *partial* congestion.
+    assert!(reading.shared_slowdown > 1.0);
+
+    let price = pricing.price(&reading, &report.counters).unwrap();
+    let commercial = CommercialPricing::new().price(&report.counters);
+    assert!(price.total() <= commercial.total());
+    assert!(price.total() > commercial.total() * 0.5);
+}
+
+#[test]
+fn persist_rejects_truncated_files() {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14])
+        .languages([Language::Python])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    let text = litmus_core::persist::encode(&tables);
+    // Drop everything after the header: must fail with a parse error,
+    // not produce an empty-but-usable table set.
+    let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+    assert!(litmus_core::persist::decode(MachineSpec::cascade_lake(), &truncated).is_err());
+}

@@ -1,0 +1,182 @@
+//! Property-based tests on pricing invariants.
+
+use litmus_core::{
+    persist, CalibrationEnv, CommercialPricing, DiscountModel, LitmusPricing,
+    LitmusReading, PricingTables, StartupBaseline, TableRow,
+};
+use litmus_sim::{MachineSpec, PmuCounters};
+use litmus_workloads::{Language, TrafficGenerator};
+use proptest::prelude::*;
+
+/// Hand-built monotone tables (no simulation) so properties explore the
+/// numeric space broadly and quickly.
+fn synthetic_tables(
+    priv_gain: f64,
+    shared_gain: f64,
+    l3_scale: f64,
+) -> PricingTables {
+    let baselines = vec![StartupBaseline {
+        language: Language::Python,
+        t_private_pi: 0.8,
+        t_shared_pi: 0.4,
+        l3_miss_rate: 400.0,
+        wall_ms: 19.0,
+    }];
+    let mut congestion = Vec::new();
+    let mut performance = Vec::new();
+    for (i, level) in [4usize, 10, 16, 22, 28].into_iter().enumerate() {
+        let t = (i + 1) as f64;
+        for (gen, gen_mult, l3_mult) in [
+            (TrafficGenerator::CtGen, 1.0, 1.0),
+            (TrafficGenerator::MbGen, 1.6, 12.0),
+        ] {
+            let row = TableRow {
+                level,
+                private_slowdown: 1.0 + 0.01 * priv_gain * t * gen_mult,
+                shared_slowdown: 1.0 + 0.12 * shared_gain * t * gen_mult,
+                total_slowdown: 1.0 + 0.05 * shared_gain * t * gen_mult,
+                l3_miss_rate: l3_scale * l3_mult * (1.0 + t).powi(2) * 100.0,
+            };
+            congestion.push((Language::Python, gen, row));
+            performance.push((gen, row));
+        }
+    }
+    PricingTables::from_parts(
+        MachineSpec::cascade_lake(),
+        CalibrationEnv::Dedicated,
+        baselines,
+        congestion,
+        performance,
+    )
+    .expect("synthetic tables are well-formed")
+}
+
+fn reading(private: f64, shared: f64, l3: f64) -> LitmusReading {
+    LitmusReading {
+        language: Language::Python,
+        private_slowdown: private,
+        shared_slowdown: shared,
+        total_slowdown: 0.5 * private + 0.5 * shared,
+        l3_miss_rate: l3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Litmus never charges more than commercial and never pays the
+    /// tenant, for any reading and any execution shape.
+    #[test]
+    fn litmus_price_is_bounded(
+        private in 0.9f64..3.0,
+        shared in 0.9f64..6.0,
+        l3 in 100.0f64..1.0e7,
+        t_priv in 1.0e5f64..1.0e9,
+        t_shared in 0.0f64..5.0e8,
+    ) {
+        let tables = synthetic_tables(1.0, 1.0, 1.0);
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let counters = PmuCounters {
+            cycles: t_priv + t_shared,
+            instructions: (t_priv + t_shared) / 1.1,
+            stall_l2_cycles: t_shared,
+            ..Default::default()
+        };
+        let litmus = pricing.price(&reading(private, shared, l3), &counters).unwrap();
+        let commercial = CommercialPricing::new().price(&counters);
+        prop_assert!(litmus.total() > 0.0);
+        prop_assert!(litmus.total() <= commercial.total() * (1.0 + 1e-9));
+        prop_assert!(litmus.private >= 0.0);
+        prop_assert!(litmus.shared >= 0.0);
+    }
+
+    /// A heavier probe reading never *raises* the price of the same
+    /// execution (discounts are monotone in observed congestion).
+    #[test]
+    fn discounts_are_monotone_in_congestion(
+        shared_lo in 1.0f64..2.5,
+        bump in 1.01f64..2.0,
+        l3 in 500.0f64..1.0e6,
+    ) {
+        let tables = synthetic_tables(1.0, 1.0, 1.0);
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let counters = PmuCounters {
+            cycles: 1.0e8,
+            instructions: 9.0e7,
+            stall_l2_cycles: 2.0e7,
+            ..Default::default()
+        };
+        let shared_hi = shared_lo * bump;
+        let lo = pricing
+            .price(&reading(1.02, shared_lo, l3), &counters)
+            .unwrap();
+        let hi = pricing
+            .price(&reading(1.02, shared_hi, l3), &counters)
+            .unwrap();
+        prop_assert!(
+            hi.shared <= lo.shared * (1.0 + 1e-9),
+            "heavier congestion must not raise the shared charge"
+        );
+    }
+
+    /// The interpolation weight is always in [0, 1] and the estimate
+    /// always lands between the two generators' individual estimates.
+    #[test]
+    fn estimate_stays_in_generator_bracket(
+        private in 0.9f64..3.0,
+        shared in 0.9f64..5.0,
+        l3 in 10.0f64..1.0e8,
+    ) {
+        let tables = synthetic_tables(1.0, 1.0, 1.0);
+        let model = DiscountModel::fit(&tables).unwrap();
+        let r = reading(private, shared, l3);
+        let est = model.estimate(&r).unwrap();
+        prop_assert!((0.0..=1.0).contains(&est.weight));
+        let ct = model.estimate_weighted(&r, Some(0.0)).unwrap();
+        let mb = model.estimate_weighted(&r, Some(1.0)).unwrap();
+        let lo = ct.shared_slowdown.min(mb.shared_slowdown);
+        let hi = ct.shared_slowdown.max(mb.shared_slowdown);
+        prop_assert!(est.shared_slowdown >= lo - 1e-9);
+        prop_assert!(est.shared_slowdown <= hi + 1e-9);
+    }
+
+    /// Persistence round-trips arbitrary synthetic tables exactly.
+    #[test]
+    fn persist_round_trips(
+        priv_gain in 0.2f64..3.0,
+        shared_gain in 0.2f64..3.0,
+        l3_scale in 0.1f64..100.0,
+    ) {
+        let tables = synthetic_tables(priv_gain, shared_gain, l3_scale);
+        let text = persist::encode(&tables);
+        let restored =
+            persist::decode(MachineSpec::cascade_lake(), &text).unwrap();
+        prop_assert_eq!(tables, restored);
+    }
+
+    /// Estimates are clamped: never below 1 (no surcharge pretext) and
+    /// never above the sanity ceiling.
+    #[test]
+    fn estimates_are_clamped(
+        private in 0.0f64..100.0,
+        shared in 0.0f64..100.0,
+        l3 in 1.0f64..1.0e12,
+    ) {
+        let tables = synthetic_tables(1.0, 1.0, 1.0);
+        let model = DiscountModel::fit(&tables).unwrap();
+        let r = LitmusReading {
+            language: Language::Python,
+            private_slowdown: private.max(1e-3),
+            shared_slowdown: shared.max(1e-3),
+            total_slowdown: (0.5 * private + 0.5 * shared).max(1e-3),
+            l3_miss_rate: l3,
+        };
+        let est = model.estimate(&r).unwrap();
+        prop_assert!(est.private_slowdown >= 1.0);
+        prop_assert!(est.shared_slowdown >= 1.0);
+        prop_assert!(est.private_slowdown <= 20.0);
+        prop_assert!(est.shared_slowdown <= 20.0);
+        prop_assert!(est.r_private() <= 1.0 && est.r_private() > 0.0);
+        prop_assert!(est.r_shared() <= 1.0 && est.r_shared() > 0.0);
+    }
+}

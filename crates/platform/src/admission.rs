@@ -1,0 +1,199 @@
+use litmus_sim::ExecutionProfile;
+
+use crate::harness::CoRunHarness;
+use crate::monitor::CongestionMonitor;
+use crate::Result;
+
+/// Outcome of an admission decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionDecision {
+    /// The machine is calm enough: the function was launched and ran to
+    /// completion; its execution report is attached.
+    Admitted {
+        /// Congestion level observed by the pre-launch probe.
+        level: f64,
+        /// Execution report of the admitted function.
+        report: Box<litmus_sim::ExecutionReport>,
+    },
+    /// The machine was too congested; the function was not launched.
+    Deferred {
+        /// Congestion level observed by the pre-launch probe.
+        level: f64,
+    },
+}
+
+impl AdmissionDecision {
+    /// Whether the function was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admitted { .. })
+    }
+
+    /// The probe level behind the decision.
+    pub fn level(&self) -> f64 {
+        match self {
+            AdmissionDecision::Admitted { level, .. } => *level,
+            AdmissionDecision::Deferred { level } => *level,
+        }
+    }
+}
+
+/// Congestion-aware admission control — the scheduling use of Litmus
+/// tests the paper sketches in §5.1: congestion readings tell the
+/// provider how much headroom a machine has, so new work can be
+/// deferred (to another machine, or in time) when the reading is hot.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{DiscountModel, TableBuilder};
+/// use litmus_platform::{AdmissionController, CongestionMonitor};
+/// use litmus_sim::MachineSpec;
+/// use litmus_workloads::Language;
+///
+/// # fn main() -> Result<(), litmus_platform::PlatformError> {
+/// let tables = TableBuilder::new(MachineSpec::cascade_lake()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// let monitor = CongestionMonitor::new(&tables, model, Language::Python)?;
+/// let controller = AdmissionController::new(monitor, 14.0);
+/// # let _ = controller;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    monitor: CongestionMonitor,
+    max_level: f64,
+    admitted: usize,
+    deferred: usize,
+}
+
+impl AdmissionController {
+    /// Creates a controller that admits work while the probed
+    /// congestion level stays at or below `max_level` (in congestion-
+    /// table level units, i.e. equivalent generator threads).
+    pub fn new(monitor: CongestionMonitor, max_level: f64) -> Self {
+        AdmissionController {
+            monitor,
+            max_level,
+            admitted: 0,
+            deferred: 0,
+        }
+    }
+
+    /// The admission threshold.
+    pub fn max_level(&self) -> f64 {
+        self.max_level
+    }
+
+    /// Functions admitted so far.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Functions deferred so far.
+    pub fn deferred(&self) -> usize {
+        self.deferred
+    }
+
+    /// Probes the machine and, if calm enough, runs `profile` in the
+    /// harness's measurement slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and execution failures.
+    pub fn try_admit(
+        &mut self,
+        harness: &mut CoRunHarness,
+        profile: ExecutionProfile,
+    ) -> Result<AdmissionDecision> {
+        let sample = self.monitor.sample(harness)?;
+        if sample.level <= self.max_level {
+            let report = harness.measure(profile)?;
+            self.admitted += 1;
+            Ok(AdmissionDecision::Admitted {
+                level: sample.level,
+                report: Box::new(report),
+            })
+        } else {
+            self.deferred += 1;
+            Ok(AdmissionDecision::Deferred {
+                level: sample.level,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{CoRunEnv, CoRunHarness, HarnessConfig};
+    use litmus_core::{DiscountModel, TableBuilder};
+    use litmus_sim::MachineSpec;
+    use litmus_workloads::{suite, Language};
+
+    fn controller(max_level: f64) -> AdmissionController {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let model = DiscountModel::fit(&tables).unwrap();
+        let monitor =
+            CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+        AdmissionController::new(monitor, max_level)
+    }
+
+    fn harness(co_runners: usize) -> CoRunHarness {
+        CoRunHarness::start(
+            HarnessConfig::new(MachineSpec::cascade_lake())
+                .env(CoRunEnv::OnePerCore { co_runners })
+                .mix_scale(0.05)
+                .warmup_ms(50),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn calm_machines_admit() {
+        let mut controller = controller(26.0);
+        let mut harness = harness(3);
+        let profile = suite::by_name("auth-py")
+            .unwrap()
+            .profile()
+            .scaled(0.05)
+            .unwrap();
+        let decision = controller.try_admit(&mut harness, profile).unwrap();
+        assert!(decision.is_admitted(), "level {}", decision.level());
+        assert_eq!(controller.admitted(), 1);
+        assert_eq!(controller.deferred(), 0);
+    }
+
+    #[test]
+    fn hot_machines_defer() {
+        // Threshold below any realistic reading on a busy machine.
+        let mut controller = controller(5.0);
+        let mut harness = harness(25);
+        let profile = suite::by_name("auth-py")
+            .unwrap()
+            .profile()
+            .scaled(0.05)
+            .unwrap();
+        let decision = controller.try_admit(&mut harness, profile).unwrap();
+        assert!(!decision.is_admitted(), "level {}", decision.level());
+        assert_eq!(controller.deferred(), 1);
+        assert_eq!(controller.max_level(), 5.0);
+    }
+
+    #[test]
+    fn decisions_expose_their_levels() {
+        let mut controller = controller(26.0);
+        let mut harness = harness(10);
+        let profile = suite::by_name("fib-py")
+            .unwrap()
+            .profile()
+            .scaled(0.05)
+            .unwrap();
+        let decision = controller.try_admit(&mut harness, profile).unwrap();
+        assert!(decision.level() >= 6.0 - 1e-9, "clamped to table range");
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use litmus_core::CoreError;
+use litmus_sim::SimError;
+
+/// Errors produced by the platform layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A pricing-core operation failed.
+    Core(CoreError),
+    /// A simulation operation failed.
+    Sim(SimError),
+    /// The experiment was configured without test functions.
+    NoTestFunctions,
+    /// The experiment was configured with zero repetitions.
+    NoReps,
+    /// The co-run environment does not fit on the machine.
+    EnvTooLarge {
+        /// Cores the environment needs.
+        needed: usize,
+        /// Cores the machine has.
+        cores: usize,
+    },
+    /// The workload mix pool was empty.
+    EmptyMix,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Core(e) => write!(f, "pricing error: {e}"),
+            PlatformError::Sim(e) => write!(f, "simulation error: {e}"),
+            PlatformError::NoTestFunctions => {
+                write!(f, "experiment has no test functions")
+            }
+            PlatformError::NoReps => write!(f, "experiment has zero repetitions"),
+            PlatformError::EnvTooLarge { needed, cores } => write!(
+                f,
+                "co-run environment needs {needed} cores, machine has {cores}"
+            ),
+            PlatformError::EmptyMix => write!(f, "workload mix pool is empty"),
+        }
+    }
+}
+
+impl Error for PlatformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlatformError::Core(e) => Some(e),
+            PlatformError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for PlatformError {
+    fn from(e: CoreError) -> Self {
+        PlatformError::Core(e)
+    }
+}
+
+impl From<SimError> for PlatformError {
+    fn from(e: SimError) -> Self {
+        PlatformError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: PlatformError = SimError::EmptyProfile.into();
+        assert!(e.source().is_some());
+        let e = PlatformError::EnvTooLarge {
+            needed: 33,
+            cores: 32,
+        };
+        assert!(e.to_string().contains("33"));
+    }
+}

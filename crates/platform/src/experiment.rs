@@ -1,0 +1,317 @@
+use litmus_core::{
+    CommercialPricing, IdealPricing, Invoice, LitmusPricing, LitmusReading,
+    PricingTables,
+};
+use litmus_sim::{Placement, PmuCounters, Simulator};
+use litmus_stats::geometric_mean;
+use litmus_workloads::Benchmark;
+
+use crate::error::PlatformError;
+use crate::harness::{CoRunHarness, HarnessConfig};
+use crate::Result;
+
+/// The paper's evaluation loop (§7): run tenant functions repeatedly in
+/// a congested environment, Litmus-test each invocation, and compare the
+/// three prices.
+///
+/// Each function is executed `reps` times; its `T_private`, `T_shared`
+/// and probe readings are averaged before pricing, exactly as §7.1
+/// describes ("each function is executed 30 times, and we average its
+/// T_private and T_shared values").
+#[derive(Debug, Clone)]
+pub struct PricingExperiment {
+    config: HarnessConfig,
+    reps: usize,
+    test_scale: f64,
+}
+
+impl PricingExperiment {
+    /// Creates an experiment over a harness configuration with the
+    /// paper's 30 repetitions.
+    pub fn new(config: HarnessConfig) -> Self {
+        PricingExperiment {
+            config,
+            reps: 30,
+            test_scale: 1.0,
+        }
+    }
+
+    /// Sets the repetition count.
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Scales test-function bodies (for fast tests; per-instruction
+    /// metrics are scale-invariant).
+    pub fn test_scale(mut self, scale: f64) -> Self {
+        self.test_scale = scale;
+        self
+    }
+
+    /// The harness configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.config
+    }
+
+    /// Runs the experiment: one invoice per test function.
+    ///
+    /// `tables` supplies the per-language startup baselines for reading
+    /// probes; `pricing` is the Litmus engine under evaluation.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::NoTestFunctions`] / [`PlatformError::NoReps`]
+    ///   on empty configuration.
+    /// * Propagated harness, probe and pricing failures.
+    pub fn run(
+        &self,
+        pricing: &LitmusPricing,
+        tables: &PricingTables,
+        tests: &[Benchmark],
+    ) -> Result<ExperimentResults> {
+        if tests.is_empty() {
+            return Err(PlatformError::NoTestFunctions);
+        }
+        if self.reps == 0 {
+            return Err(PlatformError::NoReps);
+        }
+
+        let mut harness = CoRunHarness::start(self.config.clone())?;
+        let mut invoices = Vec::with_capacity(tests.len());
+        for bench in tests {
+            let profile = bench.profile().scaled(self.test_scale)?;
+
+            // Solo oracle baseline on an idle machine.
+            let mut solo_sim = Simulator::new(self.config.spec.clone());
+            let id = solo_sim.launch(profile.clone(), Placement::pinned(0))?;
+            let solo = solo_sim.run_to_completion(id)?.counters;
+
+            // Congested repetitions: average counters and probe readings.
+            let baseline = tables.baseline(bench.language())?;
+            let mut counter_sum = PmuCounters::default();
+            let mut reading_sum = (0.0, 0.0, 0.0, 0.0);
+            for _ in 0..self.reps {
+                let report = harness.measure(profile.clone())?;
+                counter_sum += report.counters;
+                let startup = report
+                    .startup
+                    .as_ref()
+                    .ok_or(litmus_core::CoreError::NoStartup)?;
+                let reading = LitmusReading::from_startup(baseline, startup)?;
+                reading_sum.0 += reading.private_slowdown;
+                reading_sum.1 += reading.shared_slowdown;
+                reading_sum.2 += reading.total_slowdown;
+                reading_sum.3 += reading.l3_miss_rate;
+            }
+            let n = self.reps as f64;
+            let avg_counters = PmuCounters {
+                cycles: counter_sum.cycles / n,
+                instructions: counter_sum.instructions / n,
+                stall_l2_cycles: counter_sum.stall_l2_cycles / n,
+                l2_misses: counter_sum.l2_misses / n,
+                l3_misses: counter_sum.l3_misses / n,
+                context_switches: counter_sum.context_switches / n,
+            };
+            let avg_reading = LitmusReading {
+                language: bench.language(),
+                private_slowdown: reading_sum.0 / n,
+                shared_slowdown: reading_sum.1 / n,
+                total_slowdown: reading_sum.2 / n,
+                l3_miss_rate: reading_sum.3 / n,
+            };
+
+            let commercial = CommercialPricing::new().price(&avg_counters);
+            let litmus = pricing.price(&avg_reading, &avg_counters)?;
+            let ideal = IdealPricing::new().price(&avg_counters, &solo);
+            invoices.push(Invoice {
+                function: bench.name().to_owned(),
+                counters: avg_counters,
+                commercial,
+                litmus,
+                ideal,
+            });
+        }
+        Ok(ExperimentResults { invoices })
+    }
+}
+
+/// Outcome of a [`PricingExperiment`]: per-function invoices plus the
+/// aggregates the paper quotes under every figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResults {
+    invoices: Vec<Invoice>,
+}
+
+impl ExperimentResults {
+    /// Builds results from raw invoices (used by custom experiment
+    /// drivers in the bench harness).
+    pub fn from_invoices(invoices: Vec<Invoice>) -> Self {
+        ExperimentResults { invoices }
+    }
+
+    /// Per-function invoices, in test-function order.
+    pub fn invoices(&self) -> &[Invoice] {
+        &self.invoices
+    }
+
+    /// The invoice for a specific function, if present.
+    pub fn invoice(&self, function: &str) -> Option<&Invoice> {
+        self.invoices.iter().find(|i| i.function == function)
+    }
+
+    /// Geometric mean of Litmus prices normalised to commercial (the
+    /// "gmean" bar of Figs. 11/15–21).
+    pub fn gmean_litmus_price(&self) -> f64 {
+        geometric_mean(
+            &self
+                .invoices
+                .iter()
+                .map(Invoice::litmus_normalized)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(1.0)
+    }
+
+    /// Geometric mean of ideal prices normalised to commercial.
+    pub fn gmean_ideal_price(&self) -> f64 {
+        geometric_mean(
+            &self
+                .invoices
+                .iter()
+                .map(Invoice::ideal_normalized)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap_or(1.0)
+    }
+
+    /// Average Litmus discount (1 − gmean normalised price).
+    pub fn mean_litmus_discount(&self) -> f64 {
+        1.0 - self.gmean_litmus_price()
+    }
+
+    /// Average ideal discount.
+    pub fn mean_ideal_discount(&self) -> f64 {
+        1.0 - self.gmean_ideal_price()
+    }
+
+    /// Gap between Litmus and ideal average discounts — the headline
+    /// number the paper reports per configuration (0.2%–2.9%).
+    pub fn discount_gap(&self) -> f64 {
+        (self.mean_litmus_discount() - self.mean_ideal_discount()).abs()
+    }
+
+    /// Geometric mean of absolute total price errors vs ideal (the
+    /// "abs geomean" bar of Fig. 12).
+    pub fn abs_gmean_error(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .invoices
+            .iter()
+            .map(|i| i.total_error().abs().max(1e-6))
+            .collect();
+        geometric_mean(&errs).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::CoRunEnv;
+    use litmus_core::{DiscountModel, TableBuilder};
+    use litmus_sim::MachineSpec;
+    use litmus_workloads::{suite, Language};
+
+    fn tiny_experiment() -> (LitmusPricing, PricingTables, PricingExperiment) {
+        let spec = MachineSpec::cascade_lake();
+        let tables = TableBuilder::new(spec.clone())
+            .levels([6, 14, 24])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let config = HarnessConfig::new(spec)
+            .env(CoRunEnv::OnePerCore { co_runners: 12 })
+            .mix_scale(0.05)
+            .warmup_ms(100);
+        let experiment = PricingExperiment::new(config).reps(2).test_scale(0.05);
+        (pricing, tables, experiment)
+    }
+
+    #[test]
+    fn experiment_produces_discounted_invoices() {
+        let (pricing, tables, experiment) = tiny_experiment();
+        let tests: Vec<_> = ["aes-py", "pager-py", "float-py", "geo-go"]
+            .iter()
+            .map(|n| suite::by_name(n).unwrap())
+            .collect();
+        let results = experiment.run(&pricing, &tables, &tests).unwrap();
+        assert_eq!(results.invoices().len(), 4);
+        for invoice in results.invoices() {
+            assert!(
+                invoice.litmus_normalized() < 1.0,
+                "{}: litmus must discount, got {}",
+                invoice.function,
+                invoice.litmus_normalized()
+            );
+            assert!(
+                invoice.ideal_normalized() < 1.0,
+                "{}: congestion must slow functions down",
+                invoice.function
+            );
+        }
+        // Litmus tracks ideal within a few points at this scale.
+        assert!(
+            results.discount_gap() < 0.08,
+            "gap {} too wide",
+            results.discount_gap()
+        );
+        assert!(results.mean_litmus_discount() > 0.0);
+    }
+
+    #[test]
+    fn empty_tests_and_reps_are_rejected() {
+        let (pricing, tables, experiment) = tiny_experiment();
+        assert!(matches!(
+            experiment.run(&pricing, &tables, &[]),
+            Err(PlatformError::NoTestFunctions)
+        ));
+        let zero_reps = experiment.clone().reps(0);
+        let tests = vec![suite::by_name("aes-py").unwrap()];
+        assert!(matches!(
+            zero_reps.run(&pricing, &tables, &tests),
+            Err(PlatformError::NoReps)
+        ));
+    }
+
+    #[test]
+    fn missing_language_baseline_surfaces() {
+        let spec = MachineSpec::cascade_lake();
+        let tables = TableBuilder::new(spec.clone())
+            .levels([6, 14])
+            .languages([Language::Python])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let config = HarnessConfig::new(spec)
+            .env(CoRunEnv::OnePerCore { co_runners: 4 })
+            .mix_scale(0.05)
+            .warmup_ms(50);
+        let experiment = PricingExperiment::new(config).reps(1).test_scale(0.05);
+        let tests = vec![suite::by_name("geo-go").unwrap()];
+        assert!(experiment.run(&pricing, &tables, &tests).is_err());
+    }
+
+    #[test]
+    fn results_helpers() {
+        let (pricing, tables, experiment) = tiny_experiment();
+        let tests = vec![suite::by_name("aes-py").unwrap()];
+        let results = experiment.run(&pricing, &tables, &tests).unwrap();
+        assert!(results.invoice("aes-py").is_some());
+        assert!(results.invoice("nope").is_none());
+        assert!(results.abs_gmean_error() >= 0.0);
+        let rebuilt =
+            ExperimentResults::from_invoices(results.invoices().to_vec());
+        assert_eq!(rebuilt, results);
+    }
+}

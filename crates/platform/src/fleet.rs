@@ -1,0 +1,221 @@
+use litmus_sim::ExecutionProfile;
+
+use crate::error::PlatformError;
+use crate::harness::{CoRunHarness, HarnessConfig};
+use crate::monitor::{CongestionMonitor, CongestionSample};
+use crate::Result;
+
+/// A fleet of simulated machines balanced by Litmus probes.
+///
+/// Paper §5.1 notes that congestion readings "assist providers in
+/// estimating remaining resources and making informed decisions
+/// regarding job scheduling". At fleet scale that means: probe every
+/// candidate machine with the (already free) startup Litmus test and
+/// dispatch the invocation to the calmest one.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_core::{DiscountModel, TableBuilder};
+/// use litmus_platform::{CongestionMonitor, Fleet, HarnessConfig};
+/// use litmus_sim::MachineSpec;
+/// use litmus_workloads::Language;
+///
+/// # fn main() -> Result<(), litmus_platform::PlatformError> {
+/// let spec = MachineSpec::cascade_lake();
+/// let tables = TableBuilder::new(spec.clone()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// let monitor = CongestionMonitor::new(&tables, model, Language::Python)?;
+/// let configs = vec![HarnessConfig::new(spec.clone()), HarnessConfig::new(spec)];
+/// let fleet = Fleet::start(configs, monitor)?;
+/// assert_eq!(fleet.len(), 2);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Fleet {
+    machines: Vec<CoRunHarness>,
+    monitor: CongestionMonitor,
+    dispatched: Vec<usize>,
+}
+
+impl Fleet {
+    /// Boots one machine per configuration (configurations may differ —
+    /// heterogeneous load, different mixes, different seeds).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::EmptyMix`] for an empty `configs` list.
+    /// * Propagated per-machine harness failures.
+    pub fn start(
+        configs: Vec<HarnessConfig>,
+        monitor: CongestionMonitor,
+    ) -> Result<Self> {
+        if configs.is_empty() {
+            return Err(PlatformError::EmptyMix);
+        }
+        let machines = configs
+            .into_iter()
+            .map(CoRunHarness::start)
+            .collect::<Result<Vec<_>>>()?;
+        let dispatched = vec![0; machines.len()];
+        Ok(Fleet {
+            machines,
+            monitor,
+            dispatched,
+        })
+    }
+
+    /// Number of machines in the fleet.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the fleet has no machines (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// How many invocations each machine has received.
+    pub fn dispatch_counts(&self) -> &[usize] {
+        &self.dispatched
+    }
+
+    /// A machine's harness, for inspection.
+    pub fn machine(&self, idx: usize) -> Option<&CoRunHarness> {
+        self.machines.get(idx)
+    }
+
+    /// Probes every machine and returns the per-machine samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing probe.
+    pub fn probe_all(&mut self) -> Result<Vec<CongestionSample>> {
+        self.machines
+            .iter_mut()
+            .map(|m| self.monitor.sample(m))
+            .collect()
+    }
+
+    /// Index of the machine with the lowest probed congestion level.
+    ///
+    /// Each machine is probed twice and the two levels averaged: a
+    /// single probe can land inside a transient burst (a co-runner's
+    /// own startup, a churn spike — the fast-changing states of paper
+    /// Fig. 7), and one extra probe halves that noise at negligible
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe failures.
+    pub fn least_congested(&mut self) -> Result<usize> {
+        let first = self.probe_all()?;
+        let second = self.probe_all()?;
+        Ok(first
+            .iter()
+            .zip(&second)
+            .map(|(a, b)| (a.level + b.level) / 2.0)
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("levels are finite"))
+            .map(|(idx, _)| idx)
+            .expect("fleet is non-empty"))
+    }
+
+    /// Dispatches an invocation to the calmest machine and runs it to
+    /// completion there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe and execution failures.
+    pub fn dispatch(
+        &mut self,
+        profile: ExecutionProfile,
+    ) -> Result<(usize, litmus_sim::ExecutionReport)> {
+        let idx = self.least_congested()?;
+        let report = self.machines[idx].measure(profile)?;
+        self.dispatched[idx] += 1;
+        Ok((idx, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::CoRunEnv;
+    use litmus_core::{DiscountModel, TableBuilder};
+    use litmus_sim::MachineSpec;
+    use litmus_workloads::{suite, Language};
+
+    fn monitor() -> CongestionMonitor {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let model = DiscountModel::fit(&tables).unwrap();
+        CongestionMonitor::new(&tables, model, Language::Python).unwrap()
+    }
+
+    fn config(co_runners: usize) -> HarnessConfig {
+        HarnessConfig::new(MachineSpec::cascade_lake())
+            .env(CoRunEnv::OnePerCore { co_runners })
+            .mix_scale(0.05)
+            .warmup_ms(50)
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            Fleet::start(Vec::new(), monitor()),
+            Err(PlatformError::EmptyMix)
+        ));
+    }
+
+    #[test]
+    fn dispatch_prefers_the_cool_machine() {
+        // Machine 0 hot (24 co-runners), machine 1 cool (2).
+        let mut fleet =
+            Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert!(!fleet.is_empty());
+        let profile = suite::by_name("auth-py")
+            .unwrap()
+            .profile()
+            .scaled(0.05)
+            .unwrap();
+        let mut cool_wins = 0;
+        for _ in 0..5 {
+            let (idx, report) = fleet.dispatch(profile.clone()).unwrap();
+            assert_eq!(report.name, "auth-py");
+            if idx == 1 {
+                cool_wins += 1;
+            }
+        }
+        // Individual probes can catch transient bursts (Fig. 7's point:
+        // congestion states change fast), but routing must strongly
+        // favour the cool machine overall.
+        assert!(cool_wins >= 4, "cool machine won only {cool_wins}/5");
+        assert_eq!(
+            fleet.dispatch_counts().iter().sum::<usize>(),
+            5
+        );
+    }
+
+    #[test]
+    fn probe_all_reports_per_machine_levels() {
+        let mut fleet =
+            Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
+        let samples = fleet.probe_all().unwrap();
+        assert_eq!(samples.len(), 2);
+        assert!(
+            samples[0].level > samples[1].level,
+            "hot {} vs cool {}",
+            samples[0].level,
+            samples[1].level
+        );
+        assert!(fleet.machine(0).is_some());
+        assert!(fleet.machine(2).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+use litmus_core::{
+    CongestionIndex, DiscountModel, LitmusReading, StartupBaseline,
+};
+use litmus_sim::ExecutionProfile;
+use litmus_workloads::Language;
+
+use crate::harness::CoRunHarness;
+use crate::Result;
+
+/// One congestion observation: a Litmus probe and the level it indexed
+/// to (paper Fig. 7's y-axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionSample {
+    /// Simulation time when the probe was launched, ms.
+    pub at_ms: u64,
+    /// The probe reading.
+    pub reading: LitmusReading,
+    /// Blended congestion level from the congestion-table inverse
+    /// lookup.
+    pub level: f64,
+}
+
+/// Periodic Litmus-test congestion monitoring — the paper's §5.1
+/// observation that "evaluating congestion also assists providers in
+/// estimating remaining resources and making informed decisions
+/// regarding job scheduling", made concrete.
+///
+/// The monitor owns a startup-only probe profile; each
+/// [`CongestionMonitor::sample`] runs it in the harness's measurement
+/// slot (exactly what a newly-launched function's startup would do) and
+/// indexes the reading against the calibration tables.
+#[derive(Debug, Clone)]
+pub struct CongestionMonitor {
+    probe: ExecutionProfile,
+    baseline: StartupBaseline,
+    model: DiscountModel,
+    index: CongestionIndex,
+}
+
+impl CongestionMonitor {
+    /// Creates a monitor probing with `language`'s startup routine.
+    ///
+    /// # Errors
+    ///
+    /// * [`litmus_core::CoreError::MissingLanguage`] when the tables
+    ///   lack the language.
+    pub fn new(
+        tables: &litmus_core::PricingTables,
+        model: DiscountModel,
+        language: Language,
+    ) -> Result<Self> {
+        let baseline = *tables.baseline(language)?;
+        let index = CongestionIndex::from_tables(tables)?;
+        let mut builder =
+            ExecutionProfile::builder(format!("{}-monitor-probe", language.abbr()));
+        for phase in language.startup_phases() {
+            builder = builder.startup_phase(phase);
+        }
+        let probe = builder.build().map_err(litmus_core::CoreError::from)?;
+        Ok(CongestionMonitor {
+            probe,
+            baseline,
+            model,
+            index,
+        })
+    }
+
+    /// Takes one congestion sample on the harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe execution and indexing failures.
+    pub fn sample(&self, harness: &mut CoRunHarness) -> Result<CongestionSample> {
+        let report = harness.measure(self.probe.clone())?;
+        let startup = report
+            .startup
+            .as_ref()
+            .ok_or(litmus_core::CoreError::NoStartup)?;
+        let reading = LitmusReading::from_startup(&self.baseline, startup)?;
+        let estimate = self.model.estimate(&reading)?;
+        let level = self.index.level_for(&reading, &estimate)?;
+        Ok(CongestionSample {
+            at_ms: report.launched_ms,
+            reading,
+            level,
+        })
+    }
+
+    /// Takes `count` samples with `gap_ms` of background execution in
+    /// between — a Fig. 7 style time series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing sample.
+    pub fn series(
+        &self,
+        harness: &mut CoRunHarness,
+        count: usize,
+        gap_ms: u64,
+    ) -> Result<Vec<CongestionSample>> {
+        let mut samples = Vec::with_capacity(count);
+        for i in 0..count {
+            samples.push(self.sample(harness)?);
+            if i + 1 < count {
+                harness.advance(gap_ms)?;
+            }
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{CoRunEnv, HarnessConfig};
+    use litmus_core::TableBuilder;
+    use litmus_sim::MachineSpec;
+
+    fn monitor_and_tables() -> (CongestionMonitor, litmus_core::PricingTables) {
+        let spec = MachineSpec::cascade_lake();
+        let tables = TableBuilder::new(spec)
+            .levels([6, 14, 24])
+            .languages([Language::Python])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let model = DiscountModel::fit(&tables).unwrap();
+        let monitor =
+            CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+        (monitor, tables)
+    }
+
+    #[test]
+    fn busier_machines_read_higher_levels() {
+        let (monitor, _) = monitor_and_tables();
+        let spec = MachineSpec::cascade_lake();
+        let mut quiet = CoRunHarness::start(
+            HarnessConfig::new(spec.clone())
+                .env(CoRunEnv::OnePerCore { co_runners: 2 })
+                .mix_scale(0.05)
+                .warmup_ms(50),
+        )
+        .unwrap();
+        let mut busy = CoRunHarness::start(
+            HarnessConfig::new(spec)
+                .env(CoRunEnv::OnePerCore { co_runners: 24 })
+                .mix_scale(0.05)
+                .warmup_ms(50),
+        )
+        .unwrap();
+        let q = monitor.sample(&mut quiet).unwrap();
+        let b = monitor.sample(&mut busy).unwrap();
+        assert!(
+            b.level > q.level,
+            "busy {} must exceed quiet {}",
+            b.level,
+            q.level
+        );
+        assert!(b.reading.shared_slowdown > q.reading.shared_slowdown);
+    }
+
+    #[test]
+    fn series_produces_ordered_samples() {
+        let (monitor, _) = monitor_and_tables();
+        let mut harness = CoRunHarness::start(
+            HarnessConfig::new(MachineSpec::cascade_lake())
+                .env(CoRunEnv::OnePerCore { co_runners: 8 })
+                .mix_scale(0.05)
+                .warmup_ms(50),
+        )
+        .unwrap();
+        let series = monitor.series(&mut harness, 4, 30).unwrap();
+        assert_eq!(series.len(), 4);
+        for pair in series.windows(2) {
+            assert!(pair[1].at_ms > pair[0].at_ms);
+        }
+    }
+
+    #[test]
+    fn missing_language_is_rejected() {
+        let (_, tables) = monitor_and_tables();
+        let model = DiscountModel::fit(&tables).unwrap();
+        assert!(CongestionMonitor::new(&tables, model, Language::Go).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+use std::collections::HashMap;
+
+use litmus_core::{
+    BillingLedger, CommercialPricing, IdealPricing, Invoice, LitmusPricing,
+    LitmusReading, PricingTables,
+};
+use litmus_sim::{
+    Event, InstanceId, MachineSpec, Placement, PmuCounters, Simulator,
+};
+use litmus_workloads::{Benchmark, WorkloadMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::PlatformError;
+use crate::Result;
+
+/// One invocation request in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time, ms.
+    pub at_ms: u64,
+    /// Which Table-1 function is invoked.
+    pub function: Benchmark,
+}
+
+/// An invocation arrival trace.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_platform::InvocationTrace;
+/// use litmus_workloads::suite;
+///
+/// let trace = InvocationTrace::poisson(suite::benchmarks(), 40.0, 2_000, 7)
+///     .expect("non-empty pool");
+/// assert!(!trace.events().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl InvocationTrace {
+    /// Builds a trace from explicit events (sorted by arrival time).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.at_ms);
+        InvocationTrace { events }
+    }
+
+    /// Synthesises a Poisson-like arrival process: exponential
+    /// inter-arrival gaps at `rate_per_s` arrivals per second over
+    /// `duration_ms`, drawing functions uniformly from `pool`.
+    /// Deterministic for a given seed.
+    ///
+    /// Returns `None` when `pool` is empty or the rate is not positive.
+    pub fn poisson(
+        pool: Vec<Benchmark>,
+        rate_per_s: f64,
+        duration_ms: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        if pool.is_empty() || rate_per_s <= 0.0 || !rate_per_s.is_finite() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mix = WorkloadMix::new(pool, seed ^ 0xABCD)?;
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        let mean_gap_ms = 1000.0 / rate_per_s;
+        loop {
+            // Inverse-CDF exponential sampling.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_gap_ms * u.ln();
+            if t >= duration_ms as f64 {
+                break;
+            }
+            events.push(TraceEvent {
+                at_ms: t as u64,
+                function: mix.next_benchmark().clone(),
+            });
+        }
+        Some(InvocationTrace { events })
+    }
+
+    /// The trace events, sorted by arrival time.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of invocations in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Outcome of replaying a trace through the metering pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutcome {
+    /// One invoice per completed invocation, in completion order.
+    pub ledger: BillingLedger,
+    /// Invocations still running when the replay horizon was reached.
+    pub unfinished: usize,
+    /// Mean wall-clock latency of completed invocations, ms.
+    pub mean_latency_ms: f64,
+}
+
+/// End-to-end production pipeline: arrivals → concurrent execution on a
+/// shared-core machine → Litmus test per invocation → invoice per
+/// completion — what a provider's metering plane does continuously.
+#[derive(Debug, Clone)]
+pub struct TraceDriver {
+    spec: MachineSpec,
+    cores: usize,
+    scale: f64,
+    drain_ms: u64,
+}
+
+impl TraceDriver {
+    /// Creates a driver replaying onto the first `cores` cores of
+    /// `spec` (functions time-share the pool).
+    pub fn new(spec: MachineSpec, cores: usize) -> Self {
+        TraceDriver {
+            spec,
+            cores,
+            scale: 1.0,
+            drain_ms: 60_000,
+        }
+    }
+
+    /// Scales function bodies (tests use small values).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Maximum extra time after the last arrival to let stragglers
+    /// finish before declaring them unfinished.
+    pub fn drain_ms(mut self, ms: u64) -> Self {
+        self.drain_ms = ms;
+        self
+    }
+
+    /// Replays `trace`, pricing every completed invocation with
+    /// `pricing` (tables supply probe baselines and solo oracles are
+    /// cached per function).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::EnvTooLarge`] if `cores` exceeds the machine.
+    /// * Propagated simulation and pricing failures.
+    pub fn replay(
+        &self,
+        trace: &InvocationTrace,
+        pricing: &LitmusPricing,
+        tables: &PricingTables,
+    ) -> Result<TraceOutcome> {
+        if self.cores > self.spec.cores || self.cores == 0 {
+            return Err(PlatformError::EnvTooLarge {
+                needed: self.cores,
+                cores: self.spec.cores,
+            });
+        }
+        let placement = Placement::pool_range(0, self.cores);
+        let mut sim = Simulator::new(self.spec.clone());
+
+        // Solo oracle cache, one entry per distinct function.
+        let mut solo_cache: HashMap<&str, PmuCounters> = HashMap::new();
+        for event in trace.events() {
+            let name = event.function.name();
+            if !solo_cache.contains_key(name) {
+                let mut solo_sim = Simulator::new(self.spec.clone());
+                let profile = event.function.profile().scaled(self.scale)?;
+                let id = solo_sim.launch(profile, Placement::pinned(0))?;
+                let counters = solo_sim.run_to_completion(id)?.counters;
+                solo_cache.insert(name, counters);
+            }
+        }
+
+        let mut pending: HashMap<InstanceId, &Benchmark> = HashMap::new();
+        let mut ledger = BillingLedger::new();
+        let mut latencies = Vec::new();
+        let mut next_event = 0;
+        let horizon = trace
+            .events()
+            .last()
+            .map(|e| e.at_ms + self.drain_ms)
+            .unwrap_or(0);
+
+        while next_event < trace.len() || (!pending.is_empty() && sim.now_ms() < horizon)
+        {
+            // Launch everything that has arrived by now.
+            while next_event < trace.len()
+                && trace.events()[next_event].at_ms <= sim.now_ms()
+            {
+                let event = &trace.events()[next_event];
+                let profile = event.function.profile().scaled(self.scale)?;
+                let id = sim.launch(profile, placement.clone())?;
+                pending.insert(id, &event.function);
+                next_event += 1;
+            }
+            for completion in sim.step() {
+                let Event::Completed { id, .. } = completion;
+                let Some(bench) = pending.remove(&id) else {
+                    continue;
+                };
+                let report = sim.report(id)?;
+                let baseline = tables.baseline(bench.language())?;
+                let startup = report
+                    .startup
+                    .as_ref()
+                    .ok_or(litmus_core::CoreError::NoStartup)?;
+                let reading = LitmusReading::from_startup(baseline, startup)?;
+                let counters = report.counters;
+                let solo = solo_cache[bench.name()];
+                latencies.push(report.wall_ms());
+                ledger.record(Invoice {
+                    function: bench.name().to_owned(),
+                    counters,
+                    commercial: CommercialPricing::new().price(&counters),
+                    litmus: pricing.price(&reading, &counters)?,
+                    ideal: IdealPricing::new().price(&counters, &solo),
+                });
+            }
+        }
+
+        let mean_latency_ms = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        Ok(TraceOutcome {
+            ledger,
+            unfinished: pending.len(),
+            mean_latency_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus_core::{DiscountModel, TableBuilder};
+    use litmus_workloads::suite;
+
+    fn pricing_setup() -> (LitmusPricing, PricingTables) {
+        let tables = TableBuilder::new(MachineSpec::cascade_lake())
+            .levels([6, 14, 24])
+            .reference_scale(0.03)
+            .build()
+            .unwrap();
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        (pricing, tables)
+    }
+
+    #[test]
+    fn poisson_traces_are_deterministic_and_ordered() {
+        let a = InvocationTrace::poisson(suite::benchmarks(), 50.0, 3000, 9).unwrap();
+        let b = InvocationTrace::poisson(suite::benchmarks(), 50.0, 3000, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for pair in a.events().windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+        // ~50/s over 3 s → ~150 arrivals; allow wide slack.
+        assert!(a.len() > 75 && a.len() < 300, "{} arrivals", a.len());
+    }
+
+    #[test]
+    fn poisson_rejects_bad_inputs() {
+        assert!(InvocationTrace::poisson(Vec::new(), 10.0, 1000, 1).is_none());
+        assert!(
+            InvocationTrace::poisson(suite::benchmarks(), 0.0, 1000, 1).is_none()
+        );
+    }
+
+    #[test]
+    fn replay_prices_every_completed_invocation() {
+        let (pricing, tables) = pricing_setup();
+        let trace =
+            InvocationTrace::poisson(suite::benchmarks(), 120.0, 800, 3).unwrap();
+        let outcome = TraceDriver::new(MachineSpec::cascade_lake(), 8)
+            .scale(0.04)
+            .drain_ms(20_000)
+            .replay(&trace, &pricing, &tables)
+            .unwrap();
+        assert_eq!(outcome.unfinished, 0, "drain window must suffice");
+        assert_eq!(outcome.ledger.len(), trace.len());
+        assert!(outcome.mean_latency_ms > 0.0);
+        // Litmus revenue ≤ commercial; discounts are genuine.
+        assert!(outcome.ledger.litmus_revenue() <= outcome.ledger.commercial_revenue());
+        assert!(outcome.ledger.average_discount() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_empty_ledger() {
+        let (pricing, tables) = pricing_setup();
+        let trace = InvocationTrace::from_events(Vec::new());
+        let outcome = TraceDriver::new(MachineSpec::cascade_lake(), 4)
+            .replay(&trace, &pricing, &tables)
+            .unwrap();
+        assert!(outcome.ledger.is_empty());
+        assert_eq!(outcome.mean_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn oversized_core_pool_is_rejected() {
+        let (pricing, tables) = pricing_setup();
+        let trace = InvocationTrace::from_events(Vec::new());
+        assert!(matches!(
+            TraceDriver::new(MachineSpec::cascade_lake(), 64)
+                .replay(&trace, &pricing, &tables),
+            Err(PlatformError::EnvTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,991 @@
+use std::fmt;
+
+use crate::contention::{CongestionSnapshot, ContentionInputs, ContentionModel};
+use crate::error::SimError;
+use crate::frequency::FrequencyGovernor;
+use crate::pmu::{PmuCounters, PmuSample};
+use crate::profile::ExecutionProfile;
+use crate::report::{ExecutionReport, StartupReport};
+use crate::spec::MachineSpec;
+use crate::Result;
+
+/// Iterations of the per-quantum congestion fixed point. Demand and
+/// latency feed back into each other; eight damped rounds are enough for
+/// well under 0.1% residual at the loads the experiments use.
+const FIXED_POINT_ITERS: usize = 8;
+
+/// Safety horizon for [`Simulator::run_to_completion`], in quanta (ms).
+const HORIZON_MS: u64 = 30_000_000;
+
+/// Opaque handle to a launched workload instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(usize);
+
+impl InstanceId {
+    /// The raw index (stable for the lifetime of the simulator).
+    pub fn as_usize(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance#{}", self.0)
+    }
+}
+
+/// Where a workload instance may execute.
+///
+/// * [`Placement::pinned`] — the §7.1 protocol: one function bound to one
+///   core, no temporal sharing with other pinned functions unless they
+///   share the core.
+/// * [`Placement::pool`] — the §7.2 protocol: the function may run on any
+///   core of the pool and time-shares them with everything else in the
+///   pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    allowed: Vec<usize>,
+}
+
+impl Placement {
+    /// Pins the instance to a single core.
+    pub fn pinned(core: usize) -> Self {
+        Placement {
+            allowed: vec![core],
+        }
+    }
+
+    /// Allows the instance on every core in `cores` (deduplicated,
+    /// order-insensitive).
+    pub fn pool(cores: impl IntoIterator<Item = usize>) -> Self {
+        let mut allowed: Vec<usize> = cores.into_iter().collect();
+        allowed.sort_unstable();
+        allowed.dedup();
+        Placement { allowed }
+    }
+
+    /// Allows the instance on cores `start..end`.
+    pub fn pool_range(start: usize, end: usize) -> Self {
+        Placement::pool(start..end)
+    }
+
+    /// The sorted list of allowed cores.
+    pub fn allowed_cores(&self) -> &[usize] {
+        &self.allowed
+    }
+
+    fn validate(&self, spec: &MachineSpec) -> Result<()> {
+        if self.allowed.is_empty() {
+            return Err(SimError::EmptyPlacement);
+        }
+        for &core in &self.allowed {
+            if core >= spec.cores {
+                return Err(SimError::UnknownCore {
+                    core,
+                    cores: spec.cores,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Launched and still executing (or waiting for a core).
+    Active,
+    /// Finished; an [`ExecutionReport`] is available.
+    Completed,
+}
+
+/// Notification produced by [`Simulator::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An instance ran to completion during the step.
+    Completed {
+        /// The finished instance.
+        id: InstanceId,
+        /// Completion time in (fractional) ms.
+        at_ms: f64,
+    },
+}
+
+#[derive(Debug)]
+struct Context {
+    profile: ExecutionProfile,
+    allowed: Vec<usize>,
+    phase_idx: usize,
+    instr_into_phase: f64,
+    counters: PmuCounters,
+    launched_ms: u64,
+    completed_ms: Option<f64>,
+    last_run_ms: u64,
+    ran_last_quantum: bool,
+    has_run: bool,
+    startup_pending: bool,
+    startup_quanta: u64,
+    startup_l3_rate_sum: f64,
+    startup_report: Option<StartupReport>,
+    sampling: bool,
+    samples: Vec<PmuSample>,
+}
+
+impl Context {
+    fn is_active(&self) -> bool {
+        self.completed_ms.is_none()
+    }
+}
+
+/// Per-quantum execution plan for one scheduled context.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    ctx: usize,
+    core: usize,
+    smt_busy: bool,
+    co_resident: f64,
+}
+
+/// The quantum-stepped machine simulator.
+///
+/// See the [crate-level documentation](crate) for the performance model.
+/// Typical use: [`Simulator::launch`] workloads, [`Simulator::step`] (or
+/// the `run_*` helpers) until the instances of interest complete, then
+/// read [`Simulator::report`].
+#[derive(Debug)]
+pub struct Simulator {
+    spec: MachineSpec,
+    model: ContentionModel,
+    governor: FrequencyGovernor,
+    now_ms: u64,
+    contexts: Vec<Context>,
+    machine_l3_misses: f64,
+    /// One congestion snapshot per sharing domain (socket).
+    last_snapshots: Vec<CongestionSnapshot>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the paper's pinned-frequency governor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`MachineSpec::validate`] — constructing a
+    /// machine from an invalid spec is a programming error.
+    pub fn new(spec: MachineSpec) -> Self {
+        Simulator::with_governor(
+            spec.clone(),
+            FrequencyGovernor::fixed(spec.frequency_ghz),
+        )
+    }
+
+    /// Creates a simulator with an explicit frequency governor (the §8
+    /// "CPU Frequency" study passes a turbo governor here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`MachineSpec::validate`].
+    pub fn with_governor(spec: MachineSpec, governor: FrequencyGovernor) -> Self {
+        spec.validate().expect("machine spec must be valid");
+        let last_snapshots = vec![CongestionSnapshot::idle(&spec); spec.sockets];
+        Simulator {
+            model: ContentionModel::new(spec.clone()),
+            spec,
+            governor,
+            now_ms: 0,
+            contexts: Vec::new(),
+            machine_l3_misses: 0.0,
+            last_snapshots,
+        }
+    }
+
+    /// The machine specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Current simulation time in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Congestion state observed during the most recent quantum. On a
+    /// multi-socket machine this is the *most congested* domain — the
+    /// conservative reading an admission controller wants.
+    pub fn congestion(&self) -> &CongestionSnapshot {
+        self.last_snapshots
+            .iter()
+            .max_by(|a, b| {
+                a.level()
+                    .partial_cmp(&b.level())
+                    .expect("levels are finite")
+            })
+            .expect("at least one domain")
+    }
+
+    /// Congestion state of one sharing domain (socket), if it exists.
+    pub fn domain_congestion(&self, domain: usize) -> Option<&CongestionSnapshot> {
+        self.last_snapshots.get(domain)
+    }
+
+    /// Machine-wide cumulative L3 misses.
+    pub fn machine_l3_misses(&self) -> f64 {
+        self.machine_l3_misses
+    }
+
+    /// Number of instances still active.
+    pub fn active_instances(&self) -> usize {
+        self.contexts.iter().filter(|c| c.is_active()).count()
+    }
+
+    /// Launches a workload without per-quantum sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyPlacement`] or [`SimError::UnknownCore`]
+    /// for invalid placements.
+    pub fn launch(
+        &mut self,
+        profile: ExecutionProfile,
+        placement: Placement,
+    ) -> Result<InstanceId> {
+        self.launch_inner(profile, placement, false)
+    }
+
+    /// Launches a workload recording a [`PmuSample`] every quantum
+    /// (needed for Fig. 6-style IPC timelines).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::launch`].
+    pub fn launch_sampled(
+        &mut self,
+        profile: ExecutionProfile,
+        placement: Placement,
+    ) -> Result<InstanceId> {
+        self.launch_inner(profile, placement, true)
+    }
+
+    fn launch_inner(
+        &mut self,
+        profile: ExecutionProfile,
+        placement: Placement,
+        sampling: bool,
+    ) -> Result<InstanceId> {
+        placement.validate(&self.spec)?;
+        let id = InstanceId(self.contexts.len());
+        let startup_pending = profile.has_startup();
+        self.contexts.push(Context {
+            profile,
+            allowed: placement.allowed,
+            phase_idx: 0,
+            instr_into_phase: 0.0,
+            counters: PmuCounters::default(),
+            launched_ms: self.now_ms,
+            completed_ms: None,
+            last_run_ms: self.now_ms,
+            ran_last_quantum: false,
+            has_run: false,
+            startup_pending,
+            startup_quanta: 0,
+            startup_l3_rate_sum: 0.0,
+            startup_report: None,
+            sampling,
+            samples: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Lifecycle state of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownInstance`] for an id this simulator
+    /// never issued.
+    pub fn state(&self, id: InstanceId) -> Result<InstanceState> {
+        let ctx = self
+            .contexts
+            .get(id.0)
+            .ok_or(SimError::UnknownInstance(id))?;
+        Ok(if ctx.is_active() {
+            InstanceState::Active
+        } else {
+            InstanceState::Completed
+        })
+    }
+
+    /// Execution report for a completed instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownInstance`] for an unknown id.
+    /// * [`SimError::StillRunning`] if the instance has not finished.
+    pub fn report(&self, id: InstanceId) -> Result<ExecutionReport> {
+        let ctx = self
+            .contexts
+            .get(id.0)
+            .ok_or(SimError::UnknownInstance(id))?;
+        let completed_ms = ctx.completed_ms.ok_or(SimError::StillRunning(id))?;
+        Ok(ExecutionReport {
+            name: ctx.profile.name().to_owned(),
+            launched_ms: ctx.launched_ms,
+            completed_ms,
+            counters: ctx.counters,
+            startup: ctx.startup_report.clone(),
+            samples: ctx.samples.clone(),
+        })
+    }
+
+    /// Advances one quantum; returns completion events in instance order.
+    pub fn step(&mut self) -> Vec<Event> {
+        let slots = self.schedule();
+        let active = slots.len();
+        let freq = self
+            .governor
+            .frequency_ghz(active, self.spec.hardware_threads());
+        let cycles_q = self.spec.cycles_per_quantum(freq);
+
+        let snapshots = self.solve_congestion(&slots, cycles_q);
+
+        let mut events = Vec::new();
+        let mut machine_l3_this_quantum = 0.0;
+        for slot in &slots {
+            let snapshot = snapshots[self.spec.domain_of(slot.core)];
+            if let Some(event) =
+                self.advance(slot, cycles_q, &snapshot, &mut machine_l3_this_quantum)
+            {
+                events.push(event);
+            }
+        }
+
+        self.machine_l3_misses += machine_l3_this_quantum;
+        self.last_snapshots = snapshots;
+
+        // Bookkeeping for round-robin fairness and switch counting. The
+        // run stamp is the quantum's *end* time so that a context that
+        // just ran sorts behind peers still waiting from earlier quanta.
+        self.now_ms += 1;
+        let scheduled: Vec<usize> = slots.iter().map(|s| s.ctx).collect();
+        for (idx, ctx) in self.contexts.iter_mut().enumerate() {
+            let ran = scheduled.contains(&idx);
+            if ran {
+                ctx.last_run_ms = self.now_ms;
+                ctx.has_run = true;
+            }
+            ctx.ran_last_quantum = ran;
+        }
+        events
+    }
+
+    /// Steps `ms` quanta, collecting all events.
+    pub fn run_for_ms(&mut self, ms: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        for _ in 0..ms {
+            events.extend(self.step());
+        }
+        events
+    }
+
+    /// Steps until `id` completes, then returns its report.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownInstance`] for an unknown id.
+    /// * [`SimError::HorizonExceeded`] if the instance does not finish
+    ///   within the safety horizon (deadlocked placements, runaway
+    ///   profiles).
+    pub fn run_to_completion(&mut self, id: InstanceId) -> Result<ExecutionReport> {
+        if id.0 >= self.contexts.len() {
+            return Err(SimError::UnknownInstance(id));
+        }
+        let deadline = self.now_ms + HORIZON_MS;
+        while self.contexts[id.0].is_active() {
+            if self.now_ms >= deadline {
+                return Err(SimError::HorizonExceeded {
+                    horizon_ms: HORIZON_MS,
+                });
+            }
+            self.step();
+        }
+        self.report(id)
+    }
+
+    /// Steps until every launched instance has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HorizonExceeded`] on runaway workloads.
+    pub fn run_until_idle(&mut self) -> Result<Vec<Event>> {
+        let deadline = self.now_ms + HORIZON_MS;
+        let mut events = Vec::new();
+        while self.active_instances() > 0 {
+            if self.now_ms >= deadline {
+                return Err(SimError::HorizonExceeded {
+                    horizon_ms: HORIZON_MS,
+                });
+            }
+            events.extend(self.step());
+        }
+        Ok(events)
+    }
+
+    /// Round-robin, least-recently-run-first scheduling of active
+    /// contexts onto hardware-thread slots.
+    fn schedule(&self) -> Vec<Slot> {
+        let smt = self.spec.smt_ways;
+        let mut free: Vec<usize> = vec![smt; self.spec.cores];
+
+        // Fractional per-core load: each active context spreads one unit
+        // of demand across its allowed cores. Used for the Fig. 14
+        // switch-overhead factor.
+        let mut load = vec![0.0f64; self.spec.cores];
+        let mut runnable: Vec<usize> = Vec::new();
+        for (idx, ctx) in self.contexts.iter().enumerate() {
+            if !ctx.is_active() {
+                continue;
+            }
+            runnable.push(idx);
+            let share = 1.0 / ctx.allowed.len() as f64;
+            for &core in &ctx.allowed {
+                load[core] += share;
+            }
+        }
+        runnable.sort_by_key(|&idx| (self.contexts[idx].last_run_ms, idx));
+
+        let mut assigned: Vec<Slot> = Vec::new();
+        for &idx in &runnable {
+            let ctx = &self.contexts[idx];
+            if let Some(&core) = ctx.allowed.iter().find(|&&c| free[c] > 0) {
+                free[core] -= 1;
+                assigned.push(Slot {
+                    ctx: idx,
+                    core,
+                    smt_busy: false,
+                    co_resident: 1.0,
+                });
+            }
+        }
+        // Post-pass: mark SMT siblings and attach per-core sharing level.
+        let mut occupancy = vec![0usize; self.spec.cores];
+        for slot in &assigned {
+            occupancy[slot.core] += 1;
+        }
+        for slot in &mut assigned {
+            slot.smt_busy = occupancy[slot.core] > 1;
+            slot.co_resident = (load[slot.core] / smt as f64).max(1.0);
+        }
+        assigned.sort_by_key(|s| s.ctx);
+        assigned
+    }
+
+    /// Damped fixed point per sharing domain: aggregate demand →
+    /// latencies → rates → demand.
+    ///
+    /// Traffic comes from the contexts *running* this quantum in each
+    /// domain; cache footprint pressure comes from every *live* context
+    /// (attributed across the domains its placement spans) — a
+    /// descheduled function's working set still occupies the L3, which is
+    /// what makes heavily time-shared machines (§7.2) more congested
+    /// than one-function-per-core setups with the same running count.
+    fn solve_congestion(&self, slots: &[Slot], cycles_q: f64) -> Vec<CongestionSnapshot> {
+        let domains = self.spec.sockets;
+        // Live footprint per domain: a context's working set lands on
+        // the domains its allowed cores belong to, split proportionally.
+        let mut live_footprint = vec![0.0f64; domains];
+        for ctx in self.contexts.iter().filter(|c| c.is_active()) {
+            let fp = ctx.profile.phases()[ctx.phase_idx].footprint_mb;
+            let share = fp / ctx.allowed.len() as f64;
+            for &core in &ctx.allowed {
+                live_footprint[self.spec.domain_of(core)] += share;
+            }
+        }
+        let mut active = vec![0usize; domains];
+        for slot in slots {
+            active[self.spec.domain_of(slot.core)] += 1;
+        }
+
+        let mut snapshots = self.last_snapshots.clone();
+        let mut inputs: Vec<ContentionInputs> = live_footprint
+            .iter()
+            .map(|&fp| ContentionInputs {
+                total_footprint_mb: fp,
+                ..Default::default()
+            })
+            .collect();
+        for iter in 0..FIXED_POINT_ITERS {
+            let mut next: Vec<ContentionInputs> = live_footprint
+                .iter()
+                .map(|&fp| ContentionInputs {
+                    total_footprint_mb: fp,
+                    ..Default::default()
+                })
+                .collect();
+            for slot in slots {
+                let domain = self.spec.domain_of(slot.core);
+                let snapshot = &snapshots[domain];
+                let ctx = &self.contexts[slot.ctx];
+                let phase = ctx.profile.phases()[ctx.phase_idx];
+                let cpi = self.effective_cpi(slot, &phase, snapshot);
+                let instr_rate = cycles_q / cpi;
+                let mpki = phase.l2_mpki
+                    + self.spec.switch_mpki(slot.co_resident);
+                let l2_rate = instr_rate * mpki / 1000.0;
+                let miss = self
+                    .model
+                    .effective_miss_ratio(phase.l3_miss_ratio, snapshot.capacity_pressure);
+                next[domain].l2_miss_rate += l2_rate;
+                next[domain].l3_miss_rate += l2_rate * miss;
+            }
+            for domain in 0..domains {
+                if iter > 0 {
+                    // Damping stabilises queueing near saturation.
+                    next[domain].l2_miss_rate = 0.5
+                        * (inputs[domain].l2_miss_rate + next[domain].l2_miss_rate);
+                    next[domain].l3_miss_rate = 0.5
+                        * (inputs[domain].l3_miss_rate + next[domain].l3_miss_rate);
+                }
+                snapshots[domain] =
+                    self.model.evaluate(next[domain], active[domain]);
+            }
+            inputs = next;
+        }
+        snapshots
+    }
+
+    /// Cycles per instruction of one scheduled context in the current
+    /// congestion state, including all private-CPI inflation factors.
+    fn effective_cpi(
+        &self,
+        slot: &Slot,
+        phase: &crate::profile::ExecPhase,
+        snapshot: &CongestionSnapshot,
+    ) -> f64 {
+        self.private_cpi(slot, phase, snapshot)
+            + self.stall_per_instr(slot, phase, snapshot)
+    }
+
+    fn private_cpi(
+        &self,
+        slot: &Slot,
+        phase: &crate::profile::ExecPhase,
+        snapshot: &CongestionSnapshot,
+    ) -> f64 {
+        let switch = self.spec.switch_factor(slot.co_resident);
+        let smt = if slot.smt_busy {
+            self.spec.smt_private_factor
+        } else {
+            1.0
+        };
+        // Congestion leaks into private time through frequency-domain
+        // effects, TLB pressure and prefetcher interference: mostly
+        // tracking capacity pressure, plus the two utilisations.
+        let couple_metric = (snapshot.capacity_pressure
+            + snapshot.l3_port_utilization
+            + snapshot.bandwidth_utilization.min(1.2))
+        .min(2.0);
+        let couple = 1.0 + self.spec.private_coupling * couple_metric;
+        phase.cpi_private * switch * smt * couple
+    }
+
+    fn stall_per_instr(
+        &self,
+        slot: &Slot,
+        phase: &crate::profile::ExecPhase,
+        snapshot: &CongestionSnapshot,
+    ) -> f64 {
+        let miss = self
+            .model
+            .effective_miss_ratio(phase.l3_miss_ratio, snapshot.capacity_pressure);
+        let post_l2 = self.model.post_l2_latency(snapshot, miss);
+        let mpki = phase.l2_mpki + self.spec.switch_mpki(slot.co_resident);
+        (mpki / 1000.0) * phase.blocking * post_l2
+    }
+
+    /// Advances one scheduled context through a quantum's cycles,
+    /// handling phase boundaries, startup-window snapshots and
+    /// completion. Returns a completion event if the profile ended.
+    fn advance(
+        &mut self,
+        slot: &Slot,
+        cycles_q: f64,
+        snapshot: &CongestionSnapshot,
+        machine_l3: &mut f64,
+    ) -> Option<Event> {
+        let mut cycles_left = cycles_q;
+        let mut quantum_instr = 0.0;
+        let mut quantum_cycles = 0.0;
+        let mut quantum_l3 = 0.0;
+        let mut completed: Option<f64> = None;
+
+        // Context-switch accounting: scheduled now after a gap.
+        {
+            let ctx = &mut self.contexts[slot.ctx];
+            if ctx.has_run && !ctx.ran_last_quantum {
+                ctx.counters.context_switches += 1.0;
+            }
+            if ctx.startup_pending {
+                ctx.startup_quanta += 1;
+                ctx.startup_l3_rate_sum += snapshot.l3_miss_rate;
+            }
+        }
+
+        while cycles_left > 1e-9 {
+            let (phase, phase_idx, instr_into_phase, profile_len, startup_len) = {
+                let ctx = &self.contexts[slot.ctx];
+                (
+                    ctx.profile.phases()[ctx.phase_idx],
+                    ctx.phase_idx,
+                    ctx.instr_into_phase,
+                    ctx.profile.phases().len(),
+                    ctx.profile.startup_len(),
+                )
+            };
+            let private = self.private_cpi(slot, &phase, snapshot);
+            let stall = self.stall_per_instr(slot, &phase, snapshot);
+            let cpi = private + stall;
+            let miss = self
+                .model
+                .effective_miss_ratio(phase.l3_miss_ratio, snapshot.capacity_pressure);
+
+            let remaining = phase.instructions - instr_into_phase;
+            let possible = cycles_left / cpi;
+            let executed = possible.min(remaining);
+            let used_cycles = executed * cpi;
+            cycles_left -= used_cycles;
+
+            let mpki = phase.l2_mpki + self.spec.switch_mpki(slot.co_resident);
+            let l2m = executed * mpki / 1000.0;
+            let l3m = l2m * miss;
+            quantum_instr += executed;
+            quantum_cycles += used_cycles;
+            quantum_l3 += l3m;
+
+            let ctx = &mut self.contexts[slot.ctx];
+            ctx.counters.instructions += executed;
+            ctx.counters.cycles += used_cycles;
+            ctx.counters.stall_l2_cycles += executed * stall;
+            ctx.counters.l2_misses += l2m;
+            ctx.counters.l3_misses += l3m;
+
+            if executed >= remaining - 1e-6 {
+                ctx.phase_idx = phase_idx + 1;
+                ctx.instr_into_phase = 0.0;
+                let frac = 1.0 - cycles_left / cycles_q;
+                if ctx.phase_idx == startup_len && ctx.startup_pending {
+                    ctx.startup_pending = false;
+                    let wall_ms =
+                        self.now_ms as f64 + frac - ctx.launched_ms as f64;
+                    let rate = if ctx.startup_quanta > 0 {
+                        ctx.startup_l3_rate_sum / ctx.startup_quanta as f64
+                    } else {
+                        0.0
+                    };
+                    ctx.startup_report = Some(StartupReport {
+                        counters: ctx.counters,
+                        wall_ms,
+                        machine_l3_miss_rate: rate,
+                    });
+                }
+                if ctx.phase_idx == profile_len {
+                    let at = self.now_ms as f64 + frac;
+                    ctx.completed_ms = Some(at);
+                    completed = Some(at);
+                    break;
+                }
+            } else {
+                ctx.instr_into_phase = instr_into_phase + executed;
+            }
+        }
+
+        *machine_l3 += quantum_l3;
+        let ctx = &mut self.contexts[slot.ctx];
+        if ctx.sampling {
+            ctx.samples.push(PmuSample {
+                time_ms: self.now_ms,
+                instructions: quantum_instr,
+                cycles: quantum_cycles,
+                l3_misses: quantum_l3,
+            });
+        }
+        completed.map(|at_ms| Event::Completed {
+            id: InstanceId(slot.ctx),
+            at_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ExecPhase, ExecutionProfile};
+
+    fn compute_profile(name: &str, instructions: f64) -> ExecutionProfile {
+        ExecutionProfile::builder(name)
+            .phase(ExecPhase::new(instructions, 0.5, 1.0, 0.1, 0.7, 4.0))
+            .build()
+            .unwrap()
+    }
+
+    fn memory_profile(name: &str, instructions: f64) -> ExecutionProfile {
+        ExecutionProfile::builder(name)
+            .phase(ExecPhase::new(instructions, 0.6, 30.0, 0.7, 0.85, 24.0))
+            .build()
+            .unwrap()
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(MachineSpec::cascade_lake())
+    }
+
+    #[test]
+    fn single_workload_completes_with_exact_instructions() {
+        let mut sim = sim();
+        let id = sim
+            .launch(compute_profile("a", 5_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let report = sim.run_to_completion(id).unwrap();
+        assert!((report.counters.instructions - 5_000_000.0).abs() < 1.0);
+        assert!(report.wall_ms() > 0.0);
+        assert!(report.counters.cycles > 0.0);
+        assert_eq!(sim.state(id).unwrap(), InstanceState::Completed);
+    }
+
+    #[test]
+    fn memory_bound_corunner_inflates_t_shared_far_more_than_t_private() {
+        // Solo run.
+        let mut solo = sim();
+        let id = solo
+            .launch(memory_profile("t", 20_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let solo_report = solo.run_to_completion(id).unwrap();
+
+        // Same workload with 20 memory-bound co-runners.
+        let mut busy = sim();
+        for core in 1..21 {
+            busy.launch(memory_profile("noise", 8e9), Placement::pinned(core))
+                .unwrap();
+        }
+        let id = busy
+            .launch(memory_profile("t", 20_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let busy_report = busy.run_to_completion(id).unwrap();
+
+        let priv_slow = busy_report.counters.t_private_per_instruction()
+            / solo_report.counters.t_private_per_instruction();
+        let shared_slow = busy_report.counters.t_shared_per_instruction()
+            / solo_report.counters.t_shared_per_instruction();
+        assert!(
+            shared_slow > 1.3,
+            "shared time must inflate, got {shared_slow}"
+        );
+        assert!(
+            priv_slow < 1.2,
+            "private time must stay nearly flat, got {priv_slow}"
+        );
+        assert!(shared_slow > priv_slow * 1.2);
+    }
+
+    #[test]
+    fn two_pinned_contexts_time_share_one_core() {
+        let mut sim = sim();
+        let a = sim
+            .launch(compute_profile("a", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let b = sim
+            .launch(compute_profile("b", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let ra = sim.run_to_completion(a).unwrap();
+        let rb = sim.run_to_completion(b).unwrap();
+        // Each must take roughly twice as long (wall) as it would alone.
+        let mut alone = Simulator::new(MachineSpec::cascade_lake());
+        let s = alone
+            .launch(compute_profile("s", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let rs = alone.run_to_completion(s).unwrap();
+        let wall = ra.wall_ms().max(rb.wall_ms());
+        assert!(
+            wall > 1.7 * rs.wall_ms(),
+            "time sharing must roughly double wall time: {wall} vs {}",
+            rs.wall_ms()
+        );
+        // Both accumulated context switches.
+        assert!(ra.counters.context_switches > 0.0);
+        assert!(rb.counters.context_switches > 0.0);
+    }
+
+    #[test]
+    fn pool_spreads_load_across_cores() {
+        let mut sim = sim();
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                sim.launch(
+                    compute_profile(&format!("w{i}"), 10_000_000.0),
+                    Placement::pool_range(0, 4),
+                )
+                .unwrap()
+            })
+            .collect();
+        for id in &ids {
+            sim.run_to_completion(*id).unwrap();
+        }
+        // 4 workloads on 4 cores: no time sharing, wall time close to solo.
+        let mut alone = Simulator::new(MachineSpec::cascade_lake());
+        let s = alone
+            .launch(compute_profile("s", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let rs = alone.run_to_completion(s).unwrap();
+        for id in ids {
+            let r = sim.report(id).unwrap();
+            assert!(r.wall_ms() < rs.wall_ms() * 1.5);
+        }
+    }
+
+    #[test]
+    fn smt_sibling_slows_private_execution() {
+        let mut spec = MachineSpec::cascade_lake();
+        spec.smt_ways = 2;
+        let mut sim = Simulator::new(spec);
+        let a = sim
+            .launch(compute_profile("a", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let _b = sim
+            .launch(compute_profile("b", 200_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let ra = sim.run_to_completion(a).unwrap();
+
+        let mut solo = Simulator::new(MachineSpec::cascade_lake());
+        let s = solo
+            .launch(compute_profile("s", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let rs = solo.run_to_completion(s).unwrap();
+        let slow = ra.counters.t_private_per_instruction()
+            / rs.counters.t_private_per_instruction();
+        assert!(slow > 1.5, "SMT sibling must slow private CPI, got {slow}");
+    }
+
+    #[test]
+    fn startup_report_is_captured() {
+        let mut sim = sim();
+        let profile = ExecutionProfile::builder("py")
+            .startup_phase(ExecPhase::new(2_000_000.0, 0.6, 12.0, 0.3, 0.8, 20.0))
+            .phase(ExecPhase::new(8_000_000.0, 0.5, 2.0, 0.1, 0.7, 8.0))
+            .build()
+            .unwrap();
+        let id = sim.launch(profile, Placement::pinned(0)).unwrap();
+        let report = sim.run_to_completion(id).unwrap();
+        let startup = report.startup.expect("startup report present");
+        assert!((startup.counters.instructions - 2_000_000.0).abs() < 1.0);
+        assert!(startup.wall_ms > 0.0);
+        assert!(startup.counters.cycles < report.counters.cycles);
+    }
+
+    #[test]
+    fn completion_event_fires_exactly_once() {
+        let mut sim = sim();
+        let id = sim
+            .launch(compute_profile("a", 3_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let mut completions = 0;
+        for _ in 0..100 {
+            for event in sim.step() {
+                let Event::Completed { id: done, .. } = event;
+                assert_eq!(done, id);
+                completions += 1;
+            }
+        }
+        assert_eq!(completions, 1);
+    }
+
+    #[test]
+    fn report_errors() {
+        let mut sim = sim();
+        let bogus = InstanceId(42);
+        assert_eq!(
+            sim.report(bogus).unwrap_err(),
+            SimError::UnknownInstance(bogus)
+        );
+        let id = sim
+            .launch(compute_profile("a", 1e9), Placement::pinned(0))
+            .unwrap();
+        assert_eq!(sim.report(id).unwrap_err(), SimError::StillRunning(id));
+    }
+
+    #[test]
+    fn placement_validation() {
+        let mut sim = sim();
+        assert_eq!(
+            sim.launch(compute_profile("a", 1.0), Placement::pool(Vec::<usize>::new()))
+                .unwrap_err(),
+            SimError::EmptyPlacement
+        );
+        assert!(matches!(
+            sim.launch(compute_profile("a", 1.0), Placement::pinned(99)),
+            Err(SimError::UnknownCore { core: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(MachineSpec::cascade_lake());
+            for core in 0..8 {
+                sim.launch(memory_profile("m", 30_000_000.0), Placement::pinned(core))
+                    .unwrap();
+            }
+            let id = sim
+                .launch(compute_profile("t", 10_000_000.0), Placement::pinned(8))
+                .unwrap();
+            sim.run_to_completion(id).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.completed_ms, b.completed_ms);
+    }
+
+    #[test]
+    fn sampling_records_quanta() {
+        let mut sim = sim();
+        let id = sim
+            .launch_sampled(compute_profile("a", 10_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let report = sim.run_to_completion(id).unwrap();
+        assert!(!report.samples.is_empty());
+        let total: f64 = report.samples.iter().map(|s| s.instructions).sum();
+        assert!((total - report.counters.instructions).abs() < 1.0);
+        for s in &report.samples {
+            assert!(s.ipc() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn run_until_idle_finishes_everything() {
+        let mut sim = sim();
+        for core in 0..4 {
+            sim.launch(compute_profile("w", 4_000_000.0), Placement::pinned(core))
+                .unwrap();
+        }
+        let events = sim.run_until_idle().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(sim.active_instances(), 0);
+    }
+
+    #[test]
+    fn turbo_governor_speeds_up_lone_function() {
+        let spec = MachineSpec::cascade_lake();
+        let mut turbo = Simulator::with_governor(
+            spec.clone(),
+            FrequencyGovernor::turbo(2.8, 3.9, 8),
+        );
+        let id = turbo
+            .launch(compute_profile("a", 20_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let fast = turbo.run_to_completion(id).unwrap();
+
+        let mut fixed = Simulator::new(spec);
+        let id = fixed
+            .launch(compute_profile("a", 20_000_000.0), Placement::pinned(0))
+            .unwrap();
+        let slow = fixed.run_to_completion(id).unwrap();
+        assert!(fast.wall_ms() < slow.wall_ms());
+    }
+}

@@ -1,0 +1,140 @@
+/// Core-frequency policy for the simulated machine.
+///
+/// The paper pins the CPUs at 2.8 GHz (§3) because commercial serverless
+/// vCPUs expose one fixed frequency, and separately studies what happens
+/// when Intel Turbo is left on (§8 "CPU Frequency"): frequency rises when
+/// few cores are active and falls back to base under load, shifting both
+/// Litmus and ideal discounts only slightly.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_sim::FrequencyGovernor;
+///
+/// let fixed = FrequencyGovernor::fixed(2.8);
+/// assert_eq!(fixed.frequency_ghz(30, 32), 2.8);
+///
+/// let turbo = FrequencyGovernor::turbo(2.8, 3.9, 8);
+/// assert!(turbo.frequency_ghz(1, 32) > turbo.frequency_ghz(16, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencyGovernor {
+    /// Software-pinned frequency (the paper's default methodology).
+    Fixed {
+        /// The pinned frequency in GHz.
+        ghz: f64,
+    },
+    /// Turbo-style governor: runs at `max_ghz` while at most
+    /// `boost_threshold` hardware threads are active, then decays
+    /// linearly towards `base_ghz` as the machine fills up.
+    Turbo {
+        /// Sustained all-core frequency in GHz.
+        base_ghz: f64,
+        /// Peak single-core frequency in GHz.
+        max_ghz: f64,
+        /// Active-thread count up to which the peak is sustained.
+        boost_threshold: usize,
+    },
+}
+
+impl FrequencyGovernor {
+    /// Creates a fixed-frequency governor.
+    pub fn fixed(ghz: f64) -> Self {
+        FrequencyGovernor::Fixed { ghz }
+    }
+
+    /// Creates a turbo governor with the given base/max frequencies and
+    /// boost threshold.
+    pub fn turbo(base_ghz: f64, max_ghz: f64, boost_threshold: usize) -> Self {
+        FrequencyGovernor::Turbo {
+            base_ghz,
+            max_ghz,
+            boost_threshold,
+        }
+    }
+
+    /// Effective frequency in GHz given `active` busy hardware threads
+    /// out of `total`.
+    pub fn frequency_ghz(&self, active: usize, total: usize) -> f64 {
+        match *self {
+            FrequencyGovernor::Fixed { ghz } => ghz,
+            FrequencyGovernor::Turbo {
+                base_ghz,
+                max_ghz,
+                boost_threshold,
+            } => {
+                if active <= boost_threshold {
+                    max_ghz
+                } else {
+                    let span = (total.saturating_sub(boost_threshold)) as f64;
+                    if span == 0.0 {
+                        return base_ghz;
+                    }
+                    let over = (active - boost_threshold) as f64;
+                    let t = (over / span).clamp(0.0, 1.0);
+                    max_ghz + (base_ghz - max_ghz) * t
+                }
+            }
+        }
+    }
+}
+
+impl Default for FrequencyGovernor {
+    /// The paper's methodology default: 2.8 GHz pinned.
+    fn default() -> Self {
+        FrequencyGovernor::fixed(2.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_load() {
+        let g = FrequencyGovernor::fixed(2.8);
+        assert_eq!(g.frequency_ghz(0, 32), 2.8);
+        assert_eq!(g.frequency_ghz(32, 32), 2.8);
+    }
+
+    #[test]
+    fn turbo_boosts_when_lightly_loaded() {
+        let g = FrequencyGovernor::turbo(2.8, 3.9, 8);
+        assert_eq!(g.frequency_ghz(1, 32), 3.9);
+        assert_eq!(g.frequency_ghz(8, 32), 3.9);
+    }
+
+    #[test]
+    fn turbo_decays_to_base_at_full_load() {
+        let g = FrequencyGovernor::turbo(2.8, 3.9, 8);
+        assert!((g.frequency_ghz(32, 32) - 2.8).abs() < 1e-12);
+        let mid = g.frequency_ghz(20, 32);
+        assert!(mid < 3.9 && mid > 2.8);
+    }
+
+    #[test]
+    fn turbo_is_monotone_non_increasing_in_load() {
+        let g = FrequencyGovernor::turbo(2.8, 3.9, 8);
+        let mut prev = f64::INFINITY;
+        for active in 0..=32 {
+            let f = g.frequency_ghz(active, 32);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn default_is_papers_pinned_frequency() {
+        assert_eq!(
+            FrequencyGovernor::default(),
+            FrequencyGovernor::fixed(2.8)
+        );
+    }
+
+    #[test]
+    fn degenerate_total_equals_threshold() {
+        let g = FrequencyGovernor::turbo(2.0, 3.0, 8);
+        // total == threshold: span is zero, fall back to base when above.
+        assert_eq!(g.frequency_ghz(9, 8), 2.0);
+    }
+}

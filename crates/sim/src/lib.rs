@@ -1,0 +1,82 @@
+//! Analytic multicore contention simulator for the Litmus reproduction.
+//!
+//! The Litmus paper (Pei, Wang, Shin — ASPLOS '24) measures everything on a
+//! real dual-socket Cascade Lake server through Linux perf. This crate is
+//! the sandbox substitute: a deterministic, quantum-stepped simulator of a
+//! multicore CPU whose *observable signals* are the ones Litmus pricing
+//! consumes —
+//!
+//! * per-context PMU counters: cycles, instructions, **stall cycles due to
+//!   L2 misses** (the paper's `cycle_activity.stalls_L2_miss`, which
+//!   defines `T_shared`), L2/L3 miss counts;
+//! * machine-wide L3 miss traffic (the supplementary Litmus-test metric of
+//!   paper Fig. 10);
+//! * per-millisecond IPC samples (paper Fig. 6 startup timelines).
+//!
+//! # Model
+//!
+//! Time advances in 1 ms quanta. Workloads are [`ExecutionProfile`]s — a
+//! sequence of [`ExecPhase`]s, each describing instruction count, private
+//! CPI, L2 miss rate, solo L3 miss ratio, memory-level-parallelism
+//! blocking factor and cache footprint. Within each quantum the engine
+//! solves a small fixed point, because every context's progress rate
+//! depends on shared-resource latencies which depend on every context's
+//! traffic:
+//!
+//! ```text
+//! cpi        = cpi_private·f_switch·f_smt·f_couple + stall_per_instr
+//! stall      = (l2_mpki/1000)·blocking·post_l2_latency
+//! post_l2    = l3_lat·(1 + k_ring·U_l3) + miss·mem_lat·g(U_bw)
+//! miss       = l3_ratio + (1 − l3_ratio)·pressure(Σ footprints / C_L3)
+//! g(U)       = 1 + k_bw·U²/(1 − min(U, U_cap))
+//! ```
+//!
+//! `T_shared` accumulates `stall·instructions`; everything else is
+//! `T_private` — the same decomposition the paper obtains from the PMU.
+//!
+//! # Examples
+//!
+//! ```
+//! use litmus_sim::{ExecutionProfile, ExecPhase, MachineSpec, Placement, Simulator};
+//!
+//! let spec = MachineSpec::cascade_lake();
+//! let mut sim = Simulator::new(spec);
+//! let profile = ExecutionProfile::builder("demo")
+//!     .phase(ExecPhase::new(10_000_000.0, 0.5, 8.0, 0.3, 0.7, 16.0))
+//!     .build()
+//!     .unwrap();
+//! let id = sim.launch(profile, Placement::pinned(0)).unwrap();
+//! let report = sim.run_to_completion(id).unwrap();
+//! assert!(report.counters.instructions >= 10_000_000.0);
+//! assert!(report.counters.t_shared_cycles() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod contention;
+mod engine;
+mod error;
+mod frequency;
+mod pmu;
+mod profile;
+mod report;
+mod spec;
+
+pub use contention::{CongestionSnapshot, ContentionInputs, ContentionModel};
+pub use engine::{Event, InstanceId, InstanceState, Placement, Simulator};
+pub use error::SimError;
+pub use frequency::FrequencyGovernor;
+pub use pmu::{PmuCounters, PmuSample};
+pub use profile::{ExecPhase, ExecutionProfile, ProfileBuilder};
+pub use report::{ExecutionReport, StartupReport};
+pub use spec::MachineSpec;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Length of a scheduling/accounting quantum in milliseconds.
+///
+/// All engine bookkeeping (PMU samples, congestion snapshots, round-robin
+/// scheduling) happens at this granularity.
+pub const QUANTUM_MS: f64 = 1.0;

@@ -1,0 +1,218 @@
+use std::ops::{Add, AddAssign, Sub};
+
+/// Performance-monitoring-unit counters for one hardware context.
+///
+/// Mirrors the subset of Intel PMU events the paper reads through Linux
+/// perf (§5.2): total cycles, retired instructions, cycles stalled on L2
+/// misses (`cycle_activity.stalls_L2_miss` — the paper's `T_shared`),
+/// and L2/L3 miss counts. `T_private` is derived as
+/// `cycles − stall_l2_cycles`, exactly as in the paper.
+///
+/// Counters are plain data and support snapshot arithmetic: subtracting
+/// an earlier snapshot yields the counters for the interval between them,
+/// which is how the Litmus probe window is measured.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_sim::PmuCounters;
+///
+/// let mut c = PmuCounters::default();
+/// c.cycles = 100.0;
+/// c.stall_l2_cycles = 30.0;
+/// assert_eq!(c.t_private_cycles(), 70.0);
+/// assert_eq!(c.t_shared_cycles(), 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PmuCounters {
+    /// Core cycles consumed.
+    pub cycles: f64,
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Cycles stalled waiting on L2 misses (the `T_shared` component).
+    pub stall_l2_cycles: f64,
+    /// L2 cache misses (requests sent to the shared L3).
+    pub l2_misses: f64,
+    /// L3 cache misses (requests sent to DRAM).
+    pub l3_misses: f64,
+    /// Times this context was (re)scheduled after having been preempted.
+    pub context_switches: f64,
+}
+
+impl PmuCounters {
+    /// Cycles attributed to private resources:
+    /// `cycles − stall_l2_cycles`.
+    pub fn t_private_cycles(&self) -> f64 {
+        (self.cycles - self.stall_l2_cycles).max(0.0)
+    }
+
+    /// Cycles attributed to shared resources (stalls on L2 misses).
+    pub fn t_shared_cycles(&self) -> f64 {
+        self.stall_l2_cycles
+    }
+
+    /// Instructions per cycle; zero when no cycles have elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// `T_private` per instruction — the paper normalises both time
+    /// slices per instruction before comparing against solo runs (Fig. 3).
+    pub fn t_private_per_instruction(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.t_private_cycles() / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// `T_shared` per instruction.
+    pub fn t_shared_per_instruction(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.t_shared_cycles() / self.instructions
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Add for PmuCounters {
+    type Output = PmuCounters;
+
+    fn add(self, rhs: PmuCounters) -> PmuCounters {
+        PmuCounters {
+            cycles: self.cycles + rhs.cycles,
+            instructions: self.instructions + rhs.instructions,
+            stall_l2_cycles: self.stall_l2_cycles + rhs.stall_l2_cycles,
+            l2_misses: self.l2_misses + rhs.l2_misses,
+            l3_misses: self.l3_misses + rhs.l3_misses,
+            context_switches: self.context_switches + rhs.context_switches,
+        }
+    }
+}
+
+impl AddAssign for PmuCounters {
+    fn add_assign(&mut self, rhs: PmuCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for PmuCounters {
+    type Output = PmuCounters;
+
+    /// Interval counters between two snapshots (`later - earlier`).
+    fn sub(self, rhs: PmuCounters) -> PmuCounters {
+        PmuCounters {
+            cycles: self.cycles - rhs.cycles,
+            instructions: self.instructions - rhs.instructions,
+            stall_l2_cycles: self.stall_l2_cycles - rhs.stall_l2_cycles,
+            l2_misses: self.l2_misses - rhs.l2_misses,
+            l3_misses: self.l3_misses - rhs.l3_misses,
+            context_switches: self.context_switches - rhs.context_switches,
+        }
+    }
+}
+
+/// One per-quantum observation of a context — the unit behind the paper's
+/// Fig. 6 IPC-over-time startup plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmuSample {
+    /// Simulation time at the *end* of the sampled quantum, in ms.
+    pub time_ms: u64,
+    /// Instructions retired during the quantum.
+    pub instructions: f64,
+    /// Cycles consumed during the quantum (0 when not scheduled).
+    pub cycles: f64,
+    /// L3 misses issued by this context during the quantum.
+    pub l3_misses: f64,
+}
+
+impl PmuSample {
+    /// Instructions per cycle within this sample; zero when descheduled.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counters() -> PmuCounters {
+        PmuCounters {
+            cycles: 1000.0,
+            instructions: 800.0,
+            stall_l2_cycles: 250.0,
+            l2_misses: 40.0,
+            l3_misses: 10.0,
+            context_switches: 2.0,
+        }
+    }
+
+    #[test]
+    fn private_plus_shared_equals_cycles() {
+        let c = sample_counters();
+        assert_eq!(c.t_private_cycles() + c.t_shared_cycles(), c.cycles);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let c = sample_counters();
+        assert!((c.ipc() - 0.8).abs() < 1e-12);
+        assert_eq!(PmuCounters::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn per_instruction_metrics() {
+        let c = sample_counters();
+        assert!((c.t_private_per_instruction() - 750.0 / 800.0).abs() < 1e-12);
+        assert!((c.t_shared_per_instruction() - 250.0 / 800.0).abs() < 1e-12);
+        assert_eq!(PmuCounters::default().t_private_per_instruction(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_arithmetic_round_trips() {
+        let a = sample_counters();
+        let b = a + a;
+        let interval = b - a;
+        assert_eq!(interval, a);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut total = PmuCounters::default();
+        total += sample_counters();
+        total += sample_counters();
+        assert_eq!(total.cycles, 2000.0);
+        assert_eq!(total.context_switches, 4.0);
+    }
+
+    #[test]
+    fn t_private_clamps_at_zero() {
+        let c = PmuCounters {
+            cycles: 10.0,
+            stall_l2_cycles: 20.0,
+            ..Default::default()
+        };
+        assert_eq!(c.t_private_cycles(), 0.0);
+    }
+
+    #[test]
+    fn sample_ipc_zero_when_descheduled() {
+        let s = PmuSample {
+            time_ms: 5,
+            instructions: 0.0,
+            cycles: 0.0,
+            l3_misses: 0.0,
+        };
+        assert_eq!(s.ipc(), 0.0);
+    }
+}

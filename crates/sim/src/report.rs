@@ -1,0 +1,72 @@
+use crate::pmu::{PmuCounters, PmuSample};
+
+/// Measurements taken over a workload's startup prefix — the Litmus
+/// probe window (paper §6: the probe reads the startup's own slowdown
+/// *and* the machine's L3 miss traffic during the window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartupReport {
+    /// PMU counters accumulated over the startup prefix only.
+    pub counters: PmuCounters,
+    /// Wall-clock duration of the startup prefix in ms (includes time
+    /// spent descheduled under temporal sharing).
+    pub wall_ms: f64,
+    /// Machine-wide L3 misses per ms during the startup window —
+    /// the supplementary congestion metric of paper Fig. 10.
+    pub machine_l3_miss_rate: f64,
+}
+
+/// Full execution record for one completed workload instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Workload name (from the profile).
+    pub name: String,
+    /// Simulation time when the instance was launched, ms.
+    pub launched_ms: u64,
+    /// Simulation time when the instance completed, ms (fractional:
+    /// completion can fall inside a quantum).
+    pub completed_ms: f64,
+    /// PMU counters over the whole execution.
+    pub counters: PmuCounters,
+    /// Startup-window measurements, when the profile has a startup
+    /// prefix.
+    pub startup: Option<StartupReport>,
+    /// Per-quantum samples (present when sampling was enabled at launch).
+    pub samples: Vec<PmuSample>,
+}
+
+impl ExecutionReport {
+    /// Wall-clock execution time in ms.
+    pub fn wall_ms(&self) -> f64 {
+        self.completed_ms - self.launched_ms as f64
+    }
+
+    /// Busy time in ms implied by consumed cycles at `ghz` — excludes
+    /// time spent descheduled, which is how the paper meters billable
+    /// occupancy rather than queueing delay.
+    pub fn busy_ms(&self, ghz: f64) -> f64 {
+        self.counters.cycles / (ghz * 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_and_busy_time() {
+        let report = ExecutionReport {
+            name: "w".into(),
+            launched_ms: 10,
+            completed_ms: 35.5,
+            counters: PmuCounters {
+                cycles: 2.8e6 * 20.0,
+                instructions: 1.0e6,
+                ..Default::default()
+            },
+            startup: None,
+            samples: Vec::new(),
+        };
+        assert!((report.wall_ms() - 25.5).abs() < 1e-9);
+        assert!((report.busy_ms(2.8) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,391 @@
+use crate::error::SimError;
+use crate::Result;
+
+/// Description of the simulated machine: topology, cache/memory latencies,
+/// shared-resource capacities and the contention-model constants.
+///
+/// Two presets mirror the paper's testbeds:
+/// [`MachineSpec::cascade_lake`] (Xeon Gold 5218 class, §3) and
+/// [`MachineSpec::ice_lake`] (Xeon Silver 4314 class, §8 "CPU
+/// Architecture"). All fields are public on purpose — the spec is passive
+/// configuration data and the sensitivity studies mutate individual knobs.
+///
+/// # Examples
+///
+/// ```
+/// let mut spec = litmus_sim::MachineSpec::cascade_lake();
+/// assert_eq!(spec.cores, 32);
+/// spec.smt_ways = 2; // enable SMT for the §8 study
+/// assert!(spec.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name of the platform.
+    pub name: String,
+    /// Number of physical cores on the machine.
+    pub cores: usize,
+    /// Number of shared-resource domains (sockets). Cores are split
+    /// evenly: core `c` belongs to domain `c / (cores / sockets)`.
+    /// Each domain has its own L3 (capacity, service ports) and memory
+    /// channel set; contention is solved per domain. The capacity and
+    /// bandwidth fields below are **per domain**.
+    pub sockets: usize,
+    /// Hardware threads per physical core (1 = SMT disabled, the
+    /// serverless default per §8; 2 = SMT enabled).
+    pub smt_ways: usize,
+    /// Nominal core frequency in GHz (the paper pins 2.8 GHz).
+    pub frequency_ghz: f64,
+    /// Shared L3 capacity in MiB.
+    pub l3_capacity_mb: f64,
+    /// Uncontended L3 hit latency in cycles.
+    pub l3_hit_latency: f64,
+    /// Uncontended DRAM access latency in cycles (beyond the L3 hit).
+    pub mem_latency: f64,
+    /// L3 service capacity in cache lines per millisecond — the shared
+    /// ring/port bandwidth that CT-Gen style traffic saturates.
+    pub l3_service_lines_per_ms: f64,
+    /// DRAM bandwidth in cache lines per millisecond — what MB-Gen
+    /// saturates.
+    pub mem_lines_per_ms: f64,
+    /// L3 latency inflation slope per unit of L3 port utilisation.
+    pub k_ring: f64,
+    /// Memory latency queueing coefficient.
+    pub k_bw: f64,
+    /// Coupling of L3 capacity pressure into DRAM latency — cache
+    /// thrashing destroys row-buffer locality, so a machine whose L3 is
+    /// overcommitted pays more per DRAM access even at moderate
+    /// bandwidth utilisation.
+    pub k_thrash: f64,
+    /// Utilisation at which the memory queueing term is clamped (keeps
+    /// the fixed point finite under oversubscription).
+    pub bw_util_cap: f64,
+    /// Upper bound for the capacity-pressure conversion of L3 hits into
+    /// L3 misses when aggregate working sets overflow the cache.
+    pub pressure_max: f64,
+    /// Coupling of shared congestion into private CPI — the small
+    /// (≈4–5%) `T_private` inflation the paper observes in Fig. 3.
+    pub private_coupling: f64,
+    /// Maximum context-switch inflation of private CPI under temporal
+    /// core sharing (Fig. 14 plateaus around +2.5–2.8%).
+    pub switch_overhead_max: f64,
+    /// Maximum extra L2 misses per kilo-instruction caused by cache
+    /// refills after context switches — a displaced function finds its
+    /// working set evicted by the functions that ran in between (§7.2
+    /// "Method 1" motivation). Saturates with the same Fig. 14 shape as
+    /// the private overhead.
+    pub switch_extra_mpki: f64,
+    /// Co-resident function count at which the switch overhead saturates
+    /// (Fig. 14 stabilises around 20).
+    pub switch_saturation: f64,
+    /// Private-CPI multiplier when the SMT sibling thread is busy.
+    pub smt_private_factor: f64,
+}
+
+impl MachineSpec {
+    /// Preset matching the paper's primary testbed: dual-socket Intel
+    /// Xeon Gold 5218 (Cascade Lake), 32 cores at a pinned 2.8 GHz,
+    /// 2 × 22 MiB L3. The default preset merges both sockets into one
+    /// 32-core sharing domain — the paper's experiments always co-locate
+    /// interfering tasks on shared resources, and a merged domain keeps
+    /// every core pair interfering. Use [`MachineSpec::cascade_lake_dual`]
+    /// for the physically-split topology.
+    pub fn cascade_lake() -> Self {
+        MachineSpec {
+            name: "cascade-lake-xeon-gold-5218".to_owned(),
+            cores: 32,
+            sockets: 1,
+            smt_ways: 1,
+            frequency_ghz: 2.8,
+            l3_capacity_mb: 44.0,
+            l3_hit_latency: 42.0,
+            mem_latency: 210.0,
+            l3_service_lines_per_ms: 1_500_000.0,
+            mem_lines_per_ms: 1_600_000.0,
+            k_ring: 4.5,
+            k_bw: 0.9,
+            k_thrash: 0.45,
+            bw_util_cap: 0.93,
+            pressure_max: 0.88,
+            private_coupling: 0.055,
+            switch_overhead_max: 0.028,
+            switch_extra_mpki: 0.6,
+            switch_saturation: 20.0,
+            smt_private_factor: 1.85,
+        }
+    }
+
+    /// The same Cascade Lake machine with its two sockets modelled as
+    /// separate sharing domains: 2 × 16 cores, each with its own 22 MiB
+    /// L3 and memory channels. Functions on different sockets do not
+    /// contend (socket-local placement isolation).
+    pub fn cascade_lake_dual() -> Self {
+        let mut spec = MachineSpec::cascade_lake();
+        spec.name = "cascade-lake-xeon-gold-5218-dual-socket".to_owned();
+        spec.sockets = 2;
+        spec.l3_capacity_mb /= 2.0;
+        spec.l3_service_lines_per_ms /= 2.0;
+        spec.mem_lines_per_ms /= 2.0;
+        spec
+    }
+
+    /// Preset matching the §8 architecture study: Intel Xeon Silver 4314
+    /// (Ice Lake), 16 cores, 24 MiB L3, slightly higher memory latency and
+    /// lower aggregate bandwidth (128 GB machine).
+    pub fn ice_lake() -> Self {
+        MachineSpec {
+            name: "ice-lake-xeon-silver-4314".to_owned(),
+            cores: 16,
+            sockets: 1,
+            smt_ways: 1,
+            frequency_ghz: 2.4,
+            l3_capacity_mb: 24.0,
+            l3_hit_latency: 46.0,
+            mem_latency: 230.0,
+            l3_service_lines_per_ms: 900_000.0,
+            mem_lines_per_ms: 1_000_000.0,
+            k_ring: 4.5,
+            k_bw: 0.9,
+            k_thrash: 0.45,
+            bw_util_cap: 0.93,
+            pressure_max: 0.88,
+            private_coupling: 0.055,
+            switch_overhead_max: 0.028,
+            switch_extra_mpki: 0.6,
+            switch_saturation: 20.0,
+            smt_private_factor: 1.85,
+        }
+    }
+
+    /// Total hardware threads (`cores × smt_ways`).
+    pub fn hardware_threads(&self) -> usize {
+        self.cores * self.smt_ways
+    }
+
+    /// Cores per sharing domain.
+    pub fn cores_per_domain(&self) -> usize {
+        self.cores / self.sockets.max(1)
+    }
+
+    /// The sharing domain core `core` belongs to.
+    pub fn domain_of(&self, core: usize) -> usize {
+        core / self.cores_per_domain()
+    }
+
+    /// Core cycles in one simulation quantum at frequency `ghz`.
+    pub fn cycles_per_quantum(&self, ghz: f64) -> f64 {
+        ghz * 1.0e6 * crate::QUANTUM_MS
+    }
+
+    /// Checks that every parameter is in its valid range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] naming the first offending field.
+    pub fn validate(&self) -> Result<()> {
+        fn positive(field: &'static str, value: f64) -> Result<()> {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(SimError::InvalidSpec { field, value })
+            }
+        }
+        if self.cores == 0 {
+            return Err(SimError::InvalidSpec {
+                field: "cores",
+                value: 0.0,
+            });
+        }
+        if self.sockets == 0 || !self.cores.is_multiple_of(self.sockets) {
+            return Err(SimError::InvalidSpec {
+                field: "sockets",
+                value: self.sockets as f64,
+            });
+        }
+        if self.smt_ways == 0 || self.smt_ways > 2 {
+            return Err(SimError::InvalidSpec {
+                field: "smt_ways",
+                value: self.smt_ways as f64,
+            });
+        }
+        positive("frequency_ghz", self.frequency_ghz)?;
+        positive("l3_capacity_mb", self.l3_capacity_mb)?;
+        positive("l3_hit_latency", self.l3_hit_latency)?;
+        positive("mem_latency", self.mem_latency)?;
+        positive("l3_service_lines_per_ms", self.l3_service_lines_per_ms)?;
+        positive("mem_lines_per_ms", self.mem_lines_per_ms)?;
+        if !(0.0..=10.0).contains(&self.k_ring) {
+            return Err(SimError::InvalidSpec {
+                field: "k_ring",
+                value: self.k_ring,
+            });
+        }
+        if !(0.0..=10.0).contains(&self.k_bw) {
+            return Err(SimError::InvalidSpec {
+                field: "k_bw",
+                value: self.k_bw,
+            });
+        }
+        if !(0.0..=10.0).contains(&self.k_thrash) {
+            return Err(SimError::InvalidSpec {
+                field: "k_thrash",
+                value: self.k_thrash,
+            });
+        }
+        if !(0.0..1.0).contains(&self.bw_util_cap) {
+            return Err(SimError::InvalidSpec {
+                field: "bw_util_cap",
+                value: self.bw_util_cap,
+            });
+        }
+        if !(0.0..1.0).contains(&self.pressure_max) {
+            return Err(SimError::InvalidSpec {
+                field: "pressure_max",
+                value: self.pressure_max,
+            });
+        }
+        if !(0.0..1.0).contains(&self.private_coupling) {
+            return Err(SimError::InvalidSpec {
+                field: "private_coupling",
+                value: self.private_coupling,
+            });
+        }
+        if !(0.0..1.0).contains(&self.switch_overhead_max) {
+            return Err(SimError::InvalidSpec {
+                field: "switch_overhead_max",
+                value: self.switch_overhead_max,
+            });
+        }
+        if !(0.0..=10.0).contains(&self.switch_extra_mpki) {
+            return Err(SimError::InvalidSpec {
+                field: "switch_extra_mpki",
+                value: self.switch_extra_mpki,
+            });
+        }
+        if self.switch_saturation < 2.0 {
+            return Err(SimError::InvalidSpec {
+                field: "switch_saturation",
+                value: self.switch_saturation,
+            });
+        }
+        if self.smt_private_factor < 1.0 {
+            return Err(SimError::InvalidSpec {
+                field: "smt_private_factor",
+                value: self.smt_private_factor,
+            });
+        }
+        Ok(())
+    }
+
+    /// Saturating logarithmic growth shared by both sharing-overhead
+    /// models: 0 when alone, 1 at/past [`MachineSpec::switch_saturation`]
+    /// co-residents (the Fig. 14 knee).
+    pub fn switch_growth(&self, co_resident: f64) -> f64 {
+        if co_resident <= 1.0 {
+            return 0.0;
+        }
+        let n = co_resident.min(self.switch_saturation.max(2.0) * 4.0);
+        (n.ln() / self.switch_saturation.ln()).min(1.0)
+    }
+
+    /// Private-CPI inflation factor from temporal core sharing when `n`
+    /// functions co-reside on one core — the Fig. 14 curve: logarithmic
+    /// growth that saturates at [`MachineSpec::switch_saturation`].
+    pub fn switch_factor(&self, co_resident: f64) -> f64 {
+        1.0 + self.switch_overhead_max * self.switch_growth(co_resident)
+    }
+
+    /// Extra L2 misses per kilo-instruction injected by post-switch cache
+    /// refills when `n` functions co-reside on one core.
+    pub fn switch_mpki(&self, co_resident: f64) -> f64 {
+        self.switch_extra_mpki * self.switch_growth(co_resident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(MachineSpec::cascade_lake().validate().is_ok());
+        assert!(MachineSpec::ice_lake().validate().is_ok());
+    }
+
+    #[test]
+    fn hardware_threads_counts_smt() {
+        let mut spec = MachineSpec::cascade_lake();
+        assert_eq!(spec.hardware_threads(), 32);
+        spec.smt_ways = 2;
+        assert_eq!(spec.hardware_threads(), 64);
+    }
+
+    #[test]
+    fn cycles_per_quantum_scales_with_frequency() {
+        let spec = MachineSpec::cascade_lake();
+        let at_base = spec.cycles_per_quantum(2.8);
+        let at_turbo = spec.cycles_per_quantum(3.9);
+        assert!((at_base - 2.8e6).abs() < 1e-6);
+        assert!(at_turbo > at_base);
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        let mut spec = MachineSpec::cascade_lake();
+        spec.cores = 0;
+        assert!(matches!(
+            spec.validate(),
+            Err(SimError::InvalidSpec { field: "cores", .. })
+        ));
+
+        let mut spec = MachineSpec::cascade_lake();
+        spec.frequency_ghz = -1.0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = MachineSpec::cascade_lake();
+        spec.bw_util_cap = 1.5;
+        assert!(spec.validate().is_err());
+
+        let mut spec = MachineSpec::cascade_lake();
+        spec.smt_ways = 3;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn switch_factor_matches_fig14_shape() {
+        let spec = MachineSpec::cascade_lake();
+        // No inflation when alone.
+        assert_eq!(spec.switch_factor(1.0), 1.0);
+        // Monotone growth.
+        let f5 = spec.switch_factor(5.0);
+        let f10 = spec.switch_factor(10.0);
+        let f20 = spec.switch_factor(20.0);
+        let f25 = spec.switch_factor(25.0);
+        assert!(f5 > 1.0);
+        assert!(f10 > f5);
+        assert!(f20 >= f10);
+        // Saturation past the knee: 20 → 25 changes (almost) nothing.
+        assert!((f25 - f20).abs() < 1e-9);
+        // The 10-co-resident value is in the paper's ~1.02–1.03 band.
+        assert!(f10 > 1.015 && f10 < 1.035, "f10 = {f10}");
+    }
+
+    #[test]
+    fn switch_mpki_shares_the_saturating_shape() {
+        let spec = MachineSpec::cascade_lake();
+        assert_eq!(spec.switch_mpki(1.0), 0.0);
+        let m10 = spec.switch_mpki(10.0);
+        let m20 = spec.switch_mpki(20.0);
+        let m25 = spec.switch_mpki(25.0);
+        assert!(m10 > 0.0 && m10 < spec.switch_extra_mpki);
+        assert!((m20 - spec.switch_extra_mpki).abs() < 1e-9);
+        assert!((m25 - m20).abs() < 1e-9, "saturated past the knee");
+    }
+
+    #[test]
+    fn switch_factor_log_growth_decelerates() {
+        let spec = MachineSpec::cascade_lake();
+        let early = spec.switch_factor(5.0) - spec.switch_factor(2.0);
+        let late = spec.switch_factor(18.0) - spec.switch_factor(15.0);
+        assert!(early > late);
+    }
+}

@@ -1,0 +1,103 @@
+//! Multi-socket topology: per-domain contention isolation.
+
+use litmus_sim::{ExecPhase, ExecutionProfile, MachineSpec, Placement, Simulator};
+
+fn memory_hog(instructions: f64) -> ExecutionProfile {
+    ExecutionProfile::builder("hog")
+        .phase(ExecPhase::new(instructions, 0.6, 30.0, 0.8, 0.9, 30.0))
+        .build()
+        .unwrap()
+}
+
+fn victim() -> ExecutionProfile {
+    ExecutionProfile::builder("victim")
+        .phase(ExecPhase::new(20_000_000.0, 0.6, 4.0, 0.4, 0.8, 16.0))
+        .build()
+        .unwrap()
+}
+
+/// Runs the victim on core 0 with 8 hogs on the given cores; returns
+/// the victim's T_shared per instruction.
+fn victim_t_shared(spec: MachineSpec, hog_cores: std::ops::Range<usize>) -> f64 {
+    let mut sim = Simulator::new(spec);
+    for core in hog_cores {
+        sim.launch(memory_hog(5.0e9), Placement::pinned(core)).unwrap();
+    }
+    let id = sim.launch(victim(), Placement::pinned(0)).unwrap();
+    let report = sim.run_to_completion(id).unwrap();
+    report.counters.t_shared_per_instruction()
+}
+
+#[test]
+fn dual_socket_preset_validates_and_maps_cores() {
+    let spec = MachineSpec::cascade_lake_dual();
+    assert!(spec.validate().is_ok());
+    assert_eq!(spec.sockets, 2);
+    assert_eq!(spec.cores_per_domain(), 16);
+    assert_eq!(spec.domain_of(0), 0);
+    assert_eq!(spec.domain_of(15), 0);
+    assert_eq!(spec.domain_of(16), 1);
+    assert_eq!(spec.domain_of(31), 1);
+}
+
+#[test]
+fn invalid_socket_splits_are_rejected() {
+    let mut spec = MachineSpec::cascade_lake();
+    spec.sockets = 3; // 32 % 3 != 0
+    assert!(spec.validate().is_err());
+    spec.sockets = 0;
+    assert!(spec.validate().is_err());
+}
+
+#[test]
+fn remote_socket_hogs_do_not_interfere() {
+    let spec = MachineSpec::cascade_lake_dual();
+    // Hogs on the victim's socket (cores 1..9) vs the remote one (16..24).
+    let local = victim_t_shared(spec.clone(), 1..9);
+    let remote = victim_t_shared(spec.clone(), 16..24);
+    // Solo baseline.
+    let mut sim = Simulator::new(spec);
+    let id = sim.launch(victim(), Placement::pinned(0)).unwrap();
+    let solo = sim
+        .run_to_completion(id)
+        .unwrap()
+        .counters
+        .t_shared_per_instruction();
+
+    assert!(
+        local > solo * 1.3,
+        "same-socket hogs must slow the victim: {local} vs solo {solo}"
+    );
+    assert!(
+        (remote - solo).abs() / solo < 0.02,
+        "remote-socket hogs must not interfere: {remote} vs solo {solo}"
+    );
+}
+
+#[test]
+fn domain_snapshots_report_independent_states() {
+    let spec = MachineSpec::cascade_lake_dual();
+    let mut sim = Simulator::new(spec);
+    for core in 16..28 {
+        sim.launch(memory_hog(5.0e9), Placement::pinned(core)).unwrap();
+    }
+    sim.run_for_ms(20);
+    let quiet = sim.domain_congestion(0).unwrap();
+    let busy = sim.domain_congestion(1).unwrap();
+    assert!(busy.level() > quiet.level() + 1.0);
+    assert!(sim.domain_congestion(2).is_none());
+    // The machine-level view is the conservative (busy) one.
+    assert_eq!(sim.congestion().level(), busy.level());
+}
+
+#[test]
+fn merged_domain_preset_behaves_like_before() {
+    // Single-domain: hogs interfere regardless of core distance.
+    let spec = MachineSpec::cascade_lake();
+    let near = victim_t_shared(spec.clone(), 1..9);
+    let far = victim_t_shared(spec, 16..24);
+    assert!(
+        (near - far).abs() / near < 0.05,
+        "merged domain: placement distance must not matter ({near} vs {far})"
+    );
+}

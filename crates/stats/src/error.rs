@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistics substrate.
+///
+/// Every fallible public function in this crate returns this type, so that
+/// downstream crates can propagate numerical failures (empty inputs,
+/// degenerate regressions, domain violations) with `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty where at least one element is required.
+    EmptyInput,
+    /// Paired-sample input slices had different lengths.
+    LengthMismatch {
+        /// Length of the x (first) slice.
+        xs: usize,
+        /// Length of the y (second) slice.
+        ys: usize,
+    },
+    /// Fewer samples than required for the requested operation.
+    InsufficientSamples {
+        /// Samples provided.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// The x values were all identical, so a slope cannot be determined.
+    DegenerateX,
+    /// A value outside the mathematical domain was supplied
+    /// (e.g. non-positive input to a logarithm or geometric mean).
+    Domain(&'static str),
+    /// A non-finite (NaN or infinite) value was encountered in the input.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input slice is empty"),
+            StatsError::LengthMismatch { xs, ys } => {
+                write!(f, "paired inputs have different lengths ({xs} vs {ys})")
+            }
+            StatsError::InsufficientSamples { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            StatsError::DegenerateX => {
+                write!(f, "x values are constant; slope is undefined")
+            }
+            StatsError::Domain(what) => write!(f, "domain error: {what}"),
+            StatsError::NonFinite => write!(f, "input contains NaN or infinity"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that a slice contains only finite values.
+pub(crate) fn ensure_finite(values: &[f64]) -> super::Result<()> {
+    if values.iter().any(|v| !v.is_finite()) {
+        Err(StatsError::NonFinite)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(StatsError, &str)> = vec![
+            (StatsError::EmptyInput, "empty"),
+            (StatsError::LengthMismatch { xs: 3, ys: 4 }, "3 vs 4"),
+            (StatsError::InsufficientSamples { got: 1, need: 2 }, "at least 2"),
+            (StatsError::DegenerateX, "slope"),
+            (StatsError::Domain("log of zero"), "log of zero"),
+            (StatsError::NonFinite, "NaN"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn ensure_finite_accepts_normal_values() {
+        assert!(ensure_finite(&[0.0, -1.5, 3.25]).is_ok());
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_inf() {
+        assert_eq!(ensure_finite(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+        assert_eq!(
+            ensure_finite(&[f64::INFINITY]),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(StatsError::EmptyInput);
+    }
+}

@@ -1,0 +1,124 @@
+use crate::error::{ensure_finite, StatsError};
+use crate::linreg::LinearFit;
+use crate::Result;
+
+/// Exponential least-squares fit `y = exp(a + b·x)` (linear in `ln y`).
+///
+/// Paper Fig. 10(a) plots each traffic generator's **L3 miss count**
+/// against the startup slowdown on a logarithmic y-axis — a straight
+/// line there is exactly this model. The Litmus discount interpolation
+/// evaluates both generators' curves at the observed startup slowdown to
+/// obtain the L3-miss bracket, then places the observed miss count
+/// between them in log space (see [`crate::log_weight`]).
+///
+/// # Examples
+///
+/// ```
+/// use litmus_stats::ExpFit;
+///
+/// let xs = [1.0, 2.0, 3.0];
+/// let ys = [10.0, 100.0, 1000.0]; // y = 10^x
+/// let fit = ExpFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.predict(4.0) - 10_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpFit {
+    inner: LinearFit,
+}
+
+impl ExpFit {
+    /// Fits `y = exp(a + b·x)` by least squares on `(x, ln y)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Domain`] if any `y` is not strictly positive.
+    /// * All error conditions of [`LinearFit::fit`] on the transformed
+    ///   coordinates.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        ensure_finite(ys)?;
+        if ys.iter().any(|&y| y <= 0.0) {
+            return Err(StatsError::Domain(
+                "exponential fit requires strictly positive y values",
+            ));
+        }
+        let ln_ys: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        Ok(ExpFit {
+            inner: LinearFit::fit(xs, &ln_ys)?,
+        })
+    }
+
+    /// Additive coefficient `a` in `y = exp(a + b·x)`.
+    pub fn intercept(&self) -> f64 {
+        self.inner.intercept()
+    }
+
+    /// Exponential slope `b` in `y = exp(a + b·x)`.
+    pub fn coefficient(&self) -> f64 {
+        self.inner.slope()
+    }
+
+    /// Coefficient of determination in log space.
+    pub fn r_squared(&self) -> f64 {
+        self.inner.r_squared()
+    }
+
+    /// Evaluates the fitted curve at `x`; always strictly positive.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.inner.predict(x).exp()
+    }
+
+    /// Inverts the curve: the `x` whose prediction equals `y`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Domain`] if `y` is not strictly positive.
+    /// * [`StatsError::DegenerateX`] if the slope is zero.
+    pub fn invert(&self, y: f64) -> Result<f64> {
+        if y <= 0.0 {
+            return Err(StatsError::Domain(
+                "exponential inversion requires strictly positive y",
+            ));
+        }
+        self.inner.invert(y.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_exponential() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (1.2 + 0.8 * x).exp()).collect();
+        let fit = ExpFit::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept() - 1.2).abs() < 1e-9);
+        assert!((fit.coefficient() - 0.8).abs() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictions_are_positive() {
+        let fit = ExpFit::fit(&[1.0, 2.0, 3.0], &[5.0, 2.0, 1.0]).unwrap();
+        assert!(fit.predict(-100.0) > 0.0);
+        assert!(fit.predict(100.0) > 0.0);
+    }
+
+    #[test]
+    fn rejects_non_positive_y() {
+        assert!(matches!(
+            ExpFit::fit(&[1.0, 2.0], &[1.0, 0.0]),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let xs = [1.0f64, 1.5, 2.0, 2.5];
+        let ys: Vec<f64> = xs.iter().map(|x| (0.5 + 2.0 * x).exp()).collect();
+        let fit = ExpFit::fit(&xs, &ys).unwrap();
+        let y = fit.predict(1.8);
+        assert!((fit.invert(y).unwrap() - 1.8).abs() < 1e-9);
+        assert!(fit.invert(-1.0).is_err());
+    }
+}

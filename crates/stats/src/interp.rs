@@ -1,0 +1,209 @@
+use crate::error::StatsError;
+use crate::logreg::LogFit;
+use crate::Result;
+
+/// Linear interpolation between `a` and `b` by weight `t` (not clamped).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(litmus_stats::lerp(1.0, 3.0, 0.5), 2.0);
+/// ```
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Computes the logarithmic position of `value` between `lo` and `hi`,
+/// clamped to `[0, 1]`.
+///
+/// This is step ③ of paper Fig. 10: a Litmus test reporting 100 L3 misses
+/// when CT-Gen would produce 10 and MB-Gen 1000 lies exactly midway in
+/// log space, so the weight is 0.5.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if any argument is non-positive or if
+/// `lo == hi` (the bracket is degenerate).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// let w = litmus_stats::log_weight(100.0, 10.0, 1000.0)?;
+/// assert!((w - 0.5).abs() < 1e-12);
+/// # Ok(()) }
+/// ```
+pub fn log_weight(value: f64, lo: f64, hi: f64) -> Result<f64> {
+    if value <= 0.0 || lo <= 0.0 || hi <= 0.0 {
+        return Err(StatsError::Domain(
+            "logarithmic weight requires strictly positive inputs",
+        ));
+    }
+    if lo == hi {
+        return Err(StatsError::Domain(
+            "logarithmic weight bracket is degenerate (lo == hi)",
+        ));
+    }
+    let w = (value.ln() - lo.ln()) / (hi.ln() - lo.ln());
+    Ok(w.clamp(0.0, 1.0))
+}
+
+/// Blends two estimates by the logarithmic position of `value` in
+/// `[lo, hi]` — the complete Fig. 10 interpolation in one call.
+///
+/// `estimate_lo` is returned when `value <= lo`, `estimate_hi` when
+/// `value >= hi`, and a linear blend (in the estimate domain, weighted in
+/// log space of `value`) in between.
+///
+/// # Errors
+///
+/// Same conditions as [`log_weight`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// // Discount 1% at CT-Gen-like 10 misses, 6% at MB-Gen-like 1000.
+/// let d = litmus_stats::log_blend(100.0, 10.0, 1000.0, 0.01, 0.06)?;
+/// assert!((d - 0.035).abs() < 1e-12); // the paper's 3.5% example
+/// # Ok(()) }
+/// ```
+pub fn log_blend(
+    value: f64,
+    lo: f64,
+    hi: f64,
+    estimate_lo: f64,
+    estimate_hi: f64,
+) -> Result<f64> {
+    let w = log_weight(value, lo, hi)?;
+    Ok(lerp(estimate_lo, estimate_hi, w))
+}
+
+/// Interpolator between two logarithmic curves indexed by the same x.
+///
+/// Holds the two per-generator [`LogFit`] models (CT-Gen and MB-Gen
+/// L3-miss curves in the paper) and answers "given an observed x
+/// (startup slowdown) and an observed y (L3 misses), where between the
+/// two curves does the machine sit?".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogInterpolator {
+    lower: LogFit,
+    upper: LogFit,
+}
+
+impl LogInterpolator {
+    /// Creates an interpolator from the lower-bound and upper-bound curve
+    /// fits (CT-Gen and MB-Gen in the paper; order matters only for which
+    /// weight endpoint each maps to: `lower → 0`, `upper → 1`).
+    pub fn new(lower: LogFit, upper: LogFit) -> Self {
+        LogInterpolator { lower, upper }
+    }
+
+    /// Lower-bound curve.
+    pub fn lower(&self) -> &LogFit {
+        &self.lower
+    }
+
+    /// Upper-bound curve.
+    pub fn upper(&self) -> &LogFit {
+        &self.upper
+    }
+
+    /// Weight in `[0, 1]` of an observation: `x` is the common index
+    /// (startup slowdown), `y` the observed metric (L3 misses).
+    ///
+    /// Both curves are evaluated at `x` to obtain the bracketing values,
+    /// then [`log_weight`] places `y` between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `x` or `y` or either curve
+    /// prediction is non-positive, or if the curves coincide at `x`.
+    pub fn weight(&self, x: f64, y: f64) -> Result<f64> {
+        if x <= 0.0 {
+            return Err(StatsError::Domain("index x must be strictly positive"));
+        }
+        let lo = self.lower.predict(x);
+        let hi = self.upper.predict(x);
+        if lo <= 0.0 || hi <= 0.0 {
+            return Err(StatsError::Domain(
+                "curve predictions must be strictly positive for log weighting",
+            ));
+        }
+        // The curves may cross; orient the bracket before weighting.
+        if lo <= hi {
+            log_weight(y, lo, hi)
+        } else {
+            Ok(1.0 - log_weight(y, hi, lo)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)]) -> LogFit {
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        LogFit::fit(&xs, &ys).unwrap()
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 6.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 6.0, 1.0), 6.0);
+        assert_eq!(lerp(2.0, 6.0, 0.25), 3.0);
+    }
+
+    #[test]
+    fn log_weight_clamps_out_of_bracket_values() {
+        assert_eq!(log_weight(1.0, 10.0, 1000.0).unwrap(), 0.0);
+        assert_eq!(log_weight(1e6, 10.0, 1000.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn log_weight_rejects_degenerate_bracket() {
+        assert!(matches!(
+            log_weight(5.0, 10.0, 10.0),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn paper_fig10_walkthrough() {
+        // 10 misses → CT-like (1% discount); 1000 → MB-like (6%);
+        // 100 → midway in log space → 3.5%.
+        let d1 = log_blend(10.0, 10.0, 1000.0, 0.01, 0.06).unwrap();
+        let d2 = log_blend(1000.0, 10.0, 1000.0, 0.01, 0.06).unwrap();
+        let d3 = log_blend(100.0, 10.0, 1000.0, 0.01, 0.06).unwrap();
+        assert!((d1 - 0.01).abs() < 1e-12);
+        assert!((d2 - 0.06).abs() < 1e-12);
+        assert!((d3 - 0.035).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolator_weights_between_curves() {
+        // Lower curve: y = 10·x^0 = e^(ln 10); make it depend on x mildly.
+        let lower = curve(&[(1.0, 2.0), (2.0, 2.5), (4.0, 3.0)]);
+        let upper = curve(&[(1.0, 200.0), (2.0, 250.0), (4.0, 300.0)]);
+        let interp = LogInterpolator::new(lower, upper);
+        let w_lo = interp.weight(2.0, 2.5).unwrap();
+        let w_hi = interp.weight(2.0, 250.0).unwrap();
+        assert!(w_lo < 0.05);
+        assert!(w_hi > 0.95);
+        let w_mid = interp.weight(2.0, 25.0).unwrap();
+        assert!(w_mid > 0.3 && w_mid < 0.7);
+    }
+
+    #[test]
+    fn interpolator_handles_swapped_curves() {
+        let a = curve(&[(1.0, 2.0), (2.0, 2.5), (4.0, 3.0)]);
+        let b = curve(&[(1.0, 200.0), (2.0, 250.0), (4.0, 300.0)]);
+        let normal = LogInterpolator::new(a, b);
+        let swapped = LogInterpolator::new(b, a);
+        let w1 = normal.weight(2.0, 25.0).unwrap();
+        let w2 = swapped.weight(2.0, 25.0).unwrap();
+        assert!((w1 + w2 - 1.0).abs() < 1e-9, "weights must mirror");
+    }
+}

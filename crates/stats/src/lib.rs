@@ -1,0 +1,58 @@
+//! Statistics substrate for the Litmus pricing reproduction.
+//!
+//! The Litmus pricing scheme (Pei, Wang, Shin — ASPLOS '24) leans on a
+//! small set of numerical tools:
+//!
+//! * **least-squares linear regression** — mapping the slowdown of a
+//!   language runtime's startup phase to the slowdown of reference
+//!   functions (paper Fig. 9 builds one regression per traffic generator);
+//! * **logarithmic regression** — relating observed L3 miss counts to
+//!   congestion intensity (paper Fig. 10(a) is drawn on a log axis);
+//! * **logarithmic interpolation** — placing a machine state between the
+//!   two extreme congestion scenarios created by CT-Gen and MB-Gen (paper
+//!   Fig. 10, steps ①–③);
+//! * **summary statistics** — geometric means of per-function slowdowns
+//!   (every table entry in paper Fig. 5 is a gmean) and error summaries.
+//!
+//! This crate implements those tools with no dependencies so that the rest
+//! of the workspace (`litmus-sim`, `litmus-core`, …) can share them.
+//!
+//! # Examples
+//!
+//! ```
+//! use litmus_stats::{LinearFit, geometric_mean};
+//!
+//! // Startup slowdown (x) vs reference-function slowdown (y).
+//! let xs = [1.0, 1.2, 1.5, 2.0];
+//! let ys = [1.0, 1.1, 1.25, 1.5];
+//! let fit = LinearFit::fit(&xs, &ys).unwrap();
+//! assert!(fit.r_squared() > 0.99);
+//! assert!((fit.predict(1.2) - 1.1).abs() < 0.02);
+//!
+//! let g = geometric_mean(&[1.1, 1.2, 1.3]).unwrap();
+//! assert!(g > 1.1 && g < 1.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expfit;
+mod interp;
+mod linreg;
+mod logreg;
+mod summary;
+mod table;
+
+pub use error::StatsError;
+pub use expfit::ExpFit;
+pub use interp::{lerp, log_blend, log_weight, LogInterpolator};
+pub use linreg::LinearFit;
+pub use logreg::LogFit;
+pub use summary::{
+    geometric_mean, mean, normalize_to, percentile, stddev, variance, Summary,
+};
+pub use table::LevelTable;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

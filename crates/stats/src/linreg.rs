@@ -1,0 +1,229 @@
+use crate::error::{ensure_finite, StatsError};
+use crate::Result;
+
+/// Ordinary least-squares linear fit `y = intercept + slope·x`.
+///
+/// The Litmus discount model (paper §6, step 3 and Fig. 9) is built from
+/// exactly this: for each traffic generator, the slowdown of the language
+/// startup phase (x) is regressed against the geometric-mean slowdown of
+/// the reference functions (y), separately for `T_private`, `T_shared`
+/// and total time. The paper reports R² between 0.836 and 0.989 for these
+/// fits, so [`LinearFit::r_squared`] is part of the public API.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_stats::LinearFit;
+///
+/// let xs = [1.0, 2.0, 3.0];
+/// let ys = [2.0, 4.0, 6.0];
+/// let fit = LinearFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.slope() - 2.0).abs() < 1e-12);
+/// assert!((fit.predict(4.0) - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    slope: f64,
+    intercept: f64,
+    r_squared: f64,
+    n: usize,
+}
+
+impl LinearFit {
+    /// Fits `y = intercept + slope·x` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::LengthMismatch`] if `xs` and `ys` differ in length.
+    /// * [`StatsError::InsufficientSamples`] with fewer than 2 points.
+    /// * [`StatsError::NonFinite`] if any coordinate is NaN or infinite.
+    /// * [`StatsError::DegenerateX`] if all `xs` are identical.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                xs: xs.len(),
+                ys: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::InsufficientSamples {
+                got: xs.len(),
+                need: 2,
+            });
+        }
+        ensure_finite(xs)?;
+        ensure_finite(ys)?;
+
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::DegenerateX);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R² = 1 - SS_res / SS_tot. A constant y series fits perfectly
+        // with slope 0, so define R² = 1 when syy == 0.
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            let ss_res: f64 = xs
+                .iter()
+                .zip(ys)
+                .map(|(&x, &y)| {
+                    let e = y - (intercept + slope * x);
+                    e * e
+                })
+                .sum();
+            1.0 - ss_res / syy
+        };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n: xs.len(),
+        })
+    }
+
+    /// Fitted slope.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Coefficient of determination of the fit, in `[0, 1]` for OLS.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of points the model was fitted on.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the fit was built from zero points (never true: fitting
+    /// requires at least two points, but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Inverts the fitted line: the `x` that predicts `y`.
+    ///
+    /// Used when converting an observed startup slowdown back into an
+    /// abstract congestion level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DegenerateX`] if the slope is zero (a flat
+    /// line cannot be inverted).
+    pub fn invert(&self, y: f64) -> Result<f64> {
+        if self.slope == 0.0 {
+            return Err(StatsError::DegenerateX);
+        }
+        Ok((y - self.intercept) / self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope() - 0.5).abs() < 1e-12);
+        assert!((fit.intercept() - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+        assert_eq!(fit.len(), 10);
+        assert!(!fit.is_empty());
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Deterministic "noise" via alternating offsets.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 2.0 * x + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared() > 0.99);
+        assert!(fit.r_squared() < 1.0);
+        assert!((fit.slope() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { xs: 1, ys: 2 })
+        );
+    }
+
+    #[test]
+    fn single_point_is_insufficient() {
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0]),
+            Err(StatsError::InsufficientSamples { got: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn constant_x_is_degenerate() {
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn constant_y_fits_flat_line_with_perfect_r2() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope(), 0.0);
+        assert_eq!(fit.intercept(), 5.0);
+        assert_eq!(fit.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+        let x = fit.invert(4.0).unwrap();
+        assert!((fit.predict(x) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_flat_line_errors() {
+        let fit = LinearFit::fit(&[1.0, 2.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(fit.invert(5.0), Err(StatsError::DegenerateX));
+    }
+
+    #[test]
+    fn rejects_nan_inputs() {
+        assert_eq!(
+            LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::NonFinite)
+        );
+    }
+}

@@ -1,0 +1,137 @@
+use crate::error::{ensure_finite, StatsError};
+use crate::linreg::LinearFit;
+use crate::Result;
+
+/// Logarithmic least-squares fit `y = a + b·ln(x)`.
+///
+/// Paper Fig. 10(a) relates a Litmus test's observed **L3 miss count** to
+/// the startup slowdown for each traffic generator on a logarithmic axis;
+/// Fig. 14 shows context-switch overhead growing logarithmically with the
+/// number of co-resident functions. Both are `y = a + b·ln(x)` shapes, fit
+/// here by transforming x and delegating to [`LinearFit`].
+///
+/// # Examples
+///
+/// ```
+/// use litmus_stats::LogFit;
+///
+/// let xs = [1.0, 10.0, 100.0];
+/// let ys = [0.0, 2.0, 4.0]; // y = 2·log10(x) = (2/ln 10)·ln x
+/// let fit = LogFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.predict(1000.0) - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogFit {
+    inner: LinearFit,
+}
+
+impl LogFit {
+    /// Fits `y = a + b·ln(x)` by least squares on `(ln x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Domain`] if any `x` is not strictly positive.
+    /// * All error conditions of [`LinearFit::fit`] on the transformed
+    ///   coordinates (length mismatch, fewer than 2 samples, NaN input,
+    ///   constant `x`).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        ensure_finite(xs)?;
+        if xs.iter().any(|&x| x <= 0.0) {
+            return Err(StatsError::Domain(
+                "logarithmic fit requires strictly positive x values",
+            ));
+        }
+        let ln_xs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        Ok(LogFit {
+            inner: LinearFit::fit(&ln_xs, ys)?,
+        })
+    }
+
+    /// Additive coefficient `a` in `y = a + b·ln(x)`.
+    pub fn intercept(&self) -> f64 {
+        self.inner.intercept()
+    }
+
+    /// Logarithmic coefficient `b` in `y = a + b·ln(x)`.
+    pub fn coefficient(&self) -> f64 {
+        self.inner.slope()
+    }
+
+    /// Coefficient of determination in transformed space.
+    pub fn r_squared(&self) -> f64 {
+        self.inner.r_squared()
+    }
+
+    /// Evaluates the fitted curve at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x <= 0`; in release builds returns a
+    /// non-finite value (as `ln` of a non-positive number is undefined).
+    pub fn predict(&self, x: f64) -> f64 {
+        debug_assert!(x > 0.0, "LogFit::predict requires x > 0");
+        self.inner.predict(x.ln())
+    }
+
+    /// Inverts the curve: the `x` whose prediction equals `y`.
+    ///
+    /// Used to turn an observed startup slowdown into the L3-miss count a
+    /// given traffic generator would exhibit at the same slowdown (the
+    /// lower/upper bounds in paper Fig. 10 step ③).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DegenerateX`] if the logarithmic coefficient
+    /// is zero.
+    pub fn invert(&self, y: f64) -> Result<f64> {
+        Ok(self.inner.invert(y)?.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_logarithmic_curve() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 + 0.25 * x.ln()).collect();
+        let fit = LogFit::fit(&xs, &ys).unwrap();
+        assert!((fit.intercept() - 1.5).abs() < 1e-12);
+        assert!((fit.coefficient() - 0.25).abs() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_x() {
+        assert!(matches!(
+            LogFit::fit(&[0.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::Domain(_))
+        ));
+        assert!(matches!(
+            LogFit::fit(&[-1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let xs = [1.0f64, 4.0, 9.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x.ln()).collect();
+        let fit = LogFit::fit(&xs, &ys).unwrap();
+        let x = fit.invert(2.0 + 3.0 * 7.0_f64.ln()).unwrap();
+        assert!((x - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_growth_shape() {
+        // A logarithmic curve grows fast early and flattens out — the
+        // Fig. 14 behaviour the sharing-overhead model depends on.
+        let xs: Vec<f64> = (1..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.01 * x.ln()).collect();
+        let fit = LogFit::fit(&xs, &ys).unwrap();
+        let early = fit.predict(5.0) - fit.predict(1.0);
+        let late = fit.predict(25.0) - fit.predict(21.0);
+        assert!(early > 5.0 * late, "growth must decelerate");
+    }
+}

@@ -1,0 +1,279 @@
+use crate::error::{ensure_finite, StatsError};
+use crate::Result;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::NonFinite`] if any value is NaN or infinite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// assert_eq!(litmus_stats::mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok(()) }
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    ensure_finite(values)?;
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of a slice of strictly positive values.
+///
+/// The paper aggregates per-function slowdowns with geometric means (every
+/// performance-table entry in Fig. 5 is the gmean of reference-function
+/// slowdowns), so this is the aggregation primitive used throughout the
+/// workspace.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice,
+/// [`StatsError::NonFinite`] for NaN/infinite input, and
+/// [`StatsError::Domain`] if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// let g = litmus_stats::geometric_mean(&[2.0, 8.0])?;
+/// assert!((g - 4.0).abs() < 1e-12);
+/// # Ok(()) }
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    ensure_finite(values)?;
+    if values.iter().any(|&v| v <= 0.0) {
+        return Err(StatsError::Domain(
+            "geometric mean requires strictly positive values",
+        ));
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Population variance of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::NonFinite`] for NaN/infinite input.
+pub fn variance(values: &[f64]) -> Result<f64> {
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(ss / values.len() as f64)
+}
+
+/// Population standard deviation of a slice.
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn stddev(values: &[f64]) -> Result<f64> {
+    Ok(variance(values)?.sqrt())
+}
+
+/// Linearly-interpolated percentile (`p` in `[0, 100]`) of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice,
+/// [`StatsError::NonFinite`] for NaN/infinite input, and
+/// [`StatsError::Domain`] if `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// let median = litmus_stats::percentile(&[3.0, 1.0, 2.0], 50.0)?;
+/// assert_eq!(median, 2.0);
+/// # Ok(()) }
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    ensure_finite(values)?;
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::Domain("percentile must lie in [0, 100]"));
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Divides every element of `values` by `baseline`, yielding the
+/// "normalised to solo execution" series the paper plots in Figs. 2, 3,
+/// 8, 11 and 13.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if `baseline` is zero or non-finite, and
+/// [`StatsError::NonFinite`] if any input value is NaN or infinite.
+pub fn normalize_to(values: &[f64], baseline: f64) -> Result<Vec<f64>> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(StatsError::Domain("baseline must be finite and non-zero"));
+    }
+    ensure_finite(values)?;
+    Ok(values.iter().map(|v| v / baseline).collect())
+}
+
+/// Aggregate summary of a sample: count, mean, gmean, spread and extremes.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), litmus_stats::StatsError> {
+/// let s = litmus_stats::Summary::of(&[1.0, 1.1, 1.3])?;
+/// assert_eq!(s.count, 3);
+/// assert!(s.min <= s.gmean && s.gmean <= s.max);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Geometric mean (requires positive samples).
+    pub gmean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error conditions of [`mean`], [`geometric_mean`] and
+    /// [`stddev`] (empty input, non-finite input, non-positive values).
+    pub fn of(values: &[f64]) -> Result<Self> {
+        let mean = mean(values)?;
+        let gmean = geometric_mean(values)?;
+        let stddev = stddev(values)?;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary {
+            count: values.len(),
+            mean,
+            gmean,
+            stddev,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_single_value_is_that_value() {
+        assert_eq!(mean(&[7.5]).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn mean_rejects_empty() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_rejects_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_rejects_zero_and_negative() {
+        assert!(matches!(
+            geometric_mean(&[1.0, 0.0]),
+            Err(StatsError::Domain(_))
+        ));
+        assert!(matches!(
+            geometric_mean(&[-1.0]),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn gmean_is_at_most_arithmetic_mean() {
+        // AM-GM inequality on an arbitrary positive sample.
+        let xs = [0.5, 1.9, 3.3, 0.7, 2.2];
+        assert!(geometric_mean(&xs).unwrap() <= mean(&xs).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn variance_of_constant_series_is_zero() {
+        assert_eq!(variance(&[2.0, 2.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stddev_matches_known_value() {
+        // Values 2, 4, 4, 4, 5, 5, 7, 9 — classic example with sigma = 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 40.0);
+        assert!((percentile(&xs, 50.0).unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_p() {
+        assert!(matches!(
+            percentile(&[1.0], 101.0),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn normalize_divides_by_baseline() {
+        let out = normalize_to(&[2.0, 4.0], 2.0).unwrap();
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_baseline() {
+        assert!(matches!(
+            normalize_to(&[1.0], 0.0),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn summary_orders_min_max() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 3);
+    }
+}

@@ -1,0 +1,243 @@
+use crate::error::StatsError;
+use crate::Result;
+
+/// A monotone-index lookup table with linear interpolation between levels.
+///
+/// The paper's congestion and performance tables (Fig. 5) hold slowdowns
+/// at *discrete* stress levels, while a Litmus test observes a
+/// *continuous* congestion state; §6 step 3 therefore interpolates
+/// between table rows. `LevelTable` captures that pattern: rows are
+/// `(level, value)` pairs sorted by level, queried either by level
+/// (forward) or by value (inverse, when the values are monotone).
+///
+/// # Examples
+///
+/// ```
+/// use litmus_stats::LevelTable;
+///
+/// let table = LevelTable::new(vec![(1.0, 1.02), (2.0, 1.08), (4.0, 1.20)]).unwrap();
+/// assert!((table.value_at(3.0).unwrap() - 1.14).abs() < 1e-12);
+/// assert!((table.level_for(1.14).unwrap() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTable {
+    rows: Vec<(f64, f64)>,
+}
+
+impl LevelTable {
+    /// Builds a table from `(level, value)` rows.
+    ///
+    /// Rows are sorted by level; duplicate levels are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientSamples`] with fewer than 2 rows.
+    /// * [`StatsError::NonFinite`] if any coordinate is NaN or infinite.
+    /// * [`StatsError::Domain`] if two rows share a level.
+    pub fn new(mut rows: Vec<(f64, f64)>) -> Result<Self> {
+        if rows.len() < 2 {
+            return Err(StatsError::InsufficientSamples {
+                got: rows.len(),
+                need: 2,
+            });
+        }
+        if rows
+            .iter()
+            .any(|(l, v)| !l.is_finite() || !v.is_finite())
+        {
+            return Err(StatsError::NonFinite);
+        }
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
+        if rows.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(StatsError::Domain("duplicate levels in table"));
+        }
+        Ok(LevelTable { rows })
+    }
+
+    /// The sorted `(level, value)` rows.
+    pub fn rows(&self) -> &[(f64, f64)] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Smallest and largest level in the table.
+    pub fn level_range(&self) -> (f64, f64) {
+        (self.rows[0].0, self.rows[self.rows.len() - 1].0)
+    }
+
+    /// Value at `level`, linearly interpolated; clamped to the end rows
+    /// outside the covered range (matching the paper's use of the
+    /// extreme generator levels as bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] if `level` is NaN or infinite.
+    pub fn value_at(&self, level: f64) -> Result<f64> {
+        if !level.is_finite() {
+            return Err(StatsError::NonFinite);
+        }
+        let first = self.rows[0];
+        let last = self.rows[self.rows.len() - 1];
+        if level <= first.0 {
+            return Ok(first.1);
+        }
+        if level >= last.0 {
+            return Ok(last.1);
+        }
+        let idx = self
+            .rows
+            .partition_point(|(l, _)| *l <= level)
+            .min(self.rows.len() - 1);
+        let (l0, v0) = self.rows[idx - 1];
+        let (l1, v1) = self.rows[idx];
+        let t = (level - l0) / (l1 - l0);
+        Ok(v0 + (v1 - v0) * t)
+    }
+
+    /// Inverse lookup: the level whose interpolated value equals `value`.
+    ///
+    /// Requires the values to be strictly monotone (increasing or
+    /// decreasing); out-of-range values clamp to the end levels. This is
+    /// how an observed startup slowdown is converted into a congestion
+    /// level against the congestion table.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NonFinite`] if `value` is NaN or infinite.
+    /// * [`StatsError::Domain`] if the table values are not strictly
+    ///   monotone.
+    pub fn level_for(&self, value: f64) -> Result<f64> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFinite);
+        }
+        let increasing = self.rows.windows(2).all(|w| w[0].1 < w[1].1);
+        let decreasing = self.rows.windows(2).all(|w| w[0].1 > w[1].1);
+        if !increasing && !decreasing {
+            return Err(StatsError::Domain(
+                "inverse lookup requires strictly monotone values",
+            ));
+        }
+        let cmp = |row_val: f64| {
+            if increasing {
+                row_val <= value
+            } else {
+                row_val >= value
+            }
+        };
+        let first = self.rows[0];
+        let last = self.rows[self.rows.len() - 1];
+        if !cmp(first.1) {
+            return Ok(first.0);
+        }
+        if cmp(last.1) {
+            return Ok(last.0);
+        }
+        let idx = self
+            .rows
+            .partition_point(|(_, v)| cmp(*v))
+            .min(self.rows.len() - 1);
+        let (l0, v0) = self.rows[idx - 1];
+        let (l1, v1) = self.rows[idx];
+        let t = (value - v0) / (v1 - v0);
+        Ok(l0 + (l1 - l0) * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LevelTable {
+        LevelTable::new(vec![(1.0, 1.02), (2.0, 1.08), (4.0, 1.20), (8.0, 1.50)])
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_levels_return_exact_values() {
+        let t = table();
+        assert_eq!(t.value_at(2.0).unwrap(), 1.08);
+        assert_eq!(t.value_at(8.0).unwrap(), 1.50);
+    }
+
+    #[test]
+    fn interpolates_between_levels() {
+        let t = table();
+        let v = t.value_at(6.0).unwrap();
+        assert!((v - 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = table();
+        assert_eq!(t.value_at(0.0).unwrap(), 1.02);
+        assert_eq!(t.value_at(100.0).unwrap(), 1.50);
+    }
+
+    #[test]
+    fn inverse_lookup_round_trips() {
+        let t = table();
+        for level in [1.0, 1.5, 2.0, 3.0, 5.5, 8.0] {
+            let v = t.value_at(level).unwrap();
+            let l = t.level_for(v).unwrap();
+            assert!((l - level).abs() < 1e-9, "level {level} vs {l}");
+        }
+    }
+
+    #[test]
+    fn inverse_lookup_clamps() {
+        let t = table();
+        assert_eq!(t.level_for(1.0).unwrap(), 1.0);
+        assert_eq!(t.level_for(2.0).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn inverse_lookup_on_decreasing_values() {
+        let t =
+            LevelTable::new(vec![(1.0, 0.9), (2.0, 0.7), (3.0, 0.4)]).unwrap();
+        let l = t.level_for(0.55).unwrap();
+        assert!((l - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotone_values_reject_inverse() {
+        let t =
+            LevelTable::new(vec![(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)]).unwrap();
+        assert!(matches!(t.level_for(1.2), Err(StatsError::Domain(_))));
+    }
+
+    #[test]
+    fn duplicate_levels_rejected() {
+        assert!(matches!(
+            LevelTable::new(vec![(1.0, 1.0), (1.0, 2.0)]),
+            Err(StatsError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn needs_two_rows() {
+        assert!(matches!(
+            LevelTable::new(vec![(1.0, 1.0)]),
+            Err(StatsError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_are_sorted_after_construction() {
+        let t =
+            LevelTable::new(vec![(3.0, 1.3), (1.0, 1.1), (2.0, 1.2)]).unwrap();
+        let levels: Vec<f64> = t.rows().iter().map(|r| r.0).collect();
+        assert_eq!(levels, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.level_range(), (1.0, 3.0));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

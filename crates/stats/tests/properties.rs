@@ -1,0 +1,170 @@
+//! Property-based tests for the statistics substrate.
+
+use litmus_stats::{
+    geometric_mean, log_blend, log_weight, mean, normalize_to, percentile,
+    LevelTable, LinearFit, LogFit, Summary,
+};
+use proptest::prelude::*;
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    (0.001f64..1e6).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn mean_lies_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn gmean_le_mean(xs in prop::collection::vec(finite_positive(), 1..64)) {
+        // AM-GM inequality.
+        let g = geometric_mean(&xs).unwrap();
+        let a = mean(&xs).unwrap();
+        prop_assert!(g <= a * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn gmean_scale_invariance(
+        xs in prop::collection::vec(0.01f64..1e3, 1..32),
+        k in 0.01f64..1e3,
+    ) {
+        // gmean(k·xs) = k·gmean(xs)
+        let g1 = geometric_mean(&xs).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let g2 = geometric_mean(&scaled).unwrap();
+        prop_assert!((g2 / g1 / k - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..64),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let v_lo = percentile(&xs, lo).unwrap();
+        let v_hi = percentile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope() - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept() - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_r2_in_unit_interval(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..32),
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        if let Ok(fit) = LinearFit::fit(&xs, &ys) {
+            prop_assert!(fit.r_squared() <= 1.0 + 1e-9);
+            prop_assert!(fit.r_squared() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn log_fit_round_trips(
+        a in -10.0f64..10.0,
+        b in 0.1f64..10.0,
+        probe in 1.0f64..1000.0,
+    ) {
+        let xs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x.ln()).collect();
+        let fit = LogFit::fit(&xs, &ys).unwrap();
+        let y = fit.predict(probe);
+        let x = fit.invert(y).unwrap();
+        prop_assert!((x - probe).abs() < 1e-4 * probe);
+    }
+
+    #[test]
+    fn log_weight_is_clamped_and_monotone(
+        lo in 1.0f64..100.0,
+        span in 1.5f64..100.0,
+        v1 in 0.1f64..1e5,
+        v2 in 0.1f64..1e5,
+    ) {
+        let hi = lo * span;
+        let w1 = log_weight(v1, lo, hi).unwrap();
+        let w2 = log_weight(v2, lo, hi).unwrap();
+        prop_assert!((0.0..=1.0).contains(&w1));
+        prop_assert!((0.0..=1.0).contains(&w2));
+        if v1 <= v2 {
+            prop_assert!(w1 <= w2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_blend_stays_in_estimate_bracket(
+        lo in 1.0f64..100.0,
+        span in 1.5f64..100.0,
+        v in 0.1f64..1e5,
+        e_lo in 0.0f64..0.5,
+        e_hi in 0.0f64..0.5,
+    ) {
+        let hi = lo * span;
+        let blended = log_blend(v, lo, hi, e_lo, e_hi).unwrap();
+        let (min_e, max_e) = if e_lo <= e_hi { (e_lo, e_hi) } else { (e_hi, e_lo) };
+        prop_assert!(blended >= min_e - 1e-12 && blended <= max_e + 1e-12);
+    }
+
+    #[test]
+    fn level_table_value_within_row_values(
+        // Strictly increasing rows via cumulative sums.
+        deltas in prop::collection::vec((0.1f64..5.0, 0.01f64..2.0), 2..16),
+        probe in 0.0f64..100.0,
+    ) {
+        let mut level = 0.0;
+        let mut value = 1.0;
+        let mut rows = Vec::new();
+        for (dl, dv) in &deltas {
+            level += dl;
+            value += dv;
+            rows.push((level, value));
+        }
+        let table = LevelTable::new(rows.clone()).unwrap();
+        let v = table.value_at(probe).unwrap();
+        let min_v = rows.first().unwrap().1;
+        let max_v = rows.last().unwrap().1;
+        prop_assert!(v >= min_v - 1e-9 && v <= max_v + 1e-9);
+        // Inverse round-trip within range.
+        let l = table.level_for(v).unwrap();
+        let v2 = table.value_at(l).unwrap();
+        prop_assert!((v - v2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_then_scale_is_identity(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..32),
+        baseline in 0.5f64..100.0,
+    ) {
+        let normalized = normalize_to(&xs, baseline).unwrap();
+        for (orig, norm) in xs.iter().zip(&normalized) {
+            prop_assert!((norm * baseline - orig).abs() < 1e-7 * (1.0 + orig.abs()));
+        }
+    }
+
+    #[test]
+    fn summary_invariants(xs in prop::collection::vec(0.01f64..1e4, 1..64)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert_eq!(s.count, xs.len());
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.gmean <= s.mean + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+}

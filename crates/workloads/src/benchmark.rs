@@ -1,0 +1,228 @@
+use std::fmt;
+
+use litmus_sim::{ExecPhase, ExecutionProfile};
+
+use crate::language::Language;
+
+/// Reference solo latencies used when shaping body phases to a target
+/// IPC (see `language.rs` for the same constants and rationale).
+const REF_L3_LATENCY: f64 = 42.0;
+const REF_MEM_LATENCY: f64 = 210.0;
+const INSTR_PER_MS_AT_IPC1: f64 = 2.8e6;
+
+/// Benchmark suite a function originates from (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteOrigin {
+    /// SeBS serverless benchmark suite.
+    SeBs,
+    /// FunctionBench.
+    FunctionBench,
+    /// Google's Online Boutique microservice demo.
+    OnlineBoutique,
+    /// DeathStarBench Hotel Reservation.
+    HotelReservation,
+    /// AWS sample functions / other.
+    Other,
+}
+
+impl fmt::Display for SuiteOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SuiteOrigin::SeBs => "SeBS",
+            SuiteOrigin::FunctionBench => "FunctionBench",
+            SuiteOrigin::OnlineBoutique => "Online Boutique",
+            SuiteOrigin::HotelReservation => "Hotel Reservation",
+            SuiteOrigin::Other => "Other",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One serverless benchmark from paper Table 1, modelled as a
+/// language-runtime startup followed by a calibrated body.
+///
+/// The body parameters (solo duration, IPC, L2 MPKI, L3 miss ratio, MLP
+/// blocking, footprint) were chosen per function so that the co-run
+/// slowdown landscape reproduces the paper's Figs. 2–4: graph workloads
+/// (`pager-py`, `mst-py`, `bfs-py`) leaning hardest on shared resources,
+/// `float-py` being ≈99.9% private, disk workloads modelled as memory
+/// streaming, and so on.
+///
+/// # Examples
+///
+/// ```
+/// let b = litmus_workloads::suite::by_name("float-py").unwrap();
+/// assert!(!b.is_reference());
+/// let profile = b.profile();
+/// assert_eq!(profile.name(), "float-py");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    name: &'static str,
+    function: &'static str,
+    language: Language,
+    origin: SuiteOrigin,
+    reference: bool,
+    body_ms: f64,
+    body_ipc: f64,
+    body_l2_mpki: f64,
+    body_l3_ratio: f64,
+    body_blocking: f64,
+    body_footprint_mb: f64,
+}
+
+impl Benchmark {
+    /// Constructs a benchmark definition (used by [`crate::suite`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) const fn new(
+        name: &'static str,
+        function: &'static str,
+        language: Language,
+        origin: SuiteOrigin,
+        reference: bool,
+        body_ms: f64,
+        body_ipc: f64,
+        body_l2_mpki: f64,
+        body_l3_ratio: f64,
+        body_blocking: f64,
+        body_footprint_mb: f64,
+    ) -> Self {
+        Benchmark {
+            name,
+            function,
+            language,
+            origin,
+            reference,
+            body_ms,
+            body_ipc,
+            body_l2_mpki,
+            body_l3_ratio,
+            body_blocking,
+            body_footprint_mb,
+        }
+    }
+
+    /// Table-1 abbreviation, e.g. `"pager-py"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable function name, e.g. `"Graph Rank"`.
+    pub fn function(&self) -> &'static str {
+        self.function
+    }
+
+    /// Implementation language.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Source benchmark suite.
+    pub fn origin(&self) -> SuiteOrigin {
+        self.origin
+    }
+
+    /// Whether the paper marks this function (`*`) as a provider-side
+    /// reference used to build performance tables (§6 step 2).
+    pub fn is_reference(&self) -> bool {
+        self.reference
+    }
+
+    /// Nominal solo duration of the body in milliseconds.
+    pub fn body_ms(&self) -> f64 {
+        self.body_ms
+    }
+
+    /// The complete execution profile: language startup prefix + body.
+    pub fn profile(&self) -> ExecutionProfile {
+        let mut builder = ExecutionProfile::builder(self.name);
+        for phase in self.language.startup_phases() {
+            builder = builder.startup_phase(phase);
+        }
+        builder = builder.phase(self.body_phase());
+        builder.build().expect("benchmark parameters are valid")
+    }
+
+    /// The body as a single shaped phase.
+    fn body_phase(&self) -> ExecPhase {
+        let post_l2 = REF_L3_LATENCY + self.body_l3_ratio * REF_MEM_LATENCY;
+        let stall = self.body_l2_mpki / 1000.0 * self.body_blocking * post_l2;
+        let cpi_private = (1.0 / self.body_ipc - stall).max(0.06);
+        ExecPhase::new(
+            INSTR_PER_MS_AT_IPC1 * self.body_ipc * self.body_ms,
+            cpi_private,
+            self.body_l2_mpki,
+            self.body_l3_ratio,
+            self.body_blocking,
+            self.body_footprint_mb,
+        )
+    }
+
+    /// Solo `T_shared` share of total time implied by the body shape —
+    /// used by tests to check the Fig. 4 landscape.
+    pub fn solo_shared_fraction(&self) -> f64 {
+        let post_l2 = REF_L3_LATENCY + self.body_l3_ratio * REF_MEM_LATENCY;
+        let stall = self.body_l2_mpki / 1000.0 * self.body_blocking * post_l2;
+        stall * self.body_ipc
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            self.name,
+            if self.reference { "*" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Benchmark {
+        Benchmark::new(
+            "test-py",
+            "Test",
+            Language::Python,
+            SuiteOrigin::SeBs,
+            true,
+            100.0,
+            1.2,
+            3.0,
+            0.4,
+            0.8,
+            20.0,
+        )
+    }
+
+    #[test]
+    fn profile_has_startup_and_body() {
+        let b = sample();
+        let p = b.profile();
+        assert_eq!(p.startup_len(), 19);
+        assert_eq!(p.phases().len(), 20);
+        assert_eq!(p.name(), "test-py");
+    }
+
+    #[test]
+    fn body_instructions_scale_with_duration_and_ipc() {
+        let b = sample();
+        let p = b.profile();
+        let body_instr = p.total_instructions() - p.startup_instructions();
+        assert!((body_instr - 100.0 * 1.2 * 2.8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_marks_references_with_star() {
+        assert_eq!(sample().to_string(), "test-py*");
+    }
+
+    #[test]
+    fn shared_fraction_is_a_fraction() {
+        let f = sample().solo_shared_fraction();
+        assert!(f > 0.0 && f < 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Workload models for the Litmus pricing reproduction.
+//!
+//! The paper evaluates on 27 serverless functions drawn from SeBS,
+//! FunctionBench, DeathStarBench's Hotel Reservation, Google's Online
+//! Boutique and AWS samples (Table 1), implemented in Python, Node.js and
+//! Go. This crate models each of them as a [`litmus_sim::ExecutionProfile`]:
+//! a language-runtime **startup prefix** (the fixed, memory-heavy routine
+//! Litmus tests exploit as a congestion probe) followed by **body phases**
+//! whose instruction volume, private CPI, L2/L3 miss behaviour and cache
+//! footprint are calibrated so the co-run slowdown landscape matches the
+//! paper's Figs. 2–4.
+//!
+//! It also provides:
+//!
+//! * [`TrafficGenerator`] — the CT-Gen and MB-Gen stressors of §3 used to
+//!   build congestion/performance tables;
+//! * [`WorkloadMix`] — the §7.1 protocol of keeping N randomly-chosen
+//!   functions running by backfilling on every completion.
+//!
+//! # Examples
+//!
+//! ```
+//! use litmus_workloads::{suite, Language};
+//!
+//! let all = suite::benchmarks();
+//! assert_eq!(all.len(), 27);
+//! let refs = suite::reference_benchmarks();
+//! assert_eq!(refs.len(), 13);
+//! let fib = suite::by_name("fib-py").unwrap();
+//! assert_eq!(fib.language(), Language::Python);
+//! let profile = fib.profile();
+//! assert!(profile.has_startup());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod language;
+mod mix;
+mod pool;
+pub mod suite;
+mod traffic;
+
+pub use benchmark::{Benchmark, SuiteOrigin};
+pub use language::Language;
+pub use mix::WorkloadMix;
+pub use pool::BackfillPool;
+pub use traffic::TrafficGenerator;

@@ -1,0 +1,128 @@
+use litmus_sim::ExecutionProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::benchmark::Benchmark;
+
+/// Randomised co-runner source implementing the paper's §4/§7.1
+/// protocol: "whenever a function finishes, a new randomly-selected
+/// function is launched to maintain a total of N co-running functions".
+///
+/// Deterministic for a given seed, so every experiment in this
+/// repository is exactly reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_workloads::{suite, WorkloadMix};
+///
+/// let mut mix = WorkloadMix::new(suite::benchmarks(), 42).unwrap();
+/// let first = mix.next_profile();
+/// let mut again = WorkloadMix::new(suite::benchmarks(), 42).unwrap();
+/// assert_eq!(first.name(), again.next_profile().name());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    pool: Vec<Benchmark>,
+    rng: StdRng,
+    scale: f64,
+}
+
+impl WorkloadMix {
+    /// Creates a mix drawing uniformly from `pool` with a fixed seed.
+    ///
+    /// Returns `None` when `pool` is empty.
+    pub fn new(pool: Vec<Benchmark>, seed: u64) -> Option<Self> {
+        if pool.is_empty() {
+            return None;
+        }
+        Some(WorkloadMix {
+            pool,
+            rng: StdRng::seed_from_u64(seed),
+            scale: 1.0,
+        })
+    }
+
+    /// Scales every drawn profile's instruction counts by `scale` —
+    /// used to shrink experiments in tests without changing any
+    /// per-instruction behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive finite number.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive and finite"
+        );
+        self.scale = scale;
+        self
+    }
+
+    /// The benchmarks this mix draws from.
+    pub fn pool(&self) -> &[Benchmark] {
+        &self.pool
+    }
+
+    /// Draws the next random benchmark.
+    pub fn next_benchmark(&mut self) -> &Benchmark {
+        let idx = self.rng.gen_range(0..self.pool.len());
+        &self.pool[idx]
+    }
+
+    /// Draws the next random benchmark and builds its profile, applying
+    /// the configured scale.
+    pub fn next_profile(&mut self) -> ExecutionProfile {
+        let scale = self.scale;
+        let profile = self.next_benchmark().profile();
+        if scale == 1.0 {
+            profile
+        } else {
+            profile.scaled(scale).expect("scale validated in with_scale")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        assert!(WorkloadMix::new(Vec::new(), 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = WorkloadMix::new(suite::benchmarks(), 7).unwrap();
+        let mut b = WorkloadMix::new(suite::benchmarks(), 7).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.next_benchmark().name(), b.next_benchmark().name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = WorkloadMix::new(suite::benchmarks(), 1).unwrap();
+        let mut b = WorkloadMix::new(suite::benchmarks(), 2).unwrap();
+        let same = (0..50)
+            .filter(|_| a.next_benchmark().name() == b.next_benchmark().name())
+            .count();
+        assert!(same < 50, "sequences must differ");
+    }
+
+    #[test]
+    fn draws_cover_the_pool() {
+        let mut mix = WorkloadMix::new(suite::benchmarks(), 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(mix.next_benchmark().name());
+        }
+        assert!(
+            seen.len() > 20,
+            "1000 draws should cover most of 27 benchmarks, saw {}",
+            seen.len()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: price a single serverless invocation with Litmus.
+//!
+//! Walks the full pipeline on a congested machine: offline table
+//! construction, model fitting, one function execution whose startup
+//! doubles as the Litmus test, and the resulting bill next to the
+//! commercial (no-discount) and ideal (oracle) prices.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use litmus::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = MachineSpec::cascade_lake();
+
+    // ── 1. Provider side (offline): stress the machine with CT-Gen and
+    //       MB-Gen, recording startup and reference-function slowdowns.
+    println!("building congestion/performance tables…");
+    let tables = TableBuilder::new(spec.clone())
+        .levels([6, 14, 22, 30])
+        .reference_scale(0.1)
+        .build()?;
+    let model = DiscountModel::fit(&tables)?;
+    let pricing = LitmusPricing::new(model);
+
+    // ── 2. Production: a machine running 26 random co-tenants.
+    println!("warming up a 26-co-runner machine…");
+    let config = HarnessConfig::new(spec.clone())
+        .env(CoRunEnv::OnePerCore { co_runners: 26 })
+        .mix_scale(0.2);
+    let mut machine = CoRunHarness::start(config)?;
+
+    // ── 3. A tenant invokes `pager-py` (PageRank in Python).
+    let bench = suite::by_name("pager-py").expect("table-1 benchmark");
+    let profile = bench.profile().scaled(0.2)?;
+    let report = machine.measure(profile.clone())?;
+
+    // The startup window *is* the Litmus test.
+    let baseline = tables.baseline(bench.language())?;
+    let startup = report.startup.as_ref().expect("profile has a startup");
+    let reading = LitmusReading::from_startup(baseline, startup)?;
+    println!(
+        "\nLitmus test: startup ran {:.2}x (private) / {:.2}x (shared) vs solo,\n\
+         machine L3 traffic {:.0} misses/ms",
+        reading.private_slowdown, reading.shared_slowdown, reading.l3_miss_rate
+    );
+    let estimate = pricing.estimate(&reading)?;
+    println!(
+        "presumed slowdown: private {:.3}, shared {:.3} (CT↔MB weight {:.2})",
+        estimate.private_slowdown, estimate.shared_slowdown, estimate.weight
+    );
+
+    // ── 4. The three bills.
+    let commercial = CommercialPricing::new().price(&report.counters);
+    let litmus = pricing.price(&reading, &report.counters)?;
+    // Oracle: what the same work costs on an idle machine.
+    let mut solo_sim = Simulator::new(spec);
+    let id = solo_sim.launch(profile, Placement::pinned(0))?;
+    let solo = solo_sim.run_to_completion(id)?;
+    let ideal = IdealPricing::new().price(&report.counters, &solo.counters);
+
+    println!("\n{:12} {:>14} {:>12} {:>10}", "scheme", "price (cycles)", "normalised", "discount");
+    for (name, price) in [
+        ("commercial", commercial),
+        ("litmus", litmus),
+        ("ideal", ideal),
+    ] {
+        println!(
+            "{:12} {:>14.3e} {:>12.4} {:>9.1}%",
+            name,
+            price.total(),
+            price.normalized_to(&commercial),
+            price.discount_vs(&commercial) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: tables → model → experiment → invoices.
+//!
+//! Uses small scales so the whole pipeline runs quickly in debug mode;
+//! the full-scale reproduction lives in the bench harness
+//! (`litmus-repro`).
+
+use litmus::core::CalibrationEnv;
+use litmus::prelude::*;
+
+fn small_tables(spec: &MachineSpec) -> PricingTables {
+    TableBuilder::new(spec.clone())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .expect("tables build")
+}
+
+#[test]
+fn full_pipeline_produces_fair_prices() {
+    let spec = MachineSpec::cascade_lake();
+    let tables = small_tables(&spec);
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+
+    let config = HarnessConfig::new(spec)
+        .env(CoRunEnv::OnePerCore { co_runners: 16 })
+        .mix_scale(0.04)
+        .warmup_ms(150);
+    let tests: Vec<Benchmark> = ["aes-py", "pager-py", "float-py", "auth-nj", "rate-go"]
+        .iter()
+        .map(|n| suite::by_name(n).unwrap())
+        .collect();
+    let results = PricingExperiment::new(config)
+        .reps(2)
+        .test_scale(0.04)
+        .run(&pricing, &tables, &tests)
+        .unwrap();
+
+    for invoice in results.invoices() {
+        // Litmus discounts but never pays the tenant.
+        let norm = invoice.litmus_normalized();
+        assert!(norm > 0.4 && norm < 1.0, "{}: {norm}", invoice.function);
+        // Congestion genuinely slowed the function.
+        assert!(invoice.ideal_normalized() < 1.0);
+        // Components are consistent.
+        assert!(invoice.litmus.private > 0.0);
+        assert!(invoice.litmus.shared >= 0.0);
+    }
+    // The headline claim: litmus tracks ideal on average.
+    assert!(
+        results.discount_gap() < 0.05,
+        "discount gap {} too wide",
+        results.discount_gap()
+    );
+}
+
+#[test]
+fn method2_tables_work_under_sharing() {
+    let spec = MachineSpec::cascade_lake();
+    let tables = TableBuilder::new(spec.clone())
+        .levels([8, 20])
+        .env(CalibrationEnv::Shared {
+            fillers: 20,
+            cores: 4,
+        })
+        .languages([Language::Python, Language::Go])
+        .reference_scale(0.02)
+        .build()
+        .unwrap();
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+
+    let config = HarnessConfig::new(spec)
+        .env(CoRunEnv::Shared {
+            co_runners: 39,
+            cores: 8,
+        })
+        .mix_scale(0.03)
+        .warmup_ms(150);
+    let tests = vec![
+        suite::by_name("aes-py").unwrap(),
+        suite::by_name("geo-go").unwrap(),
+    ];
+    let results = PricingExperiment::new(config)
+        .reps(2)
+        .test_scale(0.03)
+        .run(&pricing, &tables, &tests)
+        .unwrap();
+    // Temporal sharing discounts exceed light one-per-core discounts.
+    assert!(
+        results.mean_ideal_discount() > 0.03,
+        "sharing must slow functions meaningfully, got {}",
+        results.mean_ideal_discount()
+    );
+    assert!(results.mean_litmus_discount() > 0.0);
+    assert!(results.discount_gap() < 0.10);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let spec = MachineSpec::cascade_lake();
+        let tables = small_tables(&spec);
+        let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+        let config = HarnessConfig::new(spec)
+            .env(CoRunEnv::OnePerCore { co_runners: 8 })
+            .mix_scale(0.03)
+            .warmup_ms(80);
+        let tests = vec![suite::by_name("aes-py").unwrap()];
+        PricingExperiment::new(config)
+            .reps(2)
+            .test_scale(0.03)
+            .run(&pricing, &tables, &tests)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must reproduce identical invoices");
+}
+
+#[test]
+fn commercial_is_always_the_ceiling() {
+    let spec = MachineSpec::cascade_lake();
+    let tables = small_tables(&spec);
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+    let config = HarnessConfig::new(spec)
+        .env(CoRunEnv::OnePerCore { co_runners: 20 })
+        .mix_scale(0.04)
+        .warmup_ms(100);
+    let tests = vec![
+        suite::by_name("fib-nj").unwrap(),
+        suite::by_name("float-py").unwrap(),
+    ];
+    let results = PricingExperiment::new(config)
+        .reps(2)
+        .test_scale(0.04)
+        .run(&pricing, &tables, &tests)
+        .unwrap();
+    for invoice in results.invoices() {
+        assert!(invoice.litmus.total() <= invoice.commercial.total());
+        assert!(invoice.ideal.total() <= invoice.commercial.total() * 1.001);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration coverage for the scheduling/metering extensions through
+//! the facade crate: monitoring, admission, fleet dispatch and trace
+//! replay all composing on the same tables and model.
+
+use litmus::platform::{Fleet, InvocationTrace, TraceDriver};
+use litmus::prelude::*;
+use litmus::workloads::Language;
+
+fn setup() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .unwrap();
+    let model = DiscountModel::fit(&tables).unwrap();
+    (tables, model)
+}
+
+#[test]
+fn monitor_admission_and_fleet_share_one_calibration() {
+    let (tables, model) = setup();
+
+    // Monitor: a Fig. 7 series on a moderately busy machine.
+    let monitor =
+        CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
+    let mut harness = CoRunHarness::start(
+        HarnessConfig::new(MachineSpec::cascade_lake())
+            .env(CoRunEnv::OnePerCore { co_runners: 12 })
+            .mix_scale(0.04)
+            .warmup_ms(80),
+    )
+    .unwrap();
+    let series = monitor.series(&mut harness, 3, 40).unwrap();
+    assert_eq!(series.len(), 3);
+    for sample in &series {
+        assert!(sample.level.is_finite());
+        assert!(sample.reading.shared_slowdown > 0.9);
+    }
+
+    // Admission: same monitor drives defer/admit.
+    let monitor2 =
+        CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
+    let mut controller = AdmissionController::new(monitor2, 30.0);
+    let profile = suite::by_name("auth-py")
+        .unwrap()
+        .profile()
+        .scaled(0.04)
+        .unwrap();
+    let decision = controller.try_admit(&mut harness, profile).unwrap();
+    assert!(decision.is_admitted(), "level {}", decision.level());
+
+    // Fleet: two machines, probe-balanced dispatch works end to end.
+    let monitor3 =
+        CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+    let configs = vec![
+        HarnessConfig::new(MachineSpec::cascade_lake())
+            .env(CoRunEnv::OnePerCore { co_runners: 20 })
+            .mix_scale(0.04)
+            .warmup_ms(60),
+        HarnessConfig::new(MachineSpec::cascade_lake())
+            .env(CoRunEnv::OnePerCore { co_runners: 2 })
+            .mix_scale(0.04)
+            .warmup_ms(60),
+    ];
+    let mut fleet = Fleet::start(configs, monitor3).unwrap();
+    let profile = suite::by_name("fib-go")
+        .unwrap()
+        .profile()
+        .scaled(0.04)
+        .unwrap();
+    let (_, report) = fleet.dispatch(profile).unwrap();
+    assert_eq!(report.name, "fib-go");
+    assert_eq!(fleet.dispatch_counts().iter().sum::<usize>(), 1);
+}
+
+#[test]
+fn trace_replay_bills_consistently_with_the_experiment_loop() {
+    let (tables, model) = setup();
+    let pricing = LitmusPricing::new(model);
+
+    let trace = InvocationTrace::poisson(suite::benchmarks(), 100.0, 600, 11)
+        .expect("non-empty pool");
+    let outcome = TraceDriver::new(MachineSpec::cascade_lake(), 8)
+        .scale(0.03)
+        .drain_ms(30_000)
+        .replay(&trace, &pricing, &tables)
+        .unwrap();
+
+    assert_eq!(outcome.unfinished, 0);
+    assert_eq!(outcome.ledger.len(), trace.len());
+    // Every invoice respects the price envelope.
+    for invoice in outcome.ledger.invoices() {
+        assert!(invoice.litmus.total() <= invoice.commercial.total() * (1.0 + 1e-9));
+        assert!(invoice.litmus.total() > 0.0);
+    }
+    // Aggregate ledger identities.
+    let ledger = &outcome.ledger;
+    assert!(
+        (ledger.commercial_revenue() - ledger.litmus_revenue()
+            - ledger.total_compensation())
+        .abs()
+            < 1e-6 * ledger.commercial_revenue()
+    );
+    assert!(ledger.average_discount() >= 0.0);
+}
