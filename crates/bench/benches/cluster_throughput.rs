@@ -1,0 +1,111 @@
+//! Cluster serving throughput: invocations/sec replayed end to end
+//! (dispatch → simulate → probe → price → shard) as machine count and
+//! placement policy vary.
+//!
+//! The per-slice parallel stepping means wall-clock throughput should
+//! grow with machine count until the host runs out of cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use litmus_cluster::{
+    Cluster, ClusterConfig, ClusterDriver, LeastLoaded, LitmusAware, MachineConfig,
+    PlacementPolicy, RoundRobin,
+};
+use litmus_core::{DiscountModel, PricingTables, TableBuilder};
+use litmus_platform::InvocationTrace;
+use litmus_sim::MachineSpec;
+use litmus_workloads::suite;
+
+fn calibration() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .expect("tables build");
+    let model = DiscountModel::fit(&tables).expect("model fit");
+    (tables, model)
+}
+
+fn config(machines: usize) -> ClusterConfig {
+    let configs: Vec<_> = (0..machines)
+        .map(|i| {
+            let background = if i % 2 == 0 { 12 } else { 0 };
+            MachineConfig::new(8)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(50)
+                .seed(0xB0B + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), machines, 8)
+        .machines(configs)
+        .serving_scale(0.04)
+}
+
+fn replay_once<P: PlacementPolicy>(
+    policy: P,
+    machines: usize,
+    tables: &PricingTables,
+    model: &DiscountModel,
+    trace: &InvocationTrace,
+) -> usize {
+    let mut cluster =
+        Cluster::build(config(machines), tables.clone(), model.clone()).expect("cluster boots");
+    let outcome = ClusterDriver::new(policy)
+        .replay(&mut cluster, trace)
+        .expect("replay succeeds");
+    outcome.completed
+}
+
+/// Invocations/sec vs machine count (fixed per-machine arrival rate, so
+/// total work scales with the cluster) under litmus-aware placement.
+fn bench_machine_scaling(c: &mut Criterion) {
+    let (tables, model) = calibration();
+    let mut group = c.benchmark_group("cluster_replay_scaling");
+    group.sample_size(10);
+    for machines in [1usize, 2, 4, 8] {
+        // ~40 invocations/s per machine over 2 s.
+        let trace =
+            InvocationTrace::poisson(suite::benchmarks(), 40.0 * machines as f64, 2_000, 17)
+                .expect("non-empty pool");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{machines}machines_{}invocations", trace.len())),
+            &machines,
+            |b, &machines| {
+                b.iter(|| {
+                    black_box(replay_once(
+                        LitmusAware::new(),
+                        machines,
+                        &tables,
+                        &model,
+                        &trace,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Policy overhead comparison at a fixed cluster size.
+fn bench_policies(c: &mut Criterion) {
+    let (tables, model) = calibration();
+    let trace =
+        InvocationTrace::poisson(suite::benchmarks(), 160.0, 2_000, 23).expect("non-empty pool");
+    let mut group = c.benchmark_group("cluster_replay_policies");
+    group.sample_size(10);
+    group.bench_function("round_robin_4machines", |b| {
+        b.iter(|| black_box(replay_once(RoundRobin::new(), 4, &tables, &model, &trace)))
+    });
+    group.bench_function("least_loaded_4machines", |b| {
+        b.iter(|| black_box(replay_once(LeastLoaded::new(), 4, &tables, &model, &trace)))
+    });
+    group.bench_function("litmus_aware_4machines", |b| {
+        b.iter(|| black_box(replay_once(LitmusAware::new(), 4, &tables, &model, &trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_scaling, bench_policies);
+criterion_main!(benches);

@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use litmus_core::{
-    CommercialPricing, DiscountModel, IdealPricing, LitmusPricing, LitmusReading,
-    StartupBaseline, TableBuilder,
+    CommercialPricing, DiscountModel, IdealPricing, LitmusPricing, LitmusReading, StartupBaseline,
+    TableBuilder,
 };
 use litmus_sim::{MachineSpec, PmuCounters, StartupReport};
 use litmus_workloads::Language;
@@ -53,10 +53,7 @@ fn bench_online_path(c: &mut Criterion) {
     let reading = LitmusReading::from_startup(&baseline, &startup).unwrap();
 
     c.bench_function("litmus_reading_from_startup", |b| {
-        b.iter(|| {
-            LitmusReading::from_startup(black_box(&baseline), black_box(&startup))
-                .unwrap()
-        })
+        b.iter(|| LitmusReading::from_startup(black_box(&baseline), black_box(&startup)).unwrap())
     });
     c.bench_function("discount_estimate", |b| {
         b.iter(|| pricing.estimate(black_box(&reading)).unwrap())

@@ -20,9 +20,7 @@ fn bench_fits(c: &mut Criterion) {
     });
 
     let lin = LinearFit::fit(&xs, &ys).unwrap();
-    c.bench_function("linear_predict", |b| {
-        b.iter(|| lin.predict(black_box(1.7)))
-    });
+    c.bench_function("linear_predict", |b| b.iter(|| lin.predict(black_box(1.7))));
 
     c.bench_function("log_blend", |b| {
         b.iter(|| {
@@ -39,8 +37,9 @@ fn bench_fits(c: &mut Criterion) {
 }
 
 fn bench_level_table(c: &mut Criterion) {
-    let rows: Vec<(f64, f64)> =
-        (1..=16).map(|i| (i as f64, 1.0 + 0.05 * i as f64)).collect();
+    let rows: Vec<(f64, f64)> = (1..=16)
+        .map(|i| (i as f64, 1.0 + 0.05 * i as f64))
+        .collect();
     let table = LevelTable::new(rows).unwrap();
     c.bench_function("level_table_lookup", |b| {
         b.iter(|| table.value_at(black_box(7.3)).unwrap())

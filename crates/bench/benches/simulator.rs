@@ -10,12 +10,8 @@ use litmus_workloads::{suite, BackfillPool};
 
 fn populated_sim(functions: usize, cores: usize) -> (Simulator, BackfillPool) {
     let mut sim = Simulator::new(MachineSpec::cascade_lake());
-    let mut pool = BackfillPool::new(
-        suite::benchmarks(),
-        42,
-        Placement::pool_range(0, cores),
-    )
-    .expect("non-empty pool");
+    let mut pool = BackfillPool::new(suite::benchmarks(), 42, Placement::pool_range(0, cores))
+        .expect("non-empty pool");
     pool.fill(&mut sim, functions).expect("fill");
     pool.run(&mut sim, 50).expect("warmup");
     (sim, pool)

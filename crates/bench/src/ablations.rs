@@ -5,8 +5,7 @@
 use std::error::Error;
 
 use litmus_core::{
-    AblationPricing, AblationScheme, CommercialPricing, IdealPricing,
-    LitmusPricing, LitmusReading,
+    AblationPricing, AblationScheme, CommercialPricing, IdealPricing, LitmusPricing, LitmusReading,
 };
 use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig};
 use litmus_sim::{MachineSpec, Placement, Simulator};

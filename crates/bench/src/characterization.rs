@@ -45,10 +45,7 @@ pub fn fig1(config: &ReproConfig) -> Result<String> {
     let mut app_l3 = Vec::new();
     for b in suite::benchmarks() {
         let mut sim = Simulator::new(spec.clone());
-        let id = sim.launch(
-            b.profile().scaled(config.scale)?,
-            Placement::pinned(0),
-        )?;
+        let id = sim.launch(b.profile().scaled(config.scale)?, Placement::pinned(0))?;
         let r = sim.run_to_completion(id)?;
         app_l2.push(r.counters.l2_misses / r.wall_ms());
         app_l3.push(r.counters.l3_misses / r.wall_ms());
@@ -66,9 +63,7 @@ pub fn fig1(config: &ReproConfig) -> Result<String> {
         for gen in TrafficGenerator::ALL {
             let mut sim = Simulator::new(spec.clone());
             let ids: Vec<_> = (0..level)
-                .map(|core| {
-                    sim.launch(gen.thread_profile(duration), Placement::pinned(core))
-                })
+                .map(|core| sim.launch(gen.thread_profile(duration), Placement::pinned(core)))
                 .collect::<std::result::Result<_, _>>()?;
             sim.run_until_idle()?;
             let mut l2 = 0.0;
@@ -86,9 +81,7 @@ pub fn fig1(config: &ReproConfig) -> Result<String> {
         table.row(&cells);
     }
     let mut out = table.render();
-    out.push_str(
-        "shape targets: CT-L2 >> MB-L2 at every level; MB-L3 >> CT-L3 (paper Fig. 1)\n",
-    );
+    out.push_str("shape targets: CT-L2 >> MB-L2 at every level; MB-L3 >> CT-L3 (paper Fig. 1)\n");
     Ok(out)
 }
 
@@ -181,10 +174,7 @@ pub fn fig4(config: &ReproConfig) -> Result<String> {
     let mut shared_fracs = Vec::new();
     for b in suite::benchmarks() {
         let mut sim = Simulator::new(spec.clone());
-        let id = sim.launch(
-            b.profile().scaled(config.scale)?,
-            Placement::pinned(0),
-        )?;
+        let id = sim.launch(b.profile().scaled(config.scale)?, Placement::pinned(0))?;
         let r = sim.run_to_completion(id)?;
         let shared = r.counters.t_shared_cycles() / r.counters.cycles;
         shared_fracs.push(shared);
@@ -205,10 +195,7 @@ pub fn fig6(_config: &ReproConfig) -> Result<String> {
     let spec = MachineSpec::cascade_lake();
     let mut out = String::new();
     for lang in Language::ALL {
-        let mut builder = litmus_sim::ExecutionProfile::builder(format!(
-            "{}-startup",
-            lang.abbr()
-        ));
+        let mut builder = litmus_sim::ExecutionProfile::builder(format!("{}-startup", lang.abbr()));
         for phase in lang.startup_phases() {
             builder = builder.startup_phase(phase);
         }

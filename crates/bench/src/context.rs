@@ -103,10 +103,7 @@ impl ReproConfig {
     /// # Errors
     ///
     /// Propagates model-fitting failures.
-    pub fn pricing(
-        &self,
-        tables: &PricingTables,
-    ) -> Result<LitmusPricing, litmus_core::CoreError> {
+    pub fn pricing(&self, tables: &PricingTables) -> Result<LitmusPricing, litmus_core::CoreError> {
         Ok(LitmusPricing::new(DiscountModel::fit(tables)?))
     }
 }

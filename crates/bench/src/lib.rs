@@ -31,10 +31,32 @@ use std::fmt::Write as _;
 /// plus the extension studies (`ablation`, `topology`, `warmstart`,
 /// `ladder`).
 pub const EXPERIMENTS: [&str; 26] = [
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "fig21", "ablation", "topology",
-    "warmstart", "ladder",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ablation",
+    "topology",
+    "warmstart",
+    "ladder",
 ];
 
 /// Runs one experiment by id and returns its report text.

@@ -40,10 +40,7 @@ impl PricingFigure {
     }
 
     fn render(&self, results: &ExperimentResults) -> String {
-        let mut table = TextTable::new(
-            self.title,
-            &["function", "litmus price", "ideal price"],
-        );
+        let mut table = TextTable::new(self.title, &["function", "litmus price", "ideal price"]);
         for invoice in results.invoices() {
             table.row(&[
                 invoice.function.clone(),
@@ -85,9 +82,7 @@ fn shared_160() -> CoRunEnv {
 }
 
 /// Runs the §7.1 experiment once (shared by Figs. 11–13).
-fn one_per_core_results(
-    config: &ReproConfig,
-) -> Result<(ExperimentResults, PricingFigure)> {
+fn one_per_core_results(config: &ReproConfig) -> Result<(ExperimentResults, PricingFigure)> {
     let spec = cascade();
     let fig = PricingFigure {
         title: "Fig. 11: prices with 26 co-runners (normalised to commercial)",
@@ -145,7 +140,13 @@ pub fn fig13(config: &ReproConfig) -> Result<String> {
     let (results, _) = one_per_core_results(config)?;
     let mut table = TextTable::new(
         "Fig. 13: T_private & T_shared slowdowns vs Litmus estimates",
-        &["function", "T_priv x", "T_shared x", "est priv x", "est shared x"],
+        &[
+            "function",
+            "T_priv x",
+            "T_shared x",
+            "est priv x",
+            "est shared x",
+        ],
     );
     for invoice in results.invoices() {
         // Solo per-instruction components are recoverable from the ideal

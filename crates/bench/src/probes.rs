@@ -79,7 +79,10 @@ pub fn fig7(_config: &ReproConfig) -> Result<String> {
         .build()?;
     let mut second = Some(second);
 
-    let probe = suite::by_name("auth-py").unwrap().profile().startup_only()?;
+    let probe = suite::by_name("auth-py")
+        .unwrap()
+        .profile()
+        .startup_only()?;
     let mut table = TextTable::new(
         "Fig. 7: Litmus tests tracking machine congestion",
         &["t(ms)", "probe Tshared x", "L3/ms", "level"],
@@ -97,8 +100,7 @@ pub fn fig7(_config: &ReproConfig) -> Result<String> {
         let report = sim.report(id)?;
         let startup = report.startup.as_ref().expect("probe startup");
         let reading = LitmusReading::from_startup(&baseline, startup)?;
-        let level = (reading.shared_slowdown - 1.0) * 8.0
-            + reading.l3_miss_rate / 50_000.0;
+        let level = (reading.shared_slowdown - 1.0) * 8.0 + reading.l3_miss_rate / 50_000.0;
         table.row(&[
             report.launched_ms.to_string(),
             f3(reading.shared_slowdown),
@@ -182,8 +184,10 @@ pub fn fig8(config: &ReproConfig) -> Result<String> {
             / solo.counters.t_private_per_instruction()),
         f3(congested.counters.t_shared_per_instruction()
             / solo.counters.t_shared_per_instruction()),
-        f3((congested.counters.cycles / congested.counters.instructions)
-            / (solo.counters.cycles / solo.counters.instructions)),
+        f3(
+            (congested.counters.cycles / congested.counters.instructions)
+                / (solo.counters.cycles / solo.counters.instructions),
+        ),
     ]);
     let mut out = table.render();
     out.push_str(
@@ -271,7 +275,12 @@ pub fn fig10(config: &ReproConfig) -> Result<String> {
     let mid = (l3_ct * l3_mb).sqrt(); // log-space midpoint
     let mut example = TextTable::new(
         "Fig. 10(b): interpolated discounts at startup Tshared ×1.6",
-        &["observed L3/ms", "weight", "presumed shared slowdown", "discount"],
+        &[
+            "observed L3/ms",
+            "weight",
+            "presumed shared slowdown",
+            "discount",
+        ],
     );
     for (label, l3) in [("CT-like", l3_ct), ("midpoint", mid), ("MB-like", l3_mb)] {
         let reading = LitmusReading {
@@ -306,9 +315,8 @@ pub fn fig14(config: &ReproConfig) -> Result<String> {
 
     let t_priv_at = |count: usize| -> Result<f64> {
         let mut sim = Simulator::new(spec.clone());
-        let mut pool =
-            BackfillPool::new(suite::benchmarks(), 11, Placement::pinned(0))
-                .expect("non-empty pool");
+        let mut pool = BackfillPool::new(suite::benchmarks(), 11, Placement::pinned(0))
+            .expect("non-empty pool");
         if count > 1 {
             pool.fill(&mut sim, count - 1)?;
             pool.run(&mut sim, 50)?;
@@ -324,7 +332,10 @@ pub fn fig14(config: &ReproConfig) -> Result<String> {
         &["functions/core", "normalised T_private"],
     );
     for count in [1usize, 2, 3, 5, 7, 10, 13, 16, 20, 25] {
-        table.row(&[count.to_string(), format!("{:.4}", t_priv_at(count)? / solo)]);
+        table.row(&[
+            count.to_string(),
+            format!("{:.4}", t_priv_at(count)? / solo),
+        ]);
     }
     let mut out = table.render();
     out.push_str(

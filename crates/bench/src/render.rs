@@ -29,8 +29,7 @@ impl TextTable {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());

@@ -4,8 +4,7 @@
 use std::error::Error;
 
 use litmus_core::{
-    CommercialPricing, DiscountModel, IdealPricing, LitmusPricing,
-    LitmusReading, TableBuilder,
+    CommercialPricing, DiscountModel, IdealPricing, LitmusPricing, LitmusReading, TableBuilder,
 };
 use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig};
 use litmus_sim::{MachineSpec, Placement, Simulator};
@@ -34,10 +33,7 @@ pub fn warmstart(config: &ReproConfig) -> Result<String> {
     let mut solos = Vec::new();
     for bench in &tests {
         let mut sim = Simulator::new(spec.clone());
-        let id = sim.launch(
-            bench.profile().scaled(config.scale)?,
-            Placement::pinned(0),
-        )?;
+        let id = sim.launch(bench.profile().scaled(config.scale)?, Placement::pinned(0))?;
         solos.push(sim.run_to_completion(id)?.counters);
     }
 
@@ -77,8 +73,7 @@ pub fn warmstart(config: &ReproConfig) -> Result<String> {
                         .startup
                         .as_ref()
                         .ok_or(litmus_core::CoreError::NoStartup)?;
-                    let reading =
-                        LitmusReading::from_startup(baseline, startup)?;
+                    let reading = LitmusReading::from_startup(baseline, startup)?;
                     probed += 1;
                     last_reading = Some(reading);
                     (report, reading)
@@ -93,8 +88,7 @@ pub fn warmstart(config: &ReproConfig) -> Result<String> {
                         bench.profile().scaled(config.scale)?.body_only()?,
                         Placement::pinned(0),
                     )?;
-                    let warm_solo =
-                        warm_solo_sim.run_to_completion(id)?.counters;
+                    let warm_solo = warm_solo_sim.run_to_completion(id)?.counters;
                     IdealPricing::new().price(&counters, &warm_solo).total()
                 } else {
                     IdealPricing::new().price(&counters, solo).total()

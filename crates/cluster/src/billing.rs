@@ -1,0 +1,164 @@
+use std::collections::BTreeMap;
+
+use litmus_core::{BillingSummary, Invoice};
+use litmus_platform::TenantId;
+
+/// Per-tenant streaming billing state: [`BillingSummary`]s folded
+/// incrementally as invocations complete, in constant space per tenant.
+///
+/// The same type plays both roles of the sharded metering plane —
+/// [`BillingShard`] (one per machine, owned by that machine while the
+/// cluster steps in parallel: no locks, no cross-machine traffic) and
+/// [`BillingAggregator`] (the cluster-wide fold of every shard via
+/// [`BillingShard::absorb`]) — because shards form a commutative monoid
+/// under per-tenant merge: absorbing shard by shard yields exactly what
+/// folding every invoice into one shard would (up to float addition
+/// order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BillingShard {
+    tenants: BTreeMap<TenantId, BillingSummary>,
+    total: BillingSummary,
+}
+
+/// Cluster-wide billing: the fold of every machine's [`BillingShard`]
+/// — what the provider's accounting period sees.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_cluster::{BillingAggregator, BillingShard};
+///
+/// let mut aggregator = BillingAggregator::new();
+/// aggregator.absorb(&BillingShard::new());
+/// assert!(aggregator.total().is_empty());
+/// ```
+pub type BillingAggregator = BillingShard;
+
+impl BillingShard {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        BillingShard::default()
+    }
+
+    /// Folds one completed invoice into the tenant's summary.
+    pub fn fold(&mut self, tenant: TenantId, invoice: &Invoice) {
+        self.tenants.entry(tenant).or_default().fold(invoice);
+        self.total.fold(invoice);
+    }
+
+    /// Merges another shard into this one, tenant by tenant.
+    pub fn absorb(&mut self, other: &BillingShard) {
+        for (tenant, summary) in other.tenants() {
+            self.tenants.entry(tenant).or_default().merge(summary);
+        }
+        self.total.merge(&other.total);
+    }
+
+    /// One tenant's summary, if they were ever billed here.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&BillingSummary> {
+        self.tenants.get(&tenant)
+    }
+
+    /// Per-tenant summaries, ascending by tenant id.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &BillingSummary)> + '_ {
+        self.tenants.iter().map(|(id, summary)| (*id, summary))
+    }
+
+    /// Number of distinct tenants billed.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The summary over all tenants.
+    pub fn total(&self) -> &BillingSummary {
+        &self.total
+    }
+
+    /// Number of invoices folded in (directly or via absorbed shards).
+    pub fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Whether no invoices have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus_core::Price;
+    use litmus_sim::PmuCounters;
+
+    fn invoice(cost: f64) -> Invoice {
+        Invoice {
+            function: "auth-py".into(),
+            counters: PmuCounters {
+                cycles: cost,
+                instructions: cost * 0.9,
+                ..Default::default()
+            },
+            commercial: Price {
+                private: cost * 0.8,
+                shared: cost * 0.2,
+            },
+            litmus: Price {
+                private: cost * 0.7,
+                shared: cost * 0.15,
+            },
+            ideal: Price {
+                private: cost * 0.72,
+                shared: cost * 0.14,
+            },
+        }
+    }
+
+    #[test]
+    fn shards_fold_per_tenant_and_total() {
+        let mut shard = BillingShard::new();
+        shard.fold(TenantId(1), &invoice(100.0));
+        shard.fold(TenantId(2), &invoice(50.0));
+        shard.fold(TenantId(1), &invoice(10.0));
+        assert_eq!(shard.len(), 3);
+        assert!(!shard.is_empty());
+        assert_eq!(shard.tenant_count(), 2);
+        assert_eq!(shard.tenant(TenantId(1)).unwrap().len(), 2);
+        assert_eq!(shard.tenant(TenantId(2)).unwrap().len(), 1);
+        assert!(shard.tenant(TenantId(99)).is_none());
+        assert!(
+            (shard.total().commercial_revenue() - 160.0).abs() < 1e-9,
+            "{}",
+            shard.total().commercial_revenue()
+        );
+    }
+
+    #[test]
+    fn aggregator_matches_monolithic_fold() {
+        // Two shards vs one big shard: identical totals.
+        let mut a = BillingShard::new();
+        let mut b = BillingShard::new();
+        let mut mono = BillingShard::new();
+        for (i, cost) in [12.0, 9.0, 55.0, 31.0, 7.0].iter().enumerate() {
+            let tenant = TenantId((i % 2) as u32);
+            let inv = invoice(*cost);
+            if i % 2 == 0 {
+                a.fold(tenant, &inv);
+            } else {
+                b.fold(tenant, &inv);
+            }
+            mono.fold(tenant, &inv);
+        }
+        let mut aggregator = BillingAggregator::new();
+        aggregator.absorb(&a);
+        aggregator.absorb(&b);
+        assert_eq!(aggregator.tenant_count(), 2);
+        assert_eq!(aggregator.total().len(), mono.total().len());
+        assert!((aggregator.total().litmus_revenue() - mono.total().litmus_revenue()).abs() < 1e-9);
+        for (tenant, summary) in mono.tenants() {
+            let merged = aggregator.tenant(tenant).unwrap();
+            assert_eq!(merged.len(), summary.len());
+            assert!((merged.commercial_revenue() - summary.commercial_revenue()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+use std::collections::HashMap;
+
+use litmus_core::{
+    CommercialPricing, DiscountModel, IdealPricing, Invoice, LitmusPricing, LitmusReading,
+    PricingTables,
+};
+use litmus_platform::InvocationTrace;
+use litmus_sim::{ExecutionReport, MachineSpec, Placement, PmuCounters, Simulator};
+use litmus_workloads::Benchmark;
+
+use crate::error::ClusterError;
+use crate::Result;
+
+/// Everything a machine needs to turn a completed invocation into an
+/// [`Invoice`], shared read-only across all machines while they step in
+/// parallel: the fitted discount model, the calibration tables (probe
+/// baselines) and a solo-oracle cache for the ideal-price comparison.
+#[derive(Debug, Clone)]
+pub struct ServingContext {
+    pricing: LitmusPricing,
+    model: DiscountModel,
+    tables: PricingTables,
+    scale: f64,
+    solo: HashMap<&'static str, PmuCounters>,
+}
+
+impl ServingContext {
+    /// Builds a context pricing with `model` against `tables`, scaling
+    /// every served function's instruction counts by `scale`
+    /// (experiments shrink bodies for speed; per-instruction behaviour
+    /// is unchanged).
+    pub fn new(tables: PricingTables, model: DiscountModel, scale: f64) -> Self {
+        ServingContext {
+            pricing: LitmusPricing::new(model.clone()),
+            model,
+            tables,
+            scale,
+            solo: HashMap::new(),
+        }
+    }
+
+    /// The configured profile scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The calibration tables (probe baselines, congestion index).
+    pub fn tables(&self) -> &PricingTables {
+        &self.tables
+    }
+
+    /// The fitted discount model.
+    pub fn model(&self) -> &DiscountModel {
+        &self.model
+    }
+
+    /// Populates the solo-oracle cache for every distinct function in
+    /// `trace` by running each alone on an idle `spec` machine — the
+    /// offline profiling pass a provider would do once per deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solo-run failures.
+    pub fn warm(&mut self, spec: &MachineSpec, trace: &InvocationTrace) -> Result<()> {
+        for event in trace.events() {
+            let name = event.function.name();
+            if self.solo.contains_key(name) {
+                continue;
+            }
+            let mut sim = Simulator::new(spec.clone());
+            let profile = event
+                .function
+                .profile()
+                .scaled(self.scale)
+                .map_err(litmus_core::CoreError::from)?;
+            let id = sim
+                .launch(profile, Placement::pinned(0))
+                .map_err(litmus_core::CoreError::from)?;
+            let counters = sim
+                .run_to_completion(id)
+                .map_err(litmus_core::CoreError::from)?
+                .counters;
+            self.solo.insert(name, counters);
+        }
+        Ok(())
+    }
+
+    /// Number of functions with a warmed solo oracle.
+    pub fn warmed_functions(&self) -> usize {
+        self.solo.len()
+    }
+
+    /// Prices one completed invocation and returns the invoice plus the
+    /// machine-congestion signal its startup probe produced (the
+    /// presumed slowdown of a typical function, ≥ 1 — what
+    /// [`crate::LitmusAware`] placement minimises).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownFunction`] when the cache was not
+    ///   warmed with this function;
+    /// * propagated probe/pricing failures.
+    pub fn price(&self, function: &Benchmark, report: &ExecutionReport) -> Result<(Invoice, f64)> {
+        let solo = self
+            .solo
+            .get(function.name())
+            .ok_or(ClusterError::UnknownFunction(function.name()))?;
+        let baseline = self.tables.baseline(function.language())?;
+        let startup = report
+            .startup
+            .as_ref()
+            .ok_or(litmus_core::CoreError::NoStartup)?;
+        let reading = LitmusReading::from_startup(baseline, startup)?;
+        let estimate = self.model.estimate(&reading)?;
+        let counters = report.counters;
+        let invoice = Invoice {
+            function: function.name().to_owned(),
+            counters,
+            commercial: CommercialPricing::new().price(&counters),
+            litmus: self.pricing.price(&reading, &counters)?,
+            ideal: IdealPricing::new().price(&counters, solo),
+        };
+        Ok((invoice, estimate.total_slowdown))
+    }
+}

@@ -1,0 +1,388 @@
+use litmus_core::{DiscountModel, PricingTables};
+use litmus_platform::InvocationTrace;
+use litmus_sim::MachineSpec;
+
+use crate::billing::BillingAggregator;
+use crate::context::ServingContext;
+use crate::error::ClusterError;
+use crate::machine::{Machine, MachineConfig};
+use crate::policy::{MachineSnapshot, PlacementPolicy};
+use crate::Result;
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Hardware model shared by every machine.
+    pub spec: MachineSpec,
+    /// Per-machine serving configuration (pool size, background load).
+    pub machines: Vec<MachineConfig>,
+    /// Scheduling time-slice: arrivals are dispatched and machines
+    /// stepped in windows of this many ms.
+    pub slice_ms: u64,
+    /// Worker threads stepping machines in parallel (1 = sequential).
+    pub threads: usize,
+    /// Instruction-count scale applied to served functions.
+    pub serving_scale: f64,
+    /// Extra time after the last arrival to let stragglers finish, ms.
+    pub drain_ms: u64,
+}
+
+impl ClusterConfig {
+    /// A homogeneous cluster: `count` machines, each serving on
+    /// `cores` cores of `spec`, no background load, threads matching
+    /// the host's parallelism.
+    pub fn homogeneous(spec: MachineSpec, count: usize, cores: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ClusterConfig {
+            spec,
+            machines: (0..count)
+                .map(|i| MachineConfig::new(cores).seed(0xC1A0 + i as u64))
+                .collect(),
+            slice_ms: 20,
+            threads,
+            serving_scale: 1.0,
+            drain_ms: 60_000,
+        }
+    }
+
+    /// Replaces the machine list (heterogeneous background loads).
+    pub fn machines(mut self, machines: Vec<MachineConfig>) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Sets the scheduling slice, ms (minimum 1).
+    pub fn slice_ms(mut self, ms: u64) -> Self {
+        self.slice_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the stepping thread count (minimum 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the served-function profile scale.
+    pub fn serving_scale(mut self, scale: f64) -> Self {
+        self.serving_scale = scale;
+        self
+    }
+
+    /// Sets the drain window, ms.
+    pub fn drain_ms(mut self, ms: u64) -> Self {
+        self.drain_ms = ms;
+        self
+    }
+}
+
+/// A cluster of independently-simulated serving machines sharing one
+/// calibration (tables + discount model) — the provider-side fleet the
+/// paper's §5.1 scheduling observation applies to.
+#[derive(Debug)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+    ctx: ServingContext,
+    spec: MachineSpec,
+    slice_ms: u64,
+    threads: usize,
+    drain_ms: u64,
+}
+
+impl Cluster {
+    /// Boots every machine (background fillers, warm-up, one initial
+    /// Litmus probe each) and prepares the shared serving context.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::NoMachines`] for an empty machine list;
+    /// * propagated boot failures.
+    pub fn build(
+        config: ClusterConfig,
+        tables: PricingTables,
+        model: DiscountModel,
+    ) -> Result<Self> {
+        if config.machines.is_empty() {
+            return Err(ClusterError::NoMachines);
+        }
+        let probe_language = tables
+            .baselines()
+            .first()
+            .ok_or(litmus_core::CoreError::DegenerateMeasurement(
+                "tables contain no startup baselines",
+            ))?
+            .language;
+        let ctx = ServingContext::new(tables, model, config.serving_scale);
+        let machines = config
+            .machines
+            .iter()
+            .map(|machine_config| {
+                Machine::boot(config.spec.clone(), machine_config, probe_language, &ctx)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Cluster {
+            machines,
+            ctx,
+            spec: config.spec,
+            slice_ms: config.slice_ms,
+            threads: config.threads,
+            drain_ms: config.drain_ms,
+        })
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines (never true after build).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Scheduler-visible state of every machine.
+    pub fn snapshots(&self) -> Vec<MachineSnapshot> {
+        self.machines.iter().map(Machine::snapshot).collect()
+    }
+
+    /// One machine, for inspection.
+    pub fn machine(&self, idx: usize) -> Option<&Machine> {
+        self.machines.get(idx)
+    }
+
+    /// Invocations executing or queued across the cluster.
+    pub fn outstanding(&self) -> usize {
+        self.machines.iter().map(Machine::outstanding).sum()
+    }
+
+    /// Steps every machine to cluster time `target_ms`, in parallel
+    /// when the cluster was configured with more than one thread.
+    /// Machines are fully independent state machines, so parallel and
+    /// sequential stepping produce bit-identical results.
+    fn step_all(&mut self, target_ms: u64) -> Result<()> {
+        let threads = self.threads.min(self.machines.len()).max(1);
+        if threads == 1 {
+            for machine in &mut self.machines {
+                machine.step_to(target_ms, &self.ctx)?;
+            }
+            return Ok(());
+        }
+        let ctx = &self.ctx;
+        let chunk_len = self.machines.len().div_ceil(threads);
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .machines
+                .chunks_mut(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        for machine in chunk {
+                            machine.step_to(target_ms, ctx)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|panic| {
+                        Err(ClusterError::WorkerPanic(panic_message(&panic)))
+                    })
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Result of replaying a trace through a [`Cluster`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Name of the placement policy that produced this outcome.
+    pub policy: &'static str,
+    /// Per-tenant billing, folded from every machine's shard.
+    pub billing: BillingAggregator,
+    /// Machine index chosen for each trace event, in trace order —
+    /// deterministic for a given trace, cluster config and policy.
+    pub placements: Vec<usize>,
+    /// Invocations dispatched to each machine.
+    pub dispatch_counts: Vec<usize>,
+    /// Invocations completed and billed.
+    pub completed: usize,
+    /// Invocations still executing or queued when the drain window
+    /// closed.
+    pub unfinished: usize,
+    /// Mean arrival→completion latency of completed invocations, ms.
+    pub mean_latency_ms: f64,
+    /// Mean (over dispatches) of the chosen machine's predicted
+    /// slowdown at dispatch time — the placement-quality signal
+    /// Litmus-aware routing minimises.
+    pub mean_predicted_slowdown: f64,
+    /// Simulated time the replay covered, ms.
+    pub sim_ms: u64,
+}
+
+impl ClusterOutcome {
+    /// Completed invocations per simulated second.
+    pub fn throughput_per_sim_s(&self) -> f64 {
+        if self.sim_ms == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.sim_ms as f64 / 1000.0)
+    }
+}
+
+/// Replays an [`InvocationTrace`] against a [`Cluster`] under a
+/// [`PlacementPolicy`]: per time-slice, route every arrival in the
+/// slice (policy sees live snapshots, including the Litmus congestion
+/// estimates), then step all machines through the slice in parallel
+/// while their shards absorb the resulting invoices.
+///
+/// # Examples
+///
+/// ```no_run
+/// use litmus_cluster::{
+///     Cluster, ClusterConfig, ClusterDriver, LitmusAware,
+/// };
+/// use litmus_core::{DiscountModel, TableBuilder};
+/// use litmus_platform::InvocationTrace;
+/// use litmus_sim::MachineSpec;
+/// use litmus_workloads::suite;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = MachineSpec::cascade_lake();
+/// let tables = TableBuilder::new(spec.clone()).build()?;
+/// let model = DiscountModel::fit(&tables)?;
+/// let trace = InvocationTrace::poisson(suite::benchmarks(), 200.0, 10_000, 7)
+///     .expect("non-empty pool");
+/// let config = ClusterConfig::homogeneous(spec, 8, 8);
+/// let mut cluster = Cluster::build(config, tables, model)?;
+/// let outcome = ClusterDriver::new(LitmusAware::new())
+///     .replay(&mut cluster, &trace)?;
+/// println!("{} invocations billed", outcome.completed);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterDriver<P> {
+    policy: P,
+}
+
+impl<P: PlacementPolicy> ClusterDriver<P> {
+    /// Creates a driver routing with `policy`.
+    pub fn new(policy: P) -> Self {
+        ClusterDriver { policy }
+    }
+
+    /// The policy's report name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Replays `trace` and returns the cluster-wide outcome. The solo
+    /// oracle cache is warmed for the trace's functions first.
+    ///
+    /// Billing shards live on the machines and accumulate for the
+    /// lifetime of the cluster (an accounting period), so
+    /// [`ClusterOutcome::billing`] of a second replay on the same
+    /// cluster covers both replays — build a fresh [`Cluster`] per
+    /// experiment when billing must be isolated. Every *serving*
+    /// metric (`completed`, `dispatch_counts`, latency, placements,
+    /// `sim_ms`) covers only the replay that returned it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates warm-up, stepping and pricing failures.
+    pub fn replay(
+        &mut self,
+        cluster: &mut Cluster,
+        trace: &InvocationTrace,
+    ) -> Result<ClusterOutcome> {
+        let spec = cluster.spec.clone();
+        cluster.ctx.warm(&spec, trace)?;
+
+        // Machines carry lifetime counters (they also back the billing
+        // shards); snapshot them so this outcome's serving metrics
+        // cover this replay only, even on a reused cluster.
+        let base: Vec<(usize, usize, f64)> = cluster
+            .machines
+            .iter()
+            .map(|m| (m.completed(), m.dispatched(), m.latency_sum_ms()))
+            .collect();
+
+        let slice_ms = cluster.slice_ms;
+        let mut placements = Vec::with_capacity(trace.len());
+        let mut predicted_sum = 0.0;
+        let mut now_ms = 0u64;
+        let mut next_event = 0;
+
+        while next_event < trace.len() {
+            let slice_end = now_ms + slice_ms;
+            while next_event < trace.len() && trace.events()[next_event].at_ms < slice_end {
+                let event = &trace.events()[next_event];
+                let snapshots = cluster.snapshots();
+                let chosen = self.policy.choose(&snapshots);
+                predicted_sum += snapshots[chosen].predicted_slowdown;
+                placements.push(chosen);
+                cluster.machines[chosen].dispatch(
+                    event.at_ms,
+                    event.function.clone(),
+                    event.tenant,
+                );
+                next_event += 1;
+            }
+            cluster.step_all(slice_end)?;
+            now_ms = slice_end;
+        }
+
+        let drain_deadline = now_ms + cluster.drain_ms;
+        while cluster.outstanding() > 0 && now_ms < drain_deadline {
+            now_ms = (now_ms + slice_ms).min(drain_deadline);
+            cluster.step_all(now_ms)?;
+        }
+
+        let mut billing = BillingAggregator::new();
+        let mut completed = 0;
+        let mut latency_sum = 0.0;
+        for (machine, (base_completed, _, base_latency)) in cluster.machines.iter().zip(&base) {
+            billing.absorb(machine.shard());
+            completed += machine.completed() - base_completed;
+            latency_sum += machine.latency_sum_ms() - base_latency;
+        }
+        Ok(ClusterOutcome {
+            policy: self.policy.name(),
+            billing,
+            dispatch_counts: cluster
+                .machines
+                .iter()
+                .zip(&base)
+                .map(|(m, (_, base_dispatched, _))| m.dispatched() - base_dispatched)
+                .collect(),
+            completed,
+            unfinished: cluster.outstanding(),
+            mean_latency_ms: if completed == 0 {
+                0.0
+            } else {
+                latency_sum / completed as f64
+            },
+            mean_predicted_slowdown: if placements.is_empty() {
+                0.0
+            } else {
+                predicted_sum / placements.len() as f64
+            },
+            placements,
+            sim_ms: now_ms,
+        })
+    }
+}

@@ -1,0 +1,92 @@
+//! Trace-driven multi-machine serving for the Litmus reproduction —
+//! the provider-side layer between one congested machine
+//! ([`litmus_platform::CoRunHarness`]) and the paper-figure harness.
+//!
+//! Paper §5.1 observes that the congestion readings Litmus collects for
+//! *pricing* "assist providers in estimating remaining resources and
+//! making informed decisions regarding job scheduling". This crate
+//! operationalises that at cluster scale:
+//!
+//! * [`Cluster`] — N independently-simulated machines (each a
+//!   [`litmus_platform::CoRunHarness`] with its own background load)
+//!   sharing one calibration;
+//! * [`PlacementPolicy`] — pluggable routing: [`RoundRobin`],
+//!   [`LeastLoaded`] (queue depth) and [`LitmusAware`] (route to the
+//!   machine whose latest startup probe predicts the smallest
+//!   slowdown);
+//! * [`ClusterDriver`] — replays a multi-tenant
+//!   [`litmus_platform::InvocationTrace`] per time-slice, stepping
+//!   machines in parallel worker threads;
+//! * [`BillingShard`] / [`BillingAggregator`] — streaming per-tenant
+//!   billing: each machine folds its invoices into constant-space
+//!   [`litmus_core::BillingSummary`]s, merged cluster-wide at collection
+//!   — no invoice list ever materialises.
+//!
+//! Replays are fully deterministic: the same trace, cluster
+//! configuration and policy produce identical placement sequences and
+//! invoices, regardless of the stepping thread count.
+//!
+//! # Examples
+//!
+//! Serve a skewed cluster (half the machines pre-loaded) and compare
+//! routing policies:
+//!
+//! ```no_run
+//! use litmus_cluster::{
+//!     Cluster, ClusterConfig, ClusterDriver, LitmusAware, MachineConfig,
+//!     RoundRobin,
+//! };
+//! use litmus_core::{DiscountModel, TableBuilder};
+//! use litmus_platform::InvocationTrace;
+//! use litmus_sim::MachineSpec;
+//! use litmus_workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = MachineSpec::cascade_lake();
+//! let tables = TableBuilder::new(spec.clone()).build()?;
+//! let model = DiscountModel::fit(&tables)?;
+//!
+//! // Machines 0–3 carry heavy background load, 4–7 are idle.
+//! let machines: Vec<_> = (0..8)
+//!     .map(|i| {
+//!         let background = if i < 4 { 24 } else { 0 };
+//!         MachineConfig::new(8).background(background).seed(100 + i)
+//!     })
+//!     .collect();
+//! let config = ClusterConfig::homogeneous(spec, 8, 8).machines(machines);
+//!
+//! let trace = InvocationTrace::poisson(suite::benchmarks(), 300.0, 20_000, 1)
+//!     .expect("non-empty pool");
+//! let mut cluster = Cluster::build(config, tables, model)?;
+//! let outcome =
+//!     ClusterDriver::new(LitmusAware::new()).replay(&mut cluster, &trace)?;
+//! for (tenant, summary) in outcome.billing.tenants() {
+//!     println!(
+//!         "{tenant}: {} invocations, {:.1}% discount",
+//!         summary.len(),
+//!         summary.average_discount() * 100.0
+//!     );
+//! }
+//! # let _ = RoundRobin::new();
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod billing;
+mod context;
+mod driver;
+mod error;
+mod machine;
+mod policy;
+
+pub use billing::{BillingAggregator, BillingShard};
+pub use context::ServingContext;
+pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterOutcome};
+pub use error::ClusterError;
+pub use machine::{Machine, MachineConfig};
+pub use policy::{LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, RoundRobin};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

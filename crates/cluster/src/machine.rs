@@ -1,0 +1,280 @@
+use std::collections::{HashMap, VecDeque};
+
+use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig, TenantId};
+use litmus_sim::{Event, ExecutionProfile, InstanceId, MachineSpec};
+use litmus_workloads::{Benchmark, Language};
+
+use crate::billing::BillingShard;
+use crate::context::ServingContext;
+use crate::policy::MachineSnapshot;
+use crate::Result;
+
+/// Configuration of one serving machine in a [`crate::Cluster`].
+///
+/// Machines share the cluster's [`MachineSpec`] but may differ in pool
+/// size and — crucially for placement experiments — background load:
+/// long-lived filler functions time-sharing the same cores, modelling
+/// the colocated tenants a real provider has already packed there.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cores in the machine's serving pool.
+    pub cores: usize,
+    /// Background filler functions kept alive on the pool (0 = the
+    /// machine serves trace traffic only).
+    pub background: usize,
+    /// Instruction-count scale for background fillers.
+    pub background_scale: f64,
+    /// Warm-up before the machine joins the cluster, ms.
+    pub warmup_ms: u64,
+    /// Seed for the background mix (machines get distinct streams).
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// A dedicated serving machine: `cores` cores, no background load.
+    pub fn new(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            background: 0,
+            background_scale: 0.05,
+            warmup_ms: 100,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the background filler count.
+    pub fn background(mut self, fillers: usize) -> Self {
+        self.background = fillers;
+        self
+    }
+
+    /// Sets the background profile scale.
+    pub fn background_scale(mut self, scale: f64) -> Self {
+        self.background_scale = scale;
+        self
+    }
+
+    /// Sets the warm-up duration, ms.
+    pub fn warmup_ms(mut self, ms: u64) -> Self {
+        self.warmup_ms = ms;
+        self
+    }
+
+    /// Sets the background mix seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct QueuedArrival {
+    launch_at_ms: u64,
+    function: Benchmark,
+    tenant: TenantId,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    function: Benchmark,
+    tenant: TenantId,
+    arrived_cluster_ms: u64,
+}
+
+/// One serving machine: a congested [`CoRunHarness`] plus the
+/// scheduler-side bookkeeping the cluster needs — an arrival queue, the
+/// in-flight table, the machine's latest Litmus congestion estimate and
+/// its local [`BillingShard`].
+///
+/// Machines are stepped independently (and in parallel) by the
+/// [`crate::ClusterDriver`]; nothing here references any other machine.
+#[derive(Debug)]
+pub struct Machine {
+    harness: CoRunHarness,
+    cores: usize,
+    /// Harness-local sim time corresponding to cluster time 0
+    /// (boot + warm-up + initial probe all happen before the epoch).
+    epoch_ms: u64,
+    queue: VecDeque<QueuedArrival>,
+    inflight: HashMap<InstanceId, InFlight>,
+    predicted_slowdown: f64,
+    shard: BillingShard,
+    dispatched: usize,
+    completed: usize,
+    latency_sum_ms: f64,
+}
+
+impl Machine {
+    /// Boots the machine: starts the harness (launching and warming any
+    /// background fillers), then takes one startup Litmus probe so the
+    /// placement policies see a meaningful congestion estimate before
+    /// the first invocation completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness boot and probe failures.
+    pub fn boot(
+        spec: MachineSpec,
+        config: &MachineConfig,
+        probe_language: Language,
+        ctx: &ServingContext,
+    ) -> Result<Self> {
+        let harness_config = HarnessConfig::new(spec)
+            .env(CoRunEnv::Shared {
+                co_runners: config.background,
+                cores: config.cores,
+            })
+            .mix_scale(config.background_scale)
+            .warmup_ms(config.warmup_ms)
+            .seed(config.seed);
+        let harness = CoRunHarness::start(harness_config)?;
+        let mut machine = Machine {
+            harness,
+            cores: config.cores,
+            epoch_ms: 0,
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            predicted_slowdown: 1.0,
+            shard: BillingShard::new(),
+            dispatched: 0,
+            completed: 0,
+            latency_sum_ms: 0.0,
+        };
+        machine.probe(probe_language, ctx)?;
+        machine.epoch_ms = machine.harness.sim().now_ms();
+        Ok(machine)
+    }
+
+    /// Runs a startup-only probe (exactly what a new function's launch
+    /// would measure) and refreshes the congestion estimate.
+    fn probe(&mut self, language: Language, ctx: &ServingContext) -> Result<()> {
+        let mut builder = ExecutionProfile::builder(format!("{}-cluster-probe", language.abbr()));
+        for phase in language.startup_phases() {
+            builder = builder.startup_phase(phase);
+        }
+        let profile = builder.build().map_err(litmus_core::CoreError::from)?;
+        let report = self.harness.measure(profile)?;
+        let baseline = ctx.tables().baseline(language)?;
+        let startup = report
+            .startup
+            .as_ref()
+            .ok_or(litmus_core::CoreError::NoStartup)?;
+        let reading = litmus_core::LitmusReading::from_startup(baseline, startup)?;
+        self.predicted_slowdown = ctx.model().estimate(&reading)?.total_slowdown;
+        Ok(())
+    }
+
+    /// Accepts an invocation arriving at cluster time `at_ms`; it
+    /// launches once the machine steps past that time.
+    pub fn dispatch(&mut self, at_ms: u64, function: Benchmark, tenant: TenantId) {
+        self.queue.push_back(QueuedArrival {
+            launch_at_ms: at_ms,
+            function,
+            tenant,
+        });
+        self.dispatched += 1;
+    }
+
+    /// Advances the machine to cluster time `cluster_ms`, launching
+    /// queued arrivals at their arrival quantum and pricing every
+    /// completion into the machine's [`BillingShard`]. Each completion's
+    /// startup probe also refreshes [`MachineSnapshot::predicted_slowdown`]
+    /// — the free §5.1 scheduling signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch, backfill and pricing failures.
+    pub fn step_to(&mut self, cluster_ms: u64, ctx: &ServingContext) -> Result<()> {
+        let target = self.epoch_ms + cluster_ms;
+        while self.harness.sim().now_ms() < target {
+            self.launch_due(ctx)?;
+            let events = self.harness.step()?;
+            self.settle(&events, ctx)?;
+        }
+        self.launch_due(ctx)?;
+        Ok(())
+    }
+
+    /// Launches every queued arrival whose time has come.
+    fn launch_due(&mut self, ctx: &ServingContext) -> Result<()> {
+        let now = self.harness.sim().now_ms();
+        while let Some(front) = self.queue.front() {
+            if front.launch_at_ms + self.epoch_ms > now {
+                break;
+            }
+            let arrival = self.queue.pop_front().expect("front exists");
+            let profile = arrival
+                .function
+                .profile()
+                .scaled(ctx.scale())
+                .map_err(litmus_core::CoreError::from)?;
+            let id = self.harness.submit(profile)?;
+            self.inflight.insert(
+                id,
+                InFlight {
+                    function: arrival.function,
+                    tenant: arrival.tenant,
+                    arrived_cluster_ms: arrival.launch_at_ms,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Prices completions among `events` and updates serving stats.
+    fn settle(&mut self, events: &[Event], ctx: &ServingContext) -> Result<()> {
+        for &Event::Completed { id, at_ms } in events {
+            let Some(done) = self.inflight.remove(&id) else {
+                continue; // a background filler, not serving traffic
+            };
+            let report = self.harness.report(id)?;
+            let (invoice, predicted) = ctx.price(&done.function, &report)?;
+            self.predicted_slowdown = predicted;
+            self.shard.fold(done.tenant, &invoice);
+            self.completed += 1;
+            self.latency_sum_ms += at_ms - (done.arrived_cluster_ms + self.epoch_ms) as f64;
+        }
+        Ok(())
+    }
+
+    /// The scheduler-visible state of the machine.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            inflight: self.inflight.len(),
+            queued: self.queue.len(),
+            predicted_slowdown: self.predicted_slowdown,
+            cores: self.cores,
+            dispatched: self.dispatched,
+        }
+    }
+
+    /// Executing + queued invocations.
+    pub fn outstanding(&self) -> usize {
+        self.inflight.len() + self.queue.len()
+    }
+
+    /// Invocations ever dispatched here.
+    pub fn dispatched(&self) -> usize {
+        self.dispatched
+    }
+
+    /// Invocations completed and billed here.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Sum of completed invocations' arrival→completion latencies, ms.
+    pub fn latency_sum_ms(&self) -> f64 {
+        self.latency_sum_ms
+    }
+
+    /// The machine's billing shard.
+    pub fn shard(&self) -> &BillingShard {
+        &self.shard
+    }
+
+    /// The underlying harness, for inspection.
+    pub fn harness(&self) -> &CoRunHarness {
+        &self.harness
+    }
+}

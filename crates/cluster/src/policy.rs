@@ -1,0 +1,213 @@
+/// What a placement policy may observe about one machine at dispatch
+/// time. All signals are provider-side and free: queue depths come from
+/// the scheduler's own bookkeeping, and the congestion estimate comes
+/// from the latest Litmus probe (paper §5.1 — every function startup
+/// doubles as a congestion reading, so routing information costs
+/// nothing extra).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSnapshot {
+    /// Invocations currently executing on the machine.
+    pub inflight: usize,
+    /// Invocations dispatched to the machine but not yet launched.
+    pub queued: usize,
+    /// Presumed slowdown of a typical function on this machine (≥ 1),
+    /// from the machine's latest Litmus probe mapped through the
+    /// discount model.
+    pub predicted_slowdown: f64,
+    /// Cores in the machine's serving pool.
+    pub cores: usize,
+    /// Total invocations ever dispatched to the machine.
+    pub dispatched: usize,
+}
+
+impl MachineSnapshot {
+    /// Outstanding work on the machine (executing + waiting).
+    pub fn load(&self) -> usize {
+        self.inflight + self.queued
+    }
+
+    /// Forward-adjusted congestion score: the probe's presumed slowdown
+    /// scaled by the per-core work outstanding on the machine.
+    ///
+    /// A probe reading describes the machine *as of its last
+    /// completion*; everything routed there since is invisible to it.
+    /// Left uncorrected, that staleness herds the whole fleet onto
+    /// whichever machine last looked calm, saturating it before its
+    /// next probe can say otherwise. Scaling by outstanding work per
+    /// core folds the scheduler's own (exact, free) knowledge of
+    /// routed-but-unmeasured load into the probe's (measured, stale)
+    /// congestion estimate.
+    pub fn congestion_score(&self) -> f64 {
+        self.predicted_slowdown * (1.0 + self.load() as f64 / self.cores.max(1) as f64)
+    }
+}
+
+/// A placement policy: given a snapshot of every machine, pick the one
+/// to route the next invocation to.
+///
+/// Policies must be deterministic — identical snapshot sequences must
+/// produce identical placement sequences — so cluster replays are
+/// exactly reproducible.
+pub trait PlacementPolicy {
+    /// Short name for reports (`round-robin`, `litmus-aware`, …).
+    fn name(&self) -> &'static str;
+
+    /// Index of the machine to place the next invocation on.
+    /// `machines` is never empty.
+    fn choose(&mut self, machines: &[MachineSnapshot]) -> usize;
+}
+
+/// Cycles through machines in index order, ignoring all signals — the
+/// baseline any smarter policy must beat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates the policy, starting at machine 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn choose(&mut self, machines: &[MachineSnapshot]) -> usize {
+        let idx = self.next % machines.len();
+        self.next = (self.next + 1) % machines.len();
+        idx
+    }
+}
+
+/// Routes to the machine with the fewest outstanding invocations
+/// (ties broken by lowest index) — classic queue-depth balancing,
+/// blind to how congested each machine actually is.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn choose(&mut self, machines: &[MachineSnapshot]) -> usize {
+        machines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.load())
+            .map(|(idx, _)| idx)
+            .expect("machines is non-empty")
+    }
+}
+
+/// Routes to the machine whose latest Litmus probe predicts the
+/// smallest slowdown — the paper's §5.1 observation operationalised:
+/// congestion readings the provider already collects for pricing double
+/// as the scheduling signal.
+///
+/// The raw probe reading is forward-adjusted by outstanding work (see
+/// [`MachineSnapshot::congestion_score`]) so stale readings cannot herd
+/// traffic, and near-ties (within 1%) fall back to queue depth, then
+/// index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LitmusAware;
+
+impl LitmusAware {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LitmusAware
+    }
+}
+
+impl PlacementPolicy for LitmusAware {
+    fn name(&self) -> &'static str {
+        "litmus-aware"
+    }
+
+    fn choose(&mut self, machines: &[MachineSnapshot]) -> usize {
+        let best = machines
+            .iter()
+            .map(MachineSnapshot::congestion_score)
+            .fold(f64::INFINITY, f64::min);
+        machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.congestion_score() <= best * 1.01)
+            .min_by_key(|(idx, m)| (m.load(), *idx))
+            .map(|(idx, _)| idx)
+            .expect("machines is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(inflight: usize, slowdown: f64) -> MachineSnapshot {
+        MachineSnapshot {
+            inflight,
+            queued: 0,
+            predicted_slowdown: slowdown,
+            cores: 8,
+            dispatched: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let machines = vec![snapshot(0, 1.0); 3];
+        let mut policy = RoundRobin::new();
+        let picks: Vec<_> = (0..7).map(|_| policy.choose(&machines)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_short_queues_then_index() {
+        let machines = vec![snapshot(4, 1.0), snapshot(1, 9.0), snapshot(1, 1.0)];
+        assert_eq!(LeastLoaded::new().choose(&machines), 1);
+    }
+
+    #[test]
+    fn litmus_aware_prefers_calm_machines() {
+        let machines = vec![snapshot(0, 3.0), snapshot(0, 1.2), snapshot(0, 1.9)];
+        assert_eq!(LitmusAware::new().choose(&machines), 1);
+    }
+
+    #[test]
+    fn litmus_aware_breaks_near_ties_by_load() {
+        // Machines 0 and 2 score within 1% of each other: pick the
+        // idler one.
+        let machines = vec![snapshot(2, 1.500), snapshot(9, 2.8), snapshot(2, 1.505)];
+        assert_eq!(LitmusAware::new().choose(&machines), 0);
+    }
+
+    #[test]
+    fn litmus_aware_discounts_stale_calm_readings_under_load() {
+        // Machine 0's probe looks calm but 16 invocations are already
+        // outstanding on its 8 cores: score 1.0·(1+2) = 3.0. Machine 1
+        // reads congested (1.8) but is idle: score 1.8. The policy must
+        // not herd onto the stale-calm machine.
+        let machines = vec![snapshot(16, 1.0), snapshot(0, 1.8)];
+        assert_eq!(LitmusAware::new().choose(&machines), 1);
+    }
+
+    #[test]
+    fn queued_work_counts_toward_load() {
+        let mut busy = snapshot(1, 1.0);
+        busy.queued = 5;
+        assert_eq!(busy.load(), 6);
+        let machines = vec![busy, snapshot(2, 1.0)];
+        assert_eq!(LeastLoaded::new().choose(&machines), 1);
+    }
+}

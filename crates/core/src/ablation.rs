@@ -63,11 +63,7 @@ impl AblationPricing {
     /// # Errors
     ///
     /// Propagates [`DiscountModel::estimate_weighted`] failures.
-    pub fn price(
-        &self,
-        reading: &LitmusReading,
-        counters: &PmuCounters,
-    ) -> Result<Price> {
+    pub fn price(&self, reading: &LitmusReading, counters: &PmuCounters) -> Result<Price> {
         match self.scheme {
             AblationScheme::NoSplit => {
                 let estimate = self.model.estimate(reading)?;
@@ -82,8 +78,7 @@ impl AblationPricing {
                     TrafficGenerator::CtGen => 0.0,
                     TrafficGenerator::MbGen => 1.0,
                 };
-                let estimate =
-                    self.model.estimate_weighted(reading, Some(weight))?;
+                let estimate = self.model.estimate_weighted(reading, Some(weight))?;
                 Ok(Price {
                     private: estimate.r_private() * counters.t_private_cycles(),
                     shared: estimate.r_shared() * counters.t_shared_cycles(),
@@ -167,12 +162,9 @@ mod tests {
         )
         .price(&reading(), &counters())
         .unwrap();
-        let mb = AblationPricing::new(
-            m,
-            AblationScheme::SingleGenerator(TrafficGenerator::MbGen),
-        )
-        .price(&reading(), &counters())
-        .unwrap();
+        let mb = AblationPricing::new(m, AblationScheme::SingleGenerator(TrafficGenerator::MbGen))
+            .price(&reading(), &counters())
+            .unwrap();
         let lo = ct.total().min(mb.total());
         let hi = ct.total().max(mb.total());
         assert!(

@@ -153,11 +153,25 @@ impl BillingLedger {
         self.total_compensation() / commercial
     }
 
+    /// Appends every invoice of `other`, preserving order — the
+    /// fold step of sharded metering: per-machine ledgers accumulate
+    /// independently and merge into the accounting-period ledger.
+    pub fn merge(&mut self, other: BillingLedger) {
+        self.invoices.extend(other.invoices);
+    }
+
+    /// Streaming summary of this ledger (equivalent to folding every
+    /// invoice into a fresh [`BillingSummary`]).
+    pub fn summary(&self) -> BillingSummary {
+        let mut summary = BillingSummary::new();
+        for invoice in &self.invoices {
+            summary.fold(invoice);
+        }
+        summary
+    }
+
     /// Invoices for one function name.
-    pub fn for_function<'a>(
-        &'a self,
-        function: &'a str,
-    ) -> impl Iterator<Item = &'a Invoice> + 'a {
+    pub fn for_function<'a>(&'a self, function: &'a str) -> impl Iterator<Item = &'a Invoice> + 'a {
         self.invoices.iter().filter(move |i| i.function == function)
     }
 }
@@ -172,6 +186,114 @@ impl FromIterator<Invoice> for BillingLedger {
     fn from_iter<T: IntoIterator<Item = Invoice>>(iter: T) -> Self {
         BillingLedger {
             invoices: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Constant-space aggregate of a stream of invoices — what a sharded
+/// metering plane keeps per tenant instead of the full invoice list.
+///
+/// Summaries are a commutative monoid under [`BillingSummary::merge`]:
+/// folding invoices shard by shard and merging the shards yields exactly
+/// the same totals as folding everything into one summary (up to
+/// floating-point addition order).
+///
+/// # Examples
+///
+/// ```
+/// use litmus_core::BillingSummary;
+///
+/// let summary = BillingSummary::new();
+/// assert!(summary.is_empty());
+/// assert_eq!(summary.average_discount(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BillingSummary {
+    invoices: usize,
+    commercial: f64,
+    litmus: f64,
+    ideal: f64,
+}
+
+impl BillingSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        BillingSummary::default()
+    }
+
+    /// Folds one invoice into the running totals.
+    pub fn fold(&mut self, invoice: &Invoice) {
+        self.invoices += 1;
+        self.commercial += invoice.commercial.total();
+        self.litmus += invoice.litmus.total();
+        self.ideal += invoice.ideal.total();
+    }
+
+    /// Merges another summary (e.g. a machine shard) into this one.
+    pub fn merge(&mut self, other: &BillingSummary) {
+        self.invoices += other.invoices;
+        self.commercial += other.commercial;
+        self.litmus += other.litmus;
+        self.ideal += other.ideal;
+    }
+
+    /// Number of invoices folded in.
+    pub fn len(&self) -> usize {
+        self.invoices
+    }
+
+    /// Whether no invoices have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.invoices == 0
+    }
+
+    /// Total revenue billed under Litmus pricing.
+    pub fn litmus_revenue(&self) -> f64 {
+        self.litmus
+    }
+
+    /// Total revenue commercial pricing would have billed.
+    pub fn commercial_revenue(&self) -> f64 {
+        self.commercial
+    }
+
+    /// Total revenue the oracle would have billed.
+    pub fn ideal_revenue(&self) -> f64 {
+        self.ideal
+    }
+
+    /// Compensation handed back to tenants (commercial − litmus).
+    pub fn total_compensation(&self) -> f64 {
+        self.commercial - self.litmus
+    }
+
+    /// Revenue-weighted average Litmus discount.
+    pub fn average_discount(&self) -> f64 {
+        if self.commercial <= 0.0 {
+            return 0.0;
+        }
+        self.total_compensation() / self.commercial
+    }
+
+    /// Revenue-weighted average ideal (oracle) discount.
+    pub fn ideal_discount(&self) -> f64 {
+        if self.commercial <= 0.0 {
+            return 0.0;
+        }
+        (self.commercial - self.ideal) / self.commercial
+    }
+}
+
+impl From<&BillingLedger> for BillingSummary {
+    fn from(ledger: &BillingLedger) -> Self {
+        ledger.summary()
+    }
+}
+
+impl Extend<Invoice> for BillingSummary {
+    fn extend<T: IntoIterator<Item = Invoice>>(&mut self, iter: T) {
+        for invoice in iter {
+            self.fold(&invoice);
         }
     }
 }
@@ -265,9 +387,7 @@ mod tests {
 
     #[test]
     fn ledger_collects_from_iterators() {
-        let ledger: BillingLedger = vec![invoice(), invoice(), invoice()]
-            .into_iter()
-            .collect();
+        let ledger: BillingLedger = vec![invoice(), invoice(), invoice()].into_iter().collect();
         assert_eq!(ledger.len(), 3);
         let mut extended = ledger.clone();
         extended.extend(vec![invoice()]);

@@ -113,11 +113,7 @@ impl CongestionIndex {
     /// # Errors
     ///
     /// Same conditions as [`CongestionIndex::level`].
-    pub fn level_for(
-        &self,
-        reading: &LitmusReading,
-        estimate: &DiscountEstimate,
-    ) -> Result<f64> {
+    pub fn level_for(&self, reading: &LitmusReading, estimate: &DiscountEstimate) -> Result<f64> {
         self.level(reading, estimate.weight)
     }
 }

@@ -69,7 +69,7 @@ mod probe;
 mod tables;
 
 pub use ablation::{AblationPricing, AblationScheme};
-pub use billing::{BillingLedger, Invoice};
+pub use billing::{BillingLedger, BillingSummary, Invoice};
 pub use error::CoreError;
 pub use index::CongestionIndex;
 pub use model::{DiscountEstimate, DiscountModel, GeneratorModel};

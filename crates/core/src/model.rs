@@ -150,18 +150,12 @@ impl DiscountModel {
         let congestion = tables.congestion(language, generator)?;
         let performance = tables.performance(generator)?;
         // 1-to-1 level mapping between the two tables (paper Fig. 5).
-        let startup_priv: Vec<f64> =
-            congestion.iter().map(|r| r.private_slowdown).collect();
-        let startup_shared: Vec<f64> =
-            congestion.iter().map(|r| r.shared_slowdown).collect();
-        let startup_total: Vec<f64> =
-            congestion.iter().map(|r| r.total_slowdown).collect();
-        let ref_priv: Vec<f64> =
-            performance.iter().map(|r| r.private_slowdown).collect();
-        let ref_shared: Vec<f64> =
-            performance.iter().map(|r| r.shared_slowdown).collect();
-        let ref_total: Vec<f64> =
-            performance.iter().map(|r| r.total_slowdown).collect();
+        let startup_priv: Vec<f64> = congestion.iter().map(|r| r.private_slowdown).collect();
+        let startup_shared: Vec<f64> = congestion.iter().map(|r| r.shared_slowdown).collect();
+        let startup_total: Vec<f64> = congestion.iter().map(|r| r.total_slowdown).collect();
+        let ref_priv: Vec<f64> = performance.iter().map(|r| r.private_slowdown).collect();
+        let ref_shared: Vec<f64> = performance.iter().map(|r| r.shared_slowdown).collect();
+        let ref_total: Vec<f64> = performance.iter().map(|r| r.total_slowdown).collect();
         let l3: Vec<f64> = congestion.iter().map(|r| r.l3_miss_rate).collect();
 
         Ok(GeneratorModel {

@@ -90,10 +90,7 @@ pub fn encode(tables: &PricingTables) -> String {
 /// * [`CoreError::Parse`] on malformed input or when the recorded spec
 ///   name does not match `spec.name` (tables are machine-specific —
 ///   pricing with another machine's tables is a provider bug).
-pub fn decode(
-    spec: litmus_sim::MachineSpec,
-    text: &str,
-) -> Result<PricingTables> {
+pub fn decode(spec: litmus_sim::MachineSpec, text: &str) -> Result<PricingTables> {
     let mut lines = text.lines().enumerate();
     let (_, first) = lines.next().ok_or_else(|| parse_err(0, "empty input"))?;
     if first.trim() != MAGIC {
@@ -171,10 +168,7 @@ pub fn decode(
         Some(name) => {
             return Err(CoreError::Parse {
                 line: 2,
-                message: format!(
-                    "tables were built on {name:?}, not {:?}",
-                    spec.name
-                ),
+                message: format!("tables were built on {name:?}, not {:?}", spec.name),
             });
         }
         None => return Err(parse_err(2, "missing spec line")),

@@ -91,9 +91,7 @@ impl PoppaSampler {
     /// (hundreds of functions, each wanting frequent samples) the lost
     /// throughput dwarfs the billing correction.
     pub fn overhead_core_ms(&self, duration_ms: f64, co_running: usize) -> f64 {
-        self.samples_over(duration_ms)
-            * self.window_ms
-            * co_running.saturating_sub(1) as f64
+        self.samples_over(duration_ms) * self.window_ms * co_running.saturating_sub(1) as f64
     }
 
     /// Prices an execution: the ideal price perturbed by the residual
@@ -152,8 +150,7 @@ mod tests {
         let solo = counters(900.0, 100.0, 1000.0);
         let congested = counters(950.0, 250.0, 1000.0);
         let poppa = p.price(&congested, &solo);
-        let ideal =
-            crate::pricing::IdealPricing::new().price(&congested, &solo);
+        let ideal = crate::pricing::IdealPricing::new().price(&congested, &solo);
         let ratio = poppa.total() / ideal.total();
         assert!((ratio - 1.02).abs() < 1e-9);
     }

@@ -174,20 +174,14 @@ impl LitmusPricing {
     /// # Errors
     ///
     /// Propagates [`DiscountModel::estimate`] failures.
-    pub fn price(
-        &self,
-        reading: &LitmusReading,
-        counters: &PmuCounters,
-    ) -> Result<Price> {
+    pub fn price(&self, reading: &LitmusReading, counters: &PmuCounters) -> Result<Price> {
         let estimate = self.estimate(reading)?;
         let t_private = match self.method {
             Method::TableDriven => counters.t_private_cycles(),
             // Method 1 also removes the sharing overhead from the billed
             // private time — the provider chose to oversubscribe, so the
             // refill cost is on them.
-            Method::CalibratedSharing { factor } => {
-                counters.t_private_cycles() / factor
-            }
+            Method::CalibratedSharing { factor } => counters.t_private_cycles() / factor,
         };
         Ok(Price {
             private: estimate.r_private() * t_private,
@@ -290,8 +284,8 @@ mod tests {
         };
         let c = counters(1_000_000.0, 100_000.0);
         let plain = LitmusPricing::new(model.clone());
-        let method1 = LitmusPricing::new(model)
-            .with_method(Method::CalibratedSharing { factor: 1.025 });
+        let method1 =
+            LitmusPricing::new(model).with_method(Method::CalibratedSharing { factor: 1.025 });
         // Method 1 removes the sharing overhead from the probe reading,
         // so the presumed private slowdown cannot exceed the raw one…
         let est_plain = plain.estimate(&reading).unwrap();

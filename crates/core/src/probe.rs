@@ -1,6 +1,4 @@
-use litmus_sim::{
-    ExecutionProfile, MachineSpec, Placement, Simulator, StartupReport,
-};
+use litmus_sim::{ExecutionProfile, MachineSpec, Placement, Simulator, StartupReport};
 use litmus_workloads::Language;
 
 use crate::error::CoreError;
@@ -35,8 +33,7 @@ impl StartupBaseline {
     /// [`CoreError::DegenerateMeasurement`] if the startup retired no
     /// instructions.
     pub fn measure(spec: &MachineSpec, language: Language) -> Result<Self> {
-        let mut builder =
-            ExecutionProfile::builder(format!("{}-startup-probe", language.abbr()));
+        let mut builder = ExecutionProfile::builder(format!("{}-startup-probe", language.abbr()));
         for phase in language.startup_phases() {
             builder = builder.startup_phase(phase);
         }
@@ -50,10 +47,7 @@ impl StartupBaseline {
                 "startup retired no instructions",
             ));
         }
-        let startup = report
-            .startup
-            .as_ref()
-            .ok_or(CoreError::NoStartup)?;
+        let startup = report.startup.as_ref().ok_or(CoreError::NoStartup)?;
         Ok(StartupBaseline {
             language,
             t_private_pi: counters.t_private_per_instruction(),
@@ -101,10 +95,7 @@ impl LitmusReading {
     ///
     /// * [`CoreError::DegenerateMeasurement`] if the baseline or window
     ///   is empty.
-    pub fn from_startup(
-        baseline: &StartupBaseline,
-        startup: &StartupReport,
-    ) -> Result<Self> {
+    pub fn from_startup(baseline: &StartupBaseline, startup: &StartupReport) -> Result<Self> {
         let counters = &startup.counters;
         if counters.instructions <= 0.0 {
             return Err(CoreError::DegenerateMeasurement(
@@ -118,10 +109,8 @@ impl LitmusReading {
         }
         Ok(LitmusReading {
             language: baseline.language,
-            private_slowdown: counters.t_private_per_instruction()
-                / baseline.t_private_pi,
-            shared_slowdown: counters.t_shared_per_instruction()
-                / baseline.t_shared_pi,
+            private_slowdown: counters.t_private_per_instruction() / baseline.t_private_pi,
+            shared_slowdown: counters.t_shared_per_instruction() / baseline.t_shared_pi,
             total_slowdown: (counters.cycles / counters.instructions)
                 / (baseline.t_private_pi + baseline.t_shared_pi),
             l3_miss_rate: startup.machine_l3_miss_rate.max(1.0),
@@ -140,8 +129,7 @@ mod tests {
     use litmus_sim::PmuCounters;
 
     fn baseline() -> StartupBaseline {
-        StartupBaseline::measure(&MachineSpec::cascade_lake(), Language::Python)
-            .unwrap()
+        StartupBaseline::measure(&MachineSpec::cascade_lake(), Language::Python).unwrap()
     }
 
     #[test]
@@ -176,9 +164,7 @@ mod tests {
             .profile();
         let id = sim.launch(profile, Placement::pinned(0)).unwrap();
         let report = sim.run_to_completion(id).unwrap();
-        let reading =
-            LitmusReading::from_startup(&b, report.startup.as_ref().unwrap())
-                .unwrap();
+        let reading = LitmusReading::from_startup(&b, report.startup.as_ref().unwrap()).unwrap();
         assert!((reading.private_slowdown - 1.0).abs() < 0.02);
         assert!((reading.shared_slowdown - 1.0).abs() < 0.05);
     }

@@ -78,13 +78,11 @@ impl PricingTables {
         if congestion_rows.is_empty() || performance_rows.is_empty() {
             return Err(CoreError::NoLevels);
         }
-        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> =
-            BTreeMap::new();
+        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> = BTreeMap::new();
         for (lang, gen, row) in congestion_rows {
             congestion.entry((lang, gen)).or_default().push(row);
         }
-        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> =
-            BTreeMap::new();
+        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> = BTreeMap::new();
         for (gen, row) in performance_rows {
             performance.entry(gen).or_default().push(row);
         }
@@ -286,31 +284,24 @@ impl TableBuilder {
             ref_solo.push(report.counters);
         }
 
-        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> =
-            BTreeMap::new();
-        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> =
-            BTreeMap::new();
+        let mut congestion: BTreeMap<(Language, TrafficGenerator), Vec<TableRow>> = BTreeMap::new();
+        let mut performance: BTreeMap<TrafficGenerator, Vec<TableRow>> = BTreeMap::new();
 
         for generator in TrafficGenerator::ALL {
             for &level in &self.levels {
-                let session =
-                    CalibrationSession::new(self, generator, level, measurement_cores);
+                let session = CalibrationSession::new(self, generator, level, measurement_cores);
 
                 // Congestion rows: one probe per language.
-                for (baseline, &language) in
-                    baselines.iter().zip(self.languages.iter())
-                {
+                for (baseline, &language) in baselines.iter().zip(self.languages.iter()) {
                     let mut session = session.start(self.seed)?;
-                    let mut builder = litmus_sim::ExecutionProfile::builder(
-                        format!("{}-probe", language.abbr()),
-                    );
+                    let mut builder =
+                        litmus_sim::ExecutionProfile::builder(format!("{}-probe", language.abbr()));
                     for phase in language.startup_phases() {
                         builder = builder.startup_phase(phase);
                     }
                     let report = session.measure(builder.build()?)?;
                     let counters = report.counters;
-                    let startup =
-                        report.startup.as_ref().ok_or(CoreError::NoStartup)?;
+                    let startup = report.startup.as_ref().ok_or(CoreError::NoStartup)?;
                     let baseline_total = baseline.t_private_pi + baseline.t_shared_pi;
                     congestion
                         .entry((language, generator))
@@ -321,8 +312,7 @@ impl TableBuilder {
                                 / baseline.t_private_pi,
                             shared_slowdown: counters.t_shared_per_instruction()
                                 / baseline.t_shared_pi,
-                            total_slowdown: (counters.cycles
-                                / counters.instructions)
+                            total_slowdown: (counters.cycles / counters.instructions)
                                 / baseline_total,
                             l3_miss_rate: startup.machine_l3_miss_rate.max(1.0),
                         });
@@ -338,18 +328,12 @@ impl TableBuilder {
                     let profile = bench.profile().scaled(self.reference_scale)?;
                     let report = session.measure(profile)?;
                     let c = report.counters;
-                    priv_slow.push(
-                        c.t_private_per_instruction()
-                            / solo.t_private_per_instruction(),
-                    );
-                    shared_slow.push(
-                        c.t_shared_per_instruction()
-                            / solo.t_shared_per_instruction(),
-                    );
-                    total_slow.push(
-                        (c.cycles / c.instructions)
-                            / (solo.cycles / solo.instructions),
-                    );
+                    priv_slow
+                        .push(c.t_private_per_instruction() / solo.t_private_per_instruction());
+                    shared_slow
+                        .push(c.t_shared_per_instruction() / solo.t_shared_per_instruction());
+                    total_slow
+                        .push((c.cycles / c.instructions) / (solo.cycles / solo.instructions));
                     if let Some(startup) = report.startup.as_ref() {
                         l3_rates.push(startup.machine_l3_miss_rate.max(1.0));
                     }
@@ -421,11 +405,8 @@ impl<'a> CalibrationSession<'a> {
             CalibrationEnv::Dedicated => (None, Placement::pinned(0)),
             CalibrationEnv::Shared { fillers, cores } => {
                 let placement = Placement::pool_range(0, cores);
-                let mut pool =
-                    BackfillPool::new(suite::benchmarks(), seed, placement.clone())
-                        .ok_or(CoreError::DegenerateMeasurement(
-                            "empty filler pool",
-                        ))?;
+                let mut pool = BackfillPool::new(suite::benchmarks(), seed, placement.clone())
+                    .ok_or(CoreError::DegenerateMeasurement("empty filler pool"))?;
                 pool.fill(&mut sim, fillers)?;
                 // Warm up so fillers reach steady state.
                 pool.run(&mut sim, 300)?;
@@ -458,10 +439,7 @@ impl<'a> CalibrationSession<'a> {
 impl RunningSession {
     /// Launches `profile` in the measurement slot and runs it to
     /// completion, keeping fillers backfilled.
-    fn measure(
-        &mut self,
-        profile: litmus_sim::ExecutionProfile,
-    ) -> Result<ExecutionReport> {
+    fn measure(&mut self, profile: litmus_sim::ExecutionProfile) -> Result<ExecutionReport> {
         let id = self.sim.launch(profile, self.placement.clone())?;
         match &mut self.pool {
             None => Ok(self.sim.run_to_completion(id)?),
@@ -524,8 +502,12 @@ mod tests {
     #[test]
     fn mb_gen_produces_more_l3_misses_than_ct_gen() {
         let tables = small_tables();
-        let ct = tables.congestion(Language::Python, TrafficGenerator::CtGen).unwrap();
-        let mb = tables.congestion(Language::Python, TrafficGenerator::MbGen).unwrap();
+        let ct = tables
+            .congestion(Language::Python, TrafficGenerator::CtGen)
+            .unwrap();
+        let mb = tables
+            .congestion(Language::Python, TrafficGenerator::MbGen)
+            .unwrap();
         for (c, m) in ct.iter().zip(mb) {
             assert!(
                 m.l3_miss_rate > c.l3_miss_rate * 3.0,

@@ -3,8 +3,8 @@
 //! never produce a price outside the [0, commercial] envelope.
 
 use litmus_core::{
-    CalibrationEnv, CommercialPricing, CoreError, DiscountModel, LitmusPricing,
-    LitmusReading, PricingTables, StartupBaseline, TableBuilder, TableRow,
+    CalibrationEnv, CommercialPricing, CoreError, DiscountModel, LitmusPricing, LitmusReading,
+    PricingTables, StartupBaseline, TableBuilder, TableRow,
 };
 use litmus_sim::{MachineSpec, Placement, PmuCounters, Simulator};
 use litmus_workloads::{suite, Language, TrafficGenerator};
@@ -107,10 +107,10 @@ fn hostile_readings_stay_inside_the_price_envelope() {
     let commercial = CommercialPricing::new().price(&counters());
 
     for (private, shared, l3) in [
-        (1.0e-6, 1.0e-6, 1.0),     // absurdly fast probe
-        (1.0e6, 1.0e6, 1.0e15),    // absurdly slow probe
-        (1.0, 1.0, 1.0),           // quiet machine, tiny L3 traffic
-        (0.5, 8.0, 1.0e3),         // inconsistent components
+        (1.0e-6, 1.0e-6, 1.0),  // absurdly fast probe
+        (1.0e6, 1.0e6, 1.0e15), // absurdly slow probe
+        (1.0, 1.0, 1.0),        // quiet machine, tiny L3 traffic
+        (0.5, 8.0, 1.0e3),      // inconsistent components
     ] {
         let reading = LitmusReading {
             language: Language::Python,
@@ -157,14 +157,14 @@ fn probe_during_congestion_transition_is_bounded() {
         )
         .unwrap();
     }
-    let profile = suite::by_name("aes-py").unwrap().profile().scaled(0.05).unwrap();
+    let profile = suite::by_name("aes-py")
+        .unwrap()
+        .profile()
+        .scaled(0.05)
+        .unwrap();
     let id = sim.launch(profile, Placement::pinned(0)).unwrap();
     let report = sim.run_to_completion(id).unwrap();
-    let reading = LitmusReading::from_startup(
-        &baseline,
-        report.startup.as_ref().unwrap(),
-    )
-    .unwrap();
+    let reading = LitmusReading::from_startup(&baseline, report.startup.as_ref().unwrap()).unwrap();
     // The reading reflects *partial* congestion.
     assert!(reading.shared_slowdown > 1.0);
 

@@ -1,8 +1,8 @@
 //! Property-based tests on pricing invariants.
 
 use litmus_core::{
-    persist, CalibrationEnv, CommercialPricing, DiscountModel, LitmusPricing,
-    LitmusReading, PricingTables, StartupBaseline, TableRow,
+    persist, CalibrationEnv, CommercialPricing, DiscountModel, LitmusPricing, LitmusReading,
+    PricingTables, StartupBaseline, TableRow,
 };
 use litmus_sim::{MachineSpec, PmuCounters};
 use litmus_workloads::{Language, TrafficGenerator};
@@ -10,11 +10,7 @@ use proptest::prelude::*;
 
 /// Hand-built monotone tables (no simulation) so properties explore the
 /// numeric space broadly and quickly.
-fn synthetic_tables(
-    priv_gain: f64,
-    shared_gain: f64,
-    l3_scale: f64,
-) -> PricingTables {
+fn synthetic_tables(priv_gain: f64, shared_gain: f64, l3_scale: f64) -> PricingTables {
     let baselines = vec![StartupBaseline {
         language: Language::Python,
         t_private_pi: 0.8,

@@ -138,8 +138,7 @@ mod tests {
             .build()
             .unwrap();
         let model = DiscountModel::fit(&tables).unwrap();
-        let monitor =
-            CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+        let monitor = CongestionMonitor::new(&tables, model, Language::Python).unwrap();
         AdmissionController::new(monitor, max_level)
     }
 

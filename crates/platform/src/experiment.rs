@@ -1,6 +1,5 @@
 use litmus_core::{
-    CommercialPricing, IdealPricing, Invoice, LitmusPricing, LitmusReading,
-    PricingTables,
+    CommercialPricing, IdealPricing, Invoice, LitmusPricing, LitmusReading, PricingTables,
 };
 use litmus_sim::{Placement, PmuCounters, Simulator};
 use litmus_stats::geometric_mean;
@@ -310,8 +309,7 @@ mod tests {
         assert!(results.invoice("aes-py").is_some());
         assert!(results.invoice("nope").is_none());
         assert!(results.abs_gmean_error() >= 0.0);
-        let rebuilt =
-            ExperimentResults::from_invoices(results.invoices().to_vec());
+        let rebuilt = ExperimentResults::from_invoices(results.invoices().to_vec());
         assert_eq!(rebuilt, results);
     }
 }

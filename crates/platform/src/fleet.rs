@@ -31,6 +31,13 @@ use crate::Result;
 /// assert_eq!(fleet.len(), 2);
 /// # Ok(()) }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `litmus-cluster`: `Cluster` + `ClusterDriver` \
+            serve traces across many machines with pluggable placement \
+            policies and sharded billing; `Fleet` only dispatches one \
+            blocking invocation at a time"
+)]
 #[derive(Debug)]
 pub struct Fleet {
     machines: Vec<CoRunHarness>,
@@ -38,6 +45,7 @@ pub struct Fleet {
     dispatched: Vec<usize>,
 }
 
+#[allow(deprecated)]
 impl Fleet {
     /// Boots one machine per configuration (configurations may differ —
     /// heterogeneous load, different mixes, different seeds).
@@ -46,10 +54,7 @@ impl Fleet {
     ///
     /// * [`PlatformError::EmptyMix`] for an empty `configs` list.
     /// * Propagated per-machine harness failures.
-    pub fn start(
-        configs: Vec<HarnessConfig>,
-        monitor: CongestionMonitor,
-    ) -> Result<Self> {
+    pub fn start(configs: Vec<HarnessConfig>, monitor: CongestionMonitor) -> Result<Self> {
         if configs.is_empty() {
             return Err(PlatformError::EmptyMix);
         }
@@ -140,6 +145,7 @@ impl Fleet {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::harness::CoRunEnv;
@@ -176,8 +182,7 @@ mod tests {
     #[test]
     fn dispatch_prefers_the_cool_machine() {
         // Machine 0 hot (24 co-runners), machine 1 cool (2).
-        let mut fleet =
-            Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
+        let mut fleet = Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
         assert_eq!(fleet.len(), 2);
         assert!(!fleet.is_empty());
         let profile = suite::by_name("auth-py")
@@ -197,16 +202,12 @@ mod tests {
         // congestion states change fast), but routing must strongly
         // favour the cool machine overall.
         assert!(cool_wins >= 4, "cool machine won only {cool_wins}/5");
-        assert_eq!(
-            fleet.dispatch_counts().iter().sum::<usize>(),
-            5
-        );
+        assert_eq!(fleet.dispatch_counts().iter().sum::<usize>(), 5);
     }
 
     #[test]
     fn probe_all_reports_per_machine_levels() {
-        let mut fleet =
-            Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
+        let mut fleet = Fleet::start(vec![config(24), config(2)], monitor()).unwrap();
         let samples = fleet.probe_all().unwrap();
         assert_eq!(samples.len(), 2);
         assert!(

@@ -1,6 +1,6 @@
 use litmus_sim::{
-    ExecutionProfile, ExecutionReport, FrequencyGovernor, MachineSpec, Placement,
-    Simulator,
+    Event, ExecutionProfile, ExecutionReport, FrequencyGovernor, InstanceId, MachineSpec,
+    Placement, Simulator,
 };
 use litmus_workloads::{suite, BackfillPool, Benchmark, WorkloadMix};
 
@@ -51,9 +51,7 @@ impl CoRunEnv {
     pub fn functions_per_core(&self) -> f64 {
         match *self {
             CoRunEnv::OnePerCore { .. } => 1.0,
-            CoRunEnv::Shared { co_runners, cores } => {
-                (co_runners + 1) as f64 / cores as f64
-            }
+            CoRunEnv::Shared { co_runners, cores } => (co_runners + 1) as f64 / cores as f64,
         }
     }
 }
@@ -172,8 +170,7 @@ impl CoRunHarness {
                 Placement::pool_range(0, cores),
             ),
         };
-        let mut sim =
-            Simulator::with_governor(config.spec.clone(), config.governor);
+        let mut sim = Simulator::with_governor(config.spec.clone(), config.governor);
         let mut pool = BackfillPool::from_mix(mix, filler_placement);
         pool.fill(&mut sim, config.env.co_runners())?;
         pool.run(&mut sim, config.warmup_ms)?;
@@ -214,6 +211,43 @@ impl CoRunHarness {
     /// Propagates backfill failures.
     pub fn advance(&mut self, ms: u64) -> Result<()> {
         Ok(self.pool.run(&mut self.sim, ms)?)
+    }
+
+    /// Launches `profile` in the measurement slot *without* running it
+    /// to completion — callers drive progress with [`CoRunHarness::step`]
+    /// and harvest the report when the returned id completes. This is
+    /// the building block external schedulers (e.g. a cluster driver)
+    /// use to interleave many in-flight invocations on one machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch failures.
+    pub fn submit(&mut self, profile: ExecutionProfile) -> Result<InstanceId> {
+        Ok(self.sim.launch(profile, self.test_placement.clone())?)
+    }
+
+    /// Advances the machine by exactly one scheduling quantum, keeping
+    /// the co-runner population backfilled, and returns the quantum's
+    /// completion events (which may include ids from
+    /// [`CoRunHarness::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backfill launch failures.
+    pub fn step(&mut self) -> Result<Vec<Event>> {
+        let events = self.sim.step();
+        self.pool.backfill(&mut self.sim, &events)?;
+        Ok(events)
+    }
+
+    /// The report of a completed instance (see [`CoRunHarness::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`litmus_sim::SimError`] for unknown or still-running
+    /// instances.
+    pub fn report(&self, id: InstanceId) -> Result<ExecutionReport> {
+        Ok(self.sim.report(id)?)
     }
 }
 
@@ -275,7 +309,9 @@ mod tests {
             .scaled(0.05)
             .unwrap();
         let mut solo_sim = Simulator::new(MachineSpec::cascade_lake());
-        let id = solo_sim.launch(profile.clone(), Placement::pinned(0)).unwrap();
+        let id = solo_sim
+            .launch(profile.clone(), Placement::pinned(0))
+            .unwrap();
         let solo = solo_sim.run_to_completion(id).unwrap();
 
         let config = fast_config(CoRunEnv::OnePerCore { co_runners: 20 });

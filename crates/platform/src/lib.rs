@@ -50,10 +50,13 @@ mod trace;
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use error::PlatformError;
 pub use experiment::{ExperimentResults, PricingExperiment};
+#[allow(deprecated)]
 pub use fleet::Fleet;
 pub use harness::{CoRunEnv, CoRunHarness, HarnessConfig};
 pub use monitor::{CongestionMonitor, CongestionSample};
-pub use trace::{InvocationTrace, TraceDriver, TraceEvent, TraceOutcome};
+pub use trace::{
+    ArrivalPattern, InvocationTrace, TenantId, TenantTraffic, TraceDriver, TraceEvent, TraceOutcome,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -1,6 +1,4 @@
-use litmus_core::{
-    CongestionIndex, DiscountModel, LitmusReading, StartupBaseline,
-};
+use litmus_core::{CongestionIndex, DiscountModel, LitmusReading, StartupBaseline};
 use litmus_sim::ExecutionProfile;
 use litmus_workloads::Language;
 
@@ -51,8 +49,7 @@ impl CongestionMonitor {
     ) -> Result<Self> {
         let baseline = *tables.baseline(language)?;
         let index = CongestionIndex::from_tables(tables)?;
-        let mut builder =
-            ExecutionProfile::builder(format!("{}-monitor-probe", language.abbr()));
+        let mut builder = ExecutionProfile::builder(format!("{}-monitor-probe", language.abbr()));
         for phase in language.startup_phases() {
             builder = builder.startup_phase(phase);
         }
@@ -125,8 +122,7 @@ mod tests {
             .build()
             .unwrap();
         let model = DiscountModel::fit(&tables).unwrap();
-        let monitor =
-            CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+        let monitor = CongestionMonitor::new(&tables, model, Language::Python).unwrap();
         (monitor, tables)
     }
 

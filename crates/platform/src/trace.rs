@@ -1,18 +1,26 @@
 use std::collections::HashMap;
 
 use litmus_core::{
-    BillingLedger, CommercialPricing, IdealPricing, Invoice, LitmusPricing,
-    LitmusReading, PricingTables,
+    BillingLedger, CommercialPricing, IdealPricing, Invoice, LitmusPricing, LitmusReading,
+    PricingTables,
 };
-use litmus_sim::{
-    Event, InstanceId, MachineSpec, Placement, PmuCounters, Simulator,
-};
+use litmus_sim::{Event, InstanceId, MachineSpec, Placement, PmuCounters, Simulator};
 use litmus_workloads::{Benchmark, WorkloadMix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::PlatformError;
 use crate::Result;
+
+/// Identifier of the tenant (customer account) an invocation bills to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
 
 /// One invocation request in a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +29,126 @@ pub struct TraceEvent {
     pub at_ms: u64,
     /// Which Table-1 function is invoked.
     pub function: Benchmark,
+    /// Tenant the invocation bills to (single-tenant generators use
+    /// [`TenantId`]'s default, tenant 0).
+    pub tenant: TenantId,
+}
+
+/// Arrival-rate shape of one tenant's traffic over time.
+///
+/// Rates are arrivals per second; time-varying patterns are sampled by
+/// thinning a homogeneous Poisson process at the pattern's peak rate,
+/// so every pattern stays exactly reproducible for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Constant-rate Poisson arrivals.
+    Steady {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Baseline Poisson traffic with periodic bursts: every `period_ms`
+    /// the rate jumps to `burst_rate_per_s` for `burst_ms`.
+    Bursty {
+        /// Rate outside bursts, arrivals per second.
+        base_rate_per_s: f64,
+        /// Rate inside bursts, arrivals per second.
+        burst_rate_per_s: f64,
+        /// Burst spacing (start to start), ms.
+        period_ms: u64,
+        /// Burst length, ms.
+        burst_ms: u64,
+    },
+    /// Diurnal (sinusoidal) modulation around a mean rate:
+    /// `rate(t) = mean·(1 + amplitude·sin(2πt/period))`, clamped at 0.
+    Diurnal {
+        /// Mean arrivals per second.
+        mean_rate_per_s: f64,
+        /// Relative swing in `[0, 1]` (1 = rate touches zero at trough).
+        amplitude: f64,
+        /// One full day-night cycle, ms.
+        period_ms: u64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Peak instantaneous rate, used as the thinning envelope.
+    fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Steady { rate_per_s } => rate_per_s,
+            ArrivalPattern::Bursty {
+                base_rate_per_s,
+                burst_rate_per_s,
+                ..
+            } => base_rate_per_s.max(burst_rate_per_s),
+            ArrivalPattern::Diurnal {
+                mean_rate_per_s,
+                amplitude,
+                ..
+            } => mean_rate_per_s * (1.0 + amplitude),
+        }
+    }
+
+    /// Instantaneous rate at time `t_ms`.
+    fn rate_at(&self, t_ms: f64) -> f64 {
+        match *self {
+            ArrivalPattern::Steady { rate_per_s } => rate_per_s,
+            ArrivalPattern::Bursty {
+                base_rate_per_s,
+                burst_rate_per_s,
+                period_ms,
+                burst_ms,
+            } => {
+                let phase = (t_ms as u64) % period_ms.max(1);
+                if phase < burst_ms {
+                    burst_rate_per_s
+                } else {
+                    base_rate_per_s
+                }
+            }
+            ArrivalPattern::Diurnal {
+                mean_rate_per_s,
+                amplitude,
+                period_ms,
+            } => {
+                let phase = t_ms / period_ms.max(1) as f64 * std::f64::consts::TAU;
+                (mean_rate_per_s * (1.0 + amplitude * phase.sin())).max(0.0)
+            }
+        }
+    }
+
+    fn is_valid(&self) -> bool {
+        let finite_non_negative = |r: f64| r.is_finite() && r >= 0.0;
+        let shape_ok = match *self {
+            ArrivalPattern::Steady { rate_per_s } => rate_per_s.is_finite(),
+            // A zero baseline (pure bursts) is meaningful; a NaN or
+            // negative one is not — and it would silently skew the
+            // thinning acceptance test rather than fail loudly.
+            ArrivalPattern::Bursty {
+                base_rate_per_s,
+                burst_rate_per_s,
+                ..
+            } => finite_non_negative(base_rate_per_s) && burst_rate_per_s.is_finite(),
+            ArrivalPattern::Diurnal {
+                mean_rate_per_s,
+                amplitude,
+                ..
+            } => mean_rate_per_s.is_finite() && (0.0..=1.0).contains(&amplitude),
+        };
+        let peak = self.peak_rate();
+        shape_ok && peak > 0.0 && peak.is_finite()
+    }
+}
+
+/// One tenant's contribution to a multi-tenant trace: who they are,
+/// which functions they invoke and how their arrival rate evolves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTraffic {
+    /// The billing tenant.
+    pub tenant: TenantId,
+    /// Functions this tenant invokes (drawn uniformly).
+    pub pool: Vec<Benchmark>,
+    /// The tenant's arrival-rate shape.
+    pub pattern: ArrivalPattern,
 }
 
 /// An invocation arrival trace.
@@ -41,16 +169,17 @@ pub struct InvocationTrace {
 }
 
 impl InvocationTrace {
-    /// Builds a trace from explicit events (sorted by arrival time).
+    /// Builds a trace from explicit events (sorted by arrival time;
+    /// ties broken by tenant so ordering is deterministic).
     pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
-        events.sort_by_key(|e| e.at_ms);
+        events.sort_by_key(|e| (e.at_ms, e.tenant));
         InvocationTrace { events }
     }
 
     /// Synthesises a Poisson-like arrival process: exponential
     /// inter-arrival gaps at `rate_per_s` arrivals per second over
     /// `duration_ms`, drawing functions uniformly from `pool`.
-    /// Deterministic for a given seed.
+    /// Deterministic for a given seed. All events bill to tenant 0.
     ///
     /// Returns `None` when `pool` is empty or the rate is not positive.
     pub fn poisson(
@@ -59,27 +188,128 @@ impl InvocationTrace {
         duration_ms: u64,
         seed: u64,
     ) -> Option<Self> {
-        if pool.is_empty() || rate_per_s <= 0.0 || !rate_per_s.is_finite() {
+        InvocationTrace::multi_tenant(
+            vec![TenantTraffic {
+                tenant: TenantId::default(),
+                pool,
+                pattern: ArrivalPattern::Steady { rate_per_s },
+            }],
+            duration_ms,
+            seed,
+        )
+    }
+
+    /// Single-tenant bursty traffic (see [`ArrivalPattern::Bursty`]).
+    ///
+    /// Returns `None` when `pool` is empty, the burst rate is not
+    /// positive, or the base rate is negative or non-finite (a zero
+    /// base — traffic only in bursts — is allowed).
+    pub fn bursty(
+        pool: Vec<Benchmark>,
+        base_rate_per_s: f64,
+        burst_rate_per_s: f64,
+        period_ms: u64,
+        burst_ms: u64,
+        duration_ms: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        InvocationTrace::multi_tenant(
+            vec![TenantTraffic {
+                tenant: TenantId::default(),
+                pool,
+                pattern: ArrivalPattern::Bursty {
+                    base_rate_per_s,
+                    burst_rate_per_s,
+                    period_ms,
+                    burst_ms,
+                },
+            }],
+            duration_ms,
+            seed,
+        )
+    }
+
+    /// Single-tenant diurnal traffic (see [`ArrivalPattern::Diurnal`]).
+    ///
+    /// Returns `None` when `pool` is empty or the pattern is invalid.
+    pub fn diurnal(
+        pool: Vec<Benchmark>,
+        mean_rate_per_s: f64,
+        amplitude: f64,
+        period_ms: u64,
+        duration_ms: u64,
+        seed: u64,
+    ) -> Option<Self> {
+        InvocationTrace::multi_tenant(
+            vec![TenantTraffic {
+                tenant: TenantId::default(),
+                pool,
+                pattern: ArrivalPattern::Diurnal {
+                    mean_rate_per_s,
+                    amplitude,
+                    period_ms,
+                },
+            }],
+            duration_ms,
+            seed,
+        )
+    }
+
+    /// Synthesises a multi-tenant trace: each tenant's arrivals follow
+    /// their own [`ArrivalPattern`] (sampled by thinning, so
+    /// time-varying rates stay exactly reproducible), and the streams
+    /// merge into one globally time-ordered trace.
+    ///
+    /// Each tenant draws from an independent RNG stream derived from
+    /// `seed` and their [`TenantId`], so adding a tenant never perturbs
+    /// another tenant's arrivals.
+    ///
+    /// Returns `None` when `tenants` is empty, any pool is empty, or
+    /// any pattern has a non-positive peak rate.
+    pub fn multi_tenant(tenants: Vec<TenantTraffic>, duration_ms: u64, seed: u64) -> Option<Self> {
+        if tenants.is_empty() {
             return None;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut mix = WorkloadMix::new(pool, seed ^ 0xABCD)?;
         let mut events = Vec::new();
-        let mut t = 0.0f64;
-        let mean_gap_ms = 1000.0 / rate_per_s;
-        loop {
-            // Inverse-CDF exponential sampling.
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -mean_gap_ms * u.ln();
-            if t >= duration_ms as f64 {
-                break;
+        for traffic in tenants {
+            if !traffic.pattern.is_valid() {
+                return None;
             }
-            events.push(TraceEvent {
-                at_ms: t as u64,
-                function: mix.next_benchmark().clone(),
-            });
+            let tenant_seed = seed ^ (traffic.tenant.0 as u64).wrapping_mul(0x9E37_79B9);
+            let mut rng = StdRng::seed_from_u64(tenant_seed);
+            let mut mix = WorkloadMix::new(traffic.pool, tenant_seed ^ 0xABCD)?;
+            let peak = traffic.pattern.peak_rate();
+            let mean_gap_ms = 1000.0 / peak;
+            let mut t = 0.0f64;
+            loop {
+                // Inverse-CDF exponential sampling at the peak rate…
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -mean_gap_ms * u.ln();
+                if t >= duration_ms as f64 {
+                    break;
+                }
+                // …thinned down to the instantaneous rate. The
+                // acceptance draw happens unconditionally so steady
+                // traffic consumes the same stream shape.
+                let keep: f64 = rng.gen_range(0.0..1.0);
+                if keep * peak >= traffic.pattern.rate_at(t) {
+                    continue;
+                }
+                events.push(TraceEvent {
+                    at_ms: t as u64,
+                    function: mix.next_benchmark().clone(),
+                    tenant: traffic.tenant,
+                });
+            }
         }
-        Some(InvocationTrace { events })
+        Some(InvocationTrace::from_events(events))
+    }
+
+    /// Merges two traces into one time-ordered trace.
+    pub fn merge(self, other: InvocationTrace) -> InvocationTrace {
+        let mut events = self.events;
+        events.extend(other.events);
+        InvocationTrace::from_events(events)
     }
 
     /// The trace events, sorted by arrival time.
@@ -95,6 +325,14 @@ impl InvocationTrace {
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// The distinct tenants appearing in the trace, ascending.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut tenants: Vec<TenantId> = self.events.iter().map(|e| e.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
     }
 }
 
@@ -191,12 +429,9 @@ impl TraceDriver {
             .map(|e| e.at_ms + self.drain_ms)
             .unwrap_or(0);
 
-        while next_event < trace.len() || (!pending.is_empty() && sim.now_ms() < horizon)
-        {
+        while next_event < trace.len() || (!pending.is_empty() && sim.now_ms() < horizon) {
             // Launch everything that has arrived by now.
-            while next_event < trace.len()
-                && trace.events()[next_event].at_ms <= sim.now_ms()
-            {
+            while next_event < trace.len() && trace.events()[next_event].at_ms <= sim.now_ms() {
                 let event = &trace.events()[next_event];
                 let profile = event.function.profile().scaled(self.scale)?;
                 let id = sim.launch(profile, placement.clone())?;
@@ -273,16 +508,122 @@ mod tests {
     #[test]
     fn poisson_rejects_bad_inputs() {
         assert!(InvocationTrace::poisson(Vec::new(), 10.0, 1000, 1).is_none());
+        assert!(InvocationTrace::poisson(suite::benchmarks(), 0.0, 1000, 1).is_none());
+        assert!(InvocationTrace::multi_tenant(Vec::new(), 1000, 1).is_none());
+        assert!(InvocationTrace::diurnal(
+            suite::benchmarks(),
+            50.0,
+            1.7, // amplitude outside [0, 1]
+            1000,
+            1000,
+            1
+        )
+        .is_none());
+        // Every rate field is validated, not just the peak: a NaN or
+        // negative base rate must reject, not silently skew thinning.
+        for bad_base in [f64::NAN, -5.0] {
+            assert!(InvocationTrace::bursty(
+                suite::benchmarks(),
+                bad_base,
+                100.0,
+                1000,
+                200,
+                2000,
+                1
+            )
+            .is_none());
+        }
+        assert!(InvocationTrace::poisson(suite::benchmarks(), f64::NAN, 1000, 1).is_none());
+        // A zero baseline (traffic only in bursts) is legitimate.
+        let pure_bursts =
+            InvocationTrace::bursty(suite::benchmarks(), 0.0, 200.0, 1000, 200, 4000, 1).unwrap();
+        assert!(!pure_bursts.is_empty());
+        assert!(pure_bursts.events().iter().all(|e| e.at_ms % 1000 < 200));
+    }
+
+    #[test]
+    fn bursty_traces_concentrate_arrivals_in_bursts() {
+        // 10/s baseline, 400/s bursts for 200 ms out of every 1000 ms.
+        let trace =
+            InvocationTrace::bursty(suite::benchmarks(), 10.0, 400.0, 1000, 200, 8_000, 5).unwrap();
+        let in_burst = trace
+            .events()
+            .iter()
+            .filter(|e| e.at_ms % 1000 < 200)
+            .count();
+        // Bursts cover 20% of the time but ~89% of the expected volume.
         assert!(
-            InvocationTrace::poisson(suite::benchmarks(), 0.0, 1000, 1).is_none()
+            in_burst as f64 > trace.len() as f64 * 0.7,
+            "{in_burst}/{} arrivals in bursts",
+            trace.len()
         );
+        assert_eq!(
+            trace,
+            InvocationTrace::bursty(suite::benchmarks(), 10.0, 400.0, 1000, 200, 8_000, 5,)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn diurnal_traces_swing_between_peak_and_trough() {
+        // One full cycle over 20 s; peak in the first half (sin > 0).
+        let trace =
+            InvocationTrace::diurnal(suite::benchmarks(), 40.0, 0.9, 20_000, 20_000, 6).unwrap();
+        let first_half = trace.events().iter().filter(|e| e.at_ms < 10_000).count();
+        let second_half = trace.len() - first_half;
+        assert!(
+            first_half as f64 > second_half as f64 * 2.0,
+            "peak half {first_half} vs trough half {second_half}"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_streams_are_independent_and_ordered() {
+        let tenant = |id: u32, rate: f64| TenantTraffic {
+            tenant: TenantId(id),
+            pool: suite::benchmarks(),
+            pattern: ArrivalPattern::Steady { rate_per_s: rate },
+        };
+        let both = InvocationTrace::multi_tenant(vec![tenant(1, 30.0), tenant(2, 60.0)], 5_000, 17)
+            .unwrap();
+        for pair in both.events().windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+        assert_eq!(both.tenants(), vec![TenantId(1), TenantId(2)]);
+        let t1: Vec<_> = both
+            .events()
+            .iter()
+            .filter(|e| e.tenant == TenantId(1))
+            .collect();
+        let t2 = both.len() - t1.len();
+        // Tenant 2 arrives at twice the rate.
+        assert!(
+            t2 as f64 > t1.len() as f64 * 1.4,
+            "{} vs {t2} arrivals",
+            t1.len()
+        );
+        // Tenant 1's stream is identical when tenant 2 leaves: streams
+        // are seeded per tenant, not shared.
+        let alone = InvocationTrace::multi_tenant(vec![tenant(1, 30.0)], 5_000, 17).unwrap();
+        let alone_events: Vec<_> = alone.events().iter().collect();
+        assert_eq!(t1, alone_events);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let a = InvocationTrace::poisson(suite::benchmarks(), 20.0, 2_000, 1).unwrap();
+        let b = InvocationTrace::poisson(suite::benchmarks(), 20.0, 2_000, 2).unwrap();
+        let merged = a.clone().merge(b.clone());
+        assert_eq!(merged.len(), a.len() + b.len());
+        for pair in merged.events().windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
     }
 
     #[test]
     fn replay_prices_every_completed_invocation() {
         let (pricing, tables) = pricing_setup();
-        let trace =
-            InvocationTrace::poisson(suite::benchmarks(), 120.0, 800, 3).unwrap();
+        let trace = InvocationTrace::poisson(suite::benchmarks(), 120.0, 800, 3).unwrap();
         let outcome = TraceDriver::new(MachineSpec::cascade_lake(), 8)
             .scale(0.04)
             .drain_ms(20_000)
@@ -312,8 +653,7 @@ mod tests {
         let (pricing, tables) = pricing_setup();
         let trace = InvocationTrace::from_events(Vec::new());
         assert!(matches!(
-            TraceDriver::new(MachineSpec::cascade_lake(), 64)
-                .replay(&trace, &pricing, &tables),
+            TraceDriver::new(MachineSpec::cascade_lake(), 64).replay(&trace, &pricing, &tables),
             Err(PlatformError::EnvTooLarge { .. })
         ));
     }

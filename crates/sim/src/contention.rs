@@ -59,8 +59,7 @@ impl CongestionSnapshot {
     /// a weighted blend of the two utilisations, scaled to roughly match
     /// the 0–10 range the figure sketches.
     pub fn level(&self) -> f64 {
-        (6.0 * self.l3_port_utilization + 6.0 * self.bandwidth_utilization)
-            .min(12.0)
+        (6.0 * self.l3_port_utilization + 6.0 * self.bandwidth_utilization).min(12.0)
     }
 }
 
@@ -86,11 +85,7 @@ impl ContentionModel {
 
     /// Computes the congestion state produced by `inputs` with
     /// `active_contexts` running contexts.
-    pub fn evaluate(
-        &self,
-        inputs: ContentionInputs,
-        active_contexts: usize,
-    ) -> CongestionSnapshot {
+    pub fn evaluate(&self, inputs: ContentionInputs, active_contexts: usize) -> CongestionSnapshot {
         let spec = &self.spec;
         let u_l3 = inputs.l2_miss_rate / spec.l3_service_lines_per_ms;
         let u_bw = inputs.l3_miss_rate / spec.mem_lines_per_ms;
@@ -139,11 +134,7 @@ impl ContentionModel {
 
     /// Post-L2 round-trip latency in cycles for a request stream with the
     /// given effective L3 miss ratio under `snapshot`'s congestion.
-    pub fn post_l2_latency(
-        &self,
-        snapshot: &CongestionSnapshot,
-        miss_ratio: f64,
-    ) -> f64 {
+    pub fn post_l2_latency(&self, snapshot: &CongestionSnapshot, miss_ratio: f64) -> f64 {
         snapshot.l3_latency + miss_ratio * snapshot.mem_latency
     }
 }

@@ -172,10 +172,7 @@ impl Simulator {
     /// Panics if `spec` fails [`MachineSpec::validate`] — constructing a
     /// machine from an invalid spec is a programming error.
     pub fn new(spec: MachineSpec) -> Self {
-        Simulator::with_governor(
-            spec.clone(),
-            FrequencyGovernor::fixed(spec.frequency_ghz),
-        )
+        Simulator::with_governor(spec.clone(), FrequencyGovernor::fixed(spec.frequency_ghz))
     }
 
     /// Creates a simulator with an explicit frequency governor (the §8
@@ -526,8 +523,7 @@ impl Simulator {
                 let phase = ctx.profile.phases()[ctx.phase_idx];
                 let cpi = self.effective_cpi(slot, &phase, snapshot);
                 let instr_rate = cycles_q / cpi;
-                let mpki = phase.l2_mpki
-                    + self.spec.switch_mpki(slot.co_resident);
+                let mpki = phase.l2_mpki + self.spec.switch_mpki(slot.co_resident);
                 let l2_rate = instr_rate * mpki / 1000.0;
                 let miss = self
                     .model
@@ -538,13 +534,12 @@ impl Simulator {
             for domain in 0..domains {
                 if iter > 0 {
                     // Damping stabilises queueing near saturation.
-                    next[domain].l2_miss_rate = 0.5
-                        * (inputs[domain].l2_miss_rate + next[domain].l2_miss_rate);
-                    next[domain].l3_miss_rate = 0.5
-                        * (inputs[domain].l3_miss_rate + next[domain].l3_miss_rate);
+                    next[domain].l2_miss_rate =
+                        0.5 * (inputs[domain].l2_miss_rate + next[domain].l2_miss_rate);
+                    next[domain].l3_miss_rate =
+                        0.5 * (inputs[domain].l3_miss_rate + next[domain].l3_miss_rate);
                 }
-                snapshots[domain] =
-                    self.model.evaluate(next[domain], active[domain]);
+                snapshots[domain] = self.model.evaluate(next[domain], active[domain]);
             }
             inputs = next;
         }
@@ -559,8 +554,7 @@ impl Simulator {
         phase: &crate::profile::ExecPhase,
         snapshot: &CongestionSnapshot,
     ) -> f64 {
-        self.private_cpi(slot, phase, snapshot)
-            + self.stall_per_instr(slot, phase, snapshot)
+        self.private_cpi(slot, phase, snapshot) + self.stall_per_instr(slot, phase, snapshot)
     }
 
     fn private_cpi(
@@ -672,8 +666,7 @@ impl Simulator {
                 let frac = 1.0 - cycles_left / cycles_q;
                 if ctx.phase_idx == startup_len && ctx.startup_pending {
                     ctx.startup_pending = false;
-                    let wall_ms =
-                        self.now_ms as f64 + frac - ctx.launched_ms as f64;
+                    let wall_ms = self.now_ms as f64 + frac - ctx.launched_ms as f64;
                     let rate = if ctx.startup_quanta > 0 {
                         ctx.startup_l3_rate_sum / ctx.startup_quanta as f64
                     } else {
@@ -857,8 +850,8 @@ mod tests {
             .launch(compute_profile("s", 10_000_000.0), Placement::pinned(0))
             .unwrap();
         let rs = solo.run_to_completion(s).unwrap();
-        let slow = ra.counters.t_private_per_instruction()
-            / rs.counters.t_private_per_instruction();
+        let slow =
+            ra.counters.t_private_per_instruction() / rs.counters.t_private_per_instruction();
         assert!(slow > 1.5, "SMT sibling must slow private CPI, got {slow}");
     }
 
@@ -913,8 +906,11 @@ mod tests {
     fn placement_validation() {
         let mut sim = sim();
         assert_eq!(
-            sim.launch(compute_profile("a", 1.0), Placement::pool(Vec::<usize>::new()))
-                .unwrap_err(),
+            sim.launch(
+                compute_profile("a", 1.0),
+                Placement::pool(Vec::<usize>::new())
+            )
+            .unwrap_err(),
             SimError::EmptyPlacement
         );
         assert!(matches!(
@@ -972,10 +968,8 @@ mod tests {
     #[test]
     fn turbo_governor_speeds_up_lone_function() {
         let spec = MachineSpec::cascade_lake();
-        let mut turbo = Simulator::with_governor(
-            spec.clone(),
-            FrequencyGovernor::turbo(2.8, 3.9, 8),
-        );
+        let mut turbo =
+            Simulator::with_governor(spec.clone(), FrequencyGovernor::turbo(2.8, 3.9, 8));
         let id = turbo
             .launch(compute_profile("a", 20_000_000.0), Placement::pinned(0))
             .unwrap();

@@ -56,10 +56,9 @@ impl fmt::Display for SimError {
             SimError::InvalidPhase { field, value } => {
                 write!(f, "invalid phase parameter {field} = {value}")
             }
-            SimError::StartupOutOfRange { startup, phases } => write!(
-                f,
-                "startup length {startup} exceeds phase count {phases}"
-            ),
+            SimError::StartupOutOfRange { startup, phases } => {
+                write!(f, "startup length {startup} exceeds phase count {phases}")
+            }
             SimError::UnknownCore { core, cores } => {
                 write!(f, "core {core} out of range (machine has {cores} cores)")
             }
@@ -88,7 +87,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = SimError::UnknownCore { core: 40, cores: 32 };
+        let e = SimError::UnknownCore {
+            core: 40,
+            cores: 32,
+        };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("32"));
         let e = SimError::InvalidPhase {

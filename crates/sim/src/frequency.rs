@@ -125,10 +125,7 @@ mod tests {
 
     #[test]
     fn default_is_papers_pinned_frequency() {
-        assert_eq!(
-            FrequencyGovernor::default(),
-            FrequencyGovernor::fixed(2.8)
-        );
+        assert_eq!(FrequencyGovernor::default(), FrequencyGovernor::fixed(2.8));
     }
 
     #[test]

@@ -375,7 +375,10 @@ mod tests {
 
     #[test]
     fn startup_only_requires_prefix() {
-        let p = ExecutionProfile::builder("w").phase(phase()).build().unwrap();
+        let p = ExecutionProfile::builder("w")
+            .phase(phase())
+            .build()
+            .unwrap();
         assert_eq!(p.startup_only().unwrap_err(), SimError::EmptyProfile);
     }
 
@@ -401,7 +404,10 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_instructions() {
-        let p = ExecutionProfile::builder("w").phase(phase()).build().unwrap();
+        let p = ExecutionProfile::builder("w")
+            .phase(phase())
+            .build()
+            .unwrap();
         let s = p.scaled(2.5).unwrap();
         assert_eq!(s.total_instructions(), 2_500_000.0);
         assert!(p.scaled(0.0).is_err());
@@ -410,7 +416,10 @@ mod tests {
 
     #[test]
     fn profiles_are_cheap_to_clone() {
-        let p = ExecutionProfile::builder("w").phase(phase()).build().unwrap();
+        let p = ExecutionProfile::builder("w")
+            .phase(phase())
+            .build()
+            .unwrap();
         let q = p.clone();
         assert_eq!(p, q);
         // Same allocation behind both.

@@ -1,19 +1,19 @@
 //! Property-based tests on simulator invariants.
 
 use litmus_sim::{
-    ContentionInputs, ContentionModel, ExecPhase, ExecutionProfile, MachineSpec,
-    Placement, Simulator,
+    ContentionInputs, ContentionModel, ExecPhase, ExecutionProfile, MachineSpec, Placement,
+    Simulator,
 };
 use proptest::prelude::*;
 
 fn arb_phase() -> impl Strategy<Value = ExecPhase> {
     (
-        1.0e5f64..5.0e7,  // instructions
-        0.2f64..2.0,      // cpi_private
-        0.0f64..20.0,     // l2_mpki
-        0.0f64..1.0,      // l3_miss_ratio
-        0.1f64..1.0,      // blocking
-        0.5f64..120.0,    // footprint
+        1.0e5f64..5.0e7, // instructions
+        0.2f64..2.0,     // cpi_private
+        0.0f64..20.0,    // l2_mpki
+        0.0f64..1.0,     // l3_miss_ratio
+        0.1f64..1.0,     // blocking
+        0.5f64..120.0,   // footprint
     )
         .prop_map(|(i, cpi, mpki, ratio, blocking, fp)| {
             ExecPhase::new(i, cpi, mpki, ratio, blocking, fp)

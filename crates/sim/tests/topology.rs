@@ -21,7 +21,8 @@ fn victim() -> ExecutionProfile {
 fn victim_t_shared(spec: MachineSpec, hog_cores: std::ops::Range<usize>) -> f64 {
     let mut sim = Simulator::new(spec);
     for core in hog_cores {
-        sim.launch(memory_hog(5.0e9), Placement::pinned(core)).unwrap();
+        sim.launch(memory_hog(5.0e9), Placement::pinned(core))
+            .unwrap();
     }
     let id = sim.launch(victim(), Placement::pinned(0)).unwrap();
     let report = sim.run_to_completion(id).unwrap();
@@ -79,7 +80,8 @@ fn domain_snapshots_report_independent_states() {
     let spec = MachineSpec::cascade_lake_dual();
     let mut sim = Simulator::new(spec);
     for core in 16..28 {
-        sim.launch(memory_hog(5.0e9), Placement::pinned(core)).unwrap();
+        sim.launch(memory_hog(5.0e9), Placement::pinned(core))
+            .unwrap();
     }
     sim.run_for_ms(20);
     let quiet = sim.domain_congestion(0).unwrap();

@@ -72,7 +72,10 @@ mod tests {
         let cases: Vec<(StatsError, &str)> = vec![
             (StatsError::EmptyInput, "empty"),
             (StatsError::LengthMismatch { xs: 3, ys: 4 }, "3 vs 4"),
-            (StatsError::InsufficientSamples { got: 1, need: 2 }, "at least 2"),
+            (
+                StatsError::InsufficientSamples { got: 1, need: 2 },
+                "at least 2",
+            ),
             (StatsError::DegenerateX, "slope"),
             (StatsError::Domain("log of zero"), "log of zero"),
             (StatsError::NonFinite, "NaN"),
@@ -92,10 +95,7 @@ mod tests {
     #[test]
     fn ensure_finite_rejects_nan_and_inf() {
         assert_eq!(ensure_finite(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
-        assert_eq!(
-            ensure_finite(&[f64::INFINITY]),
-            Err(StatsError::NonFinite)
-        );
+        assert_eq!(ensure_finite(&[f64::INFINITY]), Err(StatsError::NonFinite));
     }
 
     #[test]

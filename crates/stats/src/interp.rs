@@ -68,13 +68,7 @@ pub fn log_weight(value: f64, lo: f64, hi: f64) -> Result<f64> {
 /// assert!((d - 0.035).abs() < 1e-12); // the paper's 3.5% example
 /// # Ok(()) }
 /// ```
-pub fn log_blend(
-    value: f64,
-    lo: f64,
-    hi: f64,
-    estimate_lo: f64,
-    estimate_hi: f64,
-) -> Result<f64> {
+pub fn log_blend(value: f64, lo: f64, hi: f64, estimate_lo: f64, estimate_hi: f64) -> Result<f64> {
     let w = log_weight(value, lo, hi)?;
     Ok(lerp(estimate_lo, estimate_hi, w))
 }

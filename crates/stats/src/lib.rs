@@ -49,9 +49,7 @@ pub use expfit::ExpFit;
 pub use interp::{lerp, log_blend, log_weight, LogInterpolator};
 pub use linreg::LinearFit;
 pub use logreg::LogFit;
-pub use summary::{
-    geometric_mean, mean, normalize_to, percentile, stddev, variance, Summary,
-};
+pub use summary::{geometric_mean, mean, normalize_to, percentile, stddev, variance, Summary};
 pub use table::LevelTable;
 
 /// Result alias used throughout the crate.

@@ -41,10 +41,7 @@ impl LevelTable {
                 need: 2,
             });
         }
-        if rows
-            .iter()
-            .any(|(l, v)| !l.is_finite() || !v.is_finite())
-        {
+        if rows.iter().any(|(l, v)| !l.is_finite() || !v.is_finite()) {
             return Err(StatsError::NonFinite);
         }
         rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
@@ -157,8 +154,7 @@ mod tests {
     use super::*;
 
     fn table() -> LevelTable {
-        LevelTable::new(vec![(1.0, 1.02), (2.0, 1.08), (4.0, 1.20), (8.0, 1.50)])
-            .unwrap()
+        LevelTable::new(vec![(1.0, 1.02), (2.0, 1.08), (4.0, 1.20), (8.0, 1.50)]).unwrap()
     }
 
     #[test]
@@ -201,16 +197,14 @@ mod tests {
 
     #[test]
     fn inverse_lookup_on_decreasing_values() {
-        let t =
-            LevelTable::new(vec![(1.0, 0.9), (2.0, 0.7), (3.0, 0.4)]).unwrap();
+        let t = LevelTable::new(vec![(1.0, 0.9), (2.0, 0.7), (3.0, 0.4)]).unwrap();
         let l = t.level_for(0.55).unwrap();
         assert!((l - 2.5).abs() < 1e-9);
     }
 
     #[test]
     fn non_monotone_values_reject_inverse() {
-        let t =
-            LevelTable::new(vec![(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)]).unwrap();
+        let t = LevelTable::new(vec![(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)]).unwrap();
         assert!(matches!(t.level_for(1.2), Err(StatsError::Domain(_))));
     }
 
@@ -232,8 +226,7 @@ mod tests {
 
     #[test]
     fn rows_are_sorted_after_construction() {
-        let t =
-            LevelTable::new(vec![(3.0, 1.3), (1.0, 1.1), (2.0, 1.2)]).unwrap();
+        let t = LevelTable::new(vec![(3.0, 1.3), (1.0, 1.1), (2.0, 1.2)]).unwrap();
         let levels: Vec<f64> = t.rows().iter().map(|r| r.0).collect();
         assert_eq!(levels, vec![1.0, 2.0, 3.0]);
         assert_eq!(t.level_range(), (1.0, 3.0));

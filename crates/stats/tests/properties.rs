@@ -1,8 +1,8 @@
 //! Property-based tests for the statistics substrate.
 
 use litmus_stats::{
-    geometric_mean, log_blend, log_weight, mean, normalize_to, percentile,
-    LevelTable, LinearFit, LogFit, Summary,
+    geometric_mean, log_blend, log_weight, mean, normalize_to, percentile, LevelTable, LinearFit,
+    LogFit, Summary,
 };
 use proptest::prelude::*;
 

@@ -53,7 +53,9 @@ fn corun_landscape() {
         let mut mix = WorkloadMix::new(suite::benchmarks(), 42).unwrap();
         let mut core_of: HashMap<InstanceId, usize> = HashMap::new();
         for core in 1..=26 {
-            let cid = sim.launch(mix.next_profile(), Placement::pinned(core)).unwrap();
+            let cid = sim
+                .launch(mix.next_profile(), Placement::pinned(core))
+                .unwrap();
             core_of.insert(cid, core);
         }
         // Warm up 200 ms with backfill.
@@ -89,10 +91,10 @@ fn corun_landscape() {
         }
         let cong = sim.report(tid).unwrap();
         let slow = cong.wall_ms() / solo.wall_ms();
-        let ps = cong.counters.t_private_per_instruction()
-            / solo.counters.t_private_per_instruction();
-        let ss = cong.counters.t_shared_per_instruction()
-            / solo.counters.t_shared_per_instruction();
+        let ps =
+            cong.counters.t_private_per_instruction() / solo.counters.t_private_per_instruction();
+        let ss =
+            cong.counters.t_shared_per_instruction() / solo.counters.t_shared_per_instruction();
         slowdowns.push(slow);
         priv_slow.push(ps);
         shared_slow.push(ss);
@@ -104,9 +106,7 @@ fn corun_landscape() {
             ss
         );
     }
-    let gmean = |v: &[f64]| {
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
+    let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     println!(
         "gmean slowdown {:.3} (paper ~1.115), Tpriv {:.3} (paper ~1.04), Tshared {:.3} (paper ~2.81)\n",
         gmean(&slowdowns),
@@ -120,7 +120,11 @@ fn corun_landscape() {
 fn probe_sensitivity() {
     println!("=== python startup probe vs generators ===");
     // Solo startup baseline.
-    let probe = suite::by_name("fib-py").unwrap().profile().startup_only().unwrap();
+    let probe = suite::by_name("fib-py")
+        .unwrap()
+        .profile()
+        .startup_only()
+        .unwrap();
     let mut sim = Simulator::new(MachineSpec::cascade_lake());
     let id = sim.launch(probe.clone(), Placement::pinned(0)).unwrap();
     let solo = sim.run_to_completion(id).unwrap();

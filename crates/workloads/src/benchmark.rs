@@ -169,12 +169,7 @@ impl Benchmark {
 
 impl fmt::Display for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}{}",
-            self.name,
-            if self.reference { "*" } else { "" }
-        )
+        write!(f, "{}{}", self.name, if self.reference { "*" } else { "" })
     }
 }
 

@@ -139,7 +139,7 @@ fn python_startup() -> Vec<ExecPhase> {
         (0.78, 13.0, 0.38, 0.82, 21.0), // module imports
         (0.60, 19.0, 0.44, 0.86, 22.0),
         (0.82, 12.0, 0.35, 0.82, 22.0),
-        (1.25, 6.0, 0.25, 0.75, 23.0),  // bytecode compile
+        (1.25, 6.0, 0.25, 0.75, 23.0), // bytecode compile
         (0.92, 10.0, 0.30, 0.80, 23.0),
         (0.70, 15.0, 0.40, 0.84, 24.0),
         (0.88, 11.0, 0.33, 0.80, 24.0),
@@ -148,9 +148,7 @@ fn python_startup() -> Vec<ExecPhase> {
     ];
     SHAPE
         .iter()
-        .map(|&(ipc, mpki, ratio, blocking, fp)| {
-            startup_phase(ipc, mpki, ratio, blocking, fp)
-        })
+        .map(|&(ipc, mpki, ratio, blocking, fp)| startup_phase(ipc, mpki, ratio, blocking, fp))
         .collect()
 }
 
@@ -189,18 +187,16 @@ fn nodejs_startup() -> Vec<ExecPhase> {
 /// allocator/scheduler init at high IPC.
 fn go_startup() -> Vec<ExecPhase> {
     const SHAPE: [(f64, f64, f64, f64, f64); 6] = [
-        (0.85, 14.0, 0.42, 0.85, 5.0),  // binary + runtime image load
-        (1.10, 9.0, 0.35, 0.80, 8.0),   // heap arenas
-        (1.70, 4.0, 0.22, 0.72, 9.0),   // scheduler + GC init
-        (2.10, 2.5, 0.18, 0.68, 10.0),  // package init (compute)
+        (0.85, 14.0, 0.42, 0.85, 5.0), // binary + runtime image load
+        (1.10, 9.0, 0.35, 0.80, 8.0),  // heap arenas
+        (1.70, 4.0, 0.22, 0.72, 9.0),  // scheduler + GC init
+        (2.10, 2.5, 0.18, 0.68, 10.0), // package init (compute)
         (1.50, 5.0, 0.25, 0.74, 10.0),
-        (1.90, 3.0, 0.20, 0.70, 10.0),  // main prologue
+        (1.90, 3.0, 0.20, 0.70, 10.0), // main prologue
     ];
     SHAPE
         .iter()
-        .map(|&(ipc, mpki, ratio, blocking, fp)| {
-            startup_phase(ipc, mpki, ratio, blocking, fp)
-        })
+        .map(|&(ipc, mpki, ratio, blocking, fp)| startup_phase(ipc, mpki, ratio, blocking, fp))
         .collect()
 }
 
@@ -238,8 +234,7 @@ mod tests {
     fn startups_are_memory_heavy() {
         for lang in Language::ALL {
             let phases = lang.startup_phases();
-            let avg_mpki: f64 =
-                phases.iter().map(|p| p.l2_mpki).sum::<f64>() / phases.len() as f64;
+            let avg_mpki: f64 = phases.iter().map(|p| p.l2_mpki).sum::<f64>() / phases.len() as f64;
             assert!(
                 avg_mpki > 3.5,
                 "{lang} startup must stress shared resources, avg mpki {avg_mpki}"
@@ -250,8 +245,7 @@ mod tests {
     #[test]
     fn startup_phases_validate_in_profiles() {
         for lang in Language::ALL {
-            let mut builder =
-                litmus_sim::ExecutionProfile::builder(format!("{lang}-startup"));
+            let mut builder = litmus_sim::ExecutionProfile::builder(format!("{lang}-startup"));
             for phase in lang.startup_phases() {
                 builder = builder.startup_phase(phase);
             }

@@ -78,7 +78,9 @@ impl WorkloadMix {
         if scale == 1.0 {
             profile
         } else {
-            profile.scaled(scale).expect("scale validated in with_scale")
+            profile
+                .scaled(scale)
+                .expect("scale validated in with_scale")
         }
     }
 }

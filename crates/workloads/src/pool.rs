@@ -38,12 +38,11 @@ impl BackfillPool {
     /// `seed`, launching them with `placement`.
     ///
     /// Returns `None` when `pool` is empty.
-    pub fn new(
-        pool: Vec<Benchmark>,
-        seed: u64,
-        placement: Placement,
-    ) -> Option<Self> {
-        Some(BackfillPool::from_mix(WorkloadMix::new(pool, seed)?, placement))
+    pub fn new(pool: Vec<Benchmark>, seed: u64, placement: Placement) -> Option<Self> {
+        Some(BackfillPool::from_mix(
+            WorkloadMix::new(pool, seed)?,
+            placement,
+        ))
     }
 
     /// Creates a pool from a pre-configured [`WorkloadMix`] (e.g. a
@@ -71,11 +70,7 @@ impl BackfillPool {
     /// # Errors
     ///
     /// Propagates launch failures (invalid placement for the machine).
-    pub fn fill(
-        &mut self,
-        sim: &mut Simulator,
-        count: usize,
-    ) -> Result<(), SimError> {
+    pub fn fill(&mut self, sim: &mut Simulator, count: usize) -> Result<(), SimError> {
         while self.live.len() < count {
             let id = sim.launch(self.mix.next_profile(), self.placement.clone())?;
             self.live.push(id);
@@ -127,16 +122,11 @@ impl BackfillPool {
     /// # Errors
     ///
     /// Propagates launch failures.
-    pub fn backfill(
-        &mut self,
-        sim: &mut Simulator,
-        events: &[Event],
-    ) -> Result<(), SimError> {
+    pub fn backfill(&mut self, sim: &mut Simulator, events: &[Event]) -> Result<(), SimError> {
         for &Event::Completed { id, .. } in events {
             if let Some(pos) = self.live.iter().position(|&l| l == id) {
                 self.live.swap_remove(pos);
-                let new_id =
-                    sim.launch(self.mix.next_profile(), self.placement.clone())?;
+                let new_id = sim.launch(self.mix.next_profile(), self.placement.clone())?;
                 self.live.push(new_id);
             }
         }
@@ -153,12 +143,8 @@ mod tests {
     #[test]
     fn pool_maintains_population() {
         let mut sim = Simulator::new(MachineSpec::cascade_lake());
-        let mut pool = BackfillPool::new(
-            suite::benchmarks(),
-            7,
-            Placement::pool_range(0, 4),
-        )
-        .unwrap();
+        let mut pool =
+            BackfillPool::new(suite::benchmarks(), 7, Placement::pool_range(0, 4)).unwrap();
         pool.fill(&mut sim, 8).unwrap();
         assert_eq!(pool.live(), 8);
         // Run long enough for completions to occur, population holds.
@@ -170,12 +156,8 @@ mod tests {
     #[test]
     fn run_until_returns_target_report() {
         let mut sim = Simulator::new(MachineSpec::cascade_lake());
-        let mut pool = BackfillPool::new(
-            suite::benchmarks(),
-            7,
-            Placement::pool_range(1, 5),
-        )
-        .unwrap();
+        let mut pool =
+            BackfillPool::new(suite::benchmarks(), 7, Placement::pool_range(1, 5)).unwrap();
         pool.fill(&mut sim, 4).unwrap();
         let target = sim
             .launch(
@@ -190,12 +172,8 @@ mod tests {
     #[test]
     fn run_until_rejects_unknown_target() {
         let mut sim = Simulator::new(MachineSpec::cascade_lake());
-        let mut pool = BackfillPool::new(
-            suite::benchmarks(),
-            7,
-            Placement::pool_range(0, 4),
-        )
-        .unwrap();
+        let mut pool =
+            BackfillPool::new(suite::benchmarks(), 7, Placement::pool_range(0, 4)).unwrap();
         let bogus = {
             // An id from a different simulator.
             let mut other = Simulator::new(MachineSpec::cascade_lake());
@@ -215,8 +193,6 @@ mod tests {
 
     #[test]
     fn empty_pool_rejected() {
-        assert!(
-            BackfillPool::new(Vec::new(), 1, Placement::pinned(0)).is_none()
-        );
+        assert!(BackfillPool::new(Vec::new(), 1, Placement::pinned(0)).is_none());
     }
 }

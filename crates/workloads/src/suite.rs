@@ -29,56 +29,322 @@ use SuiteOrigin::{FunctionBench, HotelReservation, OnlineBoutique, Other, SeBs};
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
         // --- SeBS (Python) ---
-        Benchmark::new("dyn-py", "Dyn HTML", Python, SeBs, false, 260.0, 1.00, 0.65, 0.45, 0.85, 26.0),
-        Benchmark::new("thum-py", "Thumbnail", Python, SeBs, true, 300.0, 1.10, 0.50, 0.40, 0.80, 30.0),
-        Benchmark::new("compre-py", "Compression", Python, SeBs, false, 340.0, 1.05, 0.55, 0.50, 0.70, 20.0),
-        Benchmark::new("recogn-py", "Image Recogn", Python, SeBs, false, 640.0, 0.90, 0.42, 0.45, 0.80, 60.0),
-        Benchmark::new("pager-py", "Graph Rank", Python, SeBs, false, 520.0, 0.85, 1.05, 0.50, 0.90, 80.0),
-        Benchmark::new("mst-py", "Graph Mst", Python, SeBs, false, 430.0, 0.90, 0.90, 0.50, 0.90, 60.0),
-        Benchmark::new("bfs-py", "Graph Bfs", Python, SeBs, true, 380.0, 0.90, 1.00, 0.55, 0.90, 70.0),
-        Benchmark::new("visual-py", "DNA Visual", Python, SeBs, true, 420.0, 1.10, 0.38, 0.35, 0.80, 25.0),
+        Benchmark::new(
+            "dyn-py", "Dyn HTML", Python, SeBs, false, 260.0, 1.00, 0.65, 0.45, 0.85, 26.0,
+        ),
+        Benchmark::new(
+            "thum-py",
+            "Thumbnail",
+            Python,
+            SeBs,
+            true,
+            300.0,
+            1.10,
+            0.50,
+            0.40,
+            0.80,
+            30.0,
+        ),
+        Benchmark::new(
+            "compre-py",
+            "Compression",
+            Python,
+            SeBs,
+            false,
+            340.0,
+            1.05,
+            0.55,
+            0.50,
+            0.70,
+            20.0,
+        ),
+        Benchmark::new(
+            "recogn-py",
+            "Image Recogn",
+            Python,
+            SeBs,
+            false,
+            640.0,
+            0.90,
+            0.42,
+            0.45,
+            0.80,
+            60.0,
+        ),
+        Benchmark::new(
+            "pager-py",
+            "Graph Rank",
+            Python,
+            SeBs,
+            false,
+            520.0,
+            0.85,
+            1.05,
+            0.50,
+            0.90,
+            80.0,
+        ),
+        Benchmark::new(
+            "mst-py",
+            "Graph Mst",
+            Python,
+            SeBs,
+            false,
+            430.0,
+            0.90,
+            0.90,
+            0.50,
+            0.90,
+            60.0,
+        ),
+        Benchmark::new(
+            "bfs-py",
+            "Graph Bfs",
+            Python,
+            SeBs,
+            true,
+            380.0,
+            0.90,
+            1.00,
+            0.55,
+            0.90,
+            70.0,
+        ),
+        Benchmark::new(
+            "visual-py",
+            "DNA Visual",
+            Python,
+            SeBs,
+            true,
+            420.0,
+            1.10,
+            0.38,
+            0.35,
+            0.80,
+            25.0,
+        ),
         // --- FunctionBench (Python) ---
-        Benchmark::new("chame-py", "Chameleon", Python, FunctionBench, false, 280.0, 1.20, 0.30, 0.30, 0.80, 15.0),
-        Benchmark::new("float-py", "FloatOp", Python, FunctionBench, false, 700.0, 2.20, 0.012, 0.05, 0.60, 2.0),
-        Benchmark::new("gzip-py", "Gzip", Python, FunctionBench, true, 300.0, 1.00, 0.52, 0.55, 0.65, 18.0),
-        Benchmark::new("randDisk-py", "RandDisk", Python, FunctionBench, true, 360.0, 0.80, 1.10, 0.70, 0.95, 90.0),
-        Benchmark::new("seqDisk-py", "SequenDisk", Python, FunctionBench, false, 330.0, 1.20, 0.80, 0.75, 0.35, 40.0),
+        Benchmark::new(
+            "chame-py",
+            "Chameleon",
+            Python,
+            FunctionBench,
+            false,
+            280.0,
+            1.20,
+            0.30,
+            0.30,
+            0.80,
+            15.0,
+        ),
+        Benchmark::new(
+            "float-py",
+            "FloatOp",
+            Python,
+            FunctionBench,
+            false,
+            700.0,
+            2.20,
+            0.012,
+            0.05,
+            0.60,
+            2.0,
+        ),
+        Benchmark::new(
+            "gzip-py",
+            "Gzip",
+            Python,
+            FunctionBench,
+            true,
+            300.0,
+            1.00,
+            0.52,
+            0.55,
+            0.65,
+            18.0,
+        ),
+        Benchmark::new(
+            "randDisk-py",
+            "RandDisk",
+            Python,
+            FunctionBench,
+            true,
+            360.0,
+            0.80,
+            1.10,
+            0.70,
+            0.95,
+            90.0,
+        ),
+        Benchmark::new(
+            "seqDisk-py",
+            "SequenDisk",
+            Python,
+            FunctionBench,
+            false,
+            330.0,
+            1.20,
+            0.80,
+            0.75,
+            0.35,
+            40.0,
+        ),
         // --- Online Boutique (Node.js) ---
-        Benchmark::new("cur-nj", "Currency", NodeJs, OnlineBoutique, true, 420.0, 1.10, 0.38, 0.30, 0.80, 14.0),
-        Benchmark::new("pay-nj", "Payment", NodeJs, OnlineBoutique, false, 450.0, 1.15, 0.33, 0.30, 0.80, 14.0),
+        Benchmark::new(
+            "cur-nj",
+            "Currency",
+            NodeJs,
+            OnlineBoutique,
+            true,
+            420.0,
+            1.10,
+            0.38,
+            0.30,
+            0.80,
+            14.0,
+        ),
+        Benchmark::new(
+            "pay-nj",
+            "Payment",
+            NodeJs,
+            OnlineBoutique,
+            false,
+            450.0,
+            1.15,
+            0.33,
+            0.30,
+            0.80,
+            14.0,
+        ),
         // --- Hotel Reservation (Go) ---
-        Benchmark::new("geo-go", "Geo", Go, HotelReservation, false, 260.0, 1.30, 0.45, 0.40, 0.80, 30.0),
-        Benchmark::new("profile-go", "Profile", Go, HotelReservation, true, 300.0, 1.40, 0.33, 0.35, 0.80, 22.0),
-        Benchmark::new("rate-go", "Rate", Go, HotelReservation, false, 280.0, 1.35, 0.42, 0.45, 0.80, 25.0),
+        Benchmark::new(
+            "geo-go",
+            "Geo",
+            Go,
+            HotelReservation,
+            false,
+            260.0,
+            1.30,
+            0.45,
+            0.40,
+            0.80,
+            30.0,
+        ),
+        Benchmark::new(
+            "profile-go",
+            "Profile",
+            Go,
+            HotelReservation,
+            true,
+            300.0,
+            1.40,
+            0.33,
+            0.35,
+            0.80,
+            22.0,
+        ),
+        Benchmark::new(
+            "rate-go",
+            "Rate",
+            Go,
+            HotelReservation,
+            false,
+            280.0,
+            1.35,
+            0.42,
+            0.45,
+            0.80,
+            25.0,
+        ),
         // --- Other: AWS authentication, Fibonacci, AES (×3 languages) ---
-        Benchmark::new("auth-py", "Authen", Python, Other, true, 190.0, 1.40, 0.16, 0.25, 0.75, 6.0),
-        Benchmark::new("auth-nj", "Authen", NodeJs, Other, false, 400.0, 1.25, 0.24, 0.25, 0.80, 12.0),
-        Benchmark::new("auth-go", "Authen", Go, Other, false, 150.0, 1.80, 0.14, 0.20, 0.75, 6.0),
-        Benchmark::new("fib-py", "Fibonacci", Python, Other, true, 260.0, 1.90, 0.10, 0.10, 0.70, 4.0),
-        Benchmark::new("fib-nj", "Fibonacci", NodeJs, Other, true, 480.0, 1.00, 1.15, 0.30, 0.80, 20.0),
-        Benchmark::new("fib-go", "Fibonacci", Go, Other, true, 200.0, 2.50, 0.06, 0.10, 0.70, 3.0),
-        Benchmark::new("aes-py", "AES", Python, Other, false, 250.0, 1.30, 0.24, 0.20, 0.75, 10.0),
-        Benchmark::new("aes-nj", "AES", NodeJs, Other, true, 430.0, 1.10, 0.40, 0.25, 0.80, 15.0),
-        Benchmark::new("aes-go", "AES", Go, Other, true, 190.0, 1.70, 0.20, 0.20, 0.75, 8.0),
+        Benchmark::new(
+            "auth-py", "Authen", Python, Other, true, 190.0, 1.40, 0.16, 0.25, 0.75, 6.0,
+        ),
+        Benchmark::new(
+            "auth-nj", "Authen", NodeJs, Other, false, 400.0, 1.25, 0.24, 0.25, 0.80, 12.0,
+        ),
+        Benchmark::new(
+            "auth-go", "Authen", Go, Other, false, 150.0, 1.80, 0.14, 0.20, 0.75, 6.0,
+        ),
+        Benchmark::new(
+            "fib-py",
+            "Fibonacci",
+            Python,
+            Other,
+            true,
+            260.0,
+            1.90,
+            0.10,
+            0.10,
+            0.70,
+            4.0,
+        ),
+        Benchmark::new(
+            "fib-nj",
+            "Fibonacci",
+            NodeJs,
+            Other,
+            true,
+            480.0,
+            1.00,
+            1.15,
+            0.30,
+            0.80,
+            20.0,
+        ),
+        Benchmark::new(
+            "fib-go",
+            "Fibonacci",
+            Go,
+            Other,
+            true,
+            200.0,
+            2.50,
+            0.06,
+            0.10,
+            0.70,
+            3.0,
+        ),
+        Benchmark::new(
+            "aes-py", "AES", Python, Other, false, 250.0, 1.30, 0.24, 0.20, 0.75, 10.0,
+        ),
+        Benchmark::new(
+            "aes-nj", "AES", NodeJs, Other, true, 430.0, 1.10, 0.40, 0.25, 0.80, 15.0,
+        ),
+        Benchmark::new(
+            "aes-go", "AES", Go, Other, true, 190.0, 1.70, 0.20, 0.20, 0.75, 8.0,
+        ),
     ]
 }
 
 /// The 13 `*`-marked reference functions the provider profiles offline.
 pub fn reference_benchmarks() -> Vec<Benchmark> {
-    benchmarks().into_iter().filter(|b| b.is_reference()).collect()
+    benchmarks()
+        .into_iter()
+        .filter(|b| b.is_reference())
+        .collect()
 }
 
 /// The 14 tenant functions priced in the evaluation figures.
 pub fn test_benchmarks() -> Vec<Benchmark> {
-    benchmarks().into_iter().filter(|b| !b.is_reference()).collect()
+    benchmarks()
+        .into_iter()
+        .filter(|b| !b.is_reference())
+        .collect()
 }
 
 /// The eight memory-intensive functions §8 "Heavy Congestion" selects to
 /// deliberately congest shared resources in the 320-function experiment.
 pub fn heavy_congestion_picks() -> Vec<Benchmark> {
     const PICKS: [&str; 8] = [
-        "aes-py", "compre-py", "thum-py", "bfs-py", "auth-py", "fib-go",
-        "geo-go", "profile-go",
+        "aes-py",
+        "compre-py",
+        "thum-py",
+        "bfs-py",
+        "auth-py",
+        "fib-go",
+        "geo-go",
+        "profile-go",
     ];
     benchmarks()
         .into_iter()
@@ -89,6 +355,90 @@ pub fn heavy_congestion_picks() -> Vec<Benchmark> {
 /// Looks a benchmark up by its Table-1 abbreviation.
 pub fn by_name(name: &str) -> Option<Benchmark> {
     benchmarks().into_iter().find(|b| b.name() == name)
+}
+
+/// Tenant archetypes for multi-tenant traffic synthesis: each maps to a
+/// workload pool with a distinct resource character, so mixing classes
+/// on one cluster reproduces the heterogeneous pressure a public
+/// serverless platform sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TenantClass {
+    /// Latency-sensitive request handlers: short, cache-light functions
+    /// (auth, payments, lookups) — mostly `T_private`.
+    Interactive,
+    /// Data/graph analytics: irregular, memory-leaning functions with
+    /// big footprints — the heaviest `T_shared` pressure.
+    Analytics,
+    /// Throughput batch jobs: long compute-dominated bodies
+    /// (compression, encoding, arithmetic).
+    Batch,
+}
+
+impl TenantClass {
+    /// All classes, in enum order.
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::Interactive,
+        TenantClass::Analytics,
+        TenantClass::Batch,
+    ];
+
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TenantClass::Interactive => "interactive",
+            TenantClass::Analytics => "analytics",
+            TenantClass::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for TenantClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The workload pool a [`TenantClass`] tenant invokes.
+pub fn tenant_pool(class: TenantClass) -> Vec<Benchmark> {
+    let picks: &[&str] = match class {
+        TenantClass::Interactive => &[
+            "auth-py",
+            "auth-nj",
+            "auth-go",
+            "cur-nj",
+            "pay-nj",
+            "geo-go",
+            "rate-go",
+            "profile-go",
+            "fib-py",
+            "fib-go",
+            "aes-go",
+        ],
+        TenantClass::Analytics => &[
+            "pager-py",
+            "mst-py",
+            "bfs-py",
+            "randDisk-py",
+            "recogn-py",
+            "seqDisk-py",
+            "fib-nj",
+        ],
+        TenantClass::Batch => &[
+            "float-py",
+            "compre-py",
+            "gzip-py",
+            "chame-py",
+            "dyn-py",
+            "thum-py",
+            "visual-py",
+            "aes-py",
+            "aes-nj",
+        ],
+    };
+    benchmarks()
+        .into_iter()
+        .filter(|b| picks.contains(&b.name()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -112,15 +462,24 @@ mod tests {
 
     #[test]
     fn reference_set_matches_table1_stars() {
-        let mut refs: Vec<_> =
-            reference_benchmarks().iter().map(|b| b.name()).collect();
+        let mut refs: Vec<_> = reference_benchmarks().iter().map(|b| b.name()).collect();
         refs.sort_unstable();
         assert_eq!(
             refs,
             vec![
-                "aes-go", "aes-nj", "auth-py", "bfs-py", "cur-nj", "fib-go",
-                "fib-nj", "fib-py", "gzip-py", "profile-go", "randDisk-py",
-                "thum-py", "visual-py",
+                "aes-go",
+                "aes-nj",
+                "auth-py",
+                "bfs-py",
+                "cur-nj",
+                "fib-go",
+                "fib-nj",
+                "fib-py",
+                "gzip-py",
+                "profile-go",
+                "randDisk-py",
+                "thum-py",
+                "visual-py",
             ]
         );
     }
@@ -138,8 +497,14 @@ mod tests {
     #[test]
     fn language_split_matches_table1() {
         let all = benchmarks();
-        let py = all.iter().filter(|b| b.language() == Language::Python).count();
-        let nj = all.iter().filter(|b| b.language() == Language::NodeJs).count();
+        let py = all
+            .iter()
+            .filter(|b| b.language() == Language::Python)
+            .count();
+        let nj = all
+            .iter()
+            .filter(|b| b.language() == Language::NodeJs)
+            .count();
         let go = all.iter().filter(|b| b.language() == Language::Go).count();
         assert_eq!((py, nj, go), (16, 5, 6));
     }
@@ -192,5 +557,38 @@ mod tests {
     #[test]
     fn by_name_misses_gracefully() {
         assert!(by_name("nope-py").is_none());
+    }
+
+    #[test]
+    fn tenant_pools_partition_by_resource_character() {
+        let shared_avg = |pool: &[Benchmark]| {
+            pool.iter().map(|b| b.solo_shared_fraction()).sum::<f64>() / pool.len() as f64
+        };
+        let interactive = tenant_pool(TenantClass::Interactive);
+        let analytics = tenant_pool(TenantClass::Analytics);
+        let batch = tenant_pool(TenantClass::Batch);
+        for pool in [&interactive, &analytics, &batch] {
+            assert!(!pool.is_empty());
+        }
+        // Pools are disjoint and every benchmark resolves.
+        let mut all: Vec<_> = interactive
+            .iter()
+            .chain(&analytics)
+            .chain(&batch)
+            .map(|b| b.name())
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "tenant pools must not overlap");
+        assert_eq!(total, 27, "every Table-1 function belongs to a class");
+        // Analytics is the memory-leaning class by a wide margin.
+        assert!(shared_avg(&analytics) > shared_avg(&interactive) * 2.0);
+        assert!(shared_avg(&analytics) > shared_avg(&batch) * 1.5);
+        // Interactive bodies are the shortest on average.
+        let mean_ms =
+            |pool: &[Benchmark]| pool.iter().map(|b| b.body_ms()).sum::<f64>() / pool.len() as f64;
+        assert!(mean_ms(&interactive) < mean_ms(&analytics));
+        assert!(mean_ms(&interactive) < mean_ms(&batch));
     }
 }

@@ -25,8 +25,7 @@ pub enum TrafficGenerator {
 
 impl TrafficGenerator {
     /// Both generators, CT first (the paper's table order).
-    pub const ALL: [TrafficGenerator; 2] =
-        [TrafficGenerator::CtGen, TrafficGenerator::MbGen];
+    pub const ALL: [TrafficGenerator; 2] = [TrafficGenerator::CtGen, TrafficGenerator::MbGen];
 
     /// Short name used in table headers (`CT-Gen` / `MB-Gen`).
     pub fn name(&self) -> &'static str {
@@ -55,28 +54,14 @@ impl TrafficGenerator {
             // misses L2, almost none miss L3.
             TrafficGenerator::CtGen => {
                 let instr_per_ms = 1.0e6;
-                ExecPhase::new(
-                    instr_per_ms * duration_ms,
-                    0.35,
-                    65.0,
-                    0.02,
-                    0.9,
-                    0.9,
-                )
+                ExecPhase::new(instr_per_ms * duration_ms, 0.35, 65.0, 0.02, 0.9, 0.9)
             }
             // Streaming over a DRAM-sized buffer: fewer L2 misses per
             // instruction than CT-Gen (self-throttled), but most of
             // them miss the L3 too.
             TrafficGenerator::MbGen => {
                 let instr_per_ms = 0.8e6;
-                ExecPhase::new(
-                    instr_per_ms * duration_ms,
-                    0.4,
-                    38.0,
-                    0.85,
-                    0.92,
-                    14.0,
-                )
+                ExecPhase::new(instr_per_ms * duration_ms, 0.4, 38.0, 0.85, 0.92, 14.0)
             }
         }
     }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.launch(light, Placement::pinned(2))?;
 
     println!("time(ms)  probe-shared-slowdown  machine-L3/ms  congestion-level");
-    let probe_profile = suite::by_name("auth-py").unwrap().profile().startup_only()?;
+    let probe_profile = suite::by_name("auth-py")
+        .unwrap()
+        .profile()
+        .startup_only()?;
     let mut t = 0;
     while t < 1400 {
         // Launch a Litmus probe on core 3 (a fresh function starting).
@@ -42,14 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let startup = report.startup.as_ref().expect("probe startup");
         let reading = LitmusReading::from_startup(&baseline, startup)?;
         // A scalar "level" in the Fig. 7 spirit from the probe signals.
-        let level = (reading.shared_slowdown - 1.0) * 8.0
-            + (reading.l3_miss_rate / 50_000.0);
+        let level = (reading.shared_slowdown - 1.0) * 8.0 + (reading.l3_miss_rate / 50_000.0);
         println!(
             "{:7}  {:>20.3}  {:>13.0}  {:>16.2}",
-            t,
-            reading.shared_slowdown,
-            reading.l3_miss_rate,
-            level
+            t, reading.shared_slowdown, reading.l3_miss_rate, level
         );
         // Idle gap until the next function arrival.
         let next = sim.now_ms() + 150;

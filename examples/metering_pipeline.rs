@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pricing = LitmusPricing::new(DiscountModel::fit(&tables)?);
 
     // ~80 invocations/s for 3 s onto 12 shared cores.
-    let trace = InvocationTrace::poisson(suite::benchmarks(), 80.0, 3_000, 2024)
-        .expect("non-empty pool");
+    let trace =
+        InvocationTrace::poisson(suite::benchmarks(), 80.0, 3_000, 2024).expect("non-empty pool");
     println!("replaying {} invocations…", trace.len());
     let outcome = TraceDriver::new(spec, 12)
         .scale(0.1)
@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("invoices:              {}", ledger.len());
     println!("unfinished at horizon: {}", outcome.unfinished);
     println!("mean latency:          {:.1} ms", outcome.mean_latency_ms);
-    println!("commercial revenue:    {:.3e} cycle-units", ledger.commercial_revenue());
-    println!("litmus revenue:        {:.3e} cycle-units", ledger.litmus_revenue());
+    println!(
+        "commercial revenue:    {:.3e} cycle-units",
+        ledger.commercial_revenue()
+    );
+    println!(
+        "litmus revenue:        {:.3e} cycle-units",
+        ledger.litmus_revenue()
+    );
     println!(
         "tenant compensation:   {:.3e} ({:.1}% average discount)",
         ledger.total_compensation(),
@@ -48,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut rows: Vec<_> = by_fn.into_iter().collect();
     rows.sort_by_key(|(_, (count, _))| std::cmp::Reverse(*count));
-    println!("\n{:14} {:>8} {:>14}", "function", "invokes", "avg discount");
+    println!(
+        "\n{:14} {:>8} {:>14}",
+        "function", "invokes", "avg discount"
+    );
     for (name, (count, discount_sum)) in rows.into_iter().take(8) {
         println!(
             "{name:14} {count:>8} {:>13.1}%",

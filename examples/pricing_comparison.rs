@@ -19,10 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = HarnessConfig::new(spec)
         .env(CoRunEnv::OnePerCore { co_runners: 26 })
         .mix_scale(0.2);
-    let results = PricingExperiment::new(config)
-        .reps(5)
-        .test_scale(0.2)
-        .run(&pricing, &tables, &suite::test_benchmarks())?;
+    let results = PricingExperiment::new(config).reps(5).test_scale(0.2).run(
+        &pricing,
+        &tables,
+        &suite::test_benchmarks(),
+    )?;
 
     // POPPA: near-ideal prices, but every sample stalls all co-runners.
     let poppa = PoppaSampler::new(1.0, 100.0);

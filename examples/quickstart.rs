@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solo = solo_sim.run_to_completion(id)?;
     let ideal = IdealPricing::new().price(&report.counters, &solo.counters);
 
-    println!("\n{:12} {:>14} {:>12} {:>10}", "scheme", "price (cycles)", "normalised", "discount");
+    println!(
+        "\n{:12} {:>14} {:>12} {:>10}",
+        "scheme", "price (cycles)", "normalised", "discount"
+    );
     for (name, price) in [
         ("commercial", commercial),
         ("litmus", litmus),

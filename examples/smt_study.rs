@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("running SMT-on configuration…");
     let (litmus_on, ideal_on) = run_config(true)?;
 
-    println!("\n{:10} {:>14} {:>14}", "config", "litmus price", "ideal price");
+    println!(
+        "\n{:10} {:>14} {:>14}",
+        "config", "litmus price", "ideal price"
+    );
     println!("{:10} {:>14.4} {:>14.4}", "SMT off", litmus_off, ideal_off);
     println!("{:10} {:>14.4} {:>14.4}", "SMT on", litmus_on, ideal_on);
     println!(

@@ -17,10 +17,12 @@ use litmus::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = MachineSpec::cascade_lake();
     let scale = 0.1;
-    let tests: Vec<Benchmark> = ["aes-py", "dyn-py", "pager-py", "float-py", "auth-nj", "geo-go"]
-        .iter()
-        .map(|n| suite::by_name(n).unwrap())
-        .collect();
+    let tests: Vec<Benchmark> = [
+        "aes-py", "dyn-py", "pager-py", "float-py", "auth-nj", "geo-go",
+    ]
+    .iter()
+    .map(|n| suite::by_name(n).unwrap())
+    .collect();
     let env = CoRunEnv::Shared {
         co_runners: 159,
         cores: 16,
@@ -35,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let factor = spec.switch_factor(env.functions_per_core());
     let method1 = LitmusPricing::new(DiscountModel::fit(&dedicated)?)
         .with_method(Method::CalibratedSharing { factor });
-    println!("  switch factor at {} functions/core: {:.4}", env.functions_per_core(), factor);
+    println!(
+        "  switch factor at {} functions/core: {:.4}",
+        env.functions_per_core(),
+        factor
+    );
 
     // ── Method 2: tables rebuilt under sharing (50 fns / 5 cores).
     println!("building sharing-enabled tables (Method 2)…");

@@ -17,6 +17,7 @@
 //! | [`workloads`] | `litmus-workloads` | Table-1 benchmarks, startups, CT-Gen/MB-Gen |
 //! | [`core`] | `litmus-core` | Litmus tests, tables, discount model, pricing engines |
 //! | [`platform`] | `litmus-platform` | co-run harness and evaluation experiments |
+//! | [`cluster`] | `litmus-cluster` | multi-machine serving, Litmus-aware placement, sharded billing |
 //!
 //! The paper's hardware testbed (Cascade Lake Xeon, Linux perf, CPython/
 //! Node.js/Go) is replaced by a deterministic analytic simulator — see
@@ -52,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use litmus_cluster as cluster;
 pub use litmus_core as core;
 pub use litmus_platform as platform;
 pub use litmus_sim as sim;
@@ -60,18 +62,23 @@ pub use litmus_workloads as workloads;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use litmus_cluster::{
+        BillingAggregator, Cluster, ClusterConfig, ClusterDriver, LeastLoaded, LitmusAware,
+        MachineConfig, PlacementPolicy, RoundRobin,
+    };
     pub use litmus_core::{
-        BillingLedger, CommercialPricing, CongestionIndex, DiscountModel,
-        IdealPricing, Invoice, LitmusPricing, LitmusReading, Method,
-        PoppaSampler, Price, PricingTables, StartupBaseline, TableBuilder,
+        BillingLedger, BillingSummary, CommercialPricing, CongestionIndex, DiscountModel,
+        IdealPricing, Invoice, LitmusPricing, LitmusReading, Method, PoppaSampler, Price,
+        PricingTables, StartupBaseline, TableBuilder,
     };
     pub use litmus_platform::{
-        AdmissionController, AdmissionDecision, CongestionMonitor, CoRunEnv,
-        CoRunHarness, ExperimentResults, HarnessConfig, PricingExperiment,
+        AdmissionController, AdmissionDecision, CoRunEnv, CoRunHarness, CongestionMonitor,
+        ExperimentResults, HarnessConfig, InvocationTrace, PricingExperiment, TenantId,
+        TenantTraffic,
     };
     pub use litmus_sim::{
-        ExecPhase, ExecutionProfile, FrequencyGovernor, MachineSpec, Placement,
-        PmuCounters, Simulator,
+        ExecPhase, ExecutionProfile, FrequencyGovernor, MachineSpec, Placement, PmuCounters,
+        Simulator,
     };
     pub use litmus_workloads::{
         suite, BackfillPool, Benchmark, Language, TrafficGenerator, WorkloadMix,

@@ -2,6 +2,10 @@
 //! the facade crate: monitoring, admission, fleet dispatch and trace
 //! replay all composing on the same tables and model.
 
+// `Fleet` is deprecated in favour of `litmus::cluster`, but its
+// delegating behaviour stays covered until it is removed.
+#![allow(deprecated)]
+
 use litmus::platform::{Fleet, InvocationTrace, TraceDriver};
 use litmus::prelude::*;
 use litmus::workloads::Language;
@@ -21,8 +25,7 @@ fn monitor_admission_and_fleet_share_one_calibration() {
     let (tables, model) = setup();
 
     // Monitor: a Fig. 7 series on a moderately busy machine.
-    let monitor =
-        CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
+    let monitor = CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
     let mut harness = CoRunHarness::start(
         HarnessConfig::new(MachineSpec::cascade_lake())
             .env(CoRunEnv::OnePerCore { co_runners: 12 })
@@ -38,8 +41,7 @@ fn monitor_admission_and_fleet_share_one_calibration() {
     }
 
     // Admission: same monitor drives defer/admit.
-    let monitor2 =
-        CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
+    let monitor2 = CongestionMonitor::new(&tables, model.clone(), Language::Python).unwrap();
     let mut controller = AdmissionController::new(monitor2, 30.0);
     let profile = suite::by_name("auth-py")
         .unwrap()
@@ -50,8 +52,7 @@ fn monitor_admission_and_fleet_share_one_calibration() {
     assert!(decision.is_admitted(), "level {}", decision.level());
 
     // Fleet: two machines, probe-balanced dispatch works end to end.
-    let monitor3 =
-        CongestionMonitor::new(&tables, model, Language::Python).unwrap();
+    let monitor3 = CongestionMonitor::new(&tables, model, Language::Python).unwrap();
     let configs = vec![
         HarnessConfig::new(MachineSpec::cascade_lake())
             .env(CoRunEnv::OnePerCore { co_runners: 20 })
@@ -78,8 +79,8 @@ fn trace_replay_bills_consistently_with_the_experiment_loop() {
     let (tables, model) = setup();
     let pricing = LitmusPricing::new(model);
 
-    let trace = InvocationTrace::poisson(suite::benchmarks(), 100.0, 600, 11)
-        .expect("non-empty pool");
+    let trace =
+        InvocationTrace::poisson(suite::benchmarks(), 100.0, 600, 11).expect("non-empty pool");
     let outcome = TraceDriver::new(MachineSpec::cascade_lake(), 8)
         .scale(0.03)
         .drain_ms(30_000)
@@ -96,10 +97,51 @@ fn trace_replay_bills_consistently_with_the_experiment_loop() {
     // Aggregate ledger identities.
     let ledger = &outcome.ledger;
     assert!(
-        (ledger.commercial_revenue() - ledger.litmus_revenue()
-            - ledger.total_compensation())
-        .abs()
+        (ledger.commercial_revenue() - ledger.litmus_revenue() - ledger.total_compensation()).abs()
             < 1e-6 * ledger.commercial_revenue()
     );
     assert!(ledger.average_discount() >= 0.0);
+}
+
+#[test]
+fn cluster_layer_composes_through_the_facade() {
+    let (tables, model) = setup();
+
+    // Same calibration drives a small skewed cluster end to end: the
+    // ledger-level identities of the single-machine pipeline must
+    // survive sharded, multi-machine metering.
+    let machines: Vec<_> = (0..3)
+        .map(|i| {
+            MachineConfig::new(6)
+                .background(if i == 0 { 12 } else { 0 })
+                .background_scale(0.04)
+                .warmup_ms(60)
+                .seed(0xFACADE + i as u64)
+        })
+        .collect();
+    let config = ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 3, 6)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(2);
+    let trace = InvocationTrace::poisson(suite::benchmarks(), 60.0, 1_500, 5).unwrap();
+    let mut cluster = Cluster::build(config, tables, model).unwrap();
+    let outcome = ClusterDriver::new(LitmusAware::new())
+        .replay(&mut cluster, &trace)
+        .unwrap();
+
+    assert_eq!(outcome.completed, trace.len());
+    assert_eq!(outcome.unfinished, 0);
+    let total = outcome.billing.total();
+    assert!(total.litmus_revenue() <= total.commercial_revenue() * (1.0 + 1e-9));
+    assert!(
+        (total.commercial_revenue() - total.litmus_revenue() - total.total_compensation()).abs()
+            < 1e-6 * total.commercial_revenue()
+    );
+    assert!(total.average_discount() >= 0.0);
+    // The single default tenant holds the whole period.
+    let tenant = outcome.billing.tenant(TenantId::default()).unwrap();
+    assert_eq!(tenant.len(), trace.len());
+    // The pre-loaded machine receives the least traffic.
+    assert!(outcome.dispatch_counts[0] < outcome.dispatch_counts[1]);
+    assert!(outcome.dispatch_counts[0] < outcome.dispatch_counts[2]);
 }

@@ -1,0 +1,233 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate vendors
+//! the subset of criterion this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `bench_function` / `bench_with_input` / `sample_size` / `finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up,
+//! auto-calibrated to a target measurement time, then reports the mean,
+//! minimum and maximum per-iteration wall time. There are no HTML
+//! reports, baselines or outlier analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const TARGET_MEASUREMENT: Duration = Duration::from_millis(300);
+/// Iteration count ceiling, so trivially cheap bodies still terminate
+/// calibration quickly.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `body`, auto-calibrating the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up + calibration run.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (TARGET_MEASUREMENT.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(body());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn report(name: &str, sample: Option<Sample>) {
+    match sample {
+        Some(s) => println!(
+            "{name:<52} time: [{:>12?} {:>12?} {:>12?}]  ({} iters)",
+            s.min, s.mean, s.max, s.iters
+        ),
+        None => println!("{name:<52} (no measurement taken)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this shim auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; this shim auto-calibrates instead.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        body(&mut bencher);
+        report(&format!("{}/{}", self.name, id), bencher.result);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        body(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), bencher.result);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver handed to each target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    // Non-unit so `Criterion::default()` (what `criterion_group!`
+    // expands to) does not trip clippy::default_constructed_unit_structs
+    // in consuming crates.
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        body(&mut bencher);
+        report(name, bencher.result);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// upstream's plain form `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("8x").to_string(), "8x");
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate vendors
+//! the subset of proptest this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] implemented for primitive ranges, tuples of
+//!   strategies, [`strategy::Just`] and [`Strategy::prop_map`];
+//! * `prop::collection::vec`.
+//!
+//! Differences from upstream: inputs are drawn from a per-test
+//! deterministic RNG (seeded from the test name), there is **no
+//! shrinking**, and the default case count is 64 rather than 256 to
+//! keep the suite fast. On failure the case index and generated seed
+//! are reported so a failure is reproducible by rerunning the test.
+
+#![forbid(unsafe_code)]
+
+// The `proptest!` expansion needs the RNG in the *consuming* crate,
+// which does not necessarily depend on `rand` itself.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Strategies: how input values are generated.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking —
+    /// `generate` directly produces a value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types: configuration and failure signalling.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration; only `cases` is supported.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps this workspace's
+            // simulation-heavy properties fast while still exploring.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test seed derived from the test's name
+    /// (FNV-1a), so distinct properties explore distinct streams but
+    /// every run of the same test is identical.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Everything a property test needs, for glob import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirror of upstream's `prop::` path (e.g.
+    /// `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        // Bind to a bool first: negating a raw `<`/`>` expression trips
+        // clippy::neg_cmp_op_on_partial_ord at every expansion site.
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        let holds: bool = left == right;
+        if !holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Supports the subset of upstream syntax used
+/// in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 1usize..10) {
+///         prop_assert!(x < n as f64 + 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::seed_for(concat!(
+                ::std::module_path!(), "::", stringify!($name)
+            ));
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                // Bind inputs with `let` (not closure parameters) so the
+                // strategies' value types drive inference inside the body.
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name), case + 1, config.cases, seed, err,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn halves() -> impl Strategy<Value = f64> {
+        (0.0f64..1.0).prop_map(|v| v / 2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 0.0f64..1.0,
+            (a, b) in (1usize..10, 5u64..9),
+            h in halves(),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&a), "a = {a}");
+            prop_assert!((5..9).contains(&b));
+            prop_assert!(h < 0.5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in prop::collection::vec(-1.0f64..1.0, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(xs.len(), xs.capacity().min(xs.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 1/64")]
+    fn failures_report_case_and_seed() {
+        // No `#[test]` attribute on the inner fn: it is invoked
+        // manually (rustc cannot register nested test items anyway).
+        proptest! {
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn same_test_name_reproduces_inputs() {
+        let seed = crate::test_runner::seed_for("a::b::c");
+        assert_eq!(seed, crate::test_runner::seed_for("a::b::c"));
+        assert_ne!(seed, crate::test_runner::seed_for("a::b::d"));
+    }
+}
