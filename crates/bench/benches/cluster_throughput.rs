@@ -1,16 +1,19 @@
 //! Cluster serving throughput: invocations/sec replayed end to end
-//! (dispatch → simulate → probe → price → shard) as machine count and
-//! placement policy vary.
+//! (dispatch → simulate → probe → price → shard) as machine count,
+//! placement policy, stepping mode and elasticity features vary.
 //!
-//! The per-slice parallel stepping means wall-clock throughput should
-//! grow with machine count until the host runs out of cores.
+//! The persistent worker pool amortises thread spawns across slices,
+//! so `stepping_modes` is the headline comparison: `pooled` must never
+//! lose to `scoped`, and should win clearly at higher machine counts
+//! (a 2 s replay crosses ~100 slice barriers; scoped stepping pays a
+//! spawn/join per machine-chunk at every one of them).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use litmus_cluster::{
-    Cluster, ClusterConfig, ClusterDriver, LeastLoaded, LitmusAware, MachineConfig,
-    PlacementPolicy, RoundRobin,
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, LeastLoaded, LitmusAware,
+    MachineConfig, PlacementPolicy, RoundRobin, StealingConfig, SteppingMode,
 };
 use litmus_core::{DiscountModel, PricingTables, TableBuilder};
 use litmus_platform::InvocationTrace;
@@ -50,12 +53,114 @@ fn replay_once<P: PlacementPolicy>(
     model: &DiscountModel,
     trace: &InvocationTrace,
 ) -> usize {
-    let mut cluster =
-        Cluster::build(config(machines), tables.clone(), model.clone()).expect("cluster boots");
-    let outcome = ClusterDriver::new(policy)
-        .replay(&mut cluster, trace)
-        .expect("replay succeeds");
-    outcome.completed
+    replay_driver(
+        ClusterDriver::new(policy),
+        config(machines),
+        tables,
+        model,
+        trace,
+    )
+}
+
+fn replay_driver<P: PlacementPolicy>(
+    driver: ClusterDriver<P>,
+    config: ClusterConfig,
+    tables: &PricingTables,
+    model: &DiscountModel,
+    trace: &InvocationTrace,
+) -> usize {
+    let mut cluster = Cluster::build(config, tables.clone(), model.clone()).expect("cluster boots");
+    let mut driver = driver;
+    let report = driver.replay(&mut cluster, trace).expect("replay succeeds");
+    report.completed
+}
+
+/// Pooled vs scoped stepping at small and large machine counts — the
+/// driver refactor's headline number. The persistent pool must match
+/// scoped stepping at 2 machines and beat it at 8+.
+fn bench_stepping_modes(c: &mut Criterion) {
+    let (tables, model) = calibration();
+    let mut group = c.benchmark_group("cluster_stepping_modes");
+    group.sample_size(10);
+    for machines in [2usize, 8, 16] {
+        let trace =
+            InvocationTrace::poisson(suite::benchmarks(), 40.0 * machines as f64, 2_000, 31)
+                .expect("non-empty pool");
+        for (label, mode) in [
+            ("pooled", SteppingMode::Pooled),
+            ("scoped", SteppingMode::Scoped),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{label}_{machines}machines")),
+                &machines,
+                |b, &machines| {
+                    b.iter(|| {
+                        black_box(replay_driver(
+                            ClusterDriver::new(LitmusAware::new()),
+                            // Pin the thread count: the mode comparison
+                            // must exercise thread management even on
+                            // hosts whose available_parallelism is 1.
+                            config(machines).threads(4.min(machines)).stepping(mode),
+                            &tables,
+                            &model,
+                            &trace,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Overhead (and benefit) of the elasticity features at a fixed size:
+/// plain replay vs work stealing vs stealing + autoscaling.
+fn bench_elasticity_variants(c: &mut Criterion) {
+    let (tables, model) = calibration();
+    let trace =
+        InvocationTrace::poisson(suite::benchmarks(), 320.0, 2_000, 47).expect("non-empty pool");
+    let mut group = c.benchmark_group("cluster_elasticity");
+    group.sample_size(10);
+    group.bench_function("baseline_8machines", |b| {
+        b.iter(|| {
+            black_box(replay_driver(
+                ClusterDriver::new(LitmusAware::new()),
+                config(8),
+                &tables,
+                &model,
+                &trace,
+            ))
+        })
+    });
+    group.bench_function("stealing_8machines", |b| {
+        b.iter(|| {
+            black_box(replay_driver(
+                ClusterDriver::new(LitmusAware::new())
+                    .stealing(StealingConfig::default().backlog_threshold(2)),
+                config(8),
+                &tables,
+                &model,
+                &trace,
+            ))
+        })
+    });
+    group.bench_function("stealing_autoscale_8machines", |b| {
+        b.iter(|| {
+            black_box(replay_driver(
+                ClusterDriver::new(LitmusAware::new())
+                    .stealing(StealingConfig::default().backlog_threshold(2))
+                    .autoscale(
+                        AutoscalerConfig::new(MachineConfig::new(8).warmup_ms(50))
+                            .machine_bounds(8, 16),
+                    ),
+                config(8),
+                &tables,
+                &model,
+                &trace,
+            ))
+        })
+    });
+    group.finish();
 }
 
 /// Invocations/sec vs machine count (fixed per-machine arrival rate, so
@@ -107,5 +212,11 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_machine_scaling, bench_policies);
+criterion_group!(
+    benches,
+    bench_stepping_modes,
+    bench_machine_scaling,
+    bench_policies,
+    bench_elasticity_variants,
+);
 criterion_main!(benches);

@@ -1,12 +1,19 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use litmus_core::{DiscountModel, PricingTables};
 use litmus_platform::InvocationTrace;
 use litmus_sim::MachineSpec;
+use litmus_workloads::Language;
 
 use crate::billing::BillingAggregator;
 use crate::context::ServingContext;
 use crate::error::ClusterError;
-use crate::machine::{Machine, MachineConfig};
+use crate::machine::{Machine, MachineConfig, MachineId};
 use crate::policy::{MachineSnapshot, PlacementPolicy};
+use crate::pool::{panic_message, SteppingMode, WorkerPool};
+use crate::scale::{Autoscaler, AutoscalerConfig, MachineLifetime, ScaleEvent};
+use crate::steal::{steal_pass, StealEvent, StealingConfig};
 use crate::Result;
 
 /// Configuration of a [`Cluster`].
@@ -21,6 +28,9 @@ pub struct ClusterConfig {
     pub slice_ms: u64,
     /// Worker threads stepping machines in parallel (1 = sequential).
     pub threads: usize,
+    /// How the stepping threads are managed (persistent pool vs
+    /// per-slice scoped threads).
+    pub stepping: SteppingMode,
     /// Instruction-count scale applied to served functions.
     pub serving_scale: f64,
     /// Extra time after the last arrival to let stragglers finish, ms.
@@ -42,6 +52,7 @@ impl ClusterConfig {
                 .collect(),
             slice_ms: 20,
             threads,
+            stepping: SteppingMode::default(),
             serving_scale: 1.0,
             drain_ms: 60_000,
         }
@@ -65,6 +76,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the stepping mode ([`SteppingMode::Pooled`] by default).
+    pub fn stepping(mut self, mode: SteppingMode) -> Self {
+        self.stepping = mode;
+        self
+    }
+
     /// Sets the served-function profile scale.
     pub fn serving_scale(mut self, scale: f64) -> Self {
         self.serving_scale = scale;
@@ -78,17 +95,73 @@ impl ClusterConfig {
     }
 }
 
+/// Per-machine serving counters, snapshotted at replay start so a
+/// report covers one replay even on a reused cluster.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    completed: usize,
+    dispatched: usize,
+    launched: usize,
+    latency_sum_ms: f64,
+    queue_wait_sum_ms: f64,
+}
+
+impl Counters {
+    fn of(machine: &Machine) -> Self {
+        Counters {
+            completed: machine.completed(),
+            dispatched: machine.dispatched(),
+            launched: machine.launched(),
+            latency_sum_ms: machine.latency_sum_ms(),
+            queue_wait_sum_ms: machine.queue_wait_sum_ms(),
+        }
+    }
+}
+
+/// A machine that left the fleet: its lifetime record plus the final
+/// counters the replay report needs.
+#[derive(Debug, Clone)]
+pub(crate) struct Retired {
+    machine: MachineId,
+    born_ms: u64,
+    retired_ms: u64,
+    counters: Counters,
+}
+
+impl Retired {
+    /// The machine's lifetime record, derived from the single source
+    /// of truth (the final counters).
+    fn lifetime(&self) -> MachineLifetime {
+        MachineLifetime {
+            machine: self.machine,
+            born_ms: self.born_ms,
+            retired_ms: Some(self.retired_ms),
+            completed: self.counters.completed,
+            dispatched: self.counters.dispatched,
+        }
+    }
+}
+
 /// A cluster of independently-simulated serving machines sharing one
 /// calibration (tables + discount model) — the provider-side fleet the
-/// paper's §5.1 scheduling observation applies to.
+/// paper's §5.1 scheduling observation applies to. The machine set is
+/// elastic: an [`crate::AutoscalerConfig`] on the driver grows it under
+/// load and drains/retires idle machines, with retired machines'
+/// billing retained so the accounting period stays conserved.
 #[derive(Debug)]
 pub struct Cluster {
     machines: Vec<Machine>,
-    ctx: ServingContext,
+    ctx: Arc<ServingContext>,
     spec: MachineSpec,
     slice_ms: u64,
     threads: usize,
+    stepping: SteppingMode,
     drain_ms: u64,
+    pool: Option<WorkerPool>,
+    probe_language: Language,
+    next_id: u32,
+    retired: Vec<Retired>,
+    retired_billing: BillingAggregator,
 }
 
 impl Cluster {
@@ -118,36 +191,61 @@ impl Cluster {
         let machines = config
             .machines
             .iter()
-            .map(|machine_config| {
-                Machine::boot(config.spec.clone(), machine_config, probe_language, &ctx)
+            .enumerate()
+            .map(|(i, machine_config)| {
+                Machine::boot(
+                    MachineId(i as u32),
+                    0,
+                    config.spec.clone(),
+                    machine_config,
+                    probe_language,
+                    &ctx,
+                )
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Cluster {
+            next_id: machines.len() as u32,
             machines,
-            ctx,
+            ctx: Arc::new(ctx),
             spec: config.spec,
             slice_ms: config.slice_ms,
             threads: config.threads,
+            stepping: config.stepping,
             drain_ms: config.drain_ms,
+            pool: None,
+            probe_language,
+            retired: Vec::new(),
+            retired_billing: BillingAggregator::new(),
         })
     }
 
-    /// Number of machines.
+    /// Number of live machines.
     pub fn len(&self) -> usize {
         self.machines.len()
     }
 
-    /// Whether the cluster has no machines (never true after build).
+    /// Whether the cluster has no live machines.
     pub fn is_empty(&self) -> bool {
         self.machines.is_empty()
     }
 
-    /// Scheduler-visible state of every machine.
+    /// Total machines ever booted (live + retired); also the exclusive
+    /// upper bound of [`MachineId`] values.
+    pub fn machines_ever(&self) -> usize {
+        self.next_id as usize
+    }
+
+    /// Machines retired so far over the cluster's lifetime.
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Scheduler-visible state of every live machine.
     pub fn snapshots(&self) -> Vec<MachineSnapshot> {
         self.machines.iter().map(Machine::snapshot).collect()
     }
 
-    /// One machine, for inspection.
+    /// One live machine by position, for inspection.
     pub fn machine(&self, idx: usize) -> Option<&Machine> {
         self.machines.get(idx)
     }
@@ -157,18 +255,110 @@ impl Cluster {
         self.machines.iter().map(Machine::outstanding).sum()
     }
 
-    /// Steps every machine to cluster time `target_ms`, in parallel
-    /// when the cluster was configured with more than one thread.
-    /// Machines are fully independent state machines, so parallel and
-    /// sequential stepping produce bit-identical results.
+    /// Cluster-lifetime billing: every live machine's shard folded on
+    /// top of the shards retained from retired machines.
+    pub fn billing(&self) -> BillingAggregator {
+        let mut billing = self.retired_billing.clone();
+        for machine in &self.machines {
+            billing.absorb(machine.shard());
+        }
+        billing
+    }
+
+    /// Boots one more machine into the fleet at cluster time `born_ms`.
+    pub(crate) fn spawn_machine(
+        &mut self,
+        config: &MachineConfig,
+        born_ms: u64,
+    ) -> Result<MachineId> {
+        let id = MachineId(self.next_id);
+        let machine = Machine::boot(
+            id,
+            born_ms,
+            self.spec.clone(),
+            config,
+            self.probe_language,
+            &self.ctx,
+        )?;
+        self.next_id += 1;
+        self.machines.push(machine);
+        Ok(id)
+    }
+
+    /// Starts draining the machine with `id` (no-op for unknown ids).
+    pub(crate) fn begin_drain(&mut self, id: MachineId) {
+        if let Some(machine) = self.machines.iter_mut().find(|m| m.id() == id) {
+            machine.begin_drain();
+        }
+    }
+
+    /// Retires every draining machine whose serving work has hit zero,
+    /// folding each shard into the retained billing, and returns the
+    /// retired ids in machine order.
+    pub(crate) fn retire_drained(&mut self, now_ms: u64) -> Vec<MachineId> {
+        let mut ids = Vec::new();
+        let mut idx = 0;
+        while idx < self.machines.len() {
+            if self.machines[idx].is_draining() && self.machines[idx].outstanding() == 0 {
+                let machine = self.machines.remove(idx);
+                self.retired_billing.absorb(machine.shard());
+                ids.push(machine.id());
+                self.retired.push(Retired {
+                    machine: machine.id(),
+                    born_ms: machine.born_ms(),
+                    retired_ms: now_ms,
+                    counters: Counters::of(&machine),
+                });
+            } else {
+                idx += 1;
+            }
+        }
+        ids
+    }
+
+    /// Moves up to `count` queued invocations from machine position
+    /// `from` to position `to`, returning how many moved.
+    pub(crate) fn transfer_queued(&mut self, from: usize, to: usize, count: usize) -> usize {
+        if from == to || count == 0 {
+            return 0;
+        }
+        let shed = self.machines[from].shed_queued(count);
+        let moved = shed.len();
+        self.machines[to].accept_stolen(shed);
+        moved
+    }
+
+    /// Steps every live machine to cluster time `target_ms`, in
+    /// parallel when the cluster was configured with more than one
+    /// thread. Machines are fully independent state machines, so
+    /// pooled, scoped and sequential stepping produce bit-identical
+    /// results.
     fn step_all(&mut self, target_ms: u64) -> Result<()> {
         let threads = self.threads.min(self.machines.len()).max(1);
         if threads == 1 {
+            let ctx = Arc::clone(&self.ctx);
             for machine in &mut self.machines {
-                machine.step_to(target_ms, &self.ctx)?;
+                machine.step_to(target_ms, &ctx)?;
             }
             return Ok(());
         }
+        match self.stepping {
+            SteppingMode::Scoped => self.step_all_scoped(target_ms, threads),
+            SteppingMode::Pooled => {
+                // Size the pool by the configured thread count, not the
+                // current machine count: an autoscaled fleet may grow
+                // past its initial size, and step_all already caps the
+                // shards it hands out by the live machine count.
+                let workers = self.threads;
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(workers));
+                pool.step_all(&mut self.machines, target_ms, &self.ctx)
+            }
+        }
+    }
+
+    /// The original per-slice scoped-thread stepping, kept so the
+    /// `cluster_throughput` bench can measure the pool against it.
+    fn step_all_scoped(&mut self, target_ms: u64, threads: usize) -> Result<()> {
         let ctx = &self.ctx;
         let chunk_len = self.machines.len().div_ceil(threads);
         let results: Vec<Result<()>> = std::thread::scope(|scope| {
@@ -197,35 +387,44 @@ impl Cluster {
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_owned()
-    }
-}
-
-/// Result of replaying a trace through a [`Cluster`].
+/// Result of replaying a trace through a [`Cluster`]: serving metrics,
+/// per-tenant billing, and the elastic-capacity record (re-dispatches,
+/// scale events, machine lifetimes).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ClusterOutcome {
-    /// Name of the placement policy that produced this outcome.
+pub struct ClusterReport {
+    /// Name of the placement policy that produced this report.
     pub policy: &'static str,
-    /// Per-tenant billing, folded from every machine's shard.
+    /// Per-tenant billing, folded from every machine's shard (live and
+    /// retired) — the cluster's whole accounting period.
     pub billing: BillingAggregator,
-    /// Machine index chosen for each trace event, in trace order —
+    /// Machine chosen for each trace event, in trace order —
     /// deterministic for a given trace, cluster config and policy.
-    pub placements: Vec<usize>,
-    /// Invocations dispatched to each machine.
+    pub placements: Vec<MachineId>,
+    /// Invocations dispatched to each machine this replay (net of
+    /// re-dispatches away), indexed by [`MachineId`].
     pub dispatch_counts: Vec<usize>,
     /// Invocations completed and billed.
     pub completed: usize,
     /// Invocations still executing or queued when the drain window
     /// closed.
     pub unfinished: usize,
+    /// Invocations the stealing pass re-dispatched (each counted once
+    /// per move).
+    pub redispatched: usize,
+    /// Every re-dispatch decision, in occurrence order.
+    pub steal_events: Vec<StealEvent>,
+    /// Every autoscaling decision, in occurrence order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Birth/retirement record of every machine that served during the
+    /// replay.
+    pub machine_lifetimes: Vec<MachineLifetime>,
+    /// Most machines simultaneously alive during the replay.
+    pub peak_machines: usize,
     /// Mean arrival→completion latency of completed invocations, ms.
     pub mean_latency_ms: f64,
+    /// Mean arrival→launch wait of launched invocations, ms — the
+    /// queueing delay stealing shrinks.
+    pub mean_queue_wait_ms: f64,
     /// Mean (over dispatches) of the chosen machine's predicted
     /// slowdown at dispatch time — the placement-quality signal
     /// Litmus-aware routing minimises.
@@ -234,7 +433,10 @@ pub struct ClusterOutcome {
     pub sim_ms: u64,
 }
 
-impl ClusterOutcome {
+/// Former name of [`ClusterReport`].
+pub type ClusterOutcome = ClusterReport;
+
+impl ClusterReport {
     /// Completed invocations per simulated second.
     pub fn throughput_per_sim_s(&self) -> f64 {
         if self.sim_ms == 0 {
@@ -247,14 +449,17 @@ impl ClusterOutcome {
 /// Replays an [`InvocationTrace`] against a [`Cluster`] under a
 /// [`PlacementPolicy`]: per time-slice, route every arrival in the
 /// slice (policy sees live snapshots, including the Litmus congestion
-/// estimates), then step all machines through the slice in parallel
-/// while their shards absorb the resulting invoices.
+/// estimates), then let the optional autoscaler and stealing pass
+/// rebalance capacity at the slice boundary, then step all machines
+/// through the slice on the persistent worker pool while their shards
+/// absorb the resulting invoices.
 ///
 /// # Examples
 ///
 /// ```no_run
 /// use litmus_cluster::{
-///     Cluster, ClusterConfig, ClusterDriver, LitmusAware,
+///     AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, LitmusAware,
+///     MachineConfig, StealingConfig,
 /// };
 /// use litmus_core::{DiscountModel, TableBuilder};
 /// use litmus_platform::InvocationTrace;
@@ -269,20 +474,46 @@ impl ClusterOutcome {
 ///     .expect("non-empty pool");
 /// let config = ClusterConfig::homogeneous(spec, 8, 8);
 /// let mut cluster = Cluster::build(config, tables, model)?;
-/// let outcome = ClusterDriver::new(LitmusAware::new())
+/// let report = ClusterDriver::new(LitmusAware::new())
+///     .stealing(StealingConfig::default())
+///     .autoscale(AutoscalerConfig::new(MachineConfig::new(8)))
 ///     .replay(&mut cluster, &trace)?;
-/// println!("{} invocations billed", outcome.completed);
+/// println!(
+///     "{} billed, {} re-dispatched, {} scale events",
+///     report.completed,
+///     report.redispatched,
+///     report.scale_events.len()
+/// );
 /// # Ok(()) }
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClusterDriver<P> {
     policy: P,
+    stealing: Option<StealingConfig>,
+    autoscale: Option<AutoscalerConfig>,
 }
 
 impl<P: PlacementPolicy> ClusterDriver<P> {
-    /// Creates a driver routing with `policy`.
+    /// Creates a driver routing with `policy`, with stealing and
+    /// autoscaling off.
     pub fn new(policy: P) -> Self {
-        ClusterDriver { policy }
+        ClusterDriver {
+            policy,
+            stealing: None,
+            autoscale: None,
+        }
+    }
+
+    /// Enables the slice-boundary stealing pass.
+    pub fn stealing(mut self, config: StealingConfig) -> Self {
+        self.stealing = Some(config);
+        self
+    }
+
+    /// Enables probe-driven autoscaling.
+    pub fn autoscale(mut self, config: AutoscalerConfig) -> Self {
+        self.autoscale = Some(config);
+        self
     }
 
     /// The policy's report name.
@@ -290,58 +521,137 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         self.policy.name()
     }
 
-    /// Replays `trace` and returns the cluster-wide outcome. The solo
+    /// Routes one arrival among the non-draining machines and returns
+    /// `(machine position, predicted slowdown at dispatch)`.
+    fn route(&mut self, cluster: &Cluster) -> (usize, MachineId, f64) {
+        let snapshots = cluster.snapshots();
+        // When machines are draining, offer the policy only the serving
+        // ones, remembering each one's position. The common case (no
+        // autoscaler, nothing draining) allocates nothing extra.
+        let mut positions = Vec::new();
+        let mut eligible = Vec::new();
+        if snapshots.iter().any(|snap| snap.draining) {
+            for (position, snap) in snapshots.iter().enumerate() {
+                if !snap.draining {
+                    positions.push(position);
+                    eligible.push(*snap);
+                }
+            }
+        }
+        // `eligible` is empty when nothing is draining — and also in
+        // the cannot-happen case of everything draining (the autoscaler
+        // keeps at least min_machines serving); either way the policy
+        // sees the full set rather than an empty slice.
+        let pool: &[MachineSnapshot] = if eligible.is_empty() {
+            &snapshots
+        } else {
+            &eligible
+        };
+        let chosen = self.policy.choose(pool);
+        let snap = pool[chosen];
+        let position = if eligible.is_empty() {
+            chosen
+        } else {
+            positions[chosen]
+        };
+        (position, snap.id, snap.predicted_slowdown)
+    }
+
+    /// Replays `trace` and returns the cluster-wide report. The solo
     /// oracle cache is warmed for the trace's functions first.
     ///
     /// Billing shards live on the machines and accumulate for the
     /// lifetime of the cluster (an accounting period), so
-    /// [`ClusterOutcome::billing`] of a second replay on the same
+    /// [`ClusterReport::billing`] of a second replay on the same
     /// cluster covers both replays — build a fresh [`Cluster`] per
     /// experiment when billing must be isolated. Every *serving*
     /// metric (`completed`, `dispatch_counts`, latency, placements,
-    /// `sim_ms`) covers only the replay that returned it.
+    /// `sim_ms`) covers only the replay that returned it. One caveat
+    /// on reuse: if a previous replay's drain window expired with work
+    /// still queued, a stealing pass in this replay may re-dispatch
+    /// those leftovers, skewing this replay's per-machine
+    /// `dispatch_counts` (donors clamp at zero) — reuse a cluster that
+    /// finished clean, or build a fresh one.
     ///
     /// # Errors
     ///
-    /// Propagates warm-up, stepping and pricing failures.
+    /// * [`ClusterError::InvalidAutoscale`] for incoherent autoscaler
+    ///   water marks or machine bounds;
+    /// * propagated warm-up, boot, stepping and pricing failures.
     pub fn replay(
         &mut self,
         cluster: &mut Cluster,
         trace: &InvocationTrace,
-    ) -> Result<ClusterOutcome> {
+    ) -> Result<ClusterReport> {
+        if let Some(config) = &self.autoscale {
+            config.validate()?;
+        }
         let spec = cluster.spec.clone();
-        cluster.ctx.warm(&spec, trace)?;
+        Arc::make_mut(&mut cluster.ctx).warm(&spec, trace)?;
 
         // Machines carry lifetime counters (they also back the billing
-        // shards); snapshot them so this outcome's serving metrics
+        // shards); snapshot them so this report's serving metrics
         // cover this replay only, even on a reused cluster.
-        let base: Vec<(usize, usize, f64)> = cluster
+        let base: HashMap<MachineId, Counters> = cluster
             .machines
             .iter()
-            .map(|m| (m.completed(), m.dispatched(), m.latency_sum_ms()))
+            .map(|m| (m.id(), Counters::of(m)))
             .collect();
+        let retired_base = cluster.retired.len();
 
+        let mut autoscaler = self.autoscale.clone().map(Autoscaler::new);
+        let stealing = self.stealing;
         let slice_ms = cluster.slice_ms;
         let mut placements = Vec::with_capacity(trace.len());
         let mut predicted_sum = 0.0;
+        let mut steal_events = Vec::new();
+        let mut scale_events = Vec::new();
+        let mut redispatched = 0;
+        let mut peak_machines = cluster.machines.len();
         let mut now_ms = 0u64;
         let mut next_event = 0;
+
+        let boundary = |cluster: &mut Cluster,
+                        autoscaler: &mut Option<Autoscaler>,
+                        at_ms: u64,
+                        scale_events: &mut Vec<ScaleEvent>,
+                        steal_events: &mut Vec<StealEvent>,
+                        redispatched: &mut usize,
+                        peak: &mut usize|
+         -> Result<()> {
+            if let Some(scaler) = autoscaler {
+                scaler.evaluate(cluster, at_ms, scale_events)?;
+                *peak = (*peak).max(cluster.machines.len());
+            }
+            if let Some(config) = &stealing {
+                *redispatched += steal_pass(cluster, config, at_ms, steal_events);
+            }
+            Ok(())
+        };
 
         while next_event < trace.len() {
             let slice_end = now_ms + slice_ms;
             while next_event < trace.len() && trace.events()[next_event].at_ms < slice_end {
                 let event = &trace.events()[next_event];
-                let snapshots = cluster.snapshots();
-                let chosen = self.policy.choose(&snapshots);
-                predicted_sum += snapshots[chosen].predicted_slowdown;
-                placements.push(chosen);
-                cluster.machines[chosen].dispatch(
+                let (position, id, predicted) = self.route(cluster);
+                predicted_sum += predicted;
+                placements.push(id);
+                cluster.machines[position].dispatch(
                     event.at_ms,
                     event.function.clone(),
                     event.tenant,
                 );
                 next_event += 1;
             }
+            boundary(
+                cluster,
+                &mut autoscaler,
+                slice_end,
+                &mut scale_events,
+                &mut steal_events,
+                &mut redispatched,
+                &mut peak_machines,
+            )?;
             cluster.step_all(slice_end)?;
             now_ms = slice_end;
         }
@@ -349,32 +659,81 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let drain_deadline = now_ms + cluster.drain_ms;
         while cluster.outstanding() > 0 && now_ms < drain_deadline {
             now_ms = (now_ms + slice_ms).min(drain_deadline);
+            boundary(
+                cluster,
+                &mut autoscaler,
+                now_ms,
+                &mut scale_events,
+                &mut steal_events,
+                &mut redispatched,
+                &mut peak_machines,
+            )?;
             cluster.step_all(now_ms)?;
         }
-
-        let mut billing = BillingAggregator::new();
-        let mut completed = 0;
-        let mut latency_sum = 0.0;
-        for (machine, (base_completed, _, base_latency)) in cluster.machines.iter().zip(&base) {
-            billing.absorb(machine.shard());
-            completed += machine.completed() - base_completed;
-            latency_sum += machine.latency_sum_ms() - base_latency;
+        // Machines that emptied on the last slice still retire before
+        // the report is cut.
+        if autoscaler.is_some() {
+            crate::scale::push_retirements(cluster, now_ms, &mut scale_events);
         }
-        Ok(ClusterOutcome {
+
+        let replay_base = |id: MachineId| base.get(&id).copied().unwrap_or_default();
+        let mut completed = 0;
+        let mut launched = 0;
+        let mut latency_sum = 0.0;
+        let mut queue_wait_sum = 0.0;
+        let mut dispatch_counts = vec![0usize; cluster.machines_ever()];
+        let mut machine_lifetimes = Vec::new();
+
+        let newly_retired = &cluster.retired[retired_base..];
+        let live = cluster.machines.iter().map(|machine| {
+            let counters = Counters::of(machine);
+            (
+                MachineLifetime {
+                    machine: machine.id(),
+                    born_ms: machine.born_ms(),
+                    retired_ms: None,
+                    completed: counters.completed,
+                    dispatched: counters.dispatched,
+                },
+                counters,
+            )
+        });
+        for (lifetime, counters) in newly_retired
+            .iter()
+            .map(|r| (r.lifetime(), r.counters))
+            .chain(live)
+        {
+            let base = replay_base(lifetime.machine);
+            completed += counters.completed - base.completed;
+            launched += counters.launched - base.launched;
+            latency_sum += counters.latency_sum_ms - base.latency_sum_ms;
+            queue_wait_sum += counters.queue_wait_sum_ms - base.queue_wait_sum_ms;
+            dispatch_counts[lifetime.machine.index()] =
+                counters.dispatched.saturating_sub(base.dispatched);
+            machine_lifetimes.push(lifetime);
+        }
+        machine_lifetimes.sort_by_key(|l| l.machine);
+
+        Ok(ClusterReport {
             policy: self.policy.name(),
-            billing,
-            dispatch_counts: cluster
-                .machines
-                .iter()
-                .zip(&base)
-                .map(|(m, (_, base_dispatched, _))| m.dispatched() - base_dispatched)
-                .collect(),
+            billing: cluster.billing(),
+            dispatch_counts,
             completed,
             unfinished: cluster.outstanding(),
+            redispatched,
+            steal_events,
+            scale_events,
+            machine_lifetimes,
+            peak_machines,
             mean_latency_ms: if completed == 0 {
                 0.0
             } else {
                 latency_sum / completed as f64
+            },
+            mean_queue_wait_ms: if launched == 0 {
+                0.0
+            } else {
+                queue_wait_sum / launched as f64
             },
             mean_predicted_slowdown: if placements.is_empty() {
                 0.0

@@ -22,6 +22,9 @@ pub enum ClusterError {
     /// An invocation arrived for a function the serving context was not
     /// warmed with (no solo oracle entry).
     UnknownFunction(&'static str),
+    /// An autoscaler configuration had incoherent water marks or
+    /// machine bounds.
+    InvalidAutoscale(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -41,6 +44,9 @@ impl fmt::Display for ClusterError {
                 "function {name} missing from the serving context's solo \
                  oracle cache"
             ),
+            ClusterError::InvalidAutoscale(why) => {
+                write!(f, "invalid autoscaler configuration: {why}")
+            }
         }
     }
 }
@@ -91,6 +97,8 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         assert!(ClusterError::NoMachines.to_string().contains("zero"));
+        let e = ClusterError::InvalidAutoscale("low above high");
+        assert!(e.to_string().contains("low above high"));
         let e = ClusterError::UnknownFunction("auth-py");
         assert!(e.to_string().contains("auth-py"));
         let e = ClusterError::WorkerPanic("boom".into());

@@ -16,15 +16,25 @@
 //!   slowdown);
 //! * [`ClusterDriver`] — replays a multi-tenant
 //!   [`litmus_platform::InvocationTrace`] per time-slice, stepping
-//!   machines in parallel worker threads;
+//!   machines on a persistent worker pool (threads spawned once per
+//!   cluster, synchronised at a per-slice barrier);
+//! * [`StealingConfig`] — slice-boundary work stealing: machines whose
+//!   queued-but-not-launched backlog exceeds a threshold re-dispatch
+//!   the excess to the machine with the best forward-adjusted probe
+//!   prediction;
+//! * [`AutoscalerConfig`] — probe-driven elasticity: the fleet grows
+//!   when the fleetwide predicted slowdown crosses a high-water mark
+//!   and drains/retires idle machines at a low-water mark, with scale
+//!   events and [`MachineLifetime`]s surfaced in the [`ClusterReport`];
 //! * [`BillingShard`] / [`BillingAggregator`] — streaming per-tenant
 //!   billing: each machine folds its invoices into constant-space
 //!   [`litmus_core::BillingSummary`]s, merged cluster-wide at collection
-//!   — no invoice list ever materialises.
+//!   — no invoice list ever materialises (retired machines' shards are
+//!   retained, so scaling never loses revenue).
 //!
 //! Replays are fully deterministic: the same trace, cluster
 //! configuration and policy produce identical placement sequences and
-//! invoices, regardless of the stepping thread count.
+//! invoices, regardless of the stepping thread count or mode.
 //!
 //! # Examples
 //!
@@ -80,13 +90,19 @@ mod driver;
 mod error;
 mod machine;
 mod policy;
+mod pool;
+mod scale;
+mod steal;
 
 pub use billing::{BillingAggregator, BillingShard};
 pub use context::ServingContext;
-pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterOutcome};
+pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterOutcome, ClusterReport};
 pub use error::ClusterError;
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, MachineId};
 pub use policy::{LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, RoundRobin};
+pub use pool::SteppingMode;
+pub use scale::{AutoscalerConfig, MachineLifetime, ScaleEvent, ScaleKind};
+pub use steal::{StealEvent, StealingConfig};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,4 +1,5 @@
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig, TenantId};
 use litmus_sim::{Event, ExecutionProfile, InstanceId, MachineSpec};
@@ -8,6 +9,27 @@ use crate::billing::BillingShard;
 use crate::context::ServingContext;
 use crate::policy::MachineSnapshot;
 use crate::Result;
+
+/// Stable identity of a machine for the lifetime of a [`crate::Cluster`].
+///
+/// Autoscaling adds and retires machines mid-replay, so positional
+/// indices shift; ids never do. Ids are assigned densely from 0 in boot
+/// order, so replay reports can index per-machine vectors by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl MachineId {
+    /// The id as a dense vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Configuration of one serving machine in a [`crate::Cluster`].
 ///
@@ -28,10 +50,16 @@ pub struct MachineConfig {
     pub warmup_ms: u64,
     /// Seed for the background mix (machines get distinct streams).
     pub seed: u64,
+    /// Most invocations allowed to execute concurrently; dispatched
+    /// arrivals beyond the cap wait in the machine's queue (and are
+    /// what work stealing re-dispatches elsewhere).
+    pub max_inflight: usize,
 }
 
 impl MachineConfig {
-    /// A dedicated serving machine: `cores` cores, no background load.
+    /// A dedicated serving machine: `cores` cores, no background load,
+    /// and a concurrency cap of 12 invocations per core (roughly the
+    /// paper's §7.2 temporal-sharing density).
     pub fn new(cores: usize) -> Self {
         MachineConfig {
             cores,
@@ -39,6 +67,7 @@ impl MachineConfig {
             background_scale: 0.05,
             warmup_ms: 100,
             seed: 0x5EED,
+            max_inflight: cores.max(1) * 12,
         }
     }
 
@@ -65,13 +94,21 @@ impl MachineConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the concurrency cap (minimum 1).
+    pub fn max_inflight(mut self, cap: usize) -> Self {
+        self.max_inflight = cap.max(1);
+        self
+    }
 }
 
+/// An invocation dispatched to a machine but not yet launched — the
+/// unit of work the stealing pass may re-dispatch to a calmer machine.
 #[derive(Debug, Clone)]
-struct QueuedArrival {
-    launch_at_ms: u64,
-    function: Benchmark,
-    tenant: TenantId,
+pub(crate) struct QueuedArrival {
+    pub(crate) launch_at_ms: u64,
+    pub(crate) function: Benchmark,
+    pub(crate) tenant: TenantId,
 }
 
 #[derive(Debug, Clone)]
@@ -90,30 +127,42 @@ struct InFlight {
 /// [`crate::ClusterDriver`]; nothing here references any other machine.
 #[derive(Debug)]
 pub struct Machine {
+    id: MachineId,
     harness: CoRunHarness,
     cores: usize,
-    /// Harness-local sim time corresponding to cluster time 0
+    /// Harness-local sim time corresponding to cluster time `born_ms`
     /// (boot + warm-up + initial probe all happen before the epoch).
     epoch_ms: u64,
+    /// Cluster time at which the machine joined the fleet (0 for
+    /// machines present at build, the scale-up slice for autoscaled
+    /// ones).
+    born_ms: u64,
+    max_inflight: usize,
     queue: VecDeque<QueuedArrival>,
     inflight: HashMap<InstanceId, InFlight>,
     predicted_slowdown: f64,
     shard: BillingShard,
     dispatched: usize,
+    launched: usize,
     completed: usize,
     latency_sum_ms: f64,
+    queue_wait_sum_ms: f64,
+    draining: bool,
 }
 
 impl Machine {
     /// Boots the machine: starts the harness (launching and warming any
     /// background fillers), then takes one startup Litmus probe so the
     /// placement policies see a meaningful congestion estimate before
-    /// the first invocation completes.
+    /// the first invocation completes. `born_ms` is the cluster time
+    /// the machine joins at (0 at cluster build).
     ///
     /// # Errors
     ///
     /// Propagates harness boot and probe failures.
     pub fn boot(
+        id: MachineId,
+        born_ms: u64,
         spec: MachineSpec,
         config: &MachineConfig,
         probe_language: Language,
@@ -129,16 +178,22 @@ impl Machine {
             .seed(config.seed);
         let harness = CoRunHarness::start(harness_config)?;
         let mut machine = Machine {
+            id,
             harness,
             cores: config.cores,
             epoch_ms: 0,
+            born_ms,
+            max_inflight: config.max_inflight.max(1),
             queue: VecDeque::new(),
             inflight: HashMap::new(),
             predicted_slowdown: 1.0,
             shard: BillingShard::new(),
             dispatched: 0,
+            launched: 0,
             completed: 0,
             latency_sum_ms: 0.0,
+            queue_wait_sum_ms: 0.0,
+            draining: false,
         };
         machine.probe(probe_language, ctx)?;
         machine.epoch_ms = machine.harness.sim().now_ms();
@@ -164,8 +219,29 @@ impl Machine {
         Ok(())
     }
 
+    /// The machine's stable id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Cluster time the machine joined the fleet, ms.
+    pub fn born_ms(&self) -> u64 {
+        self.born_ms
+    }
+
+    /// Harness-local time corresponding to cluster time `cluster_ms`.
+    fn local_ms(&self, cluster_ms: u64) -> u64 {
+        self.epoch_ms + cluster_ms.saturating_sub(self.born_ms)
+    }
+
+    /// Cluster time corresponding to the harness's current local time.
+    fn cluster_now_ms(&self) -> u64 {
+        self.born_ms + (self.harness.sim().now_ms() - self.epoch_ms)
+    }
+
     /// Accepts an invocation arriving at cluster time `at_ms`; it
-    /// launches once the machine steps past that time.
+    /// launches once the machine steps past that time and a concurrency
+    /// slot is free.
     pub fn dispatch(&mut self, at_ms: u64, function: Benchmark, tenant: TenantId) {
         self.queue.push_back(QueuedArrival {
             launch_at_ms: at_ms,
@@ -175,17 +251,60 @@ impl Machine {
         self.dispatched += 1;
     }
 
+    /// Removes up to `count` queued-but-not-launched invocations from
+    /// the back of the queue (the most recently routed work) so they
+    /// can be re-dispatched elsewhere. Returned in ascending
+    /// arrival-time order. The donor's dispatch count is rolled back:
+    /// the invocation is accounted to whichever machine finally runs
+    /// it.
+    pub(crate) fn shed_queued(&mut self, count: usize) -> Vec<QueuedArrival> {
+        let take = count.min(self.queue.len());
+        let mut shed: Vec<QueuedArrival> = Vec::with_capacity(take);
+        for _ in 0..take {
+            shed.push(self.queue.pop_back().expect("len checked"));
+        }
+        shed.reverse();
+        self.dispatched -= shed.len();
+        shed
+    }
+
+    /// Accepts invocations shed by another machine, keeping the queue
+    /// sorted by launch time (stolen work may predate queued work).
+    pub(crate) fn accept_stolen(&mut self, arrivals: Vec<QueuedArrival>) {
+        for arrival in arrivals {
+            let at = self
+                .queue
+                .partition_point(|queued| queued.launch_at_ms <= arrival.launch_at_ms);
+            self.queue.insert(at, arrival);
+            self.dispatched += 1;
+        }
+    }
+
+    /// Puts the machine into drain: its background fillers stop being
+    /// backfilled and the scheduler stops routing work here. Once
+    /// [`Machine::outstanding`] reaches zero the cluster retires it.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.harness.drain();
+    }
+
+    /// Whether the machine is draining toward retirement.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
     /// Advances the machine to cluster time `cluster_ms`, launching
-    /// queued arrivals at their arrival quantum and pricing every
-    /// completion into the machine's [`BillingShard`]. Each completion's
-    /// startup probe also refreshes [`MachineSnapshot::predicted_slowdown`]
-    /// — the free §5.1 scheduling signal.
+    /// queued arrivals at their arrival quantum (while concurrency
+    /// slots last) and pricing every completion into the machine's
+    /// [`BillingShard`]. Each completion's startup probe also refreshes
+    /// [`MachineSnapshot::predicted_slowdown`] — the free §5.1
+    /// scheduling signal.
     ///
     /// # Errors
     ///
     /// Propagates launch, backfill and pricing failures.
     pub fn step_to(&mut self, cluster_ms: u64, ctx: &ServingContext) -> Result<()> {
-        let target = self.epoch_ms + cluster_ms;
+        let target = self.local_ms(cluster_ms);
         while self.harness.sim().now_ms() < target {
             self.launch_due(ctx)?;
             let events = self.harness.step()?;
@@ -195,11 +314,15 @@ impl Machine {
         Ok(())
     }
 
-    /// Launches every queued arrival whose time has come.
+    /// Launches queued arrivals whose time has come, while the
+    /// concurrency cap allows.
     fn launch_due(&mut self, ctx: &ServingContext) -> Result<()> {
         let now = self.harness.sim().now_ms();
-        while let Some(front) = self.queue.front() {
-            if front.launch_at_ms + self.epoch_ms > now {
+        while self.inflight.len() < self.max_inflight {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if self.local_ms(front.launch_at_ms) > now {
                 break;
             }
             let arrival = self.queue.pop_front().expect("front exists");
@@ -209,6 +332,9 @@ impl Machine {
                 .scaled(ctx.scale())
                 .map_err(litmus_core::CoreError::from)?;
             let id = self.harness.submit(profile)?;
+            self.queue_wait_sum_ms +=
+                (self.cluster_now_ms().saturating_sub(arrival.launch_at_ms)) as f64;
+            self.launched += 1;
             self.inflight.insert(
                 id,
                 InFlight {
@@ -232,7 +358,10 @@ impl Machine {
             self.predicted_slowdown = predicted;
             self.shard.fold(done.tenant, &invoice);
             self.completed += 1;
-            self.latency_sum_ms += at_ms - (done.arrived_cluster_ms + self.epoch_ms) as f64;
+            // Both times in cluster coordinates: local completion time
+            // shifted by the machine's epoch/birth offset.
+            let completed_cluster_ms = self.born_ms as f64 + (at_ms - self.epoch_ms as f64);
+            self.latency_sum_ms += completed_cluster_ms - done.arrived_cluster_ms as f64;
         }
         Ok(())
     }
@@ -240,11 +369,13 @@ impl Machine {
     /// The scheduler-visible state of the machine.
     pub fn snapshot(&self) -> MachineSnapshot {
         MachineSnapshot {
+            id: self.id,
             inflight: self.inflight.len(),
             queued: self.queue.len(),
             predicted_slowdown: self.predicted_slowdown,
             cores: self.cores,
             dispatched: self.dispatched,
+            draining: self.draining,
         }
     }
 
@@ -253,9 +384,14 @@ impl Machine {
         self.inflight.len() + self.queue.len()
     }
 
-    /// Invocations ever dispatched here.
+    /// Invocations dispatched here and not re-dispatched away.
     pub fn dispatched(&self) -> usize {
         self.dispatched
+    }
+
+    /// Invocations launched into execution here (≥ completed).
+    pub fn launched(&self) -> usize {
+        self.launched
     }
 
     /// Invocations completed and billed here.
@@ -266,6 +402,12 @@ impl Machine {
     /// Sum of completed invocations' arrival→completion latencies, ms.
     pub fn latency_sum_ms(&self) -> f64 {
         self.latency_sum_ms
+    }
+
+    /// Sum of launched invocations' arrival→launch waits, ms — the
+    /// queueing delay work stealing exists to shrink.
+    pub fn queue_wait_sum_ms(&self) -> f64 {
+        self.queue_wait_sum_ms
     }
 
     /// The machine's billing shard.

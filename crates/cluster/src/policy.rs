@@ -1,3 +1,5 @@
+use crate::machine::MachineId;
+
 /// What a placement policy may observe about one machine at dispatch
 /// time. All signals are provider-side and free: queue depths come from
 /// the scheduler's own bookkeeping, and the congestion estimate comes
@@ -6,6 +8,9 @@
 /// nothing extra).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineSnapshot {
+    /// The machine's stable id (positions shift as autoscaling adds
+    /// and retires machines; ids never do).
+    pub id: MachineId,
     /// Invocations currently executing on the machine.
     pub inflight: usize,
     /// Invocations dispatched to the machine but not yet launched.
@@ -18,6 +23,10 @@ pub struct MachineSnapshot {
     pub cores: usize,
     /// Total invocations ever dispatched to the machine.
     pub dispatched: usize,
+    /// Whether the machine is draining toward retirement (the driver
+    /// never offers draining machines to a policy, but the stealing
+    /// pass sees them as donors).
+    pub draining: bool,
 }
 
 impl MachineSnapshot {
@@ -156,11 +165,13 @@ mod tests {
 
     fn snapshot(inflight: usize, slowdown: f64) -> MachineSnapshot {
         MachineSnapshot {
+            id: MachineId(0),
             inflight,
             queued: 0,
             predicted_slowdown: slowdown,
             cores: 8,
             dispatched: 0,
+            draining: false,
         }
     }
 

@@ -1,0 +1,324 @@
+//! Probe-driven autoscaling.
+//!
+//! Paper §5.1's observation — Litmus congestion probes give the
+//! provider a free scheduling signal — also prices *capacity*: when the
+//! fleetwide forward-adjusted slowdown prediction crosses a high-water
+//! mark the fleet is too hot and a machine is booted; when it falls
+//! under a low-water mark an idle machine is drained (its background
+//! fillers stop being backfilled, the scheduler stops routing to it)
+//! and retired once empty. Retired machines' billing shards are folded
+//! into the cluster's retained aggregator first, so
+//! [`crate::BillingAggregator`] totals are conserved across any scaling
+//! history.
+
+use crate::error::ClusterError;
+use crate::machine::{MachineConfig, MachineId};
+use crate::{Cluster, Result};
+
+/// Configuration of the probe-driven autoscaler, enabled per replay
+/// via [`crate::ClusterDriver::autoscale`].
+///
+/// # Examples
+///
+/// ```
+/// use litmus_cluster::{AutoscalerConfig, MachineConfig};
+///
+/// let config = AutoscalerConfig::new(MachineConfig::new(8))
+///     .high_water(2.5)
+///     .low_water(1.2)
+///     .machine_bounds(2, 16)
+///     .cooldown_ms(400);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoscalerConfig {
+    /// Fleetwide mean forward-adjusted slowdown prediction above which
+    /// a machine is added.
+    pub high_water: f64,
+    /// Fleetwide mean forward-adjusted slowdown prediction below which
+    /// an idle machine starts draining.
+    pub low_water: f64,
+    /// Fewest serving (non-draining) machines the fleet may shrink to.
+    pub min_machines: usize,
+    /// Most serving (non-draining) machines the fleet may grow to.
+    pub max_machines: usize,
+    /// Quiet period between scale decisions, ms — scale-ups need the
+    /// new machine's probes to land before the signal is trusted again.
+    pub cooldown_ms: u64,
+    /// Template for scaled-up machines; each new machine gets a
+    /// distinct deterministic seed derived from the template's.
+    pub template: MachineConfig,
+}
+
+impl AutoscalerConfig {
+    /// A conservative default around `template`: grow above a mean
+    /// predicted slowdown of 2.5×, drain below 1.15×, 1–64 machines,
+    /// 500 ms between decisions.
+    pub fn new(template: MachineConfig) -> Self {
+        AutoscalerConfig {
+            high_water: 2.5,
+            low_water: 1.15,
+            min_machines: 1,
+            max_machines: 64,
+            cooldown_ms: 500,
+            template,
+        }
+    }
+
+    /// Sets the scale-up mark.
+    pub fn high_water(mut self, mark: f64) -> Self {
+        self.high_water = mark;
+        self
+    }
+
+    /// Sets the scale-down mark.
+    pub fn low_water(mut self, mark: f64) -> Self {
+        self.low_water = mark;
+        self
+    }
+
+    /// Sets the fleet-size bounds.
+    pub fn machine_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_machines = min;
+        self.max_machines = max;
+        self
+    }
+
+    /// Sets the decision cooldown, ms.
+    pub fn cooldown_ms(mut self, ms: u64) -> Self {
+        self.cooldown_ms = ms;
+        self
+    }
+
+    /// Checks the marks and bounds are coherent.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidAutoscale`] when the low-water mark is
+    /// not below the high-water mark, a mark is not finite and ≥ 1, or
+    /// the machine bounds are empty/inverted.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.high_water.is_finite() && self.low_water.is_finite()) {
+            return Err(ClusterError::InvalidAutoscale("water marks must be finite"));
+        }
+        if self.low_water < 1.0 || self.high_water <= self.low_water {
+            return Err(ClusterError::InvalidAutoscale(
+                "marks must satisfy 1 <= low_water < high_water",
+            ));
+        }
+        if self.min_machines == 0 || self.max_machines < self.min_machines {
+            return Err(ClusterError::InvalidAutoscale(
+                "machine bounds must satisfy 1 <= min <= max",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What a [`ScaleEvent`] recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// A machine was booted into the fleet.
+    Up,
+    /// An idle machine began draining (no new work, fillers wind down).
+    DrainStart,
+    /// A drained machine left the fleet; its billing shard was folded
+    /// into the cluster's retained aggregator.
+    Retire,
+}
+
+/// One autoscaling decision, as surfaced in
+/// [`crate::ClusterReport::scale_events`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleEvent {
+    /// Cluster time of the slice boundary the decision was taken at.
+    pub at_ms: u64,
+    /// The machine added, drained or retired.
+    pub machine: MachineId,
+    /// What happened.
+    pub kind: ScaleKind,
+    /// The fleetwide mean forward-adjusted slowdown prediction that
+    /// triggered the decision (0 for retirements, which trigger on
+    /// emptiness, not congestion).
+    pub signal: f64,
+}
+
+/// Birth-to-retirement record of one machine, as surfaced in
+/// [`crate::ClusterReport::machine_lifetimes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineLifetime {
+    /// The machine.
+    pub machine: MachineId,
+    /// Cluster time the machine joined the fleet, ms.
+    pub born_ms: u64,
+    /// Cluster time the machine was retired, ms (`None` while alive).
+    pub retired_ms: Option<u64>,
+    /// Invocations completed and billed on the machine over its life.
+    pub completed: usize,
+    /// Invocations dispatched to the machine (net of re-dispatches
+    /// away) over its life.
+    pub dispatched: usize,
+}
+
+impl MachineLifetime {
+    /// How long the machine served, ms (up to `now_ms` while alive).
+    pub fn lifetime_ms(&self, now_ms: u64) -> u64 {
+        self.retired_ms
+            .unwrap_or(now_ms)
+            .saturating_sub(self.born_ms)
+    }
+}
+
+/// Retires every drained machine in `cluster` and records one
+/// [`ScaleKind::Retire`] event per machine. Retirements trigger on
+/// emptiness, not congestion, so the event signal is 0.
+pub(crate) fn push_retirements(cluster: &mut Cluster, now_ms: u64, events: &mut Vec<ScaleEvent>) {
+    for id in cluster.retire_drained(now_ms) {
+        events.push(ScaleEvent {
+            at_ms: now_ms,
+            machine: id,
+            kind: ScaleKind::Retire,
+            signal: 0.0,
+        });
+    }
+}
+
+/// Probe-driven elastic capacity: grows the machine set when the
+/// fleetwide predicted slowdown crosses [`AutoscalerConfig::high_water`]
+/// and drains/retires idle machines under
+/// [`AutoscalerConfig::low_water`]. One instance lives per replay; all
+/// state (cooldown clock, seed counter) is deterministic.
+#[derive(Debug)]
+pub(crate) struct Autoscaler {
+    config: AutoscalerConfig,
+    last_decision_ms: Option<u64>,
+    spawned: u64,
+}
+
+impl Autoscaler {
+    pub(crate) fn new(config: AutoscalerConfig) -> Self {
+        Autoscaler {
+            config,
+            last_decision_ms: None,
+            spawned: 0,
+        }
+    }
+
+    fn cooled_down(&self, now_ms: u64) -> bool {
+        self.last_decision_ms
+            .map(|last| now_ms.saturating_sub(last) >= self.config.cooldown_ms)
+            .unwrap_or(true)
+    }
+
+    /// Runs one decision round at slice boundary `now_ms`: retires any
+    /// machine that finished draining, then — when cooled down —
+    /// compares the fleetwide signal against the water marks and boots
+    /// or drains at most one machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine boot failures on scale-up.
+    pub(crate) fn evaluate(
+        &mut self,
+        cluster: &mut Cluster,
+        now_ms: u64,
+        events: &mut Vec<ScaleEvent>,
+    ) -> Result<()> {
+        // Retirements are free (the machine is already empty): no
+        // cooldown gating.
+        push_retirements(cluster, now_ms, events);
+
+        let snaps = cluster.snapshots();
+        let serving: Vec<_> = snaps.iter().filter(|s| !s.draining).collect();
+        if serving.is_empty() || !self.cooled_down(now_ms) {
+            return Ok(());
+        }
+        let signal =
+            serving.iter().map(|s| s.congestion_score()).sum::<f64>() / serving.len() as f64;
+
+        // Both bounds count *serving* machines: a retiree mid-drain is
+        // winding down and must neither block a scale-up at the cap
+        // (capacity is needed exactly then) nor pad the scale-down
+        // floor.
+        if signal > self.config.high_water && serving.len() < self.config.max_machines {
+            let mut template = self.config.template.clone();
+            template.seed = template
+                .seed
+                .wrapping_add(0x5CA1E)
+                .wrapping_add(self.spawned);
+            self.spawned += 1;
+            let id = cluster.spawn_machine(&template, now_ms)?;
+            self.last_decision_ms = Some(now_ms);
+            events.push(ScaleEvent {
+                at_ms: now_ms,
+                machine: id,
+                kind: ScaleKind::Up,
+                signal,
+            });
+        } else if signal < self.config.low_water && serving.len() > self.config.min_machines {
+            // Only an *idle* machine may leave; prefer the youngest
+            // (highest id) so the stable core of the fleet persists.
+            let candidate = serving
+                .iter()
+                .filter(|s| s.inflight == 0 && s.queued == 0)
+                .max_by_key(|s| s.id)
+                .map(|s| s.id);
+            if let Some(id) = candidate {
+                cluster.begin_drain(id);
+                self.last_decision_ms = Some(now_ms);
+                events.push(ScaleEvent {
+                    at_ms: now_ms,
+                    machine: id,
+                    kind: ScaleKind::DrainStart,
+                    signal,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_bad_marks_and_bounds() {
+        let template = MachineConfig::new(4);
+        assert!(AutoscalerConfig::new(template.clone()).validate().is_ok());
+        assert!(AutoscalerConfig::new(template.clone())
+            .high_water(1.0)
+            .low_water(2.0)
+            .validate()
+            .is_err());
+        assert!(AutoscalerConfig::new(template.clone())
+            .low_water(0.5)
+            .validate()
+            .is_err());
+        assert!(AutoscalerConfig::new(template.clone())
+            .machine_bounds(0, 4)
+            .validate()
+            .is_err());
+        assert!(AutoscalerConfig::new(template)
+            .machine_bounds(8, 2)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn lifetimes_measure_to_now_or_retirement() {
+        let alive = MachineLifetime {
+            machine: MachineId(0),
+            born_ms: 100,
+            retired_ms: None,
+            completed: 0,
+            dispatched: 0,
+        };
+        assert_eq!(alive.lifetime_ms(600), 500);
+        let retired = MachineLifetime {
+            retired_ms: Some(400),
+            ..alive
+        };
+        assert_eq!(retired.lifetime_ms(600), 300);
+    }
+}

@@ -1,0 +1,165 @@
+//! Slice-boundary work stealing.
+//!
+//! Dispatch-time placement (even Litmus-aware placement) commits an
+//! invocation to a machine using the signals available *then*; a burst
+//! later in the same slice, a stale probe or a concurrency cap can
+//! leave deep queued backlogs on machines that looked calm at routing
+//! time. The stealing pass runs at every slice boundary and
+//! re-dispatches *queued-but-not-launched* invocations — never
+//! executing ones, so nothing is ever billed twice — from machines
+//! whose backlog exceeds a threshold to the machine with the best
+//! forward-adjusted probe prediction
+//! ([`MachineSnapshot::congestion_score`]).
+//!
+//! The pass is deterministic: donors are visited in machine order,
+//! receivers chosen by `(score, load, id)`, so replays remain exactly
+//! reproducible.
+
+use crate::machine::MachineId;
+use crate::policy::MachineSnapshot;
+use crate::Cluster;
+
+/// Configuration of the slice-boundary stealing pass.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_cluster::StealingConfig;
+///
+/// let config = StealingConfig::default().backlog_threshold(2);
+/// assert_eq!(config.backlog_threshold, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealingConfig {
+    /// Queued-but-not-launched invocations a machine may keep before
+    /// the excess becomes eligible for re-dispatch.
+    pub backlog_threshold: usize,
+    /// Upper bound on invocations moved per slice boundary, keeping
+    /// the pass O(budget) even under pathological skew.
+    pub max_moves_per_slice: usize,
+}
+
+impl Default for StealingConfig {
+    fn default() -> Self {
+        StealingConfig {
+            backlog_threshold: 4,
+            max_moves_per_slice: 256,
+        }
+    }
+}
+
+impl StealingConfig {
+    /// Sets the backlog threshold (minimum 1 — a threshold of 0 would
+    /// bounce every queued arrival around the fleet each slice).
+    pub fn backlog_threshold(mut self, threshold: usize) -> Self {
+        self.backlog_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the per-slice move budget (minimum 1).
+    pub fn max_moves_per_slice(mut self, budget: usize) -> Self {
+        self.max_moves_per_slice = budget.max(1);
+        self
+    }
+}
+
+/// One re-dispatch decision taken by the stealing pass, as surfaced in
+/// [`crate::ClusterReport::steal_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEvent {
+    /// Cluster time of the slice boundary the steal happened at, ms.
+    pub at_ms: u64,
+    /// Machine the backlog was shed from.
+    pub from: MachineId,
+    /// Machine the backlog was re-dispatched to.
+    pub to: MachineId,
+    /// Invocations moved.
+    pub moved: usize,
+}
+
+/// Receiver choice: the non-draining machine (other than `donor`) with
+/// the best forward-adjusted congestion score that still has queue room
+/// below the threshold. Returns `None` when nobody qualifies.
+fn best_receiver(
+    snaps: &[MachineSnapshot],
+    donor: usize,
+    threshold: usize,
+    donor_score: f64,
+    require_better: bool,
+) -> Option<usize> {
+    snaps
+        .iter()
+        .enumerate()
+        .filter(|(idx, snap)| {
+            *idx != donor
+                && !snap.draining
+                && snap.queued < threshold
+                && (!require_better || snap.congestion_score() < donor_score)
+        })
+        .min_by(|(_, a), (_, b)| {
+            (a.congestion_score(), a.load(), a.id)
+                .partial_cmp(&(b.congestion_score(), b.load(), b.id))
+                .expect("scores are finite")
+        })
+        .map(|(idx, _)| idx)
+}
+
+/// Runs one stealing pass over `cluster` at slice boundary `now_ms`,
+/// appending a [`StealEvent`] per transfer, and returns the number of
+/// invocations re-dispatched.
+pub(crate) fn steal_pass(
+    cluster: &mut Cluster,
+    config: &StealingConfig,
+    now_ms: u64,
+    events: &mut Vec<StealEvent>,
+) -> usize {
+    let mut snaps = cluster.snapshots();
+    if snaps.len() < 2 {
+        return 0;
+    }
+    let threshold = config.backlog_threshold.max(1);
+    let mut budget = config.max_moves_per_slice;
+    let mut moved_total = 0;
+
+    for donor in 0..snaps.len() {
+        if budget == 0 {
+            break;
+        }
+        // Draining machines shed their whole backlog; everyone else
+        // keeps `threshold` queued invocations.
+        let keep = if snaps[donor].draining { 0 } else { threshold };
+        let mut excess = snaps[donor].queued.saturating_sub(keep);
+        while excess > 0 && budget > 0 {
+            let donor_score = snaps[donor].congestion_score();
+            // A drain must empty even onto worse-scoring machines; a
+            // regular steal must strictly improve the prediction, or
+            // moving work just reshuffles the hot spot.
+            let require_better = !snaps[donor].draining;
+            let Some(receiver) =
+                best_receiver(&snaps, donor, threshold, donor_score, require_better)
+            else {
+                break;
+            };
+            let room = threshold - snaps[receiver].queued;
+            let take = excess.min(room).min(budget);
+            let shed = cluster.transfer_queued(donor, receiver, take);
+            if shed == 0 {
+                break;
+            }
+            snaps[donor].queued -= shed;
+            snaps[donor].dispatched -= shed;
+            snaps[receiver].queued += shed;
+            snaps[receiver].dispatched += shed;
+            events.push(StealEvent {
+                at_ms: now_ms,
+                from: snaps[donor].id,
+                to: snaps[receiver].id,
+                moved: shed,
+            });
+            excess -= shed;
+            budget -= shed;
+            moved_total += shed;
+        }
+    }
+    moved_total
+}

@@ -1,0 +1,292 @@
+//! Integration and property coverage for the elastic-capacity layer:
+//! slice-boundary work stealing and probe-driven autoscaling on the
+//! persistent worker pool.
+
+use litmus_cluster::{
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, LitmusAware,
+    MachineConfig, PlacementPolicy, RoundRobin, ScaleKind, StealingConfig,
+};
+use litmus_core::{DiscountModel, PricingTables, TableBuilder};
+use litmus_platform::{ArrivalPattern, InvocationTrace, TenantId, TenantTraffic};
+use litmus_sim::MachineSpec;
+use litmus_workloads::suite::{self, TenantClass};
+use proptest::prelude::*;
+
+fn calibration() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .unwrap();
+    let model = DiscountModel::fit(&tables).unwrap();
+    (tables, model)
+}
+
+/// A cluster skewed enough that dispatch-time placement strands work:
+/// half the machines carry heavy background load, and a tight
+/// concurrency cap makes backlogs queue instead of time-sharing.
+fn skewed_config(machines: usize, max_inflight: usize) -> ClusterConfig {
+    let configs: Vec<_> = (0..machines)
+        .map(|i| {
+            let background = if i < machines / 2 { 16 } else { 0 };
+            MachineConfig::new(8)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(60)
+                .max_inflight(max_inflight)
+                .seed(0xE1A5 + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), machines, 8)
+        .machines(configs)
+        .serving_scale(0.04)
+        .threads(4)
+        .slice_ms(20)
+}
+
+fn bursty_trace(duration_ms: u64, seed: u64) -> InvocationTrace {
+    InvocationTrace::multi_tenant(
+        vec![
+            TenantTraffic {
+                tenant: TenantId(0),
+                pool: suite::tenant_pool(TenantClass::Interactive),
+                pattern: ArrivalPattern::Steady { rate_per_s: 30.0 },
+            },
+            TenantTraffic {
+                tenant: TenantId(1),
+                pool: suite::tenant_pool(TenantClass::Analytics),
+                pattern: ArrivalPattern::Bursty {
+                    base_rate_per_s: 5.0,
+                    burst_rate_per_s: 220.0,
+                    period_ms: 1_000,
+                    burst_ms: 250,
+                },
+            },
+        ],
+        duration_ms,
+        seed,
+    )
+    .unwrap()
+}
+
+fn replay<P: PlacementPolicy>(
+    driver: ClusterDriver<P>,
+    config: ClusterConfig,
+    trace: &InvocationTrace,
+) -> (ClusterReport, Cluster) {
+    let (tables, model) = calibration();
+    let mut cluster = Cluster::build(config, tables, model).unwrap();
+    let mut driver = driver;
+    let report = driver.replay(&mut cluster, trace).unwrap();
+    (report, cluster)
+}
+
+/// Checks the no-drop/no-double-bill invariants of one replay report
+/// against its trace.
+fn assert_conserved(report: &ClusterReport, trace: &InvocationTrace) {
+    assert_eq!(report.unfinished, 0, "drain window must suffice");
+    assert_eq!(report.completed, trace.len(), "an invocation was dropped");
+    assert_eq!(
+        report.billing.total().len(),
+        trace.len(),
+        "billed invoices must match arrivals exactly (no double billing)"
+    );
+    assert_eq!(
+        report.dispatch_counts.iter().sum::<usize>(),
+        trace.len(),
+        "net dispatch counts must conserve arrivals across re-dispatches"
+    );
+    for tenant in trace.tenants() {
+        let expected = trace.events().iter().filter(|e| e.tenant == tenant).count();
+        let summary = report.billing.tenant(tenant).unwrap();
+        assert_eq!(summary.len(), expected, "{tenant}");
+        assert!(summary.litmus_revenue() <= summary.commercial_revenue() * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn stealing_reduces_queue_wait_on_a_skewed_cluster() {
+    // Round-robin keeps feeding the hot half of the cluster, so the
+    // tight concurrency cap strands arrivals in hot queues; stealing
+    // re-dispatches them to the machines whose probes read calm.
+    let trace = bursty_trace(2_500, 91);
+    assert!(trace.len() > 120, "trace too small: {}", trace.len());
+
+    let (plain, _) = replay(
+        ClusterDriver::new(RoundRobin::new()),
+        skewed_config(4, 3),
+        &trace,
+    );
+    let (stolen, _) = replay(
+        ClusterDriver::new(RoundRobin::new())
+            .stealing(StealingConfig::default().backlog_threshold(2)),
+        skewed_config(4, 3),
+        &trace,
+    );
+
+    assert_conserved(&plain, &trace);
+    assert_conserved(&stolen, &trace);
+    assert!(stolen.redispatched > 0, "no work was ever re-dispatched");
+    assert_eq!(
+        stolen.redispatched,
+        stolen.steal_events.iter().map(|e| e.moved).sum::<usize>()
+    );
+    assert!(
+        stolen.mean_queue_wait_ms < plain.mean_queue_wait_ms,
+        "stealing must strictly reduce mean queued latency: {} vs {}",
+        stolen.mean_queue_wait_ms,
+        plain.mean_queue_wait_ms
+    );
+    assert!(
+        stolen.mean_latency_ms < plain.mean_latency_ms,
+        "stealing must reduce end-to-end latency: {} vs {}",
+        stolen.mean_latency_ms,
+        plain.mean_latency_ms
+    );
+}
+
+#[test]
+fn stealing_is_deterministic_across_thread_counts_and_modes() {
+    let trace = bursty_trace(1_500, 7);
+    let driver = || {
+        ClusterDriver::new(RoundRobin::new())
+            .stealing(StealingConfig::default().backlog_threshold(2))
+    };
+    let (a, _) = replay(driver(), skewed_config(4, 6).threads(1), &trace);
+    let (b, _) = replay(driver(), skewed_config(4, 6).threads(4), &trace);
+    let (c, _) = replay(
+        driver(),
+        skewed_config(4, 6)
+            .threads(4)
+            .stepping(litmus_cluster::SteppingMode::Scoped),
+        &trace,
+    );
+    assert_eq!(a.placements, b.placements);
+    assert_eq!(a.steal_events, b.steal_events);
+    assert_eq!(a.billing, b.billing);
+    assert_eq!(a.mean_queue_wait_ms, b.mean_queue_wait_ms);
+    assert_eq!(a.placements, c.placements);
+    assert_eq!(a.steal_events, c.steal_events);
+    assert_eq!(a.billing, c.billing);
+}
+
+#[test]
+fn autoscaler_grows_under_load_and_retires_idle_machines() {
+    // One sharp burst up front, then a trickle: the fleet must grow
+    // through the burst and shrink back through the tail.
+    let trace = InvocationTrace::multi_tenant(
+        vec![
+            TenantTraffic {
+                tenant: TenantId(0),
+                pool: suite::tenant_pool(TenantClass::Interactive),
+                pattern: ArrivalPattern::Bursty {
+                    base_rate_per_s: 3.0,
+                    burst_rate_per_s: 500.0,
+                    period_ms: 8_000,
+                    burst_ms: 1_200,
+                },
+            },
+            TenantTraffic {
+                tenant: TenantId(1),
+                pool: suite::tenant_pool(TenantClass::Batch),
+                pattern: ArrivalPattern::Steady { rate_per_s: 4.0 },
+            },
+        ],
+        8_000,
+        13,
+    )
+    .unwrap();
+
+    let template = MachineConfig::new(8)
+        .warmup_ms(60)
+        .max_inflight(12)
+        .seed(0xA5CA1E);
+    let machines: Vec<_> = (0..2)
+        .map(|i| {
+            MachineConfig::new(8)
+                .warmup_ms(60)
+                .max_inflight(12)
+                .seed(0xBA5E + i as u64)
+        })
+        .collect();
+    let config = ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 2, 8)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(4)
+        .slice_ms(20);
+    let scaler = AutoscalerConfig::new(template)
+        .high_water(2.0)
+        .low_water(1.6)
+        .machine_bounds(2, 12)
+        .cooldown_ms(200);
+
+    let (report, cluster) = replay(
+        ClusterDriver::new(LitmusAware::new())
+            .stealing(StealingConfig::default())
+            .autoscale(scaler),
+        config,
+        &trace,
+    );
+
+    assert_conserved(&report, &trace);
+    let ups = report
+        .scale_events
+        .iter()
+        .filter(|e| e.kind == ScaleKind::Up)
+        .count();
+    let retires = report
+        .scale_events
+        .iter()
+        .filter(|e| e.kind == ScaleKind::Retire)
+        .count();
+    assert!(ups > 0, "burst never triggered a scale-up");
+    assert!(retires > 0, "tail never retired a machine");
+    assert!(report.peak_machines > 2, "fleet never grew past its floor");
+    assert_eq!(report.machine_lifetimes.len(), cluster.machines_ever());
+    assert_eq!(report.dispatch_counts.len(), cluster.machines_ever());
+    // Scaled-up machines were born mid-replay and the retired ones
+    // record a coherent lifetime.
+    assert!(report
+        .machine_lifetimes
+        .iter()
+        .any(|l| l.born_ms > 0 && l.dispatched > 0));
+    for lifetime in &report.machine_lifetimes {
+        if let Some(retired_ms) = lifetime.retired_ms {
+            assert!(retired_ms >= lifetime.born_ms);
+        }
+    }
+    assert_eq!(cluster.retired_count(), retires);
+    // Retired machines' revenue is retained: cluster-lifetime billing
+    // equals the report's.
+    assert_eq!(cluster.billing(), report.billing);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Re-dispatch never double-bills or drops an invocation: for any
+    /// seed, backlog threshold and concurrency cap, every arrival is
+    /// billed exactly once and net dispatch counts are conserved.
+    #[test]
+    fn redispatch_conserves_billing(
+        seed in 0u64..1_000,
+        threshold in 1usize..6,
+        cap in 2usize..10,
+    ) {
+        let trace = bursty_trace(900, seed);
+        let (report, _) = replay(
+            ClusterDriver::new(RoundRobin::new())
+                .stealing(StealingConfig::default().backlog_threshold(threshold)),
+            skewed_config(3, cap),
+            &trace,
+        );
+        prop_assert_eq!(report.unfinished, 0);
+        prop_assert_eq!(report.completed, trace.len());
+        prop_assert_eq!(report.billing.total().len(), trace.len());
+        prop_assert_eq!(report.dispatch_counts.iter().sum::<usize>(), trace.len());
+        for tenant in trace.tenants() {
+            let expected = trace.events().iter().filter(|e| e.tenant == tenant).count();
+            prop_assert_eq!(report.billing.tenant(tenant).unwrap().len(), expected);
+        }
+    }
+}

@@ -267,6 +267,17 @@ fn replays_are_deterministic_per_policy_and_thread_count() {
     assert_eq!(a.placements, b.placements);
     assert_eq!(a.billing, b.billing);
     assert_eq!(a.mean_predicted_slowdown, b.mean_predicted_slowdown);
+
+    // The persistent worker pool and the legacy scoped-thread stepping
+    // are bit-identical too.
+    let c = replay(
+        LitmusAware::new(),
+        skewed_config(4, 4).stepping(litmus_cluster::SteppingMode::Scoped),
+        &trace,
+    );
+    assert_eq!(a.placements, c.placements);
+    assert_eq!(a.billing, c.billing);
+    assert_eq!(a.mean_latency_ms, c.mean_latency_ms);
 }
 
 #[test]

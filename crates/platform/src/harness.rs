@@ -138,6 +138,7 @@ pub struct CoRunHarness {
     pool: BackfillPool,
     test_placement: Placement,
     env: CoRunEnv,
+    draining: bool,
 }
 
 impl CoRunHarness {
@@ -179,7 +180,21 @@ impl CoRunHarness {
             pool,
             test_placement,
             env: config.env,
+            draining: false,
         })
+    }
+
+    /// Puts the machine into drain: co-runners already executing finish
+    /// but are no longer replaced, so the machine winds down to idle.
+    /// Used when a cluster retires a machine. Draining is one-way — a
+    /// retired machine is dropped, not reused.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether the machine is draining (backfill stopped).
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     /// The co-run environment.
@@ -236,7 +251,9 @@ impl CoRunHarness {
     /// Propagates backfill launch failures.
     pub fn step(&mut self) -> Result<Vec<Event>> {
         let events = self.sim.step();
-        self.pool.backfill(&mut self.sim, &events)?;
+        if !self.draining {
+            self.pool.backfill(&mut self.sim, &events)?;
+        }
         Ok(events)
     }
 
@@ -341,6 +358,32 @@ mod tests {
             report.wall_ms()
         );
         assert!(report.counters.context_switches > 0.0);
+    }
+
+    #[test]
+    fn draining_stops_backfill_and_winds_down() {
+        let config = fast_config(CoRunEnv::Shared {
+            co_runners: 6,
+            cores: 4,
+        });
+        let mut harness = CoRunHarness::start(config).unwrap();
+        assert!(!harness.is_draining());
+        assert_eq!(harness.sim().active_instances(), 6);
+        harness.drain();
+        assert!(harness.is_draining());
+        // With backfill stopped, the filler population must strictly
+        // shrink as co-runners complete, and never recover.
+        let mut low_water = harness.sim().active_instances();
+        for _ in 0..5_000 {
+            let _ = harness.step().unwrap();
+            let active = harness.sim().active_instances();
+            assert!(active <= low_water, "backfill ran while draining");
+            low_water = active;
+            if active == 0 {
+                break;
+            }
+        }
+        assert_eq!(low_water, 0, "fillers never wound down");
     }
 
     #[test]

@@ -42,7 +42,6 @@
 mod admission;
 mod error;
 mod experiment;
-mod fleet;
 mod harness;
 mod monitor;
 mod trace;
@@ -50,8 +49,6 @@ mod trace;
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use error::PlatformError;
 pub use experiment::{ExperimentResults, PricingExperiment};
-#[allow(deprecated)]
-pub use fleet::Fleet;
 pub use harness::{CoRunEnv, CoRunHarness, HarnessConfig};
 pub use monitor::{CongestionMonitor, CongestionSample};
 pub use trace::{

@@ -9,7 +9,10 @@
 //! collects for pricing (paper §5.1) — steers traffic off the hot
 //! machines, cutting both the presumed slowdown and the latency tenants
 //! experience, while sharded per-tenant billing streams in constant
-//! space.
+//! space. A final *elastic* run adds slice-boundary work stealing and
+//! probe-driven autoscaling: the fleet starts at half size, grows
+//! through the bursts on the same free probe signal, and drains back
+//! down — with every re-dispatch and scale event in the report.
 //!
 //! Run with: `cargo run --release --example cluster_serving`
 
@@ -82,10 +85,26 @@ fn run_policy<P: PlacementPolicy>(
     tables: &PricingTables,
     model: &DiscountModel,
     trace: &InvocationTrace,
-) -> Result<litmus::cluster::ClusterOutcome, Box<dyn std::error::Error>> {
-    let mut cluster = Cluster::build(cluster_config(), tables.clone(), model.clone())?;
+) -> Result<ClusterReport, Box<dyn std::error::Error>> {
+    run_driver(
+        ClusterDriver::new(policy),
+        cluster_config(),
+        tables,
+        model,
+        trace,
+    )
+}
+
+fn run_driver<P: PlacementPolicy>(
+    mut driver: ClusterDriver<P>,
+    config: ClusterConfig,
+    tables: &PricingTables,
+    model: &DiscountModel,
+    trace: &InvocationTrace,
+) -> Result<ClusterReport, Box<dyn std::error::Error>> {
+    let mut cluster = Cluster::build(config, tables.clone(), model.clone())?;
     let started = std::time::Instant::now();
-    let outcome = ClusterDriver::new(policy).replay(&mut cluster, trace)?;
+    let outcome = driver.replay(&mut cluster, trace)?;
     let wall = started.elapsed();
     println!(
         "\n── {} ──────────────────────────────────────────────",
@@ -103,6 +122,43 @@ fn run_policy<P: PlacementPolicy>(
         outcome.mean_predicted_slowdown, outcome.mean_latency_ms
     );
     println!("  dispatches per machine {:?}", outcome.dispatch_counts);
+    if outcome.redispatched > 0 {
+        println!(
+            "  work stealing re-dispatched {} invocations in {} transfers",
+            outcome.redispatched,
+            outcome.steal_events.len()
+        );
+    }
+    if !outcome.scale_events.is_empty() {
+        let count = |kind| {
+            outcome
+                .scale_events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .count()
+        };
+        println!(
+            "  autoscaler: {} scale-ups, {} drains, {} retirements (peak {} machines)",
+            count(ScaleKind::Up),
+            count(ScaleKind::DrainStart),
+            count(ScaleKind::Retire),
+            outcome.peak_machines,
+        );
+        for lifetime in &outcome.machine_lifetimes {
+            if lifetime.born_ms > 0 {
+                println!(
+                    "    {} born at {:>6} ms, {} served {:>4}",
+                    lifetime.machine,
+                    lifetime.born_ms,
+                    match lifetime.retired_ms {
+                        Some(at) => format!("retired {at:>6} ms,"),
+                        None => "alive at end,      ".to_owned(),
+                    },
+                    lifetime.completed,
+                );
+            }
+        }
+    }
     println!("  per-tenant invoices:");
     for (tenant, summary) in outcome.billing.tenants() {
         println!(
@@ -116,6 +172,27 @@ fn run_policy<P: PlacementPolicy>(
         );
     }
     Ok(outcome)
+}
+
+/// The elastic fleet starts at half size; the probe signal grows it.
+/// A tighter concurrency cap makes queueing (and therefore stealing)
+/// visible under the bursts.
+fn elastic_config() -> ClusterConfig {
+    let machines: Vec<_> = (0..MACHINES / 2)
+        .map(|i| {
+            let background = if i < MACHINES / 4 { 20 } else { 0 };
+            MachineConfig::new(CORES_PER_MACHINE)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(80)
+                .max_inflight(16)
+                .seed(0xFEED + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), MACHINES / 2, CORES_PER_MACHINE)
+        .machines(machines)
+        .serving_scale(0.05)
+        .slice_ms(20)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -142,20 +219,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ll = run_policy(LeastLoaded::new(), &tables, &model, &trace)?;
     let la = run_policy(LitmusAware::new(), &tables, &model, &trace)?;
 
+    println!(
+        "\nelastic serving: start at {} machines, steal backlog at slice \
+         boundaries, scale on the fleetwide probe signal…",
+        MACHINES / 2
+    );
+    let template = MachineConfig::new(CORES_PER_MACHINE)
+        .warmup_ms(80)
+        .max_inflight(16)
+        .seed(0xE1A571C);
+    let elastic = run_driver(
+        ClusterDriver::new(LitmusAware::new())
+            .stealing(StealingConfig::default().backlog_threshold(3))
+            .autoscale(
+                AutoscalerConfig::new(template)
+                    .high_water(2.2)
+                    .low_water(1.4)
+                    .machine_bounds(MACHINES / 2, MACHINES + 4)
+                    .cooldown_ms(400),
+            ),
+        elastic_config(),
+        &tables,
+        &model,
+        &trace,
+    )?;
+
     println!("\n── summary ─────────────────────────────────────────────");
-    for outcome in [&rr, &ll, &la] {
+    for (label, outcome) in [
+        ("round-robin", &rr),
+        ("least-loaded", &ll),
+        ("litmus-aware", &la),
+        ("elastic", &elastic),
+    ] {
         println!(
             "  {:>12}: predicted slowdown {:.4}, latency {:>6.1} ms, \
-             tenant compensation {:>12.0}",
-            outcome.policy,
+             tenant compensation {:>12.0}, peak machines {}",
+            label,
             outcome.mean_predicted_slowdown,
             outcome.mean_latency_ms,
             outcome.billing.total().total_compensation(),
+            outcome.peak_machines,
         );
     }
     assert!(
         la.mean_predicted_slowdown < rr.mean_predicted_slowdown,
         "litmus-aware placement must beat round-robin on a skewed cluster"
+    );
+    assert_eq!(
+        elastic.completed,
+        trace.len(),
+        "the elastic fleet must finish the whole trace"
+    );
+    assert!(
+        elastic.scale_events.iter().any(|e| e.kind == ScaleKind::Up),
+        "the bursts must push the fleet past its starting size"
     );
     println!(
         "\nlitmus-aware routing cut the mean presumed slowdown by {:.1}% \

@@ -63,8 +63,9 @@ pub use litmus_workloads as workloads;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use litmus_cluster::{
-        BillingAggregator, Cluster, ClusterConfig, ClusterDriver, LeastLoaded, LitmusAware,
-        MachineConfig, PlacementPolicy, RoundRobin,
+        AutoscalerConfig, BillingAggregator, Cluster, ClusterConfig, ClusterDriver, ClusterReport,
+        LeastLoaded, LitmusAware, MachineConfig, MachineId, PlacementPolicy, RoundRobin,
+        ScaleEvent, ScaleKind, StealEvent, StealingConfig, SteppingMode,
     };
     pub use litmus_core::{
         BillingLedger, BillingSummary, CommercialPricing, CongestionIndex, DiscountModel,

@@ -1,12 +1,8 @@
 //! Integration coverage for the scheduling/metering extensions through
-//! the facade crate: monitoring, admission, fleet dispatch and trace
+//! the facade crate: monitoring, admission, cluster dispatch and trace
 //! replay all composing on the same tables and model.
 
-// `Fleet` is deprecated in favour of `litmus::cluster`, but its
-// delegating behaviour stays covered until it is removed.
-#![allow(deprecated)]
-
-use litmus::platform::{Fleet, InvocationTrace, TraceDriver};
+use litmus::platform::{InvocationTrace, TraceDriver};
 use litmus::prelude::*;
 use litmus::workloads::Language;
 
@@ -21,7 +17,7 @@ fn setup() -> (PricingTables, DiscountModel) {
 }
 
 #[test]
-fn monitor_admission_and_fleet_share_one_calibration() {
+fn monitor_admission_and_cluster_share_one_calibration() {
     let (tables, model) = setup();
 
     // Monitor: a Fig. 7 series on a moderately busy machine.
@@ -51,27 +47,34 @@ fn monitor_admission_and_fleet_share_one_calibration() {
     let decision = controller.try_admit(&mut harness, profile).unwrap();
     assert!(decision.is_admitted(), "level {}", decision.level());
 
-    // Fleet: two machines, probe-balanced dispatch works end to end.
-    let monitor3 = CongestionMonitor::new(&tables, model, Language::Python).unwrap();
-    let configs = vec![
-        HarnessConfig::new(MachineSpec::cascade_lake())
-            .env(CoRunEnv::OnePerCore { co_runners: 20 })
-            .mix_scale(0.04)
-            .warmup_ms(60),
-        HarnessConfig::new(MachineSpec::cascade_lake())
-            .env(CoRunEnv::OnePerCore { co_runners: 2 })
-            .mix_scale(0.04)
-            .warmup_ms(60),
+    // Cluster: two machines (one hot, one cool), probe-balanced
+    // dispatch works end to end — what the retired `Fleet` did, now
+    // through `litmus::cluster`.
+    let machines = vec![
+        MachineConfig::new(8)
+            .background(20)
+            .background_scale(0.04)
+            .warmup_ms(60)
+            .seed(0xF1EE7),
+        MachineConfig::new(8)
+            .background(2)
+            .background_scale(0.04)
+            .warmup_ms(60)
+            .seed(0xF1EE8),
     ];
-    let mut fleet = Fleet::start(configs, monitor3).unwrap();
-    let profile = suite::by_name("fib-go")
-        .unwrap()
-        .profile()
-        .scaled(0.04)
+    let config = ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 2, 8)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(2);
+    let trace = InvocationTrace::poisson(suite::benchmarks(), 80.0, 1_000, 3).unwrap();
+    let mut cluster = Cluster::build(config, tables, model).unwrap();
+    let report = ClusterDriver::new(LitmusAware::new())
+        .replay(&mut cluster, &trace)
         .unwrap();
-    let (_, report) = fleet.dispatch(profile).unwrap();
-    assert_eq!(report.name, "fib-go");
-    assert_eq!(fleet.dispatch_counts().iter().sum::<usize>(), 1);
+    assert_eq!(report.completed, trace.len());
+    assert_eq!(report.dispatch_counts.iter().sum::<usize>(), trace.len());
+    // Probe-driven routing favours the cool machine.
+    assert!(report.dispatch_counts[0] < report.dispatch_counts[1]);
 }
 
 #[test]

@@ -11,6 +11,12 @@
 //! auto-calibrated to a target measurement time, then reports the mean,
 //! minimum and maximum per-iteration wall time. There are no HTML
 //! reports, baselines or outlier analysis.
+//!
+//! Like upstream criterion, passing `--test` on the bench binary's
+//! command line (`cargo bench -- --test`) — or setting the
+//! `CRITERION_SMOKE` environment variable — switches to a smoke
+//! profile: every benchmark body runs exactly once, so CI can prove
+//! benches still build and run without paying for measurements.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +29,12 @@ const TARGET_MEASUREMENT: Duration = Duration::from_millis(300);
 /// Iteration count ceiling, so trivially cheap bodies still terminate
 /// calibration quickly.
 const MAX_ITERS: u64 = 1_000_000;
+
+/// Whether the smoke profile is active: run each body once, skip
+/// calibration. Mirrors upstream's `cargo bench -- --test` behaviour.
+fn smoke_profile() -> bool {
+    std::env::args().any(|arg| arg == "--test") || std::env::var_os("CRITERION_SMOKE").is_some()
+}
 
 /// Identifier for one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -67,12 +79,23 @@ struct Sample {
 }
 
 impl Bencher {
-    /// Times `body`, auto-calibrating the iteration count.
+    /// Times `body`, auto-calibrating the iteration count (or running
+    /// it exactly once under the smoke profile).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
-        // Warm-up + calibration run.
+        // Warm-up + calibration run (the whole measurement in smoke
+        // mode).
         let start = Instant::now();
         black_box(body());
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if smoke_profile() {
+            self.result = Some(Sample {
+                mean: once,
+                min: once,
+                max: once,
+                iters: 1,
+            });
+            return;
+        }
         let iters =
             (TARGET_MEASUREMENT.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
 

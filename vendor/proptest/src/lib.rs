@@ -7,7 +7,7 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * [`strategy::Strategy`] implemented for primitive ranges, tuples of
-//!   strategies, [`strategy::Just`] and [`Strategy::prop_map`];
+//!   strategies, [`strategy::Just`] and [`strategy::Strategy::prop_map`];
 //! * `prop::collection::vec`.
 //!
 //! Differences from upstream: inputs are drawn from a per-test
