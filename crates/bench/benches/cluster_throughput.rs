@@ -193,6 +193,42 @@ fn bench_machine_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replay of the real-shape Azure fixture trace (compressed minutes)
+/// under litmus-aware placement: the end-to-end cost of serving a
+/// real-world arrival process, streamed vs materialized — the streams
+/// are bit-identical, so any gap is pure expansion overhead.
+fn bench_azure_replay(c: &mut Criterion) {
+    let (tables, model) = calibration();
+    let dataset = litmus_trace::fixture::dataset();
+    let expand = litmus_trace::ExpandConfig::new(77).minute_ms(150);
+    let trace = dataset.expand(expand).expect("fixture expands");
+    let mut group = c.benchmark_group("cluster_azure_replay");
+    group.sample_size(10);
+    group.bench_function("materialized_4machines", |b| {
+        b.iter(|| {
+            black_box(replay_driver(
+                ClusterDriver::new(LitmusAware::new()),
+                config(4),
+                &tables,
+                &model,
+                &trace,
+            ))
+        })
+    });
+    group.bench_function("streaming_4machines", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::build(config(4), tables.clone(), model.clone()).expect("cluster boots");
+            let source = dataset.source(expand).expect("fixture streams");
+            let report = ClusterDriver::new(LitmusAware::new())
+                .replay_source(&mut cluster, source)
+                .expect("replay succeeds");
+            black_box(report.completed)
+        })
+    });
+    group.finish();
+}
+
 /// Policy overhead comparison at a fixed cluster size.
 fn bench_policies(c: &mut Criterion) {
     let (tables, model) = calibration();
@@ -218,5 +254,6 @@ criterion_group!(
     bench_machine_scaling,
     bench_policies,
     bench_elasticity_variants,
+    bench_azure_replay,
 );
 criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Trace-ingestion throughput: parsing the Azure fixture CSVs,
+//! expanding minute buckets into events (streamed vs materialized),
+//! applying the transform pipeline, and one-pass characterization.
+//!
+//! Expansion is the number that matters at scale — a day of the full
+//! dataset is hundreds of millions of invocations, so events/second
+//! through `AzureReplaySource` bounds how fast any replay can start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use litmus_platform::TraceSource;
+use litmus_trace::{fixture, ExpandConfig, IntraMinute, TraceStats, TraceTransform};
+
+fn config() -> ExpandConfig {
+    ExpandConfig::new(31).minute_ms(60_000)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_parse");
+    group.bench_function("fixture_three_csvs", |b| {
+        b.iter(|| black_box(fixture::dataset()))
+    });
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let dataset = fixture::dataset();
+    let mut group = c.benchmark_group("trace_expand");
+    group.bench_function("materialize_fixture", |b| {
+        b.iter(|| black_box(dataset.expand(config()).unwrap()))
+    });
+    group.bench_function("stream_fixture", |b| {
+        b.iter(|| {
+            let mut source = dataset.source(config()).unwrap();
+            let mut events = 0usize;
+            while let Some(event) = source.next_event() {
+                black_box(&event);
+                events += 1;
+            }
+            black_box(events)
+        })
+    });
+    group.bench_function("stream_fixture_even_placement", |b| {
+        b.iter(|| {
+            let mut source = dataset
+                .source(config().placement(IntraMinute::Even))
+                .unwrap();
+            let mut events = 0usize;
+            while source.next_event().is_some() {
+                events += 1;
+            }
+            black_box(events)
+        })
+    });
+    group.finish();
+}
+
+fn bench_transform_and_stats(c: &mut Criterion) {
+    let dataset = fixture::dataset();
+    let trace = dataset.expand(config()).unwrap();
+    let mut group = c.benchmark_group("trace_shape");
+    group.bench_function("transform_pipeline", |b| {
+        b.iter(|| {
+            black_box(
+                litmus_trace::apply(
+                    &trace,
+                    &[
+                        TraceTransform::Window {
+                            start_ms: 60_000,
+                            end_ms: 840_000,
+                        },
+                        TraceTransform::ScaleRate {
+                            keep_fraction: 0.5,
+                            seed: 3,
+                        },
+                        TraceTransform::Compress { divisor: 100 },
+                    ],
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("characterize", |b| {
+        b.iter(|| black_box(TraceStats::from_trace(&trace, 60_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_expand,
+    bench_transform_and_stats
+);
+criterion_main!(benches);

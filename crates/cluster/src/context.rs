@@ -58,30 +58,50 @@ impl ServingContext {
     /// `trace` by running each alone on an idle `spec` machine — the
     /// offline profiling pass a provider would do once per deployment.
     ///
+    /// Streaming replays don't pre-scan a materialized trace; they call
+    /// [`ServingContext::warm_function`] lazily instead. Both paths
+    /// produce identical oracles: each solo run happens on its own
+    /// fresh simulator, so warming order cannot matter.
+    ///
     /// # Errors
     ///
     /// Propagates solo-run failures.
     pub fn warm(&mut self, spec: &MachineSpec, trace: &InvocationTrace) -> Result<()> {
         for event in trace.events() {
-            let name = event.function.name();
-            if self.solo.contains_key(name) {
-                continue;
-            }
-            let mut sim = Simulator::new(spec.clone());
-            let profile = event
-                .function
-                .profile()
-                .scaled(self.scale)
-                .map_err(litmus_core::CoreError::from)?;
-            let id = sim
-                .launch(profile, Placement::pinned(0))
-                .map_err(litmus_core::CoreError::from)?;
-            let counters = sim
-                .run_to_completion(id)
-                .map_err(litmus_core::CoreError::from)?
-                .counters;
-            self.solo.insert(name, counters);
+            self.warm_function(spec, &event.function)?;
         }
+        Ok(())
+    }
+
+    /// Whether `function`'s solo oracle is already cached.
+    pub fn is_warmed(&self, function: &Benchmark) -> bool {
+        self.solo.contains_key(function.name())
+    }
+
+    /// Runs `function` alone on an idle `spec` machine and caches its
+    /// solo counters (no-op when already cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solo-run failures.
+    pub fn warm_function(&mut self, spec: &MachineSpec, function: &Benchmark) -> Result<()> {
+        let name = function.name();
+        if self.solo.contains_key(name) {
+            return Ok(());
+        }
+        let mut sim = Simulator::new(spec.clone());
+        let profile = function
+            .profile()
+            .scaled(self.scale)
+            .map_err(litmus_core::CoreError::from)?;
+        let id = sim
+            .launch(profile, Placement::pinned(0))
+            .map_err(litmus_core::CoreError::from)?;
+        let counters = sim
+            .run_to_completion(id)
+            .map_err(litmus_core::CoreError::from)?
+            .counters;
+        self.solo.insert(name, counters);
         Ok(())
     }
 

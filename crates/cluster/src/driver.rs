@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use litmus_core::{DiscountModel, PricingTables};
-use litmus_platform::InvocationTrace;
+use litmus_platform::{ChunkedSource, InvocationTrace, TraceEvent, TraceSource};
 use litmus_sim::MachineSpec;
 use litmus_workloads::Language;
 
@@ -434,6 +434,10 @@ pub struct ClusterReport {
 }
 
 /// Former name of [`ClusterReport`].
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `ClusterReport`; the alias will be removed in the release after next — update imports"
+)]
 pub type ClusterOutcome = ClusterReport;
 
 impl ClusterReport {
@@ -557,8 +561,10 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         (position, snap.id, snap.predicted_slowdown)
     }
 
-    /// Replays `trace` and returns the cluster-wide report. The solo
-    /// oracle cache is warmed for the trace's functions first.
+    /// Replays a materialized `trace`; equivalent to
+    /// [`ClusterDriver::replay_source`] on [`InvocationTrace::source`]
+    /// (and bit-identical to it — same placements, billing and latency
+    /// stats for the same trace, cluster config and policy).
     ///
     /// Billing shards live on the machines and accumulate for the
     /// lifetime of the cluster (an accounting period), so
@@ -583,11 +589,37 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         cluster: &mut Cluster,
         trace: &InvocationTrace,
     ) -> Result<ClusterReport> {
+        self.replay_source(cluster, trace.source())
+    }
+
+    /// Replays a streaming [`TraceSource`]: per time-slice, the driver
+    /// pulls the slice's chunk of events from the source, routes each
+    /// one, then lets the autoscaler/stealing pass rebalance and steps
+    /// the machines — the trace itself is never materialized; event
+    /// buffering stays proportional to one slice's arrivals plus the
+    /// work in flight. (The returned [`ClusterReport`] still carries
+    /// one [`MachineId`] per event in
+    /// [`ClusterReport::placements`], so the *report* grows with the
+    /// trace; billing does not — shards aggregate in constant space.)
+    /// Solo oracles are warmed lazily as functions first appear in the
+    /// stream (warming order cannot affect results: each oracle runs
+    /// on its own idle simulator).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InvalidAutoscale`] for incoherent autoscaler
+    ///   water marks or machine bounds;
+    /// * propagated warm-up, boot, stepping and pricing failures.
+    pub fn replay_source<S: TraceSource>(
+        &mut self,
+        cluster: &mut Cluster,
+        source: S,
+    ) -> Result<ClusterReport> {
         if let Some(config) = &self.autoscale {
             config.validate()?;
         }
         let spec = cluster.spec.clone();
-        Arc::make_mut(&mut cluster.ctx).warm(&spec, trace)?;
+        let mut source = ChunkedSource::new(source);
 
         // Machines carry lifetime counters (they also back the billing
         // shards); snapshot them so this report's serving metrics
@@ -602,14 +634,14 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let mut autoscaler = self.autoscale.clone().map(Autoscaler::new);
         let stealing = self.stealing;
         let slice_ms = cluster.slice_ms;
-        let mut placements = Vec::with_capacity(trace.len());
+        let mut placements = Vec::with_capacity(source.size_hint().0);
         let mut predicted_sum = 0.0;
         let mut steal_events = Vec::new();
         let mut scale_events = Vec::new();
         let mut redispatched = 0;
         let mut peak_machines = cluster.machines.len();
         let mut now_ms = 0u64;
-        let mut next_event = 0;
+        let mut chunk: Vec<TraceEvent> = Vec::new();
 
         let boundary = |cluster: &mut Cluster,
                         autoscaler: &mut Option<Autoscaler>,
@@ -629,19 +661,20 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             Ok(())
         };
 
-        while next_event < trace.len() {
+        while !source.is_exhausted() {
             let slice_end = now_ms + slice_ms;
-            while next_event < trace.len() && trace.events()[next_event].at_ms < slice_end {
-                let event = &trace.events()[next_event];
+            chunk.clear();
+            source.fill_before(slice_end, &mut chunk);
+            for event in chunk.drain(..) {
+                if !cluster.ctx.is_warmed(&event.function) {
+                    // In-place: workers release their context clones at
+                    // the slice barrier, so the Arc is unique here.
+                    Arc::make_mut(&mut cluster.ctx).warm_function(&spec, &event.function)?;
+                }
                 let (position, id, predicted) = self.route(cluster);
                 predicted_sum += predicted;
                 placements.push(id);
-                cluster.machines[position].dispatch(
-                    event.at_ms,
-                    event.function.clone(),
-                    event.tenant,
-                );
-                next_event += 1;
+                cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
             }
             boundary(
                 cluster,

@@ -96,7 +96,9 @@ mod steal;
 
 pub use billing::{BillingAggregator, BillingShard};
 pub use context::ServingContext;
-pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterOutcome, ClusterReport};
+#[allow(deprecated)]
+pub use driver::ClusterOutcome;
+pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterReport};
 pub use error::ClusterError;
 pub use machine::{Machine, MachineConfig, MachineId};
 pub use policy::{LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, RoundRobin};

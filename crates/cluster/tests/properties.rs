@@ -3,7 +3,7 @@
 //! replay determinism.
 
 use litmus_cluster::{
-    BillingAggregator, BillingShard, Cluster, ClusterConfig, ClusterDriver, ClusterOutcome,
+    BillingAggregator, BillingShard, Cluster, ClusterConfig, ClusterDriver, ClusterReport,
     LeastLoaded, LitmusAware, MachineConfig, PlacementPolicy, RoundRobin,
 };
 use litmus_core::{DiscountModel, Invoice, Price, PricingTables, TableBuilder};
@@ -140,38 +140,37 @@ fn calibration() -> (PricingTables, DiscountModel) {
     (tables, model)
 }
 
+fn tenant_mix(duration_ms: u64) -> Vec<TenantTraffic> {
+    vec![
+        TenantTraffic {
+            tenant: TenantId(0),
+            pool: suite::tenant_pool(TenantClass::Interactive),
+            pattern: ArrivalPattern::Steady { rate_per_s: 25.0 },
+        },
+        TenantTraffic {
+            tenant: TenantId(1),
+            pool: suite::tenant_pool(TenantClass::Analytics),
+            pattern: ArrivalPattern::Bursty {
+                base_rate_per_s: 5.0,
+                burst_rate_per_s: 60.0,
+                period_ms: 1_000,
+                burst_ms: 200,
+            },
+        },
+        TenantTraffic {
+            tenant: TenantId(2),
+            pool: suite::tenant_pool(TenantClass::Batch),
+            pattern: ArrivalPattern::Diurnal {
+                mean_rate_per_s: 12.0,
+                amplitude: 0.8,
+                period_ms: duration_ms,
+            },
+        },
+    ]
+}
+
 fn multi_tenant_trace(duration_ms: u64, seed: u64) -> InvocationTrace {
-    InvocationTrace::multi_tenant(
-        vec![
-            TenantTraffic {
-                tenant: TenantId(0),
-                pool: suite::tenant_pool(TenantClass::Interactive),
-                pattern: ArrivalPattern::Steady { rate_per_s: 25.0 },
-            },
-            TenantTraffic {
-                tenant: TenantId(1),
-                pool: suite::tenant_pool(TenantClass::Analytics),
-                pattern: ArrivalPattern::Bursty {
-                    base_rate_per_s: 5.0,
-                    burst_rate_per_s: 60.0,
-                    period_ms: 1_000,
-                    burst_ms: 200,
-                },
-            },
-            TenantTraffic {
-                tenant: TenantId(2),
-                pool: suite::tenant_pool(TenantClass::Batch),
-                pattern: ArrivalPattern::Diurnal {
-                    mean_rate_per_s: 12.0,
-                    amplitude: 0.8,
-                    period_ms: duration_ms,
-                },
-            },
-        ],
-        duration_ms,
-        seed,
-    )
-    .unwrap()
+    InvocationTrace::multi_tenant(tenant_mix(duration_ms), duration_ms, seed).unwrap()
 }
 
 /// Skewed cluster: the first half of the machines carry heavy
@@ -198,7 +197,7 @@ fn replay<P: PlacementPolicy>(
     policy: P,
     config: ClusterConfig,
     trace: &InvocationTrace,
-) -> ClusterOutcome {
+) -> ClusterReport {
     let (tables, model) = calibration();
     let mut cluster = Cluster::build(config, tables, model).unwrap();
     ClusterDriver::new(policy)
@@ -278,6 +277,48 @@ fn replays_are_deterministic_per_policy_and_thread_count() {
     assert_eq!(a.placements, c.placements);
     assert_eq!(a.billing, c.billing);
     assert_eq!(a.mean_latency_ms, c.mean_latency_ms);
+}
+
+#[test]
+fn streaming_source_replay_is_bit_identical_to_materialized() {
+    use litmus_platform::{SyntheticSource, TraceEvent, TraceSource};
+
+    // A source the driver does not construct itself — replay() is
+    // replay_source() on trace.source(), so that pair would be
+    // vacuous. No size hint: the pre-allocation shortcut is off.
+    struct OwnedSource(std::collections::VecDeque<TraceEvent>);
+    impl TraceSource for OwnedSource {
+        fn next_event(&mut self) -> Option<TraceEvent> {
+            self.0.pop_front()
+        }
+    }
+
+    let trace = multi_tenant_trace(1_500, 13);
+    let (tables, model) = calibration();
+
+    let mut cluster = Cluster::build(skewed_config(4, 2), tables.clone(), model.clone()).unwrap();
+    let materialized = ClusterDriver::new(LitmusAware::new())
+        .replay(&mut cluster, &trace)
+        .unwrap();
+
+    // Stream the same events through an independent source.
+    let mut cluster = Cluster::build(skewed_config(4, 2), tables.clone(), model.clone()).unwrap();
+    let streamed = ClusterDriver::new(LitmusAware::new())
+        .replay_source(
+            &mut cluster,
+            OwnedSource(trace.events().iter().cloned().collect()),
+        )
+        .unwrap();
+    assert_eq!(materialized, streamed);
+
+    // Stream the synthetic generator directly — no trace ever exists.
+    let source = SyntheticSource::new(tenant_mix(1_500), 1_500, 13).unwrap();
+    let mut cluster = Cluster::build(skewed_config(4, 2), tables, model).unwrap();
+    let generated = ClusterDriver::new(LitmusAware::new())
+        .replay_source(&mut cluster, source)
+        .unwrap();
+    assert_eq!(materialized, generated);
+    assert_eq!(materialized.completed, trace.len());
 }
 
 #[test]

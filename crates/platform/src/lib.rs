@@ -52,7 +52,8 @@ pub use experiment::{ExperimentResults, PricingExperiment};
 pub use harness::{CoRunEnv, CoRunHarness, HarnessConfig};
 pub use monitor::{CongestionMonitor, CongestionSample};
 pub use trace::{
-    ArrivalPattern, InvocationTrace, TenantId, TenantTraffic, TraceDriver, TraceEvent, TraceOutcome,
+    ArrivalPattern, ChunkedSource, InvocationTrace, MaterializedSource, SyntheticSource, TenantId,
+    TenantTraffic, TraceDriver, TraceEvent, TraceOutcome, TraceSource,
 };
 
 /// Result alias used throughout the crate.

@@ -1,0 +1,732 @@
+//! Zero-dependency parser (and writer, for round-trip format checks)
+//! for the **Azure Functions 2019 trace** format — the public dataset
+//! released with *Serverless in the Wild* (ATC '20) and the de-facto
+//! standard arrival-trace format serverless papers evaluate against.
+//!
+//! The dataset is three CSV families:
+//!
+//! * **invocations** — per function, invocation *counts per minute*
+//!   (`HashOwner,HashApp,HashFunction,Trigger,1,2,…,N`);
+//! * **durations** — per function, execution-time percentiles
+//!   (`…,Average,Count,Minimum,Maximum,percentile_Average_0,…`);
+//! * **memory** — per *app*, allocated-memory percentiles
+//!   (`HashOwner,HashApp,SampleCount,AverageAllocatedMb,…`).
+//!
+//! Hash columns are opaque anonymized identifiers; they never contain
+//! commas or quotes, so a plain comma split is a faithful parse and no
+//! CSV dependency is needed.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::error::TraceError;
+use crate::sketch::PercentileSketch;
+use crate::Result;
+
+/// File name the invocation-count CSV is distributed under (the full
+/// dataset shards this per day: `invocations_per_function_md.anon.d01.csv`
+/// and so on; the bundled fixture uses the unsharded name).
+pub const INVOCATIONS_FILE: &str = "invocations_per_function.csv";
+/// File name of the per-function duration-percentile CSV.
+pub const DURATIONS_FILE: &str = "function_durations.csv";
+/// File name of the per-app allocated-memory CSV.
+pub const MEMORY_FILE: &str = "app_memory.csv";
+
+const INVOCATIONS: &str = "invocations";
+const DURATIONS: &str = "durations";
+const MEMORY: &str = "memory";
+
+/// What fires a function, as recorded in the trace's `Trigger` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// HTTP request.
+    Http,
+    /// Timer (cron-like schedule).
+    Timer,
+    /// Queue message.
+    Queue,
+    /// Storage event (blob created/changed).
+    Storage,
+    /// Event-grid / event-hub event.
+    Event,
+    /// Durable-functions orchestration activity.
+    Orchestration,
+    /// Everything else the dataset lumps together.
+    Others,
+}
+
+impl Trigger {
+    /// The trace's column spelling for this trigger.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Trigger::Http => "http",
+            Trigger::Timer => "timer",
+            Trigger::Queue => "queue",
+            Trigger::Storage => "storage",
+            Trigger::Event => "event",
+            Trigger::Orchestration => "orchestration",
+            Trigger::Others => "others",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Trigger> {
+        Some(match text.to_ascii_lowercase().as_str() {
+            "http" => Trigger::Http,
+            "timer" => Trigger::Timer,
+            "queue" => Trigger::Queue,
+            "storage" => Trigger::Storage,
+            "event" => Trigger::Event,
+            "orchestration" => Trigger::Orchestration,
+            "others" => Trigger::Others,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One function of the trace: its identity, per-minute invocation
+/// counts and duration distribution (the invocations and durations
+/// files joined on `owner/app/function`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureFunction {
+    /// Anonymized owning-customer hash (`HashOwner`).
+    pub owner: String,
+    /// Anonymized application hash (`HashApp`); the trace's billing
+    /// and memory unit.
+    pub app: String,
+    /// Anonymized function hash (`HashFunction`).
+    pub function: String,
+    /// What fires the function.
+    pub trigger: Trigger,
+    /// Invocations per minute, one entry per trace minute.
+    pub counts: Vec<u32>,
+    /// Mean execution time, ms (the durations file's `Average`).
+    pub mean_duration_ms: f64,
+    /// How many executions the duration statistics summarize.
+    pub sampled_executions: u64,
+    /// Fastest sampled execution, ms.
+    pub min_duration_ms: f64,
+    /// Slowest sampled execution, ms.
+    pub max_duration_ms: f64,
+    /// Execution-time percentile sketch, ms.
+    pub duration_ms: PercentileSketch,
+}
+
+impl AzureFunction {
+    /// `owner/app/function` — the join key, also used in diagnostics.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.owner, self.app, self.function)
+    }
+
+    /// Total invocations across every minute.
+    pub fn total_invocations(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// One application's allocated-memory distribution (the memory file;
+/// memory is metered per app, not per function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureApp {
+    /// Anonymized owning-customer hash.
+    pub owner: String,
+    /// Anonymized application hash.
+    pub app: String,
+    /// How many samples the memory statistics summarize.
+    pub sample_count: u64,
+    /// Mean allocated memory, MB (`AverageAllocatedMb`).
+    pub mean_allocated_mb: f64,
+    /// Allocated-memory percentile sketch, MB.
+    pub allocated_mb: PercentileSketch,
+}
+
+/// A parsed Azure Functions trace: every function with its per-minute
+/// counts and duration sketch, plus per-app memory statistics.
+///
+/// # Examples
+///
+/// ```
+/// let dataset = litmus_trace::fixture::dataset();
+/// assert!(dataset.total_invocations() > 0);
+/// for function in dataset.functions() {
+///     assert_eq!(function.counts.len(), dataset.minutes());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureDataset {
+    functions: Vec<AzureFunction>,
+    apps: Vec<AzureApp>,
+    minutes: usize,
+}
+
+impl AzureDataset {
+    /// Parses the three CSV texts into one joined dataset.
+    ///
+    /// Strictness is deliberate — the fixture round-trip in CI leans on
+    /// it to catch format drift early:
+    ///
+    /// * headers must match the published format exactly (minute
+    ///   columns `1,2,…,N` in order, percentile columns in ascending
+    ///   order);
+    /// * every invocations row must join a durations row and vice
+    ///   versa ([`TraceError::Unjoined`] otherwise);
+    /// * memory rows are optional per app (the real dataset does not
+    ///   cover every app) but must join an app that invokes something.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Parse`] / [`TraceError::Unjoined`] as above.
+    pub fn from_csv(invocations: &str, durations: &str, memory: &str) -> Result<Self> {
+        let (minutes, inv_rows) = parse_invocations(invocations)?;
+        let dur_rows = parse_durations(durations)?;
+        let apps = parse_memory(memory)?;
+
+        let mut by_key: HashMap<(String, String, String), DurationRow> = HashMap::new();
+        for row in dur_rows {
+            let key = (row.owner.clone(), row.app.clone(), row.function.clone());
+            if by_key.insert(key, row).is_some() {
+                return Err(TraceError::Parse {
+                    file: DURATIONS,
+                    line: 0,
+                    message: "duplicate function row".into(),
+                });
+            }
+        }
+
+        let mut functions = Vec::with_capacity(inv_rows.len());
+        for row in inv_rows {
+            let key = (row.owner.clone(), row.app.clone(), row.function.clone());
+            let durations = by_key.remove(&key).ok_or_else(|| TraceError::Unjoined {
+                file: DURATIONS,
+                key: format!("{}/{}/{}", row.owner, row.app, row.function),
+            })?;
+            functions.push(AzureFunction {
+                owner: row.owner,
+                app: row.app,
+                function: row.function,
+                trigger: row.trigger,
+                counts: row.counts,
+                mean_duration_ms: durations.average,
+                sampled_executions: durations.count,
+                min_duration_ms: durations.minimum,
+                max_duration_ms: durations.maximum,
+                duration_ms: durations.sketch,
+            });
+        }
+        if let Some(leftover) = by_key.into_keys().next() {
+            return Err(TraceError::Unjoined {
+                file: INVOCATIONS,
+                key: format!("{}/{}/{}", leftover.0, leftover.1, leftover.2),
+            });
+        }
+        let invoking_apps: std::collections::HashSet<(&str, &str)> = functions
+            .iter()
+            .map(|f| (f.owner.as_str(), f.app.as_str()))
+            .collect();
+        for app in &apps {
+            if !invoking_apps.contains(&(app.owner.as_str(), app.app.as_str())) {
+                return Err(TraceError::Unjoined {
+                    file: INVOCATIONS,
+                    key: format!("{}/{}", app.owner, app.app),
+                });
+            }
+        }
+        Ok(AzureDataset {
+            functions,
+            apps,
+            minutes,
+        })
+    }
+
+    /// Reads and parses `invocations_per_function.csv`,
+    /// `function_durations.csv` and `app_memory.csv` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on read failures, plus everything
+    /// [`AzureDataset::from_csv`] rejects.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let read = |name: &str| std::fs::read_to_string(dir.join(name));
+        AzureDataset::from_csv(
+            &read(INVOCATIONS_FILE)?,
+            &read(DURATIONS_FILE)?,
+            &read(MEMORY_FILE)?,
+        )
+    }
+
+    /// The functions, in invocations-file row order.
+    pub fn functions(&self) -> &[AzureFunction] {
+        &self.functions
+    }
+
+    /// The apps with memory statistics, in memory-file row order.
+    pub fn apps(&self) -> &[AzureApp] {
+        &self.apps
+    }
+
+    /// How many trace minutes the counts cover.
+    pub fn minutes(&self) -> usize {
+        self.minutes
+    }
+
+    /// Whether the dataset has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Total invocations across every function and minute.
+    pub fn total_invocations(&self) -> u64 {
+        self.functions
+            .iter()
+            .map(AzureFunction::total_invocations)
+            .sum()
+    }
+
+    /// Memory statistics of `owner`'s `app`, when the trace has them.
+    pub fn memory_of(&self, owner: &str, app: &str) -> Option<&AzureApp> {
+        self.apps.iter().find(|a| a.owner == owner && a.app == app)
+    }
+
+    /// Serializes back to the invocations CSV (exact header, rows in
+    /// dataset order) — the other half of the round-trip format check.
+    pub fn to_invocations_csv(&self) -> String {
+        let mut out = String::from("HashOwner,HashApp,HashFunction,Trigger");
+        for minute in 1..=self.minutes {
+            out.push(',');
+            out.push_str(&minute.to_string());
+        }
+        out.push('\n');
+        for f in &self.functions {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                f.owner, f.app, f.function, f.trigger
+            ));
+            for count in &f.counts {
+                out.push(',');
+                out.push_str(&count.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes back to the durations CSV.
+    pub fn to_durations_csv(&self) -> String {
+        let mut out = String::from("HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum");
+        let pcts: Vec<f64> = self
+            .functions
+            .first()
+            .map(|f| f.duration_ms.points().iter().map(|&(p, _)| p).collect())
+            .unwrap_or_default();
+        for pct in &pcts {
+            out.push_str(&format!(",percentile_Average_{pct}"));
+        }
+        out.push('\n');
+        for f in &self.functions {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}",
+                f.owner,
+                f.app,
+                f.function,
+                f.mean_duration_ms,
+                f.sampled_executions,
+                f.min_duration_ms,
+                f.max_duration_ms
+            ));
+            for &(_, value) in f.duration_ms.points() {
+                out.push(',');
+                out.push_str(&value.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes back to the memory CSV.
+    pub fn to_memory_csv(&self) -> String {
+        let mut out = String::from("HashOwner,HashApp,SampleCount,AverageAllocatedMb");
+        let pcts: Vec<f64> = self
+            .apps
+            .first()
+            .map(|a| a.allocated_mb.points().iter().map(|&(p, _)| p).collect())
+            .unwrap_or_default();
+        for pct in &pcts {
+            out.push_str(&format!(",AverageAllocatedMb_pct{pct}"));
+        }
+        out.push('\n');
+        for a in &self.apps {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                a.owner, a.app, a.sample_count, a.mean_allocated_mb
+            ));
+            for &(_, value) in a.allocated_mb.points() {
+                out.push(',');
+                out.push_str(&value.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct InvocationRow {
+    owner: String,
+    app: String,
+    function: String,
+    trigger: Trigger,
+    counts: Vec<u32>,
+}
+
+struct DurationRow {
+    owner: String,
+    app: String,
+    function: String,
+    average: f64,
+    count: u64,
+    minimum: f64,
+    maximum: f64,
+    sketch: PercentileSketch,
+}
+
+fn parse_error(file: &'static str, line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Non-empty lines with their 1-based line numbers.
+fn rows(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(idx, line)| (idx + 1, line.trim_end_matches('\r')))
+        .filter(|(_, line)| !line.trim().is_empty())
+}
+
+fn fields(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+fn expect_prefix(
+    file: &'static str,
+    header: &[&str],
+    expected: &[&str],
+) -> std::result::Result<(), TraceError> {
+    if header.len() < expected.len() {
+        return Err(parse_error(
+            file,
+            1,
+            format!(
+                "header has {} columns, expected at least {}",
+                header.len(),
+                expected.len()
+            ),
+        ));
+    }
+    for (got, want) in header.iter().zip(expected) {
+        if got != want {
+            return Err(parse_error(
+                file,
+                1,
+                format!("header column {got:?}, expected {want:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_f64(file: &'static str, line: usize, text: &str, what: &str) -> Result<f64> {
+    let value: f64 = text
+        .parse()
+        .map_err(|_| parse_error(file, line, format!("{what}: not a number: {text:?}")))?;
+    if !value.is_finite() {
+        return Err(parse_error(file, line, format!("{what}: non-finite value")));
+    }
+    Ok(value)
+}
+
+fn parse_invocations(text: &str) -> Result<(usize, Vec<InvocationRow>)> {
+    let mut rows = rows(text);
+    let (_, header) = rows
+        .next()
+        .ok_or_else(|| parse_error(INVOCATIONS, 1, "empty file"))?;
+    let header = fields(header);
+    expect_prefix(
+        INVOCATIONS,
+        &header,
+        &["HashOwner", "HashApp", "HashFunction", "Trigger"],
+    )?;
+    let minutes = header.len() - 4;
+    for (idx, col) in header[4..].iter().enumerate() {
+        if col.parse::<usize>() != Ok(idx + 1) {
+            return Err(parse_error(
+                INVOCATIONS,
+                1,
+                format!("minute column {} is {col:?}, expected {}", idx + 5, idx + 1),
+            ));
+        }
+    }
+
+    let mut parsed = Vec::new();
+    for (line, row) in rows {
+        let cells = fields(row);
+        if cells.len() != 4 + minutes {
+            return Err(parse_error(
+                INVOCATIONS,
+                line,
+                format!("{} columns, expected {}", cells.len(), 4 + minutes),
+            ));
+        }
+        if cells[..3].iter().any(|cell| cell.is_empty()) {
+            return Err(parse_error(INVOCATIONS, line, "empty identity hash"));
+        }
+        let trigger = Trigger::parse(cells[3]).ok_or_else(|| {
+            parse_error(INVOCATIONS, line, format!("unknown trigger {:?}", cells[3]))
+        })?;
+        let mut counts = Vec::with_capacity(minutes);
+        for cell in &cells[4..] {
+            counts.push(cell.parse::<u32>().map_err(|_| {
+                parse_error(INVOCATIONS, line, format!("bad minute count {cell:?}"))
+            })?);
+        }
+        parsed.push(InvocationRow {
+            owner: cells[0].to_owned(),
+            app: cells[1].to_owned(),
+            function: cells[2].to_owned(),
+            trigger,
+            counts,
+        });
+    }
+    Ok((minutes, parsed))
+}
+
+fn percentile_columns(
+    file: &'static str,
+    header: &[&str],
+    fixed: usize,
+    prefix: &str,
+) -> Result<Vec<f64>> {
+    let mut pcts = Vec::new();
+    for (idx, col) in header[fixed..].iter().enumerate() {
+        let suffix = col.strip_prefix(prefix).ok_or_else(|| {
+            parse_error(
+                file,
+                1,
+                format!(
+                    "column {} is {col:?}, expected a {prefix}* percentile",
+                    fixed + idx + 1
+                ),
+            )
+        })?;
+        let pct = parse_f64(file, 1, suffix, "percentile")?;
+        if let Some(&last) = pcts.last() {
+            if pct <= last {
+                return Err(parse_error(file, 1, "percentile columns must ascend"));
+            }
+        }
+        pcts.push(pct);
+    }
+    if pcts.is_empty() {
+        return Err(parse_error(file, 1, "no percentile columns"));
+    }
+    Ok(pcts)
+}
+
+fn parse_durations(text: &str) -> Result<Vec<DurationRow>> {
+    let mut rows = rows(text);
+    let (_, header) = rows
+        .next()
+        .ok_or_else(|| parse_error(DURATIONS, 1, "empty file"))?;
+    let header = fields(header);
+    const FIXED: [&str; 7] = [
+        "HashOwner",
+        "HashApp",
+        "HashFunction",
+        "Average",
+        "Count",
+        "Minimum",
+        "Maximum",
+    ];
+    expect_prefix(DURATIONS, &header, &FIXED)?;
+    let pcts = percentile_columns(DURATIONS, &header, FIXED.len(), "percentile_Average_")?;
+
+    let mut parsed = Vec::new();
+    for (line, row) in rows {
+        let cells = fields(row);
+        if cells.len() != FIXED.len() + pcts.len() {
+            return Err(parse_error(
+                DURATIONS,
+                line,
+                format!(
+                    "{} columns, expected {}",
+                    cells.len(),
+                    FIXED.len() + pcts.len()
+                ),
+            ));
+        }
+        let mut points = Vec::with_capacity(pcts.len());
+        for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
+            points.push((
+                *pct,
+                parse_f64(DURATIONS, line, cell, "duration percentile")?,
+            ));
+        }
+        let sketch = PercentileSketch::new(points)
+            .map_err(|e| parse_error(DURATIONS, line, e.to_string()))?;
+        parsed.push(DurationRow {
+            owner: cells[0].to_owned(),
+            app: cells[1].to_owned(),
+            function: cells[2].to_owned(),
+            average: parse_f64(DURATIONS, line, cells[3], "Average")?,
+            count: cells[4]
+                .parse()
+                .map_err(|_| parse_error(DURATIONS, line, format!("bad Count {:?}", cells[4])))?,
+            minimum: parse_f64(DURATIONS, line, cells[5], "Minimum")?,
+            maximum: parse_f64(DURATIONS, line, cells[6], "Maximum")?,
+            sketch,
+        });
+    }
+    Ok(parsed)
+}
+
+fn parse_memory(text: &str) -> Result<Vec<AzureApp>> {
+    let mut rows = rows(text);
+    let (_, header) = rows
+        .next()
+        .ok_or_else(|| parse_error(MEMORY, 1, "empty file"))?;
+    let header = fields(header);
+    const FIXED: [&str; 4] = ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"];
+    expect_prefix(MEMORY, &header, &FIXED)?;
+    let pcts = percentile_columns(MEMORY, &header, FIXED.len(), "AverageAllocatedMb_pct")?;
+
+    let mut parsed = Vec::new();
+    for (line, row) in rows {
+        let cells = fields(row);
+        if cells.len() != FIXED.len() + pcts.len() {
+            return Err(parse_error(
+                MEMORY,
+                line,
+                format!(
+                    "{} columns, expected {}",
+                    cells.len(),
+                    FIXED.len() + pcts.len()
+                ),
+            ));
+        }
+        let mut points = Vec::with_capacity(pcts.len());
+        for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
+            points.push((*pct, parse_f64(MEMORY, line, cell, "memory percentile")?));
+        }
+        let sketch =
+            PercentileSketch::new(points).map_err(|e| parse_error(MEMORY, line, e.to_string()))?;
+        parsed.push(AzureApp {
+            owner: cells[0].to_owned(),
+            app: cells[1].to_owned(),
+            sample_count: cells[2].parse().map_err(|_| {
+                parse_error(MEMORY, line, format!("bad SampleCount {:?}", cells[2]))
+            })?,
+            mean_allocated_mb: parse_f64(MEMORY, line, cells[3], "AverageAllocatedMb")?,
+            allocated_mb: sketch,
+        });
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV: &str = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n\
+                       o1,a1,f1,http,4,0,2\n\
+                       o1,a1,f2,timer,1,1,1\n";
+    const DUR: &str = "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,\
+                       percentile_Average_0,percentile_Average_50,percentile_Average_100\n\
+                       o1,a1,f1,120,7,10,400,10,100,400\n\
+                       o1,a1,f2,60000,3,50000,80000,50000,60000,80000\n";
+    const MEM: &str = "HashOwner,HashApp,SampleCount,AverageAllocatedMb,\
+                       AverageAllocatedMb_pct50,AverageAllocatedMb_pct100\n\
+                       o1,a1,10,96,90,128\n";
+
+    #[test]
+    fn joined_parse_round_trips() {
+        let dataset = AzureDataset::from_csv(INV, DUR, MEM).unwrap();
+        assert_eq!(dataset.minutes(), 3);
+        assert_eq!(dataset.functions().len(), 2);
+        assert_eq!(dataset.total_invocations(), 9);
+        let f1 = &dataset.functions()[0];
+        assert_eq!(f1.trigger, Trigger::Http);
+        assert_eq!(f1.counts, vec![4, 0, 2]);
+        assert_eq!(f1.duration_ms.median(), 100.0);
+        assert!(dataset.memory_of("o1", "a1").is_some());
+        assert!(dataset.memory_of("o1", "nope").is_none());
+
+        let reparsed = AzureDataset::from_csv(
+            &dataset.to_invocations_csv(),
+            &dataset.to_durations_csv(),
+            &dataset.to_memory_csv(),
+        )
+        .unwrap();
+        assert_eq!(dataset, reparsed);
+    }
+
+    #[test]
+    fn unjoined_functions_fail_fast() {
+        let extra_inv = format!("{INV}o2,a2,f9,queue,1,1,1\n");
+        assert!(matches!(
+            AzureDataset::from_csv(&extra_inv, DUR, MEM),
+            Err(TraceError::Unjoined {
+                file: "durations",
+                ..
+            })
+        ));
+        let extra_dur = format!("{DUR}o2,a2,f9,5,1,5,5,5,5,5\n");
+        assert!(matches!(
+            AzureDataset::from_csv(INV, &extra_dur, MEM),
+            Err(TraceError::Unjoined {
+                file: "invocations",
+                ..
+            })
+        ));
+        let orphan_mem = "HashOwner,HashApp,SampleCount,AverageAllocatedMb,\
+                          AverageAllocatedMb_pct50,AverageAllocatedMb_pct100\n\
+                          oX,aX,10,96,90,128\n";
+        assert!(matches!(
+            AzureDataset::from_csv(INV, DUR, orphan_mem),
+            Err(TraceError::Unjoined { .. })
+        ));
+    }
+
+    #[test]
+    fn format_drift_is_a_parse_error() {
+        // A renamed column (the kind of silent drift the round-trip
+        // check exists to catch).
+        let drifted = INV.replace("Trigger", "TriggerKind");
+        assert!(matches!(
+            AzureDataset::from_csv(&drifted, DUR, MEM),
+            Err(TraceError::Parse {
+                file: "invocations",
+                line: 1,
+                ..
+            })
+        ));
+        // Minute columns out of order.
+        let shuffled = INV.replace(",1,2,3", ",1,3,2");
+        assert!(AzureDataset::from_csv(&shuffled, DUR, MEM).is_err());
+        // Unknown trigger value.
+        let bad_trigger = INV.replace("http", "webhook");
+        assert!(AzureDataset::from_csv(&bad_trigger, DUR, MEM).is_err());
+        // Non-numeric count.
+        let bad_count = INV.replace("4,0,2", "4,x,2");
+        assert!(AzureDataset::from_csv(&bad_count, DUR, MEM).is_err());
+        // Decreasing duration percentiles violate the sketch.
+        let bad_sketch = DUR.replace("10,100,400", "400,100,10");
+        assert!(AzureDataset::from_csv(INV, &bad_sketch, MEM).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors from trace ingestion, expansion and transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A CSV file failed to parse. `file` names which of the three
+    /// Azure trace files, `line` is 1-based (line 1 is the header).
+    Parse {
+        /// Which trace file (`"invocations"`, `"durations"`,
+        /// `"memory"`).
+        file: &'static str,
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The three files disagree: a function appears in one file but
+    /// its required counterpart row is missing in another.
+    Unjoined {
+        /// Which trace file the counterpart was expected in.
+        file: &'static str,
+        /// The `owner/app/function` key that failed to join.
+        key: String,
+    },
+    /// A percentile sketch was degenerate (empty, unordered
+    /// percentiles, decreasing or non-finite values).
+    InvalidSketch(&'static str),
+    /// An expansion or transform configuration was incoherent.
+    InvalidConfig(&'static str),
+    /// Reading a trace file from disk failed.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse {
+                file,
+                line,
+                message,
+            } => {
+                write!(f, "{file} csv, line {line}: {message}")
+            }
+            TraceError::Unjoined { file, key } => {
+                write!(f, "function {key} has no row in the {file} csv")
+            }
+            TraceError::InvalidSketch(why) => write!(f, "invalid percentile sketch: {why}"),
+            TraceError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            TraceError::Io(why) => write!(f, "trace file i/o: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io(err.to_string())
+    }
+}

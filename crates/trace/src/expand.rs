@@ -1,0 +1,482 @@
+//! Deterministic, seeded expansion of minute-bucket counts into
+//! per-invocation [`TraceEvent`]s, streamed in time order.
+//!
+//! The Azure trace records *how many* invocations each function saw
+//! per minute plus *distribution sketches* of duration and memory; the
+//! expander turns that into a concrete multi-tenant workload the
+//! simulator can serve:
+//!
+//! * **apps → [`TenantId`]** — every distinct `owner/app` pair becomes
+//!   one billing tenant (memory — and billing — are per app in the
+//!   real platform), numbered in sorted-key order so the mapping is
+//!   independent of CSV row order;
+//! * **functions → [`TenantClass`]** — each function is classified by
+//!   its mean duration and its app's mean allocated memory
+//!   ([`TenantClass::classify`]), selecting the Table-1 workload pool
+//!   whose resource character matches;
+//! * **counts → arrivals** — each minute's count is placed inside the
+//!   minute either evenly or as a Poisson batch
+//!   ([`IntraMinute`]), from an RNG stream keyed by
+//!   `(seed, function, minute)` so slicing or subsampling one stream
+//!   never perturbs another;
+//! * **duration sketch → body** — each invocation draws a duration
+//!   quantile from the function's percentile sketch; the quantile's
+//!   *rank* picks the benchmark from the class pool (sorted by solo
+//!   duration), so a function's fast tail runs the pool's short bodies
+//!   and its slow tail the long ones. The simulator's calibrated
+//!   bodies stand in for wall-clock durations — what's preserved is
+//!   each function's duration *spread*, mapped onto the pool's spread.
+
+use std::collections::HashMap;
+
+use litmus_platform::{InvocationTrace, TenantId, TraceEvent, TraceSource};
+use litmus_workloads::suite::{self, TenantClass};
+use litmus_workloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::azure::{AzureDataset, AzureFunction};
+use crate::error::TraceError;
+use crate::sketch::PercentileSketch;
+use crate::Result;
+
+/// How a minute's invocation count is placed inside the minute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraMinute {
+    /// Evenly spaced on a centered grid — the smoothest arrival stream
+    /// the counts admit.
+    Even,
+    /// Independent uniform offsets — the order statistics of a Poisson
+    /// process conditioned on the minute's count, so arrivals clump
+    /// the way memoryless traffic does. The default.
+    #[default]
+    Poisson,
+}
+
+/// Configuration of a trace expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpandConfig {
+    /// Master seed; every `(function, minute)` pair derives its own
+    /// independent stream from it.
+    pub seed: u64,
+    /// Intra-minute placement of each minute's count.
+    pub placement: IntraMinute,
+    /// Simulated length of one trace minute, ms. The real trace's
+    /// minutes are 60 000 ms; experiments usually compress (a 15-minute
+    /// fixture at `minute_ms = 400` replays in 6 simulated seconds).
+    pub minute_ms: u64,
+}
+
+impl ExpandConfig {
+    /// Poisson placement at real-time scale (60 000 ms minutes).
+    pub fn new(seed: u64) -> Self {
+        ExpandConfig {
+            seed,
+            placement: IntraMinute::default(),
+            minute_ms: 60_000,
+        }
+    }
+
+    /// Sets the intra-minute placement.
+    pub fn placement(mut self, placement: IntraMinute) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the simulated minute length, ms (validated ≥ 1 when the
+    /// source is built).
+    pub fn minute_ms(mut self, ms: u64) -> Self {
+        self.minute_ms = ms;
+        self
+    }
+}
+
+/// One `owner/app` pair's tenant assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantAssignment {
+    /// The assigned billing tenant.
+    pub tenant: TenantId,
+    /// Anonymized owning-customer hash.
+    pub owner: String,
+    /// Anonymized application hash.
+    pub app: String,
+}
+
+/// Classifies one trace function into the tenant archetype whose
+/// workload pool matches its resource character: its mean duration and
+/// its app's mean allocated memory (zero when the trace has no memory
+/// row for the app), through [`TenantClass::classify`].
+///
+/// This is the single classification path: the expander calls the same
+/// private rule (`classify_with_memory`) with a pre-built per-app
+/// lookup instead of the per-call [`AzureDataset::memory_of`] scan.
+pub fn classify_function(dataset: &AzureDataset, function: &AzureFunction) -> TenantClass {
+    classify_with_memory(
+        function,
+        dataset
+            .memory_of(&function.owner, &function.app)
+            .map(|app| app.mean_allocated_mb),
+    )
+}
+
+/// The classification rule proper: mean duration plus the app's mean
+/// allocated memory (`None` — no memory row — counts as zero).
+fn classify_with_memory(function: &AzureFunction, memory_mb: Option<f64>) -> TenantClass {
+    TenantClass::classify(function.mean_duration_ms, memory_mb.unwrap_or(0.0))
+}
+
+/// FNV-1a, the per-function seed-stream key (stable across runs and
+/// platforms, unlike `std`'s `DefaultHasher`).
+fn fnv1a64(parts: [&str; 3]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for part in parts {
+        for byte in part.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separator so ("ab", "c") and ("a", "bc") differ.
+        hash ^= 0x1F;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One function's expansion plan.
+#[derive(Debug, Clone)]
+struct FunctionPlan {
+    tenant: TenantId,
+    key: u64,
+    counts: Vec<u32>,
+    sketch: PercentileSketch,
+    /// The class pool, ascending by solo body duration, so a duration
+    /// quantile rank indexes straight into it.
+    pool: Vec<Benchmark>,
+}
+
+/// Streaming [`TraceSource`] over an expanded Azure trace: minutes are
+/// expanded one at a time (memory stays proportional to the busiest
+/// minute, never the trace), each minute's events sorted into the
+/// canonical `(at_ms, tenant)` order — so streaming is bit-identical
+/// to materializing via [`AzureDataset::expand`] at the same seed.
+#[derive(Debug, Clone)]
+pub struct AzureReplaySource {
+    plans: Vec<FunctionPlan>,
+    assignments: Vec<TenantAssignment>,
+    seed: u64,
+    placement: IntraMinute,
+    minute_ms: u64,
+    minutes: usize,
+    next_minute: usize,
+    buffer: Vec<TraceEvent>,
+    cursor: usize,
+    remaining: usize,
+}
+
+impl AzureReplaySource {
+    /// Builds the streaming expansion of `dataset` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidConfig`] when `config.minute_ms` is zero.
+    pub fn new(dataset: &AzureDataset, config: ExpandConfig) -> Result<Self> {
+        if config.minute_ms == 0 {
+            return Err(TraceError::InvalidConfig("minute_ms must be at least 1"));
+        }
+
+        // Apps → tenants, in sorted-key order so the mapping does not
+        // depend on CSV row order.
+        let mut app_keys: Vec<(String, String)> = dataset
+            .functions()
+            .iter()
+            .map(|f| (f.owner.clone(), f.app.clone()))
+            .collect();
+        app_keys.sort();
+        app_keys.dedup();
+        let assignments: Vec<TenantAssignment> = app_keys
+            .iter()
+            .enumerate()
+            .map(|(idx, (owner, app))| TenantAssignment {
+                tenant: TenantId(idx as u32),
+                owner: owner.clone(),
+                app: app.clone(),
+            })
+            .collect();
+        let tenant_of = |owner: &str, app: &str| {
+            let idx = app_keys
+                .binary_search_by(|key| (key.0.as_str(), key.1.as_str()).cmp(&(owner, app)))
+                .expect("every function's app was collected");
+            TenantId(idx as u32)
+        };
+
+        // One lookup table per join, built once: the full dataset has
+        // tens of thousands of apps and hundreds of thousands of
+        // functions per day, so per-function linear scans would make
+        // ingestion quadratic.
+        let memory_by_app: HashMap<(&str, &str), f64> = dataset
+            .apps()
+            .iter()
+            .map(|app| {
+                (
+                    (app.owner.as_str(), app.app.as_str()),
+                    app.mean_allocated_mb,
+                )
+            })
+            .collect();
+        let mut pool_by_class: HashMap<TenantClass, Vec<Benchmark>> = HashMap::new();
+        for class in TenantClass::ALL {
+            let mut pool = suite::tenant_pool(class);
+            pool.sort_by(|a, b| {
+                a.body_ms()
+                    .partial_cmp(&b.body_ms())
+                    .expect("body durations are finite")
+                    .then(a.name().cmp(b.name()))
+            });
+            pool_by_class.insert(class, pool);
+        }
+
+        // Plans in sorted-key order: expansion order (and therefore
+        // tie-breaking among same-millisecond arrivals) is canonical,
+        // not file order.
+        let mut functions: Vec<&AzureFunction> = dataset.functions().iter().collect();
+        functions.sort_by_key(|f| (&f.owner, &f.app, &f.function));
+        let mut remaining = 0usize;
+        let plans: Vec<FunctionPlan> = functions
+            .into_iter()
+            .map(|function| {
+                let memory_mb = memory_by_app
+                    .get(&(function.owner.as_str(), function.app.as_str()))
+                    .copied();
+                let class = classify_with_memory(function, memory_mb);
+                remaining += function.total_invocations() as usize;
+                FunctionPlan {
+                    tenant: tenant_of(&function.owner, &function.app),
+                    key: fnv1a64([&function.owner, &function.app, &function.function]),
+                    counts: function.counts.clone(),
+                    sketch: function.duration_ms.clone(),
+                    pool: pool_by_class[&class].clone(),
+                }
+            })
+            .collect();
+
+        Ok(AzureReplaySource {
+            plans,
+            assignments,
+            seed: config.seed,
+            placement: config.placement,
+            minute_ms: config.minute_ms,
+            minutes: dataset.minutes(),
+            next_minute: 0,
+            buffer: Vec::new(),
+            cursor: 0,
+            remaining,
+        })
+    }
+
+    /// The `owner/app` → [`TenantId`] mapping, ascending by tenant.
+    pub fn assignments(&self) -> &[TenantAssignment] {
+        &self.assignments
+    }
+
+    /// Simulated length of the whole trace, ms.
+    pub fn span_ms(&self) -> u64 {
+        self.minutes as u64 * self.minute_ms
+    }
+
+    fn expand_minute(&mut self, minute: usize) {
+        self.buffer.clear();
+        self.cursor = 0;
+        let base = minute as u64 * self.minute_ms;
+        for plan in &self.plans {
+            let count = plan.counts.get(minute).copied().unwrap_or(0) as u64;
+            if count == 0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ plan.key ^ (minute as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            for i in 0..count {
+                let offset_ms = match self.placement {
+                    IntraMinute::Even => (self.minute_ms * (2 * i + 1)) / (2 * count),
+                    IntraMinute::Poisson => {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        (u * self.minute_ms as f64) as u64
+                    }
+                };
+                let (q, _duration_ms) = plan.sketch.sample(&mut rng);
+                let idx = ((q * plan.pool.len() as f64) as usize).min(plan.pool.len() - 1);
+                self.buffer.push(TraceEvent {
+                    at_ms: base + offset_ms.min(self.minute_ms - 1),
+                    function: plan.pool[idx].clone(),
+                    tenant: plan.tenant,
+                });
+            }
+        }
+        self.buffer.sort_by_key(|e| (e.at_ms, e.tenant));
+    }
+}
+
+impl TraceSource for AzureReplaySource {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        while self.cursor >= self.buffer.len() {
+            if self.next_minute >= self.minutes {
+                return None;
+            }
+            let minute = self.next_minute;
+            self.next_minute += 1;
+            self.expand_minute(minute);
+        }
+        let event = self.buffer[self.cursor].clone();
+        self.cursor += 1;
+        self.remaining -= 1;
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl AzureDataset {
+    /// Streaming expansion of this dataset — see [`AzureReplaySource`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidConfig`] for a zero `minute_ms`.
+    pub fn source(&self, config: ExpandConfig) -> Result<AzureReplaySource> {
+        AzureReplaySource::new(self, config)
+    }
+
+    /// Fully materialized expansion: [`AzureDataset::source`] collected
+    /// into an [`InvocationTrace`]. Bit-identical to streaming the
+    /// source through a replay at the same seed.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidConfig`] for a zero `minute_ms`.
+    pub fn expand(&self, config: ExpandConfig) -> Result<InvocationTrace> {
+        Ok(InvocationTrace::from_source(self.source(config)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    fn config() -> ExpandConfig {
+        ExpandConfig::new(7).minute_ms(400)
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_counts_match() {
+        let dataset = fixture::dataset();
+        let a = dataset.expand(config()).unwrap();
+        let b = dataset.expand(config()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, dataset.total_invocations());
+        // Every tenant appears, numbered densely from zero.
+        let source = dataset.source(config()).unwrap();
+        assert_eq!(source.assignments().len(), a.tenants().len());
+        for (idx, assignment) in source.assignments().iter().enumerate() {
+            assert_eq!(assignment.tenant, TenantId(idx as u32));
+        }
+        // A different seed moves arrivals.
+        let c = dataset.expand(ExpandConfig::new(8).minute_ms(400)).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(a.len(), c.len(), "seed changes placement, not counts");
+    }
+
+    #[test]
+    fn streaming_yields_exactly_the_materialized_trace() {
+        let dataset = fixture::dataset();
+        let materialized = dataset.expand(config()).unwrap();
+        let mut source = dataset.source(config()).unwrap();
+        assert_eq!(
+            source.size_hint(),
+            (materialized.len(), Some(materialized.len()))
+        );
+        let mut streamed = Vec::new();
+        while let Some(event) = source.next_event() {
+            streamed.push(event);
+        }
+        assert_eq!(streamed, materialized.events());
+        assert_eq!(source.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn events_stay_inside_their_minute() {
+        let dataset = fixture::dataset();
+        for placement in [IntraMinute::Even, IntraMinute::Poisson] {
+            let cfg = ExpandConfig::new(3).minute_ms(250).placement(placement);
+            let mut source = dataset.source(cfg).unwrap();
+            let span = source.span_ms();
+            // Reconstruct per-minute totals and compare to the counts.
+            let mut per_minute = vec![0u64; dataset.minutes()];
+            while let Some(event) = source.next_event() {
+                assert!(event.at_ms < span);
+                per_minute[(event.at_ms / 250) as usize] += 1;
+            }
+            for (minute, total) in per_minute.iter().enumerate() {
+                let expected: u64 = dataset
+                    .functions()
+                    .iter()
+                    .map(|f| f.counts[minute] as u64)
+                    .sum();
+                assert_eq!(*total, expected, "minute {minute} ({placement:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn even_placement_spreads_the_minute() {
+        let dataset = fixture::dataset();
+        let cfg = ExpandConfig::new(1)
+            .minute_ms(60_000)
+            .placement(IntraMinute::Even);
+        let trace = dataset.expand(cfg).unwrap();
+        // The telemetry function alone puts ~120 events/minute on a
+        // centered grid; the busiest half-minute can't hold much more
+        // than half the events.
+        let first_minute: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter(|e| e.at_ms < 60_000)
+            .map(|e| e.at_ms)
+            .collect();
+        let early = first_minute.iter().filter(|&&at| at < 30_000).count();
+        let late = first_minute.len() - early;
+        assert!(
+            early.abs_diff(late) * 10 < first_minute.len(),
+            "even placement skewed: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn classes_follow_duration_and_memory() {
+        let dataset = fixture::dataset();
+        let class_of = |name: &str| {
+            let f = dataset
+                .functions()
+                .iter()
+                .find(|f| f.function == name)
+                .unwrap();
+            classify_function(&dataset, f)
+        };
+        assert_eq!(class_of("auth"), TenantClass::Interactive);
+        assert_eq!(class_of("telemetry"), TenantClass::Interactive);
+        assert_eq!(class_of("pagerank"), TenantClass::Analytics);
+        assert_eq!(class_of("infer"), TenantClass::Analytics);
+        assert_eq!(class_of("resize"), TenantClass::Batch);
+        // No memory row → classified on duration alone.
+        assert_eq!(class_of("nightly"), TenantClass::Batch);
+    }
+
+    #[test]
+    fn zero_minute_ms_is_rejected() {
+        let dataset = fixture::dataset();
+        assert!(matches!(
+            dataset.source(ExpandConfig::new(1).minute_ms(0)),
+            Err(TraceError::InvalidConfig(_))
+        ));
+    }
+}

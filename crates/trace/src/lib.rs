@@ -1,0 +1,99 @@
+//! Real-world trace ingestion, characterization and streaming replay
+//! for the Litmus reproduction — the single front door for workloads.
+//!
+//! The fairness claims the repo reproduces (and the scheduling/billing
+//! extensions built on them) are only as credible as the arrival
+//! processes driving them. This crate replaces purely synthetic
+//! shapes with the **Azure Functions 2019 trace** format, end to end:
+//!
+//! * [`AzureDataset`] — a zero-dependency parser (and writer, for the
+//!   CI round-trip format check) for the trace's three CSV families:
+//!   per-function invocations-per-minute counts, per-function duration
+//!   percentiles, per-app allocated-memory percentiles. A bundled
+//!   anonymized mini-fixture ([`fixture::dataset`]) keeps everything
+//!   runnable offline;
+//! * [`AzureReplaySource`] — a deterministic, seeded expander from
+//!   minute buckets to per-invocation events: apps become
+//!   [`litmus_platform::TenantId`]s, functions map to
+//!   [`litmus_workloads::suite::TenantClass`] pools by their
+//!   duration/memory character, each invocation's duration quantile is
+//!   drawn from the function's [`PercentileSketch`] and picks a
+//!   matching-rank benchmark body. It streams minute by minute, so
+//!   replay memory tracks the busiest minute, never the trace length;
+//! * [`TraceTransform`] — order-preserving stream rewrites
+//!   (time-compression, rate-scaling, tenant subsampling, window
+//!   slicing) composable over any [`litmus_platform::TraceSource`];
+//! * [`TraceStats`] — one-pass characterization: inter-arrival CV,
+//!   burstiness index, per-tenant concurrency envelopes and the Gini
+//!   coefficient of invocation share.
+//!
+//! Streaming and materialized replays are bit-identical at the same
+//! seed: [`AzureDataset::expand`] is exactly [`AzureDataset::source`]
+//! collected, and both the platform's `TraceDriver` and the cluster's
+//! `ClusterDriver` accept either form through the shared
+//! [`litmus_platform::TraceSource`] trait.
+//!
+//! # Examples
+//!
+//! Expand the bundled fixture, compress it for a quick replay, and
+//! characterize what the cluster is about to serve:
+//!
+//! ```
+//! use litmus_trace::{ExpandConfig, IntraMinute, TraceStats};
+//!
+//! let dataset = litmus_trace::fixture::dataset();
+//! let trace = dataset
+//!     .expand(ExpandConfig::new(42).minute_ms(500).placement(IntraMinute::Poisson))
+//!     .unwrap();
+//! assert_eq!(trace.len() as u64, dataset.total_invocations());
+//!
+//! let stats = TraceStats::from_trace(&trace, 500);
+//! assert_eq!(stats.tenants.len(), 6);
+//! println!("{stats}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod azure;
+mod error;
+mod expand;
+mod sketch;
+mod stats;
+mod transform;
+
+pub use azure::{
+    AzureApp, AzureDataset, AzureFunction, Trigger, DURATIONS_FILE, INVOCATIONS_FILE, MEMORY_FILE,
+};
+pub use error::TraceError;
+pub use expand::{
+    classify_function, AzureReplaySource, ExpandConfig, IntraMinute, TenantAssignment,
+};
+pub use sketch::PercentileSketch;
+pub use stats::{TenantEnvelope, TraceStats};
+pub use transform::{apply, TraceTransform, TransformedSource};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+/// The bundled anonymized mini-fixture: a 15-minute, 9-function,
+/// 6-app slice shaped like the real dataset (steady HTTP traffic, a
+/// diurnal swell, queue bursts, a once-a-minute timer, a heavy-memory
+/// analytics app), in the exact published CSV format.
+pub mod fixture {
+    use crate::azure::AzureDataset;
+
+    /// The invocations-per-minute CSV text.
+    pub const INVOCATIONS_CSV: &str = include_str!("../fixtures/invocations_per_function.csv");
+    /// The duration-percentiles CSV text.
+    pub const DURATIONS_CSV: &str = include_str!("../fixtures/function_durations.csv");
+    /// The app-memory CSV text.
+    pub const MEMORY_CSV: &str = include_str!("../fixtures/app_memory.csv");
+
+    /// Parses the bundled fixture (infallible: the round-trip test in
+    /// CI keeps the fixture and the parser in lock-step).
+    pub fn dataset() -> AzureDataset {
+        AzureDataset::from_csv(INVOCATIONS_CSV, DURATIONS_CSV, MEMORY_CSV)
+            .expect("bundled fixture parses")
+    }
+}

@@ -1,0 +1,193 @@
+//! Percentile sketches: the compressed distribution summaries the
+//! Azure Functions trace publishes per function (duration percentiles)
+//! and per app (allocated-memory percentiles), with deterministic
+//! inverse-CDF sampling for trace expansion.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::TraceError;
+use crate::Result;
+
+/// A distribution summarized by a handful of `(percentile, value)`
+/// points, as published in the Azure Functions 2019 trace. Quantiles
+/// between the published points are linearly interpolated, which is
+/// exact enough for workload shaping and keeps the sketch tiny.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSketch {
+    /// `(percentile in [0, 100], value)`, strictly increasing in the
+    /// percentile and non-decreasing in the value.
+    points: Vec<(f64, f64)>,
+}
+
+impl PercentileSketch {
+    /// Builds a sketch from `(percentile, value)` points.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidSketch`] when the points are empty, a
+    /// percentile is outside `[0, 100]` or not strictly increasing, or
+    /// a value is negative, non-finite, or decreasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(TraceError::InvalidSketch("no percentile points"));
+        }
+        for pair in points.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(TraceError::InvalidSketch(
+                    "percentiles must be strictly increasing",
+                ));
+            }
+            if pair[0].1 > pair[1].1 {
+                return Err(TraceError::InvalidSketch(
+                    "values must be non-decreasing in the percentile",
+                ));
+            }
+        }
+        for &(pct, value) in &points {
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(TraceError::InvalidSketch("percentile outside [0, 100]"));
+            }
+            if !value.is_finite() || value < 0.0 {
+                return Err(TraceError::InvalidSketch(
+                    "value must be finite and non-negative",
+                ));
+            }
+        }
+        Ok(PercentileSketch { points })
+    }
+
+    /// The `(percentile, value)` points, ascending.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Smallest summarized value (the first point).
+    pub fn min(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// Largest summarized value (the last point).
+    pub fn max(&self) -> f64 {
+        self.points[self.points.len() - 1].1
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (clamped), linearly
+    /// interpolated between the published points and flat beyond them.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let pct = (q.clamp(0.0, 1.0)) * 100.0;
+        let first = self.points[0];
+        if pct <= first.0 {
+            return first.1;
+        }
+        for pair in self.points.windows(2) {
+            let (lo_pct, lo) = pair[0];
+            let (hi_pct, hi) = pair[1];
+            if pct <= hi_pct {
+                let t = (pct - lo_pct) / (hi_pct - lo_pct);
+                return lo + t * (hi - lo);
+            }
+        }
+        self.points[self.points.len() - 1].1
+    }
+
+    /// Median (the 50th-percentile quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the interpolated distribution (trapezoid rule over the
+    /// quantile function) — a smoothed stand-in when the source file
+    /// carries no explicit average.
+    pub fn mean_estimate(&self) -> f64 {
+        let mut mean = 0.0;
+        // Flat tails below the first and above the last point.
+        mean += self.points[0].1 * self.points[0].0 / 100.0;
+        for pair in self.points.windows(2) {
+            let width = (pair[1].0 - pair[0].0) / 100.0;
+            mean += width * (pair[0].1 + pair[1].1) / 2.0;
+        }
+        let last = self.points[self.points.len() - 1];
+        mean += last.1 * (100.0 - last.0) / 100.0;
+        mean
+    }
+
+    /// Draws one value by inverse-CDF sampling: a uniform quantile from
+    /// `rng` through [`PercentileSketch::quantile`]. Returns
+    /// `(quantile, value)` so callers can reuse the rank (the trace
+    /// expander maps it onto a benchmark pool's duration spread).
+    pub fn sample(&self, rng: &mut StdRng) -> (f64, f64) {
+        let q: f64 = rng.gen_range(0.0..1.0);
+        (q, self.quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sketch() -> PercentileSketch {
+        PercentileSketch::new(vec![
+            (0.0, 10.0),
+            (25.0, 20.0),
+            (50.0, 40.0),
+            (75.0, 80.0),
+            (99.0, 200.0),
+            (100.0, 1000.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_points() {
+        let s = sketch();
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        assert_eq!(s.quantile(0.5), 40.0);
+        // Halfway between p25 (20) and p50 (40).
+        assert!((s.quantile(0.375) - 30.0).abs() < 1e-9);
+        // Clamped outside [0, 1].
+        assert_eq!(s.quantile(-3.0), 10.0);
+        assert_eq!(s.quantile(7.0), 1000.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 1000.0);
+        assert_eq!(s.median(), 40.0);
+    }
+
+    #[test]
+    fn mean_estimate_sits_inside_the_support() {
+        let s = sketch();
+        let mean = s.mean_estimate();
+        assert!(mean > s.min() && mean < s.max(), "mean {mean}");
+        // A single-point sketch is a constant.
+        let constant = PercentileSketch::new(vec![(50.0, 7.0)]).unwrap();
+        assert_eq!(constant.mean_estimate(), 7.0);
+        assert_eq!(constant.quantile(0.2), 7.0);
+        assert_eq!(constant.quantile(0.9), 7.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_support() {
+        let s = sketch();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let (qa, va) = s.sample(&mut a);
+            let (qb, vb) = s.sample(&mut b);
+            assert_eq!((qa, va), (qb, vb));
+            assert!((s.min()..=s.max()).contains(&va));
+        }
+    }
+
+    #[test]
+    fn degenerate_sketches_are_rejected() {
+        assert!(PercentileSketch::new(Vec::new()).is_err());
+        assert!(PercentileSketch::new(vec![(50.0, 1.0), (50.0, 2.0)]).is_err());
+        assert!(PercentileSketch::new(vec![(25.0, 5.0), (75.0, 1.0)]).is_err());
+        assert!(PercentileSketch::new(vec![(-1.0, 5.0)]).is_err());
+        assert!(PercentileSketch::new(vec![(101.0, 5.0)]).is_err());
+        assert!(PercentileSketch::new(vec![(50.0, f64::NAN)]).is_err());
+        assert!(PercentileSketch::new(vec![(50.0, -2.0)]).is_err());
+    }
+}

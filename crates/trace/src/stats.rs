@@ -1,0 +1,288 @@
+//! Trace characterization: the workload-shape numbers that decide
+//! whether a fairness result generalizes — inter-arrival variability,
+//! burstiness, tenant skew and per-tenant concurrency envelopes —
+//! computed in one streaming pass.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use litmus_platform::{InvocationTrace, TenantId, TraceSource};
+
+/// One tenant's contribution to the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEnvelope {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Their invocation count.
+    pub events: usize,
+    /// Their share of all invocations, in `[0, 1]`.
+    pub share: f64,
+    /// Most arrivals they put into any one window — the concurrency
+    /// envelope a provider must provision for.
+    pub peak_per_window: usize,
+    /// Mean arrivals per window over the trace's span.
+    pub mean_per_window: f64,
+}
+
+/// Shape statistics of a trace, computed in one pass over a
+/// [`TraceSource`] (so arbitrarily long traces characterize in
+/// constant memory per tenant).
+///
+/// # Examples
+///
+/// ```
+/// use litmus_trace::{ExpandConfig, TraceStats};
+///
+/// let dataset = litmus_trace::fixture::dataset();
+/// let source = dataset.source(ExpandConfig::new(7).minute_ms(500)).unwrap();
+/// let stats = TraceStats::from_source(source, 500);
+/// assert!(stats.events > 0);
+/// println!("{stats}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total invocations.
+    pub events: usize,
+    /// First-to-last arrival span, ms.
+    pub span_ms: u64,
+    /// Window used for the concurrency envelopes, ms.
+    pub window_ms: u64,
+    /// Mean arrival rate over the span, per second.
+    pub mean_rate_per_s: f64,
+    /// Coefficient of variation (σ/μ) of the global inter-arrival
+    /// gaps: ≈1 for Poisson traffic, >1 when bursty, <1 when paced.
+    pub interarrival_cv: f64,
+    /// Goh–Barabási burstiness index `(σ−μ)/(σ+μ)` of the gaps, in
+    /// `(−1, 1)`: ≈0 for Poisson, →1 for heavy bursts, →−1 for a
+    /// metronome.
+    pub burstiness: f64,
+    /// Gini coefficient of the tenants' invocation shares: 0 when all
+    /// tenants invoke equally, →1 when one tenant dominates.
+    pub tenant_gini: f64,
+    /// Per-tenant envelopes, ascending by tenant id.
+    pub tenants: Vec<TenantEnvelope>,
+}
+
+impl TraceStats {
+    /// Characterizes a streaming source using `window_ms` (minimum 1)
+    /// tumbling windows for the concurrency envelopes.
+    pub fn from_source(mut source: impl TraceSource, window_ms: u64) -> Self {
+        let window_ms = window_ms.max(1);
+        struct TenantAcc {
+            events: usize,
+            window: u64,
+            in_window: usize,
+            peak: usize,
+        }
+        let mut tenants: BTreeMap<TenantId, TenantAcc> = BTreeMap::new();
+        let mut events = 0usize;
+        let mut first_at = 0u64;
+        let mut last_at = 0u64;
+        // Welford accumulation over inter-arrival gaps.
+        let mut prev_at: Option<u64> = None;
+        let mut gaps = 0usize;
+        let mut gap_mean = 0.0f64;
+        let mut gap_m2 = 0.0f64;
+
+        while let Some(event) = source.next_event() {
+            if events == 0 {
+                first_at = event.at_ms;
+            }
+            events += 1;
+            last_at = event.at_ms;
+            if let Some(prev) = prev_at {
+                let gap = event.at_ms.saturating_sub(prev) as f64;
+                gaps += 1;
+                let delta = gap - gap_mean;
+                gap_mean += delta / gaps as f64;
+                gap_m2 += delta * (gap - gap_mean);
+            }
+            prev_at = Some(event.at_ms);
+
+            let window = event.at_ms / window_ms;
+            let acc = tenants.entry(event.tenant).or_insert(TenantAcc {
+                events: 0,
+                window,
+                in_window: 0,
+                peak: 0,
+            });
+            acc.events += 1;
+            if acc.window != window {
+                acc.window = window;
+                acc.in_window = 0;
+            }
+            acc.in_window += 1;
+            acc.peak = acc.peak.max(acc.in_window);
+        }
+
+        let span_ms = last_at.saturating_sub(first_at);
+        let (interarrival_cv, burstiness) = if gaps > 1 && gap_mean > 0.0 {
+            let sigma = (gap_m2 / gaps as f64).sqrt();
+            (sigma / gap_mean, (sigma - gap_mean) / (sigma + gap_mean))
+        } else {
+            (0.0, 0.0)
+        };
+        let windows_spanned = span_ms / window_ms + 1;
+
+        let counts: Vec<usize> = tenants.values().map(|acc| acc.events).collect();
+        let tenant_gini = gini(&counts);
+        let tenants: Vec<TenantEnvelope> = tenants
+            .into_iter()
+            .map(|(tenant, acc)| TenantEnvelope {
+                tenant,
+                events: acc.events,
+                share: acc.events as f64 / events.max(1) as f64,
+                peak_per_window: acc.peak,
+                mean_per_window: acc.events as f64 / windows_spanned as f64,
+            })
+            .collect();
+
+        TraceStats {
+            events,
+            span_ms,
+            window_ms,
+            mean_rate_per_s: if span_ms == 0 {
+                0.0
+            } else {
+                events as f64 / (span_ms as f64 / 1000.0)
+            },
+            interarrival_cv,
+            burstiness,
+            tenant_gini,
+            tenants,
+        }
+    }
+
+    /// Characterizes a materialized trace.
+    pub fn from_trace(trace: &InvocationTrace, window_ms: u64) -> Self {
+        TraceStats::from_source(trace.source(), window_ms)
+    }
+}
+
+/// Gini coefficient of non-negative counts (0 for uniform shares).
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if counts.len() < 2 || total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n - 1.0) * x as f64)
+        .sum();
+    weighted / (n * total as f64)
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} invocations over {:.1} s ({:.1}/s), {} tenants",
+            self.events,
+            self.span_ms as f64 / 1000.0,
+            self.mean_rate_per_s,
+            self.tenants.len()
+        )?;
+        writeln!(
+            f,
+            "inter-arrival CV {:.2}, burstiness {:+.2}, tenant Gini {:.2}",
+            self.interarrival_cv, self.burstiness, self.tenant_gini
+        )?;
+        for envelope in &self.tenants {
+            writeln!(
+                f,
+                "  {}: {:>6} events ({:>5.1}%), peak {:>4}/window (mean {:.1})",
+                envelope.tenant,
+                envelope.events,
+                envelope.share * 100.0,
+                envelope.peak_per_window,
+                envelope.mean_per_window
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus_platform::TraceEvent;
+    use litmus_workloads::suite;
+
+    fn event(at_ms: u64, tenant: u32) -> TraceEvent {
+        TraceEvent {
+            at_ms,
+            function: suite::by_name("auth-go").unwrap(),
+            tenant: TenantId(tenant),
+        }
+    }
+
+    #[test]
+    fn metronome_vs_bursty_shapes_separate() {
+        // Perfectly paced arrivals: CV ≈ 0, burstiness → −1.
+        let paced: Vec<TraceEvent> = (0..200).map(|i| event(i * 100, 0)).collect();
+        let paced = TraceStats::from_trace(&InvocationTrace::from_events(paced), 1_000);
+        assert!(paced.interarrival_cv < 0.05, "cv {}", paced.interarrival_cv);
+        assert!(paced.burstiness < -0.9, "b {}", paced.burstiness);
+
+        // All mass in tight clumps: CV well above 1, burstiness > 0.
+        let mut clumped = Vec::new();
+        for clump in 0..20 {
+            for i in 0..10 {
+                clumped.push(event(clump * 5_000 + i, 0));
+            }
+        }
+        let clumped = TraceStats::from_trace(&InvocationTrace::from_events(clumped), 1_000);
+        assert!(
+            clumped.interarrival_cv > 1.5,
+            "cv {}",
+            clumped.interarrival_cv
+        );
+        assert!(clumped.burstiness > 0.2, "b {}", clumped.burstiness);
+        assert!(clumped.burstiness > paced.burstiness);
+    }
+
+    #[test]
+    fn tenant_skew_shows_in_gini_and_envelopes() {
+        // Tenant 0: 300 events; tenant 1: 20; tenant 2: 20.
+        let mut events = Vec::new();
+        for i in 0..300u64 {
+            events.push(event(i * 10, 0));
+        }
+        for i in 0..20u64 {
+            events.push(event(i * 150, 1));
+            events.push(event(i * 150 + 5, 2));
+        }
+        let stats = TraceStats::from_trace(&InvocationTrace::from_events(events), 500);
+        assert_eq!(stats.events, 340);
+        assert_eq!(stats.tenants.len(), 3);
+        assert!(stats.tenant_gini > 0.4, "gini {}", stats.tenant_gini);
+        let t0 = &stats.tenants[0];
+        assert_eq!(t0.tenant, TenantId(0));
+        assert_eq!(t0.events, 300);
+        assert!(t0.share > 0.85);
+        // 500 ms windows at one event per 10 ms → 50 per window.
+        assert_eq!(t0.peak_per_window, 50);
+        // Equal-share tenants give Gini 0.
+        let even: Vec<TraceEvent> = (0..100).map(|i| event(i * 7, (i % 4) as u32)).collect();
+        let even = TraceStats::from_trace(&InvocationTrace::from_events(even), 1_000);
+        assert!(even.tenant_gini < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_traces_do_not_panic() {
+        let empty = TraceStats::from_trace(&InvocationTrace::from_events(Vec::new()), 1_000);
+        assert_eq!(empty.events, 0);
+        assert_eq!(empty.mean_rate_per_s, 0.0);
+        assert!(empty.tenants.is_empty());
+        assert_eq!(empty.tenant_gini, 0.0);
+
+        let single = TraceStats::from_trace(&InvocationTrace::from_events(vec![event(5, 1)]), 0);
+        assert_eq!(single.events, 1);
+        assert_eq!(single.window_ms, 1, "window clamps to ≥ 1");
+        assert_eq!(single.interarrival_cv, 0.0);
+    }
+}

@@ -1,0 +1,506 @@
+//! Order-preserving trace transforms, applicable to any streaming
+//! [`TraceSource`] (or a materialized [`InvocationTrace`]): compress
+//! time, thin the arrival rate, subsample tenants, slice a window.
+//!
+//! Every transform is a *monotone filter-map* on the stream — it may
+//! drop events and shift times, but it never rewrites a tenant id and
+//! never reorders a tenant's surviving events. One caveat on
+//! *cross-tenant* order: compression can collapse distinct arrival
+//! times into ties, and same-millisecond ties are always re-normalized
+//! into the canonical ascending-tenant order [`TraceSource`] requires —
+//! so a transformed source stays a valid time-ordered source, and
+//! streaming it is bit-identical to materializing it.
+
+use litmus_platform::{InvocationTrace, TenantId, TraceEvent, TraceSource};
+
+use crate::error::TraceError;
+use crate::Result;
+
+/// One order-preserving rewrite of a trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceTransform {
+    /// Divides every arrival time by `divisor` — replay a day-long
+    /// trace in minutes while keeping every tenant's arrivals in their
+    /// relative order. Distinct times that collapse into one
+    /// millisecond become ties, and ties are re-sorted into the
+    /// canonical `(at_ms, tenant)` order — cross-tenant positions
+    /// within a tie may therefore differ from the input's.
+    Compress {
+        /// Time divisor, ≥ 1.
+        divisor: u64,
+    },
+    /// Keeps each event independently with probability
+    /// `keep_fraction`, decided by a deterministic per-event hash of
+    /// the seed and the event's position in the *input* stream — so
+    /// the same seed always keeps the same events, and composing
+    /// further transforms downstream never re-rolls the dice.
+    ScaleRate {
+        /// Fraction of events to keep, in `[0, 1]`.
+        keep_fraction: f64,
+        /// Thinning seed.
+        seed: u64,
+    },
+    /// Keeps only the listed tenants' events.
+    Subsample {
+        /// Tenants to keep.
+        tenants: Vec<TenantId>,
+    },
+    /// Keeps events with `start_ms <= at_ms < end_ms`, rebasing times
+    /// so the window starts at zero.
+    Window {
+        /// Inclusive window start, ms.
+        start_ms: u64,
+        /// Exclusive window end, ms.
+        end_ms: u64,
+    },
+}
+
+impl TraceTransform {
+    fn validate(&self) -> Result<()> {
+        match self {
+            TraceTransform::Compress { divisor } => {
+                if *divisor == 0 {
+                    return Err(TraceError::InvalidConfig("compress divisor must be ≥ 1"));
+                }
+            }
+            TraceTransform::ScaleRate { keep_fraction, .. } => {
+                if !(0.0..=1.0).contains(keep_fraction) {
+                    return Err(TraceError::InvalidConfig("keep_fraction must be in [0, 1]"));
+                }
+            }
+            TraceTransform::Subsample { .. } => {}
+            TraceTransform::Window { start_ms, end_ms } => {
+                if start_ms >= end_ms {
+                    return Err(TraceError::InvalidConfig(
+                        "window start must precede its end",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies this transform to one event (`index` is the event's
+    /// 0-based position in the *input* stream).
+    fn apply(&self, mut event: TraceEvent, index: u64) -> Step {
+        match self {
+            TraceTransform::Compress { divisor } => {
+                event.at_ms /= divisor;
+                Step::Keep(event)
+            }
+            TraceTransform::ScaleRate {
+                keep_fraction,
+                seed,
+            } => {
+                if unit_hash(*seed, index) < *keep_fraction {
+                    Step::Keep(event)
+                } else {
+                    Step::Drop
+                }
+            }
+            TraceTransform::Subsample { tenants } => {
+                if tenants.contains(&event.tenant) {
+                    Step::Keep(event)
+                } else {
+                    Step::Drop
+                }
+            }
+            TraceTransform::Window { start_ms, end_ms } => {
+                if event.at_ms < *start_ms {
+                    Step::Drop
+                } else if event.at_ms < *end_ms {
+                    event.at_ms -= start_ms;
+                    Step::Keep(event)
+                } else {
+                    // Every transform is monotone in time, so this
+                    // stage's input can only grow: nothing later will
+                    // ever re-enter the window.
+                    Step::Finished
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one transform stage on one event.
+enum Step {
+    /// The (possibly rewritten) event continues down the chain.
+    Keep(TraceEvent),
+    /// This event is dropped; later events may still survive.
+    Drop,
+    /// This event is dropped and, by time-monotonicity, so is every
+    /// later one — the stream can end without draining the source.
+    Finished,
+}
+
+/// SplitMix64 finalizer over `(seed, index)`, mapped to `[0, 1)` — the
+/// thinning coin for [`TraceTransform::ScaleRate`].
+fn unit_hash(seed: u64, index: u64) -> f64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A [`TraceSource`] with a chain of [`TraceTransform`]s applied in
+/// order, lazily, event by event.
+///
+/// The output honours the full [`TraceSource`] contract, including
+/// ascending-tenant order among same-millisecond ties: compression can
+/// *create* cross-tenant ties out of events the input ordered by their
+/// original times, so each run of equal output times is buffered and
+/// re-sorted by tenant before it is yielded. Memory therefore tracks
+/// the largest tie run — one compressed millisecond's worth of events —
+/// not the trace.
+#[derive(Debug, Clone)]
+pub struct TransformedSource<S> {
+    source: S,
+    transforms: Vec<TraceTransform>,
+    index: u64,
+    /// The current run of equal-`at_ms` output events, canonically
+    /// ordered; drained front to back.
+    ties: std::collections::VecDeque<TraceEvent>,
+    /// First transformed event beyond the current run.
+    pending: Option<TraceEvent>,
+    /// Set once a window stage proves no later event can survive; the
+    /// rest of the source is never pulled.
+    finished: bool,
+}
+
+impl<S: TraceSource> TransformedSource<S> {
+    /// Wraps `source`, applying `transforms` left to right to every
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidConfig`] for a zero compress divisor, a
+    /// keep fraction outside `[0, 1]`, or an inverted window.
+    pub fn new(source: S, transforms: Vec<TraceTransform>) -> Result<Self> {
+        for transform in &transforms {
+            transform.validate()?;
+        }
+        Ok(TransformedSource {
+            source,
+            transforms,
+            index: 0,
+            ties: std::collections::VecDeque::new(),
+            pending: None,
+            finished: false,
+        })
+    }
+
+    /// Pulls input events through the transform chain until one
+    /// survives — or a window stage proves the stream is over, which
+    /// ends it without draining (or expanding) the rest of the source.
+    fn next_transformed(&mut self) -> Option<TraceEvent> {
+        'events: while !self.finished {
+            let mut event = self.source.next_event()?;
+            let index = self.index;
+            self.index += 1;
+            for transform in &self.transforms {
+                match transform.apply(event, index) {
+                    Step::Keep(kept) => event = kept,
+                    Step::Drop => continue 'events,
+                    Step::Finished => {
+                        self.finished = true;
+                        return None;
+                    }
+                }
+            }
+            return Some(event);
+        }
+        None
+    }
+}
+
+impl<S: TraceSource> TraceSource for TransformedSource<S> {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        if let Some(event) = self.ties.pop_front() {
+            return Some(event);
+        }
+        // Collect the next run of equal output times and restore the
+        // canonical ascending-tenant tie order (the sort is stable, so
+        // same-tenant events keep their input order — exactly what the
+        // materialized path's stable re-sort produces).
+        let first = self.pending.take().or_else(|| self.next_transformed())?;
+        let at_ms = first.at_ms;
+        let mut run = vec![first];
+        loop {
+            match self.next_transformed() {
+                Some(event) if event.at_ms == at_ms => run.push(event),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        run.sort_by_key(|e| e.tenant);
+        self.ties.extend(run);
+        self.ties.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let buffered = self.ties.len() + usize::from(self.pending.is_some());
+        // Transforms only drop events, never add.
+        (buffered, self.source.size_hint().1.map(|h| h + buffered))
+    }
+}
+
+/// Applies `transforms` to a materialized trace (per-tenant event
+/// order and tenant ids are preserved; same-millisecond ties created
+/// by compression are re-normalized into the trace's canonical
+/// `(at_ms, tenant)` order).
+///
+/// # Errors
+///
+/// Everything [`TransformedSource::new`] rejects.
+pub fn apply(trace: &InvocationTrace, transforms: &[TraceTransform]) -> Result<InvocationTrace> {
+    let source = TransformedSource::new(trace.source(), transforms.to_vec())?;
+    Ok(InvocationTrace::from_source(source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::ExpandConfig;
+    use crate::fixture;
+
+    fn base_trace() -> InvocationTrace {
+        fixture::dataset()
+            .expand(ExpandConfig::new(11).minute_ms(1_000))
+            .unwrap()
+    }
+
+    #[test]
+    fn compress_divides_times_and_keeps_every_event() {
+        let trace = base_trace();
+        let compressed = apply(&trace, &[TraceTransform::Compress { divisor: 4 }]).unwrap();
+        assert_eq!(compressed.len(), trace.len());
+        for (orig, new) in trace.events().iter().zip(compressed.events()) {
+            assert_eq!(new.at_ms, orig.at_ms / 4);
+        }
+    }
+
+    #[test]
+    fn streamed_compression_restores_canonical_tie_order() {
+        use litmus_platform::{TenantId, TraceSource};
+        use litmus_workloads::suite;
+
+        // Input is canonically ordered by (at_ms, tenant); dividing by
+        // 4 collapses both events onto 1 ms with the tenants in
+        // *descending* order — the stream must re-sort the tie.
+        let event = |at_ms: u64, tenant: u32| TraceEvent {
+            at_ms,
+            function: suite::by_name("auth-go").unwrap(),
+            tenant: TenantId(tenant),
+        };
+        let trace = InvocationTrace::from_events(vec![event(4, 1), event(5, 0)]);
+        let transforms = vec![TraceTransform::Compress { divisor: 4 }];
+        let mut streamed = Vec::new();
+        let mut source = TransformedSource::new(trace.source(), transforms.clone()).unwrap();
+        while let Some(event) = source.next_event() {
+            streamed.push(event);
+        }
+        assert_eq!(
+            streamed.iter().map(|e| e.tenant).collect::<Vec<_>>(),
+            vec![TenantId(0), TenantId(1)],
+            "ties must come out in ascending tenant order"
+        );
+        assert_eq!(streamed, apply(&trace, &transforms).unwrap().events());
+
+        // And at fixture scale: the streamed sequence is exactly the
+        // materialized one, for a tie-heavy compression.
+        let trace = base_trace();
+        let transforms = vec![TraceTransform::Compress { divisor: 200 }];
+        let materialized = apply(&trace, &transforms).unwrap();
+        let mut source = TransformedSource::new(trace.source(), transforms).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(event) = source.next_event() {
+            streamed.push(event);
+        }
+        assert_eq!(streamed, materialized.events());
+    }
+
+    #[test]
+    fn scale_rate_thins_deterministically() {
+        let trace = base_trace();
+        let half = |seed| {
+            apply(
+                &trace,
+                &[TraceTransform::ScaleRate {
+                    keep_fraction: 0.5,
+                    seed,
+                }],
+            )
+            .unwrap()
+        };
+        let a = half(1);
+        assert_eq!(a, half(1), "same seed, same survivors");
+        assert_ne!(a, half(2), "different seed, different survivors");
+        let ratio = a.len() as f64 / trace.len() as f64;
+        assert!((0.4..0.6).contains(&ratio), "kept {ratio:.2}");
+        // Extremes.
+        assert_eq!(
+            apply(
+                &trace,
+                &[TraceTransform::ScaleRate {
+                    keep_fraction: 1.0,
+                    seed: 9
+                }]
+            )
+            .unwrap(),
+            trace
+        );
+        assert!(apply(
+            &trace,
+            &[TraceTransform::ScaleRate {
+                keep_fraction: 0.0,
+                seed: 9
+            }]
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn subsample_keeps_exactly_the_listed_tenants() {
+        let trace = base_trace();
+        let keep = vec![TenantId(0), TenantId(3)];
+        let sampled = apply(
+            &trace,
+            &[TraceTransform::Subsample {
+                tenants: keep.clone(),
+            }],
+        )
+        .unwrap();
+        assert!(!sampled.is_empty());
+        assert!(sampled.events().iter().all(|e| keep.contains(&e.tenant)));
+        let expected = trace
+            .events()
+            .iter()
+            .filter(|e| keep.contains(&e.tenant))
+            .count();
+        assert_eq!(sampled.len(), expected);
+    }
+
+    #[test]
+    fn window_short_circuits_past_its_end() {
+        use litmus_platform::{TenantId, TraceSource};
+        use litmus_workloads::suite;
+
+        /// Counts how many events the chain actually pulls.
+        struct CountingSource {
+            next_at: u64,
+            pulled: u64,
+        }
+        impl TraceSource for CountingSource {
+            fn next_event(&mut self) -> Option<TraceEvent> {
+                // An endless time-ordered stream: without the window
+                // short-circuit this test would never finish.
+                let at_ms = self.next_at;
+                self.next_at += 10;
+                self.pulled += 1;
+                Some(TraceEvent {
+                    at_ms,
+                    function: suite::by_name("auth-go").unwrap(),
+                    tenant: TenantId(0),
+                })
+            }
+        }
+
+        let mut source = TransformedSource::new(
+            CountingSource {
+                next_at: 0,
+                pulled: 0,
+            },
+            vec![TraceTransform::Window {
+                start_ms: 100,
+                end_ms: 200,
+            }],
+        )
+        .unwrap();
+        let mut yielded = 0;
+        while source.next_event().is_some() {
+            yielded += 1;
+        }
+        assert_eq!(yielded, 10, "events at 100, 110, …, 190");
+        // 0..=200 step 10 → 21 pulls: everything up to and including
+        // the first past-the-end event, nothing beyond.
+        assert_eq!(source.source.pulled, 21);
+        // Exhaustion is sticky.
+        assert!(source.next_event().is_none());
+        assert_eq!(source.source.pulled, 21);
+    }
+
+    #[test]
+    fn window_slices_and_rebases() {
+        let trace = base_trace();
+        let windowed = apply(
+            &trace,
+            &[TraceTransform::Window {
+                start_ms: 2_000,
+                end_ms: 5_000,
+            }],
+        )
+        .unwrap();
+        assert!(!windowed.is_empty());
+        assert!(windowed.events().iter().all(|e| e.at_ms < 3_000));
+        let expected = trace
+            .events()
+            .iter()
+            .filter(|e| (2_000..5_000).contains(&e.at_ms))
+            .count();
+        assert_eq!(windowed.len(), expected);
+    }
+
+    #[test]
+    fn chains_apply_in_order() {
+        let trace = base_trace();
+        // Window-then-compress ≠ compress-then-window at these params;
+        // check the former's composition explicitly.
+        let chained = apply(
+            &trace,
+            &[
+                TraceTransform::Window {
+                    start_ms: 1_000,
+                    end_ms: 9_000,
+                },
+                TraceTransform::Compress { divisor: 2 },
+            ],
+        )
+        .unwrap();
+        let windowed = apply(
+            &trace,
+            &[TraceTransform::Window {
+                start_ms: 1_000,
+                end_ms: 9_000,
+            }],
+        )
+        .unwrap();
+        let both = apply(&windowed, &[TraceTransform::Compress { divisor: 2 }]).unwrap();
+        assert_eq!(chained, both);
+    }
+
+    #[test]
+    fn degenerate_transforms_are_rejected() {
+        let trace = base_trace();
+        assert!(apply(&trace, &[TraceTransform::Compress { divisor: 0 }]).is_err());
+        assert!(apply(
+            &trace,
+            &[TraceTransform::ScaleRate {
+                keep_fraction: 1.5,
+                seed: 0
+            }]
+        )
+        .is_err());
+        assert!(apply(
+            &trace,
+            &[TraceTransform::Window {
+                start_ms: 5,
+                end_ms: 5
+            }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the trace layer: merge preserves global time
+//! order and event count; transforms never reorder surviving events
+//! and never rewrite tenant ids.
+
+use litmus_platform::{InvocationTrace, TenantId, TraceEvent};
+use litmus_trace::TraceTransform;
+use litmus_workloads::suite;
+use litmus_workloads::Benchmark;
+use proptest::prelude::*;
+
+fn benchmarks() -> Vec<Benchmark> {
+    suite::benchmarks()
+}
+
+/// Builds a trace from generated `(at_ms, tenant, function index)`
+/// triples.
+fn trace_from(raw: &[(u64, u32, usize)]) -> InvocationTrace {
+    let pool = benchmarks();
+    InvocationTrace::from_events(
+        raw.iter()
+            .map(|&(at_ms, tenant, bench)| TraceEvent {
+                at_ms,
+                function: pool[bench % pool.len()].clone(),
+                tenant: TenantId(tenant),
+            })
+            .collect(),
+    )
+}
+
+/// The per-tenant event sequence, as `(at_ms, function name)` pairs —
+/// the identity transforms must preserve in order.
+fn tenant_sequence(trace: &InvocationTrace, tenant: TenantId) -> Vec<(u64, &'static str)> {
+    trace
+        .events()
+        .iter()
+        .filter(|e| e.tenant == tenant)
+        .map(|e| (e.at_ms, e.function.name()))
+        .collect()
+}
+
+fn assert_time_ordered(trace: &InvocationTrace) {
+    for pair in trace.events().windows(2) {
+        assert!(
+            pair[0].at_ms <= pair[1].at_ms,
+            "events out of order: {} then {}",
+            pair[0].at_ms,
+            pair[1].at_ms
+        );
+    }
+}
+
+/// `needle` must appear inside `haystack` in order (not necessarily
+/// contiguously).
+fn is_subsequence<T: PartialEq>(needle: &[T], haystack: &[T]) -> bool {
+    let mut it = haystack.iter();
+    needle
+        .iter()
+        .all(|item| it.any(|candidate| candidate == item))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging two traces preserves the global event count and yields
+    /// a time-ordered trace containing every tenant's events in their
+    /// original per-tenant order.
+    #[test]
+    fn merge_preserves_time_order_and_count(
+        left in prop::collection::vec((0u64..20_000, 0u32..5, 0usize..27), 0..80),
+        right in prop::collection::vec((0u64..20_000, 0u32..5, 0usize..27), 0..80),
+    ) {
+        let a = trace_from(&left);
+        let b = trace_from(&right);
+        let merged = a.clone().merge(b.clone());
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        assert_time_ordered(&merged);
+        // No event is invented or lost: multiset equality via sorted
+        // projections.
+        let project = |t: &InvocationTrace| {
+            let mut v: Vec<(u64, u32, &'static str)> = t
+                .events()
+                .iter()
+                .map(|e| (e.at_ms, e.tenant.0, e.function.name()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut expected = project(&a);
+        expected.extend(project(&b));
+        expected.sort_unstable();
+        prop_assert_eq!(project(&merged), expected);
+    }
+
+    /// Every transform chain yields a time-ordered trace whose
+    /// surviving events keep their tenant ids and their per-tenant
+    /// order — transforms drop and shift, never shuffle or relabel.
+    #[test]
+    fn transforms_never_reorder_or_relabel(
+        raw in prop::collection::vec((0u64..50_000, 0u32..6, 0usize..27), 1..120),
+        divisor in 1u64..500,
+        keep_milli in 0u32..1000,
+        thin_seed in 0u64..1000,
+        window_start in 0u64..40_000,
+        window_len in 1u64..30_000,
+    ) {
+        let trace = trace_from(&raw);
+        let chains: Vec<Vec<TraceTransform>> = vec![
+            vec![TraceTransform::Compress { divisor }],
+            vec![TraceTransform::ScaleRate {
+                keep_fraction: keep_milli as f64 / 1000.0,
+                seed: thin_seed,
+            }],
+            vec![TraceTransform::Subsample {
+                tenants: vec![TenantId(0), TenantId(2), TenantId(4)],
+            }],
+            vec![TraceTransform::Window {
+                start_ms: window_start,
+                end_ms: window_start + window_len,
+            }],
+            // A full pipeline, in order.
+            vec![
+                TraceTransform::Window {
+                    start_ms: window_start,
+                    end_ms: window_start + window_len,
+                },
+                TraceTransform::ScaleRate {
+                    keep_fraction: keep_milli as f64 / 1000.0,
+                    seed: thin_seed,
+                },
+                TraceTransform::Compress { divisor },
+            ],
+        ];
+        for transforms in chains {
+            let out = litmus_trace::apply(&trace, &transforms).unwrap();
+            prop_assert!(out.len() <= trace.len());
+            assert_time_ordered(&out);
+            // Tenant ids survive untouched: every output tenant existed
+            // in the input.
+            let input_tenants = trace.tenants();
+            for tenant in out.tenants() {
+                prop_assert!(input_tenants.contains(&tenant));
+            }
+            // Per-tenant function order is a subsequence of the input's
+            // (times may shift; the sequence of bodies may not).
+            for tenant in out.tenants() {
+                let out_seq: Vec<&'static str> = tenant_sequence(&out, tenant)
+                    .into_iter()
+                    .map(|(_, name)| name)
+                    .collect();
+                let in_seq: Vec<&'static str> = tenant_sequence(&trace, tenant)
+                    .into_iter()
+                    .map(|(_, name)| name)
+                    .collect();
+                prop_assert!(
+                    is_subsequence(&out_seq, &in_seq),
+                    "tenant {tenant} resequenced under {transforms:?}"
+                );
+            }
+        }
+    }
+
+    /// Compression is exact integer division of arrival times, for
+    /// every event.
+    #[test]
+    fn compress_is_pointwise_division(
+        raw in prop::collection::vec((0u64..100_000, 0u32..4, 0usize..27), 1..60),
+        divisor in 1u64..1_000,
+    ) {
+        let trace = trace_from(&raw);
+        let out = litmus_trace::apply(&trace, &[TraceTransform::Compress { divisor }]).unwrap();
+        prop_assert_eq!(out.len(), trace.len());
+        // Compression can merge distinct times into ties, and the
+        // canonical (at_ms, tenant) re-sort may swap cross-tenant ties,
+        // so compare multisets of (compressed time, tenant, function).
+        let mut expected: Vec<(u64, u32, &'static str)> = trace
+            .events()
+            .iter()
+            .map(|e| (e.at_ms / divisor, e.tenant.0, e.function.name()))
+            .collect();
+        expected.sort_unstable();
+        let mut got: Vec<(u64, u32, &'static str)> = out
+            .events()
+            .iter()
+            .map(|e| (e.at_ms, e.tenant.0, e.function.name()))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,66 @@
+//! Fixture round-trip: parse → serialize → reparse must be the
+//! identity, and the serialized bytes must match the bundled files
+//! exactly. CI runs this so any drift between the parser and the
+//! published Azure Functions 2019 format fails fast.
+
+use litmus_trace::{fixture, AzureDataset, Trigger};
+
+#[test]
+fn fixture_parses_with_the_expected_shape() {
+    let dataset = fixture::dataset();
+    assert_eq!(dataset.minutes(), 15);
+    assert_eq!(dataset.functions().len(), 9);
+    assert_eq!(dataset.apps().len(), 5);
+    assert!(!dataset.is_empty());
+    for function in dataset.functions() {
+        assert_eq!(function.counts.len(), dataset.minutes());
+        assert!(function.mean_duration_ms > 0.0);
+        assert!(function.min_duration_ms <= function.max_duration_ms);
+        assert_eq!(function.duration_ms.points().len(), 7);
+    }
+    for app in dataset.apps() {
+        assert!(app.sample_count > 0);
+        assert_eq!(app.allocated_mb.points().len(), 8);
+    }
+    // The timer function fires exactly once a minute.
+    let nightly = dataset
+        .functions()
+        .iter()
+        .find(|f| f.function == "nightly")
+        .expect("fixture has the timer function");
+    assert_eq!(nightly.trigger, Trigger::Timer);
+    assert!(nightly.counts.iter().all(|&c| c == 1));
+    // cronjobs deliberately has no memory row.
+    assert!(dataset.memory_of("deadbeef", "cronjobs").is_none());
+}
+
+#[test]
+fn fixture_round_trips_through_the_writer() {
+    let dataset = fixture::dataset();
+    let invocations = dataset.to_invocations_csv();
+    let durations = dataset.to_durations_csv();
+    let memory = dataset.to_memory_csv();
+
+    // Dataset-level identity: reparsing the writer's output yields the
+    // same dataset.
+    let reparsed = AzureDataset::from_csv(&invocations, &durations, &memory)
+        .expect("serialized fixture reparses");
+    assert_eq!(dataset, reparsed);
+
+    // Byte-level identity with the bundled files: the fixture is kept
+    // in the writer's canonical form, so any divergence means the
+    // format (or the fixture) drifted.
+    assert_eq!(invocations, fixture::INVOCATIONS_CSV);
+    assert_eq!(durations, fixture::DURATIONS_CSV);
+    assert_eq!(memory, fixture::MEMORY_CSV);
+}
+
+#[test]
+fn fixture_loads_from_disk_too() {
+    // from_dir is the path the full downloaded dataset will use; keep
+    // it exercised against the same fixture directory.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let dataset = AzureDataset::from_dir(dir).expect("fixture dir parses");
+    assert_eq!(dataset, fixture::dataset());
+    assert!(AzureDataset::from_dir("/nonexistent-trace-dir").is_err());
+}

@@ -382,6 +382,51 @@ impl TenantClass {
         TenantClass::Batch,
     ];
 
+    /// Memory at or above this marks a function as [`Analytics`]
+    /// (big-footprint, memory-leaning work).
+    ///
+    /// [`Analytics`]: TenantClass::Analytics
+    pub const ANALYTICS_MEMORY_MB: f64 = 170.0;
+
+    /// Mean duration at or below this (for non-analytics functions)
+    /// marks a function as [`Interactive`]; anything longer is
+    /// [`Batch`].
+    ///
+    /// [`Interactive`]: TenantClass::Interactive
+    /// [`Batch`]: TenantClass::Batch
+    pub const INTERACTIVE_DURATION_MS: f64 = 1_000.0;
+
+    /// Classifies an externally-observed function (e.g. one row of the
+    /// Azure Functions trace) into the tenant archetype whose workload
+    /// pool best matches its resource character:
+    ///
+    /// * big allocated memory → [`TenantClass::Analytics`] (the
+    ///   memory-leaning pool, heaviest `T_shared` pressure);
+    /// * otherwise, short mean duration → [`TenantClass::Interactive`];
+    /// * otherwise → [`TenantClass::Batch`].
+    ///
+    /// Non-finite inputs are treated as unknown (zero), which lands in
+    /// the short-and-light [`TenantClass::Interactive`] bucket.
+    pub fn classify(mean_duration_ms: f64, mean_memory_mb: f64) -> TenantClass {
+        let duration = if mean_duration_ms.is_finite() {
+            mean_duration_ms.max(0.0)
+        } else {
+            0.0
+        };
+        let memory = if mean_memory_mb.is_finite() {
+            mean_memory_mb.max(0.0)
+        } else {
+            0.0
+        };
+        if memory >= Self::ANALYTICS_MEMORY_MB {
+            TenantClass::Analytics
+        } else if duration <= Self::INTERACTIVE_DURATION_MS {
+            TenantClass::Interactive
+        } else {
+            TenantClass::Batch
+        }
+    }
+
     /// Short label for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -557,6 +602,37 @@ mod tests {
     #[test]
     fn by_name_misses_gracefully() {
         assert!(by_name("nope-py").is_none());
+    }
+
+    #[test]
+    fn classify_maps_resource_character_to_archetypes() {
+        // Short and light → interactive.
+        assert_eq!(TenantClass::classify(180.0, 96.0), TenantClass::Interactive);
+        // Heavy memory wins regardless of duration.
+        assert_eq!(TenantClass::classify(180.0, 512.0), TenantClass::Analytics);
+        assert_eq!(
+            TenantClass::classify(30_000.0, 512.0),
+            TenantClass::Analytics
+        );
+        // Long but light → batch.
+        assert_eq!(TenantClass::classify(30_000.0, 96.0), TenantClass::Batch);
+        // Unknown stats degrade to the light default, never panic.
+        assert_eq!(
+            TenantClass::classify(f64::NAN, f64::INFINITY),
+            TenantClass::Interactive
+        );
+        // Thresholds are inclusive on the side their doc promises.
+        assert_eq!(
+            TenantClass::classify(
+                TenantClass::INTERACTIVE_DURATION_MS,
+                TenantClass::ANALYTICS_MEMORY_MB - 1.0
+            ),
+            TenantClass::Interactive
+        );
+        assert_eq!(
+            TenantClass::classify(0.0, TenantClass::ANALYTICS_MEMORY_MB),
+            TenantClass::Analytics
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Download the full Azure Functions 2019 trace and arrange it for
+# `AzureDataset::from_dir`.
+#
+# STATUS: stub — the repo's CI environment is offline, so this script
+# documents the procedure instead of running in CI. The bundled
+# fixture under crates/trace/fixtures/ keeps every test and example
+# self-contained; use this only to evaluate against the real dataset.
+#
+# The dataset (≈1.2 GB compressed) is published by Microsoft with
+# *Serverless in the Wild* (ATC '20):
+#   https://github.com/Azure/AzurePublicDataset
+#   (AzureFunctionsDataset2019.md has the access link and schema.)
+#
+# Layout expected by `AzureDataset::from_dir(<day dir>)`:
+#   <out>/d01/invocations_per_function.csv
+#   <out>/d01/function_durations.csv
+#   <out>/d01/app_memory.csv
+#
+# Follow-ups tracked in ROADMAP.md:
+#   * shard-aware loading (the real dataset splits each day across
+#     files; from_dir currently wants one file per family);
+#   * duration/memory rows missing for some functions in the real
+#     dataset — relax the strict join behind a lossy-ingest option.
+
+set -euo pipefail
+
+echo "error: this is a documented stub — the full Azure Functions 2019" >&2
+echo "trace must be fetched manually (see the comments in this script)." >&2
+echo "Everything in-repo runs against crates/trace/fixtures/." >&2
+exit 1

@@ -18,6 +18,7 @@
 //! | [`core`] | `litmus-core` | Litmus tests, tables, discount model, pricing engines |
 //! | [`platform`] | `litmus-platform` | co-run harness and evaluation experiments |
 //! | [`cluster`] | `litmus-cluster` | multi-machine serving, Litmus-aware placement, sharded billing |
+//! | [`trace`] | `litmus-trace` | Azure Functions trace ingestion, characterization, streaming replay |
 //!
 //! The paper's hardware testbed (Cascade Lake Xeon, Linux perf, CPython/
 //! Node.js/Go) is replaced by a deterministic analytic simulator — see
@@ -58,6 +59,7 @@ pub use litmus_core as core;
 pub use litmus_platform as platform;
 pub use litmus_sim as sim;
 pub use litmus_stats as stats;
+pub use litmus_trace as trace;
 pub use litmus_workloads as workloads;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -75,12 +77,13 @@ pub mod prelude {
     pub use litmus_platform::{
         AdmissionController, AdmissionDecision, CoRunEnv, CoRunHarness, CongestionMonitor,
         ExperimentResults, HarnessConfig, InvocationTrace, PricingExperiment, TenantId,
-        TenantTraffic,
+        TenantTraffic, TraceSource,
     };
     pub use litmus_sim::{
         ExecPhase, ExecutionProfile, FrequencyGovernor, MachineSpec, Placement, PmuCounters,
         Simulator,
     };
+    pub use litmus_trace::{AzureDataset, ExpandConfig, IntraMinute, TraceStats, TraceTransform};
     pub use litmus_workloads::{
         suite, BackfillPool, Benchmark, Language, TrafficGenerator, WorkloadMix,
     };

@@ -1,0 +1,151 @@
+//! End-to-end Azure-trace replay tests: the streaming `TraceSource`
+//! path must be bit-identical to fully-materialized replay — same
+//! `ClusterReport` (billing totals, latency stats, placements) at the
+//! same seed — under every placement policy, at both the platform and
+//! the cluster layer.
+
+use litmus::prelude::*;
+use litmus::trace::{fixture, TransformedSource};
+
+/// One compressed trace minute, ms (15-minute fixture → 3 s replay).
+const MINUTE_MS: u64 = 200;
+const SEED: u64 = 77;
+
+fn expand_config() -> ExpandConfig {
+    ExpandConfig::new(SEED).minute_ms(MINUTE_MS)
+}
+
+/// Thin and compress the fixture to a debug-friendly size; the
+/// transform chain is part of what must stream identically — the
+/// compression deliberately creates cross-tenant arrival ties, the
+/// case where naive streaming would diverge from the materialized
+/// canonical order.
+fn transforms() -> Vec<TraceTransform> {
+    vec![
+        TraceTransform::ScaleRate {
+            keep_fraction: 0.15,
+            seed: 5,
+        },
+        TraceTransform::Compress { divisor: 2 },
+    ]
+}
+
+fn calibration() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .unwrap();
+    let model = DiscountModel::fit(&tables).unwrap();
+    (tables, model)
+}
+
+fn cluster_config() -> ClusterConfig {
+    let machines: Vec<_> = (0..3)
+        .map(|i| {
+            let background = if i == 0 { 12 } else { 0 };
+            MachineConfig::new(8)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(60)
+                .seed(0xACE + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 3, 8)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(2)
+        .slice_ms(20)
+}
+
+/// The thinned fixture, materialized.
+fn materialized_trace() -> InvocationTrace {
+    let trace = fixture::dataset().expand(expand_config()).unwrap();
+    litmus::trace::apply(&trace, &transforms()).unwrap()
+}
+
+/// The same workload as a pure stream: expander → transform chain →
+/// driver, nothing materialized.
+fn streaming_source() -> impl TraceSource {
+    let source = fixture::dataset().source(expand_config()).unwrap();
+    TransformedSource::new(source, transforms()).unwrap()
+}
+
+fn replay_materialized<P: PlacementPolicy>(policy: P, trace: &InvocationTrace) -> ClusterReport {
+    let (tables, model) = calibration();
+    let mut cluster = Cluster::build(cluster_config(), tables, model).unwrap();
+    ClusterDriver::new(policy)
+        .replay(&mut cluster, trace)
+        .unwrap()
+}
+
+fn replay_streaming<P: PlacementPolicy>(policy: P) -> ClusterReport {
+    let (tables, model) = calibration();
+    let mut cluster = Cluster::build(cluster_config(), tables, model).unwrap();
+    ClusterDriver::new(policy)
+        .replay_source(&mut cluster, streaming_source())
+        .unwrap()
+}
+
+#[test]
+fn streaming_cluster_replay_is_bit_identical_for_every_policy() {
+    let trace = materialized_trace();
+    assert!(
+        trace.len() > 200,
+        "thinned fixture too small: {}",
+        trace.len()
+    );
+
+    let round_robin = replay_materialized(RoundRobin::new(), &trace);
+    assert_eq!(round_robin, replay_streaming(RoundRobin::new()));
+
+    let least_loaded = replay_materialized(LeastLoaded::new(), &trace);
+    assert_eq!(least_loaded, replay_streaming(LeastLoaded::new()));
+
+    let litmus_aware = replay_materialized(LitmusAware::new(), &trace);
+    assert_eq!(litmus_aware, replay_streaming(LitmusAware::new()));
+
+    // The reports are real replays, not vacuous equalities: everything
+    // completed and every fixture tenant was billed.
+    for report in [&round_robin, &least_loaded, &litmus_aware] {
+        assert_eq!(report.completed, trace.len());
+        assert_eq!(report.unfinished, 0);
+        assert!(report.mean_latency_ms > 0.0);
+        assert!(report.billing.total().litmus_revenue() > 0.0);
+        assert!(
+            report.billing.total().litmus_revenue()
+                <= report.billing.total().commercial_revenue() * (1.0 + 1e-9)
+        );
+    }
+    let billed_tenants = litmus_aware.billing.tenants().count();
+    assert_eq!(billed_tenants, trace.tenants().len());
+}
+
+#[test]
+fn streaming_platform_replay_matches_materialized() {
+    // Single-machine metering pipeline: webshop's traffic only,
+    // streamed vs materialized.
+    let keep = vec![TraceTransform::Subsample {
+        tenants: vec![TenantId(3)], // c0ffee01/webshop in sorted app order
+    }];
+    let full = fixture::dataset().expand(expand_config()).unwrap();
+    let trace = litmus::trace::apply(&full, &keep).unwrap();
+    assert!(!trace.is_empty());
+
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .unwrap();
+    let pricing = LitmusPricing::new(DiscountModel::fit(&tables).unwrap());
+    let driver = litmus::platform::TraceDriver::new(MachineSpec::cascade_lake(), 8)
+        .scale(0.04)
+        .drain_ms(30_000);
+
+    let materialized = driver.replay(&trace, &pricing, &tables).unwrap();
+    let source =
+        TransformedSource::new(fixture::dataset().source(expand_config()).unwrap(), keep).unwrap();
+    let streamed = driver.replay_source(source, &pricing, &tables).unwrap();
+    assert_eq!(materialized, streamed);
+    assert_eq!(materialized.ledger.len(), trace.len());
+}
