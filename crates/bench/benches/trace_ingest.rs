@@ -10,16 +10,49 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use litmus_platform::TraceSource;
-use litmus_trace::{fixture, ExpandConfig, IntraMinute, TraceStats, TraceTransform};
+use litmus_trace::{
+    fixture, AzureDataset, ExpandConfig, IngestMode, IntraMinute, LossyIngest, TraceStats,
+    TraceTransform,
+};
 
 fn config() -> ExpandConfig {
     ExpandConfig::new(31).minute_ms(60_000)
 }
 
 fn bench_parse(c: &mut Criterion) {
+    // Note on the parse numbers: `Trigger::parse` matches with
+    // `eq_ignore_ascii_case` instead of lowercasing into a fresh
+    // `String` — the hot parse loop allocates nothing per row beyond
+    // the retained hashes/counts, and this group is the regression
+    // guard for keeping it that way.
     let mut group = c.benchmark_group("trace_parse");
     group.bench_function("fixture_three_csvs", |b| {
         b.iter(|| black_box(fixture::dataset()))
+    });
+    // The lossy path on incomplete data: every third function's
+    // duration row removed, imputed back from app/trigger medians.
+    let holey: String = {
+        let mut lines = fixture::DURATIONS_CSV.lines();
+        let header = lines.next().unwrap();
+        let kept: Vec<&str> = lines
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, l)| l)
+            .collect();
+        format!("{header}\n{}\n", kept.join("\n"))
+    };
+    group.bench_function("fixture_lossy_impute", |b| {
+        b.iter(|| {
+            black_box(
+                AzureDataset::from_csv_with(
+                    fixture::INVOCATIONS_CSV,
+                    &holey,
+                    fixture::MEMORY_CSV,
+                    IngestMode::Lossy(LossyIngest::ImputeMedians),
+                )
+                .unwrap(),
+            )
+        })
     });
     group.finish();
 }

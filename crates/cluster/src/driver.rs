@@ -429,16 +429,14 @@ pub struct ClusterReport {
     /// slowdown at dispatch time — the placement-quality signal
     /// Litmus-aware routing minimises.
     pub mean_predicted_slowdown: f64,
+    /// The chosen machine's predicted slowdown at dispatch time, one
+    /// entry per trace event in trace order (parallel to
+    /// [`ClusterReport::placements`]) — the per-invocation SLO signal
+    /// autoscale studies cut tail quantiles from.
+    pub predicted_slowdowns: Vec<f64>,
     /// Simulated time the replay covered, ms.
     pub sim_ms: u64,
 }
-
-/// Former name of [`ClusterReport`].
-#[deprecated(
-    since = "0.1.0",
-    note = "renamed to `ClusterReport`; the alias will be removed in the release after next — update imports"
-)]
-pub type ClusterOutcome = ClusterReport;
 
 impl ClusterReport {
     /// Completed invocations per simulated second.
@@ -447,6 +445,45 @@ impl ClusterReport {
             return 0.0;
         }
         self.completed as f64 / (self.sim_ms as f64 / 1000.0)
+    }
+
+    /// Total machine-on time across the replay, ms: every machine's
+    /// lifetime clipped to the replay window — the capacity cost an
+    /// autoscale study trades against the SLO tail. Divide by
+    /// 3 600 000 for machine-hours.
+    pub fn machine_ms(&self) -> u64 {
+        self.machine_lifetimes
+            .iter()
+            .map(|lifetime| lifetime.lifetime_ms(self.sim_ms))
+            .sum()
+    }
+
+    /// Quantile `q` in `[0, 1]` of the per-dispatch predicted
+    /// slowdowns (nearest-rank on a sorted copy); 0 when nothing was
+    /// dispatched. `predicted_slowdown_quantile(0.99)` is the p99
+    /// slowdown the autoscale-study frontier plots. Each call sorts a
+    /// copy — reading several quantiles of a large replay is cheaper
+    /// through [`ClusterReport::predicted_slowdown_quantiles`].
+    pub fn predicted_slowdown_quantile(&self, q: f64) -> f64 {
+        self.predicted_slowdown_quantiles(&[q])[0]
+    }
+
+    /// Several slowdown quantiles from one sort of the per-dispatch
+    /// samples (a real trace day is one sample per invocation, so the
+    /// sort dominates): `qs` values clamped to `[0, 1]`, answers in
+    /// `qs` order, all 0 when nothing was dispatched.
+    pub fn predicted_slowdown_quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        if self.predicted_slowdowns.is_empty() {
+            return vec![0.0; qs.len()];
+        }
+        let mut sorted = self.predicted_slowdowns.clone();
+        sorted.sort_by(f64::total_cmp);
+        qs.iter()
+            .map(|q| {
+                let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+                sorted[rank]
+            })
+            .collect()
     }
 }
 
@@ -635,7 +672,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let stealing = self.stealing;
         let slice_ms = cluster.slice_ms;
         let mut placements = Vec::with_capacity(source.size_hint().0);
-        let mut predicted_sum = 0.0;
+        let mut predicted_slowdowns = Vec::with_capacity(source.size_hint().0);
         let mut steal_events = Vec::new();
         let mut scale_events = Vec::new();
         let mut redispatched = 0;
@@ -672,7 +709,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                     Arc::make_mut(&mut cluster.ctx).warm_function(&spec, &event.function)?;
                 }
                 let (position, id, predicted) = self.route(cluster);
-                predicted_sum += predicted;
+                predicted_slowdowns.push(predicted);
                 placements.push(id);
                 cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
             }
@@ -768,11 +805,12 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             } else {
                 queue_wait_sum / launched as f64
             },
-            mean_predicted_slowdown: if placements.is_empty() {
+            mean_predicted_slowdown: if predicted_slowdowns.is_empty() {
                 0.0
             } else {
-                predicted_sum / placements.len() as f64
+                predicted_slowdowns.iter().sum::<f64>() / predicted_slowdowns.len() as f64
             },
+            predicted_slowdowns,
             placements,
             sim_ms: now_ms,
         })

@@ -96,8 +96,6 @@ mod steal;
 
 pub use billing::{BillingAggregator, BillingShard};
 pub use context::ServingContext;
-#[allow(deprecated)]
-pub use driver::ClusterOutcome;
 pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterReport};
 pub use error::ClusterError;
 pub use machine::{Machine, MachineConfig, MachineId};

@@ -259,6 +259,30 @@ fn autoscaler_grows_under_load_and_retires_idle_machines() {
     // Retired machines' revenue is retained: cluster-lifetime billing
     // equals the report's.
     assert_eq!(cluster.billing(), report.billing);
+
+    // Study-metric plumbing: one predicted-slowdown sample per trace
+    // event, tail quantiles ordered, and machine-time bounded by the
+    // peak-fleet rectangle while covering at least the floor's.
+    assert_eq!(report.predicted_slowdowns.len(), trace.len());
+    assert_eq!(report.predicted_slowdowns.len(), report.placements.len());
+    let p50 = report.predicted_slowdown_quantile(0.5);
+    let p99 = report.predicted_slowdown_quantile(0.99);
+    assert!(p50 >= 1.0, "slowdowns are ≥ 1, got p50 {p50}");
+    assert!(p99 >= p50, "quantiles out of order: p50 {p50}, p99 {p99}");
+    assert_eq!(
+        report.predicted_slowdown_quantile(1.0),
+        report
+            .predicted_slowdowns
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    );
+    let machine_ms = report.machine_ms();
+    assert!(machine_ms >= 2 * report.sim_ms, "below the 2-machine floor");
+    assert!(
+        machine_ms <= report.peak_machines as u64 * report.sim_ms,
+        "exceeds the peak-fleet rectangle"
+    );
 }
 
 proptest! {

@@ -142,6 +142,85 @@ impl<S: TraceSource> ChunkedSource<S> {
     }
 }
 
+/// Plays several [`TraceSource`]s back to back, each shifted onto the
+/// global clock by its own start offset — the streaming analogue of
+/// concatenating materialized traces, so a week-scale multi-day replay
+/// can chain per-day sources without materializing any of them.
+///
+/// # Invariants
+///
+/// Offsets must be non-decreasing part to part
+/// ([`ConcatSource::new`] rejects anything else), and each part must
+/// keep its shifted events below the next part's offset — e.g. a
+/// bounded source whose span is at most the gap to the next offset.
+/// The output is checked: an event that would travel back in time
+/// panics rather than silently corrupting the canonical replay order.
+#[derive(Debug, Clone)]
+pub struct ConcatSource<S> {
+    /// `(start offset ms, source)`, played in order.
+    parts: Vec<(u64, S)>,
+    current: usize,
+    last_ms: u64,
+}
+
+impl<S: TraceSource> ConcatSource<S> {
+    /// Builds the chained source over `parts`, each a `(start offset,
+    /// source)` pair. Returns `None` when offsets decrease.
+    pub fn new(parts: Vec<(u64, S)>) -> Option<Self> {
+        if parts.windows(2).any(|pair| pair[0].0 > pair[1].0) {
+            return None;
+        }
+        Some(ConcatSource {
+            parts,
+            current: 0,
+            last_ms: 0,
+        })
+    }
+
+    /// How many parts the chain was built over.
+    pub fn parts(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl<S: TraceSource> TraceSource for ConcatSource<S> {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        while let Some((offset, source)) = self.parts.get_mut(self.current) {
+            match source.next_event() {
+                Some(mut event) => {
+                    event.at_ms += *offset;
+                    assert!(
+                        event.at_ms >= self.last_ms,
+                        "ConcatSource part {} broke time order: event at {} ms \
+                         after {} ms (its span overruns the next part's offset)",
+                        self.current,
+                        event.at_ms,
+                        self.last_ms,
+                    );
+                    self.last_ms = event.at_ms;
+                    return Some(event);
+                }
+                None => self.current += 1,
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let mut lo = 0usize;
+        let mut hi = Some(0usize);
+        for (_, source) in &self.parts[self.current.min(self.parts.len())..] {
+            let (part_lo, part_hi) = source.size_hint();
+            lo += part_lo;
+            hi = match (hi, part_hi) {
+                (Some(h), Some(p)) => Some(h + p),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+}
+
 /// Arrival-rate shape of one tenant's traffic over time.
 ///
 /// Rates are arrivals per second; time-varying patterns are sampled by

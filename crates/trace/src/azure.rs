@@ -15,11 +15,18 @@
 //! Hash columns are opaque anonymized identifiers; they never contain
 //! commas or quotes, so a plain comma split is a faithful parse and no
 //! CSV dependency is needed.
+//!
+//! The real download shards each family per day
+//! (`invocations_per_function_md.anon.d01.csv`, …); see
+//! [`AzureDataset::from_dir`] for shard discovery and
+//! [`crate::IngestMode`] for the lossy path real (incomplete) days
+//! need.
 
-use std::collections::HashMap;
 use std::path::Path;
 
 use crate::error::TraceError;
+use crate::ingest::{self, IngestMode, IngestReport};
+use crate::shard;
 use crate::sketch::PercentileSketch;
 use crate::Result;
 
@@ -32,9 +39,9 @@ pub const DURATIONS_FILE: &str = "function_durations.csv";
 /// File name of the per-app allocated-memory CSV.
 pub const MEMORY_FILE: &str = "app_memory.csv";
 
-const INVOCATIONS: &str = "invocations";
-const DURATIONS: &str = "durations";
-const MEMORY: &str = "memory";
+pub(crate) const INVOCATIONS: &str = "invocations";
+pub(crate) const DURATIONS: &str = "durations";
+pub(crate) const MEMORY: &str = "memory";
 
 /// What fires a function, as recorded in the trace's `Trigger` column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +63,17 @@ pub enum Trigger {
 }
 
 impl Trigger {
+    /// Every trigger kind, in the writer's emission order.
+    pub const ALL: [Trigger; 7] = [
+        Trigger::Http,
+        Trigger::Timer,
+        Trigger::Queue,
+        Trigger::Storage,
+        Trigger::Event,
+        Trigger::Orchestration,
+        Trigger::Others,
+    ];
+
     /// The trace's column spelling for this trigger.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -69,17 +87,14 @@ impl Trigger {
         }
     }
 
+    /// Case-insensitive parse. Allocation-free on purpose: this runs
+    /// once per invocation row, and a full day of the real dataset is
+    /// hundreds of thousands of rows — a per-row lowercase `String`
+    /// was measurable in the `trace_ingest` parse bench.
     fn parse(text: &str) -> Option<Trigger> {
-        Some(match text.to_ascii_lowercase().as_str() {
-            "http" => Trigger::Http,
-            "timer" => Trigger::Timer,
-            "queue" => Trigger::Queue,
-            "storage" => Trigger::Storage,
-            "event" => Trigger::Event,
-            "orchestration" => Trigger::Orchestration,
-            "others" => Trigger::Others,
-            _ => return None,
-        })
+        Trigger::ALL
+            .into_iter()
+            .find(|trigger| text.eq_ignore_ascii_case(trigger.as_str()))
     }
 }
 
@@ -148,6 +163,12 @@ pub struct AzureApp {
 /// A parsed Azure Functions trace: every function with its per-minute
 /// counts and duration sketch, plus per-app memory statistics.
 ///
+/// Functions and apps are held in **canonical key order** (ascending
+/// `owner/app/function` and `owner/app` respectively), not CSV row
+/// order — so a dataset is a pure function of its row *set*, and any
+/// partition of the rows into shards ([`AzureDataset::from_dir`])
+/// parses to the identical dataset.
+///
 /// # Examples
 ///
 /// ```
@@ -165,6 +186,24 @@ pub struct AzureDataset {
 }
 
 impl AzureDataset {
+    /// Assembles a dataset from already-joined parts (the ingest
+    /// module's constructor; rows are sorted into canonical order
+    /// here so every ingest path shares the invariant).
+    pub(crate) fn assemble(
+        mut functions: Vec<AzureFunction>,
+        mut apps: Vec<AzureApp>,
+        minutes: usize,
+    ) -> Self {
+        functions
+            .sort_by(|a, b| (&a.owner, &a.app, &a.function).cmp(&(&b.owner, &b.app, &b.function)));
+        apps.sort_by(|a, b| (&a.owner, &a.app).cmp(&(&b.owner, &b.app)));
+        AzureDataset {
+            functions,
+            apps,
+            minutes,
+        }
+    }
+
     /// Parses the three CSV texts into one joined dataset.
     ///
     /// Strictness is deliberate — the fixture round-trip in CI leans on
@@ -174,98 +213,106 @@ impl AzureDataset {
     ///   columns `1,2,…,N` in order, percentile columns in ascending
     ///   order);
     /// * every invocations row must join a durations row and vice
-    ///   versa ([`TraceError::Unjoined`] otherwise);
+    ///   versa ([`TraceError::Unjoined`] otherwise), and no file may
+    ///   repeat a key;
+    /// * duration rows must summarize at least one execution
+    ///   (`Count ≥ 1`) with finite percentile values — a `Count == 0`
+    ///   or `NaN`/`inf` row would otherwise flow into
+    ///   [`PercentileSketch`] sampling and poison downstream weights;
     /// * memory rows are optional per app (the real dataset does not
     ///   cover every app) but must join an app that invokes something.
+    ///
+    /// The real (incomplete) dataset needs the lossy path instead —
+    /// see [`AzureDataset::from_csv_with`] and [`crate::IngestMode`].
     ///
     /// # Errors
     ///
     /// [`TraceError::Parse`] / [`TraceError::Unjoined`] as above.
     pub fn from_csv(invocations: &str, durations: &str, memory: &str) -> Result<Self> {
-        let (minutes, inv_rows) = parse_invocations(invocations)?;
-        let dur_rows = parse_durations(durations)?;
-        let apps = parse_memory(memory)?;
-
-        let mut by_key: HashMap<(String, String, String), DurationRow> = HashMap::new();
-        for row in dur_rows {
-            let key = (row.owner.clone(), row.app.clone(), row.function.clone());
-            if by_key.insert(key, row).is_some() {
-                return Err(TraceError::Parse {
-                    file: DURATIONS,
-                    line: 0,
-                    message: "duplicate function row".into(),
-                });
-            }
-        }
-
-        let mut functions = Vec::with_capacity(inv_rows.len());
-        for row in inv_rows {
-            let key = (row.owner.clone(), row.app.clone(), row.function.clone());
-            let durations = by_key.remove(&key).ok_or_else(|| TraceError::Unjoined {
-                file: DURATIONS,
-                key: format!("{}/{}/{}", row.owner, row.app, row.function),
-            })?;
-            functions.push(AzureFunction {
-                owner: row.owner,
-                app: row.app,
-                function: row.function,
-                trigger: row.trigger,
-                counts: row.counts,
-                mean_duration_ms: durations.average,
-                sampled_executions: durations.count,
-                min_duration_ms: durations.minimum,
-                max_duration_ms: durations.maximum,
-                duration_ms: durations.sketch,
-            });
-        }
-        if let Some(leftover) = by_key.into_keys().next() {
-            return Err(TraceError::Unjoined {
-                file: INVOCATIONS,
-                key: format!("{}/{}/{}", leftover.0, leftover.1, leftover.2),
-            });
-        }
-        let invoking_apps: std::collections::HashSet<(&str, &str)> = functions
-            .iter()
-            .map(|f| (f.owner.as_str(), f.app.as_str()))
-            .collect();
-        for app in &apps {
-            if !invoking_apps.contains(&(app.owner.as_str(), app.app.as_str())) {
-                return Err(TraceError::Unjoined {
-                    file: INVOCATIONS,
-                    key: format!("{}/{}", app.owner, app.app),
-                });
-            }
-        }
-        Ok(AzureDataset {
-            functions,
-            apps,
-            minutes,
-        })
+        ingest::ingest(invocations, durations, memory, IngestMode::Strict)
+            .map(|(dataset, _)| dataset)
     }
 
-    /// Reads and parses `invocations_per_function.csv`,
-    /// `function_durations.csv` and `app_memory.csv` from `dir`.
+    /// Parses the three CSV texts under an explicit [`IngestMode`],
+    /// returning the dataset together with the [`IngestReport`] of
+    /// per-category drop/impute counters.
+    ///
+    /// `IngestMode::Strict` behaves exactly like
+    /// [`AzureDataset::from_csv`]; the lossy modes tolerate the
+    /// incompleteness the real dataset ships with (functions missing
+    /// duration rows, degenerate duration rows, orphaned rows) by
+    /// counting and skipping — or imputing — instead of erroring.
     ///
     /// # Errors
     ///
-    /// [`TraceError::Io`] on read failures, plus everything
-    /// [`AzureDataset::from_csv`] rejects.
-    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self> {
-        let dir = dir.as_ref();
-        let read = |name: &str| std::fs::read_to_string(dir.join(name));
-        AzureDataset::from_csv(
-            &read(INVOCATIONS_FILE)?,
-            &read(DURATIONS_FILE)?,
-            &read(MEMORY_FILE)?,
-        )
+    /// [`TraceError::Parse`] for malformed headers or structurally
+    /// broken rows (wrong column count, empty identity hashes) in any
+    /// mode; value-level and join failures only in strict mode.
+    pub fn from_csv_with(
+        invocations: &str,
+        durations: &str,
+        memory: &str,
+        mode: IngestMode,
+    ) -> Result<(Self, IngestReport)> {
+        ingest::ingest(invocations, durations, memory, mode)
     }
 
-    /// The functions, in invocations-file row order.
+    /// Reads and parses one trace day from `dir`, discovering each CSV
+    /// family's shards.
+    ///
+    /// For every family the directory may hold either the unsharded
+    /// file ([`INVOCATIONS_FILE`], [`DURATIONS_FILE`], [`MEMORY_FILE`])
+    /// or any number of `<stem>*.csv` shards (the real download's
+    /// `invocations_per_function_md.anon.d01.csv` naming matches the
+    /// `invocations_per_function` stem). Shards are merged in
+    /// ascending file-name order; every shard must repeat the family
+    /// header exactly. Because datasets are canonically ordered, *any*
+    /// partition of the rows into shards parses to the identical
+    /// dataset.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on read failures,
+    /// [`TraceError::MissingFamily`] when a family has no file, a
+    /// [`TraceError::Parse`] on shard-header mismatch, plus everything
+    /// [`AzureDataset::from_csv`] rejects.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::from_dir_with(dir, IngestMode::Strict).map(|(dataset, _)| dataset)
+    }
+
+    /// [`AzureDataset::from_dir`] under an explicit [`IngestMode`],
+    /// returning the per-category [`IngestReport`] (including how many
+    /// shards each family was merged from).
+    ///
+    /// # Errors
+    ///
+    /// As [`AzureDataset::from_dir`]; join and value-level failures
+    /// only in strict mode.
+    pub fn from_dir_with(dir: impl AsRef<Path>, mode: IngestMode) -> Result<(Self, IngestReport)> {
+        let dir = dir.as_ref();
+        let invocations = shard::discover(dir, INVOCATIONS, shard::INVOCATIONS_STEM)?;
+        let durations = shard::discover(dir, DURATIONS, shard::DURATIONS_STEM)?;
+        let memory = shard::discover(dir, MEMORY, shard::MEMORY_STEM)?;
+        let (dataset, mut report) = ingest::ingest(
+            &shard::read_merged(&invocations, INVOCATIONS)?,
+            &shard::read_merged(&durations, DURATIONS)?,
+            &shard::read_merged(&memory, MEMORY)?,
+            mode,
+        )?;
+        report.invocation_shards = invocations.len() as u64;
+        report.duration_shards = durations.len() as u64;
+        report.memory_shards = memory.len() as u64;
+        Ok((dataset, report))
+    }
+
+    /// The functions, in canonical ascending `owner/app/function`
+    /// order (independent of CSV row order).
     pub fn functions(&self) -> &[AzureFunction] {
         &self.functions
     }
 
-    /// The apps with memory statistics, in memory-file row order.
+    /// The apps with memory statistics, in canonical ascending
+    /// `owner/app` order.
     pub fn apps(&self) -> &[AzureApp] {
         &self.apps
     }
@@ -290,11 +337,15 @@ impl AzureDataset {
 
     /// Memory statistics of `owner`'s `app`, when the trace has them.
     pub fn memory_of(&self, owner: &str, app: &str) -> Option<&AzureApp> {
-        self.apps.iter().find(|a| a.owner == owner && a.app == app)
+        self.apps
+            .binary_search_by(|a| (a.owner.as_str(), a.app.as_str()).cmp(&(owner, app)))
+            .ok()
+            .map(|idx| &self.apps[idx])
     }
 
     /// Serializes back to the invocations CSV (exact header, rows in
-    /// dataset order) — the other half of the round-trip format check.
+    /// the dataset's canonical order) — the other half of the
+    /// round-trip format check.
     pub fn to_invocations_csv(&self) -> String {
         let mut out = String::from("HashOwner,HashApp,HashFunction,Trigger");
         for minute in 1..=self.minutes {
@@ -375,26 +426,46 @@ impl AzureDataset {
     }
 }
 
-struct InvocationRow {
-    owner: String,
-    app: String,
-    function: String,
-    trigger: Trigger,
-    counts: Vec<u32>,
+pub(crate) struct InvocationRow {
+    pub(crate) owner: String,
+    pub(crate) app: String,
+    pub(crate) function: String,
+    pub(crate) trigger: Trigger,
+    pub(crate) counts: Vec<u32>,
 }
 
-struct DurationRow {
-    owner: String,
-    app: String,
-    function: String,
-    average: f64,
-    count: u64,
-    minimum: f64,
-    maximum: f64,
-    sketch: PercentileSketch,
+pub(crate) struct DurationRow {
+    pub(crate) owner: String,
+    pub(crate) app: String,
+    pub(crate) function: String,
+    pub(crate) average: f64,
+    pub(crate) count: u64,
+    pub(crate) minimum: f64,
+    pub(crate) maximum: f64,
+    pub(crate) sketch: PercentileSketch,
 }
 
-fn parse_error(file: &'static str, line: usize, message: impl Into<String>) -> TraceError {
+/// Parse result of one CSV family: the surviving rows plus how many
+/// data rows the text held and how many were lossy-skipped (zero in
+/// strict mode, where skippable rows are errors instead).
+pub(crate) struct Parsed<R> {
+    pub(crate) rows: Vec<R>,
+    /// Total data rows in the file (header excluded, blank lines
+    /// skipped) — kept + every skipped category.
+    pub(crate) total_rows: u64,
+    /// Rows dropped for value-level damage (unparseable numbers,
+    /// non-finite values, unknown triggers, degenerate sketches).
+    pub(crate) invalid_skipped: u64,
+    /// Duration rows dropped because `Count == 0` (they summarize no
+    /// executions); always zero for the other families.
+    pub(crate) zero_count_skipped: u64,
+}
+
+pub(crate) fn parse_error(
+    file: &'static str,
+    line: usize,
+    message: impl Into<String>,
+) -> TraceError {
     TraceError::Parse {
         file,
         line,
@@ -452,7 +523,7 @@ fn parse_f64(file: &'static str, line: usize, text: &str, what: &str) -> Result<
     Ok(value)
 }
 
-fn parse_invocations(text: &str) -> Result<(usize, Vec<InvocationRow>)> {
+pub(crate) fn parse_invocations(text: &str, lossy: bool) -> Result<(usize, Parsed<InvocationRow>)> {
     let mut rows = rows(text);
     let (_, header) = rows
         .next()
@@ -474,9 +545,17 @@ fn parse_invocations(text: &str) -> Result<(usize, Vec<InvocationRow>)> {
         }
     }
 
-    let mut parsed = Vec::new();
+    let mut parsed = Parsed {
+        rows: Vec::new(),
+        total_rows: 0,
+        invalid_skipped: 0,
+        zero_count_skipped: 0,
+    };
     for (line, row) in rows {
+        parsed.total_rows += 1;
         let cells = fields(row);
+        // Structural damage is a hard error in every mode: a ragged
+        // row means the file is corrupt, not that the data is sparse.
         if cells.len() != 4 + minutes {
             return Err(parse_error(
                 INVOCATIONS,
@@ -487,22 +566,29 @@ fn parse_invocations(text: &str) -> Result<(usize, Vec<InvocationRow>)> {
         if cells[..3].iter().any(|cell| cell.is_empty()) {
             return Err(parse_error(INVOCATIONS, line, "empty identity hash"));
         }
-        let trigger = Trigger::parse(cells[3]).ok_or_else(|| {
-            parse_error(INVOCATIONS, line, format!("unknown trigger {:?}", cells[3]))
-        })?;
-        let mut counts = Vec::with_capacity(minutes);
-        for cell in &cells[4..] {
-            counts.push(cell.parse::<u32>().map_err(|_| {
-                parse_error(INVOCATIONS, line, format!("bad minute count {cell:?}"))
-            })?);
+        let values = (|| -> Result<InvocationRow> {
+            let trigger = Trigger::parse(cells[3]).ok_or_else(|| {
+                parse_error(INVOCATIONS, line, format!("unknown trigger {:?}", cells[3]))
+            })?;
+            let mut counts = Vec::with_capacity(minutes);
+            for cell in &cells[4..] {
+                counts.push(cell.parse::<u32>().map_err(|_| {
+                    parse_error(INVOCATIONS, line, format!("bad minute count {cell:?}"))
+                })?);
+            }
+            Ok(InvocationRow {
+                owner: cells[0].to_owned(),
+                app: cells[1].to_owned(),
+                function: cells[2].to_owned(),
+                trigger,
+                counts,
+            })
+        })();
+        match values {
+            Ok(row) => parsed.rows.push(row),
+            Err(_) if lossy => parsed.invalid_skipped += 1,
+            Err(err) => return Err(err),
         }
-        parsed.push(InvocationRow {
-            owner: cells[0].to_owned(),
-            app: cells[1].to_owned(),
-            function: cells[2].to_owned(),
-            trigger,
-            counts,
-        });
     }
     Ok((minutes, parsed))
 }
@@ -539,7 +625,7 @@ fn percentile_columns(
     Ok(pcts)
 }
 
-fn parse_durations(text: &str) -> Result<Vec<DurationRow>> {
+pub(crate) fn parse_durations(text: &str, lossy: bool) -> Result<Parsed<DurationRow>> {
     let mut rows = rows(text);
     let (_, header) = rows
         .next()
@@ -557,8 +643,14 @@ fn parse_durations(text: &str) -> Result<Vec<DurationRow>> {
     expect_prefix(DURATIONS, &header, &FIXED)?;
     let pcts = percentile_columns(DURATIONS, &header, FIXED.len(), "percentile_Average_")?;
 
-    let mut parsed = Vec::new();
+    let mut parsed = Parsed {
+        rows: Vec::new(),
+        total_rows: 0,
+        invalid_skipped: 0,
+        zero_count_skipped: 0,
+    };
     for (line, row) in rows {
+        parsed.total_rows += 1;
         let cells = fields(row);
         if cells.len() != FIXED.len() + pcts.len() {
             return Err(parse_error(
@@ -571,32 +663,53 @@ fn parse_durations(text: &str) -> Result<Vec<DurationRow>> {
                 ),
             ));
         }
-        let mut points = Vec::with_capacity(pcts.len());
-        for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
-            points.push((
-                *pct,
-                parse_f64(DURATIONS, line, cell, "duration percentile")?,
+        // `Count == 0` is its own category: the row parses, but it
+        // summarizes no executions — sampling its sketch would weight
+        // arrivals by statistics of nothing.
+        if cells[4].parse::<u64>() == Ok(0) {
+            if lossy {
+                parsed.zero_count_skipped += 1;
+                continue;
+            }
+            return Err(parse_error(
+                DURATIONS,
+                line,
+                "Count is 0: the row summarizes no executions",
             ));
         }
-        let sketch = PercentileSketch::new(points)
-            .map_err(|e| parse_error(DURATIONS, line, e.to_string()))?;
-        parsed.push(DurationRow {
-            owner: cells[0].to_owned(),
-            app: cells[1].to_owned(),
-            function: cells[2].to_owned(),
-            average: parse_f64(DURATIONS, line, cells[3], "Average")?,
-            count: cells[4]
-                .parse()
-                .map_err(|_| parse_error(DURATIONS, line, format!("bad Count {:?}", cells[4])))?,
-            minimum: parse_f64(DURATIONS, line, cells[5], "Minimum")?,
-            maximum: parse_f64(DURATIONS, line, cells[6], "Maximum")?,
-            sketch,
-        });
+        let values = (|| -> Result<DurationRow> {
+            let mut points = Vec::with_capacity(pcts.len());
+            for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
+                points.push((
+                    *pct,
+                    parse_f64(DURATIONS, line, cell, "duration percentile")?,
+                ));
+            }
+            let sketch = PercentileSketch::new(points)
+                .map_err(|e| parse_error(DURATIONS, line, e.to_string()))?;
+            Ok(DurationRow {
+                owner: cells[0].to_owned(),
+                app: cells[1].to_owned(),
+                function: cells[2].to_owned(),
+                average: parse_f64(DURATIONS, line, cells[3], "Average")?,
+                count: cells[4].parse().map_err(|_| {
+                    parse_error(DURATIONS, line, format!("bad Count {:?}", cells[4]))
+                })?,
+                minimum: parse_f64(DURATIONS, line, cells[5], "Minimum")?,
+                maximum: parse_f64(DURATIONS, line, cells[6], "Maximum")?,
+                sketch,
+            })
+        })();
+        match values {
+            Ok(row) => parsed.rows.push(row),
+            Err(_) if lossy => parsed.invalid_skipped += 1,
+            Err(err) => return Err(err),
+        }
     }
     Ok(parsed)
 }
 
-fn parse_memory(text: &str) -> Result<Vec<AzureApp>> {
+pub(crate) fn parse_memory(text: &str, lossy: bool) -> Result<Parsed<AzureApp>> {
     let mut rows = rows(text);
     let (_, header) = rows
         .next()
@@ -606,8 +719,14 @@ fn parse_memory(text: &str) -> Result<Vec<AzureApp>> {
     expect_prefix(MEMORY, &header, &FIXED)?;
     let pcts = percentile_columns(MEMORY, &header, FIXED.len(), "AverageAllocatedMb_pct")?;
 
-    let mut parsed = Vec::new();
+    let mut parsed = Parsed {
+        rows: Vec::new(),
+        total_rows: 0,
+        invalid_skipped: 0,
+        zero_count_skipped: 0,
+    };
     for (line, row) in rows {
+        parsed.total_rows += 1;
         let cells = fields(row);
         if cells.len() != FIXED.len() + pcts.len() {
             return Err(parse_error(
@@ -620,21 +739,28 @@ fn parse_memory(text: &str) -> Result<Vec<AzureApp>> {
                 ),
             ));
         }
-        let mut points = Vec::with_capacity(pcts.len());
-        for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
-            points.push((*pct, parse_f64(MEMORY, line, cell, "memory percentile")?));
+        let values = (|| -> Result<AzureApp> {
+            let mut points = Vec::with_capacity(pcts.len());
+            for (pct, cell) in pcts.iter().zip(&cells[FIXED.len()..]) {
+                points.push((*pct, parse_f64(MEMORY, line, cell, "memory percentile")?));
+            }
+            let sketch = PercentileSketch::new(points)
+                .map_err(|e| parse_error(MEMORY, line, e.to_string()))?;
+            Ok(AzureApp {
+                owner: cells[0].to_owned(),
+                app: cells[1].to_owned(),
+                sample_count: cells[2].parse().map_err(|_| {
+                    parse_error(MEMORY, line, format!("bad SampleCount {:?}", cells[2]))
+                })?,
+                mean_allocated_mb: parse_f64(MEMORY, line, cells[3], "AverageAllocatedMb")?,
+                allocated_mb: sketch,
+            })
+        })();
+        match values {
+            Ok(row) => parsed.rows.push(row),
+            Err(_) if lossy => parsed.invalid_skipped += 1,
+            Err(err) => return Err(err),
         }
-        let sketch =
-            PercentileSketch::new(points).map_err(|e| parse_error(MEMORY, line, e.to_string()))?;
-        parsed.push(AzureApp {
-            owner: cells[0].to_owned(),
-            app: cells[1].to_owned(),
-            sample_count: cells[2].parse().map_err(|_| {
-                parse_error(MEMORY, line, format!("bad SampleCount {:?}", cells[2]))
-            })?,
-            mean_allocated_mb: parse_f64(MEMORY, line, cells[3], "AverageAllocatedMb")?,
-            allocated_mb: sketch,
-        });
     }
     Ok(parsed)
 }
@@ -677,6 +803,19 @@ mod tests {
     }
 
     #[test]
+    fn parse_is_row_order_invariant() {
+        // Swapping CSV rows yields the identical dataset: rows are
+        // canonically re-ordered, which is what makes any shard
+        // partition of the same rows parse identically.
+        let swapped_inv = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n\
+                           o1,a1,f2,timer,1,1,1\n\
+                           o1,a1,f1,http,4,0,2\n";
+        let a = AzureDataset::from_csv(INV, DUR, MEM).unwrap();
+        let b = AzureDataset::from_csv(swapped_inv, DUR, MEM).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn unjoined_functions_fail_fast() {
         let extra_inv = format!("{INV}o2,a2,f9,queue,1,1,1\n");
         assert!(matches!(
@@ -704,6 +843,63 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_rows_are_rejected_in_strict_mode() {
+        let dup_inv = format!("{INV}o1,a1,f1,http,4,0,2\n");
+        assert!(matches!(
+            AzureDataset::from_csv(&dup_inv, DUR, MEM),
+            Err(TraceError::Parse {
+                file: "invocations",
+                ..
+            })
+        ));
+        let dup_dur = format!("{DUR}o1,a1,f1,120,7,10,400,10,100,400\n");
+        assert!(matches!(
+            AzureDataset::from_csv(INV, &dup_dur, MEM),
+            Err(TraceError::Parse {
+                file: "durations",
+                ..
+            })
+        ));
+        let dup_mem = format!("{MEM}o1,a1,10,96,90,128\n");
+        assert!(matches!(
+            AzureDataset::from_csv(INV, DUR, &dup_mem),
+            Err(TraceError::Parse { file: "memory", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_count_duration_rows_are_rejected_in_strict_mode() {
+        // A `Count == 0` row summarizes no executions; letting it
+        // through would sample a sketch of nothing.
+        let zero_count = DUR.replace("o1,a1,f1,120,7,", "o1,a1,f1,120,0,");
+        let err = AzureDataset::from_csv(INV, &zero_count, MEM).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::Parse {
+                file: "durations",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("Count is 0"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_duration_values_are_rejected_in_strict_mode() {
+        for poison in ["NaN", "inf", "-inf"] {
+            let bad = DUR.replace("10,100,400", &format!("10,{poison},400"));
+            assert!(
+                AzureDataset::from_csv(INV, &bad, MEM).is_err(),
+                "{poison} slipped through"
+            );
+            let bad_avg = DUR.replace("o1,a1,f1,120,", &format!("o1,a1,f1,{poison},"));
+            assert!(
+                AzureDataset::from_csv(INV, &bad_avg, MEM).is_err(),
+                "{poison} average slipped through"
+            );
+        }
+    }
+
+    #[test]
     fn format_drift_is_a_parse_error() {
         // A renamed column (the kind of silent drift the round-trip
         // check exists to catch).
@@ -728,5 +924,18 @@ mod tests {
         // Decreasing duration percentiles violate the sketch.
         let bad_sketch = DUR.replace("10,100,400", "400,100,10");
         assert!(AzureDataset::from_csv(INV, &bad_sketch, MEM).is_err());
+    }
+
+    #[test]
+    fn trigger_parse_is_case_insensitive_and_total() {
+        for trigger in Trigger::ALL {
+            assert_eq!(Trigger::parse(trigger.as_str()), Some(trigger));
+            assert_eq!(
+                Trigger::parse(&trigger.as_str().to_ascii_uppercase()),
+                Some(trigger)
+            );
+        }
+        assert_eq!(Trigger::parse("webhook"), None);
+        assert_eq!(Trigger::parse(""), None);
     }
 }

@@ -22,6 +22,16 @@ pub enum TraceError {
         /// The `owner/app/function` key that failed to join.
         key: String,
     },
+    /// A trace directory has no file for one of the three CSV
+    /// families — neither the unsharded name nor any `<stem>*.csv`
+    /// shard.
+    MissingFamily {
+        /// Which trace family (`"invocations"`, `"durations"`,
+        /// `"memory"`).
+        family: &'static str,
+        /// The directory that was searched.
+        dir: String,
+    },
     /// A percentile sketch was degenerate (empty, unordered
     /// percentiles, decreasing or non-finite values).
     InvalidSketch(&'static str),
@@ -43,6 +53,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Unjoined { file, key } => {
                 write!(f, "function {key} has no row in the {file} csv")
+            }
+            TraceError::MissingFamily { family, dir } => {
+                write!(f, "no {family} csv (sharded or not) found in {dir}")
             }
             TraceError::InvalidSketch(why) => write!(f, "invalid percentile sketch: {why}"),
             TraceError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use litmus_platform::{InvocationTrace, TenantId, TraceEvent, TraceSource};
+use litmus_platform::{ConcatSource, InvocationTrace, TenantId, TraceEvent, TraceSource};
 use litmus_workloads::suite::{self, TenantClass};
 use litmus_workloads::Benchmark;
 use rand::rngs::StdRng;
@@ -172,40 +172,124 @@ pub struct AzureReplaySource {
     remaining: usize,
 }
 
+/// Builds the canonical `owner/app` → [`TenantId`] assignment over a
+/// set of trace days: the union of every day's app keys, ascending,
+/// numbered densely from zero. With a single day this is exactly the
+/// mapping [`AzureReplaySource::new`] derives; across days it is the
+/// *shared* mapping that keeps a tenant's identity stable for the
+/// whole replay ([`multi_day_source`] uses it for that).
+pub fn union_assignments(days: &[AzureDataset]) -> Vec<TenantAssignment> {
+    let mut app_keys: Vec<(String, String)> = days
+        .iter()
+        .flat_map(|day| {
+            day.functions()
+                .iter()
+                .map(|f| (f.owner.clone(), f.app.clone()))
+        })
+        .collect();
+    app_keys.sort();
+    app_keys.dedup();
+    app_keys
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (owner, app))| TenantAssignment {
+            tenant: TenantId(idx as u32),
+            owner,
+            app,
+        })
+        .collect()
+}
+
+/// Streams `days` back to back as one [`ConcatSource`]: each day
+/// expands under `config` (so each day has the same compressed minute
+/// length) and starts where the previous day's span ends, with one
+/// tenant map shared across days — an app keeps its [`TenantId`] for
+/// the whole replay even when it is silent for days. Nothing is
+/// materialized; memory tracks the busiest minute of the busiest day.
+///
+/// # Errors
+///
+/// [`TraceError::InvalidConfig`] when `days` is empty or
+/// `config.minute_ms` is zero.
+pub fn multi_day_source(
+    days: &[AzureDataset],
+    config: ExpandConfig,
+) -> Result<ConcatSource<AzureReplaySource>> {
+    if days.is_empty() {
+        return Err(TraceError::InvalidConfig(
+            "multi-day replay needs at least one day",
+        ));
+    }
+    let assignments = union_assignments(days);
+    let mut parts = Vec::with_capacity(days.len());
+    let mut offset = 0u64;
+    for day in days {
+        let source = AzureReplaySource::with_tenants(day, config, assignments.clone())?;
+        let span = source.span_ms();
+        parts.push((offset, source));
+        offset += span;
+    }
+    Ok(ConcatSource::new(parts).expect("day offsets ascend by construction"))
+}
+
 impl AzureReplaySource {
-    /// Builds the streaming expansion of `dataset` under `config`.
+    /// Builds the streaming expansion of `dataset` under `config`,
+    /// deriving the tenant map from the dataset's own apps.
     ///
     /// # Errors
     ///
     /// [`TraceError::InvalidConfig`] when `config.minute_ms` is zero.
     pub fn new(dataset: &AzureDataset, config: ExpandConfig) -> Result<Self> {
+        Self::with_tenants(
+            dataset,
+            config,
+            union_assignments(std::slice::from_ref(dataset)),
+        )
+    }
+
+    /// Builds the streaming expansion with an externally supplied
+    /// tenant map — how multi-day replays keep one app on one
+    /// [`TenantId`] across day boundaries. `assignments` may cover
+    /// apps this dataset never invokes (other days'), but must cover
+    /// every app it does.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidConfig`] when `config.minute_ms` is zero,
+    /// when `assignments` repeats an app, or when one of the dataset's
+    /// apps is missing from it.
+    pub fn with_tenants(
+        dataset: &AzureDataset,
+        config: ExpandConfig,
+        assignments: Vec<TenantAssignment>,
+    ) -> Result<Self> {
         if config.minute_ms == 0 {
             return Err(TraceError::InvalidConfig("minute_ms must be at least 1"));
         }
 
-        // Apps → tenants, in sorted-key order so the mapping does not
-        // depend on CSV row order.
-        let mut app_keys: Vec<(String, String)> = dataset
-            .functions()
+        // Sorted lookup over the provided map (sorted already when it
+        // came from `union_assignments`; re-sorting is cheap and makes
+        // caller-built maps order-insensitive).
+        let mut lookup: Vec<(&str, &str, TenantId)> = assignments
             .iter()
-            .map(|f| (f.owner.clone(), f.app.clone()))
+            .map(|a| (a.owner.as_str(), a.app.as_str(), a.tenant))
             .collect();
-        app_keys.sort();
-        app_keys.dedup();
-        let assignments: Vec<TenantAssignment> = app_keys
-            .iter()
-            .enumerate()
-            .map(|(idx, (owner, app))| TenantAssignment {
-                tenant: TenantId(idx as u32),
-                owner: owner.clone(),
-                app: app.clone(),
-            })
-            .collect();
-        let tenant_of = |owner: &str, app: &str| {
-            let idx = app_keys
-                .binary_search_by(|key| (key.0.as_str(), key.1.as_str()).cmp(&(owner, app)))
-                .expect("every function's app was collected");
-            TenantId(idx as u32)
+        lookup.sort();
+        if lookup
+            .windows(2)
+            .any(|pair| (pair[0].0, pair[0].1) == (pair[1].0, pair[1].1))
+        {
+            return Err(TraceError::InvalidConfig(
+                "tenant assignments repeat an app",
+            ));
+        }
+        let tenant_of = |owner: &str, app: &str| -> Result<TenantId> {
+            lookup
+                .binary_search_by(|probe| (probe.0, probe.1).cmp(&(owner, app)))
+                .map(|idx| lookup[idx].2)
+                .map_err(|_| {
+                    TraceError::InvalidConfig("dataset app missing from tenant assignments")
+                })
         };
 
         // One lookup table per join, built once: the full dataset has
@@ -234,29 +318,25 @@ impl AzureReplaySource {
             pool_by_class.insert(class, pool);
         }
 
-        // Plans in sorted-key order: expansion order (and therefore
-        // tie-breaking among same-millisecond arrivals) is canonical,
-        // not file order.
-        let mut functions: Vec<&AzureFunction> = dataset.functions().iter().collect();
-        functions.sort_by_key(|f| (&f.owner, &f.app, &f.function));
+        // Plans in the dataset's canonical key order: expansion order
+        // (and therefore tie-breaking among same-millisecond arrivals)
+        // is canonical, not file order.
         let mut remaining = 0usize;
-        let plans: Vec<FunctionPlan> = functions
-            .into_iter()
-            .map(|function| {
-                let memory_mb = memory_by_app
-                    .get(&(function.owner.as_str(), function.app.as_str()))
-                    .copied();
-                let class = classify_with_memory(function, memory_mb);
-                remaining += function.total_invocations() as usize;
-                FunctionPlan {
-                    tenant: tenant_of(&function.owner, &function.app),
-                    key: fnv1a64([&function.owner, &function.app, &function.function]),
-                    counts: function.counts.clone(),
-                    sketch: function.duration_ms.clone(),
-                    pool: pool_by_class[&class].clone(),
-                }
-            })
-            .collect();
+        let mut plans = Vec::with_capacity(dataset.functions().len());
+        for function in dataset.functions() {
+            let memory_mb = memory_by_app
+                .get(&(function.owner.as_str(), function.app.as_str()))
+                .copied();
+            let class = classify_with_memory(function, memory_mb);
+            remaining += function.total_invocations() as usize;
+            plans.push(FunctionPlan {
+                tenant: tenant_of(&function.owner, &function.app)?,
+                key: fnv1a64([&function.owner, &function.app, &function.function]),
+                counts: function.counts.clone(),
+                sketch: function.duration_ms.clone(),
+                pool: pool_by_class[&class].clone(),
+            });
+        }
 
         Ok(AzureReplaySource {
             plans,
@@ -272,7 +352,9 @@ impl AzureReplaySource {
         })
     }
 
-    /// The `owner/app` → [`TenantId`] mapping, ascending by tenant.
+    /// The `owner/app` → [`TenantId`] mapping this source expands
+    /// under (ascending by tenant when it came from
+    /// [`AzureReplaySource::new`] or [`union_assignments`]).
     pub fn assignments(&self) -> &[TenantAssignment] {
         &self.assignments
     }
@@ -476,6 +558,104 @@ mod tests {
         let dataset = fixture::dataset();
         assert!(matches!(
             dataset.source(ExpandConfig::new(1).minute_ms(0)),
+            Err(TraceError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn multi_day_concatenation_offsets_each_day_by_its_span() {
+        let day = fixture::dataset();
+        let days = vec![day.clone(), day.clone()];
+        let mut source = multi_day_source(&days, config()).unwrap();
+        assert_eq!(source.parts(), 2);
+        let single = day.expand(config()).unwrap();
+        assert_eq!(
+            source.size_hint(),
+            (single.len() * 2, Some(single.len() * 2))
+        );
+        let mut events = Vec::new();
+        while let Some(event) = source.next_event() {
+            events.push(event);
+        }
+        assert_eq!(events.len(), single.len() * 2);
+        // Day one streams exactly the single-day expansion; day two is
+        // the same expansion (same seed, same per-function streams)
+        // shifted by one day span.
+        let span = day.minutes() as u64 * 400;
+        assert_eq!(&events[..single.len()], single.events());
+        for (a, b) in single.events().iter().zip(&events[single.len()..]) {
+            assert_eq!(b.at_ms, a.at_ms + span);
+            assert_eq!(b.tenant, a.tenant);
+            assert_eq!(b.function, a.function);
+        }
+    }
+
+    #[test]
+    fn multi_day_tenant_map_is_shared_across_days() {
+        use crate::AzureDataset;
+
+        let full = fixture::dataset();
+        // Day two drops the webshop app entirely (functions and
+        // memory), leaving key gaps a per-day numbering would fill
+        // differently.
+        let keep = |csv: &str, col: usize| {
+            let mut lines = csv.lines();
+            let mut out = String::from(lines.next().unwrap());
+            out.push('\n');
+            for line in lines {
+                if line.split(',').nth(col) != Some("webshop") {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out
+        };
+        let partial = AzureDataset::from_csv(
+            &keep(fixture::INVOCATIONS_CSV, 1),
+            &keep(fixture::DURATIONS_CSV, 1),
+            &keep(fixture::MEMORY_CSV, 1),
+        )
+        .unwrap();
+
+        let days = vec![full.clone(), partial.clone()];
+        let assignments = union_assignments(&days);
+        assert_eq!(assignments.len(), 6, "union covers every app once");
+        let mut source = multi_day_source(&days, config()).unwrap();
+        let span = full.minutes() as u64 * 400;
+        // Events from day two carry the *shared* tenant ids: exactly
+        // the ids day one used for the surviving apps.
+        let day_one_tenants: std::collections::HashSet<TenantId> = full
+            .expand(config())
+            .unwrap()
+            .events()
+            .iter()
+            .map(|e| e.tenant)
+            .collect();
+        let webshop = assignments
+            .iter()
+            .find(|a| a.app == "webshop")
+            .expect("union keeps day-one-only apps");
+        let mut saw_day_two = false;
+        while let Some(event) = source.next_event() {
+            if event.at_ms >= span {
+                saw_day_two = true;
+                assert_ne!(event.tenant, webshop.tenant);
+                assert!(day_one_tenants.contains(&event.tenant));
+            }
+        }
+        assert!(saw_day_two);
+
+        // A map that misses one of the dataset's apps is rejected.
+        let partial_assignments = union_assignments(std::slice::from_ref(&partial));
+        assert!(matches!(
+            AzureReplaySource::with_tenants(&full, config(), partial_assignments),
+            Err(TraceError::InvalidConfig(_))
+        ));
+        // As is a map that repeats an app.
+        let mut doubled = union_assignments(std::slice::from_ref(&full));
+        doubled.push(doubled[0].clone());
+        assert!(matches!(
+            AzureReplaySource::with_tenants(&full, config(), doubled),
             Err(TraceError::InvalidConfig(_))
         ));
     }

@@ -1,0 +1,661 @@
+//! Joining the three Azure CSV families into an [`AzureDataset`],
+//! strictly or lossily.
+//!
+//! The bundled fixture (and the CI round-trip check) use the strict
+//! path: any unjoined, duplicated or degenerate row is an error. The
+//! *real* dataset cannot be ingested that way — per *Serverless in the
+//! Wild*'s release notes, many functions never get a duration or
+//! memory row (sampling windows, deleted apps), and some duration rows
+//! summarize zero executions. [`IngestMode::Lossy`] handles all of
+//! that by **counting and skipping** (or imputing) instead of
+//! erroring, and reports exactly what happened in an [`IngestReport`]
+//! whose counters are conserved: every input row is either kept or
+//! attributed to one skip category.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::azure::{
+    self, parse_durations, parse_invocations, parse_memory, AzureDataset, AzureFunction,
+    DurationRow, InvocationRow, Trigger, DURATIONS, INVOCATIONS, MEMORY,
+};
+use crate::error::TraceError;
+use crate::sketch::PercentileSketch;
+use crate::Result;
+
+/// What to do with an invocations row whose duration row is missing
+/// (or was itself skipped as degenerate) under [`IngestMode::Lossy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossyIngest {
+    /// Drop the function and count it — the conservative default:
+    /// replayed traffic only ever carries measured durations.
+    #[default]
+    Skip,
+    /// Keep the function, imputing its duration statistics from the
+    /// pointwise median of its *app*'s measured duration rows, falling
+    /// back to the median of rows sharing its *trigger*, and dropping
+    /// it (counted) only when neither pool has a single row. Imputed
+    /// functions never donate to later imputations.
+    ImputeMedians,
+}
+
+/// How ingestion treats rows the strict parser rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Everything must parse and join — [`AzureDataset::from_csv`]'s
+    /// behavior, and the default.
+    #[default]
+    Strict,
+    /// Count-and-skip degenerate rows (`Count == 0`, non-finite
+    /// values, duplicates, orphans) and apply the given policy to
+    /// functions missing duration rows. Structural damage — malformed
+    /// headers, ragged rows — is still an error: lossiness is for
+    /// sparse data, not corrupt files.
+    Lossy(LossyIngest),
+}
+
+impl IngestMode {
+    pub(crate) fn is_lossy(self) -> bool {
+        matches!(self, IngestMode::Lossy(_))
+    }
+}
+
+/// Per-category accounting of one ingestion — what was kept, skipped
+/// and imputed, per CSV family.
+///
+/// The counters are conserved, and
+/// [`IngestReport::is_balanced`] checks the identities:
+///
+/// * `invocation_rows == functions + invalid_invocations_skipped +
+///   duplicate_invocations_skipped + missing_duration_skipped +
+///   unimputable_skipped` (where `functions` includes the imputed
+///   ones);
+/// * `duration_rows == (functions - imputed()) +
+///   zero_count_durations_skipped + invalid_durations_skipped +
+///   duplicate_durations_skipped + orphan_durations_skipped`;
+/// * `memory_rows == apps + invalid_memory_skipped +
+///   duplicate_memory_skipped + orphan_memory_skipped`.
+///
+/// Strict ingestion always reports zero for every skip/impute counter
+/// (anything that would increment one is an error instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Data rows in the invocations file(s), header excluded.
+    pub invocation_rows: u64,
+    /// Data rows in the durations file(s).
+    pub duration_rows: u64,
+    /// Data rows in the memory file(s).
+    pub memory_rows: u64,
+    /// Functions in the dataset (measured + imputed).
+    pub functions: u64,
+    /// Apps with memory statistics in the dataset.
+    pub apps: u64,
+    /// Functions whose duration statistics were imputed from their
+    /// app's measured rows.
+    pub imputed_from_app: u64,
+    /// Functions imputed from rows sharing their trigger (their app
+    /// had no measured row).
+    pub imputed_from_trigger: u64,
+    /// Functions dropped for lack of a duration row under
+    /// [`LossyIngest::Skip`].
+    pub missing_duration_skipped: u64,
+    /// Functions dropped under [`LossyIngest::ImputeMedians`] because
+    /// no app or trigger pool had a measured row to impute from.
+    pub unimputable_skipped: u64,
+    /// Invocations rows dropped for value-level damage (unknown
+    /// trigger, unparseable counts).
+    pub invalid_invocations_skipped: u64,
+    /// Duration rows dropped because `Count == 0`.
+    pub zero_count_durations_skipped: u64,
+    /// Duration rows dropped for value-level damage (non-finite or
+    /// unparseable numbers, degenerate sketches).
+    pub invalid_durations_skipped: u64,
+    /// Memory rows dropped for value-level damage.
+    pub invalid_memory_skipped: u64,
+    /// Invocations rows dropped as duplicates of an earlier key (first
+    /// row wins).
+    pub duplicate_invocations_skipped: u64,
+    /// Duration rows dropped as duplicates of an earlier key.
+    pub duplicate_durations_skipped: u64,
+    /// Memory rows dropped as duplicates of an earlier key.
+    pub duplicate_memory_skipped: u64,
+    /// Duration rows dropped because no invocations row carries their
+    /// key.
+    pub orphan_durations_skipped: u64,
+    /// Memory rows dropped because their app invokes nothing.
+    pub orphan_memory_skipped: u64,
+    /// Shards the invocations family was merged from (1 when parsed
+    /// from a single text; set by [`AzureDataset::from_dir_with`]).
+    pub invocation_shards: u64,
+    /// Shards the durations family was merged from.
+    pub duration_shards: u64,
+    /// Shards the memory family was merged from.
+    pub memory_shards: u64,
+}
+
+impl IngestReport {
+    /// Functions whose duration statistics were imputed (either pool).
+    pub fn imputed(&self) -> u64 {
+        self.imputed_from_app + self.imputed_from_trigger
+    }
+
+    /// Rows dropped across every category and family.
+    pub fn dropped(&self) -> u64 {
+        self.missing_duration_skipped
+            + self.unimputable_skipped
+            + self.invalid_invocations_skipped
+            + self.zero_count_durations_skipped
+            + self.invalid_durations_skipped
+            + self.invalid_memory_skipped
+            + self.duplicate_invocations_skipped
+            + self.duplicate_durations_skipped
+            + self.duplicate_memory_skipped
+            + self.orphan_durations_skipped
+            + self.orphan_memory_skipped
+    }
+
+    /// Whether every input row is accounted for — kept, imputed or
+    /// attributed to exactly one skip category (the conservation
+    /// identities in the type docs). Always true for reports produced
+    /// by this crate; exposed so property tests (and callers stitching
+    /// reports together) can assert it.
+    pub fn is_balanced(&self) -> bool {
+        // checked_sub, not `-`: a hand-stitched report can claim more
+        // imputations than functions, and that is unbalanced, not a
+        // panic.
+        let Some(measured) = self.functions.checked_sub(self.imputed()) else {
+            return false;
+        };
+        let invocations = self.functions
+            + self.invalid_invocations_skipped
+            + self.duplicate_invocations_skipped
+            + self.missing_duration_skipped
+            + self.unimputable_skipped;
+        let durations = measured
+            + self.zero_count_durations_skipped
+            + self.invalid_durations_skipped
+            + self.duplicate_durations_skipped
+            + self.orphan_durations_skipped;
+        let memory = self.apps
+            + self.invalid_memory_skipped
+            + self.duplicate_memory_skipped
+            + self.orphan_memory_skipped;
+        self.invocation_rows == invocations
+            && self.duration_rows == durations
+            && self.memory_rows == memory
+    }
+}
+
+impl std::fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ingested {} functions / {} apps from {}+{}+{} rows \
+             ({}/{}/{} shards)",
+            self.functions,
+            self.apps,
+            self.invocation_rows,
+            self.duration_rows,
+            self.memory_rows,
+            self.invocation_shards,
+            self.duration_shards,
+            self.memory_shards,
+        )?;
+        writeln!(
+            f,
+            "  imputed: {} from app medians, {} from trigger medians",
+            self.imputed_from_app, self.imputed_from_trigger
+        )?;
+        write!(
+            f,
+            "  skipped: {} missing-duration, {} unimputable, \
+             {} zero-count, {} invalid ({}i/{}d/{}m), \
+             {} duplicate ({}i/{}d/{}m), {} orphan ({}d/{}m)",
+            self.missing_duration_skipped,
+            self.unimputable_skipped,
+            self.zero_count_durations_skipped,
+            self.invalid_invocations_skipped
+                + self.invalid_durations_skipped
+                + self.invalid_memory_skipped,
+            self.invalid_invocations_skipped,
+            self.invalid_durations_skipped,
+            self.invalid_memory_skipped,
+            self.duplicate_invocations_skipped
+                + self.duplicate_durations_skipped
+                + self.duplicate_memory_skipped,
+            self.duplicate_invocations_skipped,
+            self.duplicate_durations_skipped,
+            self.duplicate_memory_skipped,
+            self.orphan_durations_skipped + self.orphan_memory_skipped,
+            self.orphan_durations_skipped,
+            self.orphan_memory_skipped,
+        )
+    }
+}
+
+/// Lower median of `values` — deterministic and always one of the
+/// inputs, so imputed statistics are values the trace actually
+/// published. `values` must be non-empty.
+fn lower_median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[(values.len() - 1) / 2]
+}
+
+/// Pointwise lower-median sketch over donor functions' sketches (all
+/// donors share the family's percentile grid), plus median scalar
+/// statistics. Donors must be non-empty.
+fn impute_from(donors: &[&AzureFunction]) -> (f64, u64, f64, f64, PercentileSketch) {
+    let grid: Vec<f64> = donors[0]
+        .duration_ms
+        .points()
+        .iter()
+        .map(|&(pct, _)| pct)
+        .collect();
+    let points: Vec<(f64, f64)> = grid
+        .iter()
+        .enumerate()
+        .map(|(idx, &pct)| {
+            (
+                pct,
+                lower_median(
+                    donors
+                        .iter()
+                        .map(|donor| donor.duration_ms.points()[idx].1)
+                        .collect(),
+                ),
+            )
+        })
+        .collect();
+    let sketch = PercentileSketch::new(points)
+        .expect("pointwise medians of valid sketches form a valid sketch");
+    let average = lower_median(donors.iter().map(|d| d.mean_duration_ms).collect());
+    let count = lower_median(donors.iter().map(|d| d.sampled_executions as f64).collect()) as u64;
+    let minimum = lower_median(donors.iter().map(|d| d.min_duration_ms).collect());
+    let maximum = lower_median(donors.iter().map(|d| d.max_duration_ms).collect());
+    (average, count, minimum, maximum, sketch)
+}
+
+fn join(row: InvocationRow, durations: DurationRow) -> AzureFunction {
+    AzureFunction {
+        owner: row.owner,
+        app: row.app,
+        function: row.function,
+        trigger: row.trigger,
+        counts: row.counts,
+        mean_duration_ms: durations.average,
+        sampled_executions: durations.count,
+        min_duration_ms: durations.minimum,
+        max_duration_ms: durations.maximum,
+        duration_ms: durations.sketch,
+    }
+}
+
+/// Parses and joins the three CSV texts under `mode`. The single
+/// ingestion path: [`AzureDataset::from_csv`],
+/// [`AzureDataset::from_csv_with`] and the `from_dir` pair all land
+/// here.
+pub(crate) fn ingest(
+    invocations: &str,
+    durations: &str,
+    memory: &str,
+    mode: IngestMode,
+) -> Result<(AzureDataset, IngestReport)> {
+    let lossy = mode.is_lossy();
+    let (minutes, inv) = parse_invocations(invocations, lossy)?;
+    let dur = parse_durations(durations, lossy)?;
+    let mem = parse_memory(memory, lossy)?;
+
+    let mut report = IngestReport {
+        invocation_rows: inv.total_rows,
+        duration_rows: dur.total_rows,
+        memory_rows: mem.total_rows,
+        invalid_invocations_skipped: inv.invalid_skipped,
+        zero_count_durations_skipped: dur.zero_count_skipped,
+        invalid_durations_skipped: dur.invalid_skipped,
+        invalid_memory_skipped: mem.invalid_skipped,
+        // One text per family here; `from_dir_with` overwrites these
+        // with the real shard counts it merged.
+        invocation_shards: 1,
+        duration_shards: 1,
+        memory_shards: 1,
+        ..IngestReport::default()
+    };
+
+    // Duration rows by key, first row winning on duplicates.
+    let mut by_key: HashMap<(String, String, String), DurationRow> = HashMap::new();
+    for row in dur.rows {
+        let key = (row.owner.clone(), row.app.clone(), row.function.clone());
+        match by_key.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(row);
+            }
+            Entry::Occupied(_) if lossy => report.duplicate_durations_skipped += 1,
+            Entry::Occupied(_) => {
+                return Err(azure::parse_error(
+                    DURATIONS,
+                    0,
+                    format!(
+                        "duplicate function row {}/{}/{}",
+                        row.owner, row.app, row.function
+                    ),
+                ));
+            }
+        }
+    }
+
+    // First pass: join what joins, set aside the misses.
+    let mut functions: Vec<AzureFunction> = Vec::with_capacity(inv.rows.len());
+    let mut misses: Vec<InvocationRow> = Vec::new();
+    let mut seen: HashSet<(String, String, String)> = HashSet::with_capacity(inv.rows.len());
+    for row in inv.rows {
+        let key = (row.owner.clone(), row.app.clone(), row.function.clone());
+        if !seen.insert(key.clone()) {
+            if lossy {
+                report.duplicate_invocations_skipped += 1;
+                continue;
+            }
+            return Err(azure::parse_error(
+                INVOCATIONS,
+                0,
+                format!(
+                    "duplicate function row {}/{}/{}",
+                    row.owner, row.app, row.function
+                ),
+            ));
+        }
+        match by_key.remove(&key) {
+            Some(durations) => functions.push(join(row, durations)),
+            None => misses.push(row),
+        }
+    }
+
+    // Misses: strict errors on the first; lossy skips or imputes.
+    match mode {
+        IngestMode::Strict => {
+            if let Some(miss) = misses.first() {
+                return Err(TraceError::Unjoined {
+                    file: DURATIONS,
+                    key: format!("{}/{}/{}", miss.owner, miss.app, miss.function),
+                });
+            }
+        }
+        IngestMode::Lossy(LossyIngest::Skip) => {
+            report.missing_duration_skipped += misses.len() as u64;
+        }
+        IngestMode::Lossy(LossyIngest::ImputeMedians) => {
+            // Donor pools come from the *measured* functions only —
+            // imputation order can then never matter.
+            let mut by_app: HashMap<(&str, &str), Vec<&AzureFunction>> = HashMap::new();
+            let mut by_trigger: HashMap<Trigger, Vec<&AzureFunction>> = HashMap::new();
+            for function in &functions {
+                by_app
+                    .entry((function.owner.as_str(), function.app.as_str()))
+                    .or_default()
+                    .push(function);
+                by_trigger
+                    .entry(function.trigger)
+                    .or_default()
+                    .push(function);
+            }
+            let mut imputed: Vec<AzureFunction> = Vec::new();
+            for row in misses {
+                let (donors, counter) = match by_app.get(&(row.owner.as_str(), row.app.as_str())) {
+                    Some(donors) => (donors, &mut report.imputed_from_app),
+                    None => match by_trigger.get(&row.trigger) {
+                        Some(donors) => (donors, &mut report.imputed_from_trigger),
+                        None => {
+                            report.unimputable_skipped += 1;
+                            continue;
+                        }
+                    },
+                };
+                *counter += 1;
+                let (average, count, minimum, maximum, sketch) = impute_from(donors);
+                imputed.push(AzureFunction {
+                    owner: row.owner,
+                    app: row.app,
+                    function: row.function,
+                    trigger: row.trigger,
+                    counts: row.counts,
+                    mean_duration_ms: average,
+                    sampled_executions: count,
+                    min_duration_ms: minimum,
+                    max_duration_ms: maximum,
+                    duration_ms: sketch,
+                });
+            }
+            functions.extend(imputed);
+        }
+    }
+
+    // Leftover duration rows never joined an invocations row.
+    if lossy {
+        report.orphan_durations_skipped += by_key.len() as u64;
+    } else if let Some(leftover) = by_key.into_keys().next() {
+        return Err(TraceError::Unjoined {
+            file: INVOCATIONS,
+            key: format!("{}/{}/{}", leftover.0, leftover.1, leftover.2),
+        });
+    }
+
+    // Memory: dedup, then require (strict) or count (lossy) the join
+    // to an invoking app.
+    let invoking_apps: HashSet<(&str, &str)> = functions
+        .iter()
+        .map(|f| (f.owner.as_str(), f.app.as_str()))
+        .collect();
+    let mut apps = Vec::with_capacity(mem.rows.len());
+    let mut seen_apps: HashSet<(String, String)> = HashSet::new();
+    for app in mem.rows {
+        if !seen_apps.insert((app.owner.clone(), app.app.clone())) {
+            if lossy {
+                report.duplicate_memory_skipped += 1;
+                continue;
+            }
+            return Err(azure::parse_error(
+                MEMORY,
+                0,
+                format!("duplicate app row {}/{}", app.owner, app.app),
+            ));
+        }
+        if !invoking_apps.contains(&(app.owner.as_str(), app.app.as_str())) {
+            if lossy {
+                report.orphan_memory_skipped += 1;
+                continue;
+            }
+            return Err(TraceError::Unjoined {
+                file: INVOCATIONS,
+                key: format!("{}/{}", app.owner, app.app),
+            });
+        }
+        apps.push(app);
+    }
+
+    report.functions = functions.len() as u64;
+    report.apps = apps.len() as u64;
+    debug_assert!(report.is_balanced(), "unbalanced ingest report: {report:?}");
+    Ok((AzureDataset::assemble(functions, apps, minutes), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    const INV: &str = "HashOwner,HashApp,HashFunction,Trigger,1,2\n\
+                       o1,a1,f1,http,4,2\n\
+                       o1,a1,f2,http,1,1\n\
+                       o1,a2,g1,queue,3,3\n\
+                       o2,a3,h1,timer,2,0\n";
+    const DUR: &str = "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,\
+                       percentile_Average_0,percentile_Average_50,percentile_Average_100\n\
+                       o1,a1,f1,120,7,10,400,10,100,400\n\
+                       o1,a2,g1,60,5,20,90,20,55,90\n";
+    const MEM: &str = "HashOwner,HashApp,SampleCount,AverageAllocatedMb,\
+                       AverageAllocatedMb_pct50,AverageAllocatedMb_pct100\n\
+                       o1,a1,10,96,90,128\n";
+
+    #[test]
+    fn strict_mode_reports_zero_skips_and_balances() {
+        let (dataset, report) = AzureDataset::from_csv_with(
+            fixture::INVOCATIONS_CSV,
+            fixture::DURATIONS_CSV,
+            fixture::MEMORY_CSV,
+            IngestMode::Strict,
+        )
+        .unwrap();
+        assert_eq!(dataset, fixture::dataset());
+        assert_eq!(report.functions, dataset.functions().len() as u64);
+        assert_eq!(report.apps, dataset.apps().len() as u64);
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.imputed(), 0);
+        assert!(report.is_balanced());
+        // One text per family counts as one shard each.
+        assert_eq!(report.invocation_shards, 1);
+        assert_eq!(report.duration_shards, 1);
+        assert_eq!(report.memory_shards, 1);
+    }
+
+    #[test]
+    fn hand_built_unbalanced_reports_are_false_not_panics() {
+        // More imputations than functions can only come from stitching
+        // reports together wrongly; the answer is `false`, not an
+        // underflow panic.
+        let report = IngestReport {
+            imputed_from_app: 1,
+            ..IngestReport::default()
+        };
+        assert!(!report.is_balanced());
+    }
+
+    #[test]
+    fn lossy_skip_drops_unjoined_functions_and_counts_them() {
+        // f2 and h1 have no duration rows; strict errors, lossy-skip
+        // keeps the measured two.
+        assert!(AzureDataset::from_csv(INV, DUR, MEM).is_err());
+        let (dataset, report) =
+            AzureDataset::from_csv_with(INV, DUR, MEM, IngestMode::Lossy(LossyIngest::Skip))
+                .unwrap();
+        assert_eq!(dataset.functions().len(), 2);
+        assert_eq!(report.missing_duration_skipped, 2);
+        assert_eq!(report.functions, 2);
+        assert_eq!(report.imputed(), 0);
+        assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn lossy_impute_fills_from_app_then_trigger_medians() {
+        let (dataset, report) = AzureDataset::from_csv_with(
+            INV,
+            DUR,
+            MEM,
+            IngestMode::Lossy(LossyIngest::ImputeMedians),
+        )
+        .unwrap();
+        // f2 imputes from its app (donor: f1). h1 is a timer, its app
+        // has no measured row and neither does any other timer — it
+        // drops as unimputable.
+        assert_eq!(dataset.functions().len(), 3);
+        assert_eq!(report.imputed_from_app, 1);
+        assert_eq!(report.imputed_from_trigger, 0);
+        assert_eq!(report.unimputable_skipped, 1);
+        assert!(report.is_balanced());
+        let f2 = dataset
+            .functions()
+            .iter()
+            .find(|f| f.function == "f2")
+            .unwrap();
+        // Single donor → the donor's statistics verbatim.
+        assert_eq!(f2.mean_duration_ms, 120.0);
+        assert_eq!(f2.sampled_executions, 7);
+        assert_eq!(
+            f2.duration_ms.points(),
+            [(0.0, 10.0), (50.0, 100.0), (100.0, 400.0)]
+        );
+    }
+
+    #[test]
+    fn lossy_impute_uses_trigger_pool_when_app_has_no_donor() {
+        // Give h1's trigger a donor in another app: add a timer row
+        // with measured durations.
+        let inv = format!("{INV}o9,a9,t1,timer,1,1\n");
+        let dur = format!("{DUR}o9,a9,t1,500,3,100,900,100,450,900\n");
+        let (dataset, report) = AzureDataset::from_csv_with(
+            &inv,
+            &dur,
+            MEM,
+            IngestMode::Lossy(LossyIngest::ImputeMedians),
+        )
+        .unwrap();
+        assert_eq!(report.imputed_from_trigger, 1);
+        assert_eq!(report.unimputable_skipped, 0);
+        assert!(report.is_balanced());
+        let h1 = dataset
+            .functions()
+            .iter()
+            .find(|f| f.function == "h1")
+            .unwrap();
+        assert_eq!(h1.mean_duration_ms, 500.0);
+    }
+
+    #[test]
+    fn lossy_counts_zero_count_invalid_duplicate_and_orphan_rows() {
+        let dur = format!(
+            "{DUR}o1,a1,f2,80,0,40,100,40,70,100\n\
+             o1,a2,g1,60,5,20,90,20,55,90\n\
+             oX,aX,zz,10,1,10,10,10,10,10\n\
+             o2,a3,h1,NaN,4,1,9,1,5,9\n"
+        );
+        let mem = format!("{MEM}o1,a1,11,100,95,130\noZ,aZ,5,32,30,40\n");
+        let (dataset, report) =
+            AzureDataset::from_csv_with(INV, &dur, &mem, IngestMode::Lossy(LossyIngest::Skip))
+                .unwrap();
+        // f2's only duration row has Count == 0 → zero-count skip, and
+        // f2 itself then misses.
+        assert_eq!(report.zero_count_durations_skipped, 1);
+        assert_eq!(report.invalid_durations_skipped, 1, "NaN average row");
+        assert_eq!(report.duplicate_durations_skipped, 1, "g1 repeated");
+        assert_eq!(report.orphan_durations_skipped, 1, "zz joins nothing");
+        assert_eq!(report.duplicate_memory_skipped, 1);
+        assert_eq!(report.orphan_memory_skipped, 1);
+        assert_eq!(report.missing_duration_skipped, 2, "f2 and h1");
+        assert_eq!(dataset.functions().len(), 2);
+        assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn structural_damage_is_an_error_even_in_lossy_mode() {
+        let ragged = INV.replace("o1,a1,f1,http,4,2", "o1,a1,f1,http,4");
+        assert!(AzureDataset::from_csv_with(
+            &ragged,
+            DUR,
+            MEM,
+            IngestMode::Lossy(LossyIngest::Skip)
+        )
+        .is_err());
+        let bad_header = DUR.replace("Average,Count", "Avg,Count");
+        assert!(AzureDataset::from_csv_with(
+            INV,
+            &bad_header,
+            MEM,
+            IngestMode::Lossy(LossyIngest::Skip)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lossy_ingest_of_clean_input_matches_strict() {
+        for policy in [LossyIngest::Skip, LossyIngest::ImputeMedians] {
+            let (dataset, report) = AzureDataset::from_csv_with(
+                fixture::INVOCATIONS_CSV,
+                fixture::DURATIONS_CSV,
+                fixture::MEMORY_CSV,
+                IngestMode::Lossy(policy),
+            )
+            .unwrap();
+            assert_eq!(dataset, fixture::dataset());
+            assert_eq!(report.dropped(), 0);
+            assert!(report.is_balanced());
+        }
+    }
+}

@@ -11,7 +11,11 @@
 //!   per-function invocations-per-minute counts, per-function duration
 //!   percentiles, per-app allocated-memory percentiles. A bundled
 //!   anonymized mini-fixture ([`fixture::dataset`]) keeps everything
-//!   runnable offline;
+//!   runnable offline. [`AzureDataset::from_dir`] discovers and merges
+//!   the real download's per-family shards, and [`IngestMode::Lossy`]
+//!   tolerates the real dataset's incompleteness (functions missing
+//!   duration/memory rows) by counting-and-skipping or imputing, with
+//!   the accounting surfaced in an [`IngestReport`];
 //! * [`AzureReplaySource`] — a deterministic, seeded expander from
 //!   minute buckets to per-invocation events: apps become
 //!   [`litmus_platform::TenantId`]s, functions map to
@@ -58,8 +62,12 @@
 mod azure;
 mod error;
 mod expand;
+mod ingest;
+mod shard;
 mod sketch;
 mod stats;
+#[doc(hidden)]
+pub mod test_support;
 mod transform;
 
 pub use azure::{
@@ -67,8 +75,10 @@ pub use azure::{
 };
 pub use error::TraceError;
 pub use expand::{
-    classify_function, AzureReplaySource, ExpandConfig, IntraMinute, TenantAssignment,
+    classify_function, multi_day_source, union_assignments, AzureReplaySource, ExpandConfig,
+    IntraMinute, TenantAssignment,
 };
+pub use ingest::{IngestMode, IngestReport, LossyIngest};
 pub use sketch::PercentileSketch;
 pub use stats::{TenantEnvelope, TraceStats};
 pub use transform::{apply, TraceTransform, TransformedSource};

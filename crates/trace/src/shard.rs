@@ -1,0 +1,197 @@
+//! Shard discovery and merging for on-disk trace directories.
+//!
+//! The published Azure Functions 2019 download splits every CSV family
+//! into per-day shards (`invocations_per_function_md.anon.d01.csv`,
+//! `function_durations_percentiles.anon.d01.csv`,
+//! `app_memory_percentiles.anon.d01.csv`, …). Discovery is by family
+//! *stem*: any `<stem>*.csv` in the directory belongs to the family,
+//! so both the repo's unsharded fixture names and the real download's
+//! names match without renaming. Shards merge in ascending file-name
+//! order with the first shard's header authoritative — and because
+//! [`crate::AzureDataset`] holds rows in canonical key order, *any*
+//! partition of the same rows across shards parses to the identical
+//! dataset.
+//!
+//! One caveat: parse-error line numbers refer to the *merged* row
+//! stream, not to a position inside an individual shard file.
+
+use std::path::{Path, PathBuf};
+
+use crate::azure::parse_error;
+use crate::error::TraceError;
+use crate::Result;
+
+/// File-name stem of the invocations family
+/// (`invocations_per_function*.csv`).
+pub(crate) const INVOCATIONS_STEM: &str = "invocations_per_function";
+/// File-name stem of the durations family (`function_durations*.csv`).
+pub(crate) const DURATIONS_STEM: &str = "function_durations";
+/// File-name stem of the memory family (`app_memory*.csv`).
+pub(crate) const MEMORY_STEM: &str = "app_memory";
+
+/// Finds `family`'s shard files in `dir`: every regular file named
+/// `<stem>*.csv`, sorted by file name so the merge order is
+/// deterministic regardless of directory-listing order.
+pub(crate) fn discover(dir: &Path, family: &'static str, stem: &str) -> Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        // Files only (symlinks followed): a stray directory named like
+        // a shard must not turn into an unreadable "shard".
+        if !entry.path().is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(stem) && name.ends_with(".csv") {
+            paths.push(entry.path());
+        }
+    }
+    if paths.is_empty() {
+        return Err(TraceError::MissingFamily {
+            family,
+            dir: dir.display().to_string(),
+        });
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Splits `text` into its header line (first non-blank line, `\r`
+/// trimmed) and everything after it.
+fn split_header(text: &str) -> Option<(&str, &str)> {
+    let mut offset = 0;
+    for line in text.split_inclusive('\n') {
+        let end = offset + line.len();
+        let trimmed = line.trim_end_matches('\n').trim_end_matches('\r');
+        if trimmed.trim().is_empty() {
+            offset = end;
+            continue;
+        }
+        return Some((trimmed, &text[end..]));
+    }
+    None
+}
+
+/// Reads and concatenates `paths` into one CSV text: the first shard
+/// passes through whole; every later shard must repeat the first's
+/// header exactly and contributes only its data rows.
+pub(crate) fn read_merged(paths: &[PathBuf], family: &'static str) -> Result<String> {
+    let mut merged = String::new();
+    let mut first_header: Option<String> = None;
+    for path in paths {
+        let text = std::fs::read_to_string(path)?;
+        let Some((header, data)) = split_header(&text) else {
+            return Err(parse_error(
+                family,
+                1,
+                format!("empty shard {}", path.display()),
+            ));
+        };
+        match &first_header {
+            None => {
+                first_header = Some(header.to_owned());
+                merged.push_str(&text);
+            }
+            Some(expected) if expected == header => {
+                if !merged.ends_with('\n') {
+                    merged.push('\n');
+                }
+                merged.push_str(data);
+            }
+            Some(_) => {
+                return Err(parse_error(
+                    family,
+                    1,
+                    format!(
+                        "shard {} header differs from {}",
+                        path.display(),
+                        paths[0].display()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::AzureDataset;
+    use crate::fixture;
+    use crate::test_support::{write_sharded, TempDir};
+
+    #[test]
+    fn sharded_fixture_parses_identically_to_unsharded() {
+        let dir = TempDir::new("shard-split");
+        write_sharded(&dir, INVOCATIONS_STEM, fixture::INVOCATIONS_CSV, 2);
+        write_sharded(&dir, DURATIONS_STEM, fixture::DURATIONS_CSV, 3);
+        write_sharded(&dir, MEMORY_STEM, fixture::MEMORY_CSV, 2);
+        let dataset = AzureDataset::from_dir(dir.path()).expect("sharded dir parses");
+        assert_eq!(dataset, fixture::dataset());
+
+        let (_, report) =
+            AzureDataset::from_dir_with(dir.path(), crate::IngestMode::Strict).unwrap();
+        assert_eq!(report.invocation_shards, 2);
+        assert_eq!(report.duration_shards, 3);
+        assert_eq!(report.memory_shards, 2);
+        assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn real_download_names_match_the_stems() {
+        let dir = TempDir::new("shard-realnames");
+        dir.write(
+            "invocations_per_function_md.anon.d01.csv",
+            fixture::INVOCATIONS_CSV,
+        );
+        dir.write(
+            "function_durations_percentiles.anon.d01.csv",
+            fixture::DURATIONS_CSV,
+        );
+        dir.write("app_memory_percentiles.anon.d01.csv", fixture::MEMORY_CSV);
+        assert_eq!(
+            AzureDataset::from_dir(dir.path()).expect("real-name dir parses"),
+            fixture::dataset()
+        );
+    }
+
+    #[test]
+    fn missing_family_is_its_own_error() {
+        let dir = TempDir::new("shard-missing");
+        dir.write("invocations_per_function.csv", fixture::INVOCATIONS_CSV);
+        dir.write("function_durations.csv", fixture::DURATIONS_CSV);
+        assert!(matches!(
+            AzureDataset::from_dir(dir.path()),
+            Err(TraceError::MissingFamily {
+                family: "memory",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn shard_header_mismatch_is_rejected() {
+        let dir = TempDir::new("drift");
+        write_sharded(&dir, DURATIONS_STEM, fixture::DURATIONS_CSV, 1);
+        write_sharded(&dir, MEMORY_STEM, fixture::MEMORY_CSV, 1);
+        // Two invocation shards with different minute ranges.
+        dir.write("invocations_per_function.d01.csv", fixture::INVOCATIONS_CSV);
+        dir.write(
+            "invocations_per_function.d02.csv",
+            "HashOwner,HashApp,HashFunction,Trigger,1,2\n",
+        );
+        let err = AzureDataset::from_dir(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("header differs"), "{err}");
+    }
+
+    #[test]
+    fn headers_split_robustly() {
+        assert_eq!(split_header("h\na\nb\n"), Some(("h", "a\nb\n")));
+        assert_eq!(split_header("\n\nh\r\nrow\n"), Some(("h", "row\n")));
+        assert_eq!(split_header("h"), Some(("h", "")));
+        assert_eq!(split_header(""), None);
+        assert_eq!(split_header("\n  \n"), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared scaffolding for this crate's shard tests, the workspace's
+//! ingest property tests and the `sharded_ingest` example: scratch
+//! directories and fixture-splitting helpers. Hidden from docs — not
+//! part of the crate's API contract.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+/// A scratch directory under the system temp dir, pre-cleaned on
+/// creation (a crashed earlier run cannot poison this one) and removed
+/// on drop. Names are unique per process *and* per instance, so
+/// concurrent tests never collide.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// Creates `<temp>/litmus-<tag>-<pid>-<n>`.
+    ///
+    /// # Panics
+    ///
+    /// When the directory cannot be created.
+    pub fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "litmus-{tag}-{}-{}",
+            std::process::id(),
+            NEXT_DIR.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+
+    /// Writes `text` as `name` inside the directory.
+    ///
+    /// # Panics
+    ///
+    /// On write failure.
+    pub fn write(&self, name: &str, text: &str) {
+        std::fs::write(self.0.join(name), text).expect("write temp file");
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deals `csv`'s data rows into `shards` files per `assignment` (row
+/// `i` goes to shard `assignment[i] % shards`; rows past the
+/// assignment's end go to shard 0) and writes them as
+/// `<stem>.dNN.csv`, every shard carrying the header — even when left
+/// with no rows, like a quiet day in the real dataset.
+///
+/// # Panics
+///
+/// When `csv` has no header line or a shard fails to write.
+pub fn write_assigned(dir: &TempDir, stem: &str, csv: &str, shards: usize, assignment: &[usize]) {
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv has a header");
+    let mut parts = vec![format!("{header}\n"); shards];
+    for (idx, line) in lines.enumerate() {
+        let shard = assignment.get(idx).copied().unwrap_or(0) % shards;
+        parts[shard].push_str(line);
+        parts[shard].push('\n');
+    }
+    for (idx, part) in parts.iter().enumerate() {
+        dir.write(&format!("{stem}.d{:02}.csv", idx + 1), part);
+    }
+}
+
+/// [`write_assigned`] with a round-robin assignment — an interleaved
+/// worst-case partition (no shard holds a contiguous row range) that
+/// canonical dataset ordering must absorb.
+pub fn write_sharded(dir: &TempDir, stem: &str, csv: &str, shards: usize) {
+    let rows = csv.lines().count().saturating_sub(1);
+    let assignment: Vec<usize> = (0..rows).collect();
+    write_assigned(dir, stem, csv, shards, &assignment);
+}

@@ -1,0 +1,168 @@
+//! Property tests for full-dataset ingestion: any partition of the
+//! fixture's rows into shards — in any assignment order — parses to
+//! the same `AzureDataset`, and lossy ingestion's per-category
+//! counters always account for every input row.
+
+use litmus_trace::test_support::{write_assigned, TempDir};
+use litmus_trace::{fixture, AzureDataset, IngestMode, LossyIngest};
+use proptest::prelude::*;
+
+/// How one duration row is mutated by the lossy-counter property.
+#[derive(Clone, Copy, PartialEq)]
+enum RowFate {
+    Keep,
+    Drop,
+    ZeroCount,
+    NanPercentile,
+    Duplicate,
+}
+
+impl RowFate {
+    fn from_index(idx: usize) -> RowFate {
+        match idx % 5 {
+            0 => RowFate::Keep,
+            1 => RowFate::Drop,
+            2 => RowFate::ZeroCount,
+            3 => RowFate::NanPercentile,
+            _ => RowFate::Duplicate,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shard-order invariance: however the fixture's rows are dealt
+    /// across however many shards per family, `from_dir` parses the
+    /// identical dataset — including when a shard ends up empty.
+    #[test]
+    fn any_shard_partition_parses_to_the_same_dataset(
+        inv_shards in 1usize..5,
+        dur_shards in 1usize..5,
+        mem_shards in 1usize..4,
+        inv_assign in prop::collection::vec(0usize..4, 9..10),
+        dur_assign in prop::collection::vec(0usize..4, 9..10),
+        mem_assign in prop::collection::vec(0usize..4, 5..6),
+    ) {
+        let dir = TempDir::new("ingest-prop");
+        write_assigned(
+            &dir,
+            "invocations_per_function",
+            fixture::INVOCATIONS_CSV,
+            inv_shards,
+            &inv_assign,
+        );
+        write_assigned(
+            &dir,
+            "function_durations",
+            fixture::DURATIONS_CSV,
+            dur_shards,
+            &dur_assign,
+        );
+        write_assigned(&dir, "app_memory", fixture::MEMORY_CSV, mem_shards, &mem_assign);
+
+        let (dataset, report) =
+            AzureDataset::from_dir_with(dir.path(), IngestMode::Strict)
+                .expect("sharded dir parses");
+        prop_assert_eq!(&dataset, &fixture::dataset());
+        prop_assert_eq!(report.invocation_shards, inv_shards as u64);
+        prop_assert_eq!(report.duration_shards, dur_shards as u64);
+        prop_assert_eq!(report.memory_shards, mem_shards as u64);
+        prop_assert!(report.is_balanced());
+        prop_assert_eq!(report.dropped(), 0);
+    }
+
+    /// Counter conservation: whatever mix of dropped, zero-count,
+    /// poisoned and duplicated duration rows lossy ingestion faces,
+    /// every input row lands in exactly one bucket — kept, imputed or
+    /// one named skip category — under both lossy policies.
+    #[test]
+    fn lossy_counters_account_for_every_input_row(
+        fate_seed in prop::collection::vec(0usize..5, 9..10),
+        policy_pick in 0usize..2,
+    ) {
+        let policy = if policy_pick == 0 {
+            LossyIngest::Skip
+        } else {
+            LossyIngest::ImputeMedians
+        };
+        let mut lines = fixture::DURATIONS_CSV.lines();
+        let header = lines.next().unwrap();
+        let mut durations = format!("{header}\n");
+        let (mut n_drop, mut n_zero, mut n_nan, mut n_dup) = (0u64, 0u64, 0u64, 0u64);
+        let mut rows_written = 0u64;
+        for (idx, line) in lines.enumerate() {
+            match RowFate::from_index(fate_seed.get(idx).copied().unwrap_or(0)) {
+                RowFate::Keep => {
+                    durations.push_str(line);
+                    durations.push('\n');
+                    rows_written += 1;
+                }
+                RowFate::Drop => n_drop += 1,
+                RowFate::ZeroCount => {
+                    let mut cells: Vec<&str> = line.split(',').collect();
+                    cells[4] = "0";
+                    durations.push_str(&cells.join(","));
+                    durations.push('\n');
+                    rows_written += 1;
+                    n_zero += 1;
+                }
+                RowFate::NanPercentile => {
+                    let mut cells: Vec<&str> = line.split(',').collect();
+                    let last = cells.len() - 1;
+                    cells[last] = "NaN";
+                    durations.push_str(&cells.join(","));
+                    durations.push('\n');
+                    rows_written += 1;
+                    n_nan += 1;
+                }
+                RowFate::Duplicate => {
+                    durations.push_str(line);
+                    durations.push('\n');
+                    durations.push_str(line);
+                    durations.push('\n');
+                    rows_written += 2;
+                    n_dup += 1;
+                }
+            }
+        }
+
+        let (dataset, report) = AzureDataset::from_csv_with(
+            fixture::INVOCATIONS_CSV,
+            &durations,
+            fixture::MEMORY_CSV,
+            IngestMode::Lossy(policy),
+        )
+        .expect("lossy ingestion absorbs degenerate rows");
+
+        // Totals match the text actually fed in…
+        prop_assert_eq!(report.invocation_rows, 9);
+        prop_assert_eq!(report.duration_rows, rows_written);
+        prop_assert_eq!(report.memory_rows, 5);
+        // …each mutation lands in its named bucket…
+        prop_assert_eq!(report.zero_count_durations_skipped, n_zero);
+        prop_assert_eq!(report.invalid_durations_skipped, n_nan);
+        prop_assert_eq!(report.duplicate_durations_skipped, n_dup);
+        prop_assert_eq!(report.orphan_durations_skipped, 0);
+        // …functions are conserved against the invocations file…
+        let degenerate = n_drop + n_zero + n_nan;
+        match policy {
+            LossyIngest::Skip => {
+                prop_assert_eq!(report.missing_duration_skipped, degenerate);
+                prop_assert_eq!(report.functions, 9 - degenerate);
+                prop_assert_eq!(report.imputed(), 0);
+            }
+            LossyIngest::ImputeMedians => {
+                prop_assert_eq!(report.missing_duration_skipped, 0);
+                prop_assert_eq!(report.functions + report.unimputable_skipped, 9);
+                prop_assert_eq!(
+                    report.imputed() + report.unimputable_skipped,
+                    degenerate
+                );
+            }
+        }
+        prop_assert_eq!(report.functions, dataset.functions().len() as u64);
+        // …and the full conservation identities hold.
+        prop_assert!(report.is_balanced(), "unbalanced: {:?}", report);
+    }
+}

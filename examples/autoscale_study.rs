@@ -1,0 +1,218 @@
+//! Trace-driven autoscale study: replay compressed full-day Azure
+//! shapes through the cluster's reactive autoscaler across a sweep of
+//! high-water marks and print the cost/SLO frontier — machine-hours
+//! bought vs the p99 predicted slowdown served.
+//!
+//! The reactive scaler only reacts: a machine boots *after* the
+//! fleetwide congestion signal crosses the mark, so aggressive marks
+//! buy capacity early (more machine-hours, flatter tail) and lazy
+//! marks ride the burst out (cheaper, worse p99). The frontier this
+//! prints is the baseline a predictive scaler (ROADMAP) has to beat:
+//! its promise is the aggressive mark's tail at the lazy mark's cost.
+//!
+//! By default two copies of the bundled fixture day are chained into
+//! one continuous multi-day replay through `multi_day_source` — the
+//! week-scale streaming path — so the scaler sees the daily shape
+//! twice, including the overnight trough where it retires machines.
+//! Point `AZURE_TRACE_DIR` at a real downloaded day
+//! (`scripts/download_azure_trace.sh`) to study production shapes:
+//! the day is ingested lossily (impute-from-app/trigger medians) and
+//! its drop/impute accounting printed.
+//!
+//! Run with: `cargo run --release --example autoscale_study`
+//! (`-- --smoke` for the CI-sized sweep).
+
+use litmus::prelude::*;
+use litmus::trace::{fixture, multi_day_source, IngestMode, LossyIngest};
+
+const CORES_PER_MACHINE: usize = 8;
+const SEED: u64 = 41;
+
+struct FrontierPoint {
+    label: String,
+    report: ClusterReport,
+    events: usize,
+}
+
+fn calibration() -> Result<(PricingTables, DiscountModel), Box<dyn std::error::Error>> {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 22])
+        .reference_scale(0.05)
+        .build()?;
+    let model = DiscountModel::fit(&tables)?;
+    Ok((tables, model))
+}
+
+/// A fleet that starts at the autoscaler's floor: capacity is the
+/// scaler's call, not the initial layout's.
+fn cluster_config(floor: usize) -> ClusterConfig {
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), floor, CORES_PER_MACHINE)
+        .serving_scale(0.05)
+        .slice_ms(20)
+}
+
+fn autoscaler(high_water: f64, floor: usize, ceiling: usize) -> AutoscalerConfig {
+    AutoscalerConfig::new(MachineConfig::new(CORES_PER_MACHINE).seed(0x5CA1E))
+        .high_water(high_water)
+        .low_water(1.1)
+        .machine_bounds(floor, ceiling)
+        .cooldown_ms(250)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    // One trace minute compressed to this many simulated ms; the cost
+    // column converts machine time back to trace scale.
+    let minute_ms: u64 = if smoke { 300 } else { 600 };
+    let marks: &[f64] = if smoke {
+        &[1.5, 2.5, 4.0]
+    } else {
+        &[1.4, 1.8, 2.5, 3.5, 5.0]
+    };
+    let (floor, ceiling) = (2, 12);
+
+    // The day (or days) under study.
+    let days: Vec<AzureDataset> = match std::env::var_os("AZURE_TRACE_DIR") {
+        Some(dir) => {
+            let (day, ingest) =
+                AzureDataset::from_dir_with(&dir, IngestMode::Lossy(LossyIngest::ImputeMedians))?;
+            println!("loaded real trace day from {}:", dir.to_string_lossy());
+            println!("{ingest}");
+            vec![day]
+        }
+        None => {
+            let day = fixture::dataset();
+            println!(
+                "no AZURE_TRACE_DIR set — chaining two copies of the bundled \
+                 fixture day ({} functions, {} minutes each)",
+                day.functions().len(),
+                day.minutes(),
+            );
+            vec![day.clone(), day]
+        }
+    };
+    let config = ExpandConfig::new(SEED).minute_ms(minute_ms);
+    let trace_minutes: usize = days.iter().map(AzureDataset::minutes).sum();
+    let events = multi_day_source(&days, config)?.size_hint().0;
+    println!(
+        "replaying {events} invocations over {trace_minutes} trace minutes \
+         (compressed to {:.1} s), fleet {floor}–{ceiling} machines\n",
+        (trace_minutes as u64 * minute_ms) as f64 / 1000.0,
+    );
+
+    let (tables, model) = calibration()?;
+    let mut frontier: Vec<FrontierPoint> = Vec::new();
+
+    // Static baseline: the peak-provisioned fleet a reactive scaler is
+    // supposed to undercut.
+    {
+        let mut cluster = Cluster::build(cluster_config(8), tables.clone(), model.clone())?;
+        let report = ClusterDriver::new(LitmusAware::new())
+            .replay_source(&mut cluster, multi_day_source(&days, config)?)?;
+        frontier.push(FrontierPoint {
+            label: "static-8".into(),
+            report,
+            events,
+        });
+    }
+    for &mark in marks {
+        let mut cluster = Cluster::build(cluster_config(floor), tables.clone(), model.clone())?;
+        let report = ClusterDriver::new(LitmusAware::new())
+            .autoscale(autoscaler(mark, floor, ceiling))
+            .replay_source(&mut cluster, multi_day_source(&days, config)?)?;
+        frontier.push(FrontierPoint {
+            label: format!("high={mark:.1}"),
+            report,
+            events,
+        });
+    }
+
+    // Machine time at trace scale: sim machine-ms × (real minute /
+    // compressed minute), in hours.
+    let trace_hours =
+        |report: &ClusterReport| report.machine_ms() as f64 * (60_000.0 / minute_ms as f64) / 3.6e6;
+
+    println!("── cost/SLO frontier (reactive water-mark sweep) ─────────────────────────");
+    println!(
+        "{:>10}  {:>4}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>5}  {:>9}",
+        "config",
+        "peak",
+        "mach-s",
+        "mach-h*",
+        "p50 slow",
+        "p99 slow",
+        "lat ms",
+        "up/rt",
+        "completed",
+    );
+    for point in &frontier {
+        let report = &point.report;
+        let ups = report
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleKind::Up)
+            .count();
+        let retires = report
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleKind::Retire)
+            .count();
+        // One sort per report: both quantiles from the batch API.
+        let quantiles = report.predicted_slowdown_quantiles(&[0.5, 0.99]);
+        println!(
+            "{:>10}  {:>4}  {:>9.1}  {:>9.2}  {:>8.3}  {:>8.3}  {:>8.1}  {:>2}/{:<2}  {:>5}/{:<5}",
+            point.label,
+            report.peak_machines,
+            report.machine_ms() as f64 / 1000.0,
+            trace_hours(report),
+            quantiles[0],
+            quantiles[1],
+            report.mean_latency_ms,
+            ups,
+            retires,
+            report.completed,
+            point.events,
+        );
+    }
+    println!("(* machine-hours at trace scale: sim machine-time × 60 000/{minute_ms} ms minutes)");
+
+    // The frontier's defining trade: the most aggressive mark may not
+    // serve a worse p99 than the laziest, and the laziest may not buy
+    // more capacity than the most aggressive.
+    let aggressive = &frontier[1].report;
+    let lazy = &frontier[frontier.len() - 1].report;
+    let aggressive_p99 = aggressive.predicted_slowdown_quantile(0.99);
+    let lazy_p99 = lazy.predicted_slowdown_quantile(0.99);
+    assert!(
+        aggressive_p99 <= lazy_p99 + 1e-9,
+        "aggressive scaling must not worsen the p99 tail"
+    );
+    assert!(
+        lazy.machine_ms() <= aggressive.machine_ms(),
+        "lazy scaling must not cost more machine-time"
+    );
+    for point in &frontier {
+        assert_eq!(
+            point.report.completed + point.report.unfinished,
+            point.events,
+            "{}: invocations leaked",
+            point.label
+        );
+        assert_eq!(
+            point.report.predicted_slowdowns.len(),
+            point.events,
+            "{}: one slowdown sample per dispatch",
+            point.label
+        );
+    }
+    println!(
+        "\nreactive frontier spans {:.2}→{:.2} trace machine-hours for p99 \
+         {:.3}→{:.3}; a predictive scaler's target is the left tail at the \
+         right cost.",
+        trace_hours(aggressive),
+        trace_hours(lazy),
+        aggressive_p99,
+        lazy_p99,
+    );
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Full-dataset ingestion drill, sized for CI: split the bundled
+//! fixture into per-family shards in a temp directory the way the real
+//! Azure Functions 2019 download is split per day, prove the
+//! shard-aware `from_dir` parses them to the *identical* dataset, then
+//! punch holes in the data the way the real dataset ships with them
+//! and show the lossy-ingest accounting.
+//!
+//! Run with: `cargo run --release --example sharded_ingest`
+
+use litmus::prelude::*;
+use litmus::trace::test_support::{write_sharded, TempDir};
+use litmus::trace::{fixture, IngestMode, IngestReport, LossyIngest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let unsharded = fixture::dataset();
+
+    // 1. Shard-aware ingestion: two invocation shards, three duration
+    //    shards, two memory shards, data rows dealt round-robin — a
+    //    worst-case interleaved partition. The merged `from_dir` must
+    //    equal the unsharded parse bit for bit.
+    let dir = TempDir::new("sharded-ingest");
+    write_sharded(
+        &dir,
+        "invocations_per_function",
+        fixture::INVOCATIONS_CSV,
+        2,
+    );
+    write_sharded(&dir, "function_durations", fixture::DURATIONS_CSV, 3);
+    write_sharded(&dir, "app_memory", fixture::MEMORY_CSV, 2);
+    let (sharded, report) = AzureDataset::from_dir_with(dir.path(), IngestMode::Strict)?;
+    assert_eq!(
+        sharded, unsharded,
+        "sharded parse must be identical to the unsharded parse"
+    );
+    assert!(report.is_balanced());
+    println!(
+        "sharded parse ✓  ({} functions from {}/{}/{} shards, identical to \
+         the unsharded fixture)",
+        report.functions, report.invocation_shards, report.duration_shards, report.memory_shards,
+    );
+
+    // 2. Lossy ingestion: drop duration rows for a third of the
+    //    functions, zero out one row's Count, and orphan a memory row
+    //    — the real dataset's shape. Strict must refuse; lossy must
+    //    account for every row.
+    let mut durations: Vec<&str> = fixture::DURATIONS_CSV.lines().collect();
+    let header = durations.remove(0);
+    let holes: Vec<String> = durations
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| idx % 3 != 0) // every third function loses its row
+        .map(|(idx, line)| {
+            if idx == 1 {
+                // One surviving row claims zero sampled executions.
+                let mut cells: Vec<String> = line.split(',').map(str::to_owned).collect();
+                cells[4] = "0".into();
+                cells.join(",")
+            } else {
+                (*line).to_owned()
+            }
+        })
+        .collect();
+    let holey_durations = format!("{header}\n{}\n", holes.join("\n"));
+    let orphan_memory = format!(
+        "{}fa11back,ghostapp,4,48,30,33,40,46,52,60,66,70\n",
+        fixture::MEMORY_CSV
+    );
+
+    assert!(
+        AzureDataset::from_csv(fixture::INVOCATIONS_CSV, &holey_durations, &orphan_memory).is_err(),
+        "strict ingestion must refuse incomplete data"
+    );
+    let mut reports: Vec<(&str, IngestReport)> = Vec::new();
+    for (label, policy) in [
+        ("lossy-skip", LossyIngest::Skip),
+        ("lossy-impute", LossyIngest::ImputeMedians),
+    ] {
+        let (dataset, report) = AzureDataset::from_csv_with(
+            fixture::INVOCATIONS_CSV,
+            &holey_durations,
+            &orphan_memory,
+            IngestMode::Lossy(policy),
+        )?;
+        println!("\n{label}: {report}");
+        assert!(report.is_balanced(), "{label}: counters must balance");
+        assert_eq!(
+            report.functions,
+            dataset.functions().len() as u64,
+            "{label}"
+        );
+        assert_eq!(report.zero_count_durations_skipped, 1, "{label}");
+        reports.push((label, report));
+    }
+    let (_, skip) = &reports[0];
+    let (_, impute) = &reports[1];
+    assert!(skip.missing_duration_skipped > 0);
+    assert_eq!(impute.missing_duration_skipped, 0);
+    // Skipping functions cascades: apps whose every function dropped
+    // orphan their memory rows too (ghost app + two single-function
+    // apps); imputation keeps those apps alive, so only the ghost app
+    // orphans.
+    assert_eq!(skip.orphan_memory_skipped, 3);
+    assert_eq!(impute.orphan_memory_skipped, 1);
+    assert_eq!(
+        impute.functions,
+        skip.functions + impute.imputed(),
+        "imputation keeps exactly the functions skip drops"
+    );
+
+    // 3. The lossy dataset still expands and replays like any other.
+    let (dataset, _) = AzureDataset::from_csv_with(
+        fixture::INVOCATIONS_CSV,
+        &holey_durations,
+        &orphan_memory,
+        IngestMode::Lossy(LossyIngest::ImputeMedians),
+    )?;
+    let trace = dataset.expand(ExpandConfig::new(7).minute_ms(400))?;
+    assert_eq!(trace.len() as u64, dataset.total_invocations());
+    println!(
+        "\nimputed dataset expands cleanly: {} invocations across {} tenants ✓",
+        trace.len(),
+        trace.tenants().len()
+    );
+    Ok(())
+}

@@ -2,30 +2,118 @@
 # Download the full Azure Functions 2019 trace and arrange it for
 # `AzureDataset::from_dir`.
 #
-# STATUS: stub — the repo's CI environment is offline, so this script
-# documents the procedure instead of running in CI. The bundled
-# fixture under crates/trace/fixtures/ keeps every test and example
-# self-contained; use this only to evaluate against the real dataset.
-#
-# The dataset (≈1.2 GB compressed) is published by Microsoft with
-# *Serverless in the Wild* (ATC '20):
+# The dataset (≈1.2 GB compressed, 14 days) is published by Microsoft
+# with *Serverless in the Wild* (ATC '20):
 #   https://github.com/Azure/AzurePublicDataset
-#   (AzureFunctionsDataset2019.md has the access link and schema.)
+#   (AzureFunctionsDataset2019.md documents the schema.)
 #
-# Layout expected by `AzureDataset::from_dir(<day dir>)`:
-#   <out>/d01/invocations_per_function.csv
-#   <out>/d01/function_durations.csv
-#   <out>/d01/app_memory.csv
+# This script fetches the archive, extracts it, and sorts each day's
+# three CSVs into their own directory:
 #
-# Follow-ups tracked in ROADMAP.md:
-#   * shard-aware loading (the real dataset splits each day across
-#     files; from_dir currently wants one file per family);
-#   * duration/memory rows missing for some functions in the real
-#     dataset — relax the strict join behind a lossy-ingest option.
+#   <out>/d01/invocations_per_function_md.anon.d01.csv
+#   <out>/d01/function_durations_percentiles.anon.d01.csv
+#   <out>/d01/app_memory_percentiles.anon.d01.csv
+#   <out>/d02/…
+#
+# No renaming is needed: `AzureDataset::from_dir` discovers families by
+# file-name *stem* (`invocations_per_function*`, `function_durations*`,
+# `app_memory*`), so the published names match as-is, and a directory
+# holding several shards of one family is merged automatically.
+#
+# The real dataset is incomplete — many functions have no duration or
+# memory row, and some duration rows have `Count == 0` — so ingest days
+# with a lossy mode, e.g.:
+#
+#   AzureDataset::from_dir_with(path, IngestMode::Lossy(LossyIngest::ImputeMedians))
+#
+# which returns the per-category drop/impute accounting alongside the
+# dataset. Chain several day directories with
+# `litmus_trace::multi_day_source` for week-scale streaming replays,
+# and see `examples/autoscale_study.rs` (`AZURE_TRACE_DIR=<out>/d01`)
+# for an end-to-end consumer.
+#
+# CI never runs this: the build environment is offline, and the bundled
+# fixture under crates/trace/fixtures/ keeps every test, bench and
+# example self-contained. Use this only to evaluate against the real
+# dataset.
 
 set -euo pipefail
 
-echo "error: this is a documented stub — the full Azure Functions 2019" >&2
-echo "trace must be fetched manually (see the comments in this script)." >&2
-echo "Everything in-repo runs against crates/trace/fixtures/." >&2
-exit 1
+ARCHIVE_URL="https://azurepublicdatasettraces.blob.core.windows.net/azurepublicdatasetv2/azurefunctions_dataset2019/azurefunctions-dataset2019.tar.xz"
+
+usage() {
+    echo "usage: $0 [-o OUT_DIR] [-d DAYS]" >&2
+    echo "  -o OUT_DIR  where to put the per-day directories (default: ./azure-trace-2019)" >&2
+    echo "  -d DAYS     how many days to arrange, 1-14 (default: 14)" >&2
+    exit 1
+}
+
+out_dir="./azure-trace-2019"
+days=14
+while getopts "o:d:h" opt; do
+    case "$opt" in
+        o) out_dir="$OPTARG" ;;
+        d) days="$OPTARG" ;;
+        *) usage ;;
+    esac
+done
+if ! [[ "$days" =~ ^[0-9]+$ ]] || [ "$days" -lt 1 ] || [ "$days" -gt 14 ]; then
+    echo "error: DAYS must be between 1 and 14, got '$days'" >&2
+    exit 1
+fi
+
+fetch() {
+    # curl or wget, whichever the machine has.
+    local url="$1" dest="$2"
+    if command -v curl >/dev/null 2>&1; then
+        curl --fail --location --retry 3 --continue-at - -o "$dest" "$url"
+    elif command -v wget >/dev/null 2>&1; then
+        wget --tries=3 --continue -O "$dest" "$url"
+    else
+        echo "error: neither curl nor wget is available" >&2
+        exit 1
+    fi
+}
+
+mkdir -p "$out_dir"
+archive="$out_dir/azurefunctions-dataset2019.tar.xz"
+
+if [ -s "$archive" ]; then
+    echo "archive already present: $archive (delete it to re-download)"
+else
+    echo "downloading ≈1.2 GB from $ARCHIVE_URL …"
+    fetch "$ARCHIVE_URL" "$archive"
+fi
+
+echo "extracting…"
+tar -xJf "$archive" -C "$out_dir"
+
+echo "arranging days 01-$(printf '%02d' "$days") into per-day directories…"
+# %02g, not `seq -w`: -w only pads to the widest value's width, so
+# `-d 3` would yield d1/d2/d3 and match none of the *.dNN.csv names.
+for day in $(seq -f '%02g' 1 "$days"); do
+    day_dir="$out_dir/d$day"
+    mkdir -p "$day_dir"
+    moved=0
+    for stem in invocations_per_function function_durations app_memory; do
+        # The published names carry suffixes (…_md.anon.dNN.csv,
+        # …_percentiles.anon.dNN.csv); match by stem + day, like
+        # AzureDataset::from_dir does by stem.
+        for f in "$out_dir/$stem"*".d$day.csv"; do
+            [ -e "$f" ] || continue
+            mv "$f" "$day_dir/"
+            moved=$((moved + 1))
+        done
+    done
+    if [ "$moved" -eq 0 ]; then
+        echo "  d$day: no files found (already arranged, or extraction incomplete)" >&2
+    else
+        echo "  d$day: $moved files"
+    fi
+done
+
+echo
+echo "done. ingest a day with:"
+echo "  AzureDataset::from_dir_with(\"$out_dir/d01\", IngestMode::Lossy(LossyIngest::ImputeMedians))"
+echo "or replay it straight away:"
+echo "  AZURE_TRACE_DIR=$out_dir/d01 cargo run --release --example autoscale_study"
