@@ -1,0 +1,100 @@
+//! Forecasting throughput: observations/second through each online
+//! model, banded observe+forecast, and a full trace backtest.
+//!
+//! The predictive autoscaler calls `observe` + `forecast` once per
+//! scheduling slice on the serving hot path, so per-observation cost
+//! bounds how fine the slicing can get; the backtest number bounds how
+//! fast a config sweep can score candidate forecasters against a real
+//! day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use litmus_forecast::{
+    backtest_source, BacktestConfig, BandedForecaster, Ewma, Forecaster, HoltLinear,
+    SeasonalHoltWinters,
+};
+use litmus_trace::{fixture, ExpandConfig};
+
+/// A deterministic pseudo-random arrival-count series.
+fn series(n: usize) -> Vec<f64> {
+    let mut state = 0x5EEDu64;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (state >> 59) as f64;
+            10.0 + 6.0 * ((i % 30) as f64 / 30.0 * std::f64::consts::TAU).sin() + noise
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let values = series(10_000);
+    let mut group = c.benchmark_group("forecast_observe_10k");
+    group.bench_function("ewma", |b| {
+        b.iter(|| {
+            let mut model = Ewma::new(0.3).unwrap();
+            model.observe_all(&values);
+            black_box(model.predict(1))
+        })
+    });
+    group.bench_function("holt_linear", |b| {
+        b.iter(|| {
+            let mut model = HoltLinear::new(0.3, 0.1).unwrap();
+            model.observe_all(&values);
+            black_box(model.predict(1))
+        })
+    });
+    group.bench_function("seasonal_holt_winters", |b| {
+        b.iter(|| {
+            let mut model = SeasonalHoltWinters::new(0.25, 0.05, 0.35, 30).unwrap();
+            model.observe_all(&values);
+            black_box(model.predict(1))
+        })
+    });
+    group.finish();
+}
+
+fn bench_banded(c: &mut Criterion) {
+    let values = series(10_000);
+    c.bench_function("forecast_banded_observe_forecast_10k", |b| {
+        b.iter(|| {
+            let model = SeasonalHoltWinters::new(0.25, 0.05, 0.35, 30).unwrap();
+            let mut banded = BandedForecaster::new(model, 8, 0.9, 128).unwrap();
+            let mut acc = 0.0;
+            for &value in &values {
+                banded.observe(value);
+                acc += banded.forecast().hi;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_backtest(c: &mut Criterion) {
+    let dataset = fixture::dataset();
+    c.bench_function("forecast_backtest_fixture_day", |b| {
+        b.iter(|| {
+            let source = dataset
+                .source(ExpandConfig::new(7).minute_ms(600))
+                .expect("fixture expands");
+            let mut model = SeasonalHoltWinters::new(0.25, 0.05, 0.35, 30).unwrap();
+            let report = backtest_source(
+                &mut model,
+                source,
+                BacktestConfig {
+                    bucket_ms: 20,
+                    horizon: 8,
+                    ..BacktestConfig::default()
+                },
+            )
+            .unwrap();
+            black_box(report.mae)
+        })
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_banded, bench_backtest);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::error::ClusterError;
 use crate::machine::{Machine, MachineConfig, MachineId};
 use crate::policy::{MachineSnapshot, PlacementPolicy};
 use crate::pool::{panic_message, SteppingMode, WorkerPool};
-use crate::scale::{Autoscaler, AutoscalerConfig, MachineLifetime, ScaleEvent};
+use crate::scale::{Autoscaler, AutoscalerConfig, ForecastSample, MachineLifetime, ScaleEvent};
 use crate::steal::{steal_pass, StealEvent, StealingConfig};
 use crate::Result;
 
@@ -415,6 +415,12 @@ pub struct ClusterReport {
     pub steal_events: Vec<StealEvent>,
     /// Every autoscaling decision, in occurrence order.
     pub scale_events: Vec<ScaleEvent>,
+    /// One record per scheduling slice when the autoscaler ran with
+    /// [`crate::ScalingPolicy::Predictive`]: what the forecaster
+    /// observed, predicted and asked for — empty for reactive or
+    /// non-autoscaled replays. Studies attribute scaling wins and
+    /// losses to the forecast through these.
+    pub forecast_samples: Vec<ForecastSample>,
     /// Birth/retirement record of every machine that served during the
     /// replay.
     pub machine_lifetimes: Vec<MachineLifetime>,
@@ -668,13 +674,18 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             .collect();
         let retired_base = cluster.retired.len();
 
-        let mut autoscaler = self.autoscale.clone().map(Autoscaler::new);
-        let stealing = self.stealing;
         let slice_ms = cluster.slice_ms;
+        let mut autoscaler = self
+            .autoscale
+            .clone()
+            .map(|config| Autoscaler::new(config, slice_ms))
+            .transpose()?;
+        let stealing = self.stealing;
         let mut placements = Vec::with_capacity(source.size_hint().0);
         let mut predicted_slowdowns = Vec::with_capacity(source.size_hint().0);
         let mut steal_events = Vec::new();
         let mut scale_events = Vec::new();
+        let mut forecast_samples = Vec::new();
         let mut redispatched = 0;
         let mut peak_machines = cluster.machines.len();
         let mut now_ms = 0u64;
@@ -683,13 +694,15 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let boundary = |cluster: &mut Cluster,
                         autoscaler: &mut Option<Autoscaler>,
                         at_ms: u64,
+                        admitted: usize,
                         scale_events: &mut Vec<ScaleEvent>,
+                        forecast_samples: &mut Vec<ForecastSample>,
                         steal_events: &mut Vec<StealEvent>,
                         redispatched: &mut usize,
                         peak: &mut usize|
          -> Result<()> {
             if let Some(scaler) = autoscaler {
-                scaler.evaluate(cluster, at_ms, scale_events)?;
+                scaler.evaluate(cluster, at_ms, admitted, scale_events, forecast_samples)?;
                 *peak = (*peak).max(cluster.machines.len());
             }
             if let Some(config) = &stealing {
@@ -702,6 +715,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             let slice_end = now_ms + slice_ms;
             chunk.clear();
             source.fill_before(slice_end, &mut chunk);
+            let admitted = chunk.len();
             for event in chunk.drain(..) {
                 if !cluster.ctx.is_warmed(&event.function) {
                     // In-place: workers release their context clones at
@@ -717,7 +731,9 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                 cluster,
                 &mut autoscaler,
                 slice_end,
+                admitted,
                 &mut scale_events,
+                &mut forecast_samples,
                 &mut steal_events,
                 &mut redispatched,
                 &mut peak_machines,
@@ -733,7 +749,9 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                 cluster,
                 &mut autoscaler,
                 now_ms,
+                0,
                 &mut scale_events,
+                &mut forecast_samples,
                 &mut steal_events,
                 &mut redispatched,
                 &mut peak_machines,
@@ -793,6 +811,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             redispatched,
             steal_events,
             scale_events,
+            forecast_samples,
             machine_lifetimes,
             peak_machines,
             mean_latency_ms: if completed == 0 {

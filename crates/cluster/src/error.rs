@@ -80,6 +80,13 @@ impl From<SimError> for ClusterError {
     }
 }
 
+impl From<litmus_forecast::ForecastError> for ClusterError {
+    fn from(e: litmus_forecast::ForecastError) -> Self {
+        let litmus_forecast::ForecastError::InvalidConfig(why) = e;
+        ClusterError::InvalidAutoscale(why)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

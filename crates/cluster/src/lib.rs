@@ -22,10 +22,14 @@
 //!   queued-but-not-launched backlog exceeds a threshold re-dispatch
 //!   the excess to the machine with the best forward-adjusted probe
 //!   prediction;
-//! * [`AutoscalerConfig`] — probe-driven elasticity: the fleet grows
-//!   when the fleetwide predicted slowdown crosses a high-water mark
-//!   and drains/retires idle machines at a low-water mark, with scale
-//!   events and [`MachineLifetime`]s surfaced in the [`ClusterReport`];
+//! * [`AutoscalerConfig`] — elasticity: reactively (the fleet grows
+//!   when the fleetwide predicted slowdown crosses a high-water mark)
+//!   or predictively ([`ScalingPolicy::Predictive`] feeds per-slice
+//!   admitted-arrival counts into a `litmus-forecast` model and boots
+//!   machines before the forecast burst lands, probe marks kept as
+//!   backstop), draining/retiring idle machines at a low-water mark,
+//!   with scale events, [`ForecastSample`]s and [`MachineLifetime`]s
+//!   surfaced in the [`ClusterReport`];
 //! * [`BillingShard`] / [`BillingAggregator`] — streaming per-tenant
 //!   billing: each machine folds its invoices into constant-space
 //!   [`litmus_core::BillingSummary`]s, merged cluster-wide at collection
@@ -99,10 +103,19 @@ pub use context::ServingContext;
 pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterReport};
 pub use error::ClusterError;
 pub use machine::{Machine, MachineConfig, MachineId};
-pub use policy::{LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, RoundRobin};
+pub use policy::{
+    LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, ProbeFreshness, RoundRobin,
+};
 pub use pool::SteppingMode;
-pub use scale::{AutoscalerConfig, MachineLifetime, ScaleEvent, ScaleKind};
+pub use scale::{
+    AutoscalerConfig, ForecastSample, MachineLifetime, PredictiveConfig, ScaleEvent, ScaleKind,
+    ScaleReason, ScalingPolicy,
+};
 pub use steal::{StealEvent, StealingConfig};
+
+// The forecast vocabulary predictive configs are written in, re-exported
+// so `litmus_cluster` users don't need a direct `litmus-forecast` dep.
+pub use litmus_forecast::{ForecasterSpec, HorizonForecast};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -141,6 +141,9 @@ pub struct Machine {
     queue: VecDeque<QueuedArrival>,
     inflight: HashMap<InstanceId, InFlight>,
     predicted_slowdown: f64,
+    /// Cluster time the congestion estimate was last refreshed (boot
+    /// probe, then every completion's startup probe).
+    last_probe_ms: u64,
     shard: BillingShard,
     dispatched: usize,
     launched: usize,
@@ -187,6 +190,7 @@ impl Machine {
             queue: VecDeque::new(),
             inflight: HashMap::new(),
             predicted_slowdown: 1.0,
+            last_probe_ms: born_ms,
             shard: BillingShard::new(),
             dispatched: 0,
             launched: 0,
@@ -361,6 +365,7 @@ impl Machine {
             // Both times in cluster coordinates: local completion time
             // shifted by the machine's epoch/birth offset.
             let completed_cluster_ms = self.born_ms as f64 + (at_ms - self.epoch_ms as f64);
+            self.last_probe_ms = self.last_probe_ms.max(completed_cluster_ms as u64);
             self.latency_sum_ms += completed_cluster_ms - done.arrived_cluster_ms as f64;
         }
         Ok(())
@@ -373,6 +378,7 @@ impl Machine {
             inflight: self.inflight.len(),
             queued: self.queue.len(),
             predicted_slowdown: self.predicted_slowdown,
+            probe_age_ms: self.cluster_now_ms().saturating_sub(self.last_probe_ms),
             cores: self.cores,
             dispatched: self.dispatched,
             draining: self.draining,

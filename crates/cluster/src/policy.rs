@@ -19,6 +19,10 @@ pub struct MachineSnapshot {
     /// from the machine's latest Litmus probe mapped through the
     /// discount model.
     pub predicted_slowdown: f64,
+    /// How long ago (cluster ms) the probe behind
+    /// [`MachineSnapshot::predicted_slowdown`] was taken — the
+    /// staleness signal [`ProbeFreshness`] decays confidence by.
+    pub probe_age_ms: u64,
     /// Cores in the machine's serving pool.
     pub cores: usize,
     /// Total invocations ever dispatched to the machine.
@@ -120,6 +124,24 @@ impl PlacementPolicy for LeastLoaded {
     }
 }
 
+/// Age-based confidence decay for probe readings: a probe older than
+/// its half-life counts half toward the machine's score, with the
+/// other half taken from the fleet-mean prediction. A reading of age 0
+/// is trusted fully; an ancient one says nothing the fleet average
+/// doesn't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeFreshness {
+    /// Probe age at which confidence has halved, ms (≥ 1).
+    pub half_life_ms: u64,
+}
+
+impl ProbeFreshness {
+    /// Confidence weight in `(0, 1]` for a probe of `age_ms`.
+    fn weight(&self, age_ms: u64) -> f64 {
+        0.5f64.powf(age_ms as f64 / self.half_life_ms.max(1) as f64)
+    }
+}
+
 /// Routes to the machine whose latest Litmus probe predicts the
 /// smallest slowdown — the paper's §5.1 observation operationalised:
 /// congestion readings the provider already collects for pricing double
@@ -128,14 +150,34 @@ impl PlacementPolicy for LeastLoaded {
 /// The raw probe reading is forward-adjusted by outstanding work (see
 /// [`MachineSnapshot::congestion_score`]) so stale readings cannot herd
 /// traffic, and near-ties (within 1%) fall back to queue depth, then
-/// index.
+/// index. With [`LitmusAware::freshness`] enabled, each probe is
+/// additionally blended toward the fleet-mean prediction by its age
+/// (half-life decay), so an outlier reading loses influence as it goes
+/// stale; the default keeps today's behavior (full trust at any age).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LitmusAware;
+pub struct LitmusAware {
+    freshness: Option<ProbeFreshness>,
+}
 
 impl LitmusAware {
-    /// Creates the policy.
+    /// Creates the policy with freshness decay off (every probe fully
+    /// trusted regardless of age — the historical behavior).
     pub fn new() -> Self {
-        LitmusAware
+        LitmusAware::default()
+    }
+
+    /// Enables age-based probe decay with the given half-life, ms
+    /// (minimum 1).
+    pub fn freshness(mut self, half_life_ms: u64) -> Self {
+        self.freshness = Some(ProbeFreshness {
+            half_life_ms: half_life_ms.max(1),
+        });
+        self
+    }
+
+    /// The configured freshness decay, if any.
+    pub fn freshness_config(&self) -> Option<ProbeFreshness> {
+        self.freshness
     }
 }
 
@@ -145,17 +187,42 @@ impl PlacementPolicy for LitmusAware {
     }
 
     fn choose(&mut self, machines: &[MachineSnapshot]) -> usize {
-        let best = machines
-            .iter()
-            .map(MachineSnapshot::congestion_score)
-            .fold(f64::INFINITY, f64::min);
-        machines
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.congestion_score() <= best * 1.01)
-            .min_by_key(|(idx, m)| (m.load(), *idx))
-            .map(|(idx, _)| idx)
-            .expect("machines is non-empty")
+        match self.freshness {
+            // The historical allocation-free path: raw probes,
+            // forward-adjusted by outstanding work.
+            None => {
+                let best = machines
+                    .iter()
+                    .map(MachineSnapshot::congestion_score)
+                    .fold(f64::INFINITY, f64::min);
+                machines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.congestion_score() <= best * 1.01)
+                    .min_by_key(|(idx, m)| (m.load(), *idx))
+                    .map(|(idx, _)| idx)
+                    .expect("machines is non-empty")
+            }
+            Some(decay) => {
+                // Allocation-free like the historical arm: scores are
+                // recomputed in the tie-filter pass instead of cached.
+                let mean = machines.iter().map(|m| m.predicted_slowdown).sum::<f64>()
+                    / machines.len() as f64;
+                let score = |m: &MachineSnapshot| {
+                    let blended =
+                        mean + (m.predicted_slowdown - mean) * decay.weight(m.probe_age_ms);
+                    blended * (1.0 + m.load() as f64 / m.cores.max(1) as f64)
+                };
+                let best = machines.iter().map(score).fold(f64::INFINITY, f64::min);
+                machines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| score(m) <= best * 1.01)
+                    .min_by_key(|(idx, m)| (m.load(), *idx))
+                    .map(|(idx, _)| idx)
+                    .expect("machines is non-empty")
+            }
+        }
     }
 }
 
@@ -169,9 +236,17 @@ mod tests {
             inflight,
             queued: 0,
             predicted_slowdown: slowdown,
+            probe_age_ms: 0,
             cores: 8,
             dispatched: 0,
             draining: false,
+        }
+    }
+
+    fn aged(slowdown: f64, probe_age_ms: u64) -> MachineSnapshot {
+        MachineSnapshot {
+            probe_age_ms,
+            ..snapshot(0, slowdown)
         }
     }
 
@@ -211,6 +286,46 @@ mod tests {
         // not herd onto the stale-calm machine.
         let machines = vec![snapshot(16, 1.0), snapshot(0, 1.8)];
         assert_eq!(LitmusAware::new().choose(&machines), 1);
+    }
+
+    #[test]
+    fn freshness_decays_a_stale_outlier_toward_the_fleet_mean() {
+        // Machine 0's probe reads an outlier-calm 1.0, but it is 10
+        // half-lives stale; machines 1 and 2 have fresh readings of
+        // 1.3 and 2.0. Raw scoring herds onto the stale outlier;
+        // freshness decay blends it to ~the fleet mean (≈ 1.43) and
+        // routes to the genuinely calm machine 1 instead.
+        let machines = vec![aged(1.0, 5_000), aged(1.3, 0), aged(2.0, 0)];
+        assert_eq!(LitmusAware::new().choose(&machines), 0);
+        assert_eq!(LitmusAware::new().freshness(500).choose(&machines), 1);
+    }
+
+    #[test]
+    fn freshness_trusts_fresh_probes_like_the_default() {
+        // All probes fresh: decay weight is 1 and the decayed policy
+        // must pick exactly what the default picks.
+        let machines = vec![snapshot(2, 1.6), snapshot(0, 1.9), snapshot(1, 1.2)];
+        assert_eq!(
+            LitmusAware::new().freshness(1_000).choose(&machines),
+            LitmusAware::new().choose(&machines),
+        );
+    }
+
+    #[test]
+    fn freshness_weight_halves_per_half_life() {
+        let decay = ProbeFreshness { half_life_ms: 400 };
+        assert_eq!(decay.weight(0), 1.0);
+        assert!((decay.weight(400) - 0.5).abs() < 1e-12);
+        assert!((decay.weight(800) - 0.25).abs() < 1e-12);
+        // An ancient probe's influence vanishes: the stale outlier
+        // converges to the fleet mean (≈ 1.73 here), so any fresh
+        // reading below that mean out-competes it.
+        let mut policy = LitmusAware::new().freshness(100);
+        let machines = vec![aged(1.0, 100_000), aged(1.2, 0), aged(3.0, 0)];
+        assert_eq!(policy.choose(&machines), 1);
+        // …while at age 0 the same outlier is trusted and wins.
+        let machines = vec![aged(1.0, 0), aged(1.2, 0), aged(3.0, 0)];
+        assert_eq!(policy.choose(&machines), 0);
     }
 
     #[test]

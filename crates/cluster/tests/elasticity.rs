@@ -3,11 +3,14 @@
 //! persistent worker pool.
 
 use litmus_cluster::{
-    AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, LitmusAware,
-    MachineConfig, PlacementPolicy, RoundRobin, ScaleKind, StealingConfig,
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, ForecasterSpec,
+    LitmusAware, MachineConfig, PlacementPolicy, PredictiveConfig, RoundRobin, ScaleKind,
+    ScaleReason, StealingConfig,
 };
 use litmus_core::{DiscountModel, PricingTables, TableBuilder};
-use litmus_platform::{ArrivalPattern, InvocationTrace, TenantId, TenantTraffic};
+use litmus_platform::{
+    ArrivalPattern, InvocationTrace, TenantId, TenantTraffic, TraceEvent, TraceSource,
+};
 use litmus_sim::MachineSpec;
 use litmus_workloads::suite::{self, TenantClass};
 use proptest::prelude::*;
@@ -285,8 +288,166 @@ fn autoscaler_grows_under_load_and_retires_idle_machines() {
     );
 }
 
+/// A predictive autoscaler sized for [`bursty_trace`]: seasonal
+/// forecaster keyed to the 1 s burst period (50 slices at 20 ms), a
+/// lazy reactive backstop, and a per-machine rate that makes the
+/// forecast ask for real capacity during bursts.
+fn predictive_scaler() -> AutoscalerConfig {
+    let template = MachineConfig::new(8)
+        .warmup_ms(60)
+        .max_inflight(12)
+        .seed(0xF0CA5);
+    AutoscalerConfig::new(template)
+        .high_water(4.0)
+        .low_water(1.3)
+        .machine_bounds(2, 10)
+        .cooldown_ms(200)
+        .boot_lead_ms(120)
+        .predictive(
+            PredictiveConfig::new(
+                ForecasterSpec::SeasonalHoltWinters {
+                    alpha: 0.25,
+                    beta: 0.05,
+                    gamma: 0.35,
+                    period: 50,
+                },
+                60.0,
+            )
+            .horizon_slices(5)
+            .warmup_slices(25),
+        )
+}
+
+fn small_cluster(machines: usize) -> ClusterConfig {
+    let configs: Vec<_> = (0..machines)
+        .map(|i| {
+            MachineConfig::new(8)
+                .warmup_ms(60)
+                .max_inflight(12)
+                .seed(0xBEA7 + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), machines, 8)
+        .machines(configs)
+        .serving_scale(0.04)
+        .threads(4)
+        .slice_ms(20)
+}
+
+#[test]
+fn predictive_scaler_records_forecasts_and_boots_on_them() {
+    let trace = bursty_trace(4_000, 23);
+    let (report, _) = replay(
+        ClusterDriver::new(LitmusAware::new()).autoscale(predictive_scaler()),
+        small_cluster(2),
+        &trace,
+    );
+    assert_conserved(&report, &trace);
+    // One forecast sample per slice boundary the autoscaler saw.
+    assert!(
+        !report.forecast_samples.is_empty(),
+        "predictive replays must record forecast samples"
+    );
+    for pair in report.forecast_samples.windows(2) {
+        assert!(pair[0].at_ms < pair[1].at_ms, "samples must be in order");
+        assert_eq!(pair[0].forecast.horizon, 5);
+        assert!(pair[0].forecast.lo <= pair[0].forecast.hi);
+    }
+    // The bursts must trigger at least one forecast-led boot, and
+    // every event carries a first-class reason.
+    let ups: Vec<_> = report
+        .scale_events
+        .iter()
+        .filter(|e| e.kind == ScaleKind::Up)
+        .collect();
+    assert!(!ups.is_empty(), "bursts never grew the fleet");
+    assert!(
+        ups.iter().any(|e| e.reason == ScaleReason::Forecast),
+        "no scale-up was forecast-led: {:?}",
+        ups.iter().map(|e| e.reason).collect::<Vec<_>>()
+    );
+    for event in &report.scale_events {
+        match event.kind {
+            ScaleKind::Up => assert!(matches!(
+                event.reason,
+                ScaleReason::Forecast | ScaleReason::HighWater
+            )),
+            ScaleKind::DrainStart => assert_eq!(event.reason, ScaleReason::LowWater),
+            ScaleKind::Retire => assert_eq!(event.reason, ScaleReason::Drained),
+        }
+    }
+}
+
+#[test]
+fn predictive_streaming_replay_is_bit_identical_to_materialized() {
+    // A hand-rolled source with no size hint, so the streamed path is
+    // genuinely different plumbing from the materialized one.
+    struct OwnedSource(std::collections::VecDeque<TraceEvent>);
+    impl TraceSource for OwnedSource {
+        fn next_event(&mut self) -> Option<TraceEvent> {
+            self.0.pop_front()
+        }
+    }
+
+    let trace = bursty_trace(3_000, 77);
+    let (tables, model) = calibration();
+    let driver = || {
+        ClusterDriver::new(LitmusAware::new())
+            .stealing(StealingConfig::default().backlog_threshold(3))
+            .autoscale(predictive_scaler())
+    };
+    let mut materialized_cluster =
+        Cluster::build(small_cluster(2), tables.clone(), model.clone()).unwrap();
+    let materialized = driver().replay(&mut materialized_cluster, &trace).unwrap();
+    let mut streamed_cluster = Cluster::build(small_cluster(2), tables, model).unwrap();
+    let streamed = driver()
+        .replay_source(
+            &mut streamed_cluster,
+            OwnedSource(trace.events().iter().cloned().collect()),
+        )
+        .unwrap();
+    // Full-report equality covers placements, billing, scale events,
+    // forecast samples and the study metrics in one shot.
+    assert_eq!(materialized, streamed);
+    assert!(!materialized.forecast_samples.is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Predictive-mode replays conserve billing exactly like reactive
+    /// ones: whatever the forecaster does, every arrival is billed
+    /// once and net dispatch counts add up.
+    #[test]
+    fn predictive_replays_conserve_billing(
+        seed in 0u64..1_000,
+        horizon in 1usize..12,
+        rate in 20.0f64..200.0,
+    ) {
+        let trace = bursty_trace(1_200, seed);
+        let scaler = {
+            let mut scaler = predictive_scaler();
+            let litmus_cluster::ScalingPolicy::Predictive(mut predictive) = scaler.policy
+            else { unreachable!("predictive_scaler is predictive") };
+            predictive.horizon_slices = horizon;
+            predictive.machine_rate_per_s = rate;
+            scaler.policy = litmus_cluster::ScalingPolicy::Predictive(predictive);
+            scaler
+        };
+        let (report, _) = replay(
+            ClusterDriver::new(LitmusAware::new()).autoscale(scaler),
+            small_cluster(2),
+            &trace,
+        );
+        prop_assert_eq!(report.unfinished, 0);
+        prop_assert_eq!(report.completed, trace.len());
+        prop_assert_eq!(report.billing.total().len(), trace.len());
+        prop_assert_eq!(report.dispatch_counts.iter().sum::<usize>(), trace.len());
+        for tenant in trace.tenants() {
+            let expected = trace.events().iter().filter(|e| e.tenant == tenant).count();
+            prop_assert_eq!(report.billing.tenant(tenant).unwrap().len(), expected);
+        }
+    }
 
     /// Re-dispatch never double-bills or drops an invocation: for any
     /// seed, backlog threshold and concurrency cap, every arrival is

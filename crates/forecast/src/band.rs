@@ -1,0 +1,236 @@
+//! Uncertainty bands from online residual quantiles.
+//!
+//! A point forecast alone under-books capacity exactly when it matters
+//! (the forecaster is most wrong at the start of a burst), so the
+//! predictive autoscaler provisions against an upper band instead.
+//! [`BandedForecaster`] wraps any [`Forecaster`], holds the
+//! `horizon`-step-ahead forecasts it issued, scores each against the
+//! observation that eventually lands, and keeps the last `window`
+//! residuals in a ring; band edges are empirical quantiles of that
+//! ring added to the point forecast. Everything is deterministic and
+//! one-pass.
+
+use std::collections::VecDeque;
+
+use crate::error::ForecastError;
+use crate::forecaster::Forecaster;
+use crate::Result;
+
+/// A point forecast plus an uncertainty band, `horizon` intervals past
+/// the last observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizonForecast {
+    /// How many intervals ahead the forecast targets.
+    pub horizon: usize,
+    /// The wrapped model's point forecast.
+    pub point: f64,
+    /// Lower band edge: point + lower residual quantile (≤ point once
+    /// residuals exist; equal to the point before any).
+    pub lo: f64,
+    /// Upper band edge: point + upper residual quantile.
+    pub hi: f64,
+}
+
+/// A [`Forecaster`] plus an online residual-quantile band at one fixed
+/// horizon.
+#[derive(Debug)]
+pub struct BandedForecaster<F> {
+    inner: F,
+    horizon: usize,
+    quantile: f64,
+    window: usize,
+    /// The forecast frozen by the latest `observe` — still valid until
+    /// the next observation mutates the model or the residual ring, so
+    /// `forecast()` needn't recompute (and re-sort) per read.
+    latest: Option<HorizonForecast>,
+    /// Forecasts frozen for upcoming steps (band edges as of issue
+    /// time); front is the forecast made `horizon` steps before the
+    /// next observation, once the queue has filled to `horizon`
+    /// entries.
+    pending: VecDeque<HorizonForecast>,
+    /// Ring of the last `window` horizon-step residuals
+    /// (`observed - forecast`).
+    residuals: Vec<f64>,
+    cursor: usize,
+}
+
+impl<F: Forecaster> BandedForecaster<F> {
+    /// Wraps `inner` with a band at `horizon` steps ahead. `quantile`
+    /// in `(0.5, 1)` sets the upper band edge (the lower edge mirrors
+    /// it at `1 - quantile`); `window` residuals (≥ 2) are retained.
+    ///
+    /// # Errors
+    ///
+    /// [`ForecastError::InvalidConfig`] for a zero horizon, a quantile
+    /// outside `(0.5, 1)` or a window below 2.
+    pub fn new(inner: F, horizon: usize, quantile: f64, window: usize) -> Result<Self> {
+        if horizon == 0 {
+            return Err(ForecastError::InvalidConfig("band horizon must be ≥ 1"));
+        }
+        if !(quantile.is_finite() && quantile > 0.5 && quantile < 1.0) {
+            return Err(ForecastError::InvalidConfig(
+                "band quantile must be in (0.5, 1)",
+            ));
+        }
+        if window < 2 {
+            return Err(ForecastError::InvalidConfig(
+                "residual window must hold at least 2 residuals",
+            ));
+        }
+        Ok(BandedForecaster {
+            inner,
+            horizon,
+            quantile,
+            window,
+            latest: None,
+            pending: VecDeque::with_capacity(horizon),
+            residuals: Vec::new(),
+            cursor: 0,
+        })
+    }
+
+    /// The wrapped forecaster.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The fixed horizon of the band, in intervals.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Horizon-step residuals currently retained (unordered ring).
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Consumes the next observation: scores the forecast frozen
+    /// `horizon` steps ago against it (once enough forecasts have been
+    /// issued), feeds the wrapped model, then freezes the forecast for
+    /// the step `horizon` ahead of this one. Returns the frozen
+    /// forecast just scored and its point residual
+    /// (`observed - point`), if any — backtests pair forecasts with
+    /// their target observations through this single queue.
+    pub fn observe(&mut self, value: f64) -> Option<(HorizonForecast, f64)> {
+        // The queue reaches `horizon` entries only once the forecast
+        // for *this* step (made `horizon` steps ago) is at the front.
+        let scored = if self.pending.len() == self.horizon {
+            let frozen = self.pending.pop_front().expect("len checked");
+            let residual = value - frozen.point;
+            if self.residuals.len() < self.window {
+                self.residuals.push(residual);
+            } else {
+                self.residuals[self.cursor] = residual;
+                self.cursor = (self.cursor + 1) % self.window;
+            }
+            Some((frozen, residual))
+        } else {
+            None
+        };
+        self.inner.observe(value);
+        let next = self.compute_forecast();
+        self.latest = Some(next);
+        self.pending.push_back(next);
+        scored
+    }
+
+    /// The banded forecast `horizon` intervals past the last
+    /// observation. Before any residual has been scored the band
+    /// collapses to the point forecast. Cached from the latest
+    /// observation — nothing the band depends on changes between
+    /// observations.
+    pub fn forecast(&self) -> HorizonForecast {
+        self.latest.unwrap_or_else(|| self.compute_forecast())
+    }
+
+    /// One sort of the residual ring serves both band edges.
+    fn compute_forecast(&self) -> HorizonForecast {
+        let point = self.inner.predict(self.horizon);
+        let (lo, hi) = if self.residuals.is_empty() {
+            (point, point)
+        } else {
+            let mut sorted = self.residuals.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank =
+                |q: f64| sorted[(q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize];
+            (
+                point + rank(1.0 - self.quantile),
+                point + rank(self.quantile),
+            )
+        };
+        HorizonForecast {
+            horizon: self.horizon,
+            point,
+            lo,
+            hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::Ewma;
+
+    fn banded(horizon: usize) -> BandedForecaster<Ewma> {
+        BandedForecaster::new(Ewma::new(0.5).unwrap(), horizon, 0.9, 64).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_horizon_quantile_and_window() {
+        let ewma = || Ewma::new(0.5).unwrap();
+        assert!(BandedForecaster::new(ewma(), 0, 0.9, 16).is_err());
+        assert!(BandedForecaster::new(ewma(), 1, 0.5, 16).is_err());
+        assert!(BandedForecaster::new(ewma(), 1, 1.0, 16).is_err());
+        assert!(BandedForecaster::new(ewma(), 1, 0.9, 1).is_err());
+        assert!(BandedForecaster::new(ewma(), 1, 0.9, 2).is_ok());
+    }
+
+    #[test]
+    fn band_collapses_without_residuals_then_widens() {
+        let mut banded = banded(2);
+        banded.observe(10.0);
+        let before = banded.forecast();
+        assert_eq!(before.lo, before.point);
+        assert_eq!(before.hi, before.point);
+        // Alternate observations make the 2-step forecast miss.
+        for i in 0..40 {
+            banded.observe(if i % 2 == 0 { 0.0 } else { 20.0 });
+        }
+        let after = banded.forecast();
+        assert!(after.lo < after.point, "{after:?}");
+        assert!(after.hi > after.point, "{after:?}");
+    }
+
+    #[test]
+    fn residuals_score_the_forecast_made_horizon_steps_earlier() {
+        // Constant series: every horizon-step forecast is exact, so
+        // all residuals are 0 — and the first score arrives only after
+        // `horizon` forecasts have been issued.
+        let mut banded = banded(3);
+        let mut scored = 0;
+        for i in 0..10 {
+            match banded.observe(7.0) {
+                None => assert!(i < 3, "observation {i} failed to score"),
+                Some((frozen, residual)) => {
+                    assert!(i >= 3, "observation {i} scored too early");
+                    assert_eq!(residual, 0.0);
+                    assert_eq!(frozen.point, 7.0);
+                    assert_eq!(frozen.horizon, 3);
+                    scored += 1;
+                }
+            }
+        }
+        assert_eq!(scored, 7);
+        assert!(banded.residuals().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn residual_ring_caps_at_the_window() {
+        let mut banded = BandedForecaster::new(Ewma::new(0.9).unwrap(), 1, 0.8, 4).unwrap();
+        for i in 0..50 {
+            banded.observe(i as f64 % 5.0);
+        }
+        assert_eq!(banded.residuals().len(), 4);
+    }
+}

@@ -1,0 +1,19 @@
+use std::fmt;
+
+/// Errors from forecaster construction and backtesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForecastError {
+    /// A smoothing parameter, period, horizon or bucket width was
+    /// incoherent.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::InvalidConfig(why) => write!(f, "invalid forecast config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}

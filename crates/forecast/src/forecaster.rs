@@ -1,0 +1,458 @@
+//! The online [`Forecaster`] trait and its three deterministic
+//! exponential-smoothing implementations.
+//!
+//! All three models consume one observation per fixed-width interval
+//! (an arrival count or rate) in `observe` and answer point forecasts
+//! any whole number of intervals ahead in `predict`. State is a
+//! handful of `f64`s updated with the textbook recursions, so a
+//! forecaster is bit-identical across runs, chunked feeds and
+//! machines — the property cluster replays rely on.
+
+use crate::error::ForecastError;
+use crate::Result;
+
+fn check_weight(value: f64, what: &'static str) -> Result<()> {
+    if !(value.is_finite() && value > 0.0 && value <= 1.0) {
+        return Err(ForecastError::InvalidConfig(what));
+    }
+    Ok(())
+}
+
+/// An online forecaster over a stream of equally-spaced observations.
+///
+/// Implementations must be deterministic: the same observation
+/// sequence must produce the same state and forecasts, regardless of
+/// how the sequence was chunked when fed (the default
+/// [`Forecaster::observe_all`] is a plain loop, and implementations
+/// must not override it with anything that breaks that equivalence).
+pub trait Forecaster: std::fmt::Debug {
+    /// Short name for reports (`ewma`, `holt-linear`, …).
+    fn name(&self) -> &'static str;
+
+    /// Consumes the next observation in the series.
+    fn observe(&mut self, value: f64);
+
+    /// Point forecast `horizon` intervals past the last observation
+    /// (`horizon ≥ 1`; 0 is treated as 1). Before any observation the
+    /// forecast is 0. Trending models may forecast below zero on
+    /// falling series; callers modelling non-negative quantities clamp.
+    fn predict(&self, horizon: usize) -> f64;
+
+    /// Observations consumed so far.
+    fn len(&self) -> u64;
+
+    /// Whether nothing has been observed yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feeds a slice of observations in order — exactly equivalent to
+    /// calling [`Forecaster::observe`] per element.
+    fn observe_all(&mut self, values: &[f64]) {
+        for &value in values {
+            self.observe(value);
+        }
+    }
+}
+
+impl<F: Forecaster + ?Sized> Forecaster for &mut F {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, value: f64) {
+        (**self).observe(value);
+    }
+
+    fn predict(&self, horizon: usize) -> f64 {
+        (**self).predict(horizon)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+}
+
+impl<F: Forecaster + ?Sized> Forecaster for Box<F> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, value: f64) {
+        (**self).observe(value);
+    }
+
+    fn predict(&self, horizon: usize) -> f64 {
+        (**self).predict(horizon)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+}
+
+/// Exponentially-weighted moving average — the level-only baseline
+/// every richer model must beat. `level ← α·x + (1-α)·level`; the
+/// forecast at any horizon is the level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    level: f64,
+    seen: u64,
+}
+
+impl Ewma {
+    /// Creates the smoother. `alpha` in `(0, 1]` weighs the newest
+    /// observation.
+    ///
+    /// # Errors
+    ///
+    /// [`ForecastError::InvalidConfig`] for `alpha` outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        check_weight(alpha, "ewma alpha must be in (0, 1]")?;
+        Ok(Ewma {
+            alpha,
+            level: 0.0,
+            seen: 0,
+        })
+    }
+
+    /// The current level estimate.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn observe(&mut self, value: f64) {
+        if self.seen == 0 {
+            self.level = value;
+        } else {
+            self.level = self.alpha * value + (1.0 - self.alpha) * self.level;
+        }
+        self.seen += 1;
+    }
+
+    fn predict(&self, _horizon: usize) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.level
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Holt's linear (double exponential) smoothing: a level plus a trend,
+/// so ramps are extrapolated instead of chased. The second observation
+/// initialises the trend to the first difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    seen: u64,
+}
+
+impl HoltLinear {
+    /// Creates the smoother. `alpha` smooths the level, `beta` the
+    /// trend; both in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ForecastError::InvalidConfig`] for weights outside `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        check_weight(alpha, "holt alpha must be in (0, 1]")?;
+        check_weight(beta, "holt beta must be in (0, 1]")?;
+        Ok(HoltLinear {
+            alpha,
+            beta,
+            level: 0.0,
+            trend: 0.0,
+            seen: 0,
+        })
+    }
+
+    /// The current level estimate.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The current per-interval trend estimate.
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn name(&self) -> &'static str {
+        "holt-linear"
+    }
+
+    fn observe(&mut self, value: f64) {
+        match self.seen {
+            0 => self.level = value,
+            1 => {
+                self.trend = value - self.level;
+                self.level = value;
+            }
+            _ => {
+                let prev = self.level;
+                self.level = self.alpha * value + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend = self.beta * (self.level - prev) + (1.0 - self.beta) * self.trend;
+            }
+        }
+        self.seen += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.level + horizon.max(1) as f64 * self.trend
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Additive Holt–Winters: level + trend + a seasonal index per slot of
+/// a configurable period — the model matched to the Azure trace's
+/// strong minute-of-day cycle. Seasonal indices start at zero and are
+/// learned online (`γ`-smoothed deviations from the level), so the
+/// model degrades gracefully to Holt on aperiodic input and needs no
+/// warm-up buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalHoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    seen: u64,
+}
+
+impl SeasonalHoltWinters {
+    /// Creates the smoother: `alpha`/`beta` as in [`HoltLinear`],
+    /// `gamma` in `(0, 1]` smooths the seasonal indices, `period ≥ 2`
+    /// is the cycle length in observation intervals.
+    ///
+    /// # Errors
+    ///
+    /// [`ForecastError::InvalidConfig`] for weights outside `(0, 1]`
+    /// or a period below 2.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Result<Self> {
+        check_weight(alpha, "holt-winters alpha must be in (0, 1]")?;
+        check_weight(beta, "holt-winters beta must be in (0, 1]")?;
+        check_weight(gamma, "holt-winters gamma must be in (0, 1]")?;
+        if period < 2 {
+            return Err(ForecastError::InvalidConfig(
+                "holt-winters period must be at least 2 intervals",
+            ));
+        }
+        Ok(SeasonalHoltWinters {
+            alpha,
+            beta,
+            gamma,
+            level: 0.0,
+            trend: 0.0,
+            seasonal: vec![0.0; period],
+            seen: 0,
+        })
+    }
+
+    /// The seasonal cycle length, in observation intervals.
+    pub fn period(&self) -> usize {
+        self.seasonal.len()
+    }
+
+    /// The learned seasonal index of each slot in the cycle.
+    pub fn seasonal(&self) -> &[f64] {
+        &self.seasonal
+    }
+}
+
+impl Forecaster for SeasonalHoltWinters {
+    fn name(&self) -> &'static str {
+        "seasonal-holt-winters"
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = (self.seen % self.seasonal.len() as u64) as usize;
+        if self.seen == 0 {
+            self.level = value;
+        } else {
+            let season = self.seasonal[slot];
+            let prev = self.level;
+            self.level =
+                self.alpha * (value - season) + (1.0 - self.alpha) * (self.level + self.trend);
+            self.trend = self.beta * (self.level - prev) + (1.0 - self.beta) * self.trend;
+            self.seasonal[slot] = self.gamma * (value - self.level) + (1.0 - self.gamma) * season;
+        }
+        self.seen += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        let horizon = horizon.max(1);
+        let slot = ((self.seen + horizon as u64 - 1) % self.seasonal.len() as u64) as usize;
+        self.level + horizon as f64 * self.trend + self.seasonal[slot]
+    }
+
+    fn len(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// A value-only description of a forecaster — how configurations
+/// (e.g. the cluster autoscaler's) carry "which model, which knobs"
+/// without holding live state. [`ForecasterSpec::build`] constructs a
+/// fresh forecaster, so every replay starts from identical state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ForecasterSpec {
+    /// [`Ewma`] with the given `alpha`.
+    Ewma {
+        /// Newest-observation weight in `(0, 1]`.
+        alpha: f64,
+    },
+    /// [`HoltLinear`] with the given weights.
+    HoltLinear {
+        /// Level weight in `(0, 1]`.
+        alpha: f64,
+        /// Trend weight in `(0, 1]`.
+        beta: f64,
+    },
+    /// [`SeasonalHoltWinters`] with the given weights and period.
+    SeasonalHoltWinters {
+        /// Level weight in `(0, 1]`.
+        alpha: f64,
+        /// Trend weight in `(0, 1]`.
+        beta: f64,
+        /// Seasonal weight in `(0, 1]`.
+        gamma: f64,
+        /// Cycle length in observation intervals (≥ 2).
+        period: usize,
+    },
+}
+
+impl ForecasterSpec {
+    /// The name the built forecaster will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForecasterSpec::Ewma { .. } => "ewma",
+            ForecasterSpec::HoltLinear { .. } => "holt-linear",
+            ForecasterSpec::SeasonalHoltWinters { .. } => "seasonal-holt-winters",
+        }
+    }
+
+    /// Builds a fresh (zero-state) forecaster from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ForecastError::InvalidConfig`] for out-of-range weights or
+    /// periods, exactly as the concrete constructors report them.
+    pub fn build(&self) -> Result<Box<dyn Forecaster + Send>> {
+        Ok(match *self {
+            ForecasterSpec::Ewma { alpha } => Box::new(Ewma::new(alpha)?),
+            ForecasterSpec::HoltLinear { alpha, beta } => Box::new(HoltLinear::new(alpha, beta)?),
+            ForecasterSpec::SeasonalHoltWinters {
+                alpha,
+                beta,
+                gamma,
+                period,
+            } => Box::new(SeasonalHoltWinters::new(alpha, beta, gamma, period)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_weights_and_period() {
+        assert!(Ewma::new(0.3).is_ok());
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(Ewma::new(bad).is_err());
+            assert!(HoltLinear::new(bad, 0.2).is_err());
+            assert!(HoltLinear::new(0.2, bad).is_err());
+            assert!(SeasonalHoltWinters::new(bad, 0.1, 0.1, 4).is_err());
+        }
+        assert!(SeasonalHoltWinters::new(0.3, 0.1, 0.2, 1).is_err());
+        assert!(SeasonalHoltWinters::new(0.3, 0.1, 0.2, 2).is_ok());
+    }
+
+    #[test]
+    fn empty_forecasters_predict_zero() {
+        assert_eq!(Ewma::new(0.5).unwrap().predict(3), 0.0);
+        assert_eq!(HoltLinear::new(0.5, 0.2).unwrap().predict(1), 0.0);
+        assert_eq!(
+            SeasonalHoltWinters::new(0.5, 0.2, 0.1, 4)
+                .unwrap()
+                .predict(1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_series() {
+        let mut ewma = Ewma::new(0.4).unwrap();
+        ewma.observe_all(&[5.0; 50]);
+        assert_eq!(ewma.predict(1), 5.0);
+        assert_eq!(ewma.predict(10), 5.0, "ewma is horizon-flat");
+    }
+
+    #[test]
+    fn holt_extrapolates_a_linear_ramp_exactly() {
+        let mut holt = HoltLinear::new(0.5, 0.3).unwrap();
+        let series: Vec<f64> = (0..40).map(|i| 3.0 + 2.0 * i as f64).collect();
+        holt.observe_all(&series);
+        // On a noiseless ramp the recursion locks onto slope 2 exactly.
+        let next = 3.0 + 2.0 * 40.0;
+        assert!((holt.predict(1) - next).abs() < 1e-6, "{}", holt.predict(1));
+        assert!((holt.predict(5) - (next + 2.0 * 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn holt_winters_learns_a_square_wave() {
+        // Period-4 square wave: 10, 10, 30, 30, …
+        let mut shw = SeasonalHoltWinters::new(0.2, 0.05, 0.4, 4).unwrap();
+        let series: Vec<f64> = (0..200)
+            .map(|i| if i % 4 < 2 { 10.0 } else { 30.0 })
+            .collect();
+        shw.observe_all(&series);
+        // Next slots are 10, 10, 30, 30 again.
+        for (h, want) in [(1, 10.0), (2, 10.0), (3, 30.0), (4, 30.0)] {
+            let got = shw.predict(h);
+            assert!(
+                (got - want).abs() < 2.0,
+                "horizon {h}: predicted {got}, wanted ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_builds_the_named_model() {
+        let spec = ForecasterSpec::SeasonalHoltWinters {
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.2,
+            period: 6,
+        };
+        let built = spec.build().unwrap();
+        assert_eq!(built.name(), spec.name());
+        assert!(ForecasterSpec::Ewma { alpha: 2.0 }.build().is_err());
+    }
+}

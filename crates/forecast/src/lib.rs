@@ -1,0 +1,65 @@
+//! Online arrival-rate forecasting for the Litmus reproduction — the
+//! signal layer that lets the cluster's autoscaler boot machines
+//! *before* a burst lands instead of after probes report congestion.
+//!
+//! The Azure Functions trace (the dataset behind `litmus-trace`) has
+//! strong diurnal and minute-scale periodic structure, which makes
+//! short-horizon forecasting of the admitted arrival rate the
+//! highest-leverage input a scaler can have: the reactive water-mark
+//! scaler pays for capacity only after the congestion signal crosses a
+//! mark, while a forecast-driven scaler can buy the aggressive mark's
+//! tail latency at closer to the lazy mark's machine-hours.
+//!
+//! * [`Forecaster`] — the online trait: one observation per
+//!   fixed-width interval in, point forecasts any number of intervals
+//!   ahead out. Implementations are deterministic and bit-identical
+//!   across chunked and whole-stream feeds;
+//! * [`Ewma`] / [`HoltLinear`] / [`SeasonalHoltWinters`] — the
+//!   level-only baseline, the level+trend model for ramps, and
+//!   additive seasonality keyed to a configurable period (e.g. the
+//!   trace's minute-of-day cycle);
+//! * [`ForecasterSpec`] — a value-only model description configs carry
+//!   ([`ForecasterSpec::build`] makes a fresh zero-state model, so
+//!   every replay starts identically);
+//! * [`BandedForecaster`] / [`HorizonForecast`] — point + uncertainty
+//!   band from online residual quantiles at a fixed horizon, so
+//!   capacity can be provisioned against an upper quantile instead of
+//!   a best guess;
+//! * [`backtest_series`] / [`backtest_source`] — a one-pass,
+//!   no-peeking harness scoring any forecaster (MAE, MAPE, pinball
+//!   loss, band coverage) against a series or any streaming
+//!   [`litmus_platform::TraceSource`].
+//!
+//! # Examples
+//!
+//! Score the three models one step ahead on a noiseless square wave:
+//!
+//! ```
+//! use litmus_forecast::{
+//!     backtest_series, BacktestConfig, Ewma, Forecaster, SeasonalHoltWinters,
+//! };
+//!
+//! let wave: Vec<f64> = (0..240).map(|i| if i % 6 < 3 { 5.0 } else { 25.0 }).collect();
+//! let config = BacktestConfig::default();
+//! let mut flat = Ewma::new(0.4).unwrap();
+//! let mut seasonal = SeasonalHoltWinters::new(0.2, 0.05, 0.4, 6).unwrap();
+//! let flat_report = backtest_series(&mut flat, &wave, config).unwrap();
+//! let seasonal_report = backtest_series(&mut seasonal, &wave, config).unwrap();
+//! assert!(seasonal_report.mae < flat_report.mae);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backtest;
+mod band;
+mod error;
+mod forecaster;
+
+pub use backtest::{backtest_series, backtest_source, BacktestConfig, BacktestReport};
+pub use band::{BandedForecaster, HorizonForecast};
+pub use error::ForecastError;
+pub use forecaster::{Ewma, Forecaster, ForecasterSpec, HoltLinear, SeasonalHoltWinters};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ForecastError>;

@@ -52,8 +52,9 @@ pub use experiment::{ExperimentResults, PricingExperiment};
 pub use harness::{CoRunEnv, CoRunHarness, HarnessConfig};
 pub use monitor::{CongestionMonitor, CongestionSample};
 pub use trace::{
-    ArrivalPattern, ChunkedSource, ConcatSource, InvocationTrace, MaterializedSource,
-    SyntheticSource, TenantId, TenantTraffic, TraceDriver, TraceEvent, TraceOutcome, TraceSource,
+    ArrivalPattern, ChunkedSource, ConcatSource, CountingSource, InvocationTrace,
+    MaterializedSource, SyntheticSource, TenantId, TenantTraffic, TraceDriver, TraceEvent,
+    TraceOutcome, TraceSource,
 };
 
 /// Result alias used throughout the crate.

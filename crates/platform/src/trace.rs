@@ -221,6 +221,85 @@ impl<S: TraceSource> TraceSource for ConcatSource<S> {
     }
 }
 
+/// Pass-through [`TraceSource`] adapter that counts arrivals per
+/// fixed-width time bucket while a replay streams events — the
+/// arrival-count tap predictive-autoscaling studies feed forecasters
+/// from without a second pass over the trace.
+///
+/// The tap does not reorder, drop or buffer events; it only tallies.
+/// Pass it by `&mut` into a replay (every replay API accepts
+/// `&mut S: TraceSource`) and read [`CountingSource::bucket_counts`]
+/// afterwards:
+///
+/// ```
+/// use litmus_platform::{CountingSource, InvocationTrace, TraceSource};
+/// use litmus_workloads::suite;
+///
+/// let trace = InvocationTrace::poisson(suite::benchmarks(), 80.0, 2_000, 7)
+///     .expect("non-empty pool");
+/// let mut tap = CountingSource::new(trace.source(), 500);
+/// while let Some(_event) = tap.next_event() {}
+/// assert_eq!(tap.total() as usize, trace.len());
+/// assert_eq!(tap.bucket_counts().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingSource<S> {
+    source: S,
+    bucket_ms: u64,
+    counts: Vec<u64>,
+}
+
+impl<S: TraceSource> CountingSource<S> {
+    /// Wraps `source`, counting arrivals per `bucket_ms` window
+    /// (minimum 1 ms). Buckets are indexed from time 0; gaps between
+    /// arrivals appear as explicit zero buckets.
+    pub fn new(source: S, bucket_ms: u64) -> Self {
+        CountingSource {
+            source,
+            bucket_ms: bucket_ms.max(1),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The bucket width, ms.
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    /// Arrivals counted per bucket so far, bucket 0 first. The last
+    /// entry is the bucket of the latest event streamed; trailing
+    /// silence is not materialized.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total arrivals streamed through the tap.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Unwraps the tap, returning the inner source and the counts.
+    pub fn into_parts(self) -> (S, Vec<u64>) {
+        (self.source, self.counts)
+    }
+}
+
+impl<S: TraceSource> TraceSource for CountingSource<S> {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        let event = self.source.next_event()?;
+        let bucket = (event.at_ms / self.bucket_ms) as usize;
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.source.size_hint()
+    }
+}
+
 /// Arrival-rate shape of one tenant's traffic over time.
 ///
 /// Rates are arrivals per second; time-varying patterns are sampled by
@@ -1042,6 +1121,41 @@ mod tests {
             .unwrap();
         assert_eq!(materialized, streamed);
         assert_eq!(materialized.ledger.len(), trace.len());
+    }
+
+    #[test]
+    fn counting_tap_is_transparent_and_tallies_buckets() {
+        let trace = InvocationTrace::poisson(suite::benchmarks(), 70.0, 3_000, 33).unwrap();
+        let mut tap = CountingSource::new(trace.source(), 250);
+        let mut streamed = Vec::new();
+        while let Some(event) = tap.next_event() {
+            streamed.push(event);
+        }
+        assert_eq!(streamed, trace.events(), "the tap must not perturb events");
+        assert_eq!(tap.total() as usize, trace.len());
+        // Counts match a direct bucketing of the trace.
+        let buckets = trace
+            .events()
+            .iter()
+            .map(|e| (e.at_ms / 250) as usize)
+            .max()
+            .unwrap()
+            + 1;
+        let mut expected = vec![0u64; buckets];
+        for event in trace.events() {
+            expected[(event.at_ms / 250) as usize] += 1;
+        }
+        assert_eq!(tap.bucket_counts(), expected);
+        // A replay through the tap prices identically to one without.
+        let (pricing, tables) = pricing_setup();
+        let driver = TraceDriver::new(MachineSpec::cascade_lake(), 8)
+            .scale(0.04)
+            .drain_ms(20_000);
+        let plain = driver.replay(&trace, &pricing, &tables).unwrap();
+        let mut tap = CountingSource::new(trace.source(), 250);
+        let tapped = driver.replay_source(&mut tap, &pricing, &tables).unwrap();
+        assert_eq!(plain, tapped);
+        assert_eq!(tap.total() as usize, trace.len());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::path::Path;
 
 use crate::error::TraceError;
 use crate::ingest::{self, IngestMode, IngestReport};
-use crate::shard;
+use crate::shard::{self, LineSource};
 use crate::sketch::PercentileSketch;
 use crate::Result;
 
@@ -229,7 +229,7 @@ impl AzureDataset {
     ///
     /// [`TraceError::Parse`] / [`TraceError::Unjoined`] as above.
     pub fn from_csv(invocations: &str, durations: &str, memory: &str) -> Result<Self> {
-        ingest::ingest(invocations, durations, memory, IngestMode::Strict)
+        Self::from_csv_with(invocations, durations, memory, IngestMode::Strict)
             .map(|(dataset, _)| dataset)
     }
 
@@ -254,7 +254,12 @@ impl AzureDataset {
         memory: &str,
         mode: IngestMode,
     ) -> Result<(Self, IngestReport)> {
-        ingest::ingest(invocations, durations, memory, mode)
+        ingest::ingest(
+            &mut shard::TextLines::new(invocations),
+            &mut shard::TextLines::new(durations),
+            &mut shard::TextLines::new(memory),
+            mode,
+        )
     }
 
     /// Reads and parses one trace day from `dir`, discovering each CSV
@@ -284,6 +289,11 @@ impl AzureDataset {
     /// returning the per-category [`IngestReport`] (including how many
     /// shards each family was merged from).
     ///
+    /// Shards stream one at a time through chained per-shard readers,
+    /// so peak ingest memory is the largest single shard (plus the
+    /// parsed rows), never a whole merged family — the property that
+    /// makes multi-GB real days ingestible.
+    ///
     /// # Errors
     ///
     /// As [`AzureDataset::from_dir`]; join and value-level failures
@@ -293,15 +303,22 @@ impl AzureDataset {
         let invocations = shard::discover(dir, INVOCATIONS, shard::INVOCATIONS_STEM)?;
         let durations = shard::discover(dir, DURATIONS, shard::DURATIONS_STEM)?;
         let memory = shard::discover(dir, MEMORY, shard::MEMORY_STEM)?;
+        let shard_counts = (
+            invocations.len() as u64,
+            durations.len() as u64,
+            memory.len() as u64,
+        );
         let (dataset, mut report) = ingest::ingest(
-            &shard::read_merged(&invocations, INVOCATIONS)?,
-            &shard::read_merged(&durations, DURATIONS)?,
-            &shard::read_merged(&memory, MEMORY)?,
+            &mut shard::ShardLines::new(invocations, INVOCATIONS),
+            &mut shard::ShardLines::new(durations, DURATIONS),
+            &mut shard::ShardLines::new(memory, MEMORY),
             mode,
         )?;
-        report.invocation_shards = invocations.len() as u64;
-        report.duration_shards = durations.len() as u64;
-        report.memory_shards = memory.len() as u64;
+        (
+            report.invocation_shards,
+            report.duration_shards,
+            report.memory_shards,
+        ) = shard_counts;
         Ok((dataset, report))
     }
 
@@ -473,14 +490,6 @@ pub(crate) fn parse_error(
     }
 }
 
-/// Non-empty lines with their 1-based line numbers.
-fn rows(text: &str) -> impl Iterator<Item = (usize, &str)> {
-    text.lines()
-        .enumerate()
-        .map(|(idx, line)| (idx + 1, line.trim_end_matches('\r')))
-        .filter(|(_, line)| !line.trim().is_empty())
-}
-
 fn fields(line: &str) -> Vec<&str> {
     line.split(',').map(str::trim).collect()
 }
@@ -523,10 +532,12 @@ fn parse_f64(file: &'static str, line: usize, text: &str, what: &str) -> Result<
     Ok(value)
 }
 
-pub(crate) fn parse_invocations(text: &str, lossy: bool) -> Result<(usize, Parsed<InvocationRow>)> {
-    let mut rows = rows(text);
-    let (_, header) = rows
-        .next()
+pub(crate) fn parse_invocations(
+    lines: &mut dyn LineSource,
+    lossy: bool,
+) -> Result<(usize, Parsed<InvocationRow>)> {
+    let (_, header) = lines
+        .next_line()?
         .ok_or_else(|| parse_error(INVOCATIONS, 1, "empty file"))?;
     let header = fields(header);
     expect_prefix(
@@ -544,6 +555,7 @@ pub(crate) fn parse_invocations(text: &str, lossy: bool) -> Result<(usize, Parse
             ));
         }
     }
+    drop(header);
 
     let mut parsed = Parsed {
         rows: Vec::new(),
@@ -551,7 +563,7 @@ pub(crate) fn parse_invocations(text: &str, lossy: bool) -> Result<(usize, Parse
         invalid_skipped: 0,
         zero_count_skipped: 0,
     };
-    for (line, row) in rows {
+    while let Some((line, row)) = lines.next_line()? {
         parsed.total_rows += 1;
         let cells = fields(row);
         // Structural damage is a hard error in every mode: a ragged
@@ -625,10 +637,12 @@ fn percentile_columns(
     Ok(pcts)
 }
 
-pub(crate) fn parse_durations(text: &str, lossy: bool) -> Result<Parsed<DurationRow>> {
-    let mut rows = rows(text);
-    let (_, header) = rows
-        .next()
+pub(crate) fn parse_durations(
+    lines: &mut dyn LineSource,
+    lossy: bool,
+) -> Result<Parsed<DurationRow>> {
+    let (_, header) = lines
+        .next_line()?
         .ok_or_else(|| parse_error(DURATIONS, 1, "empty file"))?;
     let header = fields(header);
     const FIXED: [&str; 7] = [
@@ -642,6 +656,7 @@ pub(crate) fn parse_durations(text: &str, lossy: bool) -> Result<Parsed<Duration
     ];
     expect_prefix(DURATIONS, &header, &FIXED)?;
     let pcts = percentile_columns(DURATIONS, &header, FIXED.len(), "percentile_Average_")?;
+    drop(header);
 
     let mut parsed = Parsed {
         rows: Vec::new(),
@@ -649,7 +664,7 @@ pub(crate) fn parse_durations(text: &str, lossy: bool) -> Result<Parsed<Duration
         invalid_skipped: 0,
         zero_count_skipped: 0,
     };
-    for (line, row) in rows {
+    while let Some((line, row)) = lines.next_line()? {
         parsed.total_rows += 1;
         let cells = fields(row);
         if cells.len() != FIXED.len() + pcts.len() {
@@ -709,15 +724,15 @@ pub(crate) fn parse_durations(text: &str, lossy: bool) -> Result<Parsed<Duration
     Ok(parsed)
 }
 
-pub(crate) fn parse_memory(text: &str, lossy: bool) -> Result<Parsed<AzureApp>> {
-    let mut rows = rows(text);
-    let (_, header) = rows
-        .next()
+pub(crate) fn parse_memory(lines: &mut dyn LineSource, lossy: bool) -> Result<Parsed<AzureApp>> {
+    let (_, header) = lines
+        .next_line()?
         .ok_or_else(|| parse_error(MEMORY, 1, "empty file"))?;
     let header = fields(header);
     const FIXED: [&str; 4] = ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"];
     expect_prefix(MEMORY, &header, &FIXED)?;
     let pcts = percentile_columns(MEMORY, &header, FIXED.len(), "AverageAllocatedMb_pct")?;
+    drop(header);
 
     let mut parsed = Parsed {
         rows: Vec::new(),
@@ -725,7 +740,7 @@ pub(crate) fn parse_memory(text: &str, lossy: bool) -> Result<Parsed<AzureApp>> 
         invalid_skipped: 0,
         zero_count_skipped: 0,
     };
-    for (line, row) in rows {
+    while let Some((line, row)) = lines.next_line()? {
         parsed.total_rows += 1;
         let cells = fields(row);
         if cells.len() != FIXED.len() + pcts.len() {

@@ -20,6 +20,7 @@ use crate::azure::{
     DurationRow, InvocationRow, Trigger, DURATIONS, INVOCATIONS, MEMORY,
 };
 use crate::error::TraceError;
+use crate::shard::LineSource;
 use crate::sketch::PercentileSketch;
 use crate::Result;
 
@@ -290,14 +291,15 @@ fn join(row: InvocationRow, durations: DurationRow) -> AzureFunction {
     }
 }
 
-/// Parses and joins the three CSV texts under `mode`. The single
-/// ingestion path: [`AzureDataset::from_csv`],
+/// Parses and joins the three CSV families under `mode`, pulling rows
+/// through [`LineSource`]s so in-memory texts and chained shard
+/// readers share one ingestion path: [`AzureDataset::from_csv`],
 /// [`AzureDataset::from_csv_with`] and the `from_dir` pair all land
 /// here.
 pub(crate) fn ingest(
-    invocations: &str,
-    durations: &str,
-    memory: &str,
+    invocations: &mut dyn LineSource,
+    durations: &mut dyn LineSource,
+    memory: &mut dyn LineSource,
     mode: IngestMode,
 ) -> Result<(AzureDataset, IngestReport)> {
     let lossy = mode.is_lossy();

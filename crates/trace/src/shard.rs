@@ -1,4 +1,5 @@
-//! Shard discovery and merging for on-disk trace directories.
+//! Shard discovery and streaming line sources for on-disk trace
+//! directories.
 //!
 //! The published Azure Functions 2019 download splits every CSV family
 //! into per-day shards (`invocations_per_function_md.anon.d01.csv`,
@@ -6,15 +7,24 @@
 //! `app_memory_percentiles.anon.d01.csv`, …). Discovery is by family
 //! *stem*: any `<stem>*.csv` in the directory belongs to the family,
 //! so both the repo's unsharded fixture names and the real download's
-//! names match without renaming. Shards merge in ascending file-name
-//! order with the first shard's header authoritative — and because
-//! [`crate::AzureDataset`] holds rows in canonical key order, *any*
-//! partition of the same rows across shards parses to the identical
-//! dataset.
+//! names match without renaming. Shards are consumed in ascending
+//! file-name order with the first shard's header authoritative — and
+//! because [`crate::AzureDataset`] holds rows in canonical key order,
+//! *any* partition of the same rows across shards parses to the
+//! identical dataset.
+//!
+//! Parsing streams through the [`LineSource`] trait: [`ShardLines`]
+//! chains per-shard readers, holding **one shard's text at a time**,
+//! so peak ingest memory is the largest shard rather than the whole
+//! family (a real day's invocations family is multi-GB). The line
+//! stream it yields is byte-identical to reading every shard into one
+//! merged text first (asserted in tests against the retired merged
+//! path), including the merged-stream line numbering.
 //!
 //! One caveat: parse-error line numbers refer to the *merged* row
 //! stream, not to a position inside an individual shard file.
 
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use crate::azure::parse_error;
@@ -57,6 +67,50 @@ pub(crate) fn discover(dir: &Path, family: &'static str, stem: &str) -> Result<V
     Ok(paths)
 }
 
+/// A streaming supplier of one CSV family's non-blank data lines —
+/// `\r`-trimmed, with the 1-based line numbers they hold in the
+/// family's merged row stream. The single front door the parsers pull
+/// rows through, so one parser serves both in-memory texts
+/// ([`TextLines`]) and shard chains ([`ShardLines`]).
+pub(crate) trait LineSource {
+    /// The next non-blank line, or `None` once the family is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// I/O and shard-structure failures (empty shard, header drift)
+    /// from sources that read lazily.
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>>;
+}
+
+/// [`LineSource`] over one in-memory CSV text.
+pub(crate) struct TextLines<'t> {
+    lines: std::str::Lines<'t>,
+    line_no: usize,
+}
+
+impl<'t> TextLines<'t> {
+    pub(crate) fn new(text: &'t str) -> Self {
+        TextLines {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+}
+
+impl LineSource for TextLines<'_> {
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>> {
+        for line in self.lines.by_ref() {
+            self.line_no += 1;
+            let line = line.trim_end_matches('\r');
+            if !line.trim().is_empty() {
+                return Ok(Some((self.line_no, line)));
+            }
+        }
+        Ok(None)
+    }
+}
+
 /// Splits `text` into its header line (first non-blank line, `\r`
 /// trimmed) and everything after it.
 fn split_header(text: &str) -> Option<(&str, &str)> {
@@ -73,10 +127,133 @@ fn split_header(text: &str) -> Option<(&str, &str)> {
     None
 }
 
-/// Reads and concatenates `paths` into one CSV text: the first shard
-/// passes through whole; every later shard must repeat the first's
-/// header exactly and contributes only its data rows.
-pub(crate) fn read_merged(paths: &[PathBuf], family: &'static str) -> Result<String> {
+/// [`LineSource`] chaining a family's shard files: shards are read
+/// lazily one at a time (peak memory is one shard), the first shard's
+/// header is authoritative and every later shard must repeat it
+/// exactly, contributing only its data rows. The yielded line stream —
+/// content and numbering — is byte-identical to concatenating the
+/// shards into one merged text and reading that.
+pub(crate) struct ShardLines {
+    family: &'static str,
+    paths: std::vec::IntoIter<PathBuf>,
+    /// First shard's path, for header-mismatch messages.
+    first_path: Option<PathBuf>,
+    /// First shard's header, which every later shard must repeat.
+    header: Option<String>,
+    /// The one shard held in memory right now.
+    current: String,
+    /// Byte cursor into `current` (starts past the header for every
+    /// shard but the first).
+    offset: usize,
+    /// Merged-stream line numbering, continuing across shards.
+    line_no: usize,
+}
+
+impl ShardLines {
+    /// Chains `paths` (already discovery-sorted) as `family`'s row
+    /// stream. No file is read until the first pull.
+    pub(crate) fn new(paths: Vec<PathBuf>, family: &'static str) -> Self {
+        ShardLines {
+            family,
+            paths: paths.into_iter(),
+            first_path: None,
+            header: None,
+            current: String::new(),
+            offset: 0,
+            line_no: 0,
+        }
+    }
+
+    /// Scans `current` for its next line: every raw line is counted
+    /// (that is the merged numbering), blank lines are skipped, and
+    /// the returned range is `\r`-trimmed.
+    fn scan_current(&mut self) -> Option<(usize, Range<usize>)> {
+        while self.offset < self.current.len() {
+            let rest = &self.current[self.offset..];
+            let (line_len, advance) = match rest.find('\n') {
+                Some(idx) => (idx, idx + 1),
+                None => (rest.len(), rest.len()),
+            };
+            let start = self.offset;
+            self.offset += advance;
+            self.line_no += 1;
+            let line = rest[..line_len].trim_end_matches('\r');
+            if !line.trim().is_empty() {
+                return Some((self.line_no, start..start + line.len()));
+            }
+        }
+        None
+    }
+
+    /// Loads the next shard, replacing the current one; `false` when
+    /// the chain is exhausted.
+    fn advance_shard(&mut self) -> Result<bool> {
+        let Some(path) = self.paths.next() else {
+            // Free the last shard promptly; the source may be held
+            // while other families still parse.
+            self.current = String::new();
+            return Ok(false);
+        };
+        let text = std::fs::read_to_string(&path)?;
+        let Some((header, data)) = split_header(&text) else {
+            return Err(parse_error(
+                self.family,
+                1,
+                format!("empty shard {}", path.display()),
+            ));
+        };
+        match &self.header {
+            None => {
+                self.header = Some(header.to_owned());
+                self.current = text;
+                self.offset = 0;
+                self.first_path = Some(path);
+            }
+            Some(expected) if expected == header => {
+                // Later shards contribute data rows only: start the
+                // cursor past the header (and anything before it), so
+                // neither is yielded nor counted — exactly the merged
+                // text's shape.
+                self.offset = text.len() - data.len();
+                self.current = text;
+            }
+            Some(_) => {
+                return Err(parse_error(
+                    self.family,
+                    1,
+                    format!(
+                        "shard {} header differs from {}",
+                        path.display(),
+                        self.first_path
+                            .as_ref()
+                            .expect("a first shard set the header")
+                            .display(),
+                    ),
+                ));
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl LineSource for ShardLines {
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>> {
+        loop {
+            if let Some((line_no, range)) = self.scan_current() {
+                return Ok(Some((line_no, &self.current[range])));
+            }
+            if !self.advance_shard()? {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// Reads and concatenates `paths` into one CSV text — the pre-streaming
+/// ingestion path, retained only as the test oracle [`ShardLines`] is
+/// compared byte-exact against.
+#[cfg(test)]
+fn read_merged(paths: &[PathBuf], family: &'static str) -> Result<String> {
     let mut merged = String::new();
     let mut first_header: Option<String> = None;
     for path in paths {
@@ -122,6 +299,14 @@ mod tests {
     use crate::fixture;
     use crate::test_support::{write_sharded, TempDir};
 
+    fn collect(source: &mut dyn LineSource) -> Vec<(usize, String)> {
+        let mut lines = Vec::new();
+        while let Some((no, line)) = source.next_line().expect("line sources read") {
+            lines.push((no, line.to_owned()));
+        }
+        lines
+    }
+
     #[test]
     fn sharded_fixture_parses_identically_to_unsharded() {
         let dir = TempDir::new("shard-split");
@@ -137,6 +322,41 @@ mod tests {
         assert_eq!(report.duration_shards, 3);
         assert_eq!(report.memory_shards, 2);
         assert!(report.is_balanced());
+    }
+
+    #[test]
+    fn shard_chain_streams_byte_exact_with_the_merged_text() {
+        // The streaming chain (one shard in memory at a time) must
+        // yield the very line stream — content and merged numbering —
+        // that the old read-everything-then-parse path produced.
+        let dir = TempDir::new("shard-stream");
+        for shards in [1, 2, 4] {
+            write_sharded(&dir, DURATIONS_STEM, fixture::DURATIONS_CSV, shards);
+            let paths = discover(dir.path(), "durations", DURATIONS_STEM).unwrap();
+            assert_eq!(paths.len(), shards);
+            let merged = read_merged(&paths, "durations").unwrap();
+            let streamed = collect(&mut ShardLines::new(paths, "durations"));
+            let from_merged = collect(&mut TextLines::new(&merged));
+            assert_eq!(streamed, from_merged, "{shards} shards");
+            for path in discover(dir.path(), "durations", DURATIONS_STEM).unwrap() {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn shard_chain_handles_blank_lines_and_missing_trailing_newlines() {
+        let dir = TempDir::new("shard-ragged");
+        // Shard 1 ends without a newline; shard 2 has blanks around
+        // its header and between rows.
+        dir.write("function_durations.d01.csv", "h1,h2\na,1\n\nb,2");
+        dir.write("function_durations.d02.csv", "\n\nh1,h2\r\nc,3\n\nd,4\n");
+        let paths = discover(dir.path(), "durations", DURATIONS_STEM).unwrap();
+        let merged = read_merged(&paths, "durations").unwrap();
+        let streamed = collect(&mut ShardLines::new(paths, "durations"));
+        assert_eq!(streamed, collect(&mut TextLines::new(&merged)));
+        let rows: Vec<&str> = streamed.iter().map(|(_, line)| line.as_str()).collect();
+        assert_eq!(rows, ["h1,h2", "a,1", "b,2", "c,3", "d,4"]);
     }
 
     #[test]
@@ -184,6 +404,23 @@ mod tests {
         );
         let err = AzureDataset::from_dir(dir.path()).unwrap_err();
         assert!(err.to_string().contains("header differs"), "{err}");
+    }
+
+    #[test]
+    fn empty_shard_is_rejected() {
+        let dir = TempDir::new("shard-empty");
+        dir.write("function_durations.d01.csv", fixture::DURATIONS_CSV);
+        dir.write("function_durations.d02.csv", "\n  \n");
+        let paths = discover(dir.path(), "durations", DURATIONS_STEM).unwrap();
+        let mut chain = ShardLines::new(paths, "durations");
+        let err = loop {
+            match chain.next_line() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("empty shard must error, not end the stream"),
+                Err(err) => break err,
+            }
+        };
+        assert!(err.to_string().contains("empty shard"), "{err}");
     }
 
     #[test]

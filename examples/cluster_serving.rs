@@ -144,6 +144,14 @@ fn run_driver<P: PlacementPolicy>(
             count(ScaleKind::Retire),
             outcome.peak_machines,
         );
+        // Why each decision fired — the reason is first-class on the
+        // event, not decoded from the signal value.
+        for event in &outcome.scale_events {
+            println!(
+                "    {:>6} ms: {:?} {} ({}, signal {:.2})",
+                event.at_ms, event.kind, event.machine, event.reason, event.signal,
+            );
+        }
         for lifetime in &outcome.machine_lifetimes {
             if lifetime.born_ms > 0 {
                 println!(

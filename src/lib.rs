@@ -19,6 +19,7 @@
 //! | [`platform`] | `litmus-platform` | co-run harness and evaluation experiments |
 //! | [`cluster`] | `litmus-cluster` | multi-machine serving, Litmus-aware placement, sharded billing |
 //! | [`trace`] | `litmus-trace` | Azure Functions trace ingestion, characterization, streaming replay |
+//! | [`forecast`] | `litmus-forecast` | online arrival-rate forecasting, bands, backtesting |
 //!
 //! The paper's hardware testbed (Cascade Lake Xeon, Linux perf, CPython/
 //! Node.js/Go) is replaced by a deterministic analytic simulator — see
@@ -56,6 +57,7 @@
 
 pub use litmus_cluster as cluster;
 pub use litmus_core as core;
+pub use litmus_forecast as forecast;
 pub use litmus_platform as platform;
 pub use litmus_sim as sim;
 pub use litmus_stats as stats;
@@ -66,18 +68,23 @@ pub use litmus_workloads as workloads;
 pub mod prelude {
     pub use litmus_cluster::{
         AutoscalerConfig, BillingAggregator, Cluster, ClusterConfig, ClusterDriver, ClusterReport,
-        LeastLoaded, LitmusAware, MachineConfig, MachineId, PlacementPolicy, RoundRobin,
-        ScaleEvent, ScaleKind, StealEvent, StealingConfig, SteppingMode,
+        ForecastSample, LeastLoaded, LitmusAware, MachineConfig, MachineId, PlacementPolicy,
+        PredictiveConfig, ProbeFreshness, RoundRobin, ScaleEvent, ScaleKind, ScaleReason,
+        ScalingPolicy, StealEvent, StealingConfig, SteppingMode,
     };
     pub use litmus_core::{
         BillingLedger, BillingSummary, CommercialPricing, CongestionIndex, DiscountModel,
         IdealPricing, Invoice, LitmusPricing, LitmusReading, Method, PoppaSampler, Price,
         PricingTables, StartupBaseline, TableBuilder,
     };
+    pub use litmus_forecast::{
+        backtest_series, backtest_source, BacktestConfig, BacktestReport, BandedForecaster, Ewma,
+        Forecaster, ForecasterSpec, HoltLinear, HorizonForecast, SeasonalHoltWinters,
+    };
     pub use litmus_platform::{
         AdmissionController, AdmissionDecision, CoRunEnv, CoRunHarness, CongestionMonitor,
-        ExperimentResults, HarnessConfig, InvocationTrace, PricingExperiment, TenantId,
-        TenantTraffic, TraceSource,
+        CountingSource, ExperimentResults, HarnessConfig, InvocationTrace, PricingExperiment,
+        TenantId, TenantTraffic, TraceSource,
     };
     pub use litmus_sim::{
         ExecPhase, ExecutionProfile, FrequencyGovernor, MachineSpec, Placement, PmuCounters,
