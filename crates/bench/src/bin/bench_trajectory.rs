@@ -1,0 +1,201 @@
+//! Perf-trajectory runner: replay the bundled Azure fixture day end to
+//! end and write `BENCH_cluster.json` — the committed baseline later
+//! PRs (the ROADMAP's slice-free engine in particular) must show
+//! deltas against.
+//!
+//! Two numbers matter and both land in the file:
+//!
+//! * **replay throughput** — invocations/second through the full
+//!   dispatch → simulate → probe → price → shard path, at 1 and 4
+//!   worker-pool threads (best-of-N wall time, so the baseline is a
+//!   floor, not an average over scheduler noise);
+//! * **worker-pool stage timings** — the opt-in wall-clock profiler's
+//!   per-stage breakdown (dispatch / scale / steal / step / barrier),
+//!   taken from the fastest rep. `barrier` is the per-slice convoy
+//!   cost a slice-free engine would remove, which is why it must be in
+//!   the committed baseline.
+//!
+//! Usage: `bench-trajectory [--smoke] [--out PATH]`
+//! `--smoke` shrinks the replay for CI (and is NOT a number to commit:
+//! the checked-in baseline is a full-mode run). `--out` defaults to
+//! `BENCH_cluster.json` in the current directory — run from the repo
+//! root, or let `scripts/bench_trajectory` do it for you.
+
+use std::time::Instant;
+
+use litmus_cluster::{
+    AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, LitmusAware,
+    MachineConfig, PredictiveConfig, StealingConfig,
+};
+use litmus_core::{DiscountModel, PricingTables, TableBuilder};
+use litmus_forecast::ForecasterSpec;
+use litmus_platform::InvocationTrace;
+use litmus_sim::MachineSpec;
+use litmus_telemetry::json::{array, JsonObject};
+use litmus_trace::{fixture, ExpandConfig, IntraMinute};
+
+const MACHINES: usize = 6;
+const CORES_PER_MACHINE: usize = 8;
+const SEED: u64 = 2024;
+
+fn calibration() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 22])
+        .reference_scale(0.05)
+        .build()
+        .expect("tables build");
+    let model = DiscountModel::fit(&tables).expect("model fit");
+    (tables, model)
+}
+
+fn cluster_config(threads: usize) -> ClusterConfig {
+    let machines: Vec<_> = (0..MACHINES)
+        .map(|i| {
+            let background = if i < MACHINES / 2 { 20 } else { 0 };
+            MachineConfig::new(CORES_PER_MACHINE)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(80)
+                .max_inflight(4)
+                .seed(0xA27E + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), MACHINES, CORES_PER_MACHINE)
+        .machines(machines)
+        .serving_scale(0.05)
+        .slice_ms(20)
+        .threads(threads)
+}
+
+/// The same every-feature-on driver as `replay_inspect`: stealing +
+/// predictive autoscaling + profiling, so the stage breakdown covers
+/// every stage the replay loop has.
+fn driver() -> ClusterDriver<LitmusAware> {
+    ClusterDriver::new(LitmusAware::new())
+        .stealing(StealingConfig::default().backlog_threshold(3))
+        .autoscale(
+            AutoscalerConfig::new(
+                MachineConfig::new(CORES_PER_MACHINE)
+                    .background_scale(0.05)
+                    .warmup_ms(80)
+                    .max_inflight(4)
+                    .seed(0xB007),
+            )
+            .high_water(1.8)
+            .low_water(1.05)
+            .machine_bounds(MACHINES, 12)
+            .cooldown_ms(200)
+            .predictive(PredictiveConfig::new(
+                ForecasterSpec::Ewma { alpha: 0.35 },
+                120.0,
+            )),
+        )
+        .profiling(true)
+}
+
+struct RunResult {
+    threads: usize,
+    reps: usize,
+    wall_ms: Vec<f64>,
+    best: ClusterReport,
+}
+
+fn run(trace: &InvocationTrace, threads: usize, reps: usize) -> RunResult {
+    let (tables, model) = calibration();
+    let mut wall_ms = Vec::with_capacity(reps);
+    let mut best: Option<(f64, ClusterReport)> = None;
+    for _ in 0..reps {
+        let mut cluster = Cluster::build(cluster_config(threads), tables.clone(), model.clone())
+            .expect("cluster boots");
+        let started = Instant::now();
+        let report = driver().replay(&mut cluster, trace).expect("replay");
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        wall_ms.push(elapsed);
+        if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+            best = Some((elapsed, report));
+        }
+    }
+    let (_, best) = best.expect("at least one rep");
+    RunResult {
+        threads,
+        reps,
+        wall_ms,
+        best,
+    }
+}
+
+fn run_json(result: &RunResult, invocations: usize) -> String {
+    let best_ms = result.wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = result.wall_ms.iter().sum::<f64>() / result.wall_ms.len() as f64;
+    let mut obj = JsonObject::new();
+    obj.u64_field("threads", result.threads as u64);
+    obj.u64_field("reps", result.reps as u64);
+    obj.u64_field("invocations", invocations as u64);
+    obj.u64_field("completed", result.best.completed as u64);
+    obj.f64_field("best_wall_ms", best_ms);
+    obj.f64_field("mean_wall_ms", mean_ms);
+    obj.f64_field("throughput_inv_per_s", invocations as f64 / (best_ms / 1e3));
+    obj.u64_field("peak_machines", result.best.peak_machines as u64);
+    // Wall-clock stage breakdown from the fastest rep — the slice-free
+    // engine's before/after lives here ("barrier" especially).
+    obj.raw_field("stages", &result.best.telemetry().profile().to_json());
+    obj.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    // One trace minute compressed to this many sim ms; smoke shrinks
+    // the day so CI finishes in seconds.
+    let minute_ms: u64 = if smoke { 150 } else { 600 };
+    let reps: usize = if smoke { 1 } else { 3 };
+
+    let dataset = fixture::dataset();
+    let trace = dataset
+        .expand(
+            ExpandConfig::new(SEED)
+                .minute_ms(minute_ms)
+                .placement(IntraMinute::Poisson),
+        )
+        .expect("fixture expands");
+    println!(
+        "bench-trajectory ({}): {} invocations over {} fixture minutes, \
+         {} reps per thread count",
+        if smoke { "smoke" } else { "full" },
+        trace.len(),
+        dataset.minutes(),
+        reps,
+    );
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let result = run(&trace, threads, reps);
+        let best_ms = result.wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  threads={threads}: best {best_ms:.1} ms, {:.0} inv/s",
+            trace.len() as f64 / (best_ms / 1e3),
+        );
+        print!("{}", result.best.telemetry().profile().summary());
+        runs.push(run_json(&result, trace.len()));
+    }
+
+    let mut doc = JsonObject::new();
+    doc.str_field("bench", "cluster_trajectory");
+    doc.str_field("mode", if smoke { "smoke" } else { "full" });
+    doc.u64_field("minute_ms", minute_ms);
+    doc.u64_field("machines", MACHINES as u64);
+    doc.u64_field("cores_per_machine", CORES_PER_MACHINE as u64);
+    doc.u64_field("fixture_minutes", dataset.minutes() as u64);
+    doc.u64_field("invocations", trace.len() as u64);
+    doc.raw_field("runs", &array(runs));
+    let json = format!("{}\n", doc.finish());
+    std::fs::write(&out_path, &json).expect("write bench trajectory file");
+    println!("wrote {out_path}");
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use litmus_core::{DiscountModel, PricingTables};
 use litmus_platform::{ChunkedSource, InvocationTrace, TraceEvent, TraceSource};
 use litmus_sim::MachineSpec;
+use litmus_telemetry::{StageProfile, Telemetry, TelemetryConfig, Timeline};
 use litmus_workloads::Language;
 
 use crate::billing::BillingAggregator;
@@ -12,7 +13,10 @@ use crate::error::ClusterError;
 use crate::machine::{Machine, MachineConfig, MachineId};
 use crate::policy::{MachineSnapshot, PlacementPolicy};
 use crate::pool::{panic_message, SteppingMode, WorkerPool};
-use crate::scale::{Autoscaler, AutoscalerConfig, ForecastSample, MachineLifetime, ScaleEvent};
+use crate::scale::{
+    Autoscaler, AutoscalerConfig, ForecastSample, MachineLifetime, ScaleEvent, ScaleKind,
+    ScalingPolicy,
+};
 use crate::steal::{steal_pass, StealEvent, StealingConfig};
 use crate::Result;
 
@@ -333,7 +337,7 @@ impl Cluster {
     /// thread. Machines are fully independent state machines, so
     /// pooled, scoped and sequential stepping produce bit-identical
     /// results.
-    fn step_all(&mut self, target_ms: u64) -> Result<()> {
+    fn step_all(&mut self, target_ms: u64, profile: &mut StageProfile) -> Result<()> {
         let threads = self.threads.min(self.machines.len()).max(1);
         if threads == 1 {
             let ctx = Arc::clone(&self.ctx);
@@ -351,7 +355,7 @@ impl Cluster {
                 // shards it hands out by the live machine count.
                 let workers = self.threads;
                 let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(workers));
-                pool.step_all(&mut self.machines, target_ms, &self.ctx)
+                pool.step_all(&mut self.machines, target_ms, &self.ctx, profile)
             }
         }
     }
@@ -411,19 +415,17 @@ pub struct ClusterReport {
     /// Invocations the stealing pass re-dispatched (each counted once
     /// per move).
     pub redispatched: usize,
-    /// Every re-dispatch decision, in occurrence order.
-    pub steal_events: Vec<StealEvent>,
-    /// Every autoscaling decision, in occurrence order.
-    pub scale_events: Vec<ScaleEvent>,
-    /// One record per scheduling slice when the autoscaler ran with
-    /// [`crate::ScalingPolicy::Predictive`]: what the forecaster
-    /// observed, predicted and asked for — empty for reactive or
-    /// non-autoscaled replays. Studies attribute scaling wins and
-    /// losses to the forecast through these.
-    pub forecast_samples: Vec<ForecastSample>,
-    /// Birth/retirement record of every machine that served during the
-    /// replay.
-    pub machine_lifetimes: Vec<MachineLifetime>,
+    /// Backing store of [`ClusterReport::steal_events`].
+    steal_events: Vec<StealEvent>,
+    /// Backing store of [`ClusterReport::scale_events`].
+    scale_events: Vec<ScaleEvent>,
+    /// Backing store of [`ClusterReport::forecast_samples`].
+    forecast_samples: Vec<ForecastSample>,
+    /// Backing store of [`ClusterReport::machine_lifetimes`].
+    machine_lifetimes: Vec<MachineLifetime>,
+    /// The replay's telemetry (registry + timeline + flight recorder);
+    /// the typed vectors above are also mirrored onto its timeline.
+    telemetry: Telemetry,
     /// Most machines simultaneously alive during the replay.
     pub peak_machines: usize,
     /// Mean arrival→completion latency of completed invocations, ms.
@@ -435,16 +437,73 @@ pub struct ClusterReport {
     /// slowdown at dispatch time — the placement-quality signal
     /// Litmus-aware routing minimises.
     pub mean_predicted_slowdown: f64,
-    /// The chosen machine's predicted slowdown at dispatch time, one
-    /// entry per trace event in trace order (parallel to
-    /// [`ClusterReport::placements`]) — the per-invocation SLO signal
-    /// autoscale studies cut tail quantiles from.
-    pub predicted_slowdowns: Vec<f64>,
+    /// Backing store of [`ClusterReport::predicted_slowdowns`].
+    predicted_slowdowns: Vec<f64>,
     /// Simulated time the replay covered, ms.
     pub sim_ms: u64,
 }
 
 impl ClusterReport {
+    /// Every re-dispatch decision taken by the stealing pass, in
+    /// occurrence order. All `at_ms` timestamps in the report are
+    /// sim-time milliseconds on the cluster clock, whose epoch (0) is
+    /// cluster boot — which coincides with replay start on a freshly
+    /// built cluster. Wall-clock time never appears.
+    pub fn steal_events(&self) -> &[StealEvent] {
+        &self.steal_events
+    }
+
+    /// Every autoscaling decision, in occurrence order. Timestamps are
+    /// sim-time ms (see [`ClusterReport::steal_events`] for the epoch).
+    pub fn scale_events(&self) -> &[ScaleEvent] {
+        &self.scale_events
+    }
+
+    /// One record per scheduling slice when the autoscaler ran with
+    /// [`crate::ScalingPolicy::Predictive`]: what the forecaster
+    /// observed, predicted and asked for — empty for reactive or
+    /// non-autoscaled replays. Studies attribute scaling wins and
+    /// losses to the forecast through these. Timestamps are sim-time
+    /// ms (see [`ClusterReport::steal_events`] for the epoch).
+    pub fn forecast_samples(&self) -> &[ForecastSample] {
+        &self.forecast_samples
+    }
+
+    /// Birth/retirement record of every machine that served during the
+    /// replay. `born_ms`/`retired_ms` are sim-time ms (see
+    /// [`ClusterReport::steal_events`] for the epoch).
+    pub fn machine_lifetimes(&self) -> &[MachineLifetime] {
+        &self.machine_lifetimes
+    }
+
+    /// The chosen machine's predicted slowdown at dispatch time, one
+    /// entry per trace event in trace order (parallel to
+    /// [`ClusterReport::placements`]) — the per-invocation SLO signal
+    /// autoscale studies cut tail quantiles from.
+    pub fn predicted_slowdowns(&self) -> &[f64] {
+        &self.predicted_slowdowns
+    }
+
+    /// The replay's full telemetry: metric registry, event timeline and
+    /// flight recorder (plus the wall-clock stage profile when
+    /// profiling was enabled on the driver).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The replay's event timeline: every scale/steal/forecast decision
+    /// and machine lifetime as sim-time-keyed structured events, in the
+    /// deterministic order the driver observed them.
+    pub fn timeline(&self) -> &Timeline {
+        self.telemetry.timeline()
+    }
+
+    /// The deterministic JSONL export of the replay's telemetry —
+    /// byte-identical across worker-pool thread counts, stepping modes,
+    /// hosts, and streaming vs materialized replay.
+    pub fn timeline_jsonl(&self) -> String {
+        self.telemetry.to_jsonl()
+    }
     /// Completed invocations per simulated second.
     pub fn throughput_per_sim_s(&self) -> f64 {
         if self.sim_ms == 0 {
@@ -529,7 +588,7 @@ impl ClusterReport {
 ///     "{} billed, {} re-dispatched, {} scale events",
 ///     report.completed,
 ///     report.redispatched,
-///     report.scale_events.len()
+///     report.scale_events().len()
 /// );
 /// # Ok(()) }
 /// ```
@@ -538,16 +597,19 @@ pub struct ClusterDriver<P> {
     policy: P,
     stealing: Option<StealingConfig>,
     autoscale: Option<AutoscalerConfig>,
+    telemetry: TelemetryConfig,
 }
 
 impl<P: PlacementPolicy> ClusterDriver<P> {
     /// Creates a driver routing with `policy`, with stealing and
-    /// autoscaling off.
+    /// autoscaling off and default telemetry (1024-event flight
+    /// recorder, no wall-clock profiling).
     pub fn new(policy: P) -> Self {
         ClusterDriver {
             policy,
             stealing: None,
             autoscale: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -560,6 +622,22 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
     /// Enables probe-driven autoscaling.
     pub fn autoscale(mut self, config: AutoscalerConfig) -> Self {
         self.autoscale = Some(config);
+        self
+    }
+
+    /// Replaces the telemetry configuration (flight-recorder depth,
+    /// histogram resolution, profiling) used by subsequent replays.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
+
+    /// Enables wall-clock profiling of the replay-loop stages
+    /// (dispatch, scale, steal, step, barrier). Profiling is excluded
+    /// from the deterministic telemetry export and from report
+    /// equality, so it can stay on during determinism checks.
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.telemetry.profiling = enabled;
         self
     }
 
@@ -691,6 +769,30 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let mut now_ms = 0u64;
         let mut chunk: Vec<TraceEvent> = Vec::new();
 
+        // Everything telemetry records is keyed to the sim clock and
+        // recorded on this thread at slice boundaries, so the timeline
+        // (and its JSONL export) is byte-identical across thread
+        // counts, stepping modes and streaming vs materialized replay.
+        // The meta line must therefore never mention threads or hosts.
+        let mut telemetry = Telemetry::new(self.telemetry);
+        telemetry.set_meta("policy", self.policy.name());
+        telemetry.set_meta("slice_ms", slice_ms.to_string());
+        telemetry.set_meta("stealing", if stealing.is_some() { "on" } else { "off" });
+        telemetry.set_meta(
+            "autoscale",
+            match &self.autoscale {
+                None => "off",
+                Some(config) => match config.policy {
+                    ScalingPolicy::Reactive => "reactive",
+                    ScalingPolicy::Predictive(_) => "predictive",
+                },
+            },
+        );
+        let replay_span = telemetry.open_span(0, "replay", vec![]);
+        // (scale, forecast, steal) entries already mirrored onto the
+        // timeline — the typed vectors stay the storage of record.
+        let mut mirrored = (0usize, 0usize, 0usize);
+
         let boundary = |cluster: &mut Cluster,
                         autoscaler: &mut Option<Autoscaler>,
                         at_ms: u64,
@@ -699,15 +801,29 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                         forecast_samples: &mut Vec<ForecastSample>,
                         steal_events: &mut Vec<StealEvent>,
                         redispatched: &mut usize,
-                        peak: &mut usize|
+                        peak: &mut usize,
+                        telemetry: &mut Telemetry,
+                        mirrored: &mut (usize, usize, usize)|
          -> Result<()> {
             if let Some(scaler) = autoscaler {
+                let started = telemetry.profile().start();
                 scaler.evaluate(cluster, at_ms, admitted, scale_events, forecast_samples)?;
+                telemetry.profile_mut().stop("scale", started);
                 *peak = (*peak).max(cluster.machines.len());
             }
             if let Some(config) = &stealing {
+                let started = telemetry.profile().start();
                 *redispatched += steal_pass(cluster, config, at_ms, steal_events);
+                telemetry.profile_mut().stop("steal", started);
             }
+            mirror_into_timeline(
+                telemetry,
+                mirrored,
+                scale_events,
+                forecast_samples,
+                steal_events,
+            );
+            telemetry.gauge_set("fleet.machines", cluster.machines.len() as f64);
             Ok(())
         };
 
@@ -716,17 +832,24 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             chunk.clear();
             source.fill_before(slice_end, &mut chunk);
             let admitted = chunk.len();
+            telemetry.inc("slices", 1);
+            telemetry.inc("arrivals.admitted", admitted as u64);
+            telemetry.observe("slice.admitted", admitted as f64);
+            let dispatch_started = telemetry.profile().start();
             for event in chunk.drain(..) {
                 if !cluster.ctx.is_warmed(&event.function) {
                     // In-place: workers release their context clones at
                     // the slice barrier, so the Arc is unique here.
                     Arc::make_mut(&mut cluster.ctx).warm_function(&spec, &event.function)?;
+                    telemetry.inc("oracle.warmed", 1);
                 }
                 let (position, id, predicted) = self.route(cluster);
+                telemetry.observe("dispatch.predicted_slowdown", predicted);
                 predicted_slowdowns.push(predicted);
                 placements.push(id);
                 cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
             }
+            telemetry.profile_mut().stop("dispatch", dispatch_started);
             boundary(
                 cluster,
                 &mut autoscaler,
@@ -737,14 +860,21 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                 &mut steal_events,
                 &mut redispatched,
                 &mut peak_machines,
+                &mut telemetry,
+                &mut mirrored,
             )?;
-            cluster.step_all(slice_end)?;
+            let step_started = telemetry.profile().start();
+            cluster.step_all(slice_end, telemetry.profile_mut())?;
+            telemetry.profile_mut().stop("step", step_started);
             now_ms = slice_end;
         }
 
+        let drain_start_ms = now_ms;
+        let drain_pending = cluster.outstanding();
         let drain_deadline = now_ms + cluster.drain_ms;
         while cluster.outstanding() > 0 && now_ms < drain_deadline {
             now_ms = (now_ms + slice_ms).min(drain_deadline);
+            telemetry.inc("slices", 1);
             boundary(
                 cluster,
                 &mut autoscaler,
@@ -755,14 +885,37 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                 &mut steal_events,
                 &mut redispatched,
                 &mut peak_machines,
+                &mut telemetry,
+                &mut mirrored,
             )?;
-            cluster.step_all(now_ms)?;
+            let step_started = telemetry.profile().start();
+            cluster.step_all(now_ms, telemetry.profile_mut())?;
+            telemetry.profile_mut().stop("step", step_started);
+        }
+        if now_ms > drain_start_ms {
+            telemetry.span(
+                "drain",
+                drain_start_ms,
+                now_ms,
+                vec![
+                    ("pending", drain_pending.into()),
+                    ("unfinished", cluster.outstanding().into()),
+                ],
+            );
         }
         // Machines that emptied on the last slice still retire before
         // the report is cut.
         if autoscaler.is_some() {
             crate::scale::push_retirements(cluster, now_ms, &mut scale_events);
         }
+        mirror_into_timeline(
+            &mut telemetry,
+            &mut mirrored,
+            &scale_events,
+            &forecast_samples,
+            &steal_events,
+        );
+        telemetry.close_span(replay_span, now_ms);
 
         let replay_base = |id: MachineId| base.get(&id).copied().unwrap_or_default();
         let mut completed = 0;
@@ -802,6 +955,24 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         }
         machine_lifetimes.sort_by_key(|l| l.machine);
 
+        // Machine lifetimes as timeline spans: retired machines close,
+        // machines alive at replay end stay open (`end_ms: null`).
+        for lifetime in &machine_lifetimes {
+            let fields = vec![
+                ("machine", lifetime.machine.index().into()),
+                ("completed", lifetime.completed.into()),
+                ("dispatched", lifetime.dispatched.into()),
+            ];
+            match lifetime.retired_ms {
+                Some(end_ms) => telemetry.span("machine", lifetime.born_ms, end_ms, fields),
+                None => {
+                    telemetry.open_span(lifetime.born_ms, "machine", fields);
+                }
+            }
+        }
+        telemetry.inc("replay.completed", completed as u64);
+        telemetry.inc("replay.unfinished", cluster.outstanding() as u64);
+
         Ok(ClusterReport {
             policy: self.policy.name(),
             billing: cluster.billing(),
@@ -813,6 +984,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             scale_events,
             forecast_samples,
             machine_lifetimes,
+            telemetry,
             peak_machines,
             mean_latency_ms: if completed == 0 {
                 0.0
@@ -834,4 +1006,67 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             sim_ms: now_ms,
         })
     }
+}
+
+/// Mirrors typed elasticity records appended since the last call onto
+/// the telemetry timeline (as structured events) and registry (as
+/// counters/histograms). `mirrored` tracks how many (scale, forecast,
+/// steal) entries are already on the timeline, so the typed vectors
+/// remain the storage of record and every entry lands exactly once.
+fn mirror_into_timeline(
+    telemetry: &mut Telemetry,
+    mirrored: &mut (usize, usize, usize),
+    scale_events: &[ScaleEvent],
+    forecast_samples: &[ForecastSample],
+    steal_events: &[StealEvent],
+) {
+    for event in &scale_events[mirrored.0..] {
+        let (kind, counter) = match event.kind {
+            ScaleKind::Up => ("up", "scale.up"),
+            ScaleKind::DrainStart => ("drain-start", "scale.drain_start"),
+            ScaleKind::Retire => ("retire", "scale.retire"),
+        };
+        telemetry.inc(counter, 1);
+        telemetry.event(
+            event.at_ms,
+            "scale",
+            vec![
+                ("kind", kind.into()),
+                ("machine", event.machine.index().into()),
+                ("reason", event.reason.to_string().into()),
+                ("signal", event.signal.into()),
+            ],
+        );
+    }
+    mirrored.0 = scale_events.len();
+    for sample in &forecast_samples[mirrored.1..] {
+        telemetry.event(
+            sample.at_ms,
+            "forecast",
+            vec![
+                ("observed", sample.observed.into()),
+                ("point", sample.forecast.point.into()),
+                ("lo", sample.forecast.lo.into()),
+                ("hi", sample.forecast.hi.into()),
+                ("horizon", sample.forecast.horizon.into()),
+                ("required", sample.required.into()),
+                ("serving", sample.serving.into()),
+            ],
+        );
+    }
+    mirrored.1 = forecast_samples.len();
+    for event in &steal_events[mirrored.2..] {
+        telemetry.inc("steal.redispatched", event.moved as u64);
+        telemetry.observe("steal.moved", event.moved as f64);
+        telemetry.event(
+            event.at_ms,
+            "steal",
+            vec![
+                ("from", event.from.index().into()),
+                ("to", event.to.index().into()),
+                ("moved", event.moved.into()),
+            ],
+        );
+    }
+    mirrored.2 = steal_events.len();
 }

@@ -34,7 +34,14 @@
 //!   billing: each machine folds its invoices into constant-space
 //!   [`litmus_core::BillingSummary`]s, merged cluster-wide at collection
 //!   — no invoice list ever materialises (retired machines' shards are
-//!   retained, so scaling never loses revenue).
+//!   retained, so scaling never loses revenue);
+//! * [`Telemetry`] — every replay carries a deterministic metric
+//!   registry, sim-time event timeline and flight recorder
+//!   ([`ClusterReport::telemetry`] / [`ClusterReport::timeline_jsonl`]);
+//!   the JSONL export is byte-identical across thread counts, stepping
+//!   modes and streaming vs materialized replay. Opt-in wall-clock
+//!   stage profiling ([`ClusterDriver::profiling`]) sits outside the
+//!   deterministic surface.
 //!
 //! Replays are fully deterministic: the same trace, cluster
 //! configuration and policy produce identical placement sequences and
@@ -116,6 +123,13 @@ pub use steal::{StealEvent, StealingConfig};
 // The forecast vocabulary predictive configs are written in, re-exported
 // so `litmus_cluster` users don't need a direct `litmus-forecast` dep.
 pub use litmus_forecast::{ForecasterSpec, HorizonForecast};
+
+// The telemetry vocabulary reports are written in, re-exported so
+// `litmus_cluster` users don't need a direct `litmus-telemetry` dep.
+pub use litmus_telemetry::{
+    EventKind, FieldValue, FlightRecorder, Gauge, LogHistogram, Registry, StageProfile, StageStat,
+    Telemetry, TelemetryConfig, Timeline, TimelineEvent,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -14,6 +14,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use litmus_telemetry::StageProfile;
+
 use crate::context::ServingContext;
 use crate::error::ClusterError;
 use crate::machine::Machine;
@@ -81,7 +83,10 @@ impl WorkerPool {
 
     /// Steps every machine to cluster time `target_ms`: shards the
     /// machine vector across the workers, waits for every shard at the
-    /// slice barrier, and reassembles the vector in order.
+    /// slice barrier, and reassembles the vector in order. When
+    /// `profile` is enabled, the wall-clock time the main thread spends
+    /// blocked on returning shards is charged to the `"barrier"` stage
+    /// (the convoy cost the ROADMAP's slice-free engine would remove).
     ///
     /// # Errors
     ///
@@ -93,6 +98,7 @@ impl WorkerPool {
         machines: &mut Vec<Machine>,
         target_ms: u64,
         ctx: &Arc<ServingContext>,
+        profile: &mut StageProfile,
     ) -> Result<()> {
         let count = machines.len();
         if count == 0 {
@@ -119,6 +125,7 @@ impl WorkerPool {
 
         let mut slots: Vec<Option<Machine>> = (0..count).map(|_| None).collect();
         let mut first_error = None;
+        let barrier_started = profile.start();
         for _ in 0..sent {
             let done = self
                 .done_rx
@@ -131,6 +138,7 @@ impl WorkerPool {
                 first_error.get_or_insert(e);
             }
         }
+        profile.stop("barrier", barrier_started);
         for slot in slots {
             machines.push(
                 slot.ok_or_else(|| ClusterError::WorkerPanic("worker lost a machine".into()))?,

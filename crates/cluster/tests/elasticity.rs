@@ -132,7 +132,7 @@ fn stealing_reduces_queue_wait_on_a_skewed_cluster() {
     assert!(stolen.redispatched > 0, "no work was ever re-dispatched");
     assert_eq!(
         stolen.redispatched,
-        stolen.steal_events.iter().map(|e| e.moved).sum::<usize>()
+        stolen.steal_events().iter().map(|e| e.moved).sum::<usize>()
     );
     assert!(
         stolen.mean_queue_wait_ms < plain.mean_queue_wait_ms,
@@ -165,11 +165,11 @@ fn stealing_is_deterministic_across_thread_counts_and_modes() {
         &trace,
     );
     assert_eq!(a.placements, b.placements);
-    assert_eq!(a.steal_events, b.steal_events);
+    assert_eq!(a.steal_events(), b.steal_events());
     assert_eq!(a.billing, b.billing);
     assert_eq!(a.mean_queue_wait_ms, b.mean_queue_wait_ms);
     assert_eq!(a.placements, c.placements);
-    assert_eq!(a.steal_events, c.steal_events);
+    assert_eq!(a.steal_events(), c.steal_events());
     assert_eq!(a.billing, c.billing);
 }
 
@@ -233,27 +233,27 @@ fn autoscaler_grows_under_load_and_retires_idle_machines() {
 
     assert_conserved(&report, &trace);
     let ups = report
-        .scale_events
+        .scale_events()
         .iter()
         .filter(|e| e.kind == ScaleKind::Up)
         .count();
     let retires = report
-        .scale_events
+        .scale_events()
         .iter()
         .filter(|e| e.kind == ScaleKind::Retire)
         .count();
     assert!(ups > 0, "burst never triggered a scale-up");
     assert!(retires > 0, "tail never retired a machine");
     assert!(report.peak_machines > 2, "fleet never grew past its floor");
-    assert_eq!(report.machine_lifetimes.len(), cluster.machines_ever());
+    assert_eq!(report.machine_lifetimes().len(), cluster.machines_ever());
     assert_eq!(report.dispatch_counts.len(), cluster.machines_ever());
     // Scaled-up machines were born mid-replay and the retired ones
     // record a coherent lifetime.
     assert!(report
-        .machine_lifetimes
+        .machine_lifetimes()
         .iter()
         .any(|l| l.born_ms > 0 && l.dispatched > 0));
-    for lifetime in &report.machine_lifetimes {
+    for lifetime in report.machine_lifetimes() {
         if let Some(retired_ms) = lifetime.retired_ms {
             assert!(retired_ms >= lifetime.born_ms);
         }
@@ -266,8 +266,8 @@ fn autoscaler_grows_under_load_and_retires_idle_machines() {
     // Study-metric plumbing: one predicted-slowdown sample per trace
     // event, tail quantiles ordered, and machine-time bounded by the
     // peak-fleet rectangle while covering at least the floor's.
-    assert_eq!(report.predicted_slowdowns.len(), trace.len());
-    assert_eq!(report.predicted_slowdowns.len(), report.placements.len());
+    assert_eq!(report.predicted_slowdowns().len(), trace.len());
+    assert_eq!(report.predicted_slowdowns().len(), report.placements.len());
     let p50 = report.predicted_slowdown_quantile(0.5);
     let p99 = report.predicted_slowdown_quantile(0.99);
     assert!(p50 >= 1.0, "slowdowns are ≥ 1, got p50 {p50}");
@@ -275,7 +275,7 @@ fn autoscaler_grows_under_load_and_retires_idle_machines() {
     assert_eq!(
         report.predicted_slowdown_quantile(1.0),
         report
-            .predicted_slowdowns
+            .predicted_slowdowns()
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
@@ -345,10 +345,10 @@ fn predictive_scaler_records_forecasts_and_boots_on_them() {
     assert_conserved(&report, &trace);
     // One forecast sample per slice boundary the autoscaler saw.
     assert!(
-        !report.forecast_samples.is_empty(),
+        !report.forecast_samples().is_empty(),
         "predictive replays must record forecast samples"
     );
-    for pair in report.forecast_samples.windows(2) {
+    for pair in report.forecast_samples().windows(2) {
         assert!(pair[0].at_ms < pair[1].at_ms, "samples must be in order");
         assert_eq!(pair[0].forecast.horizon, 5);
         assert!(pair[0].forecast.lo <= pair[0].forecast.hi);
@@ -356,7 +356,7 @@ fn predictive_scaler_records_forecasts_and_boots_on_them() {
     // The bursts must trigger at least one forecast-led boot, and
     // every event carries a first-class reason.
     let ups: Vec<_> = report
-        .scale_events
+        .scale_events()
         .iter()
         .filter(|e| e.kind == ScaleKind::Up)
         .collect();
@@ -366,7 +366,7 @@ fn predictive_scaler_records_forecasts_and_boots_on_them() {
         "no scale-up was forecast-led: {:?}",
         ups.iter().map(|e| e.reason).collect::<Vec<_>>()
     );
-    for event in &report.scale_events {
+    for event in report.scale_events() {
         match event.kind {
             ScaleKind::Up => assert!(matches!(
                 event.reason,
@@ -409,7 +409,7 @@ fn predictive_streaming_replay_is_bit_identical_to_materialized() {
     // Full-report equality covers placements, billing, scale events,
     // forecast samples and the study metrics in one shot.
     assert_eq!(materialized, streamed);
-    assert!(!materialized.forecast_samples.is_empty());
+    assert!(!materialized.forecast_samples().is_empty());
 }
 
 proptest! {

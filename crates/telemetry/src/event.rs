@@ -1,0 +1,279 @@
+//! Sim-time-keyed structured events and spans.
+//!
+//! Every record is stamped with *simulated* cluster time — never wall
+//! clock — so a timeline is a pure function of the replay: the same
+//! trace, configuration and seed produce the same byte sequence on
+//! export regardless of worker-pool thread count, stepping mode or
+//! host. Events are append-ordered; the driver records them at slice
+//! boundaries on one thread, so append order is itself deterministic.
+
+use crate::json::{write_escaped, write_f64, JsonObject};
+
+/// A typed field value attached to a [`TimelineEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (exported as `null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => write_f64(*v, out),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => write_escaped(v, out),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Named fields of one event, in record order.
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// Whether a timeline record is a point event or a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instantaneous record at its `at_ms`.
+    Point,
+    /// An interval: opened at `at_ms`, closed at `end_ms` (`None`
+    /// while still open — e.g. a machine alive at replay end).
+    Span {
+        /// Sim time the span closed, ms (`None` while open).
+        end_ms: Option<u64>,
+    },
+}
+
+/// One structured record on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Sim time of the event (span start for spans), ms since replay
+    /// start.
+    pub at_ms: u64,
+    /// Event name (`"scale"`, `"steal"`, `"forecast"`, …).
+    pub name: &'static str,
+    /// Point event or span.
+    pub kind: EventKind,
+    /// Structured payload, flattened into the JSONL line.
+    pub fields: Fields,
+}
+
+impl TimelineEvent {
+    /// Serializes the event as one JSONL line (no trailing newline).
+    /// Field keys are flattened into the object after the reserved
+    /// `type` / `at_ms` / `name` (/ `end_ms`) keys.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        match self.kind {
+            EventKind::Point => {
+                obj.str_field("type", "event");
+                obj.u64_field("at_ms", self.at_ms);
+            }
+            EventKind::Span { end_ms } => {
+                obj.str_field("type", "span");
+                obj.u64_field("at_ms", self.at_ms);
+                match end_ms {
+                    Some(end) => obj.u64_field("end_ms", end),
+                    None => obj.raw_field("end_ms", "null"),
+                }
+            }
+        }
+        obj.str_field("name", self.name);
+        for (key, value) in &self.fields {
+            let mut raw = String::new();
+            value.write_json(&mut raw);
+            obj.raw_field(key, &raw);
+        }
+        obj.finish()
+    }
+}
+
+/// Handle to a span opened on a [`Timeline`], used to close it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// The append-ordered event log of one replay.
+///
+/// Spans appear at their *open* position (the record order is the
+/// order things started, which is the deterministic order the driver
+/// observed them); closing a span fills in its `end_ms` in place.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends a point event.
+    pub fn record(&mut self, at_ms: u64, name: &'static str, fields: Fields) {
+        self.events.push(TimelineEvent {
+            at_ms,
+            name,
+            kind: EventKind::Point,
+            fields,
+        });
+    }
+
+    /// Opens a span at `at_ms`; close it with [`Timeline::close_span`].
+    pub fn open_span(&mut self, at_ms: u64, name: &'static str, fields: Fields) -> SpanId {
+        self.events.push(TimelineEvent {
+            at_ms,
+            name,
+            kind: EventKind::Span { end_ms: None },
+            fields,
+        });
+        SpanId(self.events.len() - 1)
+    }
+
+    /// Closes an open span at `end_ms`. Closing an already-closed span
+    /// updates its end; a stale id past the log is ignored.
+    pub fn close_span(&mut self, id: SpanId, end_ms: u64) {
+        if let Some(event) = self.events.get_mut(id.0) {
+            if matches!(event.kind, EventKind::Span { .. }) {
+                event.kind = EventKind::Span {
+                    end_ms: Some(end_ms),
+                };
+            }
+        }
+    }
+
+    /// Appends an already-closed span.
+    pub fn span(&mut self, name: &'static str, start_ms: u64, end_ms: u64, fields: Fields) {
+        self.events.push(TimelineEvent {
+            at_ms: start_ms,
+            name,
+            kind: EventKind::Span {
+                end_ms: Some(end_ms),
+            },
+            fields,
+        });
+    }
+
+    /// Every record, in append order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_events_serialize_with_flattened_fields() {
+        let mut timeline = Timeline::new();
+        timeline.record(
+            120,
+            "steal",
+            vec![
+                ("from", 0u32.into()),
+                ("to", 3u32.into()),
+                ("moved", 2u64.into()),
+            ],
+        );
+        assert_eq!(
+            timeline.events()[0].to_json(),
+            r#"{"type":"event","at_ms":120,"name":"steal","from":0,"to":3,"moved":2}"#
+        );
+    }
+
+    #[test]
+    fn spans_open_in_place_and_close_later() {
+        let mut timeline = Timeline::new();
+        let span = timeline.open_span(0, "replay", vec![("policy", "litmus-aware".into())]);
+        timeline.record(20, "scale", vec![("kind", "up".into())]);
+        timeline.close_span(span, 400);
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(
+            timeline.events()[0].to_json(),
+            r#"{"type":"span","at_ms":0,"end_ms":400,"name":"replay","policy":"litmus-aware"}"#
+        );
+        // The span keeps its open position: record order is start order.
+        assert_eq!(timeline.events()[1].name, "scale");
+    }
+
+    #[test]
+    fn unclosed_spans_export_a_null_end() {
+        let mut timeline = Timeline::new();
+        timeline.open_span(5, "machine", vec![]);
+        assert_eq!(
+            timeline.events()[0].to_json(),
+            r#"{"type":"span","at_ms":5,"end_ms":null,"name":"machine"}"#
+        );
+    }
+}

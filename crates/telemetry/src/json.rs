@@ -1,0 +1,161 @@
+//! Minimal deterministic JSON writing.
+//!
+//! The telemetry exporter (and the study/bench tooling built on it)
+//! needs machine-readable output without an external serializer, and —
+//! more importantly — needs the bytes to be *reproducible*: the same
+//! recorded data must serialize to the same string on every run, so
+//! timelines can be compared byte-for-byte across worker-pool thread
+//! counts and replay modes. Everything here is append-only string
+//! building: keys are written in the order the caller emits them,
+//! floats through Rust's shortest-round-trip [`std::fmt::Display`]
+//! (which is deterministic), and non-finite floats as `null` (JSON has
+//! no NaN/∞).
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (quotes included) to `out`,
+/// escaping quotes, backslashes and control characters.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number to `out` — `null` when non-finite.
+/// Rust's `f64` `Display` is shortest-round-trip and deterministic, and
+/// never produces exponent notation, so the output is valid JSON.
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An in-progress JSON object: fields are emitted in call order, so
+/// serialization is exactly as deterministic as the call sequence.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_telemetry::json::JsonObject;
+///
+/// let mut obj = JsonObject::new();
+/// obj.str_field("name", "steal");
+/// obj.u64_field("moved", 3);
+/// obj.f64_field("signal", 1.25);
+/// assert_eq!(obj.finish(), r#"{"name":"steal","moved":3,"signal":1.25}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        write_escaped(key, &mut self.buf);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        write_escaped(value, &mut self.buf);
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64_field(&mut self, key: &str, value: i64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        write_f64(value, &mut self.buf);
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds a pre-serialized JSON value verbatim — for nesting objects
+    /// and arrays built elsewhere.
+    pub fn raw_field(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
+    /// Closes the object and returns it as a string.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Joins pre-serialized JSON values into an array literal.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let joined: Vec<String> = items.into_iter().collect();
+    format!("[{}]", joined.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_characters() {
+        let mut out = String::new();
+        write_escaped("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut obj = JsonObject::new();
+        obj.f64_field("nan", f64::NAN);
+        obj.f64_field("inf", f64::INFINITY);
+        obj.f64_field("ok", 0.5);
+        assert_eq!(obj.finish(), r#"{"nan":null,"inf":null,"ok":0.5}"#);
+    }
+
+    #[test]
+    fn arrays_and_nested_raw_fields_compose() {
+        let inner = {
+            let mut obj = JsonObject::new();
+            obj.u64_field("x", 1);
+            obj.finish()
+        };
+        let mut outer = JsonObject::new();
+        outer.raw_field("items", &array([inner]));
+        outer.bool_field("done", true);
+        assert_eq!(outer.finish(), r#"{"items":[{"x":1}],"done":true}"#);
+    }
+}

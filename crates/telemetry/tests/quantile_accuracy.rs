@@ -1,0 +1,198 @@
+//! Histogram quantile accuracy against the *exact* nearest-rank
+//! quantile, on adversarial distributions — plus export determinism.
+//!
+//! The [`litmus_telemetry::LogHistogram`] promises every reported
+//! quantile is within relative error `α` of the exact quantile of the
+//! recorded samples. These tests hold it to that promise on the shapes
+//! that break naive sketches: constants, multi-decade geometric
+//! spreads, heavy tails where p99 is thousands of times p50, samples
+//! clustered right at bucket boundaries, and zero-heavy series.
+
+use litmus_telemetry::{LogHistogram, Telemetry, TelemetryConfig};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile, mirroring the histogram's rank rule.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Asserts every probed quantile of `values` is within `alpha`
+/// relative error of the exact nearest-rank quantile.
+fn assert_quantiles_within(values: &[f64], alpha: f64) {
+    let mut hist = LogHistogram::new(alpha);
+    for &v in values {
+        hist.observe(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let approx = hist.quantile(q);
+        if exact == 0.0 {
+            assert_eq!(approx, 0.0, "q={q}: zero quantile must be exact");
+        } else {
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= alpha + 1e-12,
+                "q={q}: exact {exact}, approx {approx}, rel err {rel} > α={alpha}"
+            );
+        }
+    }
+}
+
+#[test]
+fn constant_distribution_is_exact_to_alpha() {
+    for alpha in [0.001, 0.01, 0.05] {
+        assert_quantiles_within(&vec![37.2; 500], alpha);
+    }
+}
+
+#[test]
+fn geometric_spread_across_nine_decades() {
+    // 1e-3 .. 1e6, log-uniform-ish: the worst case for linear buckets,
+    // the design case for log buckets.
+    let values: Vec<f64> = (0..900)
+        .map(|i| 1e-3 * 10f64.powf(i as f64 / 100.0))
+        .collect();
+    for alpha in [0.005, 0.01, 0.05] {
+        assert_quantiles_within(&values, alpha);
+    }
+}
+
+#[test]
+fn heavy_tail_p99_thousands_of_times_p50() {
+    // 99% of mass near 1ms, 1% near 10s — the serverless cold-start
+    // shape. Quantiles in the tail must stay within α too.
+    let mut values = vec![1.0; 990];
+    values.extend((0..10).map(|i| 10_000.0 + 137.0 * i as f64));
+    assert_quantiles_within(&values, 0.01);
+}
+
+#[test]
+fn samples_at_bucket_boundaries() {
+    // γ-power values land exactly on bucket upper bounds, where the
+    // ceil-index rule is most delicate.
+    let alpha = 0.01;
+    let gamma: f64 = (1.0 + alpha) / (1.0 - alpha);
+    let values: Vec<f64> = (1..400).map(|i| gamma.powi(i / 4)).collect();
+    assert_quantiles_within(&values, alpha);
+}
+
+#[test]
+fn zero_heavy_series_keep_zero_quantiles_exact() {
+    let mut values = vec![0.0; 700];
+    values.extend((1..=300).map(|i| i as f64 * 0.5));
+    assert_quantiles_within(&values, 0.01);
+}
+
+#[test]
+fn tiny_and_huge_magnitudes_in_one_series() {
+    let values: Vec<f64> = (0..50)
+        .map(|i| 1e-4 * (i + 1) as f64)
+        .chain((0..50).map(|i| 1e9 + 1e7 * i as f64))
+        .collect();
+    assert_quantiles_within(&values, 0.02);
+}
+
+proptest! {
+    #[test]
+    fn quantile_error_is_bounded_on_random_positive_samples(
+        values in prop::collection::vec(1e-3f64..1e6, 1..400),
+        alpha in 0.002f64..0.1,
+    ) {
+        let mut hist = LogHistogram::new(alpha);
+        for &v in &values {
+            hist.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = hist.quantile(q);
+            prop_assert!(
+                (approx - exact).abs() <= alpha * exact + 1e-12,
+                "q={}, exact={}, approx={}", q, exact, approx
+            );
+        }
+    }
+
+    #[test]
+    fn observation_order_never_changes_state_or_export(
+        values in prop::collection::vec(1e-3f64..1e6, 2..200),
+    ) {
+        let mut forward = LogHistogram::new(0.01);
+        let mut reverse = LogHistogram::new(0.01);
+        for &v in &values {
+            forward.observe(v);
+        }
+        for &v in values.iter().rev() {
+            reverse.observe(v);
+        }
+        // Counts and buckets are order-independent; `sum` is the one
+        // field accumulated in fp order, so compare it with tolerance
+        // and everything else exactly.
+        prop_assert_eq!(forward.count(), reverse.count());
+        prop_assert_eq!(forward.buckets().collect::<Vec<_>>(), reverse.buckets().collect::<Vec<_>>());
+        prop_assert_eq!(forward.quantile(0.5), reverse.quantile(0.5));
+        prop_assert!((forward.sum() - reverse.sum()).abs() <= 1e-9 * forward.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn sharded_merge_matches_single_histogram(
+        values in prop::collection::vec(1e-3f64..1e6, 1..200),
+        shards in 2usize..5,
+    ) {
+        let mut whole = LogHistogram::new(0.01);
+        let mut parts: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::new(0.01)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            parts[i % shards].observe(v);
+        }
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            prop_assert!(merged.merge(part));
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.buckets().collect::<Vec<_>>(), whole.buckets().collect::<Vec<_>>());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+}
+
+#[test]
+fn jsonl_export_is_reproducible_and_insertion_order_free() {
+    let build = |flip: bool| {
+        let mut telemetry = Telemetry::new(TelemetryConfig::default());
+        telemetry.set_meta("trace", "fixture");
+        let names: [&'static str; 2] = if flip {
+            ["zeta.count", "alpha.count"]
+        } else {
+            ["alpha.count", "zeta.count"]
+        };
+        for name in names {
+            telemetry.inc(name, 3);
+        }
+        telemetry.observe("slice.admitted", 4.0);
+        telemetry.event(
+            20,
+            "scale",
+            vec![("kind", "up".into()), ("machine", 1u32.into())],
+        );
+        telemetry.event(
+            40,
+            "steal",
+            vec![("from", 0u32.into()), ("to", 1u32.into())],
+        );
+        telemetry.to_jsonl()
+    };
+    let a = build(false);
+    let b = build(true);
+    assert_eq!(
+        a, b,
+        "registry insertion order must not leak into the export"
+    );
+    assert_eq!(a, build(false), "repeated export must be byte-identical");
+}

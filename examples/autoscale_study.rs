@@ -34,9 +34,17 @@
 //!
 //! Run with: `cargo run --release --example autoscale_study`
 //! (`-- --smoke` for the CI-sized sweep, which still exercises both
-//! the reactive and predictive paths).
+//! the reactive and predictive paths). Pass `--json` to also emit the
+//! whole frontier — every point's cost/SLO numbers plus per-config
+//! forecast MAE — as a single machine-readable JSON line at the end of
+//! stdout. In smoke mode on the bundled fixture the JSON document is
+//! additionally asserted against the committed snapshot
+//! `tests/snapshots/autoscale_study_smoke.json`, so the study's
+//! numbers are regression-pinned in CI; set `UPDATE_SNAPSHOTS=1` to
+//! rewrite the snapshot after an intentional change.
 
 use litmus::prelude::*;
+use litmus::telemetry::json::{array, JsonObject};
 use litmus::trace::{fixture, multi_day_source, IngestMode, LossyIngest};
 
 const CORES_PER_MACHINE: usize = 8;
@@ -146,6 +154,7 @@ fn forecast_mae(samples: &[ForecastSample]) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let emit_json = std::env::args().any(|arg| arg == "--json");
     // One trace minute compressed to this many simulated ms; the cost
     // column converts machine time back to trace scale.
     let minute_ms: u64 = if smoke { 300 } else { 600 };
@@ -343,12 +352,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for point in points {
             let report = &point.report;
             let ups_forecast = report
-                .scale_events
+                .scale_events()
                 .iter()
                 .filter(|e| e.kind == ScaleKind::Up && e.reason == ScaleReason::Forecast)
                 .count();
             let ups_water = report
-                .scale_events
+                .scale_events()
                 .iter()
                 .filter(|e| e.kind == ScaleKind::Up && e.reason == ScaleReason::HighWater)
                 .count();
@@ -384,8 +393,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}: forecast mae {:.2} arrivals/slice over {} samples",
             point.label,
-            forecast_mae(&point.report.forecast_samples),
-            point.report.forecast_samples.len(),
+            forecast_mae(point.report.forecast_samples()),
+            point.report.forecast_samples().len(),
         );
     }
 
@@ -399,7 +408,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             point.label
         );
         assert_eq!(
-            point.report.predicted_slowdowns.len(),
+            point.report.predicted_slowdowns().len(),
             point.events,
             "{}: one slowdown sample per dispatch",
             point.label
@@ -407,7 +416,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for point in &predictive_frontier {
         assert!(
-            !point.report.forecast_samples.is_empty(),
+            !point.report.forecast_samples().is_empty(),
             "{}: predictive replay recorded no forecasts",
             point.label
         );
@@ -486,5 +495,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace_hours(&best.report),
         best.p99(),
     );
+
+    // ── Machine-readable artifact: the full frontier as one JSON line,
+    // with per-config forecast accuracy. Every value is sim-derived and
+    // deterministic, which is what makes the smoke snapshot below
+    // byte-stable.
+    let point_json = |point: &FrontierPoint, predictive: bool| {
+        let report = &point.report;
+        let quantiles = report.predicted_slowdown_quantiles(&[0.5, 0.99]);
+        let ups = |reason: ScaleReason| {
+            report
+                .scale_events()
+                .iter()
+                .filter(|e| e.kind == ScaleKind::Up && e.reason == reason)
+                .count() as u64
+        };
+        let mut obj = JsonObject::new();
+        obj.str_field("config", &point.label);
+        obj.u64_field("peak_machines", report.peak_machines as u64);
+        obj.u64_field("machine_ms", report.machine_ms());
+        obj.f64_field("trace_machine_hours", trace_hours(report));
+        obj.f64_field("p50_slowdown", quantiles[0]);
+        obj.f64_field("p99_slowdown", quantiles[1]);
+        obj.f64_field("mean_latency_ms", report.mean_latency_ms);
+        obj.u64_field("ups_forecast", ups(ScaleReason::Forecast));
+        obj.u64_field("ups_high_water", ups(ScaleReason::HighWater));
+        obj.u64_field("completed", report.completed as u64);
+        obj.u64_field("unfinished", report.unfinished as u64);
+        if predictive {
+            obj.f64_field("forecast_mae", forecast_mae(report.forecast_samples()));
+            obj.u64_field("forecast_samples", report.forecast_samples().len() as u64);
+        }
+        obj.finish()
+    };
+    let doc = {
+        let mut obj = JsonObject::new();
+        obj.str_field("study", "autoscale");
+        obj.str_field("mode", if smoke { "smoke" } else { "full" });
+        obj.u64_field("minute_ms", minute_ms);
+        obj.u64_field("trace_minutes", trace_minutes as u64);
+        obj.u64_field("events", events as u64);
+        obj.raw_field(
+            "reactive",
+            &array(reactive_frontier.iter().map(|p| point_json(p, false))),
+        );
+        obj.raw_field(
+            "predictive",
+            &array(predictive_frontier.iter().map(|p| point_json(p, true))),
+        );
+        obj.finish()
+    };
+    if emit_json {
+        println!("\n{doc}");
+    }
+
+    // ── Snapshot pin: the smoke-mode fixture study must reproduce the
+    // committed numbers exactly. Real-trace runs (AZURE_TRACE_DIR) are
+    // machine-supplied data and exempt.
+    if smoke && std::env::var_os("AZURE_TRACE_DIR").is_none() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/snapshots/autoscale_study_smoke.json");
+        if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+            std::fs::create_dir_all(path.parent().expect("snapshot path has a parent"))?;
+            std::fs::write(&path, format!("{doc}\n"))?;
+            println!("\nsnapshot updated: {}", path.display());
+        } else {
+            let committed = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "missing snapshot {} ({e}); run with UPDATE_SNAPSHOTS=1 to create it",
+                    path.display()
+                )
+            })?;
+            assert_eq!(
+                committed.trim_end(),
+                doc,
+                "smoke-mode frontier JSON drifted from {} — rerun with \
+                 UPDATE_SNAPSHOTS=1 if the change is intentional",
+                path.display()
+            );
+            println!("\nsmoke frontier JSON matches committed snapshot ✓");
+        }
+    }
     Ok(())
 }

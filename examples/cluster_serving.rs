@@ -126,13 +126,13 @@ fn run_driver<P: PlacementPolicy>(
         println!(
             "  work stealing re-dispatched {} invocations in {} transfers",
             outcome.redispatched,
-            outcome.steal_events.len()
+            outcome.steal_events().len()
         );
     }
-    if !outcome.scale_events.is_empty() {
+    if !outcome.scale_events().is_empty() {
         let count = |kind| {
             outcome
-                .scale_events
+                .scale_events()
                 .iter()
                 .filter(|e| e.kind == kind)
                 .count()
@@ -146,13 +146,13 @@ fn run_driver<P: PlacementPolicy>(
         );
         // Why each decision fired — the reason is first-class on the
         // event, not decoded from the signal value.
-        for event in &outcome.scale_events {
+        for event in outcome.scale_events() {
             println!(
                 "    {:>6} ms: {:?} {} ({}, signal {:.2})",
                 event.at_ms, event.kind, event.machine, event.reason, event.signal,
             );
         }
-        for lifetime in &outcome.machine_lifetimes {
+        for lifetime in outcome.machine_lifetimes() {
             if lifetime.born_ms > 0 {
                 println!(
                     "    {} born at {:>6} ms, {} served {:>4}",
@@ -279,7 +279,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "the elastic fleet must finish the whole trace"
     );
     assert!(
-        elastic.scale_events.iter().any(|e| e.kind == ScaleKind::Up),
+        elastic
+            .scale_events()
+            .iter()
+            .any(|e| e.kind == ScaleKind::Up),
         "the bursts must push the fleet past its starting size"
     );
     println!(

@@ -1,0 +1,164 @@
+//! Replay inspection: replay the bundled Azure Functions fixture with
+//! every telemetry producer on — stealing, predictive autoscaling,
+//! wall-clock stage profiling — then dump the deterministic JSONL
+//! timeline, the compact human summary and the flight-recorder tail.
+//!
+//! The example doubles as an executable determinism check: the JSONL
+//! export must be byte-identical between 1 and 4 worker-pool threads
+//! and between streaming and materialized replay, even with profiling
+//! enabled (profiling is wall-clock and lives outside the
+//! deterministic surface).
+//!
+//! Run with: `cargo run --release --example replay_inspect`
+//! The timeline lands in `target/replay_inspect.timeline.jsonl`.
+
+use litmus::prelude::*;
+use litmus::trace::fixture;
+
+const MACHINES: usize = 6;
+const CORES_PER_MACHINE: usize = 8;
+/// One trace minute compressed to 600 ms, as in `azure_replay`.
+const MINUTE_MS: u64 = 600;
+const SEED: u64 = 2024;
+
+fn expand_config() -> ExpandConfig {
+    ExpandConfig::new(SEED)
+        .minute_ms(MINUTE_MS)
+        .placement(IntraMinute::Poisson)
+}
+
+fn cluster_config(threads: usize) -> ClusterConfig {
+    let machines: Vec<_> = (0..MACHINES)
+        .map(|i| {
+            let background = if i < MACHINES / 2 { 20 } else { 0 };
+            MachineConfig::new(CORES_PER_MACHINE)
+                .background(background)
+                .background_scale(0.05)
+                .warmup_ms(80)
+                .max_inflight(4)
+                .seed(0xA27E + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), MACHINES, CORES_PER_MACHINE)
+        .machines(machines)
+        .serving_scale(0.05)
+        .slice_ms(20)
+        .threads(threads)
+}
+
+/// Stealing + predictive autoscaling + profiling: every timeline
+/// producer in one replay.
+fn driver() -> ClusterDriver<LitmusAware> {
+    ClusterDriver::new(LitmusAware::new())
+        .stealing(StealingConfig::default().backlog_threshold(3))
+        .autoscale(
+            AutoscalerConfig::new(
+                MachineConfig::new(CORES_PER_MACHINE)
+                    .background_scale(0.05)
+                    .warmup_ms(80)
+                    .max_inflight(4)
+                    .seed(0xB007),
+            )
+            .high_water(1.8)
+            .low_water(1.05)
+            .machine_bounds(MACHINES, 12)
+            .cooldown_ms(200)
+            .predictive(PredictiveConfig::new(
+                ForecasterSpec::Ewma { alpha: 0.35 },
+                120.0,
+            )),
+        )
+        .profiling(true)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = fixture::dataset();
+    println!(
+        "Azure Functions fixture: {} functions / {} apps / {} minutes, {} invocations",
+        dataset.functions().len(),
+        dataset.apps().len(),
+        dataset.minutes(),
+        dataset.total_invocations(),
+    );
+
+    println!("building calibration tables…");
+    let spec = MachineSpec::cascade_lake();
+    let tables = TableBuilder::new(spec.clone())
+        .levels([6, 14, 22])
+        .reference_scale(0.05)
+        .build()?;
+    let model = DiscountModel::fit(&tables)?;
+    let config = expand_config();
+    let trace = dataset.expand(config)?;
+
+    println!(
+        "replaying {} invocations with stealing + predictive autoscale + profiling…",
+        trace.len()
+    );
+    let mut cluster = Cluster::build(cluster_config(4), tables.clone(), model.clone())?;
+    let report = driver().replay(&mut cluster, &trace)?;
+
+    // ── determinism checks ────────────────────────────────────────────
+    let jsonl = report.timeline_jsonl();
+
+    let mut single_cluster = Cluster::build(cluster_config(1), tables.clone(), model.clone())?;
+    let single = driver().replay(&mut single_cluster, &trace)?;
+    assert_eq!(
+        jsonl,
+        single.timeline_jsonl(),
+        "timeline JSONL must be byte-identical across thread counts"
+    );
+    assert_eq!(single, report, "reports must be equal across thread counts");
+    println!("  byte-identical timeline across 1 vs 4 worker threads ✓");
+
+    let mut streamed_cluster = Cluster::build(cluster_config(4), tables, model)?;
+    let streamed = driver().replay_source(&mut streamed_cluster, dataset.source(config)?)?;
+    assert_eq!(
+        jsonl,
+        streamed.timeline_jsonl(),
+        "timeline JSONL must be byte-identical between streaming and materialized replay"
+    );
+    assert_eq!(streamed, report, "streaming report must equal materialized");
+    println!("  byte-identical timeline for streaming vs materialized replay ✓");
+
+    // ── artifacts ─────────────────────────────────────────────────────
+    let out_path = std::path::Path::new("target").join("replay_inspect.timeline.jsonl");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&out_path, &jsonl)?;
+    println!(
+        "\ntimeline: {} events, {} JSONL lines → {}",
+        report.timeline().len(),
+        jsonl.lines().count(),
+        out_path.display()
+    );
+
+    println!("\n── telemetry summary ───────────────────────────────────");
+    print!("{}", report.telemetry().summary());
+
+    let recorder = report.telemetry().recorder();
+    println!(
+        "\n── flight recorder (last {} of {} events, {} evicted) ──",
+        recorder.len().min(10),
+        recorder.seen(),
+        recorder.dropped()
+    );
+    let tail: Vec<_> = recorder.dump().collect();
+    for event in tail.iter().rev().take(10).rev() {
+        println!("  {}", event.to_json());
+    }
+
+    println!("\n── replay outcome ──────────────────────────────────────");
+    println!(
+        "  completed {}/{} ({} unfinished), peak fleet {} machines, \
+         {} steals, {} scale events, {} forecast samples",
+        report.completed,
+        trace.len(),
+        report.unfinished,
+        report.peak_machines,
+        report.steal_events().len(),
+        report.scale_events().len(),
+        report.forecast_samples().len(),
+    );
+    assert_eq!(report.completed, trace.len(), "drain window must suffice");
+    Ok(())
+}

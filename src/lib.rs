@@ -20,6 +20,7 @@
 //! | [`cluster`] | `litmus-cluster` | multi-machine serving, Litmus-aware placement, sharded billing |
 //! | [`trace`] | `litmus-trace` | Azure Functions trace ingestion, characterization, streaming replay |
 //! | [`forecast`] | `litmus-forecast` | online arrival-rate forecasting, bands, backtesting |
+//! | [`telemetry`] | `litmus-telemetry` | deterministic metrics, event timeline, flight recorder |
 //!
 //! The paper's hardware testbed (Cascade Lake Xeon, Linux perf, CPython/
 //! Node.js/Go) is replaced by a deterministic analytic simulator — see
@@ -61,6 +62,7 @@ pub use litmus_forecast as forecast;
 pub use litmus_platform as platform;
 pub use litmus_sim as sim;
 pub use litmus_stats as stats;
+pub use litmus_telemetry as telemetry;
 pub use litmus_trace as trace;
 pub use litmus_workloads as workloads;
 
@@ -89,6 +91,10 @@ pub mod prelude {
     pub use litmus_sim::{
         ExecPhase, ExecutionProfile, FrequencyGovernor, MachineSpec, Placement, PmuCounters,
         Simulator,
+    };
+    pub use litmus_telemetry::{
+        FlightRecorder, LogHistogram, Registry, StageProfile, Telemetry, TelemetryConfig, Timeline,
+        TimelineEvent,
     };
     pub use litmus_trace::{AzureDataset, ExpandConfig, IntraMinute, TraceStats, TraceTransform};
     pub use litmus_workloads::{
