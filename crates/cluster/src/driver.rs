@@ -10,6 +10,7 @@ use litmus_workloads::Language;
 use crate::billing::BillingAggregator;
 use crate::context::ServingContext;
 use crate::error::ClusterError;
+use crate::events::{EventQueue, ReplayEvent};
 use crate::machine::{Machine, MachineConfig, MachineId};
 use crate::policy::{MachineSnapshot, PlacementPolicy};
 use crate::pool::{panic_message, SteppingMode, WorkerPool};
@@ -45,10 +46,39 @@ impl ClusterConfig {
     /// A homogeneous cluster: `count` machines, each serving on
     /// `cores` cores of `spec`, no background load, threads matching
     /// the host's parallelism.
+    ///
+    /// Two environment variables override the defaults so CI can run
+    /// the same suite under different execution shapes without code
+    /// changes (replays are bit-identical across both, so this is a
+    /// determinism check, not a behaviour switch):
+    ///
+    /// * `LITMUS_POOL_THREADS` — stepping thread count (a positive
+    ///   integer; anything else falls back to host parallelism);
+    /// * `LITMUS_STEPPING` — `pooled`, `scoped`, or
+    ///   `event`/`event-driven` (anything else falls back to the
+    ///   default mode).
+    ///
+    /// Explicit [`ClusterConfig::threads`] / [`ClusterConfig::stepping`]
+    /// builder calls still win — the variables only seed the defaults.
     pub fn homogeneous(spec: MachineSpec, count: usize, cores: usize) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let threads = std::env::var("LITMUS_POOL_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let stepping = std::env::var("LITMUS_STEPPING")
+            .ok()
+            .and_then(|raw| match raw.trim() {
+                "pooled" => Some(SteppingMode::Pooled),
+                "scoped" => Some(SteppingMode::Scoped),
+                "event" | "event-driven" => Some(SteppingMode::EventDriven),
+                _ => None,
+            })
+            .unwrap_or_default();
         ClusterConfig {
             spec,
             machines: (0..count)
@@ -56,7 +86,7 @@ impl ClusterConfig {
                 .collect(),
             slice_ms: 20,
             threads,
-            stepping: SteppingMode::default(),
+            stepping,
             serving_scale: 1.0,
             drain_ms: 60_000,
         }
@@ -348,7 +378,7 @@ impl Cluster {
         }
         match self.stepping {
             SteppingMode::Scoped => self.step_all_scoped(target_ms, threads),
-            SteppingMode::Pooled => {
+            SteppingMode::Pooled | SteppingMode::EventDriven => {
                 // Size the pool by the configured thread count, not the
                 // current machine count: an autoscaled fleet may grow
                 // past its initial size, and step_all already caps the
@@ -358,6 +388,36 @@ impl Cluster {
                 pool.step_all(&mut self.machines, target_ms, &self.ctx, profile)
             }
         }
+    }
+
+    /// The event-driven engine's stepping entry point: when no live
+    /// machine has real quantum work before `target_ms` (no active
+    /// instances, no launch due), every machine fast-forwards in O(1)
+    /// sequentially — no shard trip to the worker pool, no barrier.
+    /// Otherwise this is exactly [`Cluster::step_all`], so results are
+    /// bit-identical either way.
+    fn step_all_event(&mut self, target_ms: u64, profile: &mut StageProfile) -> Result<()> {
+        if self
+            .machines
+            .iter()
+            .any(|machine| machine.needs_quanta_before(target_ms))
+        {
+            return self.step_all(target_ms, profile);
+        }
+        let ctx = Arc::clone(&self.ctx);
+        for machine in &mut self.machines {
+            machine.step_to(target_ms, &ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Full simulator quanta actually stepped across the *live* fleet
+    /// (retired machines take their counts with them) — the real
+    /// serving work performed, with idle fast-forwards excluded. Two
+    /// replay engines that agree here did the same co-run evaluations
+    /// no matter how they sliced time.
+    pub fn quanta_stepped(&self) -> u64 {
+        self.machines.iter().map(Machine::quanta_stepped).sum()
     }
 
     /// The original per-slice scoped-thread stepping, kept so the
@@ -739,7 +799,6 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         if let Some(config) = &self.autoscale {
             config.validate()?;
         }
-        let spec = cluster.spec.clone();
         let mut source = ChunkedSource::new(source);
 
         // Machines carry lifetime counters (they also back the billing
@@ -753,31 +812,27 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         let retired_base = cluster.retired.len();
 
         let slice_ms = cluster.slice_ms;
-        let mut autoscaler = self
+        let autoscaler = self
             .autoscale
             .clone()
             .map(|config| Autoscaler::new(config, slice_ms))
             .transpose()?;
-        let stealing = self.stealing;
-        let mut placements = Vec::with_capacity(source.size_hint().0);
-        let mut predicted_slowdowns = Vec::with_capacity(source.size_hint().0);
-        let mut steal_events = Vec::new();
-        let mut scale_events = Vec::new();
-        let mut forecast_samples = Vec::new();
-        let mut redispatched = 0;
-        let mut peak_machines = cluster.machines.len();
-        let mut now_ms = 0u64;
-        let mut chunk: Vec<TraceEvent> = Vec::new();
 
         // Everything telemetry records is keyed to the sim clock and
         // recorded on this thread at slice boundaries, so the timeline
         // (and its JSONL export) is byte-identical across thread
-        // counts, stepping modes and streaming vs materialized replay.
-        // The meta line must therefore never mention threads or hosts.
+        // counts, stepping modes (the event-driven engine included:
+        // its bulk-skipped boundaries are accounted with the exact
+        // bulk registry forms) and streaming vs materialized replay.
+        // The meta line must therefore never mention threads, hosts or
+        // the engine.
         let mut telemetry = Telemetry::new(self.telemetry);
         telemetry.set_meta("policy", self.policy.name());
         telemetry.set_meta("slice_ms", slice_ms.to_string());
-        telemetry.set_meta("stealing", if stealing.is_some() { "on" } else { "off" });
+        telemetry.set_meta(
+            "stealing",
+            if self.stealing.is_some() { "on" } else { "off" },
+        );
         telemetry.set_meta(
             "autoscale",
             match &self.autoscale {
@@ -789,133 +844,58 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             },
         );
         let replay_span = telemetry.open_span(0, "replay", vec![]);
-        // (scale, forecast, steal) entries already mirrored onto the
-        // timeline — the typed vectors stay the storage of record.
-        let mut mirrored = (0usize, 0usize, 0usize);
 
-        let boundary = |cluster: &mut Cluster,
-                        autoscaler: &mut Option<Autoscaler>,
-                        at_ms: u64,
-                        admitted: usize,
-                        scale_events: &mut Vec<ScaleEvent>,
-                        forecast_samples: &mut Vec<ForecastSample>,
-                        steal_events: &mut Vec<StealEvent>,
-                        redispatched: &mut usize,
-                        peak: &mut usize,
-                        telemetry: &mut Telemetry,
-                        mirrored: &mut (usize, usize, usize)|
-         -> Result<()> {
-            if let Some(scaler) = autoscaler {
-                let started = telemetry.profile().start();
-                scaler.evaluate(cluster, at_ms, admitted, scale_events, forecast_samples)?;
-                telemetry.profile_mut().stop("scale", started);
-                *peak = (*peak).max(cluster.machines.len());
-            }
-            if let Some(config) = &stealing {
-                let started = telemetry.profile().start();
-                *redispatched += steal_pass(cluster, config, at_ms, steal_events);
-                telemetry.profile_mut().stop("steal", started);
-            }
-            mirror_into_timeline(
-                telemetry,
-                mirrored,
-                scale_events,
-                forecast_samples,
-                steal_events,
-            );
-            telemetry.gauge_set("fleet.machines", cluster.machines.len() as f64);
-            Ok(())
+        let mut state = ReplayState {
+            spec: cluster.spec.clone(),
+            slice_ms,
+            autoscaler,
+            placements: Vec::with_capacity(source.size_hint().0),
+            predicted_slowdowns: Vec::with_capacity(source.size_hint().0),
+            steal_events: Vec::new(),
+            scale_events: Vec::new(),
+            forecast_samples: Vec::new(),
+            redispatched: 0,
+            peak_machines: cluster.machines.len(),
+            now_ms: 0,
+            chunk: Vec::new(),
+            telemetry,
+            mirrored: (0, 0, 0),
         };
 
-        while !source.is_exhausted() {
-            let slice_end = now_ms + slice_ms;
-            chunk.clear();
-            source.fill_before(slice_end, &mut chunk);
-            let admitted = chunk.len();
-            telemetry.inc("slices", 1);
-            telemetry.inc("arrivals.admitted", admitted as u64);
-            telemetry.observe("slice.admitted", admitted as f64);
-            let dispatch_started = telemetry.profile().start();
-            for event in chunk.drain(..) {
-                if !cluster.ctx.is_warmed(&event.function) {
-                    // In-place: workers release their context clones at
-                    // the slice barrier, so the Arc is unique here.
-                    Arc::make_mut(&mut cluster.ctx).warm_function(&spec, &event.function)?;
-                    telemetry.inc("oracle.warmed", 1);
-                }
-                let (position, id, predicted) = self.route(cluster);
-                telemetry.observe("dispatch.predicted_slowdown", predicted);
-                predicted_slowdowns.push(predicted);
-                placements.push(id);
-                cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
+        match cluster.stepping {
+            SteppingMode::EventDriven => self.run_event_driven(cluster, &mut source, &mut state)?,
+            SteppingMode::Pooled | SteppingMode::Scoped => {
+                self.run_slices(cluster, &mut source, &mut state)?
             }
-            telemetry.profile_mut().stop("dispatch", dispatch_started);
-            boundary(
-                cluster,
-                &mut autoscaler,
-                slice_end,
-                admitted,
-                &mut scale_events,
-                &mut forecast_samples,
-                &mut steal_events,
-                &mut redispatched,
-                &mut peak_machines,
-                &mut telemetry,
-                &mut mirrored,
-            )?;
-            let step_started = telemetry.profile().start();
-            cluster.step_all(slice_end, telemetry.profile_mut())?;
-            telemetry.profile_mut().stop("step", step_started);
-            now_ms = slice_end;
         }
+        self.drain(cluster, &mut state)?;
 
-        let drain_start_ms = now_ms;
-        let drain_pending = cluster.outstanding();
-        let drain_deadline = now_ms + cluster.drain_ms;
-        while cluster.outstanding() > 0 && now_ms < drain_deadline {
-            now_ms = (now_ms + slice_ms).min(drain_deadline);
-            telemetry.inc("slices", 1);
-            boundary(
-                cluster,
-                &mut autoscaler,
-                now_ms,
-                0,
-                &mut scale_events,
-                &mut forecast_samples,
-                &mut steal_events,
-                &mut redispatched,
-                &mut peak_machines,
-                &mut telemetry,
-                &mut mirrored,
-            )?;
-            let step_started = telemetry.profile().start();
-            cluster.step_all(now_ms, telemetry.profile_mut())?;
-            telemetry.profile_mut().stop("step", step_started);
-        }
-        if now_ms > drain_start_ms {
-            telemetry.span(
-                "drain",
-                drain_start_ms,
-                now_ms,
-                vec![
-                    ("pending", drain_pending.into()),
-                    ("unfinished", cluster.outstanding().into()),
-                ],
-            );
-        }
         // Machines that emptied on the last slice still retire before
         // the report is cut.
-        if autoscaler.is_some() {
-            crate::scale::push_retirements(cluster, now_ms, &mut scale_events);
+        if state.autoscaler.is_some() {
+            crate::scale::push_retirements(cluster, state.now_ms, &mut state.scale_events);
         }
         mirror_into_timeline(
-            &mut telemetry,
-            &mut mirrored,
-            &scale_events,
-            &forecast_samples,
-            &steal_events,
+            &mut state.telemetry,
+            &mut state.mirrored,
+            &state.scale_events,
+            &state.forecast_samples,
+            &state.steal_events,
         );
-        telemetry.close_span(replay_span, now_ms);
+        state.telemetry.close_span(replay_span, state.now_ms);
+
+        let ReplayState {
+            placements,
+            predicted_slowdowns,
+            steal_events,
+            scale_events,
+            forecast_samples,
+            redispatched,
+            peak_machines,
+            now_ms,
+            mut telemetry,
+            ..
+        } = state;
 
         let replay_base = |id: MachineId| base.get(&id).copied().unwrap_or_default();
         let mut completed = 0;
@@ -1006,6 +986,280 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             sim_ms: now_ms,
         })
     }
+
+    /// The slice-stepping replay loop — the oracle engine: every
+    /// boundary is processed whether or not anything happens there.
+    fn run_slices<S: TraceSource>(
+        &mut self,
+        cluster: &mut Cluster,
+        source: &mut ChunkedSource<S>,
+        state: &mut ReplayState,
+    ) -> Result<()> {
+        while !source.is_exhausted() {
+            let slice_end = state.now_ms + state.slice_ms;
+            self.process_slice(cluster, source, state, slice_end)?;
+        }
+        Ok(())
+    }
+
+    /// The discrete-event replay loop ([`SteppingMode::EventDriven`]):
+    /// per round, k-way-merge the boundary-generating streams — the
+    /// next trace arrival's admitting boundary, the autoscaler's probe
+    /// tick, pending boot commissions, the forecast sampling point —
+    /// into the [`EventQueue`], pop the earliest, bulk-skip the quiet
+    /// slices before it in O(1) bookkeeping, then process the slice
+    /// that ends at it exactly as the oracle would.
+    ///
+    /// With elastic control on (autoscaler or stealing), a probe tick
+    /// lands on every boundary — the forecaster must observe every
+    /// slice's admitted count and cooldown clocks advance per decision
+    /// round — so the engine degrades to boundary-by-boundary stepping
+    /// and the win comes from machine-level idle fast-forwarding
+    /// instead.
+    fn run_event_driven<S: TraceSource>(
+        &mut self,
+        cluster: &mut Cluster,
+        source: &mut ChunkedSource<S>,
+        state: &mut ReplayState,
+    ) -> Result<()> {
+        let mut queue = EventQueue::new();
+        while let Some(at_ms) = source.peek_at_ms() {
+            let queue_started = state.telemetry.profile().start();
+            queue.clear();
+            let horizon = state.now_ms + state.slice_ms;
+            // fill_before admits strictly-before, so an arrival at
+            // `at_ms` is admitted by the first boundary after it; a
+            // late (out-of-order) stamp clamps to the next boundary —
+            // exactly where slice stepping would admit it.
+            let admit = ((at_ms / state.slice_ms) + 1) * state.slice_ms;
+            queue.push(ReplayEvent::arrival(admit.max(horizon), 0));
+            if let Some(scaler) = &state.autoscaler {
+                queue.push(ReplayEvent::probe_tick(horizon));
+                for (slot, ready_ms) in scaler.pending_ready().enumerate() {
+                    let commission = ready_ms.div_ceil(state.slice_ms) * state.slice_ms;
+                    queue.push(ReplayEvent::boot_ready(
+                        commission.max(horizon),
+                        slot as u64,
+                    ));
+                }
+                if scaler.is_predictive() {
+                    queue.push(ReplayEvent::forecast(horizon));
+                }
+            }
+            if self.stealing.is_some() {
+                queue.push(ReplayEvent::probe_tick(horizon));
+            }
+            let next = queue.pop().expect("an arrival event was just pushed");
+            state.telemetry.profile_mut().stop("queue", queue_started);
+            let process_start = next.at_ms - state.slice_ms;
+            if process_start > state.now_ms {
+                bulk_skip(cluster, state, process_start)?;
+            }
+            self.process_slice(cluster, source, state, next.at_ms)?;
+        }
+        Ok(())
+    }
+
+    /// Processes one slice ending at `slice_end`, in the oracle's
+    /// exact order: admit the slice's chunk of arrivals, route and
+    /// dispatch each against live snapshots, run the boundary
+    /// (autoscale → steal → timeline mirror → fleet gauge), then step
+    /// every machine to the boundary.
+    fn process_slice<S: TraceSource>(
+        &mut self,
+        cluster: &mut Cluster,
+        source: &mut ChunkedSource<S>,
+        state: &mut ReplayState,
+        slice_end: u64,
+    ) -> Result<()> {
+        let mut chunk = std::mem::take(&mut state.chunk);
+        chunk.clear();
+        source.fill_before(slice_end, &mut chunk);
+        let admitted = chunk.len();
+        state.telemetry.inc("slices", 1);
+        state.telemetry.inc("arrivals.admitted", admitted as u64);
+        state.telemetry.observe("slice.admitted", admitted as f64);
+        let dispatch_started = state.telemetry.profile().start();
+        for event in chunk.drain(..) {
+            if !cluster.ctx.is_warmed(&event.function) {
+                // In-place: workers release their context clones at
+                // the slice barrier, so the Arc is unique here.
+                Arc::make_mut(&mut cluster.ctx).warm_function(&state.spec, &event.function)?;
+                state.telemetry.inc("oracle.warmed", 1);
+            }
+            let (position, id, predicted) = self.route(cluster);
+            state
+                .telemetry
+                .observe("dispatch.predicted_slowdown", predicted);
+            state.predicted_slowdowns.push(predicted);
+            state.placements.push(id);
+            cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
+        }
+        state.chunk = chunk;
+        state
+            .telemetry
+            .profile_mut()
+            .stop("dispatch", dispatch_started);
+        self.boundary(cluster, state, slice_end, admitted)?;
+        step_cluster(cluster, state, slice_end)?;
+        state.now_ms = slice_end;
+        Ok(())
+    }
+
+    /// One slice-boundary control round at `at_ms`: autoscale
+    /// decision, stealing pass, timeline mirroring, fleet gauge — the
+    /// order both engines share.
+    fn boundary(
+        &mut self,
+        cluster: &mut Cluster,
+        state: &mut ReplayState,
+        at_ms: u64,
+        admitted: usize,
+    ) -> Result<()> {
+        if let Some(scaler) = &mut state.autoscaler {
+            let started = state.telemetry.profile().start();
+            scaler.evaluate(
+                cluster,
+                at_ms,
+                admitted,
+                &mut state.scale_events,
+                &mut state.forecast_samples,
+            )?;
+            state.telemetry.profile_mut().stop("scale", started);
+            state.peak_machines = state.peak_machines.max(cluster.machines.len());
+        }
+        if let Some(config) = &self.stealing {
+            let started = state.telemetry.profile().start();
+            state.redispatched += steal_pass(cluster, config, at_ms, &mut state.steal_events);
+            state.telemetry.profile_mut().stop("steal", started);
+        }
+        mirror_into_timeline(
+            &mut state.telemetry,
+            &mut state.mirrored,
+            &state.scale_events,
+            &state.forecast_samples,
+            &state.steal_events,
+        );
+        state
+            .telemetry
+            .gauge_set("fleet.machines", cluster.machines.len() as f64);
+        Ok(())
+    }
+
+    /// Lets in-flight work finish after the last arrival: slice-sized
+    /// boundary rounds until the cluster empties or the drain window
+    /// closes. Both engines drain boundary-by-boundary — the replay's
+    /// `sim_ms` must end at the *first* boundary where nothing is
+    /// outstanding, which only stepping each boundary can observe —
+    /// but the event engine discovers each round through
+    /// completion-watch and probe-tick events on its queue, so the two
+    /// code paths stay one.
+    fn drain(&mut self, cluster: &mut Cluster, state: &mut ReplayState) -> Result<()> {
+        let drain_start_ms = state.now_ms;
+        let drain_pending = cluster.outstanding();
+        let deadline = drain_start_ms + cluster.drain_ms;
+        let event_mode = cluster.stepping == SteppingMode::EventDriven;
+        let mut queue = EventQueue::new();
+        while cluster.outstanding() > 0 && state.now_ms < deadline {
+            let horizon = state.now_ms + state.slice_ms;
+            let next_ms = if event_mode {
+                queue.clear();
+                for machine in &cluster.machines {
+                    if machine.outstanding() > 0 {
+                        queue.push(ReplayEvent::completion(
+                            horizon,
+                            machine.id().index() as u64,
+                        ));
+                    }
+                }
+                if state.autoscaler.is_some() || self.stealing.is_some() {
+                    queue.push(ReplayEvent::probe_tick(horizon));
+                }
+                queue
+                    .pop()
+                    .map_or(horizon, |event| event.at_ms)
+                    .min(deadline)
+            } else {
+                horizon.min(deadline)
+            };
+            state.telemetry.inc("slices", 1);
+            self.boundary(cluster, state, next_ms, 0)?;
+            step_cluster(cluster, state, next_ms)?;
+            state.now_ms = next_ms;
+        }
+        if state.now_ms > drain_start_ms {
+            state.telemetry.span(
+                "drain",
+                drain_start_ms,
+                state.now_ms,
+                vec![
+                    ("pending", drain_pending.into()),
+                    ("unfinished", cluster.outstanding().into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Mutable state of one replay, threaded through the engine stages so
+/// the slice and event-driven loops share the exact same slice
+/// processing, boundary and drain code.
+struct ReplayState {
+    spec: MachineSpec,
+    slice_ms: u64,
+    autoscaler: Option<Autoscaler>,
+    placements: Vec<MachineId>,
+    predicted_slowdowns: Vec<f64>,
+    steal_events: Vec<StealEvent>,
+    scale_events: Vec<ScaleEvent>,
+    forecast_samples: Vec<ForecastSample>,
+    redispatched: usize,
+    peak_machines: usize,
+    now_ms: u64,
+    /// Reusable per-slice arrival buffer.
+    chunk: Vec<TraceEvent>,
+    telemetry: Telemetry,
+    /// (scale, forecast, steal) entries already mirrored onto the
+    /// timeline — the typed vectors stay the storage of record.
+    mirrored: (usize, usize, usize),
+}
+
+/// Steps every live machine to `target_ms` under the cluster's
+/// stepping mode, wall-clock-profiled as the "step" stage.
+fn step_cluster(cluster: &mut Cluster, state: &mut ReplayState, target_ms: u64) -> Result<()> {
+    let started = state.telemetry.profile().start();
+    match cluster.stepping {
+        SteppingMode::EventDriven => {
+            cluster.step_all_event(target_ms, state.telemetry.profile_mut())?
+        }
+        SteppingMode::Pooled | SteppingMode::Scoped => {
+            cluster.step_all(target_ms, state.telemetry.profile_mut())?
+        }
+    }
+    state.telemetry.profile_mut().stop("step", started);
+    Ok(())
+}
+
+/// Accounts `(to_ms − now) / slice_ms` skipped quiet slices in O(1)
+/// and advances the cluster to `to_ms`. Only reachable with elastic
+/// control off, so the only per-slice effects to replicate are the
+/// registry updates — applied with their exact bulk forms, keeping the
+/// registry (and its JSONL export) bit-identical to stepping the
+/// slices one by one.
+fn bulk_skip(cluster: &mut Cluster, state: &mut ReplayState, to_ms: u64) -> Result<()> {
+    let slices = (to_ms - state.now_ms) / state.slice_ms;
+    let skip_started = state.telemetry.profile().start();
+    state.telemetry.inc("slices", slices);
+    state.telemetry.inc("arrivals.admitted", 0);
+    state.telemetry.observe_n("slice.admitted", 0.0, slices);
+    state
+        .telemetry
+        .gauge_set_n("fleet.machines", cluster.machines.len() as f64, slices);
+    state.telemetry.profile_mut().stop("skip", skip_started);
+    step_cluster(cluster, state, to_ms)?;
+    state.now_ms = to_ms;
+    Ok(())
 }
 
 /// Mirrors typed elasticity records appended since the last call onto

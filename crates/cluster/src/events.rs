@@ -1,0 +1,234 @@
+//! The discrete-event queue behind [`crate::SteppingMode::EventDriven`].
+//!
+//! Slice-mode replay pays for every boundary whether or not anything
+//! happens there. The event-driven engine instead k-way-merges the
+//! streams that can actually *change* cluster state — trace arrivals,
+//! in-flight completions, autoscaler probe ticks, pending machine
+//! boots, forecast sampling points — into one time-ordered queue and
+//! jumps from event to event. The queue is a plain binary heap of
+//! [`ReplayEvent`]s with a total order, so the pop sequence is a pure
+//! function of the inserted multiset: shuffling insertion order (or
+//! racing producers) cannot change replay results. Ties on the
+//! timestamp break by [`EventClass`] first and then by a stable `key`
+//! (machine or tenant id), which is what keeps event-driven replays
+//! bit-identical to the slice oracle.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What kind of boundary an event marks. The declaration order is the
+/// tiebreak order for events sharing a timestamp: work enters
+/// (arrivals) before work leaves (completions), control decisions
+/// (probe ticks, boots) observe both, and forecast samples read the
+/// settled state last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    /// A trace arrival is admitted at this boundary.
+    Arrival,
+    /// An in-flight invocation on some machine may complete by here.
+    Completion,
+    /// The autoscaler / steal pass wants to observe the fleet.
+    ProbeTick,
+    /// A pending machine boot commissions at this boundary.
+    BootReady,
+    /// The predictive forecaster samples its signal here.
+    ForecastSample,
+}
+
+/// One entry in the replay's merged event queue.
+///
+/// Ordering is `(at_ms, class, key)` ascending — a total order with no
+/// insertion-sequence component, so two queues holding the same events
+/// always drain identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplayEvent {
+    /// Cluster time of the boundary, in milliseconds.
+    pub at_ms: u64,
+    /// Stream the event came from; first tiebreak for shared stamps.
+    pub class: EventClass,
+    /// Stable source id (machine or tenant); final tiebreak.
+    pub key: u64,
+}
+
+impl ReplayEvent {
+    /// An admitted-arrival boundary.
+    pub fn arrival(at_ms: u64, key: u64) -> Self {
+        ReplayEvent {
+            at_ms,
+            class: EventClass::Arrival,
+            key,
+        }
+    }
+
+    /// A possible-completion boundary for machine `key`.
+    pub fn completion(at_ms: u64, key: u64) -> Self {
+        ReplayEvent {
+            at_ms,
+            class: EventClass::Completion,
+            key,
+        }
+    }
+
+    /// An autoscale/steal observation boundary.
+    pub fn probe_tick(at_ms: u64) -> Self {
+        ReplayEvent {
+            at_ms,
+            class: EventClass::ProbeTick,
+            key: 0,
+        }
+    }
+
+    /// A pending-boot commissioning boundary for boot slot `key`.
+    pub fn boot_ready(at_ms: u64, key: u64) -> Self {
+        ReplayEvent {
+            at_ms,
+            class: EventClass::BootReady,
+            key,
+        }
+    }
+
+    /// A forecast sampling boundary.
+    pub fn forecast(at_ms: u64) -> Self {
+        ReplayEvent {
+            at_ms,
+            class: EventClass::ForecastSample,
+            key: 0,
+        }
+    }
+}
+
+/// A min-queue of [`ReplayEvent`]s — the merged timeline the
+/// event-driven engine walks.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_cluster::{EventQueue, ReplayEvent};
+///
+/// let mut queue = EventQueue::new();
+/// queue.push(ReplayEvent::probe_tick(200));
+/// queue.push(ReplayEvent::arrival(200, 7));
+/// queue.push(ReplayEvent::completion(100, 3));
+/// assert_eq!(queue.pop(), Some(ReplayEvent::completion(100, 3)));
+/// // Same stamp: arrivals order before probe ticks.
+/// assert_eq!(queue.pop(), Some(ReplayEvent::arrival(200, 7)));
+/// assert_eq!(queue.pop(), Some(ReplayEvent::probe_tick(200)));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<ReplayEvent>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Inserts an event. Duplicates are allowed and harmless — the
+    /// engine advances `now` past every popped stamp, so a repeated
+    /// boundary is a no-op on the second pop.
+    pub fn push(&mut self, event: ReplayEvent) {
+        self.heap.push(Reverse(event));
+    }
+
+    /// Removes and returns the earliest event (ties broken by class
+    /// then key), or `None` when empty.
+    pub fn pop(&mut self) -> Option<ReplayEvent> {
+        self.heap.pop().map(|Reverse(event)| event)
+    }
+
+    /// The earliest event without removing it.
+    pub fn peek(&self) -> Option<ReplayEvent> {
+        self.heap.peek().map(|&Reverse(event)| event)
+    }
+
+    /// Drops all pending events (capacity is kept for reuse).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut queue = EventQueue::new();
+        for at in [500, 100, 300, 200, 400] {
+            queue.push(ReplayEvent::arrival(at, 0));
+        }
+        let mut stamps = Vec::new();
+        while let Some(event) = queue.pop() {
+            stamps.push(event.at_ms);
+        }
+        assert_eq!(stamps, vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn tied_stamps_break_by_class_then_key() {
+        let mut queue = EventQueue::new();
+        queue.push(ReplayEvent::forecast(100));
+        queue.push(ReplayEvent::boot_ready(100, 2));
+        queue.push(ReplayEvent::boot_ready(100, 1));
+        queue.push(ReplayEvent::probe_tick(100));
+        queue.push(ReplayEvent::completion(100, 9));
+        queue.push(ReplayEvent::arrival(100, 4));
+        let drained: Vec<ReplayEvent> = std::iter::from_fn(|| queue.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![
+                ReplayEvent::arrival(100, 4),
+                ReplayEvent::completion(100, 9),
+                ReplayEvent::probe_tick(100),
+                ReplayEvent::boot_ready(100, 1),
+                ReplayEvent::boot_ready(100, 2),
+                ReplayEvent::forecast(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn insertion_order_cannot_change_pop_order() {
+        let events = [
+            ReplayEvent::arrival(300, 1),
+            ReplayEvent::completion(100, 5),
+            ReplayEvent::probe_tick(300),
+            ReplayEvent::completion(100, 2),
+            ReplayEvent::arrival(100, 0),
+        ];
+        let mut forward = EventQueue::new();
+        let mut backward = EventQueue::new();
+        for event in events {
+            forward.push(event);
+        }
+        for event in events.iter().rev() {
+            backward.push(*event);
+        }
+        let f: Vec<ReplayEvent> = std::iter::from_fn(|| forward.pop()).collect();
+        let b: Vec<ReplayEvent> = std::iter::from_fn(|| backward.pop()).collect();
+        assert_eq!(f, b);
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut queue = EventQueue::new();
+        queue.push(ReplayEvent::probe_tick(10));
+        assert_eq!(queue.len(), 1);
+        queue.clear();
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+}

@@ -99,6 +99,7 @@ mod billing;
 mod context;
 mod driver;
 mod error;
+mod events;
 mod machine;
 mod policy;
 mod pool;
@@ -109,6 +110,7 @@ pub use billing::{BillingAggregator, BillingShard};
 pub use context::ServingContext;
 pub use driver::{Cluster, ClusterConfig, ClusterDriver, ClusterReport};
 pub use error::ClusterError;
+pub use events::{EventClass, EventQueue, ReplayEvent};
 pub use machine::{Machine, MachineConfig, MachineId};
 pub use policy::{
     LeastLoaded, LitmusAware, MachineSnapshot, PlacementPolicy, ProbeFreshness, RoundRobin,

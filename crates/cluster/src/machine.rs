@@ -147,6 +147,10 @@ pub struct Machine {
     shard: BillingShard,
     dispatched: usize,
     launched: usize,
+    /// Full quanta actually stepped by the serving loop (idle
+    /// fast-forwards excluded) — the wall-clock cost driver the
+    /// event-driven engine minimises.
+    quanta: u64,
     completed: usize,
     latency_sum_ms: f64,
     queue_wait_sum_ms: f64,
@@ -194,6 +198,7 @@ impl Machine {
             shard: BillingShard::new(),
             dispatched: 0,
             launched: 0,
+            quanta: 0,
             completed: 0,
             latency_sum_ms: 0.0,
             queue_wait_sum_ms: 0.0,
@@ -304,6 +309,17 @@ impl Machine {
     /// [`MachineSnapshot::predicted_slowdown`] — the free §5.1
     /// scheduling signal.
     ///
+    /// Idle stretches cost O(1): whenever the machine has nothing
+    /// active (no serving work, no background fillers), the harness
+    /// fast-forwards to the next queued launch or to the target in one
+    /// jump ([`litmus_platform::CoRunHarness::fast_forward_to`]) —
+    /// bit-identical to stepping every quantum, because an idle
+    /// simulator's state is a fixed point and launches fire at the
+    /// same local quantum either way. This also makes stepping
+    /// granularity-invariant: `step_to(a)` then `step_to(b)` equals
+    /// `step_to(b)` directly, which is what lets the event-driven
+    /// engine merge quiet slices.
+    ///
     /// # Errors
     ///
     /// Propagates launch, backfill and pricing failures.
@@ -311,11 +327,41 @@ impl Machine {
         let target = self.local_ms(cluster_ms);
         while self.harness.sim().now_ms() < target {
             self.launch_due(ctx)?;
+            if self.harness.sim().active_instances() == 0 {
+                // Nothing can complete before the next queued launch
+                // (launch_due above drained everything already due), so
+                // jump straight there — or to the target if the queue
+                // is empty or due later.
+                let now = self.harness.sim().now_ms();
+                let next = self.queue.front().map_or(target, |queued| {
+                    self.local_ms(queued.launch_at_ms).clamp(now, target)
+                });
+                if next > now {
+                    self.harness.fast_forward_to(next)?;
+                    continue;
+                }
+            }
             let events = self.harness.step()?;
+            self.quanta += 1;
             self.settle(&events, ctx)?;
         }
         self.launch_due(ctx)?;
         Ok(())
+    }
+
+    /// Whether advancing to cluster time `cluster_ms` involves any real
+    /// quantum work: active instances (serving or filler), or a queued
+    /// arrival that launches before then. When false,
+    /// [`Machine::step_to`] is a pure O(1) fast-forward — the test the
+    /// event-driven engine uses to keep idle machines off the worker
+    /// pool.
+    pub fn needs_quanta_before(&self, cluster_ms: u64) -> bool {
+        if self.harness.sim().active_instances() > 0 {
+            return true;
+        }
+        self.queue
+            .front()
+            .is_some_and(|queued| self.local_ms(queued.launch_at_ms) < self.local_ms(cluster_ms))
     }
 
     /// Launches queued arrivals whose time has come, while the
@@ -388,6 +434,15 @@ impl Machine {
     /// Executing + queued invocations.
     pub fn outstanding(&self) -> usize {
         self.inflight.len() + self.queue.len()
+    }
+
+    /// Full simulator quanta actually stepped by the serving loop —
+    /// idle fast-forwards are excluded, so this counts the real
+    /// wall-clock work [`Machine::step_to`] performed. Two replays that
+    /// agree here did the same co-run evaluations regardless of how
+    /// their driver sliced time.
+    pub fn quanta_stepped(&self) -> u64 {
+        self.quanta
     }
 
     /// Invocations dispatched here and not re-dispatched away.

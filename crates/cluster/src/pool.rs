@@ -31,6 +31,15 @@ pub enum SteppingMode {
     /// Scoped threads spawned and joined every slice — the original
     /// design, kept for benchmarking the pool against.
     Scoped,
+    /// Discrete-event replay: the driver merges arrivals, completions,
+    /// probe ticks, scale/boot events and forecast sampling points
+    /// into one time-ordered queue and advances boundary-to-boundary.
+    /// Quiet stretches are bulk-skipped in O(1) per machine; dense
+    /// stretches still fan out across the same worker pool as
+    /// [`SteppingMode::Pooled`]. Slice stepping remains the oracle:
+    /// event-driven replays are bit-identical to it (full
+    /// [`crate::ClusterReport`] and telemetry JSONL) at the same seed.
+    EventDriven,
 }
 
 /// One shard of machines travelling to a worker and back. The `usize`

@@ -257,6 +257,22 @@ impl CoRunHarness {
         Ok(events)
     }
 
+    /// Fast-forwards an *idle* machine (no active instances, serving or
+    /// filler) to local sim time `target_ms` without stepping every
+    /// quantum — bit-identical to calling [`CoRunHarness::step`] once
+    /// per quantum, because an idle simulator's state is a fixed point
+    /// after one settling quantum ([`Simulator::skip_idle_to`]) and
+    /// backfill only reacts to completion events, of which an idle
+    /// machine produces none. A no-op when `target_ms` is in the past.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`litmus_sim::SimError::SkipWhileActive`] when the
+    /// machine is not idle.
+    pub fn fast_forward_to(&mut self, target_ms: u64) -> Result<()> {
+        Ok(self.sim.skip_idle_to(target_ms)?)
+    }
+
     /// The report of a completed instance (see [`CoRunHarness::submit`]).
     ///
     /// # Errors

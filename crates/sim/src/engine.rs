@@ -162,6 +162,11 @@ pub struct Simulator {
     machine_l3_misses: f64,
     /// One congestion snapshot per sharing domain (socket).
     last_snapshots: Vec<CongestionSnapshot>,
+    /// Whether the most recent quantum scheduled nothing — i.e. the
+    /// simulator state is at its idle fixed point and a further empty
+    /// quantum could only advance the clock (see
+    /// [`Simulator::skip_idle_to`]).
+    idle_settled: bool,
 }
 
 impl Simulator {
@@ -192,6 +197,7 @@ impl Simulator {
             contexts: Vec::new(),
             machine_l3_misses: 0.0,
             last_snapshots,
+            idle_settled: false,
         }
     }
 
@@ -370,7 +376,45 @@ impl Simulator {
             }
             ctx.ran_last_quantum = ran;
         }
+        self.idle_settled = active == 0;
         events
+    }
+
+    /// Whether the most recent quantum scheduled nothing, so the
+    /// machine state has reached its idle fixed point: another empty
+    /// [`Simulator::step`] would change nothing but the clock.
+    pub fn is_idle_settled(&self) -> bool {
+        self.idle_settled
+    }
+
+    /// Fast-forwards an idle machine to `target_ms` in O(1), exactly
+    /// as if [`Simulator::step`] had been called once per quantum.
+    ///
+    /// An empty quantum's only effects are the clock tick, refreshing
+    /// [`Simulator::congestion`] from the (empty) schedule and
+    /// clearing the contexts' ran-last-quantum flags — all of which
+    /// reach a fixed point after a single empty quantum. So the skip
+    /// runs at most one real settling quantum (none if the machine is
+    /// already settled) and then jumps the clock, which is
+    /// bit-identical to stepping quantum by quantum. A no-op when
+    /// `target_ms` is not in the future.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SkipWhileActive`] if any instance is still active —
+    /// skipping would lose execution progress and completions.
+    pub fn skip_idle_to(&mut self, target_ms: u64) -> Result<()> {
+        let active = self.active_instances();
+        if active > 0 {
+            return Err(SimError::SkipWhileActive { active });
+        }
+        if !self.idle_settled && self.now_ms < target_ms {
+            self.step();
+        }
+        if self.now_ms < target_ms {
+            self.now_ms = target_ms;
+        }
+        Ok(())
     }
 
     /// Steps `ms` quanta, collecting all events.

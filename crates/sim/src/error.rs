@@ -47,6 +47,11 @@ pub enum SimError {
         /// The horizon in milliseconds.
         horizon_ms: u64,
     },
+    /// `skip_idle_to` was called while instances were still active.
+    SkipWhileActive {
+        /// Instances active at the time of the call.
+        active: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +79,12 @@ impl fmt::Display for SimError {
             }
             SimError::HorizonExceeded { horizon_ms } => {
                 write!(f, "simulation exceeded the {horizon_ms} ms safety horizon")
+            }
+            SimError::SkipWhileActive { active } => {
+                write!(
+                    f,
+                    "cannot fast-forward an idle skip with {active} active instances"
+                )
             }
         }
     }

@@ -115,6 +115,33 @@ impl LogHistogram {
         }
     }
 
+    /// Records `n` identical samples in one update — the bulk form the
+    /// cluster driver's gap skipping uses so a million-slice idle
+    /// stretch costs one histogram touch. Exactly equivalent to `n`
+    /// calls of [`LogHistogram::observe`] for `v ≤ 0` and non-finite
+    /// `v` (adding `0.0` to the sum `n` times equals adding it once);
+    /// for positive `v` the counts are exact and the sum accumulates
+    /// as one fused `v · n` add rather than `n` separate adds.
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if !v.is_finite() {
+            self.dropped += n;
+            return;
+        }
+        let v = v.max(0.0);
+        self.count += n;
+        self.sum += v * n as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0.0 {
+            self.zero_count += n;
+        } else {
+            *self.buckets.entry(self.index(v)).or_insert(0) += n;
+        }
+    }
+
     /// Samples recorded (zero bucket included, dropped excluded).
     pub fn count(&self) -> u64 {
         self.count

@@ -156,9 +156,21 @@ impl Telemetry {
         self.registry.gauge_set(name, value);
     }
 
+    /// Applies `n` consecutive identical sets to gauge `name` in one
+    /// update (see [`Registry::gauge_set_n`]).
+    pub fn gauge_set_n(&mut self, name: &'static str, value: f64, n: u64) {
+        self.registry.gauge_set_n(name, value, n);
+    }
+
     /// Records `value` into histogram `name`.
     pub fn observe(&mut self, name: &'static str, value: f64) {
         self.registry.observe(name, value);
+    }
+
+    /// Records `n` identical samples into histogram `name` in one
+    /// update (see [`Registry::observe_n`]).
+    pub fn observe_n(&mut self, name: &'static str, value: f64, n: u64) {
+        self.registry.observe_n(name, value, n);
     }
 
     /// Appends a point event (timeline + flight recorder). `at_ms` is

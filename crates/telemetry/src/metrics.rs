@@ -38,10 +38,14 @@ impl Gauge {
     }
 
     fn set(&mut self, value: f64) {
+        self.set_n(value, 1);
+    }
+
+    fn set_n(&mut self, value: f64, n: u64) {
         self.last = value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.sets += 1;
+        self.sets += n;
     }
 
     fn to_json(self, name: &str) -> String {
@@ -108,6 +112,26 @@ impl Registry {
             .or_insert_with(|| Gauge::new(value));
     }
 
+    /// Applies `n` consecutive identical sets to gauge `name` in one
+    /// update — exactly equivalent to calling [`Registry::gauge_set`]
+    /// `n` times (last/min/max fold to the same state; the set count
+    /// adds `n`). A no-op when `n` is zero. The bulk form exists so
+    /// the cluster driver can account a skipped idle stretch without
+    /// touching the gauge once per slice.
+    pub fn gauge_set_n(&mut self, name: &'static str, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.gauges
+            .entry(name)
+            .and_modify(|gauge| gauge.set_n(value, n))
+            .or_insert_with(|| {
+                let mut gauge = Gauge::new(value);
+                gauge.sets = n;
+                gauge
+            });
+    }
+
     /// Gauge `name`, if ever set.
     pub fn gauge(&self, name: &str) -> Option<&Gauge> {
         self.gauges.get(name)
@@ -120,6 +144,19 @@ impl Registry {
             .entry(name)
             .or_insert_with(|| LogHistogram::new(self.histogram_relative_error))
             .observe(value);
+    }
+
+    /// Records `n` identical samples into histogram `name` in one
+    /// update (see [`LogHistogram::observe_n`] for the exactness
+    /// contract). A no-op when `n` is zero — no histogram is created.
+    pub fn observe_n(&mut self, name: &'static str, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| LogHistogram::new(self.histogram_relative_error))
+            .observe_n(value, n);
     }
 
     /// Histogram `name`, if anything was ever observed into it.
@@ -188,6 +225,43 @@ mod tests {
             (gauge.last, gauge.min, gauge.max, gauge.sets),
             (9.0, 2.0, 9.0, 3)
         );
+    }
+
+    #[test]
+    fn bulk_gauge_set_equals_repeated_sets() {
+        let mut bulk = Registry::new(0.01);
+        let mut repeated = Registry::new(0.01);
+        repeated.gauge_set("fleet", 4.0);
+        bulk.gauge_set("fleet", 4.0);
+        for _ in 0..999 {
+            repeated.gauge_set("fleet", 6.0);
+        }
+        bulk.gauge_set_n("fleet", 6.0, 999);
+        assert_eq!(bulk, repeated);
+        // n = 0 neither updates nor creates.
+        bulk.gauge_set_n("fleet", 100.0, 0);
+        bulk.gauge_set_n("ghost", 1.0, 0);
+        assert_eq!(bulk, repeated);
+        assert!(bulk.gauge("ghost").is_none());
+    }
+
+    #[test]
+    fn bulk_observe_of_zero_equals_repeated_observes() {
+        let mut bulk = Registry::new(0.01);
+        let mut repeated = Registry::new(0.01);
+        repeated.observe("slice.admitted", 3.0);
+        bulk.observe("slice.admitted", 3.0);
+        for _ in 0..1_000 {
+            repeated.observe("slice.admitted", 0.0);
+        }
+        bulk.observe_n("slice.admitted", 0.0, 1_000);
+        // Bit-equality, including the float sum: adding 0.0 a thousand
+        // times is the identity, same as one fused 0.0 × 1000 add.
+        assert_eq!(bulk, repeated);
+        // n = 0 creates no histogram.
+        bulk.observe_n("ghost", 1.0, 0);
+        assert!(bulk.histogram("ghost").is_none());
+        assert_eq!(bulk, repeated);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the cluster layer.
 
 use litmus::prelude::*;
-use litmus::trace::{fixture, TransformedSource};
+use litmus::trace::{fixture, multi_day_source, TransformedSource};
 
 /// One compressed trace minute, ms (15-minute fixture → 3 s replay).
 const MINUTE_MS: u64 = 200;
@@ -119,6 +119,43 @@ fn streaming_cluster_replay_is_bit_identical_for_every_policy() {
     }
     let billed_tenants = litmus_aware.billing.tenants().count();
     assert_eq!(billed_tenants, trace.tenants().len());
+}
+
+#[test]
+fn event_driven_two_day_replay_is_bit_identical_to_slice_stepping() {
+    // The event engine's acceptance fixture: a two-day chain of the
+    // Azure fixture (shared tenant map, second day offset onto the
+    // first's end), thinned and compressed like the other tests.
+    // Slice stepping is the oracle; the event-driven replay must match
+    // it bit-for-bit — full report AND telemetry JSONL.
+    let days = [fixture::dataset(), fixture::dataset()];
+    let two_day = || {
+        let source = multi_day_source(&days, expand_config()).unwrap();
+        TransformedSource::new(source, transforms()).unwrap()
+    };
+    let (tables, model) = calibration();
+    let mut slice_cluster =
+        Cluster::build(cluster_config(), tables.clone(), model.clone()).unwrap();
+    let slice = ClusterDriver::new(LitmusAware::new())
+        .replay_source(&mut slice_cluster, two_day())
+        .unwrap();
+    let mut event_cluster = Cluster::build(
+        cluster_config().stepping(SteppingMode::EventDriven),
+        tables,
+        model,
+    )
+    .unwrap();
+    let event = ClusterDriver::new(LitmusAware::new())
+        .replay_source(&mut event_cluster, two_day())
+        .unwrap();
+    assert_eq!(slice, event);
+    assert_eq!(slice.timeline_jsonl(), event.timeline_jsonl());
+    // The replay is real: both fixture days completed in full and the
+    // chain spanned both days' compressed spans (the transform chain's
+    // Compress{divisor: 2} halves the 2 × 15-minute extent).
+    assert!(slice.completed > 400, "completed {}", slice.completed);
+    assert_eq!(slice.unfinished, 0);
+    assert!(slice.sim_ms >= 2 * 15 * MINUTE_MS / 2);
 }
 
 #[test]
