@@ -1,0 +1,297 @@
+//! `litmus-obs` — query and diff telemetry JSONL exports.
+//!
+//! Replays (and the SLO engine) export their deterministic state as
+//! JSONL (`ClusterReport::timeline_jsonl`, `SloReport::to_jsonl`).
+//! This tool works on those files after the fact:
+//!
+//! ```text
+//! litmus-obs summary <export.jsonl>
+//!     Record counts by type and event name, counters, tenants seen.
+//!
+//! litmus-obs spans <export.jsonl> [--name PREFIX] [--tenant N]
+//!                  [--machine N] [--slowest K]
+//!     Filter timeline records, aggregate span durations per name,
+//!     and print the K slowest matching spans as exemplars.
+//!
+//! litmus-obs diff <left.jsonl> <right.jsonl> [--context N]
+//!     Byte-compare two exports line by line; on divergence print the
+//!     first differing line with N lines of context and exit 1.
+//!     Identical exports exit 0 — the determinism contract, checkable
+//!     from the shell.
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use litmus_observe::jsonl::{parse_export, FlatRecord};
+use litmus_telemetry::diff_report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("summary") => summary(&args[1..]),
+        Some("spans") => spans(&args[1..]),
+        Some("diff") => return diff(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("litmus-obs: {message}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: litmus-obs summary <export.jsonl>
+       litmus-obs spans <export.jsonl> [--name PREFIX] [--tenant N] [--machine N] [--slowest K]
+       litmus-obs diff <left.jsonl> <right.jsonl> [--context N]
+";
+
+fn load(path: &str) -> Result<Vec<FlatRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    parse_export(&text).map_err(|(line, e)| format!("{path}:{line}: {e}"))
+}
+
+fn summary(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("summary takes exactly one export file".into());
+    };
+    let records = load(path)?;
+    if let Some(meta) = records.iter().find(|r| r.record_type() == "meta") {
+        let line = meta
+            .fields
+            .iter()
+            .filter(|(k, _)| k != "type")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("meta: {line}");
+    }
+
+    let mut by_type: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+    let mut tenants: BTreeMap<i64, usize> = BTreeMap::new();
+    for record in &records {
+        *by_type.entry(record.record_type()).or_default() += 1;
+        if matches!(record.record_type(), "event" | "span") {
+            *by_name.entry(record.name().to_owned()).or_default() += 1;
+            if let Some(tenant) = record.num("tenant") {
+                *tenants.entry(tenant as i64).or_default() += 1;
+            }
+        }
+    }
+    println!("records: {}", records.len());
+    for (kind, count) in &by_type {
+        println!("  {kind:<10} {count}");
+    }
+    if !by_name.is_empty() {
+        println!("timeline by name:");
+        for (name, count) in &by_name {
+            println!("  {name:<26} {count}");
+        }
+    }
+    if !tenants.is_empty() {
+        println!("tenants:");
+        for (tenant, count) in &tenants {
+            println!("  tenant {tenant:<4} {count} records");
+        }
+    }
+    let counters: Vec<_> = records
+        .iter()
+        .filter(|r| r.record_type() == "counter")
+        .collect();
+    if !counters.is_empty() {
+        println!("counters:");
+        for counter in counters {
+            println!(
+                "  {:<26} {}",
+                counter.name(),
+                counter.num("value").unwrap_or(0.0) as u64
+            );
+        }
+    }
+    Ok(())
+}
+
+struct SpanFilter {
+    name: Option<String>,
+    tenant: Option<f64>,
+    machine: Option<f64>,
+}
+
+impl SpanFilter {
+    fn matches(&self, record: &FlatRecord) -> bool {
+        if !matches!(record.record_type(), "event" | "span") {
+            return false;
+        }
+        if let Some(prefix) = &self.name {
+            if !record.name().starts_with(prefix.as_str()) {
+                return false;
+            }
+        }
+        if let Some(tenant) = self.tenant {
+            if record.num("tenant") != Some(tenant) {
+                return false;
+            }
+        }
+        if let Some(machine) = self.machine {
+            if record.num("machine") != Some(machine) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn spans(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("spans needs an export file".into());
+    };
+    let mut filter = SpanFilter {
+        name: None,
+        tenant: None,
+        machine: None,
+    };
+    let mut slowest = 10usize;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let mut value = || rest.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--name" => filter.name = Some(value()?.clone()),
+            "--tenant" => filter.tenant = Some(parse_num(value()?)?),
+            "--machine" => filter.machine = Some(parse_num(value()?)?),
+            "--slowest" => slowest = parse_num(value()?)? as usize,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let records = load(path)?;
+    let matching: Vec<&FlatRecord> = records.iter().filter(|r| filter.matches(r)).collect();
+    println!("matched {} of {} records", matching.len(), records.len());
+
+    // Per-name duration aggregates over closed spans.
+    struct Agg {
+        count: usize,
+        spans: usize,
+        total_ms: f64,
+        max_ms: f64,
+    }
+    let mut by_name: BTreeMap<String, Agg> = BTreeMap::new();
+    for record in &matching {
+        let agg = by_name.entry(record.name().to_owned()).or_insert(Agg {
+            count: 0,
+            spans: 0,
+            total_ms: 0.0,
+            max_ms: 0.0,
+        });
+        agg.count += 1;
+        if let Some(duration) = duration_ms(record) {
+            agg.spans += 1;
+            agg.total_ms += duration;
+            agg.max_ms = agg.max_ms.max(duration);
+        }
+    }
+    for (name, agg) in &by_name {
+        if agg.spans > 0 {
+            println!(
+                "  {name:<20} n={:<6} spans={:<6} mean {:>8.1} ms  max {:>8.1} ms",
+                agg.count,
+                agg.spans,
+                agg.total_ms / agg.spans as f64,
+                agg.max_ms
+            );
+        } else {
+            println!("  {name:<20} n={:<6} (point events)", agg.count);
+        }
+    }
+
+    // Slowest exemplars: closed spans by descending duration, ties by
+    // line order (stable sort) so output is deterministic.
+    let mut closed: Vec<(&&FlatRecord, f64)> = matching
+        .iter()
+        .filter_map(|r| duration_ms(r).map(|d| (r, d)))
+        .collect();
+    closed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !closed.is_empty() && slowest > 0 {
+        println!("slowest {}:", slowest.min(closed.len()));
+        for (record, duration) in closed.iter().take(slowest) {
+            let label = |key: &str| {
+                record
+                    .num(key)
+                    .map(|v| format!("{}", v as i64))
+                    .unwrap_or_else(|| "-".into())
+            };
+            println!(
+                "  {:<16} {:>9.1} ms  at {:>8} ms  trace {:<6} tenant {:<4} machine {}",
+                record.name(),
+                duration,
+                record.num("at_ms").unwrap_or(0.0) as u64,
+                label("trace"),
+                label("tenant"),
+                label("machine"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn duration_ms(record: &FlatRecord) -> Option<f64> {
+    if record.record_type() != "span" {
+        return None;
+    }
+    Some(record.num("end_ms")? - record.num("at_ms")?)
+}
+
+fn parse_num(text: &str) -> Result<f64, String> {
+    text.parse::<f64>()
+        .map_err(|_| format!("'{text}' is not a number"))
+}
+
+fn diff(args: &[String]) -> ExitCode {
+    let (paths, mut context) = (
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .collect::<Vec<_>>(),
+        3usize,
+    );
+    if let Some(i) = args.iter().position(|a| a == "--context") {
+        match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => context = n,
+            None => {
+                eprintln!("litmus-obs: --context needs a number");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [left_path, right_path] = paths[..] else {
+        eprintln!("litmus-obs: diff takes exactly two export files");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
+    };
+    let (left, right) = match (read(left_path), read(right_path)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("litmus-obs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_report(left_path, &left, right_path, &right, context) {
+        None => {
+            println!("identical ({} lines)", left.lines().count());
+            ExitCode::SUCCESS
+        }
+        Some(report) => {
+            println!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,14 +4,14 @@ use std::sync::Arc;
 use litmus_core::{DiscountModel, PricingTables};
 use litmus_platform::{ChunkedSource, InvocationTrace, TraceEvent, TraceSource};
 use litmus_sim::MachineSpec;
-use litmus_telemetry::{StageProfile, Telemetry, TelemetryConfig, Timeline};
+use litmus_telemetry::{StageProfile, Telemetry, TelemetryConfig, Timeline, TraceId, TraceSampler};
 use litmus_workloads::Language;
 
 use crate::billing::BillingAggregator;
 use crate::context::ServingContext;
 use crate::error::ClusterError;
 use crate::events::{EventQueue, ReplayEvent};
-use crate::machine::{Machine, MachineConfig, MachineId};
+use crate::machine::{CompletionRecord, Machine, MachineConfig, MachineId};
 use crate::policy::{MachineSnapshot, PlacementPolicy};
 use crate::pool::{panic_message, SteppingMode, WorkerPool};
 use crate::scale::{
@@ -402,7 +402,12 @@ impl Cluster {
             .iter()
             .any(|machine| machine.needs_quanta_before(target_ms))
         {
-            return self.step_all(target_ms, profile);
+            // Real quantum work somewhere: fan the machines out across
+            // the worker pool (profiled as its own event-engine stage).
+            let started = profile.start();
+            let result = self.step_all(target_ms, profile);
+            profile.stop("fan-out", started);
+            return result;
         }
         let ctx = Arc::clone(&self.ctx);
         for machine in &mut self.machines {
@@ -693,9 +698,11 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
     }
 
     /// Enables wall-clock profiling of the replay-loop stages
-    /// (dispatch, scale, steal, step, barrier). Profiling is excluded
-    /// from the deterministic telemetry export and from report
-    /// equality, so it can stay on during determinism checks.
+    /// (dispatch, scale, steal, step, and barrier under slice
+    /// stepping; queue, bulk-account and fan-out under the event
+    /// engine). Profiling is excluded from the deterministic telemetry
+    /// export and from report equality, so it can stay on during
+    /// determinism checks.
     pub fn profiling(mut self, enabled: bool) -> Self {
         self.telemetry.profiling = enabled;
         self
@@ -845,6 +852,14 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         );
         let replay_span = telemetry.open_span(0, "replay", vec![]);
 
+        let sampler = self.telemetry.trace_sampler();
+        if sampler.is_active() {
+            // The sampler is a pure function of (seed, rate, trace id),
+            // so this meta key — like everything else on the line — is
+            // engine- and thread-count-independent.
+            telemetry.set_meta("trace_sampling", format!("{}", sampler.rate()));
+        }
+
         let mut state = ReplayState {
             spec: cluster.spec.clone(),
             slice_ms,
@@ -860,6 +875,8 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             chunk: Vec::new(),
             telemetry,
             mirrored: (0, 0, 0),
+            sampler,
+            trace_records: Vec::new(),
         };
 
         match cluster.stepping {
@@ -882,6 +899,14 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             &state.forecast_samples,
             &state.steal_events,
         );
+        emit_trace_spans(&mut state);
+        if cluster.stepping == SteppingMode::EventDriven {
+            // The slice barrier is not part of the event engine's
+            // execution model; keep its wall-clock summary to stages
+            // the engine actually has (queue, bulk-account, fan-out,
+            // step, dispatch, scale, steal).
+            state.telemetry.profile_mut().drop_stage("barrier");
+        }
         state.telemetry.close_span(replay_span, state.now_ms);
 
         let ReplayState {
@@ -1091,9 +1116,43 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             state
                 .telemetry
                 .observe("dispatch.predicted_slowdown", predicted);
+            // The trace id is the invocation's admission index in trace
+            // order — a pure function of the trace, so the sampled set
+            // (and every span) is identical across engines and threads.
+            let trace_id = TraceId(state.placements.len() as u64);
+            let trace = if state.sampler.sample(trace_id) {
+                state.telemetry.inc("trace.sampled", 1);
+                // A late out-of-order stamp can postdate its admitting
+                // boundary; clamp so the admission span stays well-formed.
+                let arrived = event.at_ms.min(slice_end);
+                state.telemetry.span(
+                    "trace.admission",
+                    arrived,
+                    slice_end,
+                    vec![
+                        ("trace", trace_id.0.into()),
+                        ("tenant", event.tenant.0.into()),
+                        ("function", event.function.name().into()),
+                    ],
+                );
+                state.telemetry.event(
+                    slice_end,
+                    "trace.placement",
+                    vec![
+                        ("trace", trace_id.0.into()),
+                        ("tenant", event.tenant.0.into()),
+                        ("machine", id.index().into()),
+                        ("probe_slowdown", predicted.into()),
+                        ("fleet", cluster.machines.len().into()),
+                    ],
+                );
+                Some(trace_id)
+            } else {
+                None
+            };
             state.predicted_slowdowns.push(predicted);
             state.placements.push(id);
-            cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant);
+            cluster.machines[position].dispatch(event.at_ms, event.function, event.tenant, trace);
         }
         state.chunk = chunk;
         state
@@ -1223,6 +1282,11 @@ struct ReplayState {
     /// (scale, forecast, steal) entries already mirrored onto the
     /// timeline — the typed vectors stay the storage of record.
     mirrored: (usize, usize, usize),
+    /// Deterministic per-invocation trace sampler.
+    sampler: TraceSampler,
+    /// Completion records drained from the machines after every step,
+    /// merged and emitted as `trace.*` spans once the replay ends.
+    trace_records: Vec<CompletionRecord>,
 }
 
 /// Steps every live machine to `target_ms` under the cluster's
@@ -1238,7 +1302,80 @@ fn step_cluster(cluster: &mut Cluster, state: &mut ReplayState, target_ms: u64) 
         }
     }
     state.telemetry.profile_mut().stop("step", started);
+    // Drain sampled completion records on the driver thread before the
+    // next boundary can retire an emptied machine (records drop with
+    // it). Each machine's record stream is step-granularity-invariant,
+    // so the merged multiset is identical across engines.
+    for machine in &mut cluster.machines {
+        let records = machine.take_trace_records();
+        if !records.is_empty() {
+            state.trace_records.extend(records);
+        }
+    }
     Ok(())
+}
+
+/// Emits every sampled invocation's completion-side chain — the
+/// `trace.queue` span (arrival → launch), the `trace.exec` span
+/// (launch → completion) and the `trace.billed` attribution event — in
+/// one deterministic merge at replay end. Records are sorted by
+/// (completion time, trace id): per-machine streams are identical
+/// across stepping modes, and the sort key is unique per record, so
+/// the emitted order never depends on how the driver batched the
+/// drains (slice-by-slice vs one bulk skip).
+fn emit_trace_spans(state: &mut ReplayState) {
+    if state.trace_records.is_empty() {
+        return;
+    }
+    let mut records = std::mem::take(&mut state.trace_records);
+    records.sort_by(|a, b| {
+        a.completed_ms
+            .total_cmp(&b.completed_ms)
+            .then_with(|| a.trace.cmp(&b.trace))
+    });
+    for record in &records {
+        let completed = record.completed_ms as u64;
+        let wait_ms = record.launched_ms.saturating_sub(record.arrived_ms);
+        state.telemetry.span(
+            "trace.queue",
+            record.arrived_ms,
+            record.launched_ms,
+            vec![
+                ("trace", record.trace.0.into()),
+                ("tenant", record.tenant.0.into()),
+                ("machine", record.machine.index().into()),
+                ("moves", record.moves.into()),
+            ],
+        );
+        state.telemetry.span(
+            "trace.exec",
+            record.launched_ms,
+            completed,
+            vec![
+                ("trace", record.trace.0.into()),
+                ("tenant", record.tenant.0.into()),
+                ("machine", record.machine.index().into()),
+            ],
+        );
+        state.telemetry.event(
+            completed,
+            "trace.billed",
+            vec![
+                ("trace", record.trace.0.into()),
+                ("tenant", record.tenant.0.into()),
+                ("machine", record.machine.index().into()),
+                ("cost", record.cost.into()),
+                ("predicted", record.predicted.into()),
+            ],
+        );
+        state.telemetry.inc("trace.completed", 1);
+        state
+            .telemetry
+            .observe("trace.queue_wait_ms", wait_ms as f64);
+        if record.moves > 0 {
+            state.telemetry.inc("trace.stolen", 1);
+        }
+    }
 }
 
 /// Accounts `(to_ms − now) / slice_ms` skipped quiet slices in O(1)
@@ -1256,7 +1393,10 @@ fn bulk_skip(cluster: &mut Cluster, state: &mut ReplayState, to_ms: u64) -> Resu
     state
         .telemetry
         .gauge_set_n("fleet.machines", cluster.machines.len() as f64, slices);
-    state.telemetry.profile_mut().stop("skip", skip_started);
+    state
+        .telemetry
+        .profile_mut()
+        .stop("bulk-account", skip_started);
     step_cluster(cluster, state, to_ms)?;
     state.now_ms = to_ms;
     Ok(())

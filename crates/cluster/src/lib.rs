@@ -130,7 +130,7 @@ pub use litmus_forecast::{ForecasterSpec, HorizonForecast};
 // `litmus_cluster` users don't need a direct `litmus-telemetry` dep.
 pub use litmus_telemetry::{
     EventKind, FieldValue, FlightRecorder, Gauge, LogHistogram, Registry, StageProfile, StageStat,
-    Telemetry, TelemetryConfig, Timeline, TimelineEvent,
+    Telemetry, TelemetryConfig, Timeline, TimelineEvent, TraceId, TraceSampler,
 };
 
 /// Result alias used throughout the crate.

@@ -3,6 +3,7 @@ use std::fmt;
 
 use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig, TenantId};
 use litmus_sim::{Event, ExecutionProfile, InstanceId, MachineSpec};
+use litmus_telemetry::TraceId;
 use litmus_workloads::{Benchmark, Language};
 
 use crate::billing::BillingShard;
@@ -109,6 +110,11 @@ pub(crate) struct QueuedArrival {
     pub(crate) launch_at_ms: u64,
     pub(crate) function: Benchmark,
     pub(crate) tenant: TenantId,
+    /// Identity of the sampled trace this arrival belongs to (`None`
+    /// when the invocation was not sampled — nothing is recorded).
+    pub(crate) trace: Option<TraceId>,
+    /// Times the stealing pass has re-dispatched this arrival.
+    pub(crate) moves: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -116,6 +122,34 @@ struct InFlight {
     function: Benchmark,
     tenant: TenantId,
     arrived_cluster_ms: u64,
+    launched_cluster_ms: u64,
+    trace: Option<TraceId>,
+    moves: u32,
+}
+
+/// Everything the driver needs to emit one sampled invocation's
+/// completion-side spans (queue wait, execution, billing attribution).
+/// Machines accumulate these locally while stepping on worker threads;
+/// the driver drains them single-threadedly after every step, so span
+/// emission order stays deterministic.
+#[derive(Debug, Clone)]
+pub(crate) struct CompletionRecord {
+    pub(crate) trace: TraceId,
+    pub(crate) tenant: TenantId,
+    pub(crate) machine: MachineId,
+    /// Cluster time the invocation arrived (dispatch stamp), ms.
+    pub(crate) arrived_ms: u64,
+    /// Cluster time the invocation launched into execution, ms.
+    pub(crate) launched_ms: u64,
+    /// Cluster time the invocation completed, ms (fractional: the
+    /// simulator completes at sub-ms quanta).
+    pub(crate) completed_ms: f64,
+    /// Litmus-priced cost billed for the invocation.
+    pub(crate) cost: f64,
+    /// Predicted slowdown the completion's startup probe produced.
+    pub(crate) predicted: f64,
+    /// Times the stealing pass re-dispatched the invocation.
+    pub(crate) moves: u32,
 }
 
 /// One serving machine: a congested [`CoRunHarness`] plus the
@@ -155,6 +189,9 @@ pub struct Machine {
     latency_sum_ms: f64,
     queue_wait_sum_ms: f64,
     draining: bool,
+    /// Per-invocation completion records of sampled traces, drained by
+    /// the driver after every step (empty whenever tracing is off).
+    trace_records: Vec<CompletionRecord>,
 }
 
 impl Machine {
@@ -203,6 +240,7 @@ impl Machine {
             latency_sum_ms: 0.0,
             queue_wait_sum_ms: 0.0,
             draining: false,
+            trace_records: Vec::new(),
         };
         machine.probe(probe_language, ctx)?;
         machine.epoch_ms = machine.harness.sim().now_ms();
@@ -250,12 +288,21 @@ impl Machine {
 
     /// Accepts an invocation arriving at cluster time `at_ms`; it
     /// launches once the machine steps past that time and a concurrency
-    /// slot is free.
-    pub fn dispatch(&mut self, at_ms: u64, function: Benchmark, tenant: TenantId) {
+    /// slot is free. `trace` carries the sampled trace identity (pass
+    /// `None` for unsampled invocations — nothing extra is recorded).
+    pub fn dispatch(
+        &mut self,
+        at_ms: u64,
+        function: Benchmark,
+        tenant: TenantId,
+        trace: Option<TraceId>,
+    ) {
         self.queue.push_back(QueuedArrival {
             launch_at_ms: at_ms,
             function,
             tenant,
+            trace,
+            moves: 0,
         });
         self.dispatched += 1;
     }
@@ -280,7 +327,8 @@ impl Machine {
     /// Accepts invocations shed by another machine, keeping the queue
     /// sorted by launch time (stolen work may predate queued work).
     pub(crate) fn accept_stolen(&mut self, arrivals: Vec<QueuedArrival>) {
-        for arrival in arrivals {
+        for mut arrival in arrivals {
+            arrival.moves += 1;
             let at = self
                 .queue
                 .partition_point(|queued| queued.launch_at_ms <= arrival.launch_at_ms);
@@ -382,8 +430,9 @@ impl Machine {
                 .scaled(ctx.scale())
                 .map_err(litmus_core::CoreError::from)?;
             let id = self.harness.submit(profile)?;
+            let launched_cluster_ms = self.cluster_now_ms();
             self.queue_wait_sum_ms +=
-                (self.cluster_now_ms().saturating_sub(arrival.launch_at_ms)) as f64;
+                (launched_cluster_ms.saturating_sub(arrival.launch_at_ms)) as f64;
             self.launched += 1;
             self.inflight.insert(
                 id,
@@ -391,6 +440,9 @@ impl Machine {
                     function: arrival.function,
                     tenant: arrival.tenant,
                     arrived_cluster_ms: arrival.launch_at_ms,
+                    launched_cluster_ms,
+                    trace: arrival.trace,
+                    moves: arrival.moves,
                 },
             );
         }
@@ -406,15 +458,36 @@ impl Machine {
             let report = self.harness.report(id)?;
             let (invoice, predicted) = ctx.price(&done.function, &report)?;
             self.predicted_slowdown = predicted;
-            self.shard.fold(done.tenant, &invoice);
             self.completed += 1;
             // Both times in cluster coordinates: local completion time
             // shifted by the machine's epoch/birth offset.
             let completed_cluster_ms = self.born_ms as f64 + (at_ms - self.epoch_ms as f64);
             self.last_probe_ms = self.last_probe_ms.max(completed_cluster_ms as u64);
             self.latency_sum_ms += completed_cluster_ms - done.arrived_cluster_ms as f64;
+            if let Some(trace) = done.trace {
+                self.trace_records.push(CompletionRecord {
+                    trace,
+                    tenant: done.tenant,
+                    machine: self.id,
+                    arrived_ms: done.arrived_cluster_ms,
+                    launched_ms: done.launched_cluster_ms,
+                    completed_ms: completed_cluster_ms,
+                    cost: invoice.litmus.total(),
+                    predicted,
+                    moves: done.moves,
+                });
+            }
+            self.shard.fold(done.tenant, &invoice);
         }
         Ok(())
+    }
+
+    /// Drains the completion records accumulated since the last call,
+    /// in per-machine completion order. Called by the driver (single
+    /// thread) after every step, so records never outlive a machine's
+    /// retirement.
+    pub(crate) fn take_trace_records(&mut self) -> Vec<CompletionRecord> {
+        std::mem::take(&mut self.trace_records)
     }
 
     /// The scheduler-visible state of the machine.

@@ -10,13 +10,14 @@
 use litmus_cluster::{
     AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, ForecasterSpec,
     LeastLoaded, LitmusAware, MachineConfig, PlacementPolicy, PredictiveConfig, RoundRobin,
-    StealingConfig, SteppingMode,
+    StealingConfig, SteppingMode, TelemetryConfig,
 };
 use litmus_core::{DiscountModel, PricingTables, TableBuilder};
 use litmus_platform::{
     ArrivalPattern, InvocationTrace, TenantId, TenantTraffic, TraceEvent, TraceSource,
 };
 use litmus_sim::MachineSpec;
+use litmus_telemetry::assert_jsonl_eq;
 use litmus_workloads::suite::{self, TenantClass};
 
 fn calibration() -> (PricingTables, DiscountModel) {
@@ -124,10 +125,17 @@ fn replay<P: PlacementPolicy, S: TraceSource>(
 
 /// Asserts the full oracle contract: report bit-equality (placements,
 /// billing, latencies, scale/steal/forecast records — everything
-/// `PartialEq` covers) and telemetry JSONL byte-equality.
+/// `PartialEq` covers) and telemetry JSONL byte-equality. The JSONL
+/// check runs first so a divergence fails with the exact line and
+/// surrounding context rather than a screenful of `Debug` output.
 fn assert_oracle_equal(slice: &ClusterReport, event: &ClusterReport) {
+    assert_jsonl_eq(
+        "slice",
+        &slice.timeline_jsonl(),
+        "event",
+        &event.timeline_jsonl(),
+    );
     assert_eq!(slice, event);
-    assert_eq!(slice.timeline_jsonl(), event.timeline_jsonl());
 }
 
 #[test]
@@ -176,9 +184,12 @@ fn event_engine_matches_slice_oracle_across_policies_and_threads() {
 fn event_engine_matches_slice_oracle_with_elastic_control() {
     // Stealing + predictive autoscaling: every boundary is a decision
     // round, so this exercises the engine's degenerate per-boundary
-    // path (probe ticks on every slice) plus boot-ready events.
+    // path (probe ticks on every slice) plus boot-ready events. Span
+    // tracing at rate 1.0 puts the per-invocation chains into the
+    // compared byte stream too.
     let driver = || {
         ClusterDriver::new(LitmusAware::new())
+            .telemetry(TelemetryConfig::default().trace_sampling(0x0B5E, 1.0))
             .stealing(StealingConfig::default().backlog_threshold(2))
             .autoscale(
                 AutoscalerConfig::new(
@@ -214,15 +225,18 @@ fn event_engine_matches_slice_oracle_with_elastic_control() {
 #[test]
 fn event_engine_matches_slice_oracle_on_gapped_traces() {
     // The engine's home turf: a sparse trace where almost every slice
-    // is empty. Materialized and streaming replay must agree too.
+    // is empty. Materialized and streaming replay must agree too. Span
+    // tracing is on: completion spans settled before a bulk-skipped
+    // gap must serialize identically whether the driver drained them
+    // slice-by-slice or in one bulk batch.
+    let traced = || {
+        ClusterDriver::new(LitmusAware::new())
+            .telemetry(TelemetryConfig::default().trace_sampling(0x0B5E, 1.0))
+    };
     let trace = gapped_trace(10 * 60_000);
-    let (slice, _) = replay(
-        ClusterDriver::new(LitmusAware::new()),
-        quiet_config(3, 2),
-        trace.source(),
-    );
+    let (slice, _) = replay(traced(), quiet_config(3, 2), trace.source());
     let (event, _) = replay(
-        ClusterDriver::new(LitmusAware::new()),
+        traced(),
         quiet_config(3, 2).stepping(SteppingMode::EventDriven),
         trace.source(),
     );

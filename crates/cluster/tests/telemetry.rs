@@ -1,8 +1,9 @@
 //! Determinism contract of the replay telemetry: the JSONL timeline
-//! export must be byte-identical across worker-pool thread counts and
-//! stepping modes, and between streaming and materialized replay —
-//! even with wall-clock profiling enabled, which lives outside the
-//! deterministic surface.
+//! export — including the per-invocation `trace.*` span chains, which
+//! every driver here samples at rate 1.0 — must be byte-identical
+//! across worker-pool thread counts and stepping modes, and between
+//! streaming and materialized replay — even with wall-clock profiling
+//! enabled, which lives outside the deterministic surface.
 
 use litmus_cluster::{
     AutoscalerConfig, Cluster, ClusterConfig, ClusterDriver, ClusterReport, ForecasterSpec,
@@ -70,10 +71,12 @@ fn bursty_trace(duration_ms: u64, seed: u64) -> InvocationTrace {
 }
 
 /// A driver exercising every timeline producer at once: stealing,
-/// predictive autoscaling (scale + forecast events) and wall-clock
-/// profiling (which must NOT perturb the export).
+/// predictive autoscaling (scale + forecast events), per-invocation
+/// span-tree tracing at rate 1.0, and wall-clock profiling (which
+/// must NOT perturb the export).
 fn full_driver() -> ClusterDriver<RoundRobin> {
     ClusterDriver::new(RoundRobin::new())
+        .telemetry(TelemetryConfig::default().trace_sampling(0x5EED, 1.0))
         .stealing(StealingConfig::default().backlog_threshold(2))
         .autoscale(
             AutoscalerConfig::new(
@@ -165,6 +168,15 @@ fn timeline_mirrors_the_typed_event_vectors_exactly() {
         "predictive replay must record forecast samples"
     );
 
+    // Span-tree tracing at rate 1.0: every admitted invocation gets an
+    // admission span and a placement decision event; every completed
+    // one also gets queue/exec spans and a billing attribution event.
+    assert_eq!(count("trace.admission"), trace.len());
+    assert_eq!(count("trace.placement"), trace.len());
+    assert_eq!(count("trace.queue"), report.completed);
+    assert_eq!(count("trace.exec"), report.completed);
+    assert_eq!(count("trace.billed"), report.completed);
+
     // Registry counters agree with the typed report fields.
     let registry = report.telemetry().registry();
     assert_eq!(
@@ -176,6 +188,11 @@ fn timeline_mirrors_the_typed_event_vectors_exactly() {
         report.completed
     );
     assert_eq!(registry.counter("arrivals.admitted") as usize, trace.len());
+    assert_eq!(registry.counter("trace.sampled") as usize, trace.len());
+    assert_eq!(
+        registry.counter("trace.completed") as usize,
+        report.completed
+    );
     assert_eq!(
         registry
             .histogram("dispatch.predicted_slowdown")

@@ -1,0 +1,140 @@
+//! Per-tenant fairness rollups over a replay's completion samples.
+//!
+//! Litmus prices by *predicted slowdown*, so fairness across tenants
+//! is legible directly from the span chains: if one tenant's
+//! invocations systematically see higher slowdowns, longer queue
+//! waits, or absorb most of the steal churn, the rollups here surface
+//! it as a Gini coefficient plus per-tenant victim counts — without
+//! re-running the replay.
+
+use std::collections::BTreeMap;
+
+use crate::spans::CompletionSample;
+
+/// Aggregates of one tenant's completed invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRollup {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Completed (sampled) invocations.
+    pub completions: u64,
+    /// Mean predicted slowdown across completions.
+    pub mean_slowdown: f64,
+    /// Mean queue wait, ms.
+    pub mean_wait_ms: f64,
+    /// Invocations moved at least once by work stealing ("steal
+    /// victims": their launch was deferred through one or more
+    /// re-dispatches).
+    pub stolen: u64,
+    /// Total Litmus-priced spend.
+    pub spend: f64,
+}
+
+/// Gini coefficient of non-negative values: 0 when all equal, → 1 as
+/// one value dominates. Degenerate inputs (fewer than two values, or
+/// an all-zero sum) are perfectly equal by convention.
+pub fn gini(values: &[f64]) -> f64 {
+    let total: f64 = values.iter().filter(|v| v.is_finite()).sum();
+    if values.len() < 2 || total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n - 1.0) * x)
+        .sum();
+    weighted / (n * total)
+}
+
+/// Folds completion samples into per-tenant rollups, ascending by
+/// tenant id.
+pub fn rollups(samples: &[CompletionSample]) -> Vec<TenantRollup> {
+    #[derive(Default)]
+    struct Acc {
+        completions: u64,
+        slowdown_sum: f64,
+        wait_sum: f64,
+        stolen: u64,
+        spend: f64,
+    }
+    let mut by_tenant: BTreeMap<u32, Acc> = BTreeMap::new();
+    for sample in samples {
+        let acc = by_tenant.entry(sample.tenant).or_default();
+        acc.completions += 1;
+        acc.slowdown_sum += sample.predicted;
+        acc.wait_sum += sample.wait_ms as f64;
+        acc.stolen += u64::from(sample.moves > 0);
+        acc.spend += sample.cost;
+    }
+    by_tenant
+        .into_iter()
+        .map(|(tenant, acc)| {
+            let n = acc.completions.max(1) as f64;
+            TenantRollup {
+                tenant,
+                completions: acc.completions,
+                mean_slowdown: acc.slowdown_sum / n,
+                mean_wait_ms: acc.wait_sum / n,
+                stolen: acc.stolen,
+                spend: acc.spend,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        tenant: u32,
+        predicted: f64,
+        wait_ms: u64,
+        moves: u64,
+        cost: f64,
+    ) -> CompletionSample {
+        CompletionSample {
+            trace: 0,
+            tenant,
+            machine: 0,
+            arrived_ms: 0,
+            launched_ms: wait_ms,
+            completed_ms: wait_ms + 10,
+            wait_ms,
+            moves,
+            cost,
+            predicted,
+        }
+    }
+
+    #[test]
+    fn gini_is_zero_for_uniform_and_high_for_skew() {
+        assert_eq!(gini(&[3.0, 3.0, 3.0, 3.0]), 0.0);
+        assert!(gini(&[100.0, 1.0, 1.0, 1.0]) > 0.6);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[5.0]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn rollups_fold_per_tenant_ascending() {
+        let samples = vec![
+            sample(1, 2.0, 40, 1, 0.3),
+            sample(0, 1.0, 0, 0, 0.1),
+            sample(1, 4.0, 80, 0, 0.5),
+        ];
+        let rolled = rollups(&samples);
+        assert_eq!(rolled.len(), 2);
+        assert_eq!(rolled[0].tenant, 0);
+        assert_eq!(rolled[0].completions, 1);
+        assert_eq!(rolled[0].stolen, 0);
+        assert_eq!(rolled[1].tenant, 1);
+        assert_eq!(rolled[1].mean_slowdown, 3.0);
+        assert_eq!(rolled[1].mean_wait_ms, 60.0);
+        assert_eq!(rolled[1].stolen, 1);
+        assert!((rolled[1].spend - 0.8).abs() < 1e-12);
+    }
+}

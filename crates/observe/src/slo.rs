@@ -1,0 +1,690 @@
+//! Declarative SLOs evaluated as streaming burn-rate alerts over a
+//! replay timeline.
+//!
+//! An [`SloSpec`] names a per-tenant objective — "99% of tenant 1's
+//! invocations see predicted slowdown ≤ 1.8", "99% launch within
+//! 50 ms", "tenant 0 spends at most 2.0 per second" — and one or more
+//! [`BurnRateRule`]s in the Google-SRE multi-window form: alert when
+//! the error budget is burning at ≥ `factor`× the sustainable rate
+//! over BOTH a fast and a slow trailing window (the fast window makes
+//! alerts prompt, the slow window keeps them from flapping on a single
+//! bad slice).
+//!
+//! [`SloEngine::evaluate`] replays the engine over a finished
+//! timeline's `trace.*` span chains, advancing slice boundary by slice
+//! boundary exactly as an online evaluator co-located with the cluster
+//! driver would, and emits every alert as an open/close `slo.alert`
+//! span in its own [`Telemetry`] — so alert fire and clear times are
+//! deterministic sim-time facts of the replay, byte-reproducible in
+//! JSONL like everything else in the stack.
+
+use litmus_telemetry::{Telemetry, TelemetryConfig, Timeline};
+
+use crate::fairness::{gini, rollups, TenantRollup};
+use crate::spans::{completions, horizon_ms, CompletionSample};
+
+/// What an [`SloSpec`] measures, and the per-event threshold that
+/// makes one observation "bad" (budget-consuming).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// A completion is bad when its billed predicted slowdown exceeds
+    /// `max`. With objective `0.99` this is a p99 slowdown target.
+    Slowdown {
+        /// Largest acceptable predicted slowdown.
+        max: f64,
+    },
+    /// A completion is bad when it queued longer than `max_ms` before
+    /// launching.
+    QueueWait {
+        /// Largest acceptable queue wait, ms.
+        max_ms: u64,
+    },
+    /// A slice is bad when the tenant's Litmus-priced spend during it
+    /// exceeds `max_per_s` (pro-rated to the slice length). Rate
+    /// objectives count every slice, so an idle stretch is in-budget
+    /// by definition.
+    BillingRate {
+        /// Largest acceptable spend per second.
+        max_per_s: f64,
+    },
+}
+
+impl SloKind {
+    fn label(&self) -> &'static str {
+        match self {
+            SloKind::Slowdown { .. } => "slowdown",
+            SloKind::QueueWait { .. } => "queue-wait",
+            SloKind::BillingRate { .. } => "billing-rate",
+        }
+    }
+}
+
+/// One multi-window burn-rate alert rule: fire when the error budget
+/// burns at ≥ `factor`× the sustainable rate over both windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRateRule {
+    /// Severity tag stamped on the alert (`"page"`, `"ticket"`, …).
+    pub severity: &'static str,
+    /// Fast trailing window, ms (promptness).
+    pub fast_ms: u64,
+    /// Slow trailing window, ms (flap suppression).
+    pub slow_ms: u64,
+    /// Minimum burn-rate multiple that fires the alert.
+    pub factor: f64,
+}
+
+impl BurnRateRule {
+    /// A rule with explicit windows and factor.
+    pub fn new(severity: &'static str, fast_ms: u64, slow_ms: u64, factor: f64) -> Self {
+        BurnRateRule {
+            severity,
+            fast_ms,
+            slow_ms,
+            factor,
+        }
+    }
+}
+
+/// A declarative service-level objective over one tenant (or the whole
+/// cluster) plus its alerting rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Display name, stamped on alerts.
+    pub name: String,
+    /// Tenant the objective applies to; `None` aggregates all tenants.
+    pub tenant: Option<u32>,
+    /// The measured signal and its per-event threshold.
+    pub kind: SloKind,
+    /// Target good fraction in `[0, 1)` — e.g. `0.99` allows a 1%
+    /// error budget.
+    pub objective: f64,
+    /// Burn-rate rules; each fires and clears independently.
+    pub rules: Vec<BurnRateRule>,
+}
+
+impl SloSpec {
+    fn new(name: impl Into<String>, kind: SloKind) -> Self {
+        SloSpec {
+            name: name.into(),
+            tenant: None,
+            kind,
+            objective: 0.99,
+            // Sim replays span seconds, not weeks: the default windows
+            // are the SRE 5m/1h page and 30m/6h ticket pairs scaled to
+            // a seconds-long horizon.
+            rules: vec![
+                BurnRateRule::new("page", 500, 2_000, 4.0),
+                BurnRateRule::new("ticket", 2_000, 8_000, 1.0),
+            ],
+        }
+    }
+
+    /// A predicted-slowdown objective (bad above `max`).
+    pub fn slowdown(name: impl Into<String>, max: f64) -> Self {
+        SloSpec::new(name, SloKind::Slowdown { max })
+    }
+
+    /// A queue-wait objective (bad above `max_ms`).
+    pub fn queue_wait(name: impl Into<String>, max_ms: u64) -> Self {
+        SloSpec::new(name, SloKind::QueueWait { max_ms })
+    }
+
+    /// A spend-rate objective (bad slices above `max_per_s`).
+    pub fn billing_rate(name: impl Into<String>, max_per_s: f64) -> Self {
+        SloSpec::new(name, SloKind::BillingRate { max_per_s })
+    }
+
+    /// Restricts the objective to one tenant.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Sets the target good fraction (clamped to `[0, 1)`).
+    pub fn objective(mut self, objective: f64) -> Self {
+        self.objective = if objective.is_finite() {
+            objective.clamp(0.0, 1.0 - 1e-9)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Replaces the alert rules.
+    pub fn rules(mut self, rules: Vec<BurnRateRule>) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// The sustainable-rate denominator: `1 − objective`.
+    fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// One fired alert (cleared or still open at the horizon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The violated SLO's name.
+    pub slo: String,
+    /// Severity of the rule that fired.
+    pub severity: &'static str,
+    /// Tenant scope of the SLO.
+    pub tenant: Option<u32>,
+    /// Slice boundary the alert fired at, sim ms.
+    pub fired_ms: u64,
+    /// Slice boundary it cleared at (`None` = open at horizon).
+    pub cleared_ms: Option<u64>,
+    /// Largest fast-window burn multiple seen while firing.
+    pub peak_burn: f64,
+}
+
+/// Fast-window burn-rate samples of one SLO (its first rule), one
+/// point per slice boundary — the raw material for burn timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSeries {
+    /// The SLO's name.
+    pub slo: String,
+    /// Tenant scope.
+    pub tenant: Option<u32>,
+    /// `(boundary_ms, burn multiple)` per evaluated boundary.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Everything one evaluation produced: the engine's own deterministic
+/// telemetry (alert spans + fairness registry), the typed alert list,
+/// per-tenant rollups and burn-rate series.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Alert spans, fairness gauges and rollup events, exportable with
+    /// the same byte-reproducibility contract as the replay telemetry.
+    pub telemetry: Telemetry,
+    /// Fired alerts in `(fired_ms, spec, rule)` order.
+    pub alerts: Vec<Alert>,
+    /// Per-tenant fairness rollups, ascending by tenant.
+    pub rollups: Vec<TenantRollup>,
+    /// Gini of per-tenant mean predicted slowdown.
+    pub gini_slowdown: f64,
+    /// Gini of per-tenant spend.
+    pub gini_spend: f64,
+    /// Per-SLO fast-window burn series.
+    pub series: Vec<SloSeries>,
+    /// Evaluation horizon, sim ms.
+    pub horizon_ms: u64,
+}
+
+impl SloReport {
+    /// The engine's telemetry as byte-reproducible JSONL.
+    pub fn to_jsonl(&self) -> String {
+        self.telemetry.to_jsonl()
+    }
+
+    /// Human summary: alerts first, then rollups, then the telemetry
+    /// digest.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.alerts.is_empty() {
+            let _ = writeln!(out, "alerts: none (horizon {} ms)", self.horizon_ms);
+        } else {
+            let _ = writeln!(out, "alerts:");
+            for alert in &self.alerts {
+                let tenant = match alert.tenant {
+                    Some(t) => format!("tenant {t}"),
+                    None => "all tenants".to_owned(),
+                };
+                let cleared = match alert.cleared_ms {
+                    Some(ms) => format!("cleared @ {ms} ms"),
+                    None => "still firing at horizon".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  [{}] {} ({tenant}) fired @ {} ms, {cleared}, peak burn {:.1}x",
+                    alert.severity, alert.slo, alert.fired_ms, alert.peak_burn
+                );
+            }
+        }
+        if !self.rollups.is_empty() {
+            let _ = writeln!(
+                out,
+                "tenants (slowdown Gini {:.3}, spend Gini {:.3}):",
+                self.gini_slowdown, self.gini_spend
+            );
+            for roll in &self.rollups {
+                let _ = writeln!(
+                    out,
+                    "  tenant {}: {} done, mean slowdown {:.2}, mean wait {:.1} ms, {} stolen, spend {:.3}",
+                    roll.tenant,
+                    roll.completions,
+                    roll.mean_slowdown,
+                    roll.mean_wait_ms,
+                    roll.stolen,
+                    roll.spend
+                );
+            }
+        }
+        out.push_str(&self.telemetry.summary());
+        out
+    }
+}
+
+/// Evaluates a set of [`SloSpec`]s against a replay timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+}
+
+impl SloEngine {
+    /// An engine with no SLOs (add them with [`SloEngine::spec`]).
+    pub fn new() -> Self {
+        SloEngine::default()
+    }
+
+    /// Adds an SLO.
+    pub fn spec(mut self, spec: SloSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The configured SLOs.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Streams the engine over a finished replay timeline, advancing
+    /// one `slice_ms` boundary at a time. Deterministic: the input
+    /// timeline is a pure function of the replay, and so is every
+    /// alert boundary computed here.
+    pub fn evaluate(&self, timeline: &Timeline, slice_ms: u64) -> SloReport {
+        let slice_ms = slice_ms.max(1);
+        let samples = completions(timeline);
+        let horizon = horizon_ms(timeline);
+        let slices = (horizon.div_ceil(slice_ms)).max(1) as usize;
+
+        let mut telemetry = Telemetry::new(TelemetryConfig::default());
+        telemetry.set_meta("source", "slo-engine");
+        telemetry.set_meta("slice_ms", slice_ms.to_string());
+        telemetry.set_meta("slos", self.specs.len().to_string());
+
+        // Per-spec per-slice (bad, total) tallies.
+        let tallies: Vec<Tally> = self
+            .specs
+            .iter()
+            .map(|spec| Tally::build(spec, &samples, slices, slice_ms))
+            .collect();
+
+        let mut fired: Vec<(u64, usize, usize, Alert, f64, f64)> = Vec::new();
+        let mut series = Vec::new();
+        for (spec_idx, (spec, tally)) in self.specs.iter().zip(&tallies).enumerate() {
+            let budget = spec.budget();
+            let mut points = Vec::with_capacity(slices);
+            for (rule_idx, rule) in spec.rules.iter().enumerate() {
+                let fast = (rule.fast_ms / slice_ms).max(1) as usize;
+                let slow = (rule.slow_ms / slice_ms).max(1) as usize;
+                let mut open: Option<(u64, f64, f64, f64)> = None; // fired, burn_fast, burn_slow, peak
+                for i in 0..slices {
+                    let boundary = (i as u64 + 1) * slice_ms;
+                    let burn_fast = tally.burn(i, fast, budget);
+                    let burn_slow = tally.burn(i, slow, budget);
+                    if rule_idx == 0 {
+                        points.push((boundary, burn_fast));
+                    }
+                    let firing = burn_fast >= rule.factor && burn_slow >= rule.factor;
+                    match (&mut open, firing) {
+                        (None, true) => open = Some((boundary, burn_fast, burn_slow, burn_fast)),
+                        (Some((_, _, _, peak)), true) => *peak = peak.max(burn_fast),
+                        (Some((fired_ms, bf, bs, peak)), false) => {
+                            fired.push((
+                                *fired_ms,
+                                spec_idx,
+                                rule_idx,
+                                Alert {
+                                    slo: spec.name.clone(),
+                                    severity: rule.severity,
+                                    tenant: spec.tenant,
+                                    fired_ms: *fired_ms,
+                                    cleared_ms: Some(boundary),
+                                    peak_burn: *peak,
+                                },
+                                *bf,
+                                *bs,
+                            ));
+                            open = None;
+                        }
+                        (None, false) => {}
+                    }
+                }
+                if let Some((fired_ms, bf, bs, peak)) = open {
+                    fired.push((
+                        fired_ms,
+                        spec_idx,
+                        rule_idx,
+                        Alert {
+                            slo: spec.name.clone(),
+                            severity: rule.severity,
+                            tenant: spec.tenant,
+                            fired_ms,
+                            cleared_ms: None,
+                            peak_burn: peak,
+                        },
+                        bf,
+                        bs,
+                    ));
+                }
+            }
+            series.push(SloSeries {
+                slo: spec.name.clone(),
+                tenant: spec.tenant,
+                points,
+            });
+        }
+
+        // Chronological, tie-broken by declaration order — stable and
+        // mode-independent, like the replay timeline itself.
+        fired.sort_by_key(|a| (a.0, a.1, a.2));
+        let mut alerts = Vec::with_capacity(fired.len());
+        for (_, spec_idx, _, alert, burn_fast, burn_slow) in fired {
+            let spec = &self.specs[spec_idx];
+            let tenant_label = match alert.tenant {
+                Some(t) => t.to_string(),
+                None => "all".to_owned(),
+            };
+            let fields = vec![
+                ("slo", alert.slo.clone().into()),
+                ("tenant", tenant_label.into()),
+                ("severity", alert.severity.into()),
+                ("kind", spec.kind.label().into()),
+                ("objective", spec.objective.into()),
+                (
+                    "factor",
+                    self.specs[spec_idx]
+                        .rules
+                        .iter()
+                        .find(|r| r.severity == alert.severity)
+                        .map(|r| r.factor)
+                        .unwrap_or(0.0)
+                        .into(),
+                ),
+                ("burn_fast", burn_fast.into()),
+                ("burn_slow", burn_slow.into()),
+                ("peak_burn", alert.peak_burn.into()),
+            ];
+            match alert.cleared_ms {
+                Some(end) => telemetry.span("slo.alert", alert.fired_ms, end, fields),
+                None => {
+                    telemetry.open_span(alert.fired_ms, "slo.alert", fields);
+                }
+            }
+            telemetry.inc("slo.alert.fired", 1);
+            if alert.cleared_ms.is_some() {
+                telemetry.inc("slo.alert.cleared", 1);
+            }
+            alerts.push(alert);
+        }
+
+        let rollups = rollups(&samples);
+        let gini_slowdown = gini(&rollups.iter().map(|r| r.mean_slowdown).collect::<Vec<_>>());
+        let gini_spend = gini(&rollups.iter().map(|r| r.spend).collect::<Vec<_>>());
+        telemetry.gauge_set("fairness.gini_slowdown", gini_slowdown);
+        telemetry.gauge_set("fairness.gini_spend", gini_spend);
+        for roll in &rollups {
+            telemetry.event(
+                horizon,
+                "tenant.rollup",
+                vec![
+                    ("tenant", roll.tenant.into()),
+                    ("completions", roll.completions.into()),
+                    ("mean_slowdown", roll.mean_slowdown.into()),
+                    ("mean_wait_ms", roll.mean_wait_ms.into()),
+                    ("stolen", roll.stolen.into()),
+                    ("spend", roll.spend.into()),
+                ],
+            );
+        }
+
+        SloReport {
+            telemetry,
+            alerts,
+            rollups,
+            gini_slowdown,
+            gini_spend,
+            series,
+            horizon_ms: horizon,
+        }
+    }
+}
+
+/// Prefix-summed per-slice (bad, total) counts of one SLO.
+struct Tally {
+    // prefix[i+1] = totals over slices 0..=i.
+    bad: Vec<u64>,
+    total: Vec<u64>,
+}
+
+impl Tally {
+    fn build(spec: &SloSpec, samples: &[CompletionSample], slices: usize, slice_ms: u64) -> Self {
+        let mut bad = vec![0u64; slices];
+        let mut total = vec![0u64; slices];
+        match spec.kind {
+            SloKind::Slowdown { max } => {
+                for s in filtered(samples, spec.tenant) {
+                    let i = slice_of(s.completed_ms, slice_ms, slices);
+                    total[i] += 1;
+                    bad[i] += u64::from(s.predicted > max);
+                }
+            }
+            SloKind::QueueWait { max_ms } => {
+                for s in filtered(samples, spec.tenant) {
+                    let i = slice_of(s.completed_ms, slice_ms, slices);
+                    total[i] += 1;
+                    bad[i] += u64::from(s.wait_ms > max_ms);
+                }
+            }
+            SloKind::BillingRate { max_per_s } => {
+                let mut spend = vec![0.0f64; slices];
+                for s in filtered(samples, spec.tenant) {
+                    spend[slice_of(s.completed_ms, slice_ms, slices)] += s.cost;
+                }
+                let cap = max_per_s * slice_ms as f64 / 1_000.0;
+                for i in 0..slices {
+                    total[i] = 1;
+                    bad[i] = u64::from(spend[i] > cap);
+                }
+            }
+        }
+        let prefix = |v: &[u64]| {
+            let mut p = Vec::with_capacity(v.len() + 1);
+            p.push(0u64);
+            for &x in v {
+                p.push(p.last().unwrap() + x);
+            }
+            p
+        };
+        Tally {
+            bad: prefix(&bad),
+            total: prefix(&total),
+        }
+    }
+
+    /// Burn multiple over the `window` slices ending at slice `i`
+    /// (inclusive): `(bad/total) / budget`, zero when the window saw
+    /// no observations.
+    fn burn(&self, i: usize, window: usize, budget: f64) -> f64 {
+        let end = i + 1;
+        let start = end.saturating_sub(window);
+        let total = self.total[end] - self.total[start];
+        if total == 0 {
+            return 0.0;
+        }
+        let bad = self.bad[end] - self.bad[start];
+        (bad as f64 / total as f64) / budget
+    }
+}
+
+fn filtered(
+    samples: &[CompletionSample],
+    tenant: Option<u32>,
+) -> impl Iterator<Item = &CompletionSample> {
+    samples
+        .iter()
+        .filter(move |s| tenant.is_none_or(|t| s.tenant == t))
+}
+
+fn slice_of(at_ms: u64, slice_ms: u64, slices: usize) -> usize {
+    ((at_ms / slice_ms) as usize).min(slices - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One completion per slice: slices in `bad` get a 100 ms queue
+    /// wait, the rest launch after 10 ms.
+    fn wait_timeline(slices: u64, slice_ms: u64, bad: &[u64]) -> Timeline {
+        let mut timeline = Timeline::new();
+        for i in 0..slices {
+            let done = i * slice_ms + slice_ms / 2;
+            let wait = if bad.contains(&i) { 100 } else { 10 };
+            let launch = done.saturating_sub(5);
+            timeline.span(
+                "trace.queue",
+                launch.saturating_sub(wait),
+                launch,
+                vec![
+                    ("trace", i.into()),
+                    ("tenant", 1u32.into()),
+                    ("machine", 0u64.into()),
+                    ("moves", 0u64.into()),
+                ],
+            );
+            timeline.record(
+                done,
+                "trace.billed",
+                vec![
+                    ("trace", i.into()),
+                    ("tenant", 1u32.into()),
+                    ("machine", 0u64.into()),
+                    ("cost", 1.0.into()),
+                    ("predicted", 1.2.into()),
+                ],
+            );
+        }
+        timeline
+    }
+
+    fn queue_spec() -> SloSpec {
+        SloSpec::queue_wait("interactive-wait", 50)
+            .tenant(1)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 200, 400, 2.0)])
+    }
+
+    #[test]
+    fn burn_alert_fires_and_clears_at_exact_boundaries() {
+        // Slices 4..8 bad. Fast window = 2 slices, slow = 4, budget
+        // 0.1, factor 2 → needs ≥ 20% bad in both windows. First
+        // boundary where both hold is after slice 4 (fast 1/2, slow
+        // 1/4); both drop under after slice 9 (fast 0/2).
+        let timeline = wait_timeline(10, 100, &[4, 5, 6, 7]);
+        let report = SloEngine::new().spec(queue_spec()).evaluate(&timeline, 100);
+        assert_eq!(report.alerts.len(), 1);
+        let alert = &report.alerts[0];
+        assert_eq!(alert.fired_ms, 500);
+        assert_eq!(alert.cleared_ms, Some(1_000));
+        assert_eq!(alert.severity, "page");
+        assert!(alert.peak_burn >= 5.0, "peak {}", alert.peak_burn);
+        assert_eq!(report.telemetry.registry().counter("slo.alert.fired"), 1);
+        assert_eq!(report.telemetry.registry().counter("slo.alert.cleared"), 1);
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""name":"slo.alert""#));
+        assert!(report.summary().contains("fired @ 500 ms"));
+    }
+
+    #[test]
+    fn healthy_replay_raises_no_alert() {
+        let timeline = wait_timeline(10, 100, &[]);
+        let report = SloEngine::new().spec(queue_spec()).evaluate(&timeline, 100);
+        assert!(report.alerts.is_empty());
+        assert!(report.summary().contains("alerts: none"));
+        // The burn series still exists, all-zero.
+        assert_eq!(report.series.len(), 1);
+        assert!(report.series[0].points.iter().all(|&(_, b)| b == 0.0));
+    }
+
+    #[test]
+    fn alert_open_at_horizon_has_no_clear_time() {
+        // Bad run continues through the final slice: span stays open.
+        let timeline = wait_timeline(10, 100, &[6, 7, 8, 9]);
+        let report = SloEngine::new().spec(queue_spec()).evaluate(&timeline, 100);
+        assert_eq!(report.alerts.len(), 1);
+        assert_eq!(report.alerts[0].cleared_ms, None);
+        assert!(report
+            .to_jsonl()
+            .contains(r#""end_ms":null,"name":"slo.alert""#));
+        assert!(report.summary().contains("still firing"));
+    }
+
+    #[test]
+    fn billing_rate_counts_every_slice() {
+        let mut timeline = Timeline::new();
+        // Tenant 0 spends 10.0 in slices 2 and 3 (100 ms slices →
+        // 100/s), nothing elsewhere; horizon stretched to 1 s.
+        for (trace, done) in [(0u64, 250u64), (1, 350)] {
+            timeline.span(
+                "trace.queue",
+                done - 20,
+                done - 10,
+                vec![
+                    ("trace", trace.into()),
+                    ("tenant", 0u32.into()),
+                    ("machine", 0u64.into()),
+                    ("moves", 0u64.into()),
+                ],
+            );
+            timeline.record(
+                done,
+                "trace.billed",
+                vec![
+                    ("trace", trace.into()),
+                    ("tenant", 0u32.into()),
+                    ("machine", 0u64.into()),
+                    ("cost", 10.0.into()),
+                    ("predicted", 1.0.into()),
+                ],
+            );
+        }
+        timeline.record(999, "tick", vec![]);
+        let spec = SloSpec::billing_rate("spend-cap", 50.0)
+            .tenant(0)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 100, 200, 1.0)]);
+        let report = SloEngine::new().spec(spec).evaluate(&timeline, 100);
+        assert_eq!(report.alerts.len(), 1);
+        assert_eq!(report.alerts[0].fired_ms, 300);
+        assert_eq!(report.alerts[0].cleared_ms, Some(500));
+    }
+
+    #[test]
+    fn rollups_and_gini_land_in_the_registry() {
+        let timeline = wait_timeline(6, 100, &[1]);
+        let report = SloEngine::new().evaluate(&timeline, 100);
+        assert_eq!(report.rollups.len(), 1);
+        assert_eq!(report.rollups[0].tenant, 1);
+        assert_eq!(report.rollups[0].completions, 6);
+        assert_eq!(report.gini_slowdown, 0.0); // single tenant
+        assert!(report.to_jsonl().contains(r#""name":"tenant.rollup""#));
+        assert!(report
+            .to_jsonl()
+            .contains(r#""type":"gauge","name":"fairness.gini_slowdown""#));
+    }
+
+    #[test]
+    fn evaluation_is_a_pure_function_of_the_timeline() {
+        let timeline = wait_timeline(12, 100, &[3, 4, 5]);
+        let engine = SloEngine::new().spec(queue_spec());
+        let a = engine.evaluate(&timeline, 100);
+        let b = engine.evaluate(&timeline, 100);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.alerts, b.alerts);
+    }
+}

@@ -1,0 +1,416 @@
+//! A dependency-free SVG line-chart renderer.
+//!
+//! Purpose-built for the study harnesses: frontier curves, burn-rate
+//! timelines and alert bands, written straight to an `.svg` file with
+//! no graphics stack. The output is deterministic — fixed-precision
+//! coordinates, styles inlined — so rendered charts diff cleanly in
+//! review.
+
+use std::fmt::Write;
+
+/// One polyline series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Stroke color (any SVG color).
+    pub color: String,
+    /// `(x, y)` data points; non-finite points are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new series.
+    pub fn new(
+        label: impl Into<String>,
+        color: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        Series {
+            label: label.into(),
+            color: color.into(),
+            points,
+        }
+    }
+}
+
+/// Translucent vertical bands over the plot — alert windows on a time
+/// axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Band {
+    /// Legend label.
+    pub label: String,
+    /// Fill color.
+    pub color: String,
+    /// `(x_start, x_end)` intervals in data coordinates.
+    pub spans: Vec<(f64, f64)>,
+}
+
+impl Band {
+    /// A new band set.
+    pub fn new(label: impl Into<String>, color: impl Into<String>, spans: Vec<(f64, f64)>) -> Self {
+        Band {
+            label: label.into(),
+            color: color.into(),
+            spans,
+        }
+    }
+}
+
+/// A line chart with optional alert bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: f64,
+    height: f64,
+    series: Vec<Series>,
+    bands: Vec<Band>,
+}
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 36.0;
+const MARGIN_BOTTOM: f64 = 48.0;
+
+impl Chart {
+    /// A new chart with the default 800×420 canvas.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 800.0,
+            height: 420.0,
+            series: Vec::new(),
+            bands: Vec::new(),
+        }
+    }
+
+    /// Sets the canvas size (clamped to at least 200×160).
+    pub fn size(mut self, width: f64, height: f64) -> Self {
+        self.width = width.max(200.0);
+        self.height = height.max(160.0);
+        self
+    }
+
+    /// Sets the axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds a band set.
+    pub fn band(mut self, band: Band) -> Self {
+        self.bands.push(band);
+        self
+    }
+
+    /// Renders the chart as a complete SVG document.
+    pub fn render(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let to_x = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+        let to_y = |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}" font-family="monospace" font-size="11">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = writeln!(
+            out,
+            r#"<rect width="{:.0}" height="{:.0}" fill="white"/>"#,
+            self.width, self.height
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            self.width / 2.0,
+            escape(&self.title)
+        );
+
+        // Alert bands under everything else.
+        for band in &self.bands {
+            for &(start, end) in &band.spans {
+                if !start.is_finite() || !end.is_finite() || end <= start {
+                    continue;
+                }
+                let x0 = to_x(start.max(x_min));
+                let x1 = to_x(end.min(x_max));
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{x0:.1}" y="{MARGIN_TOP:.1}" width="{:.1}" height="{plot_h:.1}" fill="{}" fill-opacity="0.18"/>"#,
+                    (x1 - x0).max(0.5),
+                    escape(&band.color)
+                );
+            }
+        }
+
+        // Grid and tick labels.
+        for tick in ticks(x_min, x_max) {
+            let x = to_x(tick);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x:.1}" y1="{MARGIN_TOP:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                MARGIN_TOP + plot_h
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                MARGIN_TOP + plot_h + 16.0,
+                fmt_tick(tick)
+            );
+        }
+        for tick in ticks(y_min, y_max) {
+            let y = to_y(tick);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{MARGIN_LEFT:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+                MARGIN_LEFT + plot_w
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                y + 4.0,
+                fmt_tick(tick)
+            );
+        }
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<rect x="{MARGIN_LEFT:.1}" y="{MARGIN_TOP:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black"/>"#
+        );
+        if !self.x_label.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                MARGIN_LEFT + plot_w / 2.0,
+                self.height - 10.0,
+                escape(&self.x_label)
+            );
+        }
+        if !self.y_label.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<text x="14" y="{:.1}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+                MARGIN_TOP + plot_h / 2.0,
+                MARGIN_TOP + plot_h / 2.0,
+                escape(&self.y_label)
+            );
+        }
+
+        // Series polylines.
+        for series in &self.series {
+            let mut path = String::new();
+            for &(x, y) in &series.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let _ = write!(path, "{:.1},{:.1} ", to_x(x), to_y(y));
+            }
+            if !path.is_empty() {
+                let _ = writeln!(
+                    out,
+                    r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+                    path.trim_end(),
+                    escape(&series.color)
+                );
+            }
+        }
+
+        // Legend: series, then bands.
+        for (row, (label, color)) in self
+            .series
+            .iter()
+            .map(|s| (&s.label, &s.color))
+            .chain(self.bands.iter().map(|b| (&b.label, &b.color)))
+            .enumerate()
+        {
+            let y = MARGIN_TOP + 12.0 + row as f64 * 14.0;
+            let _ = writeln!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{}"/>"#,
+                MARGIN_LEFT + 8.0,
+                y - 9.0,
+                escape(color)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{y:.1}">{}</text>"#,
+                MARGIN_LEFT + 22.0,
+                escape(label)
+            );
+        }
+
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Data bounds over all series and bands, padded to avoid
+    /// degenerate (zero-width) ranges.
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for series in &self.series {
+            for &(x, y) in &series.points {
+                if x.is_finite() && y.is_finite() {
+                    x_min = x_min.min(x);
+                    x_max = x_max.max(x);
+                    y_min = y_min.min(y);
+                    y_max = y_max.max(y);
+                }
+            }
+        }
+        for band in &self.bands {
+            for &(start, end) in &band.spans {
+                if start.is_finite() && end.is_finite() {
+                    x_min = x_min.min(start);
+                    x_max = x_max.max(end);
+                }
+            }
+        }
+        if !x_min.is_finite() {
+            (x_min, x_max) = (0.0, 1.0);
+        }
+        if !y_min.is_finite() {
+            (y_min, y_max) = (0.0, 1.0);
+        }
+        if x_max - x_min < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if y_max - y_min < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+}
+
+/// ~5 round-valued ticks across `[min, max]`.
+fn ticks(min: f64, max: f64) -> Vec<f64> {
+    let step = nice_step((max - min) / 5.0);
+    let first = (min / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut tick = first;
+    while tick <= max + step * 1e-9 {
+        out.push(tick);
+        tick += step;
+    }
+    out
+}
+
+/// Rounds `raw` up to the nearest 1/2/5 × 10^k.
+fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let exp = raw.log10().floor();
+    let base = 10f64.powf(exp);
+    let mantissa = raw / base;
+    let nice = if mantissa <= 1.0 {
+        1.0
+    } else if mantissa <= 2.0 {
+        2.0
+    } else if mantissa <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * base
+}
+
+fn fmt_tick(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_owned();
+    }
+    if value.fract().abs() < 1e-9 && value.abs() < 1e9 {
+        format!("{}", value.round() as i64)
+    } else {
+        let text = format!("{value:.3}");
+        text.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_wellformed_document() {
+        let svg = Chart::new("frontier")
+            .labels("machines", "p99 slowdown")
+            .series(Series::new(
+                "reactive",
+                "#d62728",
+                vec![(1.0, 3.0), (2.0, 2.0), (4.0, 1.2)],
+            ))
+            .series(Series::new(
+                "predictive",
+                "#1f77b4",
+                vec![(1.0, 2.5), (2.0, 1.6), (4.0, 1.1)],
+            ))
+            .band(Band::new("alert", "#ff7f0e", vec![(1.5, 2.5)]))
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("fill-opacity"));
+        assert!(svg.contains("p99 slowdown"));
+        // Balanced tags — every opened text/rect closes.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic_or_emit_nan() {
+        let svg = Chart::new("empty").render();
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("NaN"));
+        let degenerate = Chart::new("flat")
+            .series(Series::new("s", "red", vec![(2.0, 5.0), (2.0, 5.0)]))
+            .render();
+        assert!(!degenerate.contains("NaN"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let svg = Chart::new("a<b&c").render();
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn ticks_are_round_values() {
+        let t = ticks(0.0, 10.0);
+        assert!(t.contains(&0.0) && t.contains(&10.0));
+        assert_eq!(nice_step(0.3), 0.5);
+        assert_eq!(nice_step(30.0), 50.0);
+        assert_eq!(fmt_tick(2.0), "2");
+        assert_eq!(fmt_tick(0.25), "0.25");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let chart =
+            || Chart::new("t").series(Series::new("s", "blue", vec![(0.0, 0.1), (1.0, 0.7)]));
+        assert_eq!(chart().render(), chart().render());
+    }
+}

@@ -1,0 +1,158 @@
+//! Planted-overload fixture: a fixed fleet takes a tenant-1 arrival
+//! burst it cannot absorb, queue waits blow through the SLO, and the
+//! burn-rate engine must fire a per-tenant alert at a deterministic
+//! sim time — then clear it once the backlog drains. The whole
+//! pipeline (replay span chains → SLO evaluation → alert JSONL) must
+//! be byte-identical across worker-pool thread counts.
+
+use litmus_cluster::{
+    Cluster, ClusterConfig, ClusterDriver, ClusterReport, MachineConfig, RoundRobin,
+    TelemetryConfig,
+};
+use litmus_core::{DiscountModel, PricingTables, TableBuilder};
+use litmus_observe::{BurnRateRule, SloEngine, SloSpec};
+use litmus_platform::{InvocationTrace, TenantId, TraceEvent};
+use litmus_sim::MachineSpec;
+use litmus_telemetry::assert_jsonl_eq;
+use litmus_workloads::suite::{self, TenantClass};
+
+const SLICE_MS: u64 = 20;
+const BURST_START_MS: u64 = 1_000;
+const BURST_END_MS: u64 = 1_300;
+
+fn calibration() -> (PricingTables, DiscountModel) {
+    let tables = TableBuilder::new(MachineSpec::cascade_lake())
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()
+        .unwrap();
+    let model = DiscountModel::fit(&tables).unwrap();
+    (tables, model)
+}
+
+fn config(threads: usize) -> ClusterConfig {
+    let machines: Vec<_> = (0..2)
+        .map(|i| {
+            MachineConfig::new(4)
+                .warmup_ms(60)
+                .max_inflight(2)
+                .seed(0x0B5E + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 2, 4)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(threads)
+        .slice_ms(SLICE_MS)
+}
+
+/// Tenant 0 trickles steadily; tenant 1 lands 150 arrivals in a
+/// 300 ms window starting at `BURST_START_MS` — far beyond what two
+/// 4-core machines can launch promptly.
+fn overload_trace() -> InvocationTrace {
+    let interactive = suite::tenant_pool(TenantClass::Interactive);
+    let analytics = suite::tenant_pool(TenantClass::Analytics);
+    let mut events = Vec::new();
+    for i in 0..80u64 {
+        events.push(TraceEvent {
+            at_ms: i * 50,
+            function: interactive[i as usize % interactive.len()].clone(),
+            tenant: TenantId(0),
+        });
+    }
+    for i in 0..150u64 {
+        events.push(TraceEvent {
+            at_ms: BURST_START_MS + i * 2,
+            function: analytics[i as usize % analytics.len()].clone(),
+            tenant: TenantId(1),
+        });
+    }
+    InvocationTrace::from_events(events)
+}
+
+fn replay(threads: usize) -> ClusterReport {
+    let (tables, model) = calibration();
+    let mut cluster = Cluster::build(config(threads), tables, model).unwrap();
+    ClusterDriver::new(RoundRobin::new())
+        .telemetry(TelemetryConfig::default().trace_sampling(0x51_0A, 1.0))
+        .replay(&mut cluster, &overload_trace())
+        .unwrap()
+}
+
+fn engine() -> SloEngine {
+    SloEngine::new().spec(
+        SloSpec::queue_wait("analytics-wait", 50)
+            .tenant(1)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 200, 600, 2.0)]),
+    )
+}
+
+#[test]
+fn overload_fires_a_per_tenant_alert_and_clears_after_recovery() {
+    let report = replay(4);
+    let slo = engine().evaluate(report.timeline(), SLICE_MS);
+
+    assert_eq!(slo.alerts.len(), 1, "summary:\n{}", slo.summary());
+    let alert = &slo.alerts[0];
+    assert_eq!(alert.slo, "analytics-wait");
+    assert_eq!(alert.tenant, Some(1));
+    assert_eq!(alert.severity, "page");
+    // Fires while the burst backlog is queued — never before the burst
+    // lands, and within a second of it.
+    assert!(
+        (BURST_START_MS..BURST_END_MS + 1_000).contains(&alert.fired_ms),
+        "fired at {} ms",
+        alert.fired_ms
+    );
+    // Clears once the backlog drains, before the replay horizon.
+    let cleared = alert.cleared_ms.expect("alert must clear after recovery");
+    assert!(cleared > alert.fired_ms);
+    assert!(cleared < slo.horizon_ms);
+    assert!(alert.peak_burn >= 2.0);
+
+    // The alert is on the exported timeline as an open/close span.
+    let jsonl = slo.to_jsonl();
+    assert!(jsonl.contains(r#""name":"slo.alert""#));
+    assert!(jsonl.contains(r#""severity":"page""#));
+
+    // Fairness rollups cover both tenants, and the burst shows up as
+    // queue-wait skew against tenant 1.
+    assert_eq!(slo.rollups.len(), 2);
+    assert!(slo.rollups[1].mean_wait_ms > slo.rollups[0].mean_wait_ms);
+}
+
+#[test]
+fn alert_boundaries_are_byte_identical_across_thread_counts() {
+    let one = replay(1);
+    let four = replay(4);
+    assert_jsonl_eq(
+        "threads=1",
+        &one.timeline_jsonl(),
+        "threads=4",
+        &four.timeline_jsonl(),
+    );
+    let slo_one = engine().evaluate(one.timeline(), SLICE_MS);
+    let slo_four = engine().evaluate(four.timeline(), SLICE_MS);
+    assert_jsonl_eq(
+        "threads=1",
+        &slo_one.to_jsonl(),
+        "threads=4",
+        &slo_four.to_jsonl(),
+    );
+    assert_eq!(slo_one.alerts, slo_four.alerts);
+}
+
+#[test]
+fn a_loose_objective_stays_quiet_on_the_same_overload() {
+    let report = replay(4);
+    let quiet = SloEngine::new()
+        .spec(
+            SloSpec::queue_wait("loose", 1_000_000)
+                .tenant(1)
+                .objective(0.5),
+        )
+        .evaluate(report.timeline(), SLICE_MS);
+    assert!(quiet.alerts.is_empty(), "summary:\n{}", quiet.summary());
+    assert_eq!(quiet.telemetry.registry().counter("slo.alert.fired"), 0);
+}

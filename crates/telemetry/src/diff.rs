@@ -1,0 +1,190 @@
+//! Line-oriented divergence reporting for telemetry JSONL exports.
+//!
+//! The oracle contract ("the event engine is byte-identical to slice
+//! stepping") is asserted over multi-megabyte JSONL strings; a failing
+//! `assert_eq!` on those prints both haystacks and names no needle.
+//! [`first_divergence`] finds the first differing line and
+//! [`diff_report`] renders it with surrounding context, so a broken
+//! oracle names the exact record that diverged.
+
+use std::fmt;
+
+/// The first point where two JSONL exports disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlDivergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// The line on the left side (`None` when the left export ended).
+    pub left: Option<String>,
+    /// The line on the right side (`None` when the right export ended).
+    pub right: Option<String>,
+}
+
+impl fmt::Display for JsonlDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match (&self.left, &self.right) {
+            (Some(l), Some(r)) => write!(f, "left {l:?} != right {r:?}"),
+            (Some(l), None) => write!(f, "right ended; left continues with {l:?}"),
+            (None, Some(r)) => write!(f, "left ended; right continues with {r:?}"),
+            (None, None) => write!(f, "exports agree"),
+        }
+    }
+}
+
+/// Finds the first line where `left` and `right` differ, or `None`
+/// when the exports are identical. A strictly-longer export diverges
+/// at the first line the shorter one lacks.
+pub fn first_divergence(left: &str, right: &str) -> Option<JsonlDivergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => continue,
+            (a, b) => {
+                return Some(JsonlDivergence {
+                    line,
+                    left: a.map(str::to_owned),
+                    right: b.map(str::to_owned),
+                })
+            }
+        }
+    }
+}
+
+/// Renders a human-readable report of the first divergence between two
+/// exports — `context` matching lines before the split, then the two
+/// sides — or `None` when they are byte-identical. `label_left` /
+/// `label_right` name the sides (e.g. `"slice"` / `"event-driven"`).
+pub fn diff_report(
+    label_left: &str,
+    left: &str,
+    label_right: &str,
+    right: &str,
+    context: usize,
+) -> Option<String> {
+    use std::fmt::Write;
+    let divergence = first_divergence(left, right)?;
+    let mut out = String::new();
+    let total_left = left.lines().count();
+    let total_right = right.lines().count();
+    let _ = writeln!(
+        out,
+        "exports diverge at line {} ({label_left}: {total_left} lines, {label_right}: {total_right} lines)",
+        divergence.line
+    );
+    let first_shown = divergence.line.saturating_sub(context + 1);
+    for (idx, shared) in left
+        .lines()
+        .enumerate()
+        .skip(first_shown)
+        .take(divergence.line - 1 - first_shown)
+    {
+        let _ = writeln!(out, "  {:>6}   {}", idx + 1, truncate(shared));
+    }
+    let render = |side: &Option<String>| match side {
+        Some(line) => truncate(line),
+        None => "<end of export>".to_owned(),
+    };
+    let _ = writeln!(
+        out,
+        "> {:>6} {label_left:>12}: {}",
+        divergence.line,
+        render(&divergence.left)
+    );
+    let _ = writeln!(
+        out,
+        "> {:>6} {label_right:>12}: {}",
+        divergence.line,
+        render(&divergence.right)
+    );
+    Some(out)
+}
+
+/// Panics with a pinpointed [`diff_report`] when the two exports are
+/// not byte-identical — the drop-in replacement for a raw
+/// `assert_eq!` over JSONL strings in the oracle-equality tests.
+///
+/// # Panics
+///
+/// When `left != right`.
+pub fn assert_jsonl_eq(label_left: &str, left: &str, label_right: &str, right: &str) {
+    if let Some(report) = diff_report(label_left, left, label_right, right, 3) {
+        panic!("telemetry JSONL mismatch\n{report}");
+    }
+}
+
+fn truncate(line: &str) -> String {
+    const MAX: usize = 160;
+    if line.len() <= MAX {
+        return line.to_owned();
+    }
+    let mut cut = MAX;
+    while !line.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}… ({} bytes)", &line[..cut], line.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_exports_have_no_divergence() {
+        let a = "{\"type\":\"meta\"}\n{\"type\":\"event\"}\n";
+        assert_eq!(first_divergence(a, a), None);
+        assert_eq!(diff_report("l", a, "r", a, 2), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_named() {
+        let a = "meta\nevent one\nevent two\ncounter\n";
+        let b = "meta\nevent one\nevent 2!\ncounter\n";
+        let divergence = first_divergence(a, b).unwrap();
+        assert_eq!(divergence.line, 3);
+        assert_eq!(divergence.left.as_deref(), Some("event two"));
+        assert_eq!(divergence.right.as_deref(), Some("event 2!"));
+        let report = diff_report("slice", a, "event", b, 2).unwrap();
+        assert!(report.contains("diverge at line 3"), "{report}");
+        assert!(report.contains("event one"), "{report}");
+        assert!(report.contains("event 2!"), "{report}");
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_missing_line() {
+        let a = "meta\nevent\n";
+        let b = "meta\nevent\nextra\n";
+        let divergence = first_divergence(a, b).unwrap();
+        assert_eq!(divergence.line, 3);
+        assert_eq!(divergence.left, None);
+        assert_eq!(divergence.right.as_deref(), Some("extra"));
+        assert!(divergence.to_string().contains("left ended"));
+    }
+
+    #[test]
+    fn context_window_clamps_at_the_start() {
+        let a = "one\ntwo\n";
+        let b = "uno\ntwo\n";
+        let report = diff_report("a", a, "b", b, 5).unwrap();
+        assert!(report.contains("diverge at line 1"), "{report}");
+    }
+
+    #[test]
+    fn long_lines_are_truncated_in_the_report() {
+        let long = "x".repeat(500);
+        let a = format!("{long}\n");
+        let b = "y\n".to_owned();
+        let report = diff_report("a", &a, "b", &b, 0).unwrap();
+        assert!(report.contains("(500 bytes)"), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry JSONL mismatch")]
+    fn assert_jsonl_eq_panics_with_the_report() {
+        assert_jsonl_eq("a", "same\nleft\n", "b", "same\nright\n");
+    }
+}

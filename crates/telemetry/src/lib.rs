@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 
 mod event;
@@ -47,12 +48,15 @@ mod hist;
 mod metrics;
 mod profile;
 mod recorder;
+mod trace;
 
+pub use diff::{assert_jsonl_eq, diff_report, first_divergence, JsonlDivergence};
 pub use event::{EventKind, FieldValue, Fields, SpanId, Timeline, TimelineEvent};
 pub use hist::{LogHistogram, DEFAULT_RELATIVE_ERROR};
 pub use metrics::{Gauge, Registry};
 pub use profile::{StageProfile, StageStat};
 pub use recorder::FlightRecorder;
+pub use trace::{TraceId, TraceSampler};
 
 use json::JsonObject;
 
@@ -66,6 +70,13 @@ pub struct TelemetryConfig {
     pub profiling: bool,
     /// Relative quantile error bound for registry histograms.
     pub histogram_relative_error: f64,
+    /// Fraction of admitted invocations whose `trace.*` span chain is
+    /// emitted onto the timeline, decided per-invocation by the seeded
+    /// deterministic [`TraceSampler`]. 0 (the default) disables
+    /// per-invocation tracing entirely; tests pin 1.0.
+    pub trace_sample_rate: f64,
+    /// Seed of the deterministic trace sampler.
+    pub trace_seed: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -74,6 +85,8 @@ impl Default for TelemetryConfig {
             flight_capacity: 1024,
             profiling: false,
             histogram_relative_error: DEFAULT_RELATIVE_ERROR,
+            trace_sample_rate: 0.0,
+            trace_seed: 0x7ACE,
         }
     }
 }
@@ -95,6 +108,20 @@ impl TelemetryConfig {
     pub fn histogram_relative_error(mut self, alpha: f64) -> Self {
         self.histogram_relative_error = alpha;
         self
+    }
+
+    /// Enables per-invocation span-chain tracing: keep `rate` of
+    /// traces (clamped to `[0, 1]`), sampled deterministically with
+    /// `seed`.
+    pub fn trace_sampling(mut self, seed: u64, rate: f64) -> Self {
+        self.trace_seed = seed;
+        self.trace_sample_rate = rate;
+        self
+    }
+
+    /// The deterministic trace sampler this configuration describes.
+    pub fn trace_sampler(&self) -> TraceSampler {
+        TraceSampler::new(self.trace_seed, self.trace_sample_rate)
     }
 }
 

@@ -1,0 +1,178 @@
+//! Deterministic per-invocation trace identity and sampling.
+//!
+//! Every admitted invocation in a replay gets a [`TraceId`] — its
+//! zero-based admission index in trace order, so the id is a pure
+//! function of the trace and never of thread count, stepping mode or
+//! host. A [`TraceSampler`] decides *deterministically* (seeded hash
+//! of the id, no RNG state) which invocations emit their span chain
+//! onto the timeline, so sampled exports stay byte-reproducible and a
+//! rate-1.0 sampler (the test configuration) keeps every trace.
+//!
+//! The span chain itself is emitted by the cluster driver under the
+//! `trace.*` names:
+//!
+//! | record | kind | covers |
+//! |---|---|---|
+//! | `trace.admission` | span | arrival → admitting slice boundary |
+//! | `trace.placement` | event | the dispatch decision (machine, probe score) |
+//! | `trace.queue` | span | arrival → launch (the queue wait) |
+//! | `trace.exec` | span | launch → completion |
+//! | `trace.billed` | event | billing attribution at completion |
+//!
+//! All five carry `trace` and `tenant` fields, so a trace tree is
+//! reassembled by grouping on `trace`.
+
+use std::fmt;
+
+/// Stable identity of one admitted invocation within a replay: its
+/// zero-based admission index in trace order (parallel to the report's
+/// placements vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The id as a dense vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed, allocation-free hash used to
+/// turn (seed, trace id) into a uniform 64-bit value. The constant
+/// choice follows the published SplitMix64 parameters.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic head-based trace sampler: whether a [`TraceId`] is
+/// sampled depends only on the id, the seed and the rate — never on
+/// call order or any mutable state — so every replay engine, thread
+/// count and replay mode samples exactly the same set.
+///
+/// # Examples
+///
+/// ```
+/// use litmus_telemetry::{TraceId, TraceSampler};
+///
+/// let all = TraceSampler::new(7, 1.0);
+/// assert!((0..100).all(|i| all.sample(TraceId(i))));
+///
+/// let none = TraceSampler::new(7, 0.0);
+/// assert!(!(0..100).any(|i| none.sample(TraceId(i))));
+///
+/// let half = TraceSampler::new(7, 0.5);
+/// let kept = (0..10_000).filter(|&i| half.sample(TraceId(i))).count();
+/// assert!((4_000..6_000).contains(&kept));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSampler {
+    seed: u64,
+    rate: f64,
+}
+
+impl TraceSampler {
+    /// A sampler keeping roughly `rate` of traces (clamped to
+    /// `[0, 1]`), decided per-id by a seeded hash.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        TraceSampler { seed, rate }
+    }
+
+    /// The configured sampling rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether any trace can ever be sampled.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Whether `id` is in the sampled set — a pure function of
+    /// (seed, rate, id).
+    pub fn sample(&self, id: TraceId) -> bool {
+        if self.rate >= 1.0 {
+            return true;
+        }
+        if self.rate <= 0.0 {
+            return false;
+        }
+        // Compare the hash against rate·2⁶⁴ in float space; 2⁶⁴ itself
+        // is exactly representable, the comparison is exact enough for
+        // a sampling decision and — crucially — identical everywhere.
+        (mix(self.seed ^ id.0) as f64) < self.rate * (u64::MAX as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_one_keeps_everything_rate_zero_nothing() {
+        let all = TraceSampler::new(42, 1.0);
+        let none = TraceSampler::new(42, 0.0);
+        for i in 0..1_000 {
+            assert!(all.sample(TraceId(i)));
+            assert!(!none.sample(TraceId(i)));
+        }
+        assert!(all.is_active());
+        assert!(!none.is_active());
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_rate_and_id() {
+        let a = TraceSampler::new(9, 0.3);
+        let b = TraceSampler::new(9, 0.3);
+        for i in 0..10_000 {
+            assert_eq!(a.sample(TraceId(i)), b.sample(TraceId(i)));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_sample_distinct_sets() {
+        let a = TraceSampler::new(1, 0.5);
+        let b = TraceSampler::new(2, 0.5);
+        let differs = (0..10_000).any(|i| a.sample(TraceId(i)) != b.sample(TraceId(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        for &rate in &[0.1, 0.5, 0.9] {
+            let sampler = TraceSampler::new(3, rate);
+            let kept = (0..100_000).filter(|&i| sampler.sample(TraceId(i))).count();
+            let observed = kept as f64 / 100_000.0;
+            assert!(
+                (observed - rate).abs() < 0.02,
+                "rate {rate} observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_rates_clamp() {
+        assert_eq!(TraceSampler::new(0, f64::NAN).rate(), 0.0);
+        assert_eq!(TraceSampler::new(0, 7.0).rate(), 1.0);
+        assert_eq!(TraceSampler::new(0, -2.0).rate(), 0.0);
+    }
+
+    #[test]
+    fn trace_id_displays_compactly() {
+        assert_eq!(TraceId(17).to_string(), "t17");
+        assert_eq!(TraceId(17).index(), 17);
+    }
+}

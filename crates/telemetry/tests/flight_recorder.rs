@@ -1,0 +1,99 @@
+//! Flight-recorder edge cases: degenerate capacities, exact
+//! wraparound, and the ring-is-a-suffix invariant under arbitrary
+//! event streams.
+
+use litmus_telemetry::{EventKind, FlightRecorder, Telemetry, TelemetryConfig, TimelineEvent};
+use proptest::prelude::*;
+
+fn tick(at_ms: u64) -> TimelineEvent {
+    TimelineEvent {
+        at_ms,
+        name: "tick",
+        kind: EventKind::Point,
+        fields: vec![("n", at_ms.into())],
+    }
+}
+
+#[test]
+fn capacity_zero_clamps_to_one_and_keeps_the_newest() {
+    let mut recorder = FlightRecorder::new(0);
+    assert_eq!(recorder.capacity(), 1);
+    assert!(recorder.is_empty());
+    for at in 0..5 {
+        recorder.record(tick(at));
+    }
+    assert_eq!(recorder.len(), 1);
+    assert_eq!(recorder.seen(), 5);
+    assert_eq!(recorder.dropped(), 4);
+    assert_eq!(recorder.dump().map(|e| e.at_ms).collect::<Vec<_>>(), [4]);
+}
+
+#[test]
+fn capacity_one_always_holds_exactly_the_last_event() {
+    let mut recorder = FlightRecorder::new(1);
+    for at in 10..20 {
+        recorder.record(tick(at));
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(recorder.dump().next().unwrap().at_ms, at);
+    }
+    assert_eq!(recorder.dropped(), 9);
+}
+
+#[test]
+fn exact_wraparound_preserves_tail_order() {
+    // Record exactly 2× capacity so the ring wraps through every slot
+    // once: the survivors must be the last `capacity` events, oldest
+    // first, with no seam at the wrap point.
+    let capacity = 7;
+    let mut recorder = FlightRecorder::new(capacity);
+    for at in 0..(2 * capacity as u64) {
+        recorder.record(tick(at));
+    }
+    let kept: Vec<u64> = recorder.dump().map(|e| e.at_ms).collect();
+    let expected: Vec<u64> = (capacity as u64..2 * capacity as u64).collect();
+    assert_eq!(kept, expected);
+    assert_eq!(recorder.seen(), 2 * capacity as u64);
+    assert_eq!(recorder.dropped(), capacity as u64);
+}
+
+#[test]
+fn filling_exactly_to_capacity_evicts_nothing() {
+    let mut recorder = FlightRecorder::new(4);
+    for at in 0..4 {
+        recorder.record(tick(at));
+    }
+    assert_eq!(recorder.dropped(), 0);
+    assert_eq!(
+        recorder.dump().map(|e| e.at_ms).collect::<Vec<_>>(),
+        [0, 1, 2, 3]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The recorder's dump is always exactly the suffix of the full
+    /// point-event timeline, for any capacity and stream length —
+    /// recorded through the real `Telemetry` front door so the
+    /// timeline and the ring see the same stream.
+    #[test]
+    fn recorded_tail_is_the_timeline_suffix(
+        (capacity, events) in (0usize..33, 0u64..200)
+    ) {
+        let config = TelemetryConfig::default().flight_capacity(capacity);
+        let mut telemetry = Telemetry::new(config);
+        for at in 0..events {
+            telemetry.event(at * 3, "tick", vec![("n", at.into())]);
+        }
+        let full = telemetry.timeline().events();
+        let tail: Vec<&TimelineEvent> = telemetry.recorder().dump().collect();
+        let keep = capacity.max(1).min(full.len());
+        let suffix: Vec<&TimelineEvent> = full[full.len() - keep..].iter().collect();
+        prop_assert_eq!(tail, suffix);
+        prop_assert_eq!(telemetry.recorder().seen(), events);
+        prop_assert_eq!(
+            telemetry.recorder().dropped(),
+            events - keep.min(events as usize) as u64
+        );
+    }
+}

@@ -37,7 +37,13 @@
 //! the reactive and predictive paths). Pass `--json` to also emit the
 //! whole frontier — every point's cost/SLO numbers plus per-config
 //! forecast MAE — as a single machine-readable JSON line at the end of
-//! stdout. In smoke mode on the bundled fixture the JSON document is
+//! stdout. Set `LITMUS_SVG_OUT=<dir>` to additionally render two SVG
+//! charts there with the zero-dependency `litmus::observe::svg`
+//! renderer: `frontier.svg` (both cost/SLO frontiers) and
+//! `burn_rate.svg` (per-tenant SLO burn-rate timelines with alert
+//! bands, from a traced re-run of the most aggressive reactive mark).
+//!
+//! In smoke mode on the bundled fixture the JSON document is
 //! additionally asserted against the committed snapshot
 //! `tests/snapshots/autoscale_study_smoke.json`, so the study's
 //! numbers are regression-pinned in CI; set `UPDATE_SNAPSHOTS=1` to
@@ -549,6 +555,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n{doc}");
     }
 
+    // ── Optional SVG rendering (zero-dep, deterministic output).
+    if let Some(dir) = std::env::var_os("LITMUS_SVG_OUT") {
+        render_svgs(
+            std::path::Path::new(&dir),
+            &reactive_frontier,
+            &predictive_frontier,
+            minute_ms,
+            &days,
+            config,
+            (floor, ceiling),
+            &tables,
+            &model,
+            marks[0],
+        )?;
+    }
+
     // ── Snapshot pin: the smoke-mode fixture study must reproduce the
     // committed numbers exactly. Real-trace runs (AZURE_TRACE_DIR) are
     // machine-supplied data and exempt.
@@ -576,5 +598,129 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("\nsmoke frontier JSON matches committed snapshot ✓");
         }
     }
+    Ok(())
+}
+
+/// Renders the study's two charts into `dir` with the zero-dependency
+/// `litmus::observe::svg` renderer:
+///
+/// - `frontier.svg` — both cost/SLO frontiers as (trace machine-hours,
+///   p99 predicted slowdown) polylines;
+/// - `burn_rate.svg` — per-tenant SLO burn-rate timelines with alert
+///   bands, from a traced re-run of the most aggressive reactive mark
+///   (the sweep's own replays stay untraced, so the default runs and
+///   the smoke snapshot are untouched by this hook).
+///
+/// Everything written is deterministic: the re-run replay, the SLO
+/// evaluation, and the renderer's fixed-precision output.
+#[allow(clippy::too_many_arguments)]
+fn render_svgs(
+    dir: &std::path::Path,
+    reactive_frontier: &[FrontierPoint],
+    predictive_frontier: &[FrontierPoint],
+    minute_ms: u64,
+    days: &[AzureDataset],
+    config: ExpandConfig,
+    (floor, ceiling): (usize, usize),
+    tables: &PricingTables,
+    model: &DiscountModel,
+    mark: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use litmus::observe::svg::{Band, Chart, Series};
+
+    std::fs::create_dir_all(dir)?;
+    let trace_hours =
+        |report: &ClusterReport| report.machine_ms() as f64 * (60_000.0 / minute_ms as f64) / 3.6e6;
+    let frontier_points = |points: &[FrontierPoint]| {
+        let mut pts: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (trace_hours(&p.report), p.p99()))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts
+    };
+    let frontier = Chart::new("cost/SLO frontier: machine-hours bought vs p99 slowdown served")
+        .labels("trace machine-hours", "p99 predicted slowdown")
+        .series(Series::new(
+            "reactive water-mark sweep",
+            "#d62728",
+            frontier_points(reactive_frontier),
+        ))
+        .series(Series::new(
+            "predictive configs",
+            "#1f77b4",
+            frontier_points(predictive_frontier),
+        ));
+    let frontier_path = dir.join("frontier.svg");
+    std::fs::write(&frontier_path, frontier.render())?;
+
+    // A traced re-run of the most aggressive reactive mark: full span
+    // sampling feeds the SLO engine's per-tenant burn-rate series.
+    let mut cluster = Cluster::build(cluster_config(floor), tables.clone(), model.clone())?;
+    let report = ClusterDriver::new(LitmusAware::new())
+        .telemetry(TelemetryConfig::default().trace_sampling(SEED, 1.0))
+        .autoscale(reactive(mark, minute_ms, floor, ceiling))
+        .replay_source(&mut cluster, multi_day_source(days, config)?)?;
+
+    // SLOs for the busiest tenants: launch within five slices, 90% of
+    // the time — tight enough that the fixture's bursts show burn.
+    let samples = litmus::observe::completions(report.timeline());
+    let mut busiest = litmus::observe::rollups(&samples);
+    busiest.sort_by(|a, b| {
+        b.completions
+            .cmp(&a.completions)
+            .then(a.tenant.cmp(&b.tenant))
+    });
+    busiest.truncate(4);
+    let mut engine = SloEngine::new();
+    for roll in &busiest {
+        engine = engine.spec(
+            SloSpec::queue_wait(format!("tenant-{}-wait", roll.tenant), 5 * SLICE_MS)
+                .tenant(roll.tenant)
+                .objective(0.9)
+                .rules(vec![BurnRateRule::new(
+                    "page",
+                    10 * SLICE_MS,
+                    40 * SLICE_MS,
+                    2.0,
+                )]),
+        );
+    }
+    let slo = engine.evaluate(report.timeline(), SLICE_MS);
+
+    const PALETTE: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+    let mut burn = Chart::new(format!(
+        "per-tenant SLO burn rate (reactive high={mark:.1}, {} alerts)",
+        slo.alerts.len()
+    ))
+    .labels("sim time (ms)", "fast-window burn multiple");
+    for (i, series) in slo.series.iter().enumerate() {
+        burn = burn.series(Series::new(
+            series.slo.clone(),
+            PALETTE[i % PALETTE.len()],
+            series.points.iter().map(|&(t, b)| (t as f64, b)).collect(),
+        ));
+    }
+    let alert_spans: Vec<(f64, f64)> = slo
+        .alerts
+        .iter()
+        .map(|a| {
+            (
+                a.fired_ms as f64,
+                a.cleared_ms.unwrap_or(slo.horizon_ms) as f64,
+            )
+        })
+        .collect();
+    if !alert_spans.is_empty() {
+        burn = burn.band(Band::new("alert firing", "#ff7f0e", alert_spans));
+    }
+    let burn_path = dir.join("burn_rate.svg");
+    std::fs::write(&burn_path, burn.render())?;
+
+    println!(
+        "\nSVG charts written: {} and {}",
+        frontier_path.display(),
+        burn_path.display()
+    );
     Ok(())
 }

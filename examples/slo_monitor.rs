@@ -1,0 +1,151 @@
+//! SLO monitoring end to end: plant an overload a small fleet cannot
+//! absorb, replay it with full span tracing, run the burn-rate engine
+//! over the finished timeline, and show the per-tenant alert firing at
+//! a deterministic sim time — then clearing once the backlog drains.
+//!
+//! The example doubles as an executable acceptance check (CI runs it
+//! in the bench-smoke job): the alert's fire/clear boundaries are
+//! asserted, and both the replay JSONL and the SLO engine's own JSONL
+//! must be byte-identical across 1 and 4 worker-pool threads. Both
+//! exports land in `target/` where `litmus-obs` can query and diff
+//! them from the shell.
+//!
+//! Run with: `cargo run --release --example slo_monitor`
+
+use litmus::platform::TraceEvent;
+use litmus::prelude::*;
+use litmus::telemetry::assert_jsonl_eq;
+use litmus::workloads::suite::TenantClass;
+
+const SLICE_MS: u64 = 20;
+const BURST_START_MS: u64 = 1_000;
+const BURST_END_MS: u64 = 1_300;
+
+fn config(threads: usize) -> ClusterConfig {
+    let machines: Vec<_> = (0..2)
+        .map(|i| {
+            MachineConfig::new(4)
+                .warmup_ms(60)
+                .max_inflight(2)
+                .seed(0x0B5E + i as u64)
+        })
+        .collect();
+    ClusterConfig::homogeneous(MachineSpec::cascade_lake(), 2, 4)
+        .machines(machines)
+        .serving_scale(0.04)
+        .threads(threads)
+        .slice_ms(SLICE_MS)
+}
+
+/// Tenant 0 trickles one interactive invocation every 50 ms; tenant 1
+/// lands 150 analytics arrivals in a 300 ms window — far beyond what
+/// two 4-core machines can launch promptly.
+fn overload_trace() -> InvocationTrace {
+    let interactive = suite::tenant_pool(TenantClass::Interactive);
+    let analytics = suite::tenant_pool(TenantClass::Analytics);
+    let mut events = Vec::new();
+    for i in 0..80u64 {
+        events.push(TraceEvent {
+            at_ms: i * 50,
+            function: interactive[i as usize % interactive.len()].clone(),
+            tenant: TenantId(0),
+        });
+    }
+    for i in 0..150u64 {
+        events.push(TraceEvent {
+            at_ms: BURST_START_MS + i * 2,
+            function: analytics[i as usize % analytics.len()].clone(),
+            tenant: TenantId(1),
+        });
+    }
+    InvocationTrace::from_events(events)
+}
+
+/// One tight per-tenant objective: 90% of tenant 1's invocations must
+/// launch within 50 ms, paged on a 200 ms/600 ms burn-rate window
+/// pair at 2× the sustainable rate.
+fn engine() -> SloEngine {
+    SloEngine::new().spec(
+        SloSpec::queue_wait("analytics-wait", 50)
+            .tenant(1)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 200, 600, 2.0)]),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = MachineSpec::cascade_lake();
+    let tables = TableBuilder::new(spec)
+        .levels([6, 14, 24])
+        .reference_scale(0.03)
+        .build()?;
+    let model = DiscountModel::fit(&tables)?;
+    let trace = overload_trace();
+
+    println!(
+        "replaying {} invocations (tenant-1 burst of 150 at {BURST_START_MS}–{BURST_END_MS} ms) \
+         on 2×4-core machines with full span tracing…",
+        trace.len()
+    );
+    let replay = |threads: usize| -> Result<ClusterReport, Box<dyn std::error::Error>> {
+        let mut cluster = Cluster::build(config(threads), tables.clone(), model.clone())?;
+        Ok(ClusterDriver::new(RoundRobin::new())
+            .telemetry(TelemetryConfig::default().trace_sampling(0x51_0A, 1.0))
+            .replay(&mut cluster, &trace)?)
+    };
+    let report = replay(4)?;
+    let slo = engine().evaluate(report.timeline(), SLICE_MS);
+
+    println!("\n── SLO engine verdict ──────────────────────────────────");
+    print!("{}", slo.summary());
+
+    // ── acceptance: the overload fires exactly one per-tenant page and
+    // it clears after recovery, at deterministic boundaries.
+    assert_eq!(slo.alerts.len(), 1, "the burst must fire exactly one alert");
+    let alert = &slo.alerts[0];
+    assert_eq!(alert.slo, "analytics-wait");
+    assert_eq!(alert.tenant, Some(1), "the alert must be tenant-scoped");
+    assert!(
+        (BURST_START_MS..BURST_END_MS + 1_000).contains(&alert.fired_ms),
+        "alert fired at {} ms, outside the burst window",
+        alert.fired_ms
+    );
+    let cleared = alert.cleared_ms.expect("alert must clear after recovery");
+    assert!(cleared > alert.fired_ms && cleared < slo.horizon_ms);
+    println!(
+        "  planted overload paged tenant 1 at {} ms and cleared at {cleared} ms ✓",
+        alert.fired_ms
+    );
+
+    // ── determinism: replay and SLO JSONL byte-identical across
+    // worker-pool thread counts.
+    let single = replay(1)?;
+    assert_jsonl_eq(
+        "threads=1",
+        &single.timeline_jsonl(),
+        "threads=4",
+        &report.timeline_jsonl(),
+    );
+    let slo_single = engine().evaluate(single.timeline(), SLICE_MS);
+    assert_jsonl_eq(
+        "threads=1",
+        &slo_single.to_jsonl(),
+        "threads=4",
+        &slo.to_jsonl(),
+    );
+    assert_eq!(slo_single.alerts, slo.alerts);
+    println!("  byte-identical replay + alert JSONL across 1 vs 4 threads ✓");
+
+    // ── artifacts for `litmus-obs` ────────────────────────────────────
+    std::fs::create_dir_all("target")?;
+    let replay_path = std::path::Path::new("target").join("slo_monitor.replay.jsonl");
+    let slo_path = std::path::Path::new("target").join("slo_monitor.slo.jsonl");
+    std::fs::write(&replay_path, report.timeline_jsonl())?;
+    std::fs::write(&slo_path, slo.to_jsonl())?;
+    println!(
+        "\nexports: {} and {} (try `litmus-obs summary` / `spans --tenant 1` / `diff`)",
+        replay_path.display(),
+        slo_path.display()
+    );
+    Ok(())
+}

@@ -21,6 +21,7 @@
 //! | [`trace`] | `litmus-trace` | Azure Functions trace ingestion, characterization, streaming replay |
 //! | [`forecast`] | `litmus-forecast` | online arrival-rate forecasting, bands, backtesting |
 //! | [`telemetry`] | `litmus-telemetry` | deterministic metrics, event timeline, flight recorder |
+//! | [`observe`] | `litmus-observe` | SLO burn-rate alerting, fairness rollups, export tooling |
 //!
 //! The paper's hardware testbed (Cascade Lake Xeon, Linux perf, CPython/
 //! Node.js/Go) is replaced by a deterministic analytic simulator — see
@@ -59,6 +60,7 @@
 pub use litmus_cluster as cluster;
 pub use litmus_core as core;
 pub use litmus_forecast as forecast;
+pub use litmus_observe as observe;
 pub use litmus_platform as platform;
 pub use litmus_sim as sim;
 pub use litmus_stats as stats;
@@ -83,6 +85,9 @@ pub mod prelude {
         backtest_series, backtest_source, BacktestConfig, BacktestReport, BandedForecaster, Ewma,
         Forecaster, ForecasterSpec, HoltLinear, HorizonForecast, SeasonalHoltWinters,
     };
+    pub use litmus_observe::{
+        Alert, BurnRateRule, CompletionSample, SloEngine, SloKind, SloReport, SloSpec, TenantRollup,
+    };
     pub use litmus_platform::{
         AdmissionController, AdmissionDecision, CoRunEnv, CoRunHarness, CongestionMonitor,
         CountingSource, ExperimentResults, HarnessConfig, InvocationTrace, PricingExperiment,
@@ -94,7 +99,7 @@ pub mod prelude {
     };
     pub use litmus_telemetry::{
         FlightRecorder, LogHistogram, Registry, StageProfile, Telemetry, TelemetryConfig, Timeline,
-        TimelineEvent,
+        TimelineEvent, TraceId, TraceSampler,
     };
     pub use litmus_trace::{AzureDataset, ExpandConfig, IntraMinute, TraceStats, TraceTransform};
     pub use litmus_workloads::{

@@ -127,16 +127,21 @@ fn event_driven_two_day_replay_is_bit_identical_to_slice_stepping() {
     // Azure fixture (shared tenant map, second day offset onto the
     // first's end), thinned and compressed like the other tests.
     // Slice stepping is the oracle; the event-driven replay must match
-    // it bit-for-bit — full report AND telemetry JSONL.
+    // it bit-for-bit — full report AND telemetry JSONL, including the
+    // per-invocation span chains (tracing at rate 1.0). The JSONL is
+    // compared line-by-line so a divergence points at the first
+    // differing event instead of dumping two multi-megabyte strings.
     let days = [fixture::dataset(), fixture::dataset()];
     let two_day = || {
         let source = multi_day_source(&days, expand_config()).unwrap();
         TransformedSource::new(source, transforms()).unwrap()
     };
+    let traced = || TelemetryConfig::default().trace_sampling(0x7ACE, 1.0);
     let (tables, model) = calibration();
     let mut slice_cluster =
         Cluster::build(cluster_config(), tables.clone(), model.clone()).unwrap();
     let slice = ClusterDriver::new(LitmusAware::new())
+        .telemetry(traced())
         .replay_source(&mut slice_cluster, two_day())
         .unwrap();
     let mut event_cluster = Cluster::build(
@@ -146,10 +151,16 @@ fn event_driven_two_day_replay_is_bit_identical_to_slice_stepping() {
     )
     .unwrap();
     let event = ClusterDriver::new(LitmusAware::new())
+        .telemetry(traced())
         .replay_source(&mut event_cluster, two_day())
         .unwrap();
+    litmus::telemetry::assert_jsonl_eq(
+        "slice",
+        &slice.timeline_jsonl(),
+        "event",
+        &event.timeline_jsonl(),
+    );
     assert_eq!(slice, event);
-    assert_eq!(slice.timeline_jsonl(), event.timeline_jsonl());
     // The replay is real: both fixture days completed in full and the
     // chain spanned both days' compressed spans (the transform chain's
     // Compress{divisor: 2} halves the 2 × 15-minute extent).
