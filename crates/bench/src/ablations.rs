@@ -52,7 +52,7 @@ pub fn ablation(config: &ReproConfig) -> Result<String> {
 
         let report = harness.measure(profile)?;
         let baseline = tables.baseline(bench.language())?;
-        let startup = report.startup.as_ref().expect("startup present");
+        let startup = report.startup.as_ref().expect("startup present"); // lint:allow(panic-in-lib): probe config requests startup measurement; absence is a bench-harness bug
         let reading = LitmusReading::from_startup(baseline, startup)?;
         let counters = report.counters;
 

@@ -71,7 +71,10 @@ pub fn fig7(_config: &ReproConfig) -> Result<String> {
         .build()?;
     sim.launch(hog, Placement::pinned(1))?;
     // A light tenant on core 2.
-    let light = suite::by_name("fib-go").unwrap().profile().scaled(2.0)?;
+    let light = suite::by_name("fib-go")
+        .ok_or("fib-go missing from suite")?
+        .profile()
+        .scaled(2.0)?;
     sim.launch(light, Placement::pinned(2))?;
     // A second memory burst arriving later (the paper's Function #2).
     let second = ExecutionProfile::builder("function-2")
@@ -80,7 +83,7 @@ pub fn fig7(_config: &ReproConfig) -> Result<String> {
     let mut second = Some(second);
 
     let probe = suite::by_name("auth-py")
-        .unwrap()
+        .ok_or("auth-py missing from suite")?
         .profile()
         .startup_only()?;
     let mut table = TextTable::new(
@@ -98,7 +101,7 @@ pub fn fig7(_config: &ReproConfig) -> Result<String> {
             sim.step();
         }
         let report = sim.report(id)?;
-        let startup = report.startup.as_ref().expect("probe startup");
+        let startup = report.startup.as_ref().expect("probe startup"); // lint:allow(panic-in-lib): probe config requests startup measurement; absence is a bench-harness bug
         let reading = LitmusReading::from_startup(&baseline, startup)?;
         let level = (reading.shared_slowdown - 1.0) * 8.0 + reading.l3_miss_rate / 50_000.0;
         table.row(&[
@@ -173,7 +176,10 @@ pub fn fig8(config: &ReproConfig) -> Result<String> {
     ]);
 
     // The paper appends the Python startup itself ("start-py").
-    let startup_profile = suite::by_name("fib-py").unwrap().profile().startup_only()?;
+    let startup_profile = suite::by_name("fib-py")
+        .ok_or("fib-py missing from suite")?
+        .profile()
+        .startup_only()?;
     let mut solo_sim = Simulator::new(spec.clone());
     let id = solo_sim.launch(startup_profile.clone(), Placement::pinned(0))?;
     let solo = solo_sim.run_to_completion(id)?;
@@ -311,12 +317,15 @@ pub fn fig10(config: &ReproConfig) -> Result<String> {
 pub fn fig14(config: &ReproConfig) -> Result<String> {
     let spec = MachineSpec::cascade_lake();
     let scale = (config.scale * 0.5).max(0.02);
-    let profile = suite::by_name("aes-py").unwrap().profile().scaled(scale)?;
+    let profile = suite::by_name("aes-py")
+        .ok_or("aes-py missing from suite")?
+        .profile()
+        .scaled(scale)?;
 
     let t_priv_at = |count: usize| -> Result<f64> {
         let mut sim = Simulator::new(spec.clone());
         let mut pool = BackfillPool::new(suite::benchmarks(), 11, Placement::pinned(0))
-            .expect("non-empty pool");
+            .expect("non-empty pool"); // lint:allow(panic-in-lib): pool built two lines up from a non-empty literal
         if count > 1 {
             pool.fill(&mut sim, count - 1)?;
             pool.run(&mut sim, 50)?;

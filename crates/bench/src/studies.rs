@@ -63,7 +63,7 @@ pub fn warmstart(config: &ReproConfig) -> Result<String> {
                     warm_priced += 1;
                     // Stale reading, re-labelled for this language so
                     // the model accepts it.
-                    let mut reading = last_reading.expect("checked above");
+                    let mut reading = last_reading.expect("checked above"); // lint:allow(panic-in-lib): loop entry guarantees at least one reading was recorded
                     reading.language = bench.language();
                     (report, reading)
                 } else {

@@ -17,7 +17,10 @@ type Result<T> = std::result::Result<T, Box<dyn Error>>;
 /// model.
 pub fn topology(config: &ReproConfig) -> Result<String> {
     let scale = config.table_scale;
-    let victim = suite::by_name("bfs-py").unwrap().profile().scaled(scale)?;
+    let victim = suite::by_name("bfs-py")
+        .ok_or("bfs-py missing from suite")?
+        .profile()
+        .scaled(scale)?;
 
     let run = |spec: MachineSpec, hog_cores: Vec<usize>| -> Result<f64> {
         let mut sim = Simulator::new(spec);

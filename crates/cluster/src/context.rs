@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use litmus_core::{
     CommercialPricing, DiscountModel, IdealPricing, Invoice, LitmusPricing, LitmusReading,
@@ -21,7 +21,7 @@ pub struct ServingContext {
     model: DiscountModel,
     tables: PricingTables,
     scale: f64,
-    solo: HashMap<&'static str, PmuCounters>,
+    solo: BTreeMap<&'static str, PmuCounters>,
 }
 
 impl ServingContext {
@@ -35,7 +35,7 @@ impl ServingContext {
             model,
             tables,
             scale,
-            solo: HashMap::new(),
+            solo: BTreeMap::new(),
         }
     }
 

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use litmus_core::{DiscountModel, PricingTables};
@@ -811,7 +811,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         // Machines carry lifetime counters (they also back the billing
         // shards); snapshot them so this report's serving metrics
         // cover this replay only, even on a reused cluster.
-        let base: HashMap<MachineId, Counters> = cluster
+        let base: BTreeMap<MachineId, Counters> = cluster
             .machines
             .iter()
             .map(|m| (m.id(), Counters::of(m)))
@@ -1074,7 +1074,7 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             if self.stealing.is_some() {
                 queue.push(ReplayEvent::probe_tick(horizon));
             }
-            let next = queue.pop().expect("an arrival event was just pushed");
+            let next = queue.pop().expect("an arrival event was just pushed"); // lint:allow(panic-in-lib): an arrival was pushed onto the queue in the preceding statement
             state.telemetry.profile_mut().stop("queue", queue_started);
             let process_start = next.at_ms - state.slice_ms;
             if process_start > state.now_ms {

@@ -1,4 +1,4 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use litmus_platform::{CoRunEnv, CoRunHarness, HarnessConfig, TenantId};
@@ -173,7 +173,7 @@ pub struct Machine {
     born_ms: u64,
     max_inflight: usize,
     queue: VecDeque<QueuedArrival>,
-    inflight: HashMap<InstanceId, InFlight>,
+    inflight: BTreeMap<InstanceId, InFlight>,
     predicted_slowdown: f64,
     /// Cluster time the congestion estimate was last refreshed (boot
     /// probe, then every completion's startup probe).
@@ -229,7 +229,7 @@ impl Machine {
             born_ms,
             max_inflight: config.max_inflight.max(1),
             queue: VecDeque::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             predicted_slowdown: 1.0,
             last_probe_ms: born_ms,
             shard: BillingShard::new(),
@@ -315,11 +315,9 @@ impl Machine {
     /// it.
     pub(crate) fn shed_queued(&mut self, count: usize) -> Vec<QueuedArrival> {
         let take = count.min(self.queue.len());
-        let mut shed: Vec<QueuedArrival> = Vec::with_capacity(take);
-        for _ in 0..take {
-            shed.push(self.queue.pop_back().expect("len checked"));
-        }
-        shed.reverse();
+        // split_off keeps the tail in queue order — the same order the
+        // old pop_back-then-reverse loop produced.
+        let shed: Vec<QueuedArrival> = self.queue.split_off(self.queue.len() - take).into();
         self.dispatched -= shed.len();
         shed
     }
@@ -423,7 +421,9 @@ impl Machine {
             if self.local_ms(front.launch_at_ms) > now {
                 break;
             }
-            let arrival = self.queue.pop_front().expect("front exists");
+            let Some(arrival) = self.queue.pop_front() else {
+                break;
+            };
             let profile = arrival
                 .function
                 .profile()

@@ -120,7 +120,7 @@ impl PlacementPolicy for LeastLoaded {
             .enumerate()
             .min_by_key(|(_, m)| m.load())
             .map(|(idx, _)| idx)
-            .expect("machines is non-empty")
+            .expect("machines is non-empty") // lint:allow(panic-in-lib): Cluster::new rejects empty machine sets
     }
 }
 
@@ -201,7 +201,7 @@ impl PlacementPolicy for LitmusAware {
                     .filter(|(_, m)| m.congestion_score() <= best * 1.01)
                     .min_by_key(|(idx, m)| (m.load(), *idx))
                     .map(|(idx, _)| idx)
-                    .expect("machines is non-empty")
+                    .expect("machines is non-empty") // lint:allow(panic-in-lib): Cluster::new rejects empty machine sets
             }
             Some(decay) => {
                 // Allocation-free like the historical arm: scores are
@@ -220,7 +220,7 @@ impl PlacementPolicy for LitmusAware {
                     .filter(|(_, m)| score(m) <= best * 1.01)
                     .min_by_key(|(idx, m)| (m.load(), *idx))
                     .map(|(idx, _)| idx)
-                    .expect("machines is non-empty")
+                    .expect("machines is non-empty") // lint:allow(panic-in-lib): Cluster::new rejects empty machine sets
             }
         }
     }

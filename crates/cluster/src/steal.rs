@@ -97,9 +97,9 @@ fn best_receiver(
                 && (!require_better || snap.congestion_score() < donor_score)
         })
         .min_by(|(_, a), (_, b)| {
-            (a.congestion_score(), a.load(), a.id)
-                .partial_cmp(&(b.congestion_score(), b.load(), b.id))
-                .expect("scores are finite")
+            a.congestion_score()
+                .total_cmp(&b.congestion_score())
+                .then_with(|| (a.load(), a.id).cmp(&(b.load(), b.id)))
         })
         .map(|(idx, _)| idx)
 }

@@ -110,7 +110,9 @@ pub fn decode(spec: litmus_sim::MachineSpec, text: &str) -> Result<PricingTables
             continue;
         }
         let mut parts = line.split_whitespace();
-        let tag = parts.next().expect("non-empty line has a token");
+        let Some(tag) = parts.next() else {
+            continue;
+        };
         let rest: Vec<&str> = parts.collect();
         match tag {
             "spec" => {

@@ -114,18 +114,24 @@ impl<F: Forecaster> BandedForecaster<F> {
     pub fn observe(&mut self, value: f64) -> Option<(HorizonForecast, f64)> {
         // The queue reaches `horizon` entries only once the forecast
         // for *this* step (made `horizon` steps ago) is at the front.
-        let scored = if self.pending.len() == self.horizon {
-            let frozen = self.pending.pop_front().expect("len checked");
-            let residual = value - frozen.point;
-            if self.residuals.len() < self.window {
-                self.residuals.push(residual);
-            } else {
-                self.residuals[self.cursor] = residual;
-                self.cursor = (self.cursor + 1) % self.window;
+        let due = self.pending.len() == self.horizon;
+        let scored = match self.pending.pop_front() {
+            Some(frozen) if due => {
+                let residual = value - frozen.point;
+                if self.residuals.len() < self.window {
+                    self.residuals.push(residual);
+                } else {
+                    self.residuals[self.cursor] = residual;
+                    self.cursor = (self.cursor + 1) % self.window;
+                }
+                Some((frozen, residual))
             }
-            Some((frozen, residual))
-        } else {
-            None
+            Some(frozen) => {
+                // Not due yet: put the forecast back at the front.
+                self.pending.push_front(frozen);
+                None
+            }
+            None => None,
         };
         self.inner.observe(value);
         let next = self.compute_forecast();

@@ -1,0 +1,126 @@
+//! `litmus-lint` — run the workspace invariant lint.
+//!
+//! ```text
+//! litmus-lint [--root PATH] [--format text|json] [--quiet]
+//! litmus-lint --explain <rule>
+//! litmus-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/tool error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use litmus_lint::rules;
+use litmus_lint::{report, workspace};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("litmus-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text` or `json`, got {:?}",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                };
+            }
+            "--explain" => {
+                let id = args.next().ok_or("--explain needs a rule id")?;
+                return explain(&id);
+            }
+            "--list-rules" => {
+                for rule in rules::RULES {
+                    println!("{:<14} {}", rule.id, rule.summary);
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    let report = workspace::run(&root).map_err(|e| e.to_string())?;
+    match format {
+        Format::Text => {
+            if !quiet || !report.clean() {
+                print!("{}", report::render_text(&report));
+            }
+        }
+        Format::Json => print!("{}", report::render_json(&report)),
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn explain(id: &str) -> Result<ExitCode, String> {
+    let rule = rules::rule_info(id).ok_or_else(|| {
+        format!(
+            "unknown rule `{id}` — known rules: {}",
+            rules::RULES
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    println!("{} — {}\n", rule.id, rule.summary);
+    println!("{}", rule.explain);
+    Ok(ExitCode::SUCCESS)
+}
+
+const HELP: &str = "\
+litmus-lint: static analyzer for the workspace's determinism and layering invariants
+
+USAGE:
+    litmus-lint [--root PATH] [--format text|json] [--quiet]
+    litmus-lint --explain <rule>
+    litmus-lint --list-rules
+
+OPTIONS:
+    --root PATH       Workspace root to scan (default: current directory)
+    --format FORMAT   Report format: text (default) or json (CI artifact)
+    --quiet           Print nothing when the workspace is clean
+    --explain RULE    Print the rationale for one rule
+    --list-rules      List rule ids with one-line summaries
+
+Violations are suppressed only by an inline, reasoned pragma on (or
+immediately above) the offending line:
+
+    // lint:allow(<rule>[, <rule>...]): <reason>
+
+Exit codes: 0 clean, 1 unsuppressed violations, 2 usage or I/O error.
+";

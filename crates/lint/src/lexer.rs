@@ -1,0 +1,583 @@
+//! A lightweight lexical scanner for Rust source — just enough for the
+//! lint rules: it separates code tokens from comments, skips string and
+//! character literals entirely (a `unwrap()` quoted in a doc example
+//! must never fire a rule), marks tokens that sit inside `#[...]`
+//! attributes, and computes the line ranges covered by test-gated items
+//! (`#[cfg(test)] mod … { … }`, `#[test] fn … { … }`) so rules can
+//! exempt them. There is deliberately no parser: every rule this tool
+//! enforces is expressible over the token stream plus these masks, and
+//! a full grammar would be a maintenance liability for zero extra
+//! signal.
+
+/// What a code token is: an identifier/keyword, a single punctuation
+/// character, or a literal (numeric; strings and chars are skipped and
+/// never reach the stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct(char),
+    Literal,
+}
+
+/// One code token. `text` is empty for punctuation and literals — only
+/// identifiers carry their spelling, which is all the rules match on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when the token sits inside a `#[...]`/`#![...]` attribute;
+    /// rules skip these (e.g. `expected` strings in `#[should_panic]`).
+    pub in_attr: bool,
+}
+
+impl Tok {
+    /// Is this an identifier spelled exactly `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block). Pragmas (`// lint:allow(...)`) are
+/// recovered from these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// True when nothing but whitespace precedes the comment on its
+    /// line — an own-line pragma applies to the next code line, a
+    /// trailing pragma to its own.
+    pub own_line: bool,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    /// Pragmas are never read from documentation — a `lint:allow`
+    /// example in a doc comment is prose, not a suppression.
+    pub doc: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// Raw source lines, for violation snippets (index 0 = line 1).
+    pub lines: Vec<String>,
+    /// Token index ranges `[start, end]` (inclusive) of attributes.
+    pub attrs: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    /// Does any code token sit on `line`?
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.toks.iter().any(|t| t.line == line)
+    }
+
+    /// The first line strictly after `line` that carries a code token.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.toks.iter().map(|t| t.line).filter(|&l| l > line).min()
+    }
+
+    /// Trimmed source text of `line` (1-based), for snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Lexes `src`. Never fails: unrecognized bytes are skipped, an
+/// unterminated string or comment simply ends the file — a lint must
+/// degrade gracefully on source that rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        tok_on_line: false,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    };
+    lx.run();
+    let mut lexed = Lexed {
+        toks: lx.toks,
+        comments: lx.comments,
+        lines: src.lines().map(str::to_string).collect(),
+        attrs: Vec::new(),
+    };
+    mark_attrs(&mut lexed);
+    lexed
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    tok_on_line: bool,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.tok_on_line = false;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.tok_on_line = true;
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            in_attr: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.escaped_string();
+                }
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.tok_on_line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/') | Some('!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            line,
+            text: text.trim_start_matches(['/', '!']).trim().to_string(),
+            own_line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.tok_on_line;
+        self.bump();
+        self.bump();
+        // `/**` and `/*!` open doc comments; bare `/**/` does not.
+        let doc = matches!(self.peek(0), Some('*') | Some('!')) && self.peek(1) != Some('/');
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment {
+            line,
+            text: text.trim_start_matches(['*', '!']).trim().to_string(),
+            own_line,
+            doc,
+        });
+    }
+
+    /// Consumes a `"…"` string body with `\` escapes; the opening quote
+    /// is already consumed. Emits nothing: string contents are
+    /// invisible to rules.
+    fn escaped_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string `r"…"` / `r#"…"#` (any number of `#`s);
+    /// the `r`/`br` prefix is already consumed, `self.pos` sits on the
+    /// first `#` or the opening quote.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // not actually a raw string (e.g. `r#ident`)
+        }
+        self.bump();
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek(0) == Some('#') {
+                        n += 1;
+                        self.bump();
+                    }
+                    if n == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` are char literals (skipped); `'a` in `<'a>` is a
+    /// lifetime (emitted as a Literal token so it can't collide with
+    /// identifier rules).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape then scan to
+                // the closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            Some(_) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Lifetime: consume the identifier, no closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            _ => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`: the "identifier" was a
+        // literal prefix — swallow the literal instead of tokenizing
+        // its contents.
+        let next = self.peek(0);
+        match text.as_str() {
+            "r" | "br" if next == Some('"') || next == Some('#') => {
+                self.raw_string();
+                self.push(TokKind::Literal, String::new(), line);
+                return;
+            }
+            "b" if next == Some('"') => {
+                self.bump();
+                self.escaped_string();
+                self.push(TokKind::Literal, String::new(), line);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Marks tokens inside `#[...]` / `#![...]` attributes and records each
+/// attribute's token index range.
+fn mark_attrs(lexed: &mut Lexed) {
+    let mut i = 0;
+    while i < lexed.toks.len() {
+        if !lexed.toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut open = i + 1;
+        if open < lexed.toks.len() && lexed.toks[open].is_punct('!') {
+            open += 1;
+        }
+        if open >= lexed.toks.len() || !lexed.toks[open].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, tok) in lexed.toks.iter().enumerate().skip(open) {
+            if tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    end = j;
+                    break;
+                }
+            }
+        }
+        for tok in &mut lexed.toks[i..=end] {
+            tok.in_attr = true;
+        }
+        lexed.attrs.push((i, end));
+        i = end + 1;
+    }
+}
+
+/// Line ranges (inclusive) covered by test-gated items: an item whose
+/// attributes include `#[test]` or a `#[cfg(…)]` mentioning `test`
+/// outside a `not(…)`. The range runs from the attribute to the item's
+/// closing brace (or terminating `;`). Rules use these to exempt
+/// `mod tests { … }` bodies from panic-in-lib and layering.
+pub fn test_exempt_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut k = 0usize;
+    while k < lexed.attrs.len() {
+        let (start, end) = lexed.attrs[k];
+        if !attr_is_test_gate(&lexed.toks[start..=end]) {
+            k += 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut after = end + 1;
+        let mut kk = k + 1;
+        while kk < lexed.attrs.len() && lexed.attrs[kk].0 == after {
+            after = lexed.attrs[kk].1 + 1;
+            kk += 1;
+        }
+        // The item ends at the close of its first brace block, or at a
+        // top-level `;` for braceless items.
+        let mut depth = 0usize;
+        let mut item_end_line = lexed.toks.get(end).map(|t| t.line).unwrap_or(1);
+        for tok in lexed.toks.iter().skip(after) {
+            if tok.in_attr {
+                continue;
+            }
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    item_end_line = tok.line;
+                    break;
+                }
+            } else if tok.is_punct(';') && depth == 0 {
+                item_end_line = tok.line;
+                break;
+            } else {
+                item_end_line = tok.line;
+            }
+        }
+        ranges.push((lexed.toks[start].line, item_end_line));
+        k = kk;
+    }
+    ranges
+}
+
+/// Does this attribute's token span gate the item behind `test`?
+/// `#[test]` and `#[cfg(test)]` (also `cfg(any(test, …))`) do;
+/// `#[cfg(not(test))]` does not.
+fn attr_is_test_gate(attr: &[Tok]) -> bool {
+    let idents: Vec<usize> = (0..attr.len())
+        .filter(|&i| attr[i].kind == TokKind::Ident)
+        .collect();
+    let Some(&first) = idents.first() else {
+        return false;
+    };
+    if attr[first].text == "test" {
+        return true;
+    }
+    if attr[first].text != "cfg" {
+        return false;
+    }
+    for &i in &idents[1..] {
+        if attr[i].text != "test" {
+            continue;
+        }
+        // `not(test)`: the two non-trivia tokens before `test` are the
+        // identifier `not` and `(`.
+        let preceded_by_not = i >= 2 && attr[i - 1].is_punct('(') && attr[i - 2].is_ident("not");
+        if !preceded_by_not {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r####"
+            // Instant::now in a comment
+            /* HashMap in a /* nested */ block */
+            let a = "thread_rng() quoted";
+            let b = r#"unwrap() raw"#;
+            let c = b"panic! bytes";
+            let real = foo();
+        "####;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"foo".to_string()));
+        for banned in ["Instant", "HashMap", "thread_rng", "unwrap", "panic"] {
+            assert!(!ids.contains(&banned.to_string()), "leaked {banned}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_and_chars_do_not_derail() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\"'; let d = '\\n'; 'y' }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"char".to_string()));
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.next_code_line(2), Some(3));
+    }
+
+    #[test]
+    fn attr_tokens_are_marked() {
+        let lexed = lex("#[should_panic(expected = \"boom\")]\nfn t() { body(); }\n");
+        let expected_attr: Vec<_> = lexed.toks.iter().filter(|t| t.in_attr).collect();
+        assert!(expected_attr.iter().any(|t| t.is_ident("should_panic")));
+        let body = lexed.toks.iter().find(|t| t.is_ident("body"));
+        assert!(!body.expect("body token").in_attr);
+    }
+
+    #[test]
+    fn cfg_test_mod_range() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn inner() {}
+}
+fn after() {}
+";
+        let lexed = lex(src);
+        let ranges = test_exempt_ranges(&lexed);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() {} }\n";
+        let lexed = lex(src);
+        assert!(test_exempt_ranges(&lexed).is_empty());
+    }
+
+    #[test]
+    fn test_attr_fn_range_and_stacked_attrs() {
+        let src = "\
+#[test]
+#[ignore]
+fn t() {
+    work();
+}
+fn untouched() {}
+";
+        let lexed = lex(src);
+        assert_eq!(test_exempt_ranges(&lexed), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_exempt() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn helper() {}\n";
+        let lexed = lex(src);
+        assert_eq!(test_exempt_ranges(&lexed).len(), 1);
+    }
+}

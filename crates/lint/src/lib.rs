@@ -1,0 +1,34 @@
+//! litmus-lint: a zero-dependency static analyzer enforcing the
+//! workspace's determinism and layering invariants.
+//!
+//! Every guarantee this reproduction makes — byte-identical
+//! `ClusterReport`s and telemetry JSONL across thread counts, slice vs
+//! event-driven engines, streaming vs materialized replay — rests on
+//! source-level invariants: no wall-clock reads in sim paths, no
+//! unordered-map iteration on export paths, all randomness seeded, a
+//! strict crate DAG. Equality tests catch violations after the fact,
+//! as a mysterious cross-thread diff; this tool catches them in
+//! seconds, as a named rule with a file:line.
+//!
+//! The pipeline: [`lexer`] turns each `.rs` file into code tokens
+//! (comments, strings and attributes set aside — a `unwrap()` quoted
+//! in a doc example never fires), [`rules`] evaluates every applicable
+//! rule over the stream, [`pragma`] recovers `// lint:allow(<rule>):
+//! <reason>` suppressions, [`manifest`] checks `Cargo.toml`
+//! dependencies against the declared DAG, and [`workspace`] walks the
+//! repository tying it together. [`report`] renders deterministic text
+//! and JSON (`--format json` in CI).
+//!
+//! Run `litmus-lint --explain <rule>` for the rationale behind any
+//! rule, or see the README's "Static analysis" section.
+
+pub mod lexer;
+pub mod manifest;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use report::{Allow, Report, Violation};
+pub use rules::{scan_source, FileClass, FileCtx, RuleInfo, RULES};
+pub use workspace::{run, LintError};

@@ -1,0 +1,194 @@
+//! Inline suppression pragmas.
+//!
+//! The only way to silence a rule is an explained, in-place comment:
+//!
+//! ```text
+//! let started = Instant::now(); // lint:allow(wall-clock): progress output only
+//! // lint:allow(panic-in-lib, unordered-iter): reason covering the next line
+//! risky_line();
+//! ```
+//!
+//! A trailing pragma covers its own line; an own-line pragma covers the
+//! next line that carries code. Every pragma must name known rules and
+//! carry a non-empty reason after the colon — a malformed, unknown or
+//! unused pragma is itself a violation (rule `pragma`), so suppressions
+//! can never rot silently.
+
+use crate::lexer::Lexed;
+
+/// One parsed `lint:allow` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose violations it suppresses.
+    pub applies_to: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+    /// Set during rule evaluation; an unused pragma is an error.
+    pub used: bool,
+}
+
+/// A defect in a pragma itself (reported under the `pragma` rule).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// The marker every pragma starts with.
+pub const MARKER: &str = "lint:allow";
+
+/// Extracts pragmas (and pragma defects) from a file's comments.
+/// `known_rules` are the suppressible rule ids.
+pub fn extract(lexed: &Lexed, known_rules: &[&str]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for comment in &lexed.comments {
+        if comment.doc {
+            continue;
+        }
+        let Some(at) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &comment.text[at + MARKER.len()..];
+        match parse_body(rest, known_rules) {
+            Ok((rules, reason)) => {
+                let applies_to = if comment.own_line {
+                    // Own-line pragma: covers the next code line. A
+                    // pragma at end of file covers nothing and will be
+                    // reported as unused.
+                    lexed.next_code_line(comment.line).unwrap_or(0)
+                } else {
+                    comment.line
+                };
+                pragmas.push(Pragma {
+                    line: comment.line,
+                    applies_to,
+                    rules,
+                    reason,
+                    used: false,
+                });
+            }
+            Err(message) => errors.push(PragmaError {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses `(<rule>[, <rule>…]): <reason>` after the marker.
+fn parse_body(rest: &str, known_rules: &[&str]) -> Result<(Vec<String>, String), String> {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err(format!(
+            "malformed pragma: expected `{MARKER}(<rule>): <reason>`"
+        ));
+    };
+    let Some(close) = body.find(')') else {
+        return Err("malformed pragma: missing `)` after rule list".to_string());
+    };
+    let mut rules = Vec::new();
+    for raw in body[..close].split(',') {
+        let rule = raw.trim();
+        if rule.is_empty() {
+            return Err("malformed pragma: empty rule name in list".to_string());
+        }
+        if !known_rules.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` in pragma (known: {})",
+                known_rules.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return Err("malformed pragma: empty rule list".to_string());
+    }
+    let after = &body[close + 1..];
+    let Some(reason) = after.trim_start().strip_prefix(':') else {
+        return Err("pragma missing `: <reason>` — every suppression must say why".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("pragma missing reason text after `:`".to_string());
+    }
+    Ok((rules, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["wall-clock", "panic-in-lib"];
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let lexed = lex("bad(); // lint:allow(wall-clock): example timing only\n");
+        let (pragmas, errors) = extract(&lexed, RULES);
+        assert!(errors.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].applies_to, 1);
+        assert_eq!(pragmas[0].reason, "example timing only");
+    }
+
+    #[test]
+    fn own_line_pragma_covers_next_code_line() {
+        let lexed = lex("// lint:allow(panic-in-lib): infallible by construction\n\nbad();\n");
+        let (pragmas, errors) = extract(&lexed, RULES);
+        assert!(errors.is_empty());
+        assert_eq!(pragmas[0].applies_to, 3);
+    }
+
+    #[test]
+    fn multiple_rules_one_pragma() {
+        let lexed = lex("bad(); // lint:allow(wall-clock, panic-in-lib): both fine here\n");
+        let (pragmas, _) = extract(&lexed, RULES);
+        assert_eq!(pragmas[0].rules, vec!["wall-clock", "panic-in-lib"]);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let lexed = lex("bad(); // lint:allow(no-such-rule): whatever\n");
+        let (pragmas, errors) = extract(&lexed, RULES);
+        assert!(pragmas.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("unknown rule `no-such-rule`"));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        for src in [
+            "bad(); // lint:allow(wall-clock)\n",
+            "bad(); // lint:allow(wall-clock):\n",
+            "bad(); // lint:allow(wall-clock):   \n",
+        ] {
+            let (pragmas, errors) = extract(&lex(src), RULES);
+            assert!(pragmas.is_empty(), "parsed from {src:?}");
+            assert_eq!(errors.len(), 1, "no error from {src:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_pragma_is_an_error() {
+        let (_, errors) = extract(&lex("// lint:allow wall-clock: no parens\n"), RULES);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let src = "\
+/// Example: `// lint:allow(wall-clock): reason` suppresses it.
+//! And so does `// lint:allow wall-clock` malformed prose.
+/** block doc lint:allow(bogus-rule): nope */
+fn f() {}
+";
+        let (pragmas, errors) = extract(&lex(src), RULES);
+        assert!(pragmas.is_empty());
+        assert!(errors.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Violation/suppression records and the text and JSON renderers.
+//! Output is fully deterministic: records are sorted by (file, line,
+//! rule) before rendering, so CI artifacts diff cleanly run-to-run.
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Trimmed source line, for the human report.
+    pub snippet: String,
+    pub message: String,
+}
+
+/// One recorded suppression (`lint:allow` that matched a violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The aggregate result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+    pub files_scanned: usize,
+    pub manifests_checked: usize,
+}
+
+impl Report {
+    /// Sorts both record sets into canonical order.
+    pub fn finish(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Renders the human-facing report: violations with file:line and
+/// snippet, then the suppression inventory, then a one-line summary.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        let _ = writeln!(out, "{}: {}:{}", v.rule, v.file, v.line);
+        if !v.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", v.snippet);
+        }
+        let _ = writeln!(out, "    => {}", v.message);
+    }
+    if !report.allows.is_empty() {
+        let _ = writeln!(out, "suppressions ({}):", report.allows.len());
+        for a in &report.allows {
+            let _ = writeln!(
+                out,
+                "    {:<14} {}:{} — {}",
+                a.rule, a.file, a.line, a.reason
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "litmus-lint: {} violation(s), {} suppression(s), {} file(s) + {} manifest(s) scanned",
+        report.violations.len(),
+        report.allows.len(),
+        report.files_scanned,
+        report.manifests_checked,
+    );
+    out
+}
+
+/// Renders the machine-facing report (`--format json`), one object with
+/// `violations` and `suppressions` arrays — the CI artifact format.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        out,
+        "  \"manifests_checked\": {},",
+        report.manifests_checked
+    );
+    let _ = writeln!(out, "  \"violation_count\": {},", report.violations.len());
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+            escape(&v.rule),
+            escape(&v.file),
+            v.line,
+            escape(&v.snippet),
+            escape(&v.message)
+        );
+    }
+    if report.violations.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str(",\n  \"suppressions\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+            escape(&a.rule),
+            escape(&a.file),
+            a.line,
+            escape(&a.reason)
+        );
+    }
+    if report.allows.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslash, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut report = Report {
+            violations: vec![
+                Violation {
+                    rule: "wall-clock".into(),
+                    file: "crates/b.rs".into(),
+                    line: 9,
+                    snippet: "let t = Instant::now();".into(),
+                    message: "host clock".into(),
+                },
+                Violation {
+                    rule: "panic-in-lib".into(),
+                    file: "crates/a.rs".into(),
+                    line: 3,
+                    snippet: "x.unwrap()".into(),
+                    message: "typed error \"please\"".into(),
+                },
+            ],
+            allows: vec![Allow {
+                rule: "unordered-iter".into(),
+                file: "crates/a.rs".into(),
+                line: 7,
+                reason: "lookup-only".into(),
+            }],
+            files_scanned: 2,
+            manifests_checked: 1,
+        };
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn finish_sorts_canonically() {
+        let report = sample();
+        assert_eq!(report.violations[0].file, "crates/a.rs");
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn text_report_names_rule_file_line() {
+        let text = render_text(&sample());
+        assert!(text.contains("wall-clock: crates/b.rs:9"));
+        assert!(text.contains("suppressions (1):"));
+        assert!(text.contains("2 violation(s), 1 suppression(s)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_parseable_shape() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"violation_count\": 2"));
+        assert!(json.contains("typed error \\\"please\\\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let mut report = Report::default();
+        report.finish();
+        let json = render_json(&report);
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"suppressions\": []"));
+        assert!(report.clean());
+    }
+}

@@ -1,0 +1,577 @@
+//! The rule engine: each determinism/layering invariant is a named
+//! rule with an explanation, evaluated over the lexed token stream of
+//! one file (manifest-level layering checks live in [`crate::manifest`]).
+
+use crate::lexer::{self, Lexed, TokKind};
+use crate::manifest;
+use crate::pragma::{self, Pragma};
+use crate::report::{Allow, Violation};
+
+/// Rule ids. These are the names pragmas and `--explain` use; changing
+/// one is a breaking change for every inline suppression in the tree.
+pub const WALL_CLOCK: &str = "wall-clock";
+pub const UNORDERED_ITER: &str = "unordered-iter";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const PANIC_IN_LIB: &str = "panic-in-lib";
+pub const LAYERING: &str = "layering";
+pub const PRAGMA: &str = "pragma";
+
+/// One rule's id, one-line summary, and `--explain` paragraph.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub explain: &'static str,
+}
+
+/// Every rule the tool knows, in display order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: WALL_CLOCK,
+        summary: "no wall-clock reads outside telemetry::profile and crates/bench",
+        explain: "The replay engines promise byte-identical ClusterReports and telemetry \
+JSONL across thread counts, slice vs event-driven stepping, and streaming vs materialized \
+sources. That only holds if simulated state is a pure function of the trace and the seed — \
+a single Instant::now() or SystemTime read smuggles the host's clock into the computation \
+and the guarantee silently dies. Wall-clock time is allowed in exactly two places: the \
+opt-in stage profiler (crates/telemetry/src/profile.rs), which is deliberately excluded \
+from exports and equality, and crates/bench, whose whole job is measuring wall time. \
+Anywhere else, derive time from the sim clock or suppress with a reason explaining why \
+the reading can never feed simulated state.",
+    },
+    RuleInfo {
+        id: UNORDERED_ITER,
+        summary: "no HashMap/HashSet in crates that produce reports or exports",
+        explain: "std's HashMap and HashSet iterate in a per-process randomized order \
+(RandomState), so any export, report vector, or tie-break that observes that order \
+diverges between runs — the exact class of bug the byte-identical JSONL tests exist to \
+catch, except it surfaces later as an unexplainable cross-thread diff. In crates on the \
+report/export path (cluster, telemetry, observe, trace, platform, and the root facade's \
+lib/bin/example code) use BTreeMap/BTreeSet, or keep the hash container and sort before \
+anything order-sensitive, suppressing with a reason that states why iteration order can \
+never reach an output (e.g. lookup-only, or a commutative fold).",
+    },
+    RuleInfo {
+        id: UNSEEDED_RNG,
+        summary: "no thread_rng/random()/from_entropy — all randomness flows from a seed",
+        explain: "Every stochastic choice in the workspace — workload bodies, intra-minute \
+arrival placement, trace sampling — is a pure function of an explicit seed, which is what \
+makes replays reproducible and proptest failures re-runnable. thread_rng(), random(), \
+OsRng and from_entropy() draw from the OS entropy pool instead, producing runs nobody can \
+ever reproduce. This rule has no sanctioned home anywhere in the tree, tests included: \
+plumb a seed (or derive a stream from one with the vendored SplitMix/ChaCha shims) \
+instead.",
+    },
+    RuleInfo {
+        id: PANIC_IN_LIB,
+        summary: "no unwrap/expect/panic! in non-test library code",
+        explain: "Library crates return typed errors (each crate has an error module and a \
+Result alias); a stray unwrap() turns a malformed trace row or an impossible config into \
+a process abort that takes a whole replay (or a long study) down with it. unwrap, expect \
+and panic! are therefore banned in library code. #[cfg(test)] modules, #[test] functions, \
+integration tests, benches and binaries' main paths are exempt — panicking is how tests \
+fail and how CLIs bail. For genuine invariants in library code (a value proven in-range \
+two lines up), suppress with a reason that states the invariant.",
+    },
+    RuleInfo {
+        id: LAYERING,
+        summary: "crate dependencies must follow the declared DAG",
+        explain: "The workspace has an intended dependency DAG — stats/sim/telemetry at the \
+bottom; workloads, core, platform, forecast and trace in the middle; cluster above them; \
+observe consuming only telemetry exports; bench and the root facade on top; the lint \
+crate outside entirely. The DAG is what keeps telemetry reusable, keeps observe honest \
+(it analyzes exported JSONL, it cannot reach into live cluster state), and keeps build \
+times sane. This rule checks both [dependencies] in every crate manifest and litmus_* \
+paths in lib/bin source against the table in crates/lint/src/manifest.rs. \
+Dev-dependencies and test/example code are exempt: tests may cross layers. Adding a new \
+crate means adding it to the table — a deliberate, reviewed layering decision.",
+    },
+    RuleInfo {
+        id: PRAGMA,
+        summary: "lint:allow pragmas must be well-formed, known, reasoned, and effective",
+        explain: "Suppressions are part of the invariant record: `// lint:allow(<rule>): \
+<reason>` must name real rules, carry a non-empty reason, and actually suppress a \
+violation on the line it covers (a trailing pragma covers its own line, an own-line \
+pragma the next code line). Unknown rule names, missing reasons, malformed syntax, and \
+pragmas that suppress nothing are each violations of this meta-rule, so the suppression \
+inventory the tool prints stays truthful as code moves. Pragma violations cannot \
+themselves be suppressed.",
+    },
+];
+
+/// Rule ids a pragma may name (everything except the meta-rule).
+pub fn suppressible_rules() -> Vec<&'static str> {
+    RULES
+        .iter()
+        .map(|r| r.id)
+        .filter(|&id| id != PRAGMA)
+        .collect()
+}
+
+/// Looks up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/**` of a crate (excluding `src/bin/`).
+    Lib,
+    /// `src/bin/**` and `build.rs`.
+    Bin,
+    /// `tests/**`.
+    Test,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// Identity of the file being scanned.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// Crate id: the directory name under `crates/`, or `litmus` for
+    /// the root facade.
+    pub krate: &'a str,
+    pub class: FileClass,
+}
+
+/// Crates whose outputs are exported or compared byte-for-byte; the
+/// unordered-iter rule applies to their non-test code.
+pub const EXPORT_CRATES: &[&str] = &[
+    "cluster",
+    "telemetry",
+    "observe",
+    "trace",
+    "platform",
+    "litmus",
+];
+
+/// Identifiers that read OS entropy.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct ScanOut {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+}
+
+/// Scans one file's source against every applicable rule.
+pub fn scan_source(ctx: &FileCtx<'_>, src: &str) -> ScanOut {
+    let lexed = lexer::lex(src);
+    let exempt = lexer::test_exempt_ranges(&lexed);
+    let known = suppressible_rules();
+    let (mut pragmas, pragma_errors) = pragma::extract(&lexed, &known);
+
+    let mut found: Vec<(u32, &'static str, String)> = Vec::new();
+    token_rules(ctx, &lexed, &exempt, &mut found);
+
+    let mut out = ScanOut::default();
+    for (line, rule, message) in found {
+        match claim_pragma(&mut pragmas, rule, line) {
+            Some(reason) => out.allows.push(Allow {
+                rule: rule.to_string(),
+                file: ctx.rel_path.to_string(),
+                line,
+                reason,
+            }),
+            None => out.violations.push(Violation {
+                rule: rule.to_string(),
+                file: ctx.rel_path.to_string(),
+                line,
+                snippet: lexed.snippet(line),
+                message,
+            }),
+        }
+    }
+    for err in pragma_errors {
+        out.violations.push(Violation {
+            rule: PRAGMA.to_string(),
+            file: ctx.rel_path.to_string(),
+            line: err.line,
+            snippet: lexed.snippet(err.line),
+            message: err.message,
+        });
+    }
+    for unused in pragmas.iter().filter(|p| !p.used) {
+        out.violations.push(Violation {
+            rule: PRAGMA.to_string(),
+            file: ctx.rel_path.to_string(),
+            line: unused.line,
+            snippet: lexed.snippet(unused.line),
+            message: format!(
+                "pragma suppresses nothing: no {} violation on line {} (is it on the wrong line?)",
+                unused.rules.join("/"),
+                if unused.applies_to == 0 {
+                    "<none>".to_string()
+                } else {
+                    unused.applies_to.to_string()
+                }
+            ),
+        });
+    }
+    out
+}
+
+/// Marks the first matching pragma used and returns its reason.
+fn claim_pragma(pragmas: &mut [Pragma], rule: &str, line: u32) -> Option<String> {
+    let hit = pragmas
+        .iter_mut()
+        .find(|p| p.applies_to == line && p.rules.iter().any(|r| r == rule))?;
+    hit.used = true;
+    Some(hit.reason.clone())
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// Runs every token-level rule over one lexed file, appending
+/// `(line, rule, message)` candidates (suppression is applied later).
+fn token_rules(
+    ctx: &FileCtx<'_>,
+    lexed: &Lexed,
+    exempt: &[(u32, u32)],
+    found: &mut Vec<(u32, &'static str, String)>,
+) {
+    let wall_clock_applies =
+        ctx.krate != "bench" && ctx.rel_path != "crates/telemetry/src/profile.rs";
+    let unordered_applies = EXPORT_CRATES.contains(&ctx.krate)
+        && matches!(
+            ctx.class,
+            FileClass::Lib | FileClass::Bin | FileClass::Example
+        );
+    let panic_applies = ctx.class == FileClass::Lib;
+    let layering_applies = matches!(ctx.class, FileClass::Lib | FileClass::Bin);
+    let allowed = manifest::allowed_deps(ctx.krate);
+
+    let toks = &lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.in_attr {
+            continue;
+        }
+        let line = tok.line;
+        let next_is = |c: char| toks.get(i + 1).is_some_and(|t| t.is_punct(c));
+        let path_call_of = |name: &str| {
+            // `<name> :: <tok[i]>`, e.g. `Instant::now`.
+            toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(name))
+        };
+
+        if wall_clock_applies {
+            if tok.text == "SystemTime" {
+                found.push((
+                    line,
+                    WALL_CLOCK,
+                    "SystemTime reads the host clock; sim paths must derive time from the \
+                     sim clock"
+                        .to_string(),
+                ));
+            } else if tok.text == "Instant" && path_call_of("now") {
+                found.push((
+                    line,
+                    WALL_CLOCK,
+                    "Instant::now() reads the host clock; wall-clock time is allowed only \
+                     in telemetry::profile and crates/bench"
+                        .to_string(),
+                ));
+            }
+        }
+
+        if unordered_applies
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+            && !in_ranges(exempt, line)
+        {
+            found.push((
+                line,
+                UNORDERED_ITER,
+                format!(
+                    "{} iterates in randomized order; this crate feeds reports/exports — \
+                     use BTreeMap/BTreeSet or sort before anything order-sensitive",
+                    tok.text
+                ),
+            ));
+        }
+
+        if ENTROPY_IDENTS.contains(&tok.text.as_str()) || (tok.text == "random" && next_is('(')) {
+            found.push((
+                line,
+                UNSEEDED_RNG,
+                format!(
+                    "`{}` draws from OS entropy; all randomness must flow from an explicit \
+                     seed",
+                    tok.text
+                ),
+            ));
+        }
+
+        if panic_applies && !in_ranges(exempt, line) {
+            if (tok.text == "unwrap" || tok.text == "expect") && next_is('(') {
+                found.push((
+                    line,
+                    PANIC_IN_LIB,
+                    format!(
+                        "`{}()` can abort a replay mid-flight; return the crate's typed \
+                         error instead",
+                        tok.text
+                    ),
+                ));
+            } else if tok.text == "panic" && next_is('!') {
+                found.push((
+                    line,
+                    PANIC_IN_LIB,
+                    "`panic!` in library code; return the crate's typed error instead".to_string(),
+                ));
+            }
+        }
+
+        if layering_applies && !in_ranges(exempt, line) {
+            if let Some(dep) = tok.text.strip_prefix("litmus_") {
+                // Only identifiers naming a crate in the DAG table are
+                // crate references — `litmus_normalized()` and friends
+                // are ordinary method names. A dependency on a crate
+                // the table doesn't know is caught at the manifest
+                // level.
+                if let (Some(allowed), Some(_)) = (allowed, manifest::allowed_deps(dep)) {
+                    if dep != ctx.krate && !allowed.contains(&dep) {
+                        found.push((
+                            line,
+                            LAYERING,
+                            format!(
+                                "crate `{}` must not reach `litmus_{dep}` (allowed: {})",
+                                ctx.krate,
+                                if allowed.is_empty() {
+                                    "none".to_string()
+                                } else {
+                                    allowed.join(", ")
+                                }
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(rel_path: &'a str, krate: &'a str, class: FileClass) -> FileCtx<'a> {
+        FileCtx {
+            rel_path,
+            krate,
+            class,
+        }
+    }
+
+    fn rules_fired(out: &ScanOut) -> Vec<&str> {
+        out.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn wall_clock_fires_with_location() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let out = scan_source(
+            &ctx("crates/cluster/src/driver.rs", "cluster", FileClass::Lib),
+            src,
+        );
+        let v = out
+            .violations
+            .iter()
+            .find(|v| v.rule == WALL_CLOCK)
+            .expect("wall-clock fires");
+        assert_eq!(v.line, 2);
+        assert!(v.snippet.contains("Instant::now"));
+    }
+
+    #[test]
+    fn wall_clock_exempt_in_bench_and_profile() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let bench = scan_source(
+            &ctx("crates/bench/src/lib.rs", "bench", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&bench).is_empty());
+        let profile = scan_source(
+            &ctx(
+                "crates/telemetry/src/profile.rs",
+                "telemetry",
+                FileClass::Lib,
+            ),
+            src,
+        );
+        assert!(rules_fired(&profile).is_empty());
+        let elsewhere = scan_source(
+            &ctx(
+                "crates/telemetry/src/metrics.rs",
+                "telemetry",
+                FileClass::Lib,
+            ),
+            src,
+        );
+        assert_eq!(rules_fired(&elsewhere), vec![WALL_CLOCK]);
+    }
+
+    #[test]
+    fn unordered_iter_scoped_to_export_crates_and_non_test_code() {
+        let src = "use std::collections::HashMap;\n";
+        let hit = scan_source(
+            &ctx("crates/trace/src/ingest.rs", "trace", FileClass::Lib),
+            src,
+        );
+        assert_eq!(rules_fired(&hit), vec![UNORDERED_ITER]);
+        let stats = scan_source(
+            &ctx("crates/stats/src/table.rs", "stats", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&stats).is_empty());
+        let test = scan_source(
+            &ctx("crates/trace/tests/roundtrip.rs", "trace", FileClass::Test),
+            src,
+        );
+        assert!(rules_fired(&test).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires_everywhere_even_tests() {
+        let src = "fn f() { let mut rng = thread_rng(); let x: f64 = random(); }\n";
+        let out = scan_source(
+            &ctx("crates/stats/tests/t.rs", "stats", FileClass::Test),
+            src,
+        );
+        assert_eq!(rules_fired(&out), vec![UNSEEDED_RNG, UNSEEDED_RNG]);
+    }
+
+    #[test]
+    fn panic_in_lib_fires_only_in_lib_code() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let lib = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert_eq!(rules_fired(&lib), vec![PANIC_IN_LIB]);
+        for class in [
+            FileClass::Bin,
+            FileClass::Test,
+            FileClass::Example,
+            FileClass::Bench,
+        ] {
+            let out = scan_source(&ctx("crates/core/tests/t.rs", "core", class), src);
+            assert!(rules_fired(&out).is_empty(), "fired for {class:?}");
+        }
+    }
+
+    #[test]
+    fn panic_in_lib_exempts_cfg_test_mod_but_not_cfg_not_test() {
+        let src = "\
+pub fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!(\"boom\");
+    }
+}
+";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&out).is_empty());
+
+        let src = "#[cfg(not(test))]\npub fn f() { Some(1).unwrap(); }\n";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert_eq!(rules_fired(&out), vec![PANIC_IN_LIB]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&out).is_empty());
+    }
+
+    #[test]
+    fn quoted_and_commented_patterns_do_not_fire() {
+        let src = "\
+/// Doc example: `Instant::now()` and `x.unwrap()` and `HashMap`.
+// thread_rng() in a comment
+pub fn f() -> &'static str {
+    \"SystemTime::now() quoted\"
+}
+";
+        let out = scan_source(
+            &ctx("crates/cluster/src/driver.rs", "cluster", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&out).is_empty());
+    }
+
+    #[test]
+    fn layering_fires_on_forbidden_use() {
+        let src = "use litmus_cluster::ClusterReport;\n";
+        let out = scan_source(
+            &ctx("crates/observe/src/slo.rs", "observe", FileClass::Lib),
+            src,
+        );
+        assert_eq!(rules_fired(&out), vec![LAYERING]);
+        let ok = scan_source(
+            &ctx("crates/observe/src/slo.rs", "observe", FileClass::Lib),
+            "use litmus_telemetry::Timeline;\n",
+        );
+        assert!(rules_fired(&ok).is_empty());
+        // Tests may cross layers (dev-dependencies).
+        let test = scan_source(
+            &ctx("crates/observe/tests/slo.rs", "observe", FileClass::Test),
+            src,
+        );
+        assert!(rules_fired(&test).is_empty());
+    }
+
+    #[test]
+    fn suppression_records_an_allow_and_unused_pragma_errors() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } \
+// lint:allow(panic-in-lib): x proven Some above\n";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.allows.len(), 1);
+        assert_eq!(out.allows[0].reason, "x proven Some above");
+
+        // Pragma one line too late: the violation fires AND the pragma
+        // is flagged unused.
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+// lint:allow(panic-in-lib): wrong line\npub fn g() {}\n";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        let fired = rules_fired(&out);
+        assert!(fired.contains(&PANIC_IN_LIB));
+        assert!(fired.contains(&PRAGMA));
+    }
+
+    #[test]
+    fn pragma_violations_cannot_be_suppressed() {
+        let src = "// lint:allow(no-such): x // lint:allow(pragma): nice try\n";
+        let out = scan_source(
+            &ctx("crates/core/src/model.rs", "core", FileClass::Lib),
+            src,
+        );
+        assert!(rules_fired(&out).contains(&PRAGMA));
+    }
+}

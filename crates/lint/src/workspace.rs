@@ -1,0 +1,225 @@
+//! Workspace discovery: walks the repository, classifies every `.rs`
+//! file (which crate, which build role), runs the rule engine over
+//! each, and checks every crate manifest against the DAG.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::manifest;
+use crate::report::Report;
+use crate::rules::{self, FileClass, FileCtx};
+
+/// A failure of the tool itself (not a lint finding). Exit code 2.
+#[derive(Debug)]
+pub enum LintError {
+    Io { path: String, message: String },
+    NotAWorkspace(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            LintError::NotAWorkspace(root) => {
+                write!(f, "{root} has no Cargo.toml — pass the workspace root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Directories never scanned: VCS state, build output, and the
+/// vendored third-party shims (stand-ins for external crates — they
+/// are not first-party code and sit outside the DAG).
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.')
+        || name.starts_with("target")
+        || name == "vendor"
+        || name == "node_modules"
+}
+
+/// Runs the full lint over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, LintError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(LintError::NotAWorkspace(root.display().to_string()));
+    }
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, &mut sources, &mut manifests)?;
+    // read_dir order is platform-dependent; sort so reports (and the
+    // JSON artifact) are byte-stable.
+    sources.sort();
+    manifests.sort();
+
+    let mut report = Report::default();
+    for path in &sources {
+        let rel = rel_of(root, path);
+        let Some((krate, class)) = classify(&rel) else {
+            continue;
+        };
+        let src = read(path)?;
+        let ctx = FileCtx {
+            rel_path: &rel,
+            krate: &krate,
+            class,
+        };
+        let out = rules::scan_source(&ctx, &src);
+        report.violations.extend(out.violations);
+        report.allows.extend(out.allows);
+        report.files_scanned += 1;
+    }
+    for path in &manifests {
+        let rel = rel_of(root, path);
+        let Some(krate) = manifest_crate(&rel) else {
+            continue;
+        };
+        let src = read(path)?;
+        report
+            .violations
+            .extend(manifest::check_manifest(&rel, &krate, &src));
+        report.manifests_checked += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|e| LintError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk(
+    dir: &Path,
+    sources: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, sources, manifests)?;
+            }
+        } else if name.ends_with(".rs") {
+            sources.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate id + build role of a workspace-relative `.rs` path, or `None`
+/// for files outside any crate layout (nothing in-tree today).
+pub fn classify(rel: &str) -> Option<(String, FileClass)> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, rest) = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        (parts[1].to_string(), &parts[2..])
+    } else {
+        ("litmus".to_string(), &parts[..])
+    };
+    let class = match *rest.first()? {
+        "src" => {
+            if rest.get(1) == Some(&"bin") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            }
+        }
+        "tests" => FileClass::Test,
+        "examples" => FileClass::Example,
+        "benches" => FileClass::Bench,
+        "build.rs" => FileClass::Bin,
+        _ => return None,
+    };
+    Some((krate, class))
+}
+
+/// Crate id owning a workspace-relative `Cargo.toml`, or `None` for
+/// manifests the DAG does not govern.
+pub fn manifest_crate(rel: &str) -> Option<String> {
+    if rel == "Cargo.toml" {
+        return Some("litmus".to_string());
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, "Cargo.toml"] => Some((*krate).to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layouts_in_tree() {
+        assert_eq!(
+            classify("crates/cluster/src/driver.rs"),
+            Some(("cluster".to_string(), FileClass::Lib))
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/bench_trajectory.rs"),
+            Some(("bench".to_string(), FileClass::Bin))
+        );
+        assert_eq!(
+            classify("crates/cluster/tests/event_engine.rs"),
+            Some(("cluster".to_string(), FileClass::Test))
+        );
+        assert_eq!(
+            classify("crates/workloads/examples/calibrate.rs"),
+            Some(("workloads".to_string(), FileClass::Example))
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(("litmus".to_string(), FileClass::Lib))
+        );
+        assert_eq!(
+            classify("examples/autoscale_study.rs"),
+            Some(("litmus".to_string(), FileClass::Example))
+        );
+        assert_eq!(
+            classify("tests/trace_replay.rs"),
+            Some(("litmus".to_string(), FileClass::Test))
+        );
+        assert_eq!(classify("README.md".trim_end_matches(".md")), None);
+    }
+
+    #[test]
+    fn manifest_ownership() {
+        assert_eq!(manifest_crate("Cargo.toml"), Some("litmus".to_string()));
+        assert_eq!(
+            manifest_crate("crates/observe/Cargo.toml"),
+            Some("observe".to_string())
+        );
+        assert_eq!(manifest_crate("crates/observe/extra/Cargo.toml"), None);
+    }
+
+    #[test]
+    fn skip_list_covers_build_output_and_vendor() {
+        for name in [".git", "target", "target-bench", "vendor", ".github"] {
+            assert!(skip_dir(name), "{name} should be skipped");
+        }
+        for name in ["crates", "src", "tests", "examples", "scripts"] {
+            assert!(!skip_dir(name), "{name} should be walked");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Integration tests: the full workspace walk over synthetic
+//! workspaces, pragma edge cases end-to-end, and the compiled
+//! `litmus-lint` binary (exit codes, text and JSON output).
+//!
+//! Planted violations live inside string literals here, so scanning
+//! this test file itself never trips a rule.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use litmus_lint::{workspace, Report};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A throwaway workspace under the OS temp dir; removed on drop.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "litmus-lint-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&root).expect("create temp workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+            .expect("write root manifest");
+        TempWs { root }
+    }
+
+    fn file(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel has a parent")).expect("create parent dirs");
+        fs::write(path, content).expect("write file");
+        self
+    }
+
+    fn run(&self) -> Report {
+        workspace::run(&self.root).expect("lint run succeeds")
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn fired(report: &Report) -> Vec<(&str, &str, u32)> {
+    report
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.file.as_str(), v.line))
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_a_planted_violation() {
+    let ws = TempWs::new("all-rules");
+    ws.file(
+        "crates/cluster/src/driver.rs",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .file(
+        "crates/observe/src/lib.rs",
+        "pub type Index = std::collections::HashMap<u32, u32>;\n",
+    )
+    .file(
+        "crates/stats/tests/rng.rs",
+        "fn sample() -> u64 { rand::thread_rng().next_u64() }\n",
+    )
+    .file(
+        "crates/core/src/lib.rs",
+        "pub fn pick(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .file(
+        "crates/telemetry/src/lib.rs",
+        "use litmus_cluster::ClusterReport;\n",
+    )
+    .file(
+        "crates/sim/src/lib.rs",
+        "// lint:allow(wall-clock): covers nothing on the next line\npub fn idle() {}\n",
+    )
+    .file(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"litmus-core\"\n\n[dependencies]\nlitmus-cluster = { workspace = true }\n",
+    );
+
+    let report = ws.run();
+    let hits = fired(&report);
+    assert!(hits.contains(&("wall-clock", "crates/cluster/src/driver.rs", 1)));
+    assert!(hits.contains(&("unordered-iter", "crates/observe/src/lib.rs", 1)));
+    assert!(hits.contains(&("unseeded-rng", "crates/stats/tests/rng.rs", 1)));
+    assert!(hits.contains(&("panic-in-lib", "crates/core/src/lib.rs", 1)));
+    assert!(hits.contains(&("layering", "crates/telemetry/src/lib.rs", 1)));
+    assert!(hits.contains(&("pragma", "crates/sim/src/lib.rs", 1)));
+    // Manifest-level layering: core must not depend on cluster.
+    assert!(hits.contains(&("layering", "crates/core/Cargo.toml", 5)));
+    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.manifests_checked, 2);
+}
+
+#[test]
+fn sanctioned_wall_clock_zones_stay_silent() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    let ws = TempWs::new("clock-zones");
+    ws.file("crates/bench/src/lib.rs", src)
+        .file("crates/telemetry/src/profile.rs", src);
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+}
+
+#[test]
+fn unordered_iter_ignores_non_export_crates_and_tests() {
+    let src = "pub type Index = std::collections::HashMap<u32, u32>;\n";
+    let ws = TempWs::new("hash-scope");
+    ws.file("crates/stats/src/lib.rs", src)
+        .file("crates/observe/tests/query.rs", src);
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+}
+
+#[test]
+fn cfg_test_modules_in_lib_code_are_exempt_from_panic_rule() {
+    let ws = TempWs::new("cfg-test");
+    ws.file(
+        "crates/core/src/lib.rs",
+        "pub fn live() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   #[test]\n\
+         \x20   fn t() { Some(1).unwrap(); }\n\
+         }\n",
+    );
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+}
+
+#[test]
+fn trailing_pragma_suppresses_and_is_inventoried() {
+    let ws = TempWs::new("pragma-trailing");
+    ws.file(
+        "crates/core/src/lib.rs",
+        "pub fn pick(x: Option<u32>) -> u32 { x.unwrap() } \
+         // lint:allow(panic-in-lib): proven Some by caller contract\n",
+    );
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "panic-in-lib");
+    assert_eq!(report.allows[0].reason, "proven Some by caller contract");
+}
+
+#[test]
+fn own_line_pragma_covers_the_next_code_line() {
+    let ws = TempWs::new("pragma-own-line");
+    ws.file(
+        "crates/core/src/lib.rs",
+        "// lint:allow(panic-in-lib): validated one call up\n\
+         pub fn pick(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+    assert_eq!(report.allows.len(), 1);
+}
+
+#[test]
+fn one_pragma_may_name_multiple_rules() {
+    let ws = TempWs::new("pragma-multi");
+    ws.file(
+        "crates/cluster/src/lib.rs",
+        "pub type T = (std::collections::HashMap<u32, u32>, std::time::SystemTime); \
+         // lint:allow(unordered-iter, wall-clock): lookup-only cache stamped at ingest\n",
+    );
+    let report = ws.run();
+    assert!(report.clean(), "violations: {:?}", fired(&report));
+    // Both rules drew on the same pragma.
+    let rules: Vec<&str> = report.allows.iter().map(|a| a.rule.as_str()).collect();
+    assert!(rules.contains(&"unordered-iter"));
+    assert!(rules.contains(&"wall-clock"));
+}
+
+#[test]
+fn pragma_defects_are_violations_of_the_meta_rule() {
+    let ws = TempWs::new("pragma-defects");
+    ws.file(
+        "crates/core/src/a.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         // lint:allow(panic-in-lib): one line too late\n\
+         pub fn g() {}\n",
+    )
+    .file(
+        "crates/core/src/b.rs",
+        "pub fn f() {} // lint:allow(no-such-rule): unknown id\n",
+    )
+    .file(
+        "crates/core/src/c.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic-in-lib)\n",
+    );
+    let report = ws.run();
+    let hits = fired(&report);
+    // a.rs: the unwrap still fires AND the mispositioned pragma is unused.
+    assert!(hits.contains(&("panic-in-lib", "crates/core/src/a.rs", 1)));
+    assert!(hits.contains(&("pragma", "crates/core/src/a.rs", 2)));
+    // b.rs: unknown rule id.
+    assert!(hits.contains(&("pragma", "crates/core/src/b.rs", 1)));
+    // c.rs: missing reason — the suppression does not take effect.
+    assert!(hits.contains(&("pragma", "crates/core/src/c.rs", 1)));
+    assert!(hits.contains(&("panic-in-lib", "crates/core/src/c.rs", 1)));
+    assert!(report.allows.is_empty());
+}
+
+fn lint_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_litmus-lint"))
+        .args(args)
+        .output()
+        .expect("spawn litmus-lint")
+}
+
+#[test]
+fn bin_exits_zero_on_a_clean_workspace() {
+    let ws = TempWs::new("bin-clean");
+    ws.file("crates/core/src/lib.rs", "pub fn ok() {}\n");
+    let out = lint_bin(&["--root", ws.root.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn bin_exits_one_and_names_the_violation() {
+    let ws = TempWs::new("bin-dirty");
+    ws.file(
+        "crates/core/src/lib.rs",
+        "pub fn pick(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = lint_bin(&["--root", ws.root.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(stdout.contains("panic-in-lib: crates/core/src/lib.rs:1"));
+    assert!(stdout.contains("1 violation(s)"));
+}
+
+#[test]
+fn bin_json_report_carries_violations_and_suppressions() {
+    let ws = TempWs::new("bin-json");
+    ws.file(
+        "crates/core/src/lib.rs",
+        "pub fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         pub fn b(x: Option<u32>) -> u32 { x.unwrap() } \
+         // lint:allow(panic-in-lib): proven Some by caller contract\n",
+    );
+    let out = lint_bin(&[
+        "--root",
+        ws.root.to_str().expect("utf-8 temp path"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("utf-8 json");
+    assert!(json.contains("\"violation_count\": 1"));
+    assert!(json.contains("\"rule\": \"panic-in-lib\""));
+    assert!(json.contains("\"reason\": \"proven Some by caller contract\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn bin_usage_errors_exit_two() {
+    let missing = lint_bin(&["--root", "/nonexistent/workspace/path"]);
+    assert_eq!(missing.status.code(), Some(2));
+    let unknown_rule = lint_bin(&["--explain", "no-such-rule"]);
+    assert_eq!(unknown_rule.status.code(), Some(2));
+    let unknown_flag = lint_bin(&["--frobnicate"]);
+    assert_eq!(unknown_flag.status.code(), Some(2));
+}
+
+#[test]
+fn bin_explains_and_lists_rules() {
+    let explain = lint_bin(&["--explain", "wall-clock"]);
+    assert_eq!(explain.status.code(), Some(0));
+    let text = String::from_utf8(explain.stdout).expect("utf-8 explain");
+    assert!(text.contains("telemetry::profile") || text.contains("crates/bench"));
+
+    let list = lint_bin(&["--list-rules"]);
+    let text = String::from_utf8(list.stdout).expect("utf-8 list");
+    for id in [
+        "wall-clock",
+        "unordered-iter",
+        "unseeded-rng",
+        "panic-in-lib",
+        "layering",
+        "pragma",
+    ] {
+        assert!(text.contains(id), "missing {id}");
+    }
+}
+
+/// Acceptance check: planting a wall-clock read in the real cluster
+/// driver must fail the lint with the correct rule id and file:line.
+#[test]
+fn planted_wall_clock_in_real_driver_is_caught() {
+    let real = concat!(env!("CARGO_MANIFEST_DIR"), "/../cluster/src/driver.rs");
+    let src = fs::read_to_string(real).expect("read the real cluster driver");
+    let planted =
+        format!("{src}\nfn lint_probe() -> std::time::Instant {{ std::time::Instant::now() }}\n");
+    let line = planted.lines().count() as u32;
+
+    let ws = TempWs::new("driver-acceptance");
+    ws.file("crates/cluster/src/driver.rs", &planted);
+    let out = lint_bin(&["--root", ws.root.to_str().expect("utf-8 temp path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted clock must fail the lint"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    let expected = format!("wall-clock: crates/cluster/src/driver.rs:{line}");
+    assert!(
+        stdout.contains(&expected),
+        "expected {expected:?} in:\n{stdout}"
+    );
+}

@@ -123,7 +123,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -133,7 +133,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -173,7 +173,9 @@ impl<'a> Cursor<'a> {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = text.chars().next().unwrap();
+                    let Some(ch) = text.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -248,7 +250,7 @@ pub fn parse_line(line: &str) -> Result<FlatRecord, ParseError> {
         pos: 0,
     };
     cursor.skip_ws();
-    cursor.expect(b'{')?;
+    cursor.expect_byte(b'{')?;
     let mut record = FlatRecord::default();
     cursor.skip_ws();
     if cursor.peek() == Some(b'}') {
@@ -258,7 +260,7 @@ pub fn parse_line(line: &str) -> Result<FlatRecord, ParseError> {
         cursor.skip_ws();
         let key = cursor.string()?;
         cursor.skip_ws();
-        cursor.expect(b':')?;
+        cursor.expect_byte(b':')?;
         let value = cursor.value()?;
         record.fields.push((key, value));
         cursor.skip_ws();

@@ -494,9 +494,11 @@ impl Tally {
         }
         let prefix = |v: &[u64]| {
             let mut p = Vec::with_capacity(v.len() + 1);
-            p.push(0u64);
+            let mut sum = 0u64;
+            p.push(sum);
             for &x in v {
-                p.push(p.last().unwrap() + x);
+                sum += x;
+                p.push(sum);
             }
             p
         };

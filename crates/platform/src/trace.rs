@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use litmus_core::{
     BillingLedger, CommercialPricing, IdealPricing, Invoice, LitmusPricing, LitmusReading,
@@ -513,21 +513,21 @@ impl SyntheticSource {
 
 impl TraceSource for SyntheticSource {
     fn next_event(&mut self) -> Option<TraceEvent> {
-        let mut best: Option<usize> = None;
+        // Track the best front's sort key alongside its index, so the
+        // comparison never has to re-index into `fronts`.
+        let mut best: Option<(usize, (u64, TenantId))> = None;
         for (idx, front) in self.fronts.iter().enumerate() {
             let Some(event) = front else { continue };
+            let key = (event.at_ms, event.tenant);
             let better = match best {
                 None => true,
-                Some(b) => {
-                    let current = self.fronts[b].as_ref().expect("best front is occupied");
-                    (event.at_ms, event.tenant) < (current.at_ms, current.tenant)
-                }
+                Some((_, best_key)) => key < best_key,
             };
             if better {
-                best = Some(idx);
+                best = Some((idx, key));
             }
         }
-        let idx = best?;
+        let (idx, _) = best?;
         let event = self.fronts[idx].take();
         self.fronts[idx] = self.streams[idx].next();
         event
@@ -835,8 +835,8 @@ impl TraceDriver {
 
         // Solo oracle cache, one entry per distinct function, filled
         // lazily as functions first appear in the stream.
-        let mut solo_cache: HashMap<&'static str, PmuCounters> = HashMap::new();
-        let mut pending: HashMap<InstanceId, Benchmark> = HashMap::new();
+        let mut solo_cache: BTreeMap<&'static str, PmuCounters> = BTreeMap::new();
+        let mut pending: BTreeMap<InstanceId, Benchmark> = BTreeMap::new();
         let mut ledger = BillingLedger::new();
         let mut latencies = Vec::new();
         let mut last_arrival_ms = 0u64;

@@ -187,7 +187,7 @@ impl Simulator {
     ///
     /// Panics if `spec` fails [`MachineSpec::validate`].
     pub fn with_governor(spec: MachineSpec, governor: FrequencyGovernor) -> Self {
-        spec.validate().expect("machine spec must be valid");
+        spec.validate().expect("machine spec must be valid"); // lint:allow(panic-in-lib): constructor contract; `# Panics` documented on this fn
         let last_snapshots = vec![CongestionSnapshot::idle(&spec); spec.sockets];
         Simulator {
             model: ContentionModel::new(spec.clone()),
@@ -217,12 +217,8 @@ impl Simulator {
     pub fn congestion(&self) -> &CongestionSnapshot {
         self.last_snapshots
             .iter()
-            .max_by(|a, b| {
-                a.level()
-                    .partial_cmp(&b.level())
-                    .expect("levels are finite")
-            })
-            .expect("at least one domain")
+            .max_by(|a, b| a.level().total_cmp(&b.level()))
+            .expect("at least one domain") // lint:allow(panic-in-lib): spec.validate() above requires sockets >= 1
     }
 
     /// Congestion state of one sharing domain (socket), if it exists.

@@ -104,7 +104,7 @@ pub fn percentile(values: &[f64], p: f64) -> Result<f64> {
         return Err(StatsError::Domain("percentile must lie in [0, 100]"));
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

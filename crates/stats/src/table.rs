@@ -44,7 +44,7 @@ impl LevelTable {
         if rows.iter().any(|(l, v)| !l.is_finite() || !v.is_finite()) {
             return Err(StatsError::NonFinite);
         }
-        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
         if rows.windows(2).any(|w| w[0].0 == w[1].0) {
             return Err(StatsError::Domain("duplicate levels in table"));
         }

@@ -113,7 +113,7 @@ pub fn diff_report(
 /// When `left != right`.
 pub fn assert_jsonl_eq(label_left: &str, left: &str, label_right: &str, right: &str) {
     if let Some(report) = diff_report(label_left, left, label_right, right, 3) {
-        panic!("telemetry JSONL mismatch\n{report}");
+        panic!("telemetry JSONL mismatch\n{report}"); // lint:allow(panic-in-lib): assertion helper for tests; panicking IS the reporting channel, `# Panics` documented
     }
 }
 

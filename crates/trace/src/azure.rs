@@ -44,7 +44,7 @@ pub(crate) const DURATIONS: &str = "durations";
 pub(crate) const MEMORY: &str = "memory";
 
 /// What fires a function, as recorded in the trace's `Trigger` column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Trigger {
     /// HTTP request.
     Http,

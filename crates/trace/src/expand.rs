@@ -27,7 +27,7 @@
 //!   bodies stand in for wall-clock durations — what's preserved is
 //!   each function's duration *spread*, mapped onto the pool's spread.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use litmus_platform::{ConcatSource, InvocationTrace, TenantId, TraceEvent, TraceSource};
 use litmus_workloads::suite::{self, TenantClass};
@@ -229,7 +229,7 @@ pub fn multi_day_source(
         parts.push((offset, source));
         offset += span;
     }
-    Ok(ConcatSource::new(parts).expect("day offsets ascend by construction"))
+    Ok(ConcatSource::new(parts).expect("day offsets ascend by construction")) // lint:allow(panic-in-lib): offsets are i*day_ms for ascending i, strictly increasing
 }
 
 impl AzureReplaySource {
@@ -296,7 +296,7 @@ impl AzureReplaySource {
         // tens of thousands of apps and hundreds of thousands of
         // functions per day, so per-function linear scans would make
         // ingestion quadratic.
-        let memory_by_app: HashMap<(&str, &str), f64> = dataset
+        let memory_by_app: BTreeMap<(&str, &str), f64> = dataset
             .apps()
             .iter()
             .map(|app| {
@@ -306,14 +306,13 @@ impl AzureReplaySource {
                 )
             })
             .collect();
-        let mut pool_by_class: HashMap<TenantClass, Vec<Benchmark>> = HashMap::new();
+        let mut pool_by_class: BTreeMap<TenantClass, Vec<Benchmark>> = BTreeMap::new();
         for class in TenantClass::ALL {
             let mut pool = suite::tenant_pool(class);
             pool.sort_by(|a, b| {
                 a.body_ms()
-                    .partial_cmp(&b.body_ms())
-                    .expect("body durations are finite")
-                    .then(a.name().cmp(b.name()))
+                    .total_cmp(&b.body_ms())
+                    .then_with(|| a.name().cmp(b.name()))
             });
             pool_by_class.insert(class, pool);
         }

@@ -12,8 +12,8 @@
 //! whose counters are conserved: every input row is either kept or
 //! attributed to one skip category.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::azure::{
     self, parse_durations, parse_invocations, parse_memory, AzureDataset, AzureFunction,
@@ -268,7 +268,7 @@ fn impute_from(donors: &[&AzureFunction]) -> (f64, u64, f64, f64, PercentileSket
         })
         .collect();
     let sketch = PercentileSketch::new(points)
-        .expect("pointwise medians of valid sketches form a valid sketch");
+        .expect("pointwise medians of valid sketches form a valid sketch"); // lint:allow(panic-in-lib): monotone inputs keep pointwise medians monotone
     let average = lower_median(donors.iter().map(|d| d.mean_duration_ms).collect());
     let count = lower_median(donors.iter().map(|d| d.sampled_executions as f64).collect()) as u64;
     let minimum = lower_median(donors.iter().map(|d| d.min_duration_ms).collect());
@@ -324,7 +324,7 @@ pub(crate) fn ingest(
     };
 
     // Duration rows by key, first row winning on duplicates.
-    let mut by_key: HashMap<(String, String, String), DurationRow> = HashMap::new();
+    let mut by_key: BTreeMap<(String, String, String), DurationRow> = BTreeMap::new();
     for row in dur.rows {
         let key = (row.owner.clone(), row.app.clone(), row.function.clone());
         match by_key.entry(key) {
@@ -348,7 +348,7 @@ pub(crate) fn ingest(
     // First pass: join what joins, set aside the misses.
     let mut functions: Vec<AzureFunction> = Vec::with_capacity(inv.rows.len());
     let mut misses: Vec<InvocationRow> = Vec::new();
-    let mut seen: HashSet<(String, String, String)> = HashSet::with_capacity(inv.rows.len());
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     for row in inv.rows {
         let key = (row.owner.clone(), row.app.clone(), row.function.clone());
         if !seen.insert(key.clone()) {
@@ -387,8 +387,8 @@ pub(crate) fn ingest(
         IngestMode::Lossy(LossyIngest::ImputeMedians) => {
             // Donor pools come from the *measured* functions only —
             // imputation order can then never matter.
-            let mut by_app: HashMap<(&str, &str), Vec<&AzureFunction>> = HashMap::new();
-            let mut by_trigger: HashMap<Trigger, Vec<&AzureFunction>> = HashMap::new();
+            let mut by_app: BTreeMap<(&str, &str), Vec<&AzureFunction>> = BTreeMap::new();
+            let mut by_trigger: BTreeMap<Trigger, Vec<&AzureFunction>> = BTreeMap::new();
             for function in &functions {
                 by_app
                     .entry((function.owner.as_str(), function.app.as_str()))
@@ -442,12 +442,12 @@ pub(crate) fn ingest(
 
     // Memory: dedup, then require (strict) or count (lossy) the join
     // to an invoking app.
-    let invoking_apps: HashSet<(&str, &str)> = functions
+    let invoking_apps: BTreeSet<(&str, &str)> = functions
         .iter()
         .map(|f| (f.owner.as_str(), f.app.as_str()))
         .collect();
     let mut apps = Vec::with_capacity(mem.rows.len());
-    let mut seen_apps: HashSet<(String, String)> = HashSet::new();
+    let mut seen_apps: BTreeSet<(String, String)> = BTreeSet::new();
     for app in mem.rows {
         if !seen_apps.insert((app.owner.clone(), app.app.clone())) {
             if lossy {

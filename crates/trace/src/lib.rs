@@ -104,6 +104,6 @@ pub mod fixture {
     /// CI keeps the fixture and the parser in lock-step).
     pub fn dataset() -> AzureDataset {
         AzureDataset::from_csv(INVOCATIONS_CSV, DURATIONS_CSV, MEMORY_CSV)
-            .expect("bundled fixture parses")
+            .expect("bundled fixture parses") // lint:allow(panic-in-lib): fixture is compiled in and round-tripped by CI tests
     }
 }

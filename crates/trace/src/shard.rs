@@ -226,7 +226,7 @@ impl ShardLines {
                         path.display(),
                         self.first_path
                             .as_ref()
-                            .expect("a first shard set the header")
+                            .expect("a first shard set the header") // lint:allow(panic-in-lib): loop above wrote the header on the first iteration
                             .display(),
                     ),
                 ));

@@ -27,7 +27,7 @@ impl TempDir {
             NEXT_DIR.fetch_add(1, Ordering::Relaxed),
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("create temp dir");
+        std::fs::create_dir_all(&dir).expect("create temp dir"); // lint:allow(panic-in-lib): test-support helper; fs failure here means the test failed
         TempDir(dir)
     }
 
@@ -42,7 +42,7 @@ impl TempDir {
     ///
     /// On write failure.
     pub fn write(&self, name: &str, text: &str) {
-        std::fs::write(self.0.join(name), text).expect("write temp file");
+        std::fs::write(self.0.join(name), text).expect("write temp file"); // lint:allow(panic-in-lib): test-support helper; fs failure here means the test failed
     }
 }
 
@@ -63,7 +63,7 @@ impl Drop for TempDir {
 /// When `csv` has no header line or a shard fails to write.
 pub fn write_assigned(dir: &TempDir, stem: &str, csv: &str, shards: usize, assignment: &[usize]) {
     let mut lines = csv.lines();
-    let header = lines.next().expect("csv has a header");
+    let header = lines.next().expect("csv has a header"); // lint:allow(panic-in-lib): test-support helper asserting on fixture shape
     let mut parts = vec![format!("{header}\n"); shards];
     for (idx, line) in lines.enumerate() {
         let shard = assignment.get(idx).copied().unwrap_or(0) % shards;

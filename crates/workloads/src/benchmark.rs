@@ -140,7 +140,7 @@ impl Benchmark {
             builder = builder.startup_phase(phase);
         }
         builder = builder.phase(self.body_phase());
-        builder.build().expect("benchmark parameters are valid")
+        builder.build().expect("benchmark parameters are valid") // lint:allow(panic-in-lib): parameters are compile-time constants validated by unit tests
     }
 
     /// The body as a single shaped phase.

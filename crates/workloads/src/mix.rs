@@ -80,7 +80,7 @@ impl WorkloadMix {
         } else {
             profile
                 .scaled(scale)
-                .expect("scale validated in with_scale")
+                .expect("scale validated in with_scale") // lint:allow(panic-in-lib): with_scale rejected non-finite scale before storing it
         }
     }
 }

@@ -45,7 +45,7 @@ impl TrafficGenerator {
         ExecutionProfile::builder(self.name())
             .phase(phase)
             .build()
-            .expect("generator parameters are valid")
+            .expect("generator parameters are valid") // lint:allow(panic-in-lib): parameters are compile-time constants validated by unit tests
     }
 
     fn thread_phase(&self, duration_ms: f64) -> ExecPhase {

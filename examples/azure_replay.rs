@@ -56,7 +56,7 @@ fn run_policy<P: PlacementPolicy>(
     trace: &InvocationTrace,
 ) -> Result<ClusterReport, Box<dyn std::error::Error>> {
     let mut cluster = Cluster::build(cluster_config(), tables.clone(), model.clone())?;
-    let started = std::time::Instant::now();
+    let started = std::time::Instant::now(); // lint:allow(wall-clock): progress timing printed for the human running the example; never feeds simulated state
     let report = ClusterDriver::new(policy).replay(&mut cluster, trace)?;
     let wall = started.elapsed();
     println!(

@@ -103,7 +103,7 @@ fn run_driver<P: PlacementPolicy>(
     trace: &InvocationTrace,
 ) -> Result<ClusterReport, Box<dyn std::error::Error>> {
     let mut cluster = Cluster::build(config, tables.clone(), model.clone())?;
-    let started = std::time::Instant::now();
+    let started = std::time::Instant::now(); // lint:allow(wall-clock): progress timing printed for the human running the example; never feeds simulated state
     let outcome = driver.replay(&mut cluster, trace)?;
     let wall = started.elapsed();
     println!(
