@@ -18,12 +18,28 @@
 //!     first differing line with N lines of context and exit 1.
 //!     Identical exports exit 0 — the determinism contract, checkable
 //!     from the shell.
+//!
+//! litmus-obs tail <export.jsonl> [--follow-free]
+//!     Replay a replay export's SLO signal incrementally: reconstruct
+//!     the declared SLOs from the embedded `slo.spec`/`slo.rule`
+//!     events, feed the `trace.*` completions through an
+//!     `OnlineSloEngine` boundary by boundary, print fired/cleared
+//!     alert lines and a burn-rate sparkline per SLO, and self-check
+//!     the recomputed alert stream against the `slo.alert.*` events
+//!     the replay embedded. `--follow-free` acknowledges the tail
+//!     replays to end-of-file and exits (exports are finished sim
+//!     artifacts — there is nothing to watch). Exit 0 when no page
+//!     alert is still firing, 1 when one is, 2 on error or on a
+//!     self-check mismatch.
 //! ```
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use litmus_observe::jsonl::{parse_export, FlatRecord};
+use litmus_observe::{
+    BurnRateRule, CompletionSample, OnlineSloEngine, SloAlert, SloSpec, SloTransition,
+};
 use litmus_telemetry::diff_report;
 
 fn main() -> ExitCode {
@@ -32,6 +48,10 @@ fn main() -> ExitCode {
         Some("summary") => summary(&args[1..]),
         Some("spans") => spans(&args[1..]),
         Some("diff") => return diff(&args[1..]),
+        Some("tail") => match tail(&args[1..]) {
+            Ok(code) => return code,
+            Err(message) => Err(message),
+        },
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
@@ -52,6 +72,7 @@ const USAGE: &str = "\
 usage: litmus-obs summary <export.jsonl>
        litmus-obs spans <export.jsonl> [--name PREFIX] [--tenant N] [--machine N] [--slowest K]
        litmus-obs diff <left.jsonl> <right.jsonl> [--context N]
+       litmus-obs tail <export.jsonl> [--follow-free]
 ";
 
 fn load(path: &str) -> Result<Vec<FlatRecord>, String> {
@@ -212,13 +233,16 @@ fn spans(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // Slowest exemplars: closed spans by descending duration, ties by
-    // line order (stable sort) so output is deterministic.
-    let mut closed: Vec<(&&FlatRecord, f64)> = matching
+    // Slowest exemplars: closed spans by descending duration, with an
+    // explicit total-order tie-break (name, then trace id) — equal
+    // durations are common (quantized sim time), and relying on input
+    // line order would make the exemplar list depend on which export
+    // variant produced the file.
+    let mut closed: Vec<(&FlatRecord, f64)> = matching
         .iter()
-        .filter_map(|r| duration_ms(r).map(|d| (r, d)))
+        .filter_map(|r| duration_ms(r).map(|d| (*r, d)))
         .collect();
-    closed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    closed.sort_by(slowest_order);
     if !closed.is_empty() && slowest > 0 {
         println!("slowest {}:", slowest.min(closed.len()));
         for (record, duration) in closed.iter().take(slowest) {
@@ -240,6 +264,322 @@ fn spans(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Total order for `--slowest`: descending duration, then span name,
+/// then trace id (spans without one sort first). Every closed span in
+/// an export carries a distinct (name, trace) pair per duration class,
+/// so the exemplar list is independent of input line order — i.e. of
+/// which export variant (streamed, materialized, re-merged) produced
+/// the file.
+fn slowest_order(a: &(&FlatRecord, f64), b: &(&FlatRecord, f64)) -> std::cmp::Ordering {
+    let trace = |r: &FlatRecord| r.num("trace").unwrap_or(-1.0);
+    b.1.total_cmp(&a.1)
+        .then_with(|| a.0.name().cmp(b.0.name()))
+        .then_with(|| trace(a.0).total_cmp(&trace(b.0)))
+}
+
+/// Replays a replay export's SLO signal incrementally (see module
+/// docs). Returns the process exit code on success: 0 with no open
+/// page alert, 1 with one still firing.
+fn tail(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    for arg in args {
+        match arg.as_str() {
+            // Exports are finished sim artifacts: the tail always
+            // replays to EOF and exits, it never watches the file. The
+            // flag exists so scripts state that expectation explicitly.
+            "--follow-free" => {}
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_owned()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let path = path.ok_or("tail needs an export file")?;
+    let records = load(&path)?;
+
+    let meta = records
+        .iter()
+        .find(|r| r.record_type() == "meta")
+        .ok_or("export has no meta line")?;
+    let slice_ms = meta
+        .str_field("slice_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .or_else(|| meta.num("slice_ms").map(|v| v as u64))
+        .ok_or("meta line has no slice_ms (not a replay export)")?
+        .max(1);
+
+    let specs = reconstruct_specs(&records)?;
+    if specs.is_empty() {
+        println!("no SLOs declared in '{path}' — nothing to tail");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let samples = join_completions(&records);
+    let horizon = records
+        .iter()
+        .map(|r| {
+            let at = r.num("at_ms").unwrap_or(0.0) as u64;
+            at.max(r.num("end_ms").unwrap_or(0.0) as u64)
+        })
+        .max()
+        .unwrap_or(0);
+    println!(
+        "tailing {path}: {} records, {} SLOs, {} completions, horizon {horizon} ms (slice {slice_ms} ms)",
+        records.len(),
+        specs.len(),
+        samples.len()
+    );
+
+    // Drive the online engine exactly as the replay driver did: feed
+    // completions as their boundary passes, advance slice by slice.
+    let mut engine = OnlineSloEngine::new(specs, slice_ms);
+    let mut recomputed: Vec<SloAlert> = Vec::new();
+    let mut fed = 0;
+    let mut now = 0;
+    while now < horizon {
+        now = (now + slice_ms).min(horizon);
+        while fed < samples.len() && samples[fed].completed_ms <= now {
+            engine.record(&samples[fed]);
+            fed += 1;
+        }
+        recomputed.extend(engine.observe_boundary(now));
+    }
+    while fed < samples.len() {
+        engine.record(&samples[fed]);
+        fed += 1;
+    }
+    recomputed.extend(engine.finish(horizon));
+
+    for alert in &recomputed {
+        match alert.transition {
+            SloTransition::Fired => println!(
+                "  @ {:>8} ms FIRED   [{}] {} (burn {:.1}x fast / {:.1}x slow)",
+                alert.at_ms, alert.severity, alert.slo, alert.burn_fast, alert.burn_slow
+            ),
+            SloTransition::Cleared => println!(
+                "  @ {:>8} ms cleared [{}] {} (peak burn {:.1}x)",
+                alert.at_ms, alert.severity, alert.slo, alert.peak_burn
+            ),
+        }
+    }
+    if recomputed.is_empty() {
+        println!("  no alert transitions over the horizon");
+    }
+
+    println!("burn rate (fast window, first rule; full height = peak):");
+    for series in engine.series() {
+        let tenant = match series.tenant {
+            Some(t) => format!("tenant {t}"),
+            None => "all".to_owned(),
+        };
+        let peak = series
+            .points
+            .iter()
+            .map(|(_, burn)| *burn)
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {:<20} {:<9} peak {peak:>6.1}x  |{}|",
+            series.slo,
+            tenant,
+            sparkline(&series.points, 60)
+        );
+    }
+
+    // Self-check: the recomputed transition stream must match the
+    // `slo.alert.*` events the replay itself embedded, event for event.
+    let embedded: Vec<(u64, String, String, bool)> = records
+        .iter()
+        .filter(|r| r.record_type() == "event")
+        .filter(|r| matches!(r.name(), "slo.alert.fired" | "slo.alert.cleared"))
+        .map(|r| {
+            (
+                r.num("at_ms").unwrap_or(0.0) as u64,
+                r.str_field("slo").unwrap_or("").to_owned(),
+                r.str_field("severity").unwrap_or("").to_owned(),
+                r.name() == "slo.alert.fired",
+            )
+        })
+        .collect();
+    let ours: Vec<(u64, String, String, bool)> = recomputed
+        .iter()
+        .map(|alert| {
+            (
+                alert.at_ms,
+                alert.slo.clone(),
+                alert.severity.to_owned(),
+                alert.transition == SloTransition::Fired,
+            )
+        })
+        .collect();
+    if ours != embedded {
+        eprintln!(
+            "litmus-obs: self-check FAILED: recomputed {} transitions, export embeds {} — \
+             the export was not produced by this SLO configuration",
+            ours.len(),
+            embedded.len()
+        );
+        for (i, (mine, theirs)) in ours.iter().zip(&embedded).enumerate() {
+            if mine != theirs {
+                eprintln!("  first divergence at transition {i}: {mine:?} != {theirs:?}");
+                break;
+            }
+        }
+        return Ok(ExitCode::from(2));
+    }
+    println!(
+        "self-check: recomputed alert stream matches the embedded events ({} transitions)",
+        ours.len()
+    );
+
+    let open_pages = engine
+        .active_alerts()
+        .iter()
+        .filter(|alert| alert.severity == "page")
+        .count();
+    if open_pages > 0 {
+        println!("{open_pages} page alert(s) still firing at horizon");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Rebuilds the replay's `SloSpec` list from the `slo.spec` /
+/// `slo.rule` config events the driver mirrors onto the timeline head.
+fn reconstruct_specs(records: &[FlatRecord]) -> Result<Vec<SloSpec>, String> {
+    let mut specs: Vec<SloSpec> = Vec::new();
+    for record in records.iter().filter(|r| r.name() == "slo.spec") {
+        let name = record
+            .str_field("slo")
+            .ok_or("slo.spec event without a name")?;
+        let threshold = record.num("threshold").unwrap_or(0.0);
+        let mut spec = match record.str_field("kind") {
+            Some("slowdown") => SloSpec::slowdown(name, threshold),
+            Some("queue-wait") => SloSpec::queue_wait(name, threshold as u64),
+            Some("billing-rate") => SloSpec::billing_rate(name, threshold),
+            other => return Err(format!("unknown SLO kind {other:?}")),
+        }
+        .objective(record.num("objective").unwrap_or(0.0))
+        .rules(Vec::new());
+        if let Some(tenant) = record.num("tenant") {
+            spec = spec.tenant(tenant as u32);
+        }
+        specs.push(spec);
+    }
+    for record in records.iter().filter(|r| r.name() == "slo.rule") {
+        let spec_idx = record.num("spec").unwrap_or(-1.0);
+        let spec = (spec_idx >= 0.0)
+            .then(|| specs.get_mut(spec_idx as usize))
+            .flatten()
+            .ok_or_else(|| format!("slo.rule event for unknown spec {spec_idx}"))?;
+        // Rule severities are static strings in the engine; a CLI
+        // reconstructing finitely many rules leaks one tiny allocation
+        // per rule for the life of the process.
+        let severity: &'static str = Box::leak(
+            record
+                .str_field("severity")
+                .unwrap_or("alert")
+                .to_owned()
+                .into_boxed_str(),
+        );
+        spec.rules.push(BurnRateRule::new(
+            severity,
+            record.num("fast_ms").unwrap_or(0.0) as u64,
+            record.num("slow_ms").unwrap_or(0.0) as u64,
+            record.num("factor").unwrap_or(0.0),
+        ));
+    }
+    Ok(specs)
+}
+
+/// Joins `trace.queue` spans and `trace.billed` events by trace id
+/// into completion samples, ascending by (completion, trace) — the
+/// feed order the online engine consumes.
+fn join_completions(records: &[FlatRecord]) -> Vec<CompletionSample> {
+    #[derive(Default)]
+    struct Partial {
+        queue: Option<(u64, u64, u64, u64)>,
+        billed: Option<(u64, u64, f64, f64)>,
+    }
+    let mut by_trace: BTreeMap<u64, Partial> = BTreeMap::new();
+    for record in records {
+        match record.name() {
+            "trace.queue" => {
+                let (Some(trace), Some(end)) = (record.num("trace"), record.num("end_ms")) else {
+                    continue;
+                };
+                by_trace.entry(trace as u64).or_default().queue = Some((
+                    record.num("at_ms").unwrap_or(0.0) as u64,
+                    end as u64,
+                    record.num("machine").unwrap_or(0.0) as u64,
+                    record.num("moves").unwrap_or(0.0) as u64,
+                ));
+            }
+            "trace.billed" => {
+                let Some(trace) = record.num("trace") else {
+                    continue;
+                };
+                by_trace.entry(trace as u64).or_default().billed = Some((
+                    record.num("at_ms").unwrap_or(0.0) as u64,
+                    record.num("tenant").unwrap_or(0.0) as u64,
+                    record.num("cost").unwrap_or(0.0),
+                    record.num("predicted").unwrap_or(0.0),
+                ));
+            }
+            _ => {}
+        }
+    }
+    let mut samples: Vec<CompletionSample> = by_trace
+        .into_iter()
+        .filter_map(|(trace, partial)| {
+            let (arrived_ms, launched_ms, machine, moves) = partial.queue?;
+            let (completed_ms, tenant, cost, predicted) = partial.billed?;
+            Some(CompletionSample {
+                trace,
+                tenant: tenant as u32,
+                machine,
+                arrived_ms,
+                launched_ms,
+                completed_ms,
+                wait_ms: launched_ms.saturating_sub(arrived_ms),
+                moves,
+                cost,
+                predicted,
+            })
+        })
+        .collect();
+    samples.sort_by(|a, b| {
+        a.completed_ms
+            .cmp(&b.completed_ms)
+            .then(a.trace.cmp(&b.trace))
+    });
+    samples
+}
+
+/// Compresses a burn-rate series into `width` columns (max within each
+/// column), glyph height relative to the series peak.
+fn sparkline(points: &[(u64, f64)], width: usize) -> String {
+    const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if points.is_empty() || width == 0 {
+        return String::new();
+    }
+    let peak = points
+        .iter()
+        .map(|(_, burn)| *burn)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let columns = width.min(points.len());
+    let mut out = String::with_capacity(columns * 3);
+    for column in 0..columns {
+        let lo = column * points.len() / columns;
+        let hi = ((column + 1) * points.len() / columns).max(lo + 1);
+        let burn = points[lo..hi]
+            .iter()
+            .map(|(_, b)| *b)
+            .fold(0.0f64, f64::max);
+        let level = ((burn / peak) * 8.0).ceil().clamp(0.0, 8.0) as usize;
+        out.push(GLYPHS[level]);
+    }
+    out
 }
 
 fn duration_ms(record: &FlatRecord) -> Option<f64> {
@@ -293,5 +633,56 @@ fn diff(args: &[String]) -> ExitCode {
             println!("{report}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `--slowest` ordering must be a total order that is
+    /// independent of input line order. Equal durations tie-break on
+    /// span name, equal names on trace id — so sorting a reversed
+    /// input yields the identical exemplar sequence.
+    #[test]
+    fn slowest_order_breaks_duration_ties_deterministically() {
+        let export = "\
+{\"type\":\"span\",\"at_ms\":0,\"end_ms\":30,\"name\":\"trace.run\",\"trace\":7}\n\
+{\"type\":\"span\",\"at_ms\":0,\"end_ms\":30,\"name\":\"trace.queue\",\"trace\":9}\n\
+{\"type\":\"span\",\"at_ms\":0,\"end_ms\":30,\"name\":\"trace.queue\",\"trace\":2}\n\
+{\"type\":\"span\",\"at_ms\":10,\"end_ms\":50,\"name\":\"trace.queue\",\"trace\":5}\n\
+{\"type\":\"span\",\"at_ms\":0,\"end_ms\":30,\"name\":\"replay\"}\n";
+        let records = parse_export(export).expect("fixture parses");
+        let mut rows: Vec<(&FlatRecord, f64)> = records
+            .iter()
+            .map(|r| {
+                let d = r.num("end_ms").unwrap() - r.num("at_ms").unwrap();
+                (r, d)
+            })
+            .collect();
+
+        let key = |rows: &[(&FlatRecord, f64)]| -> Vec<(String, i64)> {
+            rows.iter()
+                .map(|(r, _)| (r.name().to_owned(), r.num("trace").unwrap_or(-1.0) as i64))
+                .collect()
+        };
+        rows.sort_by(slowest_order);
+        let sorted = key(&rows);
+        assert_eq!(
+            sorted,
+            vec![
+                ("trace.queue".to_owned(), 5), // 40 ms beats every 30 ms tie
+                ("replay".to_owned(), -1),     // 30 ms ties: name asc, no trace first
+                ("trace.queue".to_owned(), 2), // same name: trace id asc
+                ("trace.queue".to_owned(), 9),
+                ("trace.run".to_owned(), 7),
+            ]
+        );
+
+        // Line order cannot matter: reversing the input re-sorts to
+        // the same sequence.
+        let mut reversed: Vec<(&FlatRecord, f64)> = rows.iter().rev().cloned().collect();
+        reversed.sort_by(slowest_order);
+        assert_eq!(key(&reversed), sorted);
     }
 }

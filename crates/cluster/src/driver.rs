@@ -2,6 +2,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use litmus_core::{DiscountModel, PricingTables};
+use litmus_observe::{
+    Alert, CompletionSample, OnlineSloEngine, SloAlert, SloKind, SloSpec, SloTransition,
+};
 use litmus_platform::{ChunkedSource, InvocationTrace, TraceEvent, TraceSource};
 use litmus_sim::MachineSpec;
 use litmus_telemetry::{StageProfile, Telemetry, TelemetryConfig, Timeline, TraceId, TraceSampler};
@@ -488,9 +491,13 @@ pub struct ClusterReport {
     forecast_samples: Vec<ForecastSample>,
     /// Backing store of [`ClusterReport::machine_lifetimes`].
     machine_lifetimes: Vec<MachineLifetime>,
+    /// Backing store of [`ClusterReport::slo_alerts`].
+    slo_alerts: Vec<Alert>,
     /// The replay's telemetry (registry + timeline + flight recorder);
     /// the typed vectors above are also mirrored onto its timeline.
     telemetry: Telemetry,
+    /// Backing store of [`ClusterReport::streamed_jsonl`].
+    streamed_jsonl: Option<String>,
     /// Most machines simultaneously alive during the replay.
     pub peak_machines: usize,
     /// Mean arrival→completion latency of completed invocations, ms.
@@ -563,11 +570,42 @@ impl ClusterReport {
         self.telemetry.timeline()
     }
 
+    /// Every SLO alert the replay's online engine fired, in
+    /// `(fired_ms, spec, rule)` order — event-for-event equal to what a
+    /// post-hoc `SloEngine::evaluate` of [`ClusterReport::timeline`]
+    /// reports (empty unless the driver declared SLOs with
+    /// [`ClusterDriver::slos`]). Timestamps are sim-time ms (see
+    /// [`ClusterReport::steal_events`] for the epoch).
+    pub fn slo_alerts(&self) -> &[Alert] {
+        &self.slo_alerts
+    }
+
     /// The deterministic JSONL export of the replay's telemetry —
     /// byte-identical across worker-pool thread counts, stepping modes,
     /// hosts, and streaming vs materialized replay.
     pub fn timeline_jsonl(&self) -> String {
         self.telemetry.to_jsonl()
+    }
+
+    /// The streamed JSONL export: `Some` only when the driver's
+    /// telemetry config set a `timeline_retention` window, in which
+    /// case timeline events were flushed through the sink as the replay
+    /// ran (peak in-memory timeline stayed O(window), see
+    /// [`ClusterReport::timeline_peak_retained`]) and this holds the
+    /// finished export — byte-identical to the
+    /// [`ClusterReport::timeline_jsonl`] a retention-free replay of the
+    /// same trace produces. Note the in-memory [`ClusterReport::timeline`]
+    /// is empty in that case: its events live here instead.
+    pub fn streamed_jsonl(&self) -> Option<&str> {
+        self.streamed_jsonl.as_deref()
+    }
+
+    /// High-water mark of timeline events simultaneously retained in
+    /// memory during the replay — bounded by the configured retention
+    /// window (+1 transiently) when streaming, the full event count
+    /// otherwise.
+    pub fn timeline_peak_retained(&self) -> usize {
+        self.telemetry.timeline().peak_retained()
     }
     /// Completed invocations per simulated second.
     pub fn throughput_per_sim_s(&self) -> f64 {
@@ -663,6 +701,8 @@ pub struct ClusterDriver<P> {
     stealing: Option<StealingConfig>,
     autoscale: Option<AutoscalerConfig>,
     telemetry: TelemetryConfig,
+    slos: Vec<SloSpec>,
+    active_alerts: Vec<Alert>,
 }
 
 impl<P: PlacementPolicy> ClusterDriver<P> {
@@ -675,6 +715,8 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             stealing: None,
             autoscale: None,
             telemetry: TelemetryConfig::default(),
+            slos: Vec::new(),
+            active_alerts: Vec::new(),
         }
     }
 
@@ -688,6 +730,32 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
     pub fn autoscale(mut self, config: AutoscalerConfig) -> Self {
         self.autoscale = Some(config);
         self
+    }
+
+    /// Declares SLOs the replay evaluates *online*: an incremental
+    /// [`OnlineSloEngine`] is fed every sampled completion as it drains
+    /// and advanced at every slice boundary in both stepping modes, so
+    /// fired/cleared transitions land on the timeline (as
+    /// `slo.alert.fired` / `slo.alert.cleared` events stamped with the
+    /// boundary they became decidable at) while the replay is still
+    /// running — and, being sim-time facts, land byte-identically
+    /// across engines and thread counts. The full alert history is on
+    /// [`ClusterReport::slo_alerts`]; alerts still open when the replay
+    /// ended stay readable on [`ClusterDriver::active_alerts`].
+    ///
+    /// Online evaluation sees exactly the completions a post-hoc
+    /// [`litmus_observe::SloEngine::evaluate`] of the finished timeline
+    /// sees (the sampled `trace.*` chains), so the two agree
+    /// event-for-event.
+    pub fn slos(mut self, specs: Vec<SloSpec>) -> Self {
+        self.slos = specs;
+        self
+    }
+
+    /// SLO alerts still firing when the last replay finished (empty
+    /// before any replay, or when every alert cleared).
+    pub fn active_alerts(&self) -> &[Alert] {
+        &self.active_alerts
     }
 
     /// Replaces the telemetry configuration (flight-recorder depth,
@@ -850,7 +918,46 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
                 },
             },
         );
+        if !self.slos.is_empty() {
+            telemetry.set_meta("slos", self.slos.len().to_string());
+        }
         let replay_span = telemetry.open_span(0, "replay", vec![]);
+
+        // Mirror the SLO configuration onto the timeline head so a
+        // stream consumer (`litmus-obs tail`) can reconstruct the specs
+        // and re-derive every alert without the driver's config.
+        for (spec_idx, spec) in self.slos.iter().enumerate() {
+            let (kind, threshold) = match spec.kind {
+                SloKind::Slowdown { max } => ("slowdown", max),
+                SloKind::QueueWait { max_ms } => ("queue-wait", max_ms as f64),
+                SloKind::BillingRate { max_per_s } => ("billing-rate", max_per_s),
+            };
+            let mut fields = vec![
+                ("spec", spec_idx.into()),
+                ("slo", spec.name.clone().into()),
+                ("kind", kind.into()),
+                ("threshold", threshold.into()),
+                ("objective", spec.objective.into()),
+            ];
+            if let Some(tenant) = spec.tenant {
+                fields.push(("tenant", tenant.into()));
+            }
+            telemetry.event(0, "slo.spec", fields);
+            for (rule_idx, rule) in spec.rules.iter().enumerate() {
+                telemetry.event(
+                    0,
+                    "slo.rule",
+                    vec![
+                        ("spec", spec_idx.into()),
+                        ("rule", rule_idx.into()),
+                        ("severity", rule.severity.into()),
+                        ("fast_ms", rule.fast_ms.into()),
+                        ("slow_ms", rule.slow_ms.into()),
+                        ("factor", rule.factor.into()),
+                    ],
+                );
+            }
+        }
 
         let sampler = self.telemetry.trace_sampler();
         if sampler.is_active() {
@@ -877,7 +984,12 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             mirrored: (0, 0, 0),
             sampler,
             trace_records: Vec::new(),
+            slo: (!self.slos.is_empty()).then(|| OnlineSloEngine::new(self.slos.clone(), slice_ms)),
+            slo_fed: 0,
+            service_prev: BTreeMap::new(),
+            service_prev_ms: 0,
         };
+        self.active_alerts.clear();
 
         match cluster.stepping {
             SteppingMode::EventDriven => self.run_event_driven(cluster, &mut source, &mut state)?,
@@ -886,6 +998,22 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             }
         }
         self.drain(cluster, &mut state)?;
+
+        // The replay horizon is now known: fold the at-horizon tail
+        // into the final slice and close the alert history — exactly
+        // the clamp a post-hoc evaluation of the finished timeline
+        // applies, so the two alert lists agree event-for-event.
+        let mut slo_alerts = Vec::new();
+        if let Some(mut engine) = state.slo.take() {
+            for record in &state.trace_records[state.slo_fed..] {
+                engine.record(&completion_sample(record));
+            }
+            state.slo_fed = state.trace_records.len();
+            let transitions = engine.finish(state.now_ms);
+            apply_slo_transitions(&mut state.telemetry, transitions);
+            slo_alerts = engine.alerts();
+            self.active_alerts = engine.active_alerts();
+        }
 
         // Machines that emptied on the last slice still retire before
         // the report is cut.
@@ -978,6 +1106,11 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         telemetry.inc("replay.completed", completed as u64);
         telemetry.inc("replay.unfinished", cluster.outstanding() as u64);
 
+        // With a retention window configured the telemetry has been
+        // streaming through its sink all along; this drains the final
+        // window (registry snapshot included) into the finished export.
+        let streamed_jsonl = telemetry.take_streamed();
+
         Ok(ClusterReport {
             policy: self.policy.name(),
             billing: cluster.billing(),
@@ -989,7 +1122,9 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
             scale_events,
             forecast_samples,
             machine_lifetimes,
+            slo_alerts,
             telemetry,
+            streamed_jsonl,
             peak_machines,
             mean_latency_ms: if completed == 0 {
                 0.0
@@ -1176,6 +1311,27 @@ impl<P: PlacementPolicy> ClusterDriver<P> {
         admitted: usize,
     ) -> Result<()> {
         if let Some(scaler) = &mut state.autoscaler {
+            // Observed per-machine completion rate over the probe
+            // interval, gauged before the scaler mutates the fleet.
+            // One set per live machine in fleet order folds the whole
+            // fleet's range into the `machine.service_rate` gauge
+            // (min = slowest machine-interval, max = fastest). Gated on
+            // the autoscaler because only then is every boundary dense
+            // (the event engine never bulk-skips), keeping the gauge —
+            // and the export — identical across engines.
+            let elapsed_ms = at_ms.saturating_sub(state.service_prev_ms);
+            if elapsed_ms > 0 {
+                for machine in &cluster.machines {
+                    let completed = machine.completed();
+                    let prev = state
+                        .service_prev
+                        .insert(machine.id(), completed)
+                        .unwrap_or(completed);
+                    let rate = completed.saturating_sub(prev) as f64 * 1000.0 / elapsed_ms as f64;
+                    state.telemetry.gauge_set("machine.service_rate", rate);
+                }
+                state.service_prev_ms = at_ms;
+            }
             let started = state.telemetry.profile().start();
             scaler.evaluate(
                 cluster,
@@ -1287,6 +1443,81 @@ struct ReplayState {
     /// Completion records drained from the machines after every step,
     /// merged and emitted as `trace.*` spans once the replay ends.
     trace_records: Vec<CompletionRecord>,
+    /// Incremental SLO evaluator, fed at every boundary (None when the
+    /// driver declared no SLOs).
+    slo: Option<OnlineSloEngine>,
+    /// `trace_records` entries already fed to the online engine.
+    slo_fed: usize,
+    /// Per-machine completed counts at the last probe boundary, for the
+    /// `machine.service_rate` gauge.
+    service_prev: BTreeMap<MachineId, usize>,
+    /// Sim time of the last service-rate probe.
+    service_prev_ms: u64,
+}
+
+/// The online engine's view of one drained completion record — field
+/// for field the same values `emit_trace_spans` later writes to the
+/// timeline, so the online input equals the post-hoc
+/// `completions(timeline)` join.
+fn completion_sample(record: &CompletionRecord) -> CompletionSample {
+    CompletionSample {
+        trace: record.trace.0,
+        tenant: record.tenant.0,
+        machine: record.machine.index() as u64,
+        arrived_ms: record.arrived_ms,
+        launched_ms: record.launched_ms,
+        completed_ms: record.completed_ms as u64,
+        wait_ms: record.launched_ms.saturating_sub(record.arrived_ms),
+        moves: record.moves as u64,
+        cost: record.cost,
+        predicted: record.predicted,
+    }
+}
+
+/// Feeds completion records drained since the last boundary to the
+/// online SLO engine, advances it to `at_ms`, and lands the resulting
+/// fired/cleared transitions on the timeline. Quiet slices append
+/// nothing else to the timeline, so these events occupy identical
+/// positions whether boundaries were stepped one by one (slice engine)
+/// or finalized in one catch-up call after a bulk skip (event engine) —
+/// the export stays byte-identical either way.
+fn feed_slo_boundary(state: &mut ReplayState, at_ms: u64) {
+    let Some(engine) = state.slo.as_mut() else {
+        return;
+    };
+    for record in &state.trace_records[state.slo_fed..] {
+        engine.record(&completion_sample(record));
+    }
+    state.slo_fed = state.trace_records.len();
+    let transitions = engine.observe_boundary(at_ms);
+    apply_slo_transitions(&mut state.telemetry, transitions);
+}
+
+/// Writes SLO fired/cleared transitions as timeline events (stamped
+/// with the boundary they became decidable at) and registry counters.
+fn apply_slo_transitions(telemetry: &mut Telemetry, transitions: Vec<SloAlert>) {
+    for alert in transitions {
+        let name = match alert.transition {
+            SloTransition::Fired => "slo.alert.fired",
+            SloTransition::Cleared => "slo.alert.cleared",
+        };
+        telemetry.inc(name, 1);
+        let mut fields = vec![
+            ("slo", alert.slo.into()),
+            ("severity", alert.severity.into()),
+            ("spec", alert.spec_idx.into()),
+            ("rule", alert.rule_idx.into()),
+            ("burn_fast", alert.burn_fast.into()),
+            ("burn_slow", alert.burn_slow.into()),
+        ];
+        if let Some(tenant) = alert.tenant {
+            fields.push(("tenant", tenant.into()));
+        }
+        if alert.transition == SloTransition::Cleared {
+            fields.push(("peak_burn", alert.peak_burn.into()));
+        }
+        telemetry.event(alert.at_ms, name, fields);
+    }
 }
 
 /// Steps every live machine to `target_ms` under the cluster's
@@ -1312,6 +1543,12 @@ fn step_cluster(cluster: &mut Cluster, state: &mut ReplayState, target_ms: u64) 
             state.trace_records.extend(records);
         }
     }
+    // Every record completing before `target_ms` is now drained, which
+    // is exactly what finalizing the boundaries strictly before it
+    // needs — so the online SLO engine advances here, on the shared
+    // path all three stepping entry points (slice, event, bulk skip)
+    // funnel through.
+    feed_slo_boundary(state, target_ms);
     Ok(())
 }
 

@@ -24,8 +24,11 @@ pub const DAG: &[(&str, &[&str])] = &[
     ("platform", &["stats", "core", "sim", "workloads"]),
     ("forecast", &["platform"]),
     ("trace", &["platform", "workloads"]),
-    // Cluster consumes everything below it; observe consumes ONLY
-    // telemetry exports (it analyzes JSONL, never live cluster state).
+    // Cluster consumes everything below it, observe included: the
+    // driver co-runs observe's incremental SLO engine at every slice
+    // boundary. Observe itself stays a telemetry-only analysis layer
+    // (its integration tests cross back into cluster, but
+    // dev-dependencies are exempt).
     (
         "cluster",
         &[
@@ -35,6 +38,7 @@ pub const DAG: &[(&str, &[&str])] = &[
             "platform",
             "telemetry",
             "forecast",
+            "observe",
         ],
     ),
     ("observe", &["telemetry"]),

@@ -6,10 +6,16 @@
 //! The cluster driver (with trace sampling on, see
 //! `TelemetryConfig::trace_sampling`) gives every admitted invocation
 //! a causal span chain on the replay timeline: admission → placement →
-//! queue → execution → billing attribution. This crate consumes those
-//! chains *after* the replay, so the replay's own byte-reproducibility
-//! contract is never in the loop:
+//! queue → execution → billing attribution. This crate evaluates those
+//! completions two equivalent ways: *online*, fed sample by sample at
+//! slice boundaries while the replay runs, and *post-hoc* over a
+//! finished timeline — the post-hoc path is implemented on top of the
+//! online engine, so the two provably agree event-for-event:
 //!
+//! * [`OnlineSloEngine`] — the incremental evaluator: feed it
+//!   completions as they happen, advance it at slice boundaries, get
+//!   [`SloAlert`] fired/cleared transitions back as a deterministic
+//!   live control signal;
 //! * [`SloEngine`] — declarative [`SloSpec`]s (per-tenant predicted-
 //!   slowdown, queue-wait and billing-rate objectives) evaluated slice
 //!   boundary by slice boundary with Google-SRE multi-window
@@ -49,7 +55,10 @@ mod slo;
 mod spans;
 
 pub use fairness::{gini, rollups, TenantRollup};
-pub use slo::{Alert, BurnRateRule, SloEngine, SloKind, SloReport, SloSeries, SloSpec};
+pub use slo::{
+    Alert, BurnRateRule, OnlineSloEngine, SloAlert, SloEngine, SloKind, SloReport, SloSeries,
+    SloSpec, SloTransition,
+};
 pub use spans::{completions, horizon_ms, CompletionSample};
 
 // The telemetry vocabulary reports are written in, re-exported so

@@ -10,13 +10,18 @@
 //! alerts prompt, the slow window keeps them from flapping on a single
 //! bad slice).
 //!
-//! [`SloEngine::evaluate`] replays the engine over a finished
-//! timeline's `trace.*` span chains, advancing slice boundary by slice
-//! boundary exactly as an online evaluator co-located with the cluster
-//! driver would, and emits every alert as an open/close `slo.alert`
-//! span in its own [`Telemetry`] — so alert fire and clear times are
+//! The evaluator itself is **incremental**: [`OnlineSloEngine`] is fed
+//! completion samples as they happen and emits fired/cleared
+//! transitions at each slice boundary
+//! ([`OnlineSloEngine::observe_boundary`]) — the shape a cluster
+//! driver co-locates with the replay loop to get a live alert signal.
+//! [`SloEngine::evaluate`] is the post-hoc wrapper: it replays a
+//! finished timeline's `trace.*` span chains through the same online
+//! engine and emits every alert as an open/close `slo.alert` span in
+//! its own [`Telemetry`] — so alert fire and clear times are
 //! deterministic sim-time facts of the replay, byte-reproducible in
-//! JSONL like everything else in the stack.
+//! JSONL like everything else in the stack, and provably identical to
+//! what the online engine reported during the run.
 
 use litmus_telemetry::{Telemetry, TelemetryConfig, Timeline};
 
@@ -291,100 +296,37 @@ impl SloEngine {
         &self.specs
     }
 
-    /// Streams the engine over a finished replay timeline, advancing
-    /// one `slice_ms` boundary at a time. Deterministic: the input
-    /// timeline is a pure function of the replay, and so is every
-    /// alert boundary computed here.
+    /// Streams the engine over a finished replay timeline by feeding
+    /// its `trace.*` completions through an [`OnlineSloEngine`] and
+    /// advancing one `slice_ms` boundary at a time. Deterministic: the
+    /// input timeline is a pure function of the replay, and so is
+    /// every alert boundary computed here — and because the post-hoc
+    /// path *is* the online engine, live alert streams and finished
+    /// reports cannot drift apart.
     pub fn evaluate(&self, timeline: &Timeline, slice_ms: u64) -> SloReport {
         let slice_ms = slice_ms.max(1);
         let samples = completions(timeline);
         let horizon = horizon_ms(timeline);
-        let slices = (horizon.div_ceil(slice_ms)).max(1) as usize;
+
+        let mut online = OnlineSloEngine::new(self.specs.clone(), slice_ms);
+        for sample in &samples {
+            online.record(sample);
+        }
+        online.finish(horizon);
 
         let mut telemetry = Telemetry::new(TelemetryConfig::default());
         telemetry.set_meta("source", "slo-engine");
         telemetry.set_meta("slice_ms", slice_ms.to_string());
         telemetry.set_meta("slos", self.specs.len().to_string());
 
-        // Per-spec per-slice (bad, total) tallies.
-        let tallies: Vec<Tally> = self
-            .specs
-            .iter()
-            .map(|spec| Tally::build(spec, &samples, slices, slice_ms))
-            .collect();
-
-        let mut fired: Vec<(u64, usize, usize, Alert, f64, f64)> = Vec::new();
-        let mut series = Vec::new();
-        for (spec_idx, (spec, tally)) in self.specs.iter().zip(&tallies).enumerate() {
-            let budget = spec.budget();
-            let mut points = Vec::with_capacity(slices);
-            for (rule_idx, rule) in spec.rules.iter().enumerate() {
-                let fast = (rule.fast_ms / slice_ms).max(1) as usize;
-                let slow = (rule.slow_ms / slice_ms).max(1) as usize;
-                let mut open: Option<(u64, f64, f64, f64)> = None; // fired, burn_fast, burn_slow, peak
-                for i in 0..slices {
-                    let boundary = (i as u64 + 1) * slice_ms;
-                    let burn_fast = tally.burn(i, fast, budget);
-                    let burn_slow = tally.burn(i, slow, budget);
-                    if rule_idx == 0 {
-                        points.push((boundary, burn_fast));
-                    }
-                    let firing = burn_fast >= rule.factor && burn_slow >= rule.factor;
-                    match (&mut open, firing) {
-                        (None, true) => open = Some((boundary, burn_fast, burn_slow, burn_fast)),
-                        (Some((_, _, _, peak)), true) => *peak = peak.max(burn_fast),
-                        (Some((fired_ms, bf, bs, peak)), false) => {
-                            fired.push((
-                                *fired_ms,
-                                spec_idx,
-                                rule_idx,
-                                Alert {
-                                    slo: spec.name.clone(),
-                                    severity: rule.severity,
-                                    tenant: spec.tenant,
-                                    fired_ms: *fired_ms,
-                                    cleared_ms: Some(boundary),
-                                    peak_burn: *peak,
-                                },
-                                *bf,
-                                *bs,
-                            ));
-                            open = None;
-                        }
-                        (None, false) => {}
-                    }
-                }
-                if let Some((fired_ms, bf, bs, peak)) = open {
-                    fired.push((
-                        fired_ms,
-                        spec_idx,
-                        rule_idx,
-                        Alert {
-                            slo: spec.name.clone(),
-                            severity: rule.severity,
-                            tenant: spec.tenant,
-                            fired_ms,
-                            cleared_ms: None,
-                            peak_burn: peak,
-                        },
-                        bf,
-                        bs,
-                    ));
-                }
-            }
-            series.push(SloSeries {
-                slo: spec.name.clone(),
-                tenant: spec.tenant,
-                points,
-            });
-        }
-
-        // Chronological, tie-broken by declaration order — stable and
-        // mode-independent, like the replay timeline itself.
-        fired.sort_by_key(|a| (a.0, a.1, a.2));
-        let mut alerts = Vec::with_capacity(fired.len());
-        for (_, spec_idx, _, alert, burn_fast, burn_slow) in fired {
-            let spec = &self.specs[spec_idx];
+        // Episodes are recorded at fire time in (boundary, spec, rule)
+        // order — chronological, tie-broken by declaration order, the
+        // same stable mode-independent order the sorted post-hoc list
+        // always had.
+        let mut alerts = Vec::with_capacity(online.episodes.len());
+        for episode in &online.episodes {
+            let alert = &episode.alert;
+            let spec = &self.specs[episode.spec_idx];
             let tenant_label = match alert.tenant {
                 Some(t) => t.to_string(),
                 None => "all".to_owned(),
@@ -397,16 +339,15 @@ impl SloEngine {
                 ("objective", spec.objective.into()),
                 (
                     "factor",
-                    self.specs[spec_idx]
-                        .rules
+                    spec.rules
                         .iter()
                         .find(|r| r.severity == alert.severity)
                         .map(|r| r.factor)
                         .unwrap_or(0.0)
                         .into(),
                 ),
-                ("burn_fast", burn_fast.into()),
-                ("burn_slow", burn_slow.into()),
+                ("burn_fast", episode.fired_burn_fast.into()),
+                ("burn_slow", episode.fired_burn_slow.into()),
                 ("peak_burn", alert.peak_burn.into()),
             ];
             match alert.cleared_ms {
@@ -419,8 +360,9 @@ impl SloEngine {
             if alert.cleared_ms.is_some() {
                 telemetry.inc("slo.alert.cleared", 1);
             }
-            alerts.push(alert);
+            alerts.push(alert.clone());
         }
+        let series = online.series();
 
         let rollups = rollups(&samples);
         let gini_slowdown = gini(&rollups.iter().map(|r| r.mean_slowdown).collect::<Vec<_>>());
@@ -454,86 +396,365 @@ impl SloEngine {
     }
 }
 
-/// Prefix-summed per-slice (bad, total) counts of one SLO.
-struct Tally {
-    // prefix[i+1] = totals over slices 0..=i.
-    bad: Vec<u64>,
-    total: Vec<u64>,
+/// Whether a live alert transition opened or closed an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloTransition {
+    /// The alert started firing at this boundary.
+    Fired,
+    /// The alert stopped firing at this boundary.
+    Cleared,
 }
 
-impl Tally {
-    fn build(spec: &SloSpec, samples: &[CompletionSample], slices: usize, slice_ms: u64) -> Self {
-        let mut bad = vec![0u64; slices];
-        let mut total = vec![0u64; slices];
-        match spec.kind {
-            SloKind::Slowdown { max } => {
-                for s in filtered(samples, spec.tenant) {
-                    let i = slice_of(s.completed_ms, slice_ms, slices);
-                    total[i] += 1;
-                    bad[i] += u64::from(s.predicted > max);
-                }
-            }
-            SloKind::QueueWait { max_ms } => {
-                for s in filtered(samples, spec.tenant) {
-                    let i = slice_of(s.completed_ms, slice_ms, slices);
-                    total[i] += 1;
-                    bad[i] += u64::from(s.wait_ms > max_ms);
-                }
-            }
-            SloKind::BillingRate { max_per_s } => {
-                let mut spend = vec![0.0f64; slices];
-                for s in filtered(samples, spec.tenant) {
-                    spend[slice_of(s.completed_ms, slice_ms, slices)] += s.cost;
-                }
-                let cap = max_per_s * slice_ms as f64 / 1_000.0;
-                for i in 0..slices {
-                    total[i] = 1;
-                    bad[i] = u64::from(spend[i] > cap);
-                }
-            }
-        }
-        let prefix = |v: &[u64]| {
-            let mut p = Vec::with_capacity(v.len() + 1);
-            let mut sum = 0u64;
-            p.push(sum);
-            for &x in v {
-                sum += x;
-                p.push(sum);
-            }
-            p
-        };
-        Tally {
-            bad: prefix(&bad),
-            total: prefix(&total),
+/// One live alert transition, emitted by
+/// [`OnlineSloEngine::observe_boundary`] at the slice boundary it
+/// happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    /// Slice boundary of the transition, sim ms.
+    pub at_ms: u64,
+    /// Index of the spec in the engine's spec list.
+    pub spec_idx: usize,
+    /// Index of the rule within the spec.
+    pub rule_idx: usize,
+    /// The violated SLO's name.
+    pub slo: String,
+    /// Severity of the rule.
+    pub severity: &'static str,
+    /// Tenant scope of the SLO.
+    pub tenant: Option<u32>,
+    /// Fired or cleared.
+    pub transition: SloTransition,
+    /// Fast-window burn multiple at this boundary.
+    pub burn_fast: f64,
+    /// Slow-window burn multiple at this boundary.
+    pub burn_slow: f64,
+    /// Largest fast-window burn seen in the episode so far.
+    pub peak_burn: f64,
+}
+
+/// One fire→clear episode, recorded at fire time. The engine's episode
+/// list is therefore always in `(fired_ms, spec, rule)` order — the
+/// exact order [`SloEngine::evaluate`] reports alerts in.
+#[derive(Debug, Clone)]
+struct Episode {
+    alert: Alert,
+    spec_idx: usize,
+    fired_burn_fast: f64,
+    fired_burn_slow: f64,
+}
+
+/// Incremental per-spec tallies: raw per-slice counts for slices still
+/// accepting samples, prefix sums over finalized slices.
+#[derive(Debug, Clone, Default)]
+struct SpecState {
+    /// Per-slice bad counts at unclamped slice index (grows on demand).
+    bad: Vec<u64>,
+    /// Per-slice observation counts (unused by `BillingRate`).
+    total: Vec<u64>,
+    /// Per-slice spend (`BillingRate` only).
+    spend: Vec<f64>,
+    /// `bad_prefix[i+1]` = bad over finalized slices `0..=i`.
+    bad_prefix: Vec<u64>,
+    /// Same, for totals.
+    total_prefix: Vec<u64>,
+    /// Fast-window burn of the first rule, one point per boundary.
+    points: Vec<(u64, f64)>,
+    /// Per rule: index into `episodes` of the open episode, if firing.
+    open: Vec<Option<usize>>,
+}
+
+/// The incremental burn-rate evaluator: feed it completion samples as
+/// they happen ([`OnlineSloEngine::record`]) and advance it at slice
+/// boundaries ([`OnlineSloEngine::observe_boundary`]); it returns the
+/// fired/cleared transitions of each boundary as they become
+/// decidable. [`OnlineSloEngine::finish`] settles the final boundary
+/// (where post-hoc evaluation folds at-horizon completions into the
+/// last slice) so a finished engine agrees with
+/// [`SloEngine::evaluate`] event-for-event.
+///
+/// ## Feeding protocol
+///
+/// * `record` every completion with `completed_ms ≤ now` before
+///   calling `observe_boundary(now)`; samples never arrive with
+///   `completed_ms` at or below an already-observed boundary (sim time
+///   is monotone).
+/// * `observe_boundary(now)` finalizes every boundary **strictly
+///   below** `now`. A boundary exactly at `now` stays pending: if the
+///   replay ends there, `finish` must first fold completions stamped
+///   exactly at the horizon into the final slice (the post-hoc
+///   convention), and only `finish` knows the horizon.
+/// * `finish(horizon)` folds trailing samples and finalizes through
+///   the horizon's boundary. Call exactly once, after the last
+///   `observe_boundary`.
+#[derive(Debug, Clone)]
+pub struct OnlineSloEngine {
+    specs: Vec<SloSpec>,
+    slice_ms: u64,
+    /// Number of finalized slices (boundary `finalized * slice_ms` is
+    /// decided).
+    finalized: usize,
+    finished: bool,
+    states: Vec<SpecState>,
+    episodes: Vec<Episode>,
+}
+
+impl OnlineSloEngine {
+    /// An engine over `specs`, advancing at `slice_ms` boundaries.
+    pub fn new(specs: Vec<SloSpec>, slice_ms: u64) -> Self {
+        let states = specs
+            .iter()
+            .map(|spec| SpecState {
+                bad_prefix: vec![0],
+                total_prefix: vec![0],
+                open: vec![None; spec.rules.len()],
+                ..SpecState::default()
+            })
+            .collect();
+        OnlineSloEngine {
+            specs,
+            slice_ms: slice_ms.max(1),
+            finalized: 0,
+            finished: false,
+            states,
+            episodes: Vec::new(),
         }
     }
 
+    /// The configured SLOs.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The slice length boundaries advance by, ms.
+    pub fn slice_ms(&self) -> u64 {
+        self.slice_ms
+    }
+
+    /// Buckets one completion sample. Samples for an already-finalized
+    /// slice (a protocol violation) are folded into the oldest still
+    /// open slice rather than dropped.
+    pub fn record(&mut self, sample: &CompletionSample) {
+        let index = ((sample.completed_ms / self.slice_ms) as usize).max(self.finalized);
+        for (spec, state) in self.specs.iter().zip(&mut self.states) {
+            if spec.tenant.is_some_and(|t| sample.tenant != t) {
+                continue;
+            }
+            match spec.kind {
+                SloKind::Slowdown { max } => {
+                    grow(&mut state.total, index)[index] += 1;
+                    grow(&mut state.bad, index)[index] += u64::from(sample.predicted > max);
+                }
+                SloKind::QueueWait { max_ms } => {
+                    grow(&mut state.total, index)[index] += 1;
+                    grow(&mut state.bad, index)[index] += u64::from(sample.wait_ms > max_ms);
+                }
+                SloKind::BillingRate { .. } => {
+                    grow(&mut state.spend, index)[index] += sample.cost;
+                }
+            }
+        }
+    }
+
+    /// Finalizes every slice boundary strictly below `now_ms` and
+    /// returns the fired/cleared transitions those boundaries
+    /// produced, in `(boundary, spec, rule)` order.
+    pub fn observe_boundary(&mut self, now_ms: u64) -> Vec<SloAlert> {
+        let mut transitions = Vec::new();
+        while ((self.finalized as u64 + 1).saturating_mul(self.slice_ms)) < now_ms {
+            self.finalize_next_slice(&mut transitions);
+        }
+        transitions
+    }
+
+    /// Settles the replay at `horizon_ms`: completions stamped exactly
+    /// at (or, defensively, beyond) the horizon fold into the final
+    /// slice — matching the post-hoc clamp of [`SloEngine::evaluate`]
+    /// — and every remaining boundary through the horizon finalizes.
+    /// Returns those boundaries' transitions.
+    pub fn finish(&mut self, horizon_ms: u64) -> Vec<SloAlert> {
+        let mut transitions = Vec::new();
+        if self.finished {
+            return transitions;
+        }
+        self.finished = true;
+        let slices = ((horizon_ms.div_ceil(self.slice_ms)).max(1) as usize).max(self.finalized);
+        let last = slices - 1;
+        if last >= self.finalized {
+            for state in &mut self.states {
+                fold_tail(&mut state.bad, last);
+                fold_tail(&mut state.total, last);
+                fold_tail(&mut state.spend, last);
+            }
+        }
+        while self.finalized < slices {
+            self.finalize_next_slice(&mut transitions);
+        }
+        transitions
+    }
+
+    /// Alerts currently firing: one [`Alert`] (with `cleared_ms:
+    /// None`) per open episode, in fire order.
+    pub fn active_alerts(&self) -> Vec<Alert> {
+        self.episodes
+            .iter()
+            .filter(|e| e.alert.cleared_ms.is_none())
+            .map(|e| e.alert.clone())
+            .collect()
+    }
+
+    /// Every episode so far as an [`Alert`] (open episodes have
+    /// `cleared_ms: None` and their peak burn to date), in
+    /// `(fired_ms, spec, rule)` order — the order
+    /// [`SloEngine::evaluate`] reports.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.episodes.iter().map(|e| e.alert.clone()).collect()
+    }
+
+    /// Per-SLO fast-window burn series over the finalized boundaries.
+    pub fn series(&self) -> Vec<SloSeries> {
+        self.specs
+            .iter()
+            .zip(&self.states)
+            .map(|(spec, state)| SloSeries {
+                slo: spec.name.clone(),
+                tenant: spec.tenant,
+                points: state.points.clone(),
+            })
+            .collect()
+    }
+
+    /// Sim time through which boundaries are finalized.
+    pub fn finalized_through_ms(&self) -> u64 {
+        self.finalized as u64 * self.slice_ms
+    }
+
+    fn finalize_next_slice(&mut self, transitions: &mut Vec<SloAlert>) {
+        let i = self.finalized;
+        let boundary = (i as u64 + 1) * self.slice_ms;
+        for (spec_idx, (spec, state)) in self.specs.iter().zip(&mut self.states).enumerate() {
+            // Seal slice i into the prefix sums.
+            let (bad_i, total_i) = match spec.kind {
+                SloKind::BillingRate { max_per_s } => {
+                    let cap = max_per_s * self.slice_ms as f64 / 1_000.0;
+                    let spend = state.spend.get(i).copied().unwrap_or(0.0);
+                    (u64::from(spend > cap), 1)
+                }
+                _ => (
+                    state.bad.get(i).copied().unwrap_or(0),
+                    state.total.get(i).copied().unwrap_or(0),
+                ),
+            };
+            state.bad_prefix.push(state.bad_prefix[i] + bad_i);
+            state.total_prefix.push(state.total_prefix[i] + total_i);
+
+            let budget = spec.budget();
+            for (rule_idx, rule) in spec.rules.iter().enumerate() {
+                let fast = (rule.fast_ms / self.slice_ms).max(1) as usize;
+                let slow = (rule.slow_ms / self.slice_ms).max(1) as usize;
+                let burn_fast = state.burn(i, fast, budget);
+                let burn_slow = state.burn(i, slow, budget);
+                if rule_idx == 0 {
+                    state.points.push((boundary, burn_fast));
+                }
+                let firing = burn_fast >= rule.factor && burn_slow >= rule.factor;
+                let open = &mut state.open[rule_idx];
+                match (*open, firing) {
+                    (None, true) => {
+                        *open = Some(self.episodes.len());
+                        self.episodes.push(Episode {
+                            alert: Alert {
+                                slo: spec.name.clone(),
+                                severity: rule.severity,
+                                tenant: spec.tenant,
+                                fired_ms: boundary,
+                                cleared_ms: None,
+                                peak_burn: burn_fast,
+                            },
+                            spec_idx,
+                            fired_burn_fast: burn_fast,
+                            fired_burn_slow: burn_slow,
+                        });
+                        transitions.push(SloAlert {
+                            at_ms: boundary,
+                            spec_idx,
+                            rule_idx,
+                            slo: spec.name.clone(),
+                            severity: rule.severity,
+                            tenant: spec.tenant,
+                            transition: SloTransition::Fired,
+                            burn_fast,
+                            burn_slow,
+                            peak_burn: burn_fast,
+                        });
+                    }
+                    (Some(episode), true) => {
+                        let peak = &mut self.episodes[episode].alert.peak_burn;
+                        *peak = peak.max(burn_fast);
+                    }
+                    (Some(episode), false) => {
+                        let alert = &mut self.episodes[episode].alert;
+                        alert.cleared_ms = Some(boundary);
+                        transitions.push(SloAlert {
+                            at_ms: boundary,
+                            spec_idx,
+                            rule_idx,
+                            slo: spec.name.clone(),
+                            severity: rule.severity,
+                            tenant: spec.tenant,
+                            transition: SloTransition::Cleared,
+                            burn_fast,
+                            burn_slow,
+                            peak_burn: alert.peak_burn,
+                        });
+                        *open = None;
+                    }
+                    (None, false) => {}
+                }
+            }
+        }
+        self.finalized = i + 1;
+    }
+}
+
+impl SpecState {
     /// Burn multiple over the `window` slices ending at slice `i`
     /// (inclusive): `(bad/total) / budget`, zero when the window saw
-    /// no observations.
+    /// no observations. Only valid once slice `i` is in the prefixes.
     fn burn(&self, i: usize, window: usize, budget: f64) -> f64 {
         let end = i + 1;
         let start = end.saturating_sub(window);
-        let total = self.total[end] - self.total[start];
+        let total = self.total_prefix[end] - self.total_prefix[start];
         if total == 0 {
             return 0.0;
         }
-        let bad = self.bad[end] - self.bad[start];
+        let bad = self.bad_prefix[end] - self.bad_prefix[start];
         (bad as f64 / total as f64) / budget
     }
 }
 
-fn filtered(
-    samples: &[CompletionSample],
-    tenant: Option<u32>,
-) -> impl Iterator<Item = &CompletionSample> {
-    samples
-        .iter()
-        .filter(move |s| tenant.is_none_or(|t| s.tenant == t))
+/// Grows `v` so `index` is addressable, returning it for chaining.
+fn grow<T: Clone + Default>(v: &mut Vec<T>, index: usize) -> &mut Vec<T> {
+    if v.len() <= index {
+        v.resize(index + 1, T::default());
+    }
+    v
 }
 
-fn slice_of(at_ms: u64, slice_ms: u64, slices: usize) -> usize {
-    ((at_ms / slice_ms) as usize).min(slices - 1)
+/// Adds everything past slice `last` into slice `last` and truncates —
+/// the online equivalent of the post-hoc `min(slices - 1)` clamp on
+/// at-horizon completions.
+fn fold_tail<T: Copy + Default + std::ops::AddAssign>(v: &mut Vec<T>, last: usize) {
+    if v.len() <= last + 1 {
+        return;
+    }
+    let mut sum = T::default();
+    for &x in &v[last + 1..] {
+        sum += x;
+    }
+    v.truncate(last + 1);
+    if let Some(slot) = v.get_mut(last) {
+        *slot += sum;
+    }
 }
 
 #[cfg(test)]

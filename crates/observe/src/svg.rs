@@ -57,6 +57,34 @@ impl Band {
     }
 }
 
+/// A shaded vertical envelope between two y-values per x — forecast
+/// confidence bands laid under the actuals they predicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Legend label.
+    pub label: String,
+    /// Fill color.
+    pub color: String,
+    /// `(x, y_lo, y_hi)` triples in data coordinates; non-finite
+    /// entries are skipped.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl Region {
+    /// A new envelope region.
+    pub fn new(
+        label: impl Into<String>,
+        color: impl Into<String>,
+        points: Vec<(f64, f64, f64)>,
+    ) -> Self {
+        Region {
+            label: label.into(),
+            color: color.into(),
+            points,
+        }
+    }
+}
+
 /// A line chart with optional alert bands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Chart {
@@ -67,6 +95,7 @@ pub struct Chart {
     height: f64,
     series: Vec<Series>,
     bands: Vec<Band>,
+    regions: Vec<Region>,
 }
 
 const MARGIN_LEFT: f64 = 64.0;
@@ -85,6 +114,7 @@ impl Chart {
             height: 420.0,
             series: Vec::new(),
             bands: Vec::new(),
+            regions: Vec::new(),
         }
     }
 
@@ -111,6 +141,12 @@ impl Chart {
     /// Adds a band set.
     pub fn band(mut self, band: Band) -> Self {
         self.bands.push(band);
+        self
+    }
+
+    /// Adds an envelope region.
+    pub fn region(mut self, region: Region) -> Self {
+        self.regions.push(region);
         self
     }
 
@@ -155,6 +191,34 @@ impl Chart {
                     escape(&band.color)
                 );
             }
+        }
+
+        // Envelope regions above the bands, below grid and series: a
+        // closed polygon tracing the lower edge left→right then the
+        // upper edge back.
+        for region in &self.regions {
+            let edges: Vec<(f64, f64, f64)> = region
+                .points
+                .iter()
+                .copied()
+                .filter(|&(x, lo, hi)| x.is_finite() && lo.is_finite() && hi.is_finite())
+                .collect();
+            if edges.len() < 2 {
+                continue;
+            }
+            let mut path = String::new();
+            for &(x, lo, _) in &edges {
+                let _ = write!(path, "{:.1},{:.1} ", to_x(x), to_y(lo));
+            }
+            for &(x, _, hi) in edges.iter().rev() {
+                let _ = write!(path, "{:.1},{:.1} ", to_x(x), to_y(hi));
+            }
+            let _ = writeln!(
+                out,
+                r#"<polygon points="{}" fill="{}" fill-opacity="0.15"/>"#,
+                path.trim_end(),
+                escape(&region.color)
+            );
         }
 
         // Grid and tick labels.
@@ -231,11 +295,12 @@ impl Chart {
             }
         }
 
-        // Legend: series, then bands.
+        // Legend: series, then regions, then bands.
         for (row, (label, color)) in self
             .series
             .iter()
             .map(|s| (&s.label, &s.color))
+            .chain(self.regions.iter().map(|r| (&r.label, &r.color)))
             .chain(self.bands.iter().map(|b| (&b.label, &b.color)))
             .enumerate()
         {
@@ -281,6 +346,16 @@ impl Chart {
                 if start.is_finite() && end.is_finite() {
                     x_min = x_min.min(start);
                     x_max = x_max.max(end);
+                }
+            }
+        }
+        for region in &self.regions {
+            for &(x, lo, hi) in &region.points {
+                if x.is_finite() && lo.is_finite() && hi.is_finite() {
+                    x_min = x_min.min(x);
+                    x_max = x_max.max(x);
+                    y_min = y_min.min(lo);
+                    y_max = y_max.max(hi);
                 }
             }
         }
@@ -378,6 +453,30 @@ mod tests {
         assert!(svg.contains("p99 slowdown"));
         // Balanced tags — every opened text/rect closes.
         assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn region_envelope_renders_and_widens_the_bounds() {
+        let svg = Chart::new("backtest")
+            .series(Series::new("actual", "#333", vec![(0.0, 3.0), (10.0, 4.0)]))
+            .region(Region::new(
+                "forecast band",
+                "#1f77b4",
+                vec![(0.0, 1.0, 9.0), (10.0, 2.0, 12.0), (20.0, f64::NAN, 5.0)],
+            ))
+            .render();
+        assert_eq!(svg.matches("<polygon").count(), 1);
+        assert!(svg.contains("forecast band"));
+        // The region's hi edge (12) sets y_max, so a gridline tick at
+        // 10 exists even though no series climbs past 4.
+        assert!(svg.contains(">10</text>"));
+        // NaN entries are skipped, not rendered.
+        assert!(!svg.contains("NaN"));
+        // A region alone cannot render with fewer than two finite rows.
+        let degenerate = Chart::new("thin")
+            .region(Region::new("r", "red", vec![(1.0, 0.0, 1.0)]))
+            .render();
+        assert_eq!(degenerate.matches("<polygon").count(), 0);
     }
 
     #[test]

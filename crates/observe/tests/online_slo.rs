@@ -1,0 +1,261 @@
+//! Online/post-hoc equivalence: an [`OnlineSloEngine`] fed completion
+//! samples incrementally — at arbitrary (monotone) advance cadences,
+//! including coarse jumps that finalize many boundaries at once, the
+//! way the event-driven engine's bulk skip does — must agree with the
+//! post-hoc [`SloEngine::evaluate`] of the same replay event-for-event.
+
+use litmus_observe::{
+    completions, horizon_ms, BurnRateRule, CompletionSample, OnlineSloEngine, SloAlert, SloEngine,
+    SloSpec, SloTransition, Timeline,
+};
+use proptest::prelude::*;
+
+const SLICE_MS: u64 = 100;
+
+/// One completion per slice for tenant `t`: slices listed in `bad` get
+/// a 100 ms queue wait and an expensive, slow completion; the rest are
+/// healthy.
+fn mixed_timeline(slices: u64, bad: &[u64]) -> Timeline {
+    let mut timeline = Timeline::new();
+    for i in 0..slices {
+        let tenant = (i % 2) as u32;
+        let done = i * SLICE_MS + SLICE_MS / 2;
+        let is_bad = bad.contains(&i);
+        let wait = if is_bad { 100 } else { 10 };
+        let launch = done.saturating_sub(5);
+        timeline.span(
+            "trace.queue",
+            launch.saturating_sub(wait),
+            launch,
+            vec![
+                ("trace", i.into()),
+                ("tenant", tenant.into()),
+                ("machine", 0u64.into()),
+                ("moves", 0u64.into()),
+            ],
+        );
+        timeline.record(
+            done,
+            "trace.billed",
+            vec![
+                ("trace", i.into()),
+                ("tenant", tenant.into()),
+                ("machine", 0u64.into()),
+                ("cost", if is_bad { 8.0 } else { 0.5 }.into()),
+                ("predicted", if is_bad { 3.0 } else { 1.1 }.into()),
+            ],
+        );
+    }
+    timeline
+}
+
+fn specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec::queue_wait("interactive-wait", 50)
+            .objective(0.9)
+            .rules(vec![
+                BurnRateRule::new("page", 200, 400, 2.0),
+                BurnRateRule::new("ticket", 400, 800, 1.0),
+            ]),
+        SloSpec::slowdown("even-slowdown", 2.0)
+            .tenant(0)
+            .objective(0.8),
+        SloSpec::billing_rate("odd-spend", 20.0)
+            .tenant(1)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 200, 400, 1.0)]),
+    ]
+}
+
+/// Replays `samples` through a fresh online engine, advancing `now` by
+/// `step` ms per round, and returns (transition stream, engine).
+fn drive_online(
+    samples: &[CompletionSample],
+    horizon: u64,
+    step: u64,
+) -> (Vec<SloAlert>, OnlineSloEngine) {
+    let mut online = OnlineSloEngine::new(specs(), SLICE_MS);
+    let mut transitions = Vec::new();
+    let mut fed = 0;
+    let mut now = 0;
+    while now < horizon {
+        now = (now + step).min(horizon);
+        while fed < samples.len() && samples[fed].completed_ms <= now {
+            online.record(&samples[fed]);
+            fed += 1;
+        }
+        transitions.extend(online.observe_boundary(now));
+    }
+    while fed < samples.len() {
+        online.record(&samples[fed]);
+        fed += 1;
+    }
+    transitions.extend(online.finish(horizon));
+    (transitions, online)
+}
+
+/// Samples in completion order, the order a driver feeds them.
+fn by_completion(timeline: &Timeline) -> Vec<CompletionSample> {
+    let mut samples = completions(timeline);
+    samples.sort_by(|a, b| {
+        a.completed_ms
+            .cmp(&b.completed_ms)
+            .then(a.trace.cmp(&b.trace))
+    });
+    samples
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn online_stream_matches_post_hoc_report(
+        bad in prop::collection::vec(0u64..40, 0..16),
+        slices in 8u64..40,
+        step in 1u64..700,
+    ) {
+        let bad: Vec<u64> = bad.into_iter().filter(|b| *b < slices).collect();
+        let timeline = mixed_timeline(slices, &bad);
+        let engine = specs()
+            .into_iter()
+            .fold(SloEngine::new(), |e, s| e.spec(s));
+        let report = engine.evaluate(&timeline, SLICE_MS);
+
+        let samples = by_completion(&timeline);
+        let horizon = horizon_ms(&timeline);
+        let (transitions, online) = drive_online(&samples, horizon, step);
+
+        // The full alert histories agree, including open-at-horizon
+        // episodes and peak burns.
+        prop_assert_eq!(online.alerts(), report.alerts.clone());
+
+        // The transition stream is the report, event for event: fires
+        // and clears in the same order at the same boundaries.
+        let fires: Vec<(u64, String, &str)> = transitions
+            .iter()
+            .filter(|t| t.transition == SloTransition::Fired)
+            .map(|t| (t.at_ms, t.slo.clone(), t.severity))
+            .collect();
+        let expected_fires: Vec<(u64, String, &str)> = report
+            .alerts
+            .iter()
+            .map(|a| (a.fired_ms, a.slo.clone(), a.severity))
+            .collect();
+        prop_assert_eq!(fires, expected_fires);
+
+        let mut clears: Vec<(u64, String, &str)> = transitions
+            .iter()
+            .filter(|t| t.transition == SloTransition::Cleared)
+            .map(|t| (t.at_ms, t.slo.clone(), t.severity))
+            .collect();
+        let mut expected_clears: Vec<(u64, String, &str)> = report
+            .alerts
+            .iter()
+            .filter(|a| a.cleared_ms.is_some())
+            .map(|a| (a.cleared_ms.unwrap_or(0), a.slo.clone(), a.severity))
+            .collect();
+        clears.sort();
+        expected_clears.sort();
+        prop_assert_eq!(clears, expected_clears);
+
+        // Open alerts are exactly the report's uncleared ones.
+        prop_assert_eq!(
+            online.active_alerts(),
+            report
+                .alerts
+                .iter()
+                .filter(|a| a.cleared_ms.is_none())
+                .cloned()
+                .collect::<Vec<_>>()
+        );
+
+        // The burn series the live engine accumulated is the report's.
+        prop_assert_eq!(online.series(), report.series.clone());
+    }
+
+    #[test]
+    fn advance_cadence_cannot_change_the_outcome(
+        bad in prop::collection::vec(0u64..24, 0..10),
+        slices in 8u64..24,
+    ) {
+        // Fine-grained advancing (every ms) vs one giant jump — the
+        // bulk-skip shape — give identical histories.
+        let bad: Vec<u64> = bad.into_iter().filter(|b| *b < slices).collect();
+        let timeline = mixed_timeline(slices, &bad);
+        let samples = by_completion(&timeline);
+        let horizon = horizon_ms(&timeline);
+        let (fine_stream, fine) = drive_online(&samples, horizon, 1);
+        let (coarse_stream, coarse) = drive_online(&samples, horizon, horizon.max(1));
+        prop_assert_eq!(fine_stream, coarse_stream);
+        prop_assert_eq!(fine.alerts(), coarse.alerts());
+        prop_assert_eq!(fine.series(), coarse.series());
+    }
+}
+
+#[test]
+fn transitions_land_at_the_boundary_they_became_decidable() {
+    // Boundary b is only decidable once now > b: a sample completing
+    // exactly at a pending boundary still belongs to the window that
+    // boundary opens, so observe_boundary(b) must not finalize b.
+    let mut online = OnlineSloEngine::new(
+        vec![SloSpec::queue_wait("w", 50)
+            .objective(0.9)
+            .rules(vec![BurnRateRule::new("page", 100, 100, 1.0)])],
+        100,
+    );
+    assert!(online.observe_boundary(100).is_empty());
+    assert_eq!(online.finalized_through_ms(), 0);
+    let fired = online.observe_boundary(101);
+    assert_eq!(online.finalized_through_ms(), 100);
+    assert!(fired.is_empty(), "no samples, no burn");
+}
+
+#[test]
+fn finish_folds_at_horizon_completions_into_the_final_slice() {
+    // One bad completion stamped exactly at the horizon: post-hoc
+    // clamps it into the last slice; the online engine must agree.
+    let mut timeline = Timeline::new();
+    timeline.span(
+        "trace.queue",
+        290,
+        400,
+        vec![
+            ("trace", 0u64.into()),
+            ("tenant", 1u32.into()),
+            ("machine", 0u64.into()),
+            ("moves", 0u64.into()),
+        ],
+    );
+    timeline.record(
+        400,
+        "trace.billed",
+        vec![
+            ("trace", 0u64.into()),
+            ("tenant", 1u32.into()),
+            ("machine", 0u64.into()),
+            ("cost", 1.0.into()),
+            ("predicted", 1.0.into()),
+        ],
+    );
+    let spec = SloSpec::queue_wait("w", 50)
+        .objective(0.9)
+        .rules(vec![BurnRateRule::new("page", 100, 100, 1.0)]);
+    let engine = SloEngine::new().spec(spec.clone());
+    let report = engine.evaluate(&timeline, 100);
+
+    let mut online = OnlineSloEngine::new(vec![spec], 100);
+    let samples = completions(&timeline);
+    for sample in &samples {
+        online.record(sample);
+    }
+    online.observe_boundary(400);
+    let transitions = online.finish(400);
+    assert_eq!(online.alerts(), report.alerts);
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.transition == SloTransition::Fired && t.at_ms == 400),
+        "the fold makes the final boundary fire: {transitions:?}"
+    );
+    assert!(online.finish(400).is_empty(), "finish is one-shot");
+}

@@ -150,6 +150,10 @@ impl TimelineEvent {
 }
 
 /// Handle to a span opened on a [`Timeline`], used to close it later.
+///
+/// The id is the span's *absolute* timeline index (its position in the
+/// full append order), so it stays valid even after the retention
+/// window drops the span's record from the in-memory suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanId(usize);
 
@@ -158,9 +162,33 @@ pub struct SpanId(usize);
 /// Spans appear at their *open* position (the record order is the
 /// order things started, which is the deterministic order the driver
 /// observed them); closing a span fills in its `end_ms` in place.
+///
+/// ## Retention
+///
+/// A streaming export can flush records out of the front of the log
+/// ([`Timeline::pop_front`]) so only a bounded suffix stays resident.
+/// The timeline keeps counting flushed records in [`Timeline::len`]
+/// (`offset` + retained), and a span closed *after* its record was
+/// flushed is remembered as a late close for the sink to patch
+/// ([`Timeline::take_late_closes`]). [`Timeline::peak_retained`]
+/// reports the high-water mark of resident records, which is what a
+/// retention cap bounds.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Timeline {
+    /// Backing store; the retained suffix is `events[head..]` and the
+    /// absolute index of `events[head + i]` is `offset + i`. Flushed
+    /// slots before `head` are tombstones awaiting amortized
+    /// compaction.
     events: Vec<TimelineEvent>,
+    /// First retained slot in `events`.
+    head: usize,
+    /// Number of records flushed out of the front.
+    offset: usize,
+    /// `(absolute index, end_ms)` closes that arrived after the span's
+    /// record was flushed, in close order.
+    late_closes: Vec<(usize, u64)>,
+    /// High-water mark of retained records.
+    peak_retained: usize,
 }
 
 impl Timeline {
@@ -169,9 +197,14 @@ impl Timeline {
         Timeline::default()
     }
 
+    fn push(&mut self, event: TimelineEvent) {
+        self.events.push(event);
+        self.peak_retained = self.peak_retained.max(self.events.len() - self.head);
+    }
+
     /// Appends a point event.
     pub fn record(&mut self, at_ms: u64, name: &'static str, fields: Fields) {
-        self.events.push(TimelineEvent {
+        self.push(TimelineEvent {
             at_ms,
             name,
             kind: EventKind::Point,
@@ -181,19 +214,25 @@ impl Timeline {
 
     /// Opens a span at `at_ms`; close it with [`Timeline::close_span`].
     pub fn open_span(&mut self, at_ms: u64, name: &'static str, fields: Fields) -> SpanId {
-        self.events.push(TimelineEvent {
+        self.push(TimelineEvent {
             at_ms,
             name,
             kind: EventKind::Span { end_ms: None },
             fields,
         });
-        SpanId(self.events.len() - 1)
+        SpanId(self.offset + (self.events.len() - self.head) - 1)
     }
 
     /// Closes an open span at `end_ms`. Closing an already-closed span
-    /// updates its end; a stale id past the log is ignored.
+    /// updates its end; a stale id past the log is ignored. Closing a
+    /// span whose record was already flushed records a late close for
+    /// the streaming sink to patch.
     pub fn close_span(&mut self, id: SpanId, end_ms: u64) {
-        if let Some(event) = self.events.get_mut(id.0) {
+        if id.0 < self.offset {
+            self.late_closes.push((id.0, end_ms));
+            return;
+        }
+        if let Some(event) = self.events.get_mut(self.head + (id.0 - self.offset)) {
             if matches!(event.kind, EventKind::Span { .. }) {
                 event.kind = EventKind::Span {
                     end_ms: Some(end_ms),
@@ -204,7 +243,7 @@ impl Timeline {
 
     /// Appends an already-closed span.
     pub fn span(&mut self, name: &'static str, start_ms: u64, end_ms: u64, fields: Fields) {
-        self.events.push(TimelineEvent {
+        self.push(TimelineEvent {
             at_ms: start_ms,
             name,
             kind: EventKind::Span {
@@ -214,19 +253,65 @@ impl Timeline {
         });
     }
 
-    /// Every record, in append order.
+    /// The retained records, in append order. With no retention window
+    /// this is the full log; under streaming it is the un-flushed
+    /// suffix (absolute index of element `i` is `offset() + i`).
     pub fn events(&self) -> &[TimelineEvent] {
-        &self.events
+        &self.events[self.head..]
     }
 
-    /// Number of records.
+    /// Total number of records ever appended (flushed + retained).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.offset + (self.events.len() - self.head)
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of records flushed out of the front of the log.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// High-water mark of resident (retained) records — the quantity a
+    /// retention window bounds.
+    pub fn peak_retained(&self) -> usize {
+        self.peak_retained
+    }
+
+    /// Removes and returns the oldest retained record together with
+    /// its absolute index, or `None` when nothing is retained. This is
+    /// the flush primitive a streaming sink drains from.
+    pub fn pop_front(&mut self) -> Option<(usize, TimelineEvent)> {
+        if self.head >= self.events.len() {
+            return None;
+        }
+        let tombstone = TimelineEvent {
+            at_ms: 0,
+            name: "",
+            kind: EventKind::Point,
+            fields: Vec::new(),
+        };
+        let event = std::mem::replace(&mut self.events[self.head], tombstone);
+        let index = self.offset;
+        self.head += 1;
+        self.offset += 1;
+        // Amortized compaction: once tombstones dominate the backing
+        // store, drop them in one O(retained) move.
+        if self.head > 64 && self.head * 2 >= self.events.len() {
+            self.events.drain(..self.head);
+            self.head = 0;
+        }
+        Some((index, event))
+    }
+
+    /// Drains the closes that targeted already-flushed spans, in the
+    /// order they happened: `(absolute index, end_ms)` pairs the sink
+    /// must patch into its flushed output.
+    pub fn take_late_closes(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.late_closes)
     }
 }
 
@@ -274,6 +359,61 @@ mod tests {
         assert_eq!(
             timeline.events()[0].to_json(),
             r#"{"type":"span","at_ms":5,"end_ms":null,"name":"machine"}"#
+        );
+    }
+
+    #[test]
+    fn pop_front_yields_absolute_indexes_and_len_counts_flushed() {
+        let mut timeline = Timeline::new();
+        for at in 0..5u64 {
+            timeline.record(at, "tick", vec![]);
+        }
+        assert_eq!(
+            timeline.pop_front().map(|(i, e)| (i, e.at_ms)),
+            Some((0, 0))
+        );
+        assert_eq!(
+            timeline.pop_front().map(|(i, e)| (i, e.at_ms)),
+            Some((1, 1))
+        );
+        assert_eq!(timeline.len(), 5);
+        assert_eq!(timeline.offset(), 2);
+        assert_eq!(timeline.events().len(), 3);
+        assert_eq!(timeline.events()[0].at_ms, 2);
+        assert_eq!(timeline.peak_retained(), 5);
+    }
+
+    #[test]
+    fn closing_a_flushed_span_records_a_late_close() {
+        let mut timeline = Timeline::new();
+        let span = timeline.open_span(0, "replay", vec![]);
+        timeline.record(1, "tick", vec![]);
+        timeline.pop_front();
+        timeline.close_span(span, 40);
+        assert_eq!(timeline.take_late_closes(), vec![(0, 40)]);
+        assert!(timeline.take_late_closes().is_empty());
+    }
+
+    #[test]
+    fn span_ids_survive_compaction() {
+        // Push enough and pop enough that the amortized drain runs,
+        // then close a retained span by its (absolute) id.
+        let mut timeline = Timeline::new();
+        let mut ids = Vec::new();
+        for at in 0..300u64 {
+            ids.push(timeline.open_span(at, "s", vec![]));
+        }
+        for _ in 0..200 {
+            timeline.pop_front();
+        }
+        timeline.close_span(ids[250], 999);
+        let event = &timeline.events()[250 - 200];
+        assert_eq!(event.at_ms, 250);
+        assert_eq!(event.kind, EventKind::Span { end_ms: Some(999) });
+        // Pops after a drain keep yielding the right records.
+        assert_eq!(
+            timeline.pop_front().map(|(i, e)| (i, e.at_ms)),
+            Some((200, 200))
         );
     }
 }

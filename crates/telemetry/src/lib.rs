@@ -48,6 +48,7 @@ mod hist;
 mod metrics;
 mod profile;
 mod recorder;
+mod sink;
 mod trace;
 
 pub use diff::{assert_jsonl_eq, diff_report, first_divergence, JsonlDivergence};
@@ -56,6 +57,7 @@ pub use hist::{LogHistogram, DEFAULT_RELATIVE_ERROR};
 pub use metrics::{Gauge, Registry};
 pub use profile::{StageProfile, StageStat};
 pub use recorder::FlightRecorder;
+pub use sink::{StreamingJsonlSink, TelemetrySink};
 pub use trace::{TraceId, TraceSampler};
 
 use json::JsonObject;
@@ -77,6 +79,15 @@ pub struct TelemetryConfig {
     pub trace_sample_rate: f64,
     /// Seed of the deterministic trace sampler.
     pub trace_seed: u64,
+    /// Retention window for the in-memory timeline. `None` (the
+    /// default) materializes every record; `Some(keep)` attaches a
+    /// [`StreamingJsonlSink`] and flushes records into it whenever
+    /// more than `keep` are resident, so peak structured timeline
+    /// memory is O(`keep`) instead of O(replay length). The streamed
+    /// export ([`Telemetry::take_streamed`]) stays byte-identical to
+    /// the materialized [`Telemetry::to_jsonl`]. Retention does not
+    /// affect the registry, the flight recorder, or replay behavior.
+    pub timeline_retention: Option<usize>,
 }
 
 impl Default for TelemetryConfig {
@@ -87,6 +98,7 @@ impl Default for TelemetryConfig {
             histogram_relative_error: DEFAULT_RELATIVE_ERROR,
             trace_sample_rate: 0.0,
             trace_seed: 0x7ACE,
+            timeline_retention: None,
         }
     }
 }
@@ -123,6 +135,14 @@ impl TelemetryConfig {
     pub fn trace_sampler(&self) -> TraceSampler {
         TraceSampler::new(self.trace_seed, self.trace_sample_rate)
     }
+
+    /// Caps the in-memory timeline at `keep` resident records,
+    /// streaming the rest through a [`StreamingJsonlSink`] (see
+    /// [`TelemetryConfig::timeline_retention`]).
+    pub fn timeline_retention(mut self, keep: usize) -> Self {
+        self.timeline_retention = Some(keep);
+        self
+    }
 }
 
 /// The combined telemetry state of one replay: registry + timeline +
@@ -141,10 +161,13 @@ pub struct Telemetry {
     recorder: FlightRecorder,
     profile: StageProfile,
     meta: Vec<(&'static str, String)>,
+    sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl Telemetry {
-    /// Fresh telemetry for one replay.
+    /// Fresh telemetry for one replay. A retention window in `config`
+    /// attaches a [`StreamingJsonlSink`]; swap it with
+    /// [`Telemetry::attach_sink`] before recording anything.
     pub fn new(config: TelemetryConfig) -> Self {
         Telemetry {
             config,
@@ -153,6 +176,9 @@ impl Telemetry {
             recorder: FlightRecorder::new(config.flight_capacity),
             profile: StageProfile::new(config.profiling),
             meta: Vec::new(),
+            sink: config
+                .timeline_retention
+                .map(|_| Box::new(StreamingJsonlSink::new()) as Box<dyn TelemetrySink>),
         }
     }
 
@@ -210,21 +236,85 @@ impl Telemetry {
             fields: fields.clone(),
         });
         self.timeline.record(at_ms, name, fields);
+        self.maybe_flush();
     }
 
     /// Opens a span on the timeline at sim time `at_ms`.
     pub fn open_span(&mut self, at_ms: u64, name: &'static str, fields: Fields) -> SpanId {
-        self.timeline.open_span(at_ms, name, fields)
+        let id = self.timeline.open_span(at_ms, name, fields);
+        self.maybe_flush();
+        id
     }
 
     /// Closes a span opened with [`Telemetry::open_span`].
     pub fn close_span(&mut self, id: SpanId, end_ms: u64) {
         self.timeline.close_span(id, end_ms);
+        self.maybe_flush();
     }
 
     /// Appends an already-closed span to the timeline.
     pub fn span(&mut self, name: &'static str, start_ms: u64, end_ms: u64, fields: Fields) {
         self.timeline.span(name, start_ms, end_ms, fields);
+        self.maybe_flush();
+    }
+
+    /// Replaces the streaming sink (before anything is recorded).
+    /// Meaningful only together with a retention window, which is what
+    /// triggers flushing.
+    pub fn attach_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a streaming sink is attached.
+    pub fn sink_attached(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Flushes records past the retention window (and any late span
+    /// closes) into the attached sink.
+    fn maybe_flush(&mut self) {
+        let (Some(keep), Some(sink)) = (self.config.timeline_retention, self.sink.as_mut()) else {
+            return;
+        };
+        for (index, end_ms) in self.timeline.take_late_closes() {
+            sink.close_flushed_span(index as u64, end_ms);
+        }
+        while self.timeline.events().len() > keep {
+            match self.timeline.pop_front() {
+                Some((index, event)) => sink.flush_event(index as u64, &event),
+                None => break,
+            }
+        }
+    }
+
+    /// Detaches the sink and returns the complete streamed export:
+    /// every remaining record is flushed, late closes are patched, and
+    /// the sink composes meta line + timeline + registry snapshot.
+    /// Byte-identical to what [`Telemetry::to_jsonl`] of an
+    /// un-retained replay would have produced. `None` when no sink is
+    /// attached.
+    pub fn take_streamed(&mut self) -> Option<String> {
+        let mut sink = self.sink.take()?;
+        for (index, end_ms) in self.timeline.take_late_closes() {
+            sink.close_flushed_span(index as u64, end_ms);
+        }
+        while let Some((index, event)) = self.timeline.pop_front() {
+            sink.flush_event(index as u64, &event);
+        }
+        let mut registry = String::new();
+        self.registry.write_jsonl(&mut registry);
+        Some(sink.finish(&self.meta_line(), &registry))
+    }
+
+    /// The JSONL meta line (first line of every export).
+    fn meta_line(&self) -> String {
+        let mut meta = JsonObject::new();
+        meta.str_field("type", "meta");
+        for (key, value) in &self.meta {
+            meta.str_field(key, value);
+        }
+        meta.u64_field("timeline_events", self.timeline.len() as u64);
+        meta.finish()
     }
 
     /// The metric registry.
@@ -258,13 +348,7 @@ impl Telemetry {
     /// thread counts, hosts, and streaming vs materialized replay.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        let mut meta = JsonObject::new();
-        meta.str_field("type", "meta");
-        for (key, value) in &self.meta {
-            meta.str_field(key, value);
-        }
-        meta.u64_field("timeline_events", self.timeline.len() as u64);
-        out.push_str(&meta.finish());
+        out.push_str(&self.meta_line());
         out.push('\n');
         for event in self.timeline.events() {
             out.push_str(&event.to_json());
@@ -344,7 +428,10 @@ impl Telemetry {
 /// Equality over the *deterministic* state only: config, meta,
 /// registry, timeline and recorder. The wall-clock stage profile is
 /// deliberately ignored so report comparisons (streaming vs
-/// materialized, thread-count sweeps) hold with profiling on.
+/// materialized, thread-count sweeps) hold with profiling on. The
+/// streaming sink is also excluded: its contents are a pure function
+/// of the compared timeline/registry state, and `dyn` sinks are not
+/// comparable.
 impl PartialEq for Telemetry {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
@@ -421,6 +508,57 @@ mod tests {
         telemetry.set_meta("policy", "b");
         let jsonl = telemetry.to_jsonl();
         assert!(jsonl.starts_with(r#"{"type":"meta","policy":"b","trace":"t""#));
+    }
+
+    /// Drives the same record sequence through a fresh instance.
+    fn record_sequence(telemetry: &mut Telemetry) {
+        telemetry.set_meta("policy", "litmus-aware");
+        let replay = telemetry.open_span(0, "replay", vec![("policy", "litmus-aware".into())]);
+        telemetry.inc("arrivals.admitted", 7);
+        let machine = telemetry.open_span(5, "machine", vec![("id", 0u32.into())]);
+        for at in 0..200u64 {
+            telemetry.event(at * 10, "tick", vec![("n", at.into())]);
+            telemetry.observe("slice.admitted", (at % 3) as f64);
+        }
+        telemetry.span("drain", 1_900, 2_000, vec![("pending", 0u64.into())]);
+        telemetry.close_span(machine, 1_950);
+        telemetry.close_span(replay, 2_000);
+        // `machine` stays re-closable; re-close after flush updates it.
+        telemetry.close_span(machine, 1_960);
+    }
+
+    #[test]
+    fn streamed_export_is_byte_identical_to_materialized() {
+        let mut materialized = Telemetry::new(TelemetryConfig::default());
+        record_sequence(&mut materialized);
+        for keep in [0, 1, 8, 64] {
+            let mut streamed = Telemetry::new(TelemetryConfig::default().timeline_retention(keep));
+            record_sequence(&mut streamed);
+            let out = streamed.take_streamed().expect("sink attached");
+            assert_jsonl_eq("materialized", &materialized.to_jsonl(), "streamed", &out);
+            assert!(streamed.timeline().peak_retained() <= keep + 1);
+            assert_eq!(streamed.timeline().len(), materialized.timeline().len());
+        }
+    }
+
+    #[test]
+    fn retention_without_take_streamed_keeps_counts_and_recorder() {
+        let mut telemetry = Telemetry::new(TelemetryConfig::default().timeline_retention(2));
+        for at in 0..50u64 {
+            telemetry.event(at, "tick", vec![("n", at.into())]);
+        }
+        assert_eq!(telemetry.timeline().len(), 50);
+        assert_eq!(telemetry.timeline().events().len(), 2);
+        assert_eq!(telemetry.timeline().offset(), 48);
+        // The flight recorder is independent of timeline retention.
+        assert_eq!(telemetry.recorder().seen(), 50);
+    }
+
+    #[test]
+    fn take_streamed_is_none_without_a_sink() {
+        let mut telemetry = Telemetry::new(TelemetryConfig::default());
+        assert!(!telemetry.sink_attached());
+        assert!(telemetry.take_streamed().is_none());
     }
 
     #[test]

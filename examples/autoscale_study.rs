@@ -37,11 +37,13 @@
 //! the reactive and predictive paths). Pass `--json` to also emit the
 //! whole frontier — every point's cost/SLO numbers plus per-config
 //! forecast MAE — as a single machine-readable JSON line at the end of
-//! stdout. Set `LITMUS_SVG_OUT=<dir>` to additionally render two SVG
-//! charts there with the zero-dependency `litmus::observe::svg`
-//! renderer: `frontier.svg` (both cost/SLO frontiers) and
+//! stdout. Set `LITMUS_SVG_OUT=<dir>` to additionally render three
+//! SVG charts there with the zero-dependency `litmus::observe::svg`
+//! renderer: `frontier.svg` (both cost/SLO frontiers),
 //! `burn_rate.svg` (per-tenant SLO burn-rate timelines with alert
-//! bands, from a traced re-run of the most aggressive reactive mark).
+//! bands, from a traced re-run of the most aggressive reactive mark),
+//! and `backtest.svg` (each predictive config's horizon-shifted
+//! forecast band laid under the arrivals that actually landed).
 //!
 //! In smoke mode on the bundled fixture the JSON document is
 //! additionally asserted against the committed snapshot
@@ -601,15 +603,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Renders the study's two charts into `dir` with the zero-dependency
-/// `litmus::observe::svg` renderer:
+/// Renders the study's three charts into `dir` with the
+/// zero-dependency `litmus::observe::svg` renderer:
 ///
 /// - `frontier.svg` — both cost/SLO frontiers as (trace machine-hours,
 ///   p99 predicted slowdown) polylines;
 /// - `burn_rate.svg` — per-tenant SLO burn-rate timelines with alert
 ///   bands, from a traced re-run of the most aggressive reactive mark
 ///   (the sweep's own replays stay untraced, so the default runs and
-///   the smoke snapshot are untouched by this hook).
+///   the smoke snapshot are untouched by this hook);
+/// - `backtest.svg` — the forecast backtest: each predictive config's
+///   lo/hi band shifted to the slice it predicted, under the admitted
+///   arrivals that actually landed there.
 ///
 /// Everything written is deterministic: the re-run replay, the SLO
 /// evaluation, and the renderer's fixed-precision output.
@@ -626,7 +631,7 @@ fn render_svgs(
     model: &DiscountModel,
     mark: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    use litmus::observe::svg::{Band, Chart, Series};
+    use litmus::observe::svg::{Band, Chart, Region, Series};
 
     std::fs::create_dir_all(dir)?;
     let trace_hours =
@@ -717,10 +722,50 @@ fn render_svgs(
     let burn_path = dir.join("burn_rate.svg");
     std::fs::write(&burn_path, burn.render())?;
 
+    // Forecast backtest: every predictive config's lo/hi band, shifted
+    // forward by its horizon to the slice each forecast actually
+    // predicted, under the admitted arrivals that landed there. The
+    // actual-arrivals series comes from the first config — admission
+    // is trace-driven, so every predictive replay observes the same
+    // per-slice counts.
+    let mut backtest = Chart::new("forecast backtest: predicted band vs admitted arrivals")
+        .labels("sim time (ms)", "arrivals per slice");
+    if let Some(first) = predictive_frontier.first() {
+        backtest = backtest.series(Series::new(
+            "admitted arrivals",
+            "#333333",
+            first
+                .report
+                .forecast_samples()
+                .iter()
+                .map(|s| (s.at_ms as f64, s.observed))
+                .collect(),
+        ));
+    }
+    for (i, point) in predictive_frontier.iter().enumerate() {
+        let band_points = point
+            .report
+            .forecast_samples()
+            .iter()
+            .map(|s| {
+                let target_ms = s.at_ms + s.forecast.horizon as u64 * SLICE_MS;
+                (target_ms as f64, s.forecast.lo, s.forecast.hi)
+            })
+            .collect();
+        backtest = backtest.region(Region::new(
+            format!("{} band", point.label),
+            PALETTE[i % PALETTE.len()],
+            band_points,
+        ));
+    }
+    let backtest_path = dir.join("backtest.svg");
+    std::fs::write(&backtest_path, backtest.render())?;
+
     println!(
-        "\nSVG charts written: {} and {}",
+        "\nSVG charts written: {}, {} and {}",
         frontier_path.display(),
-        burn_path.display()
+        burn_path.display(),
+        backtest_path.display()
     );
     Ok(())
 }

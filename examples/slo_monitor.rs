@@ -1,14 +1,19 @@
 //! SLO monitoring end to end: plant an overload a small fleet cannot
-//! absorb, replay it with full span tracing, run the burn-rate engine
-//! over the finished timeline, and show the per-tenant alert firing at
-//! a deterministic sim time — then clearing once the backlog drains.
+//! absorb, replay it with full span tracing and the SLOs declared on
+//! the driver (so the incremental engine fires alerts *during* the
+//! replay), run the post-hoc burn-rate engine over the finished
+//! timeline, and show the per-tenant alert firing at a deterministic
+//! sim time — then clearing once the backlog drains.
 //!
 //! The example doubles as an executable acceptance check (CI runs it
 //! in the bench-smoke job): the alert's fire/clear boundaries are
-//! asserted, and both the replay JSONL and the SLO engine's own JSONL
-//! must be byte-identical across 1 and 4 worker-pool threads. Both
-//! exports land in `target/` where `litmus-obs` can query and diff
-//! them from the shell.
+//! asserted, the online alert history must equal the post-hoc report
+//! event-for-event, a retention-capped streaming replay must produce
+//! the byte-identical export with O(window) peak timeline memory, and
+//! both the replay JSONL and the SLO engine's own JSONL must be
+//! byte-identical across 1 and 4 worker-pool threads. Both exports
+//! land in `target/` where `litmus-obs` can query, diff — and `tail`
+//! — them from the shell.
 //!
 //! Run with: `cargo run --release --example slo_monitor`
 
@@ -63,14 +68,17 @@ fn overload_trace() -> InvocationTrace {
 
 /// One tight per-tenant objective: 90% of tenant 1's invocations must
 /// launch within 50 ms, paged on a 200 ms/600 ms burn-rate window
-/// pair at 2× the sustainable rate.
+/// pair at 2× the sustainable rate. The same spec is handed to the
+/// driver (online engine) and to the post-hoc engine.
+fn specs() -> Vec<SloSpec> {
+    vec![SloSpec::queue_wait("analytics-wait", 50)
+        .tenant(1)
+        .objective(0.9)
+        .rules(vec![BurnRateRule::new("page", 200, 600, 2.0)])]
+}
+
 fn engine() -> SloEngine {
-    SloEngine::new().spec(
-        SloSpec::queue_wait("analytics-wait", 50)
-            .tenant(1)
-            .objective(0.9)
-            .rules(vec![BurnRateRule::new("page", 200, 600, 2.0)]),
-    )
+    specs().into_iter().fold(SloEngine::new(), SloEngine::spec)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -91,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cluster = Cluster::build(config(threads), tables.clone(), model.clone())?;
         Ok(ClusterDriver::new(RoundRobin::new())
             .telemetry(TelemetryConfig::default().trace_sampling(0x51_0A, 1.0))
+            .slos(specs())
             .replay(&mut cluster, &trace)?)
     };
     let report = replay(4)?;
@@ -115,6 +124,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  planted overload paged tenant 1 at {} ms and cleared at {cleared} ms ✓",
         alert.fired_ms
+    );
+
+    // ── online == post-hoc: the incremental engine the driver co-ran at
+    // every slice boundary saw the exact alert history the post-hoc
+    // evaluation reconstructs from the finished timeline.
+    assert_eq!(
+        report.slo_alerts(),
+        slo.alerts.as_slice(),
+        "online alert history must equal the post-hoc report"
+    );
+    println!("  online alert history equals the post-hoc report event-for-event ✓");
+
+    // ── streaming: a retention-capped replay streams byte-identical
+    // JSONL while holding only O(window) timeline events in memory.
+    const KEEP: usize = 64;
+    let streamed = {
+        let mut cluster = Cluster::build(config(4), tables.clone(), model.clone())?;
+        ClusterDriver::new(RoundRobin::new())
+            .telemetry(
+                TelemetryConfig::default()
+                    .trace_sampling(0x51_0A, 1.0)
+                    .timeline_retention(KEEP),
+            )
+            .slos(specs())
+            .replay(&mut cluster, &trace)?
+    };
+    assert_jsonl_eq(
+        "materialized",
+        &report.timeline_jsonl(),
+        "streamed",
+        streamed
+            .streamed_jsonl()
+            .expect("retention-capped replays carry a streamed export"),
+    );
+    assert!(
+        streamed.timeline_peak_retained() <= KEEP + 1,
+        "peak retained {} exceeds the {KEEP}-event window",
+        streamed.timeline_peak_retained()
+    );
+    assert_eq!(streamed.slo_alerts(), slo.alerts.as_slice());
+    println!(
+        "  streamed export byte-identical under a {KEEP}-event window (peak retained {}) ✓",
+        streamed.timeline_peak_retained()
     );
 
     // ── determinism: replay and SLO JSONL byte-identical across
@@ -143,7 +195,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&replay_path, report.timeline_jsonl())?;
     std::fs::write(&slo_path, slo.to_jsonl())?;
     println!(
-        "\nexports: {} and {} (try `litmus-obs summary` / `spans --tenant 1` / `diff`)",
+        "\nexports: {} and {} (try `litmus-obs summary` / `spans --tenant 1` / `diff` / `tail`)",
         replay_path.display(),
         slo_path.display()
     );
